@@ -1,0 +1,116 @@
+// E10 — Figure 17 ablation: embedded replicas vs the tuple-server (RPC)
+// configuration.
+//
+// The paper (§6, Fig. 17) sketches an alternative deployment where
+// application hosts run no TS replica: the FT-Linda library forwards each
+// AGS with an RPC to a request handler on a dedicated tuple server, which
+// submits it to Consul as usual. The trade: one extra network round trip of
+// latency per AGS, in exchange for keeping replica work (ordering,
+// matching, state) off the application hosts.
+//
+// We measure AGS latency from an application host in both configurations,
+// plus the extra messages the RPC costs, on the LAN profile.
+#include "bench_util.hpp"
+#include "ftlinda/system.hpp"
+
+using namespace ftl;
+using namespace ftl::ftlinda;
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+namespace {
+
+constexpr int kRounds = 200;
+
+Ags incrementAgs() {
+  return AgsBuilder()
+      .when(guardIn(kTsMain, makePattern("count", fInt())))
+      .then(opOut(kTsMain, makeTemplate("count", boundExpr(0, ArithOp::Add, 1))))
+      .build();
+}
+
+struct Result {
+  LatencySamples latency;
+  double msgs_per_ags = 0;
+};
+
+Result runEmbedded(std::uint32_t replicas) {
+  SystemConfig cfg;
+  cfg.hosts = replicas;
+  cfg.net = net::lanProfile(51);
+  cfg.consul = simulationConsulConfig();
+  cfg.consul.heartbeat_interval = Micros{5'000'000};
+  cfg.consul.ack_interval = Micros{5'000'000};
+  cfg.consul.failure_timeout = Micros{60'000'000};
+  FtLindaSystem sys(cfg);
+  auto& rt = sys.runtime(replicas - 1);
+  rt.out(kTsMain, makeTuple("count", 0));
+  sys.network().resetStats();
+  Result res;
+  const Ags ags = incrementAgs();
+  for (int i = 0; i < kRounds; ++i) {
+    const auto start = Clock::now();
+    rt.execute(ags);
+    res.latency.add(elapsedUs(start, Clock::now()));
+  }
+  res.msgs_per_ags = static_cast<double>(sys.network().totalStats().messages_sent) / kRounds;
+  return res;
+}
+
+/// `via_sequencer`: whether the client's assigned tuple server is also the
+/// group sequencer (then the RPC hop replaces the request hop) or a plain
+/// replica (then the RPC adds a full extra round trip — Fig. 17's general
+/// case).
+Result runTupleServer(std::uint32_t replicas, bool via_sequencer) {
+  SystemConfig cfg;
+  cfg.hosts = replicas + 2;  // two application hosts, `replicas` servers
+  cfg.replica_hosts = replicas;
+  cfg.net = net::lanProfile(53);
+  cfg.consul = simulationConsulConfig();
+  cfg.consul.heartbeat_interval = Micros{5'000'000};
+  cfg.consul.ack_interval = Micros{5'000'000};
+  cfg.consul.failure_timeout = Micros{60'000'000};
+  FtLindaSystem sys(cfg);
+  // Client host `replicas` is served by host 0 (the sequencer); client host
+  // `replicas + 1` by host 1 (a plain replica).
+  auto& rt = sys.remoteRuntime(via_sequencer ? replicas : replicas + 1);
+  rt.out(kTsMain, makeTuple("count", 0));
+  sys.network().resetStats();
+  Result res;
+  const Ags ags = incrementAgs();
+  for (int i = 0; i < kRounds; ++i) {
+    const auto start = Clock::now();
+    rt.execute(ags);
+    res.latency.add(elapsedUs(start, Clock::now()));
+  }
+  res.msgs_per_ags = static_cast<double>(sys.network().totalStats().messages_sent) / kRounds;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E10", "embedded replicas vs tuple-server (RPC) configuration",
+                "§6 / Figure 17: RPC to a request handler on a tuple server");
+  std::printf("\n%-9s %-25s %-25s %-25s\n", "", "embedded (app host", "RPC, server=sequencer",
+              "RPC, server=replica");
+  std::printf("%-9s %-25s %-25s %-25s\n", "", " runs a replica)", "(best placement)",
+              "(general case)");
+  std::printf("%-9s %-12s %-12s %-12s %-12s %-12s %-12s\n", "replicas", "p50 us", "msgs/AGS",
+              "p50 us", "msgs/AGS", "p50 us", "msgs/AGS");
+  for (std::uint32_t n : {2u, 3u, 5u}) {
+    const Result emb = runEmbedded(n);
+    const Result seq = runTupleServer(n, /*via_sequencer=*/true);
+    const Result rep = runTupleServer(n, /*via_sequencer=*/false);
+    std::printf("%-9u %-12.0f %-12.1f %-12.0f %-12.1f %-12.0f %-12.1f\n", n,
+                emb.latency.percentile(50), emb.msgs_per_ags, seq.latency.percentile(50),
+                seq.msgs_per_ags, rep.latency.percentile(50), rep.msgs_per_ags);
+  }
+  std::printf("\nshape check: with the server co-located with the sequencer the RPC hop\n");
+  std::printf("replaces the request hop (same latency, +1 message). In the general case\n");
+  std::printf("the RPC adds a full extra round trip (~2 LAN hops) and +2 messages per\n");
+  std::printf("AGS, independent of replica count — Figure 17's latency/offload trade.\n");
+  return 0;
+}

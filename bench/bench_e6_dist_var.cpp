@@ -1,0 +1,141 @@
+// E6 — the distributed variable under concurrency and crashes (paper §2.2).
+//
+// Metric: after U updaters each apply K increments to the shared variable
+// ("count", v) while one updater host crashes mid-run,
+//   - does the variable still exist? (the §2.2 anomaly destroys it)
+//   - were any SURVIVOR updates lost?
+// FT-Linda's AGS makes the read-modify-write one atomic step; the baseline
+// does the conventional non-atomic in(...) then out(...) against a central
+// server, so a crash between the two kills the variable (we count how often
+// across trials), and the system wedges.
+#include <atomic>
+#include <memory>
+
+#include "baseline/central_server.hpp"
+#include "bench_util.hpp"
+#include "ftlinda/system.hpp"
+
+using namespace ftl;
+using namespace ftl::ftlinda;
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+namespace {
+
+constexpr int kUpdaters = 4;
+constexpr int kIncrements = 40;
+constexpr int kTrials = 12;
+
+struct Tally {
+  int variable_lost = 0;
+  int survivor_updates_lost = 0;
+  int trials = 0;
+};
+
+Tally runFtLinda() {
+  Tally tally;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    FtLindaSystem sys({.hosts = kUpdaters});
+    sys.runtime(0).out(kTsMain, makeTuple("count", 0));
+    std::atomic<int> survivor_increments{0};
+    for (net::HostId h = 0; h < kUpdaters; ++h) {
+      sys.spawnProcess(h, [&survivor_increments](Runtime& rt) {
+        for (int i = 0; i < kIncrements; ++i) {
+          rt.execute(
+              AgsBuilder()
+                  .when(guardIn(kTsMain, makePattern("count", fInt())))
+                  .then(opOut(kTsMain, makeTemplate("count", boundExpr(0, ArithOp::Add, 1))))
+                  .build());
+          if (rt.host() != kUpdaters - 1) survivor_increments.fetch_add(1);
+        }
+        rt.out(kTsMain, makeTuple("done", static_cast<int>(rt.host())));
+      });
+    }
+    std::this_thread::sleep_for(Millis{5});
+    sys.crash(kUpdaters - 1);  // kill one updater mid-stream
+    for (net::HostId h = 0; h + 1 < kUpdaters; ++h) {
+      sys.runtime(0).rd(kTsMain, makePattern("done", static_cast<int>(h)));
+    }
+    auto var = sys.runtime(0).rdp(kTsMain, makePattern("count", fInt()));
+    if (!var) {
+      ++tally.variable_lost;
+    } else {
+      // Every survivor increment must be present (the dead host contributed
+      // 0..kIncrements of its own, all atomic, so value >= survivors).
+      if (var->field(1).asInt() < survivor_increments.load()) {
+        ++tally.survivor_updates_lost;
+      }
+    }
+    ++tally.trials;
+  }
+  return tally;
+}
+
+Tally runBaseline() {
+  Tally tally;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    // host 0: server, hosts 1..4: updaters. Non-atomic in-then-out updates.
+    net::Network net(kUpdaters + 1);
+    baseline::CentralServer server(net, 0);
+    server.start();
+    std::vector<std::unique_ptr<baseline::CentralClient>> clients;
+    for (net::HostId h = 1; h <= kUpdaters; ++h) {
+      clients.push_back(std::make_unique<baseline::CentralClient>(net, h, 0, true));
+      clients.back()->start();
+    }
+    clients[0]->out(makeTuple("count", 0));
+    std::atomic<bool> victim_holding{false};
+    std::vector<std::thread> updaters;
+    std::atomic<int> finished{0};
+    for (int u = 0; u < kUpdaters; ++u) {
+      updaters.emplace_back([&, u] {
+        auto& c = *clients[u];
+        try {
+          for (int i = 0; i < kIncrements; ++i) {
+            Tuple t = c.in(makePattern("count", fInt()));  // withdraw...
+            if (u == kUpdaters - 1) {
+              victim_holding.store(true);  // signal: crash me now
+              std::this_thread::sleep_for(Millis{50});
+            }
+            c.out(makeTuple("count", t.field(1).asInt() + 1));  // ...write back
+          }
+          finished.fetch_add(1);
+        } catch (const Error&) {
+        }
+      });
+    }
+    // Crash the victim while it holds the variable.
+    while (!victim_holding.load()) std::this_thread::sleep_for(Millis{1});
+    net.crash(kUpdaters);  // the victim's host
+    // Give survivors a moment; they will wedge on in("count", ?v).
+    std::this_thread::sleep_for(Millis{200});
+    auto var = clients[0]->inp(makePattern("count", fInt()));
+    if (!var) ++tally.variable_lost;
+    ++tally.trials;
+    // Unwedge everything for teardown.
+    net.crash(0);
+    for (auto& t : updaters) t.join();
+  }
+  return tally;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E6", "distributed variable: lost variable / lost updates under crashes",
+                "§2.2 distributed-variable anomaly; Figure 3's AGS update idiom");
+  std::printf("%d updaters x %d increments, one updater host crashed mid-run, %d trials\n\n",
+              kUpdaters, kIncrements, kTrials);
+  const Tally ft = runFtLinda();
+  std::printf("%-34s variable lost: %d/%d trials, survivor updates lost: %d\n",
+              "FT-Linda AGS update", ft.variable_lost, ft.trials, ft.survivor_updates_lost);
+  const Tally base = runBaseline();
+  std::printf("%-34s variable lost: %d/%d trials (survivors wedge forever)\n",
+              "central server, in-then-out", base.variable_lost, base.trials);
+  std::printf("\nshape check: FT-Linda never loses the variable or a survivor's update;\n");
+  std::printf("the non-atomic baseline loses the variable whenever the crash lands\n");
+  std::printf("between the in and the out (forced every trial here).\n");
+  return 0;
+}

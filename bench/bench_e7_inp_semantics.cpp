@@ -1,0 +1,112 @@
+// E7 — strong versus weak inp semantics (paper §3.2).
+//
+// FT-Linda's claim: because every AGS occupies one point of the global
+// total order, inp returning "no match" GUARANTEES no matching tuple
+// existed at that point. Conventional distributed Linda kernels (with
+// asynchronous out) cannot promise this: a tuple that was out()'d — and
+// even acknowledged to the application — may still be in flight when
+// another process's inp looks for it.
+//
+// Protocol per round: producer deposits ("flag", i), then signals the
+// consumer out-of-band (an atomic in shared memory, standing in for any
+// external channel — a file, a socket, a human). The consumer then issues
+// inp("flag", i). A miss is a SEMANTIC VIOLATION: the out happened-before
+// the inp. We count violations over many rounds.
+//
+// Expected shape: FT-Linda 0 violations; the async-out baseline misses
+// often at LAN latencies.
+#include <atomic>
+
+#include "baseline/central_server.hpp"
+#include "bench_util.hpp"
+#include "ftlinda/system.hpp"
+
+using namespace ftl;
+using namespace ftl::ftlinda;
+using ts::kTsMain;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+namespace {
+
+constexpr int kRounds = 400;
+
+int runFtLinda() {
+  SystemConfig cfg;
+  cfg.hosts = 3;
+  cfg.net = net::lanProfile(31);
+  FtLindaSystem sys(cfg);
+  std::atomic<int> ready{-1};
+  std::atomic<int> violations{0};
+  std::atomic<int> consumed{-1};
+  sys.spawnProcess(0, [&](Runtime& rt) {
+    for (int i = 0; i < kRounds; ++i) {
+      rt.out(kTsMain, makeTuple("flag", i));  // synchronous: ordered when done
+      ready.store(i);
+      while (consumed.load() < i) std::this_thread::yield();
+    }
+  });
+  sys.spawnProcess(1, [&](Runtime& rt) {
+    for (int i = 0; i < kRounds; ++i) {
+      while (ready.load() < i) std::this_thread::yield();
+      if (!rt.inp(kTsMain, makePattern("flag", i))) violations.fetch_add(1);
+      consumed.store(i);
+    }
+  });
+  sys.joinProcesses();
+  return violations.load();
+}
+
+int runBaseline() {
+  // host 0: server; 1: producer (ASYNC out, the conventional kernel
+  // behaviour); 2: consumer.
+  net::Network net(3, net::lanProfile(37));
+  baseline::CentralServer server(net, 0);
+  baseline::CentralClient producer(net, 1, 0, /*sync_out=*/false);
+  baseline::CentralClient consumer(net, 2, 0, /*sync_out=*/true);
+  server.start();
+  producer.start();
+  consumer.start();
+  std::atomic<int> ready{-1};
+  std::atomic<int> consumed{-1};
+  std::atomic<int> violations{0};
+  std::thread prod([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      producer.out(makeTuple("flag", i));  // returns before the server has it
+      ready.store(i);
+      while (consumed.load() < i) std::this_thread::yield();
+    }
+  });
+  std::thread cons([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      while (ready.load() < i) std::this_thread::yield();
+      if (!consumer.inp(makePattern("flag", i))) {
+        violations.fetch_add(1);
+        // Drain the late tuple so the next round starts clean.
+        consumer.in(makePattern("flag", i));
+      }
+      consumed.store(i);
+    }
+  });
+  prod.join();
+  cons.join();
+  return violations.load();
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E7", "strong inp/rdp semantics: happened-before misses",
+                "§3.2 strong inp/rdp guarantee (only Plinda [4] offers similar)");
+  std::printf("%d rounds of out -> out-of-band signal -> inp, LAN latency profile\n\n", kRounds);
+  const int ft = runFtLinda();
+  std::printf("%-44s violations: %d/%d\n", "FT-Linda (ordered AGS, synchronous out)", ft,
+              kRounds);
+  const int base = runBaseline();
+  std::printf("%-44s violations: %d/%d\n", "central server with asynchronous out", base,
+              kRounds);
+  std::printf("\nshape check: FT-Linda must report 0 — a false inp verdict is a proof of\n");
+  std::printf("absence at that point of the total order. The async baseline misses\n");
+  std::printf("whenever the signal outraces the in-flight out.\n");
+  return ft == 0 ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// E8 — recovery time versus stable tuple-space size (paper §5.2).
+//
+// The paper's recovery path: a restarted processor multicasts a restart
+// message; the membership protocol re-admits it and an existing member
+// ships the TS state. We measure wall time from recover() to full
+// membership (snapshot installed), and the snapshot size, as a function of
+// the number of tuples in stable space.
+//
+// Expected shape: a constant protocol cost (join round trips) plus a term
+// linear in state size.
+#include "bench_util.hpp"
+#include "ftlinda/system.hpp"
+
+using namespace ftl;
+using namespace ftl::ftlinda;
+using ts::kTsMain;
+using tuple::makeTuple;
+
+namespace {
+
+struct Point {
+  double rejoin_ms = 0;
+  std::size_t snapshot_bytes = 0;
+};
+
+Point measure(std::size_t tuples) {
+  FtLindaSystem sys({.hosts = 3});
+  auto& rt = sys.runtime(0);
+  // Seed in batches of one AGS with 64 outs each to keep setup fast.
+  std::size_t seeded = 0;
+  while (seeded < tuples) {
+    AgsBuilder b;
+    b.when(guardTrue());
+    for (int i = 0; i < 64 && seeded < tuples; ++i, ++seeded) {
+      b.then(opOut(kTsMain, makeTemplate("payload", static_cast<std::int64_t>(seeded),
+                                         "some tuple content for realistic sizing")));
+    }
+    rt.execute(b.build());
+  }
+  sys.crash(2);
+  bench::waitUntil([&] {
+    return sys.stateMachine(0).tupleCount(kTsMain) == tuples;  // settle
+  });
+  // Let the failure view install before rejoining.
+  std::this_thread::sleep_for(Millis{150});
+  const auto start = Clock::now();
+  const bool ok = sys.recover(2, Millis{30'000});
+  Point p;
+  p.rejoin_ms = elapsedUs(start, Clock::now()) / 1000.0;
+  FTL_CHECK(ok, "recovery did not complete");
+  p.snapshot_bytes = sys.stateMachine(2).stateDigestBytes().size();
+  FTL_CHECK(sys.stateMachine(2).tupleCount(kTsMain) == tuples,
+            "recovered replica is missing tuples");
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E8", "processor recovery time vs stable TS size",
+                "§5.2 recovery via Consul membership + state transfer");
+  std::printf("3 hosts; host 2 crashes, rejoins, and receives the TS snapshot\n\n");
+  std::printf("%-14s %-14s %-16s\n", "tuples", "rejoin ms", "snapshot bytes");
+  for (std::size_t n : {100u, 1'000u, 5'000u, 20'000u}) {
+    const Point p = measure(n);
+    std::printf("%-14zu %-14.1f %-16zu\n", n, p.rejoin_ms, p.snapshot_bytes);
+  }
+  std::printf("\nshape check: constant join cost plus a linear state-transfer term.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E9 — tuple matching throughput: signature-bucketed store (the FT-lcc
+// catalog design point) versus a naive linear-scan store.
+//
+// Supports the paper's implementation claim that cataloging pattern
+// signatures lets the runtime match against only same-signature candidates.
+// Shape to expect: the bucketed store is flat in total tuple count when the
+// target name is selective; the linear scan degrades linearly.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "ts/tuple_space.hpp"
+
+namespace {
+
+using namespace ftl;
+using ts::TupleSpace;
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+using tuple::Pattern;
+using tuple::Tuple;
+
+/// Straw-man store: what a Linda kernel without signature analysis does —
+/// scan everything.
+class LinearStore {
+ public:
+  void put(Tuple t) { tuples_.push_back(std::move(t)); }
+
+  const Tuple* read(const Pattern& p) const {
+    for (const auto& t : tuples_) {
+      if (p.matches(t)) return &t;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+std::string nameFor(int group) { return "name" + std::to_string(group); }
+
+/// range(0) = total tuples, range(1) = distinct names (groups).
+void BM_E9_Bucketed(benchmark::State& state) {
+  const int total = static_cast<int>(state.range(0));
+  const int groups = static_cast<int>(state.range(1));
+  TupleSpace space;
+  // Group-major insert so the probed group's tuples sit at the END of a
+  // naive scan order: the honest worst case for the linear baseline.
+  for (int i = 0; i < total; ++i) space.put(makeTuple(nameFor(i / (total / groups)), i));
+  const Pattern probe = makePattern(nameFor(groups - 1), fInt());
+  for (auto _ : state) {
+    auto t = space.read(probe);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_E9_Bucketed)
+    ->Args({100, 16})
+    ->Args({1000, 16})
+    ->Args({10000, 16})
+    ->Args({10000, 1})
+    ->Args({10000, 256});
+
+void BM_E9_LinearScan(benchmark::State& state) {
+  const int total = static_cast<int>(state.range(0));
+  const int groups = static_cast<int>(state.range(1));
+  LinearStore store;
+  for (int i = 0; i < total; ++i) store.put(makeTuple(nameFor(i / (total / groups)), i));
+  const Pattern probe = makePattern(nameFor(groups - 1), fInt());
+  for (auto _ : state) {
+    auto* t = store.read(probe);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_E9_LinearScan)
+    ->Args({100, 16})
+    ->Args({1000, 16})
+    ->Args({10000, 16})
+    ->Args({10000, 1})
+    ->Args({10000, 256});
+
+/// Insert throughput of the bucketed store (it must not lose on writes).
+void BM_E9_BucketedPut(benchmark::State& state) {
+  const int groups = static_cast<int>(state.range(0));
+  TupleSpace space;
+  int i = 0;
+  for (auto _ : state) {
+    space.put(makeTuple(nameFor(i % groups), i));
+    ++i;
+  }
+}
+BENCHMARK(BM_E9_BucketedPut)->Arg(1)->Arg(16)->Arg(256);
+
+/// take() with a leading formal: the store must check multiple chains but
+/// still stay far below a full scan.
+void BM_E9_BucketedFormalFirst(benchmark::State& state) {
+  const int total = static_cast<int>(state.range(0));
+  TupleSpace space;
+  for (int i = 0; i < total; ++i) space.put(makeTuple(nameFor(i % 16), i));
+  const Pattern probe = makePattern(tuple::fStr(), fInt());
+  for (auto _ : state) {
+    auto t = space.read(probe);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_E9_BucketedFormalFirst)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,185 @@
+// T1 — reproduction of Table 1 (§5.3): single-processor TS-manager cost of
+// AGS processing.
+//
+// The paper measures, on Sun-3/60 and i386 workstations, the base cost of
+// an AGS arriving at the TS state machine plus the marginal cost of each
+// kind of operation in the body (out of a 3-element tuple, in with actuals,
+// in with formals, ...). We measure the same quantities on the modern host:
+// one TsStateMachine::apply() call including command decode, guard
+// matching, body execution and reply generation — exactly the work the
+// paper's TS manager performs per multicast message. Absolute numbers are
+// hardware-dependent; the SHAPE to compare (see EXPERIMENTS.md): every
+// entry is small (microseconds), out < in-with-formals, and body cost grows
+// linearly with op count.
+#include <benchmark/benchmark.h>
+
+#include "ftlinda/ts_state_machine.hpp"
+
+namespace {
+
+using namespace ftl;
+using namespace ftl::ftlinda;
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::fStr;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+/// Drives a state machine as the replica would: decode + apply.
+class SmHarness {
+ public:
+  SmHarness() : sm_([](net::HostId, std::uint64_t, const Reply&) {}) {}
+
+  void apply(const Bytes& cmd) {
+    rsm::ApplyContext ctx;
+    ctx.gseq = ++gseq_;
+    ctx.origin = 0;
+    ctx.origin_seq = gseq_;
+    sm_.apply(ctx, cmd);
+  }
+
+  TsStateMachine& sm() { return sm_; }
+
+ private:
+  TsStateMachine sm_;
+  std::uint64_t gseq_ = 0;
+};
+
+Bytes encodeAgs(const Ags& a) { return makeExecute(1, a).encode(); }
+
+// --- base cost: empty AGS < true => > ---
+void BM_T1_BaseAgs(benchmark::State& state) {
+  SmHarness h;
+  const Bytes cmd = encodeAgs(AgsBuilder().when(guardTrue()).build());
+  for (auto _ : state) h.apply(cmd);
+}
+BENCHMARK(BM_T1_BaseAgs);
+
+// --- out of a 3-element tuple ---
+void BM_T1_Out3(benchmark::State& state) {
+  SmHarness h;
+  const Bytes cmd = encodeAgs(
+      AgsBuilder().when(guardTrue()).then(opOut(kTsMain, makeTemplate("t", 1, 2.5))).build());
+  for (auto _ : state) h.apply(cmd);
+  state.SetLabel("space grows; matching untouched");
+}
+BENCHMARK(BM_T1_Out3);
+
+// --- in with all actuals (withdraw + redeposit so the space is steady) ---
+void BM_T1_InActuals(benchmark::State& state) {
+  SmHarness h;
+  h.apply(encodeAgs(
+      AgsBuilder().when(guardTrue()).then(opOut(kTsMain, makeTemplate("t", 1, 2.5))).build()));
+  const Bytes cmd = encodeAgs(AgsBuilder()
+                                  .when(guardIn(kTsMain, makePattern("t", 1, 2.5)))
+                                  .then(opOut(kTsMain, makeTemplate("t", 1, 2.5)))
+                                  .build());
+  for (auto _ : state) h.apply(cmd);
+}
+BENCHMARK(BM_T1_InActuals);
+
+// --- in with formals (binds two values) ---
+void BM_T1_InFormals(benchmark::State& state) {
+  SmHarness h;
+  h.apply(encodeAgs(
+      AgsBuilder().when(guardTrue()).then(opOut(kTsMain, makeTemplate("t", 1, 2.5))).build()));
+  const Bytes cmd = encodeAgs(AgsBuilder()
+                                  .when(guardIn(kTsMain, makePattern("t", fInt(), tuple::fReal())))
+                                  .then(opOut(kTsMain, makeTemplate("t", bound(0), bound(1))))
+                                  .build());
+  for (auto _ : state) h.apply(cmd);
+}
+BENCHMARK(BM_T1_InFormals);
+
+// --- rd with formals ---
+void BM_T1_RdFormals(benchmark::State& state) {
+  SmHarness h;
+  h.apply(encodeAgs(
+      AgsBuilder().when(guardTrue()).then(opOut(kTsMain, makeTemplate("t", 1, 2.5))).build()));
+  const Bytes cmd = encodeAgs(
+      AgsBuilder().when(guardRd(kTsMain, makePattern("t", fInt(), tuple::fReal()))).build());
+  for (auto _ : state) h.apply(cmd);
+}
+BENCHMARK(BM_T1_RdFormals);
+
+// --- inp miss: the strong-semantics "no" verdict ---
+void BM_T1_InpMiss(benchmark::State& state) {
+  SmHarness h;
+  const Bytes cmd =
+      encodeAgs(AgsBuilder().when(guardInp(kTsMain, makePattern("absent", fInt()))).build());
+  for (auto _ : state) h.apply(cmd);
+}
+BENCHMARK(BM_T1_InpMiss);
+
+// --- marginal cost per body op: body contains N outs (marginal = slope) ---
+void BM_T1_BodyOuts(benchmark::State& state) {
+  SmHarness h;
+  AgsBuilder b;
+  b.when(guardTrue());
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    b.then(opOut(kTsMain, makeTemplate("body", static_cast<int>(i), 2.5)));
+  }
+  const Bytes cmd = encodeAgs(b.build());
+  for (auto _ : state) h.apply(cmd);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_T1_BodyOuts)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// --- marginal cost per body inp (hit), steady state ---
+void BM_T1_BodyInpHit(benchmark::State& state) {
+  SmHarness h;
+  const std::int64_t n = state.range(0);
+  AgsBuilder seed;
+  seed.when(guardTrue());
+  for (std::int64_t i = 0; i < n; ++i) {
+    seed.then(opOut(kTsMain, makeTemplate("body", static_cast<int>(i), 2.5)));
+  }
+  const Bytes seed_cmd = encodeAgs(seed.build());
+  h.apply(seed_cmd);
+  AgsBuilder b;
+  b.when(guardTrue());
+  for (std::int64_t i = 0; i < n; ++i) {
+    b.then(opInp(kTsMain, makePatternTemplate("body", static_cast<int>(i), tuple::fReal())));
+    b.then(opOut(kTsMain, makeTemplate("body", static_cast<int>(i), 2.5)));
+  }
+  const Bytes cmd = encodeAgs(b.build());
+  for (auto _ : state) h.apply(cmd);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_T1_BodyInpHit)->Arg(1)->Arg(2)->Arg(4);
+
+// --- disjunction: cost of trying k failing branches before the match ---
+void BM_T1_Disjunction(benchmark::State& state) {
+  SmHarness h;
+  h.apply(encodeAgs(
+      AgsBuilder().when(guardTrue()).then(opOut(kTsMain, makeTemplate("hit", 1))).build()));
+  AgsBuilder b;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    b.when(guardInp(kTsMain, makePattern("miss", static_cast<int>(i))));
+  }
+  b.when(guardRdp(kTsMain, makePattern("hit", fInt())));
+  const Bytes cmd = encodeAgs(b.build());
+  for (auto _ : state) h.apply(cmd);
+}
+BENCHMARK(BM_T1_Disjunction)->Arg(0)->Arg(1)->Arg(4)->Arg(8);
+
+// --- matching against a populated space (1k same-signature tuples) ---
+void BM_T1_InAmong1k(benchmark::State& state) {
+  SmHarness h;
+  for (int i = 0; i < 1000; ++i) {
+    h.apply(encodeAgs(AgsBuilder()
+                          .when(guardTrue())
+                          .then(opOut(kTsMain, makeTemplate("bulk", i)))
+                          .build()));
+  }
+  const Bytes cmd = encodeAgs(AgsBuilder()
+                                  .when(guardIn(kTsMain, makePattern("bulk", 500)))
+                                  .then(opOut(kTsMain, makeTemplate("bulk", 500)))
+                                  .build());
+  for (auto _ : state) h.apply(cmd);
+}
+BENCHMARK(BM_T1_InAmong1k);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Shared helpers for the table-producing experiment harnesses (E2-E8).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+
+namespace ftl::bench {
+
+inline void header(const char* id, const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  %s\n", id, title);
+  std::printf("paper artifact: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+inline void row(const std::string& label, const LatencySamples& s, const char* unit = "us") {
+  std::printf("%-34s n=%-6zu mean=%9.1f%s  p50=%9.1f%s  p95=%9.1f%s  max=%9.1f%s\n",
+              label.c_str(), s.count(), s.mean(), unit, s.percentile(50), unit,
+              s.percentile(95), unit, s.max(), unit);
+}
+
+inline bool waitUntil(const std::function<bool()>& pred, Millis timeout = Millis{10'000}) {
+  const auto deadline = Clock::now() + timeout;
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(Millis{1});
+  }
+  return pred();
+}
+
+}  // namespace ftl::bench

@@ -1,0 +1,157 @@
+// Fault-tolerant divide and conquer (paper §4.1).
+//
+//   ./examples/divide_conquer
+//
+// Like the bag-of-tasks, but a worker withdrawing a task may SPLIT it into
+// two smaller tasks instead of solving it — the bag holds work at mixed
+// granularities. The split, like the solve, is a single AGS: withdrawing the
+// parent and depositing both children happens atomically, so a crash can
+// never lose half a split. Processor failures are handled by the same
+// monitor idiom, and the example also demonstrates RECOVERY: the crashed
+// processor rejoins mid-run (receiving a snapshot) and contributes again.
+//
+// Workload: adaptive numeric integration of f(x) = 4/(1+x^2) over [0,1]
+// (which is pi), splitting intervals until they are narrow enough.
+#include <cmath>
+#include <cstdio>
+
+#include "ftlinda/system.hpp"
+
+using namespace ftl;
+using namespace ftl::ftlinda;
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::fReal;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+namespace {
+
+double f(double x) { return 4.0 / (1.0 + x * x); }
+
+double simpson(double a, double b) {
+  const double m = 0.5 * (a + b);
+  return (b - a) / 6.0 * (f(a) + 4.0 * f(m) + f(b));
+}
+
+constexpr double kMinWidth = 1.0 / 4096.0;
+
+// Task tuple: ("task", lo, hi). In-progress marker: ("in_progress", host, lo, hi).
+// Result piece: ("piece", value). A ("pending", ?int) counter tracks how many
+// tasks are outstanding so the collector knows when integration is done.
+
+void workerLoop(Runtime& rt) {
+  for (;;) {
+    Reply r = rt.execute(
+        AgsBuilder()
+            .when(guardIn(kTsMain, makePattern("task", fReal(), fReal())))
+            .then(opOut(kTsMain, makeTemplate("in_progress", static_cast<int>(rt.host()),
+                                              bound(0), bound(1))))
+            .orWhen(guardIn(kTsMain, makePattern("done")))
+            .then(opOut(kTsMain, makeTemplate("done")))  // re-deposit for other workers
+            .build());
+    if (r.branch == 1) return;  // termination signal
+    const double lo = r.bindings[0].asReal();
+    const double hi = r.bindings[1].asReal();
+
+    if (hi - lo > kMinWidth) {
+      // SPLIT: atomically retire the marker, deposit two children, and bump
+      // the pending count by one (net: one task became two).
+      const double mid = 0.5 * (lo + hi);
+      rt.execute(
+          AgsBuilder()
+              .when(guardIn(kTsMain, makePattern("pending", fInt())))
+              .then(opInp(kTsMain, makePatternTemplate("in_progress",
+                                                       static_cast<int>(rt.host()), lo, hi)))
+              .then(opOut(kTsMain, makeTemplate("task", lo, mid)))
+              .then(opOut(kTsMain, makeTemplate("task", mid, hi)))
+              .then(opOut(kTsMain, makeTemplate("pending", boundExpr(0, ArithOp::Add, 1))))
+              .build());
+    } else {
+      // SOLVE: atomically retire the marker, deposit the piece, decrement
+      // pending.
+      const double piece = simpson(lo, hi);
+      rt.execute(
+          AgsBuilder()
+              .when(guardIn(kTsMain, makePattern("pending", fInt())))
+              .then(opInp(kTsMain, makePatternTemplate("in_progress",
+                                                       static_cast<int>(rt.host()), lo, hi)))
+              .then(opOut(kTsMain, makeTemplate("piece", piece)))
+              .then(opOut(kTsMain, makeTemplate("pending", boundExpr(0, ArithOp::Sub, 1))))
+              .build());
+    }
+  }
+}
+
+void monitorLoop(Runtime& rt) {
+  for (;;) {
+    Reply fr = rt.execute(
+        AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build());
+    const std::int64_t dead = fr.bindings[0].asInt();
+    int regenerated = 0;
+    for (;;) {
+      Reply r = rt.execute(
+          AgsBuilder()
+              .when(guardInp(kTsMain, makePattern("in_progress", dead, fReal(), fReal())))
+              .then(opOut(kTsMain, makeTemplate("task", bound(0), bound(1))))
+              .build());
+      if (!r.succeeded) break;
+      ++regenerated;
+    }
+    std::printf("[monitor] processor %lld failed; regenerated %d task(s)\n",
+                static_cast<long long>(dead), regenerated);
+  }
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kHosts = 4;
+  FtLindaSystem sys({.hosts = kHosts, .monitor_main = true});
+  auto& rt0 = sys.runtime(0);
+
+  rt0.out(kTsMain, makeTuple("task", 0.0, 1.0));
+  rt0.out(kTsMain, makeTuple("pending", 1));
+  std::printf("integrating 4/(1+x^2) over [0,1] adaptively (answer: pi)\n");
+
+  sys.spawnProcess(0, monitorLoop);
+  for (net::HostId h = 0; h < kHosts; ++h) sys.spawnProcess(h, workerLoop);
+
+  // Let the computation fan out, then kill a worker host mid-run.
+  std::this_thread::sleep_for(Millis{50});
+  std::printf("crashing processor 3 mid-computation...\n");
+  sys.crash(3);
+
+  // ...and bring it back: it rejoins with a state snapshot and works again.
+  std::this_thread::sleep_for(Millis{150});
+  if (sys.recover(3)) {
+    std::printf("processor 3 recovered and rejoined\n");
+    sys.spawnProcess(3, workerLoop);
+  }
+
+  // Collector: wait until no tasks are outstanding.
+  rt0.rd(kTsMain, makePattern("pending", 0));
+  // Tell the workers to stop.
+  rt0.out(kTsMain, makeTuple("done"));
+
+  // Sweep all pieces into a scratch space atomically and sum them.
+  const TsHandle scratch = rt0.createScratch();
+  rt0.execute(AgsBuilder()
+                  .when(guardTrue())
+                  .then(opMove(kTsMain, scratch, makePatternTemplate("piece", fReal())))
+                  .build());
+  double pi = 0.0;
+  int pieces = 0;
+  while (auto piece = rt0.inp(scratch, makePattern("piece", fReal()))) {
+    pi += piece->field(1).asReal();
+    ++pieces;
+  }
+  std::printf("collected %d pieces; integral = %.12f (pi = %.12f, err = %.2e)\n", pieces, pi,
+              M_PI, std::fabs(pi - M_PI));
+  // (The monitor process blocks on in("failure") forever; the system
+  // destructor crashes all hosts, which unblocks and terminates it.)
+
+  const bool ok = std::fabs(pi - M_PI) < 1e-6;
+  std::printf(ok ? "divide-and-conquer: OK\n" : "divide-and-conquer: FAILED\n");
+  return ok ? 0 : 1;
+}

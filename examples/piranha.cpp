@@ -1,0 +1,123 @@
+// Adaptive parallelism ("Piranha" style) on FT-Linda.
+//
+//   ./examples/piranha
+//
+// The paper lists "ease of utilizing idle workstation cycles" among the
+// bag-of-tasks advantages, citing Piranha: worker processes run on
+// workstations only while they are idle; when an owner reclaims a machine
+// the worker RETREATS (here: the host crashes — the harshest retreat), and
+// machines join back in when idle again. FT-Linda makes this safe without
+// any application-level checkpointing: claimed tasks are protected by
+// in-progress markers + failure tuples, and a returning machine receives
+// the stable tuple space by state transfer.
+//
+// The demo runs a bag of tasks while repeatedly "reclaiming" (crashing) and
+// "idling" (recovering) workstations, then verifies every task produced
+// exactly one result.
+#include <cstdio>
+
+#include "ftlinda/system.hpp"
+
+using namespace ftl;
+using namespace ftl::ftlinda;
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+namespace {
+
+constexpr int kHosts = 4;
+constexpr int kTasks = 120;
+
+std::int64_t work(std::int64_t id) {
+  // ~1 ms of "science" per task.
+  const auto until = Clock::now() + Millis{1};
+  std::int64_t acc = id;
+  while (Clock::now() < until) {
+    for (int i = 0; i < 500; ++i) acc = (acc * 1103515245 + 12345) & 0x7fffffff;
+  }
+  return acc % 997;
+}
+
+void piranhaWorker(Runtime& rt) {
+  for (;;) {
+    Reply r = rt.execute(
+        AgsBuilder()
+            .when(guardIn(kTsMain, makePattern("task", fInt())))
+            .then(opOut(kTsMain,
+                        makeTemplate("in_progress", static_cast<int>(rt.host()), bound(0))))
+            .orWhen(guardIn(kTsMain, makePattern("feeding_over")))
+            .then(opOut(kTsMain, makeTemplate("feeding_over")))
+            .build());
+    if (r.branch == 1) return;
+    const std::int64_t id = r.bindings[0].asInt();
+    const std::int64_t value = work(id);
+    rt.execute(AgsBuilder()
+                   .when(guardIn(kTsMain,
+                                 makePattern("in_progress", static_cast<int>(rt.host()), id)))
+                   .then(opOut(kTsMain, makeTemplate("result", id, value)))
+                   .build());
+  }
+}
+
+void monitor(Runtime& rt) {
+  for (;;) {
+    Reply fr = rt.execute(
+        AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build());
+    const std::int64_t dead = fr.bindings[0].asInt();
+    int regen = 0;
+    for (;;) {
+      Reply r = rt.execute(AgsBuilder()
+                               .when(guardInp(kTsMain, makePattern("in_progress", dead, fInt())))
+                               .then(opOut(kTsMain, makeTemplate("task", bound(0))))
+                               .build());
+      if (!r.succeeded) break;
+      ++regen;
+    }
+    std::printf("[monitor] workstation %lld reclaimed; %d task(s) back in the bag\n",
+                static_cast<long long>(dead), regen);
+  }
+}
+
+}  // namespace
+
+int main() {
+  FtLindaSystem sys({.hosts = kHosts, .monitor_main = true});
+  for (int i = 0; i < kTasks; ++i) sys.runtime(0).out(kTsMain, makeTuple("task", i));
+  std::printf("seeded %d tasks across %d workstations\n", kTasks, kHosts);
+
+  sys.spawnProcess(0, monitor);
+  for (net::HostId h = 0; h < kHosts; ++h) sys.spawnProcess(h, piranhaWorker);
+
+  // Owners come and go: churn workstations 2 and 3 while the bag drains.
+  // (Host 0 stays up: it runs the monitor.)
+  int churns = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (net::HostId victim : {3u, 2u}) {
+      std::this_thread::sleep_for(Millis{25});
+      sys.crash(victim);
+      ++churns;
+      std::this_thread::sleep_for(Millis{120});
+      if (sys.recover(victim)) {
+        sys.spawnProcess(victim, piranhaWorker);  // idle again: rejoin the school
+      }
+    }
+  }
+  std::printf("churned workstations %d times while computing\n", churns);
+
+  // Wait for all results, then end the feeding frenzy.
+  auto& rt = sys.runtime(0);
+  for (int i = 0; i < kTasks; ++i) rt.rd(kTsMain, makePattern("result", i, fInt()));
+  rt.out(kTsMain, makeTuple("feeding_over"));
+
+  // Verify exactly-once delivery: one result tuple per task id, no extras.
+  std::size_t results = 0;
+  for (const auto& t : sys.stateMachine(0).spaceContents(kTsMain)) {
+    if (t.field(0).asStr() == "result") ++results;
+  }
+  const bool ok = results == static_cast<std::size_t>(kTasks);
+  std::printf("results: %zu/%d (exactly once: %s)\n", results, kTasks, ok ? "yes" : "NO");
+  std::printf(ok ? "piranha: OK\n" : "piranha: FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,149 @@
+// Interactive FT-Linda shell — poke at a live replicated tuple space.
+//
+//   ./examples/repl
+//
+//   ftl[0]> out ("greeting", "hello", 42)
+//   ftl[0]> host 2
+//   ftl[2]> rdp ("greeting", ?str, ?int)
+//   ("greeting", "hello", 42)
+//   ftl[2]> crash 1
+//   ftl[2]> list
+//   ...
+//
+// Commands: out T | in P | rd P | inp P | rdp P | count P | list |
+//           host N | crash N | recover N | monitor | metrics | help | quit
+// (T is a tuple literal, P a pattern literal — see docs/API.md. `in`/`rd`
+// block until a match arrives, like the real primitives.)
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "ftlinda/system.hpp"
+#include "tuple/parse.hpp"
+
+using namespace ftl;
+using namespace ftl::ftlinda;
+using ts::kTsMain;
+
+namespace {
+
+constexpr int kHosts = 4;
+
+void help() {
+  std::printf(
+      "commands:\n"
+      "  out (\"name\", 1, 2.5)      deposit a tuple\n"
+      "  in  (\"name\", ?int, ?real) withdraw oldest match (BLOCKS)\n"
+      "  rd  (pattern)              read oldest match (BLOCKS)\n"
+      "  inp (pattern)              withdraw, no blocking (strong verdict)\n"
+      "  rdp (pattern)              read, no blocking\n"
+      "  count (pattern)            matching-tuple count\n"
+      "  list                       dump the stable space\n"
+      "  host N                     issue from processor N (0-%d)\n"
+      "  crash N | recover N        fail-silent crash / rejoin with snapshot\n"
+      "  monitor                    deposit (\"failure\", host) tuples on crashes\n"
+      "  metrics                    state-machine op counters\n"
+      "  help | quit\n",
+      kHosts - 1);
+}
+
+}  // namespace
+
+int main() {
+  FtLindaSystem sys({.hosts = kHosts});
+  net::HostId current = 0;
+  std::printf("FT-Linda shell: %d simulated workstations, stable TSmain replicated on all.\n",
+              kHosts);
+  std::printf("type 'help' for commands.\n");
+
+  std::string line;
+  while (true) {
+    std::printf("ftl[%u]> ", current);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream is(line);
+    std::string cmd;
+    is >> cmd;
+    std::string rest;
+    std::getline(is, rest);
+    try {
+      if (cmd.empty()) continue;
+      if (cmd == "quit" || cmd == "exit") break;
+      if (cmd == "help") {
+        help();
+      } else if (cmd == "out") {
+        sys.runtime(current).out(kTsMain, tuple::parseTuple(rest));
+      } else if (cmd == "in" || cmd == "rd") {
+        const auto p = tuple::parsePattern(rest);
+        const Tuple t = (cmd == "in") ? sys.runtime(current).in(kTsMain, p)
+                                      : sys.runtime(current).rd(kTsMain, p);
+        std::printf("%s\n", t.toString().c_str());
+      } else if (cmd == "inp" || cmd == "rdp") {
+        const auto p = tuple::parsePattern(rest);
+        const auto t = (cmd == "inp") ? sys.runtime(current).inp(kTsMain, p)
+                                      : sys.runtime(current).rdp(kTsMain, p);
+        if (t) {
+          std::printf("%s\n", t->toString().c_str());
+        } else {
+          std::printf("no match (guaranteed: none existed at this point of the order)\n");
+        }
+      } else if (cmd == "count") {
+        std::size_t n = 0;
+        const auto p = tuple::parsePattern(rest);
+        for (const auto& t : sys.stateMachine(current).spaceContents(kTsMain)) {
+          if (p.matches(t)) ++n;
+        }
+        std::printf("%zu\n", n);
+      } else if (cmd == "list") {
+        const auto contents = sys.stateMachine(current).spaceContents(kTsMain);
+        for (const auto& t : contents) std::printf("  %s\n", t.toString().c_str());
+        std::printf("(%zu tuple(s))\n", contents.size());
+      } else if (cmd == "host") {
+        const int h = std::stoi(rest);
+        FTL_CHECK(h >= 0 && h < kHosts, "no such host");
+        FTL_CHECK(sys.isUp(static_cast<net::HostId>(h)), "host is crashed");
+        current = static_cast<net::HostId>(h);
+      } else if (cmd == "crash") {
+        const int h = std::stoi(rest);
+        FTL_CHECK(h >= 0 && h < kHosts, "no such host");
+        FTL_CHECK(static_cast<net::HostId>(h) != current, "switch hosts first");
+        sys.crash(static_cast<net::HostId>(h));
+        std::printf("processor %d crashed (fail-silent)\n", h);
+      } else if (cmd == "recover") {
+        const int h = std::stoi(rest);
+        FTL_CHECK(h >= 0 && h < kHosts, "no such host");
+        std::printf(sys.recover(static_cast<net::HostId>(h))
+                        ? "processor %d rejoined with a state snapshot\n"
+                        : "processor %d failed to rejoin\n",
+                    h);
+      } else if (cmd == "monitor") {
+        sys.runtime(current).monitorFailures(kTsMain);
+        std::printf("TSmain registered for failure tuples\n");
+      } else if (cmd == "metrics") {
+        const auto m = sys.stateMachine(current).metrics();
+        std::printf("executed=%llu failed=%llu blocked=%llu woken=%llu errors=%llu\n",
+                    static_cast<unsigned long long>(m.ags_executed),
+                    static_cast<unsigned long long>(m.ags_failed),
+                    static_cast<unsigned long long>(m.ags_blocked),
+                    static_cast<unsigned long long>(m.ags_woken),
+                    static_cast<unsigned long long>(m.ags_errors));
+        std::printf("out=%llu inp=%llu rdp=%llu move=%llu copy=%llu failure_tuples=%llu\n",
+                    static_cast<unsigned long long>(m.ops_out),
+                    static_cast<unsigned long long>(m.ops_inp),
+                    static_cast<unsigned long long>(m.ops_rdp),
+                    static_cast<unsigned long long>(m.ops_move),
+                    static_cast<unsigned long long>(m.ops_copy),
+                    static_cast<unsigned long long>(m.failure_tuples));
+      } else {
+        std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+      }
+    } catch (const ProcessorFailure& e) {
+      std::printf("!! %s\n", e.what());
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  std::printf("bye\n");
+  return 0;
+}

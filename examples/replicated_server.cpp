@@ -1,0 +1,139 @@
+// A fault-tolerant request/reply SERVICE on FT-Linda: replicated bank-
+// account servers coordinating purely through tuple space.
+//
+//   ./examples/replicated_server
+//
+// The service pattern (a staple of the fault-tolerance literature the paper
+// targets): clients deposit ("request", id, op, account, amount) tuples;
+// any of several interchangeable server processes withdraws a request
+// ATOMICALLY with marking it in service, applies it to the account tuples,
+// and deposits ("reply", id, balance) — again in one AGS, so a server crash
+// can never lose a request, apply it twice, or leave an account corrupted.
+// A FailureMonitor returns in-service requests of a dead server host to the
+// request pool. One server host is crashed mid-run; every client request
+// still gets exactly one reply and the books balance exactly.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "ftlinda/failure_monitor.hpp"
+#include "ftlinda/system.hpp"
+
+using namespace ftl;
+using namespace ftl::ftlinda;
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+namespace {
+
+constexpr int kAccounts = 4;
+constexpr int kClients = 2;
+constexpr int kRequestsPerClient = 30;
+constexpr std::int64_t kOpDeposit = 0;
+constexpr std::int64_t kOpWithdraw = 1;
+
+void serverLoop(Runtime& rt) {
+  for (;;) {
+    // Claim a request atomically with an in-service marker.
+    Reply claim = rt.execute(
+        AgsBuilder()
+            .when(guardIn(kTsMain, makePattern("request", fInt(), fInt(), fInt(), fInt())))
+            .then(opOut(kTsMain,
+                        makeTemplate("in_service", static_cast<int>(rt.host()), bound(0),
+                                     bound(1), bound(2), bound(3))))
+            .orWhen(guardIn(kTsMain, makePattern("halt")))
+            .then(opOut(kTsMain, makeTemplate("halt")))
+            .build());
+    if (claim.branch == 1) return;
+    const std::int64_t id = claim.bindings[0].asInt();
+    const std::int64_t op = claim.bindings[1].asInt();
+    const std::int64_t account = claim.bindings[2].asInt();
+    const std::int64_t amount = claim.bindings[3].asInt();
+    // Apply + retire marker + reply: ONE atomic statement. The account
+    // update uses the guard binding, like the distributed variable.
+    const ArithOp arith = (op == kOpDeposit) ? ArithOp::Add : ArithOp::Sub;
+    rt.execute(
+        AgsBuilder()
+            .when(guardIn(kTsMain, makePattern("account", account, fInt())))
+            .then(opInp(kTsMain,
+                        makePatternTemplate("in_service", static_cast<int>(rt.host()), id, op,
+                                            account, amount)))
+            .then(opOut(kTsMain, makeTemplate("account", account, boundExpr(0, arith, amount))))
+            .then(opOut(kTsMain, makeTemplate("reply", id, boundExpr(0, arith, amount))))
+            .build());
+  }
+}
+
+}  // namespace
+
+int main() {
+  FtLindaSystem sys({.hosts = 4, .monitor_main = true});
+  auto& rt0 = sys.runtime(0);
+  for (int a = 0; a < kAccounts; ++a) {
+    rt0.out(kTsMain, makeTuple("account", a, 1000));
+  }
+  std::printf("bank open: %d accounts at balance 1000; servers on hosts 2 and 3\n", kAccounts);
+
+  // Monitor: a dead server's in-service requests go back to the pool.
+  sys.spawnProcess(0, [](Runtime& rt) {
+    FailureMonitor monitor(
+        rt, kTsMain,
+        FailureMonitor::RegenRule{
+            "in_service",
+            {ValueType::Int, ValueType::Int, ValueType::Int, ValueType::Int},
+            "request"});
+    monitor.run();
+  });
+  // Two replicated server processes.
+  sys.spawnProcess(2, serverLoop);
+  sys.spawnProcess(3, serverLoop);
+
+  // Clients: alternating deposit/withdraw of the same amount — net zero.
+  std::atomic<int> replies{0};
+  for (int c = 0; c < kClients; ++c) {
+    sys.spawnProcess(static_cast<net::HostId>(c), [c, &replies](Runtime& rt) {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const int id = c * kRequestsPerClient + i;
+        const std::int64_t op = (i % 2 == 0) ? kOpDeposit : kOpWithdraw;
+        rt.out(kTsMain, makeTuple("request", id, op, id % kAccounts, 50));
+        rt.in(kTsMain, makePattern("reply", id, fInt()));  // await completion
+        replies.fetch_add(1);
+      }
+    });
+  }
+
+  // Crash one of the two server hosts while requests are flowing.
+  std::this_thread::sleep_for(Millis{30});
+  std::printf("crashing server host 3 mid-service...\n");
+  sys.crash(3);
+
+  // Wait for every reply.
+  const auto deadline = Clock::now() + Millis{30'000};
+  while (replies.load() < kClients * kRequestsPerClient && Clock::now() < deadline) {
+    std::this_thread::sleep_for(Millis{5});
+  }
+  std::printf("replies received: %d/%d\n", replies.load(), kClients * kRequestsPerClient);
+  rt0.out(kTsMain, makeTuple("halt"));
+
+  // Audit: every client issued equal counts of +50 deposits and -50
+  // withdrawals, so the TOTAL money in the bank must close exactly where it
+  // opened — any lost or doubled request application would break the books.
+  bool ok = replies.load() == kClients * kRequestsPerClient;
+  std::int64_t total = 0;
+  for (int a = 0; a < kAccounts; ++a) {
+    const Tuple t = rt0.rd(kTsMain, makePattern("account", a, fInt()));
+    total += t.field(2).asInt();
+  }
+  const std::int64_t expected = static_cast<std::int64_t>(kAccounts) * 1000;
+  if (total != expected) {
+    std::printf("books off by %lld — lost or doubled update!\n",
+                static_cast<long long>(total - expected));
+    ok = false;
+  }
+  std::printf("audit: total %lld == expected %lld: %s\n", static_cast<long long>(total),
+              static_cast<long long>(expected), total == expected ? "yes" : "NO");
+  std::printf(ok ? "replicated-server: OK\n" : "replicated-server: FAILED\n");
+  return ok ? 0 : 1;
+}

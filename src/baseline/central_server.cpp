@@ -1,0 +1,235 @@
+#include "baseline/central_server.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace ftl::baseline {
+
+namespace {
+
+constexpr std::uint16_t kReqType = 10;
+constexpr std::uint16_t kRepType = 11;
+constexpr Micros kTick{5'000};
+
+Bytes encodeRequest(std::uint64_t rid, LindaOp op, const Pattern* p, const Tuple* t) {
+  Writer w;
+  w.u64(rid);
+  w.u8(static_cast<std::uint8_t>(op));
+  if (op == LindaOp::Out) {
+    t->encode(w);
+  } else {
+    p->encode(w);
+  }
+  return w.take();
+}
+
+Bytes encodeReply(std::uint64_t rid, bool found, const std::optional<Tuple>& t) {
+  Writer w;
+  w.u64(rid);
+  w.boolean(found);
+  w.boolean(t.has_value());
+  if (t) t->encode(w);
+  return w.take();
+}
+
+}  // namespace
+
+CentralServer::CentralServer(net::Network& net, net::HostId host)
+    : net_(net), ep_(net.endpoint(host)), host_(host) {}
+
+CentralServer::~CentralServer() {
+  stop();
+  if (service_.joinable()) service_.join();
+}
+
+void CentralServer::start() {
+  service_ = std::thread([this] { serviceLoop(); });
+}
+
+void CentralServer::stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stop_requested_ = true;
+}
+
+std::size_t CentralServer::tupleCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return space_.size();
+}
+
+std::size_t CentralServer::blockedCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocked_.size();
+}
+
+void CentralServer::serviceLoop() {
+  while (true) {
+    auto m = ep_.recvFor(kTick);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_requested_) return;
+    if (!m) {
+      if (net_.isCrashed(host_)) return;  // crashed: tuple space is GONE
+      continue;
+    }
+    handle(*m);
+  }
+}
+
+void CentralServer::reply(net::HostId client, std::uint64_t rid, bool found,
+                          const std::optional<Tuple>& t) {
+  ep_.send(client, kRepType, encodeReply(rid, found, t));
+}
+
+void CentralServer::handle(const net::Message& m) {
+  Reader r(m.payload);
+  const std::uint64_t rid = r.u64();
+  const auto op = static_cast<LindaOp>(r.u8());
+  switch (op) {
+    case LindaOp::Out: {
+      space_.put(Tuple::decode(r));
+      reply(m.src, rid, true, std::nullopt);  // ack (ignored by async clients)
+      retryBlocked();
+      break;
+    }
+    case LindaOp::In:
+    case LindaOp::Rd: {
+      Pattern p = Pattern::decode(r);
+      auto t = (op == LindaOp::In) ? space_.take(p) : space_.read(p);
+      if (t) {
+        reply(m.src, rid, true, t);
+      } else {
+        blocked_.push_back(BlockedReq{m.src, rid, op, std::move(p)});
+      }
+      break;
+    }
+    case LindaOp::Inp:
+    case LindaOp::Rdp: {
+      Pattern p = Pattern::decode(r);
+      auto t = (op == LindaOp::Inp) ? space_.take(p) : space_.read(p);
+      reply(m.src, rid, t.has_value(), t);
+      break;
+    }
+  }
+}
+
+void CentralServer::retryBlocked() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = blocked_.begin(); it != blocked_.end();) {
+      auto t = (it->op == LindaOp::In) ? space_.take(it->pattern) : space_.read(it->pattern);
+      if (t) {
+        reply(it->client, it->request_id, true, t);
+        it = blocked_.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+CentralClient::CentralClient(net::Network& net, net::HostId host, net::HostId server,
+                             bool sync_out)
+    : net_(net), ep_(net.endpoint(host)), host_(host), server_(server), sync_out_(sync_out) {}
+
+CentralClient::~CentralClient() {
+  stop();
+  if (recv_.joinable()) recv_.join();
+}
+
+void CentralClient::start() {
+  recv_ = std::thread([this] { recvLoop(); });
+}
+
+void CentralClient::stop() {
+  stop_requested_.store(true);
+}
+
+void CentralClient::recvLoop() {
+  while (!stop_requested_.load()) {
+    auto m = ep_.recvFor(kTick);
+    if (!m) {
+      if (net_.isCrashed(host_)) return;
+      continue;
+    }
+    if (m->type != kRepType) continue;
+    Reader r(m->payload);
+    const std::uint64_t rid = r.u64();
+    const bool found = r.boolean();
+    const bool has_tuple = r.boolean();
+    std::optional<Tuple> t;
+    if (has_tuple) t = Tuple::decode(r);
+    std::shared_ptr<Slot> slot;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      auto it = pending_.find(rid);
+      if (it == pending_.end()) continue;
+      slot = it->second;
+      pending_.erase(it);
+    }
+    {
+      std::lock_guard<std::mutex> lock(slot->m);
+      slot->done = true;
+      slot->found = found;
+      slot->tuple = std::move(t);
+    }
+    slot->cv.notify_all();
+  }
+}
+
+std::optional<Tuple> CentralClient::request(LindaOp op, const Pattern* p, const Tuple* t,
+                                            bool expect_reply) {
+  const std::uint64_t rid = next_rid_.fetch_add(1);
+  std::shared_ptr<Slot> slot;
+  if (expect_reply) {
+    slot = std::make_shared<Slot>();
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.emplace(rid, slot);
+  }
+  ep_.send(server_, kReqType, encodeRequest(rid, op, p, t));
+  if (!expect_reply) return std::nullopt;
+  std::unique_lock<std::mutex> lock(slot->m);
+  const bool blocking_op = (op == LindaOp::In || op == LindaOp::Rd);
+  for (;;) {
+    if (slot->cv.wait_for(lock, Millis{20}, [&] { return slot->done; })) break;
+    if (stop_requested_.load()) throw Error("client stopped while waiting");
+    if (net_.isCrashed(host_)) throw Error("client host crashed");
+    if (net_.isCrashed(server_)) {
+      server_lost_.store(true);
+      throw Error("central tuple-space server lost");
+    }
+    if (!blocking_op) {
+      // inp/rdp should answer promptly; a long silence means lost traffic.
+      // (Simulated links are reliable unless configured otherwise.)
+      continue;
+    }
+  }
+  if (!slot->found) return std::nullopt;
+  return slot->tuple;
+}
+
+void CentralClient::out(Tuple t) {
+  request(LindaOp::Out, nullptr, &t, /*expect_reply=*/sync_out_);
+}
+
+Tuple CentralClient::in(Pattern p) {
+  auto t = request(LindaOp::In, &p, nullptr, true);
+  FTL_ENSURE(t.has_value(), "server answered in() without a tuple");
+  return std::move(*t);
+}
+
+Tuple CentralClient::rd(Pattern p) {
+  auto t = request(LindaOp::Rd, &p, nullptr, true);
+  FTL_ENSURE(t.has_value(), "server answered rd() without a tuple");
+  return std::move(*t);
+}
+
+std::optional<Tuple> CentralClient::inp(Pattern p) {
+  return request(LindaOp::Inp, &p, nullptr, true);
+}
+
+std::optional<Tuple> CentralClient::rdp(Pattern p) {
+  return request(LindaOp::Rdp, &p, nullptr, true);
+}
+
+}  // namespace ftl::baseline

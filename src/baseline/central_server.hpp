@@ -1,0 +1,129 @@
+// Baseline 1: classic central-server Linda — the conventional network Linda
+// kernel the paper contrasts with (no replication, no failure handling).
+//
+// One host runs the tuple-space server; clients on other hosts send
+// out/in/rd/inp/rdp requests over the simulated network. Two properties make
+// it the foil for FT-Linda's evaluation:
+//  - a server crash loses the entire tuple space (E5: tasks vanish);
+//  - `out` is asynchronous by default, as in real Linda kernels — a
+//    subsequent inp elsewhere may miss a tuple that was already out()'d
+//    (weak inp semantics, E7). Synchronous mode is available for the
+//    latency comparisons.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "net/network.hpp"
+#include "ts/tuple_space.hpp"
+
+namespace ftl::baseline {
+
+using ts::TupleSpace;
+using tuple::Pattern;
+using tuple::Tuple;
+
+enum class LindaOp : std::uint8_t { Out = 0, In = 1, Rd = 2, Inp = 3, Rdp = 4 };
+
+/// The tuple-space server. Runs a service thread on its host until the host
+/// crashes or stop() is called.
+class CentralServer {
+ public:
+  CentralServer(net::Network& net, net::HostId host);
+  ~CentralServer();
+
+  CentralServer(const CentralServer&) = delete;
+  CentralServer& operator=(const CentralServer&) = delete;
+
+  void start();
+  void stop();
+
+  net::HostId host() const { return host_; }
+
+  /// Introspection for tests/benches.
+  std::size_t tupleCount() const;
+  std::size_t blockedCount() const;
+
+ private:
+  struct BlockedReq {
+    net::HostId client;
+    std::uint64_t request_id;
+    LindaOp op;  // In or Rd
+    Pattern pattern;
+  };
+
+  void serviceLoop();
+  void handle(const net::Message& m);
+  void reply(net::HostId client, std::uint64_t rid, bool found,
+             const std::optional<Tuple>& t);
+  void retryBlocked();
+
+  net::Network& net_;
+  net::Endpoint ep_;
+  const net::HostId host_;
+
+  mutable std::mutex mutex_;
+  bool stop_requested_ = false;
+  TupleSpace space_;
+  std::deque<BlockedReq> blocked_;
+  std::thread service_;
+};
+
+/// Client library bound to one host.
+class CentralClient {
+ public:
+  /// `sync_out=false` reproduces the conventional asynchronous out.
+  CentralClient(net::Network& net, net::HostId host, net::HostId server, bool sync_out = false);
+  ~CentralClient();
+
+  CentralClient(const CentralClient&) = delete;
+  CentralClient& operator=(const CentralClient&) = delete;
+
+  void start();
+  void stop();
+
+  void out(Tuple t);
+  Tuple in(Pattern p);
+  Tuple rd(Pattern p);
+  std::optional<Tuple> inp(Pattern p);
+  std::optional<Tuple> rdp(Pattern p);
+
+  /// True once the server stopped answering (crashed): calls fail fast.
+  bool serverLost() const { return server_lost_.load(); }
+  /// Give up waiting for replies after this long (server crash detection).
+  void setTimeout(Micros t) { timeout_ = t; }
+
+ private:
+  struct Slot {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    bool found = false;
+    std::optional<Tuple> tuple;
+  };
+
+  std::optional<Tuple> request(LindaOp op, const Pattern* p, const Tuple* t, bool expect_reply);
+  void recvLoop();
+
+  net::Network& net_;
+  net::Endpoint ep_;
+  const net::HostId host_;
+  const net::HostId server_;
+  const bool sync_out_;
+  Micros timeout_{2'000'000};
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> server_lost_{false};
+  std::atomic<std::uint64_t> next_rid_{1};
+  std::mutex pending_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Slot>> pending_;
+  std::thread recv_;
+};
+
+}  // namespace ftl::baseline

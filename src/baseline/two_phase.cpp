@@ -1,0 +1,220 @@
+#include "baseline/two_phase.hpp"
+
+#include "common/assert.hpp"
+
+namespace ftl::baseline {
+
+namespace {
+
+// Message types (client -> replica and replica -> client).
+constexpr std::uint16_t kLockReq = 20;
+constexpr std::uint16_t kLockGrant = 21;
+constexpr std::uint16_t kPrepare = 22;
+constexpr std::uint16_t kVote = 23;
+constexpr std::uint16_t kCommit = 24;   // payload carries apply flag
+constexpr std::uint16_t kAck = 25;
+constexpr Micros kTick{5'000};
+
+Bytes withTxid(std::uint64_t txid, const Bytes& rest = {}) {
+  Writer w;
+  w.u64(txid);
+  w.raw(rest);
+  return w.take();
+}
+
+}  // namespace
+
+Bytes UpdateSpec::encode() const {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(takes.size()));
+  for (const auto& p : takes) p.encode(w);
+  w.u16(static_cast<std::uint16_t>(puts.size()));
+  for (const auto& t : puts) t.encode(w);
+  return w.take();
+}
+
+UpdateSpec UpdateSpec::decode(const Bytes& b) {
+  Reader r(b);
+  UpdateSpec s;
+  const std::uint16_t nt = r.u16();
+  for (std::uint16_t i = 0; i < nt; ++i) s.takes.push_back(Pattern::decode(r));
+  const std::uint16_t np = r.u16();
+  for (std::uint16_t i = 0; i < np; ++i) s.puts.push_back(Tuple::decode(r));
+  return s;
+}
+
+TwoPcReplica::TwoPcReplica(net::Network& net, net::HostId host)
+    : net_(net), ep_(net.endpoint(host)), host_(host) {}
+
+TwoPcReplica::~TwoPcReplica() {
+  stop();
+  if (service_.joinable()) service_.join();
+}
+
+void TwoPcReplica::start() {
+  service_ = std::thread([this] { serviceLoop(); });
+}
+
+void TwoPcReplica::stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stop_requested_ = true;
+}
+
+std::size_t TwoPcReplica::tupleCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return space_.size();
+}
+
+void TwoPcReplica::seed(Tuple t) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  space_.put(std::move(t));
+}
+
+void TwoPcReplica::serviceLoop() {
+  while (true) {
+    auto m = ep_.recvFor(kTick);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_requested_) return;
+    if (!m) {
+      if (net_.isCrashed(host_)) return;
+      continue;
+    }
+    handle(*m);
+  }
+}
+
+void TwoPcReplica::grantNext() {
+  if (lock_holder_ || lock_waiters_.empty()) return;
+  auto [txid, client] = lock_waiters_.front();
+  lock_waiters_.pop_front();
+  lock_holder_ = txid;
+  lock_client_ = client;
+  ep_.send(client, kLockGrant, withTxid(txid));
+}
+
+void TwoPcReplica::handle(const net::Message& m) {
+  Reader r(m.payload);
+  const std::uint64_t txid = r.u64();
+  switch (m.type) {
+    case kLockReq: {
+      lock_waiters_.emplace_back(txid, m.src);
+      grantNext();
+      break;
+    }
+    case kPrepare: {
+      FTL_CHECK(lock_holder_ == txid, "prepare without lock");
+      UpdateSpec spec = UpdateSpec::decode(Bytes(m.payload.begin() + 8, m.payload.end()));
+      // Vote yes iff every take has a match (checked non-destructively:
+      // distinct patterns are assumed to match distinct tuples here, which
+      // holds for the bench/test workloads).
+      bool ok = true;
+      for (const auto& p : spec.takes) {
+        if (!space_.read(p)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) prepared_[txid] = std::move(spec);
+      Writer w;
+      w.u64(txid);
+      w.boolean(ok);
+      ep_.send(m.src, kVote, w.take());
+      break;
+    }
+    case kCommit: {
+      const bool apply = r.boolean();
+      auto it = prepared_.find(txid);
+      if (apply && it != prepared_.end()) {
+        for (const auto& p : it->second.takes) space_.take(p);
+        for (const auto& t : it->second.puts) space_.put(t);
+      }
+      if (it != prepared_.end()) prepared_.erase(it);
+      if (lock_holder_ == txid) {
+        lock_holder_.reset();
+        lock_client_ = net::kNoHost;
+      }
+      ep_.send(m.src, kAck, withTxid(txid));
+      grantNext();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+TwoPcClient::TwoPcClient(net::Network& net, net::HostId host, std::vector<net::HostId> replicas)
+    : net_(net),
+      ep_(net.endpoint(host)),
+      host_(host),
+      replicas_(std::move(replicas)),
+      // Disjoint txid ranges per client host.
+      next_txid_(static_cast<std::uint64_t>(host) << 32 | 1) {}
+
+TwoPcClient::~TwoPcClient() {
+  stop();
+  if (recv_.joinable()) recv_.join();
+}
+
+void TwoPcClient::start() {
+  recv_ = std::thread([this] { recvLoop(); });
+}
+
+void TwoPcClient::stop() {
+  stop_requested_.store(true);
+  cv_.notify_all();
+}
+
+void TwoPcClient::recvLoop() {
+  while (!stop_requested_.load()) {
+    auto m = ep_.recvFor(kTick);
+    if (!m) {
+      if (net_.isCrashed(host_)) return;
+      continue;
+    }
+    Reader r(m->payload);
+    const std::uint64_t txid = r.u64();
+    bool ok = true;
+    if (m->type == kVote) ok = r.boolean();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (round_ && round_->txid == txid && round_->expect == m->type) {
+        round_->replies += 1;
+        round_->all_ok = round_->all_ok && ok;
+      }
+    }
+    cv_.notify_all();
+  }
+}
+
+bool TwoPcClient::roundTrip(std::uint16_t type, std::uint16_t expect, std::uint64_t txid,
+                            const Bytes& payload) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    round_ = Round{txid, expect, 0, true};
+  }
+  for (net::HostId r : replicas_) ep_.send(r, type, payload);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] {
+    return stop_requested_.load() || (round_ && round_->replies == replicas_.size());
+  });
+  FTL_CHECK(!stop_requested_.load(), "2PC client stopped mid-transaction");
+  const bool ok = round_->all_ok;
+  round_.reset();
+  return ok;
+}
+
+bool TwoPcClient::atomicUpdate(const UpdateSpec& spec) {
+  const std::uint64_t txid = next_txid_.fetch_add(1);
+  // Round 1: acquire the global lock at every replica.
+  roundTrip(kLockReq, kLockGrant, txid, withTxid(txid));
+  // Round 2: prepare + vote.
+  const bool ok = roundTrip(kPrepare, kVote, txid, withTxid(txid, spec.encode()));
+  // Round 3: commit (or abort) + ack; releases the lock.
+  Writer w;
+  w.u64(txid);
+  w.boolean(ok);
+  roundTrip(kCommit, kAck, txid, w.take());
+  return ok;
+}
+
+}  // namespace ftl::baseline

@@ -1,0 +1,121 @@
+// Baseline 2: lock + two-phase-commit replicated tuple space, in the style
+// of the replicated-Linda designs the paper contrasts with (Xu/Liskov [41]
+// and relatives): tuples are replicated on every host, and an atomic update
+// (withdraw + deposit) locks the replicas, prepares, votes, and commits —
+// multiple rounds of messages per update, versus FT-Linda's single atomic
+// multicast per AGS. The E4 ablation measures exactly this difference.
+//
+// The protocol here is deliberately the LIGHTEST defensible variant (one
+// global lock, combined lock+grant, prepare/vote, commit/ack = 6n one-way
+// messages per update), so the comparison is conservative.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "net/network.hpp"
+#include "ts/tuple_space.hpp"
+
+namespace ftl::baseline {
+
+using ts::TupleSpace;
+using tuple::Pattern;
+using tuple::Tuple;
+
+/// One atomic replicated update: withdraw every `takes` match-first tuple,
+/// then deposit every `puts` tuple. Aborts (voted down) if any take misses.
+struct UpdateSpec {
+  std::vector<Pattern> takes;
+  std::vector<Tuple> puts;
+
+  Bytes encode() const;
+  static UpdateSpec decode(const Bytes& b);
+};
+
+/// A replica server holding one copy of the tuple space plus the lock.
+class TwoPcReplica {
+ public:
+  TwoPcReplica(net::Network& net, net::HostId host);
+  ~TwoPcReplica();
+
+  TwoPcReplica(const TwoPcReplica&) = delete;
+  TwoPcReplica& operator=(const TwoPcReplica&) = delete;
+
+  void start();
+  void stop();
+
+  std::size_t tupleCount() const;
+  /// Direct local seed (bench setup only; not part of the protocol).
+  void seed(Tuple t);
+
+ private:
+  void serviceLoop();
+  void handle(const net::Message& m);
+  void grantNext();
+
+  net::Network& net_;
+  net::Endpoint ep_;
+  const net::HostId host_;
+
+  mutable std::mutex mutex_;
+  bool stop_requested_ = false;
+  TupleSpace space_;
+  std::optional<std::uint64_t> lock_holder_;      // txid
+  net::HostId lock_client_ = net::kNoHost;
+  std::deque<std::pair<std::uint64_t, net::HostId>> lock_waiters_;
+  std::map<std::uint64_t, UpdateSpec> prepared_;  // txid -> staged spec
+  std::thread service_;
+};
+
+/// Client driving the lock/2PC protocol against a fixed replica set.
+class TwoPcClient {
+ public:
+  TwoPcClient(net::Network& net, net::HostId host, std::vector<net::HostId> replicas);
+  ~TwoPcClient();
+
+  TwoPcClient(const TwoPcClient&) = delete;
+  TwoPcClient& operator=(const TwoPcClient&) = delete;
+
+  void start();
+  void stop();
+
+  /// Run one atomic update across all replicas. Returns true if committed
+  /// (every replica's takes matched), false if aborted.
+  bool atomicUpdate(const UpdateSpec& spec);
+
+ private:
+  enum class Phase : std::uint8_t;
+  /// Send `type` to all replicas and wait for one reply of `expect` each.
+  /// Returns the AND of the boolean flags in the replies.
+  bool roundTrip(std::uint16_t type, std::uint16_t expect, std::uint64_t txid,
+                 const Bytes& payload);
+  void recvLoop();
+
+  net::Network& net_;
+  net::Endpoint ep_;
+  const net::HostId host_;
+  const std::vector<net::HostId> replicas_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> next_txid_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  struct Round {
+    std::uint64_t txid = 0;
+    std::uint16_t expect = 0;
+    std::size_t replies = 0;
+    bool all_ok = true;
+  };
+  std::optional<Round> round_;
+  std::thread recv_;
+};
+
+}  // namespace ftl::baseline

@@ -1,0 +1,69 @@
+// Lightweight contract-checking macros used throughout FT-Linda.
+//
+// FTL_REQUIRE  -- precondition on a public API; violation is a caller bug.
+// FTL_ENSURE   -- postcondition / internal invariant; violation is our bug.
+// FTL_CHECK    -- runtime condition that can legitimately fail (I/O, config);
+//                 throws ftl::Error with the supplied message.
+//
+// All three are always on: this library coordinates replicated state, and a
+// silently-corrupted replica is far worse than an exception.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ftl {
+
+/// Base exception for all errors raised by the FT-Linda libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised by FTL_REQUIRE / FTL_ENSURE on contract violations.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contractFail(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+[[noreturn]] inline void checkFail(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace ftl
+
+#define FTL_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ftl::detail::contractFail("precondition", #cond, __FILE__, __LINE__, \
+                                  (msg));                                   \
+  } while (0)
+
+#define FTL_ENSURE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ftl::detail::contractFail("invariant", #cond, __FILE__, __LINE__,  \
+                                  (msg));                                  \
+  } while (0)
+
+#define FTL_CHECK(cond, msg)                                           \
+  do {                                                                 \
+    if (!(cond)) ::ftl::detail::checkFail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

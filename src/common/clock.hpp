@@ -1,0 +1,26 @@
+// Small time helpers shared by the network simulator and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ftl {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Duration = Clock::duration;
+using Micros = std::chrono::microseconds;
+using Millis = std::chrono::milliseconds;
+
+/// Monotonic now() in nanoseconds since an arbitrary epoch.
+inline std::int64_t nowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Elapsed microseconds between two steady_clock points, as double.
+inline double elapsedUs(TimePoint start, TimePoint end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+}  // namespace ftl

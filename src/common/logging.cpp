@@ -1,0 +1,40 @@
+#include "common/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace ftl::log {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_sink_mutex;
+
+const char* levelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void setLevel(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+LogLevel level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void write(LogLevel lvl, const std::string& tag, const std::string& message) {
+  using namespace std::chrono;
+  const auto now = duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count();
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%12lld] %s [%s] %s\n", static_cast<long long>(now), levelName(lvl),
+               tag.c_str(), message.c_str());
+}
+
+}  // namespace ftl::log

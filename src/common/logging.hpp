@@ -1,0 +1,48 @@
+// Minimal thread-safe leveled logger.
+//
+// The simulated network, Consul protocol, and TS state machines all log
+// through this sink so protocol traces from concurrent "processors"
+// interleave line-atomically. Logging defaults to Warn so tests stay quiet;
+// benches and examples raise it when tracing is useful.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace ftl {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+namespace log {
+
+/// Set the global log threshold; messages below it are discarded.
+void setLevel(LogLevel level);
+
+/// Current global threshold.
+LogLevel level();
+
+/// Emit one line (already formatted) at `level`, tagged with `tag`.
+/// Line-atomic across threads.
+void write(LogLevel level, const std::string& tag, const std::string& message);
+
+/// True if a message at `l` would be emitted (use to skip formatting work).
+inline bool enabled(LogLevel l) { return static_cast<int>(l) >= static_cast<int>(level()); }
+
+}  // namespace log
+}  // namespace ftl
+
+#define FTL_LOG(lvl, tag, expr)                                   \
+  do {                                                            \
+    if (::ftl::log::enabled(lvl)) {                               \
+      std::ostringstream _ftl_os;                                 \
+      _ftl_os << expr;                                            \
+      ::ftl::log::write(lvl, (tag), _ftl_os.str());               \
+    }                                                             \
+  } while (0)
+
+#define FTL_TRACE(tag, expr) FTL_LOG(::ftl::LogLevel::Trace, tag, expr)
+#define FTL_DEBUG(tag, expr) FTL_LOG(::ftl::LogLevel::Debug, tag, expr)
+#define FTL_INFO(tag, expr) FTL_LOG(::ftl::LogLevel::Info, tag, expr)
+#define FTL_WARN(tag, expr) FTL_LOG(::ftl::LogLevel::Warn, tag, expr)
+#define FTL_ERROR(tag, expr) FTL_LOG(::ftl::LogLevel::Error, tag, expr)

@@ -1,0 +1,118 @@
+// Closable blocking queues used for inter-thread message passing.
+//
+// Every "processor" in the simulated network is a set of threads that talk
+// through these queues (CP.mess: prefer message passing to shared mutable
+// state). A queue can be closed, which wakes all blocked consumers; pops
+// then drain remaining elements and finally report closure. This is how
+// crash injection unblocks a processor's service threads promptly.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ftl {
+
+/// Unbounded multi-producer/multi-consumer blocking queue.
+///
+/// Semantics:
+///  - push() after close() is a no-op returning false (messages to a dead
+///    endpoint vanish, matching fail-silent crash semantics).
+///  - pop() blocks until an element is available or the queue is closed AND
+///    drained; returns std::nullopt only in the latter case.
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Enqueue an element. Returns false (dropping the element) if closed.
+  bool push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue. std::nullopt means closed-and-drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Dequeue with a timeout. std::nullopt on timeout or closed-and-drained;
+  /// use closed() to distinguish when it matters.
+  template <typename Rep, typename Period>
+  std::optional<T> popFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Non-blocking dequeue.
+  std::optional<T> tryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Close the queue: wakes all blocked consumers; subsequent pushes drop.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Reopen a closed queue (crash recovery reuses the endpoint's inbox).
+  void reopen() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = false;
+  }
+
+  /// Discard all queued elements without closing.
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    items_.clear();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ftl

@@ -1,0 +1,74 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ftl {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void LatencySamples::ensureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double LatencySamples::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencySamples::min() const {
+  ensureSorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double LatencySamples::max() const {
+  ensureSorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double LatencySamples::percentile(double p) const {
+  FTL_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  if (samples_.empty()) return 0.0;
+  ensureSorted();
+  const auto n = samples_.size();
+  // Nearest-rank: ceil(p/100 * n), 1-based.
+  std::size_t rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return samples_[rank - 1];
+}
+
+std::string LatencySamples::summary() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << mean() << " p50=" << percentile(50)
+     << " p95=" << percentile(95) << " p99=" << percentile(99) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace ftl

@@ -1,0 +1,81 @@
+// Statistics helpers for the benchmark harnesses.
+//
+// OnlineStats gives streaming mean/variance (Welford); LatencySamples keeps
+// raw samples for exact percentiles, which the per-experiment tables in
+// EXPERIMENTS.md report.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftl {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Raw-sample recorder with exact percentiles. Samples are whatever unit the
+/// caller uses (the benches use microseconds).
+class LatencySamples {
+ public:
+  void add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Exact percentile by nearest-rank on the sorted samples; p in [0,100].
+  double percentile(double p) const;
+
+  /// "mean=… p50=… p95=… p99=… max=…" one-line summary.
+  std::string summary() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensureSorted() const;
+};
+
+/// Scope timer: measures wall time and records it into a LatencySamples in
+/// microseconds on destruction.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(LatencySamples& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimerUs() {
+    const auto dt = std::chrono::steady_clock::now() - start_;
+    sink_.add(std::chrono::duration<double, std::micro>(dt).count());
+  }
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  LatencySamples& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ftl

@@ -1,0 +1,45 @@
+// Synchronized<T>: a mutex defined together with the data it guards
+// (C++ Core Guidelines CP.50). Access is only possible through withLock(),
+// so forgetting the lock is a compile error rather than a data race.
+#pragma once
+
+#include <mutex>
+#include <utility>
+
+namespace ftl {
+
+template <typename T>
+class Synchronized {
+ public:
+  Synchronized() = default;
+  explicit Synchronized(T initial) : value_(std::move(initial)) {}
+
+  Synchronized(const Synchronized&) = delete;
+  Synchronized& operator=(const Synchronized&) = delete;
+
+  /// Run `fn(T&)` while holding the lock; returns fn's result.
+  template <typename Fn>
+  auto withLock(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::forward<Fn>(fn)(value_);
+  }
+
+  /// Run `fn(const T&)` while holding the lock; returns fn's result.
+  template <typename Fn>
+  auto withLock(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::forward<Fn>(fn)(value_);
+  }
+
+  /// Copy the guarded value out under the lock.
+  T copy() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  T value_{};
+};
+
+}  // namespace ftl

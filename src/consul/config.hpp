@@ -1,0 +1,37 @@
+// Tunables for the Consul-like group communication substrate.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+
+namespace ftl::consul {
+
+struct ConsulConfig {
+  /// Period between heartbeats to every other group member.
+  Micros heartbeat_interval{20'000};
+  /// Silence longer than this marks a member as suspected-failed and
+  /// triggers a view change.
+  ///
+  /// DEPLOYMENT RULE: the protocol assumes fail-silent crashes (the paper's
+  /// model), not partitions — diverged views are never merged. On a lossy
+  /// network this timeout must span enough heartbeat periods that false
+  /// suspicion is negligible (probability ~ p^k for loss rate p and k
+  /// heartbeats per window); a heartbeat from a suspect cancels the
+  /// suspicion, but only until a view change completes.
+  Micros failure_timeout{120'000};
+  /// How often the protocol timer loop runs (recv timeout granularity).
+  Micros tick{5'000};
+  /// An origin retransmits a request to the sequencer if it has not seen it
+  /// delivered within this period (covers lost requests and dead sequencers).
+  Micros request_retransmit{60'000};
+  /// A member with a sequence gap nacks the sequencer after this period.
+  Micros nack_timeout{15'000};
+  /// Period between Ack (stability) reports to the sequencer.
+  Micros ack_interval{25'000};
+  /// A coordinator aborts and restarts a view change that has not completed
+  /// within this period (e.g. another member died mid-change).
+  Micros view_change_timeout{250'000};
+};
+
+}  // namespace ftl::consul

@@ -1,0 +1,220 @@
+#include "consul/messages.hpp"
+
+namespace ftl::consul {
+
+namespace {
+
+void encodeHosts(Writer& w, const std::vector<HostId>& hosts) {
+  w.u32(static_cast<std::uint32_t>(hosts.size()));
+  for (HostId h : hosts) w.u32(h);
+}
+
+std::vector<HostId> decodeHosts(Reader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<HostId> hosts;
+  hosts.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) hosts.push_back(r.u32());
+  return hosts;
+}
+
+void encodeEntries(Writer& w, const std::vector<LogEntry>& entries) {
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) e.encode(w);
+}
+
+std::vector<LogEntry> decodeEntries(Reader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<LogEntry> entries;
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) entries.push_back(LogEntry::decode(r));
+  return entries;
+}
+
+}  // namespace
+
+void LogEntry::encode(Writer& w) const {
+  w.u64(gseq);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(origin);
+  w.u64(origin_seq);
+  w.bytes(payload);
+}
+
+LogEntry LogEntry::decode(Reader& r) {
+  LogEntry e;
+  e.gseq = r.u64();
+  e.kind = static_cast<EntryKind>(r.u8());
+  e.origin = r.u32();
+  e.origin_seq = r.u64();
+  e.payload = r.bytes();
+  return e;
+}
+
+void ViewEvent::encode(Writer& w) const {
+  w.u64(view_id);
+  encodeHosts(w, members);
+  encodeHosts(w, failed);
+  encodeHosts(w, joined);
+}
+
+ViewEvent ViewEvent::decode(Reader& r) {
+  ViewEvent v;
+  v.view_id = r.u64();
+  v.members = decodeHosts(r);
+  v.failed = decodeHosts(r);
+  v.joined = decodeHosts(r);
+  return v;
+}
+
+Bytes HeartbeatMsg::encode() const {
+  Writer w;
+  w.u64(view_id);
+  w.u64(stable);
+  w.u64(last_gseq);
+  return w.take();
+}
+
+HeartbeatMsg HeartbeatMsg::decode(const Bytes& b) {
+  Reader r(b);
+  HeartbeatMsg m;
+  m.view_id = r.u64();
+  m.stable = r.u64();
+  m.last_gseq = r.u64();
+  return m;
+}
+
+Bytes RequestMsg::encode() const {
+  Writer w;
+  w.u64(origin_seq);
+  w.bytes(payload);
+  return w.take();
+}
+
+RequestMsg RequestMsg::decode(const Bytes& b) {
+  Reader r(b);
+  RequestMsg m;
+  m.origin_seq = r.u64();
+  m.payload = r.bytes();
+  return m;
+}
+
+Bytes OrderedMsg::encode() const {
+  Writer w;
+  w.u64(view_id);
+  w.u64(stable);
+  entry.encode(w);
+  return w.take();
+}
+
+OrderedMsg OrderedMsg::decode(const Bytes& b) {
+  Reader r(b);
+  OrderedMsg m;
+  m.view_id = r.u64();
+  m.stable = r.u64();
+  m.entry = LogEntry::decode(r);
+  return m;
+}
+
+Bytes NackMsg::encode() const {
+  Writer w;
+  w.u64(view_id);
+  w.u64(from_gseq);
+  w.u64(to_gseq);
+  return w.take();
+}
+
+NackMsg NackMsg::decode(const Bytes& b) {
+  Reader r(b);
+  NackMsg m;
+  m.view_id = r.u64();
+  m.from_gseq = r.u64();
+  m.to_gseq = r.u64();
+  return m;
+}
+
+Bytes AckMsg::encode() const {
+  Writer w;
+  w.u64(view_id);
+  w.u64(delivered);
+  return w.take();
+}
+
+AckMsg AckMsg::decode(const Bytes& b) {
+  Reader r(b);
+  AckMsg m;
+  m.view_id = r.u64();
+  m.delivered = r.u64();
+  return m;
+}
+
+Bytes ViewProbeMsg::encode() const {
+  Writer w;
+  w.u64(new_view_id);
+  encodeHosts(w, proposed_members);
+  return w.take();
+}
+
+ViewProbeMsg ViewProbeMsg::decode(const Bytes& b) {
+  Reader r(b);
+  ViewProbeMsg m;
+  m.new_view_id = r.u64();
+  m.proposed_members = decodeHosts(r);
+  return m;
+}
+
+Bytes ViewStateMsg::encode() const {
+  Writer w;
+  w.u64(new_view_id);
+  w.u64(delivered);
+  encodeEntries(w, log_entries);
+  return w.take();
+}
+
+ViewStateMsg ViewStateMsg::decode(const Bytes& b) {
+  Reader r(b);
+  ViewStateMsg m;
+  m.new_view_id = r.u64();
+  m.delivered = r.u64();
+  m.log_entries = decodeEntries(r);
+  return m;
+}
+
+Bytes NewViewMsg::encode() const {
+  Writer w;
+  view.encode(w);
+  w.u64(view_gseq);
+  w.u64(entries_from);
+  encodeEntries(w, entries);
+  w.boolean(has_snapshot);
+  w.u64(snapshot_gseq);
+  w.bytes(snapshot);
+  return w.take();
+}
+
+NewViewMsg NewViewMsg::decode(const Bytes& b) {
+  Reader r(b);
+  NewViewMsg m;
+  m.view = ViewEvent::decode(r);
+  m.view_gseq = r.u64();
+  m.entries_from = r.u64();
+  m.entries = decodeEntries(r);
+  m.has_snapshot = r.boolean();
+  m.snapshot_gseq = r.u64();
+  m.snapshot = r.bytes();
+  return m;
+}
+
+Bytes JoinRequestMsg::encode() const {
+  Writer w;
+  w.u64(incarnation);
+  return w.take();
+}
+
+JoinRequestMsg JoinRequestMsg::decode(const Bytes& b) {
+  Reader r(b);
+  JoinRequestMsg m;
+  m.incarnation = r.u64();
+  return m;
+}
+
+}  // namespace ftl::consul

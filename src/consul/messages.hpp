@@ -1,0 +1,150 @@
+// Wire messages of the Consul-like substrate.
+//
+// The protocol is a fixed-sequencer atomic multicast with view-change
+// membership (a standard realization of the replicated state machine
+// approach; see DESIGN.md). Message flow:
+//
+//   origin --Request--> sequencer --Ordered--> every member (total order)
+//   member --Nack--> sequencer (gap detected)        } reliability
+//   member --Ack--> sequencer (stability/log GC)     }
+//   all --Heartbeat--> all (failure detection)
+//   coordinator --ViewProbe--> members --ViewState--> coordinator
+//   coordinator --NewView(+Snapshot for joiners)--> members
+//   recovering host --JoinRequest--> everyone
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "net/message.hpp"
+
+namespace ftl::consul {
+
+using net::HostId;
+
+/// net::Message::type values used by this layer.
+enum class MsgType : std::uint16_t {
+  Heartbeat = 1,
+  Request = 2,
+  Ordered = 3,
+  Nack = 4,
+  Ack = 5,
+  ViewProbe = 6,
+  ViewState = 7,
+  NewView = 8,
+  JoinRequest = 9,
+};
+
+/// What an Ordered slot carries: an application payload or a membership
+/// (view change) event. View events flow through the same total order so
+/// every replica interleaves failures/joins with data identically.
+enum class EntryKind : std::uint8_t { Data = 0, View = 1 };
+
+/// One slot of the totally ordered log.
+struct LogEntry {
+  std::uint64_t gseq = 0;
+  EntryKind kind = EntryKind::Data;
+  HostId origin = net::kNoHost;
+  std::uint64_t origin_seq = 0;  // per-origin dedup key (Data only)
+  Bytes payload;                 // app bytes (Data) or encoded ViewEvent (View)
+
+  void encode(Writer& w) const;
+  static LogEntry decode(Reader& r);
+};
+
+/// Payload of a View log entry.
+struct ViewEvent {
+  std::uint64_t view_id = 0;
+  std::vector<HostId> members;  // sorted
+  std::vector<HostId> failed;   // members removed relative to previous view
+  std::vector<HostId> joined;   // members added relative to previous view
+
+  void encode(Writer& w) const;
+  static ViewEvent decode(Reader& r);
+};
+
+struct HeartbeatMsg {
+  std::uint64_t view_id = 0;
+  std::uint64_t stable = 0;     // sequencer piggybacks stability; others send 0
+  std::uint64_t last_gseq = 0;  // sequencer's highest assigned gseq, so members
+                                // detect trailing loss with no later traffic
+
+  Bytes encode() const;
+  static HeartbeatMsg decode(const Bytes& b);
+};
+
+struct RequestMsg {
+  std::uint64_t origin_seq = 0;
+  Bytes payload;
+
+  Bytes encode() const;
+  static RequestMsg decode(const Bytes& b);
+};
+
+struct OrderedMsg {
+  std::uint64_t view_id = 0;
+  std::uint64_t stable = 0;  // piggybacked stability for log GC
+  LogEntry entry;
+
+  Bytes encode() const;
+  static OrderedMsg decode(const Bytes& b);
+};
+
+struct NackMsg {
+  std::uint64_t view_id = 0;
+  std::uint64_t from_gseq = 0;  // inclusive
+  std::uint64_t to_gseq = 0;    // inclusive
+
+  Bytes encode() const;
+  static NackMsg decode(const Bytes& b);
+};
+
+struct AckMsg {
+  std::uint64_t view_id = 0;
+  std::uint64_t delivered = 0;  // highest contiguously delivered gseq
+
+  Bytes encode() const;
+  static AckMsg decode(const Bytes& b);
+};
+
+struct ViewProbeMsg {
+  std::uint64_t new_view_id = 0;
+  std::vector<HostId> proposed_members;
+
+  Bytes encode() const;
+  static ViewProbeMsg decode(const Bytes& b);
+};
+
+struct ViewStateMsg {
+  std::uint64_t new_view_id = 0;
+  std::uint64_t delivered = 0;        // responder's highest contiguous gseq
+  std::vector<LogEntry> log_entries;  // everything in responder's log
+
+  Bytes encode() const;
+  static ViewStateMsg decode(const Bytes& b);
+};
+
+/// Installs a view. For an up-to-date member, `entries` fills its gaps.
+/// For a joining member, `snapshot` (plus `snapshot_gseq`) replaces history.
+struct NewViewMsg {
+  ViewEvent view;
+  std::uint64_t view_gseq = 0;        // gseq assigned to the view event itself
+  std::uint64_t entries_from = 0;     // entries cover (entries_from, view_gseq)
+  std::vector<LogEntry> entries;
+  bool has_snapshot = false;
+  std::uint64_t snapshot_gseq = 0;    // state covers all gseq <= this
+  Bytes snapshot;                     // consul-wrapped app snapshot
+
+  Bytes encode() const;
+  static NewViewMsg decode(const Bytes& b);
+};
+
+struct JoinRequestMsg {
+  std::uint64_t incarnation = 0;  // increases on every recovery of the host
+
+  Bytes encode() const;
+  static JoinRequestMsg decode(const Bytes& b);
+};
+
+}  // namespace ftl::consul

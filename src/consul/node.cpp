@@ -1,0 +1,725 @@
+#include "consul/node.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace ftl::consul {
+
+namespace {
+
+std::vector<HostId> sorted(std::vector<HostId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+bool contains(const std::vector<HostId>& v, HostId h) {
+  return std::find(v.begin(), v.end(), h) != v.end();
+}
+
+}  // namespace
+
+ConsulNode::ConsulNode(net::Network& net, HostId self, std::vector<HostId> group,
+                       ConsulConfig cfg, Callbacks cb, bool join_existing)
+    : net_(net),
+      ep_(net.endpoint(self)),
+      self_(self),
+      group_(sorted(std::move(group))),
+      cfg_(cfg),
+      cb_(std::move(cb)),
+      joining_(join_existing) {
+  FTL_REQUIRE(contains(group_, self_), "node must be part of its own group");
+  FTL_REQUIRE(cb_.on_deliver && cb_.on_view, "on_deliver and on_view callbacks are required");
+  if (!join_existing) {
+    members_ = group_;
+    is_member_ = true;
+    joining_ = false;
+  }
+}
+
+ConsulNode::~ConsulNode() { shutdown(); }
+
+void ConsulNode::shutdown() {
+  stop();
+  if (service_.joinable() && service_.get_id() != std::this_thread::get_id()) {
+    service_.join();
+  }
+}
+
+void ConsulNode::start() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  FTL_REQUIRE(!running_, "start() called twice");
+  running_ = true;
+  const auto now = Clock::now();
+  for (HostId h : members_) last_heard_[h] = now;
+  if (is_member_) {
+    ViewInfo vi;
+    vi.view_id = view_id_;
+    vi.gseq = 0;
+    vi.members = members_;
+    cb_.on_view(vi);
+  }
+  lock.unlock();
+  service_ = std::thread([this] { serviceLoop(); });
+}
+
+void ConsulNode::stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stop_requested_ = true;
+}
+
+std::uint64_t ConsulNode::broadcast(Bytes payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FTL_REQUIRE(is_member_, "broadcast() requires group membership");
+  Pending p;
+  p.origin_seq = next_origin_seq_++;
+  p.payload = std::move(payload);
+  p.last_sent = Clock::now();
+  pending_.push_back(p);
+  sendRequestToSequencer(pending_.back());
+  return p.origin_seq;
+}
+
+void ConsulNode::joinGroup(std::uint64_t incarnation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FTL_REQUIRE(!is_member_, "joinGroup() called while already a member");
+  joining_ = true;
+  incarnation_ = incarnation;
+  last_join_sent_ = TimePoint{};  // force an immediate JoinRequest on next tick
+}
+
+bool ConsulNode::isMember() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return is_member_;
+}
+
+std::uint64_t ConsulNode::delivered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_deliver_ - 1;
+}
+
+std::size_t ConsulNode::logSize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return log_.size();
+}
+
+std::uint64_t ConsulNode::stableSeq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stable_;
+}
+
+ViewInfo ConsulNode::currentView() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ViewInfo vi;
+  vi.view_id = view_id_;
+  vi.members = members_;
+  return vi;
+}
+
+HostId ConsulNode::sequencer() const {
+  FTL_ENSURE(!members_.empty(), "no members: sequencer undefined");
+  return members_.front();
+}
+
+std::vector<HostId> ConsulNode::othersInGroup() const {
+  std::vector<HostId> out;
+  for (HostId h : group_)
+    if (h != self_) out.push_back(h);
+  return out;
+}
+
+void ConsulNode::sendRequestToSequencer(const Pending& p) {
+  RequestMsg m;
+  m.origin_seq = p.origin_seq;
+  m.payload = p.payload;
+  ep_.send(sequencer(), static_cast<std::uint16_t>(MsgType::Request), m.encode());
+}
+
+void ConsulNode::setForeignHandler(std::function<void(const net::Message&)> handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FTL_REQUIRE(!running_, "setForeignHandler() must precede start()");
+  foreign_handler_ = std::move(handler);
+}
+
+void ConsulNode::serviceLoop() {
+  while (true) {
+    auto msg = ep_.recvFor(cfg_.tick);
+    const auto now = Clock::now();
+    if (msg && msg->type >= kForeignTypeBase) {
+      // Demultiplex app-level traffic (e.g. tuple-server RPC) outside the
+      // protocol lock so the handler can safely call back into broadcast().
+      if (foreign_handler_) foreign_handler_(*msg);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_requested_) return;
+      onTick(now);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_requested_) return;
+    if (!msg && net_.isCrashed(self_)) return;  // fail-silent: halt
+    if (msg) handleMessage(*msg, now);
+    onTick(now);
+  }
+}
+
+void ConsulNode::handleMessage(const net::Message& m, TimePoint now) {
+  switch (static_cast<MsgType>(m.type)) {
+    case MsgType::Heartbeat:
+      handleHeartbeat(m.src, HeartbeatMsg::decode(m.payload), now);
+      break;
+    case MsgType::Request:
+      handleRequest(m.src, RequestMsg::decode(m.payload));
+      break;
+    case MsgType::Ordered:
+      handleOrdered(OrderedMsg::decode(m.payload));
+      break;
+    case MsgType::Nack:
+      handleNack(m.src, NackMsg::decode(m.payload));
+      break;
+    case MsgType::Ack:
+      handleAck(m.src, AckMsg::decode(m.payload));
+      break;
+    case MsgType::ViewProbe:
+      last_heard_[m.src] = now;
+      handleViewProbe(m.src, ViewProbeMsg::decode(m.payload));
+      break;
+    case MsgType::ViewState:
+      last_heard_[m.src] = now;
+      handleViewState(m.src, ViewStateMsg::decode(m.payload));
+      break;
+    case MsgType::NewView:
+      handleNewView(NewViewMsg::decode(m.payload), now);
+      break;
+    case MsgType::JoinRequest:
+      handleJoinRequest(m.src, JoinRequestMsg::decode(m.payload), now);
+      break;
+    default:
+      FTL_WARN("consul", "host " << self_ << ": unknown message type " << m.type);
+  }
+}
+
+void ConsulNode::handleHeartbeat(HostId src, const HeartbeatMsg& m, TimePoint now) {
+  last_heard_[src] = now;
+  // A heartbeat from a suspect proves it alive: cancel the suspicion, and
+  // abort any in-flight view change that would have excluded it (message
+  // loss can starve the failure detector; real crashes never heartbeat
+  // again, so this cannot mask a genuine failure).
+  if (suspects_.erase(src) > 0 && vc_) {
+    const bool excluded = std::find(vc_->proposed.begin(), vc_->proposed.end(), src) ==
+                          vc_->proposed.end();
+    if (excluded) {
+      FTL_INFO("consul", "host " << self_ << ": aborting view change, suspect " << src
+                                 << " is alive");
+      vc_.reset();
+    }
+  }
+  if (is_member_ && !members_.empty() && src == sequencer()) {
+    stable_ = std::max(stable_, std::min(m.stable, next_deliver_ - 1));
+    known_last_ = std::max(known_last_, m.last_gseq);
+    updateGapState(now);
+    truncateLog();
+  } else if (is_member_ && m.view_id > view_id_ && m.last_gseq > 0) {
+    // The sender is the sequencer of a NEWER view: we missed a NewView
+    // message. Nack it directly — its log retains everything we lack,
+    // including the View entry itself (delivered like any ordered entry),
+    // which installs the missed view here. Heartbeats recur, so this path
+    // self-retries until we catch up.
+    known_last_ = std::max(known_last_, m.last_gseq);
+    if (known_last_ >= next_deliver_) {
+      NackMsg nm;
+      nm.view_id = m.view_id;
+      nm.from_gseq = next_deliver_;
+      nm.to_gseq = known_last_;
+      ep_.send(src, static_cast<std::uint16_t>(MsgType::Nack), nm.encode());
+      FTL_INFO("consul", "host " << self_ << ": behind view " << m.view_id
+                                 << ", pulling entries from host " << src);
+    }
+  }
+}
+
+void ConsulNode::updateGapState(TimePoint now) {
+  if (known_last_ >= next_deliver_) {
+    if (!have_gap_) {
+      have_gap_ = true;
+      gap_since_ = now;
+    }
+  } else {
+    have_gap_ = false;
+  }
+}
+
+void ConsulNode::handleRequest(HostId src, RequestMsg m) {
+  if (!isSequencer()) return;  // origin will retransmit to the real sequencer
+  // Zombie fencing: once a host's failure view is installed, its in-flight
+  // requests must NOT enter the order — an AGS from a failed processor is
+  // either ordered before the failure notification or not at all. Without
+  // this, failure handlers (which regenerate a dead worker's tasks) could
+  // race a late-arriving request from the corpse.
+  if (!contains(members_, src)) return;
+  const std::uint64_t seen = std::max(dedup_[src], assigned_[src]);
+  // Accept only the strictly-next request per origin: if an earlier request
+  // was lost, accepting a later one would make dedup-by-max drop the earlier
+  // retransmission forever. Origins retransmit pending requests in order.
+  if (m.origin_seq != seen + 1) return;
+  assigned_[src] = m.origin_seq;
+  LogEntry e;
+  e.gseq = next_gseq_++;
+  e.kind = EntryKind::Data;
+  e.origin = src;
+  e.origin_seq = m.origin_seq;
+  e.payload = std::move(m.payload);
+  OrderedMsg om;
+  om.view_id = view_id_;
+  om.stable = stable_;
+  om.entry = e;
+  const Bytes wire = om.encode();
+  for (HostId h : members_) {
+    if (h != self_) ep_.send(h, static_cast<std::uint16_t>(MsgType::Ordered), wire);
+  }
+  // Append to our own log directly instead of looping the message back
+  // through the inbox: the sequencer's log must reflect every assignment it
+  // has made the moment a view change starts, or the view event could be
+  // assigned a gseq that collides with an in-flight data message (replica
+  // divergence).
+  const std::uint64_t g = e.gseq;
+  known_last_ = std::max(known_last_, g);
+  log_.emplace(g, std::move(e));
+  deliverReady();
+  truncateLog();
+}
+
+void ConsulNode::handleOrdered(OrderedMsg m) {
+  if (!is_member_) return;
+  stable_ = std::max(stable_, std::min(m.stable, next_deliver_ - 1));
+  const std::uint64_t g = m.entry.gseq;
+  known_last_ = std::max(known_last_, g);
+  if (g >= next_deliver_ && log_.find(g) == log_.end()) {
+    next_gseq_ = std::max(next_gseq_, g + 1);
+    log_.emplace(g, std::move(m.entry));
+    deliverReady();
+  }
+  updateGapState(Clock::now());
+  truncateLog();
+}
+
+void ConsulNode::handleNack(HostId src, const NackMsg& m) {
+  if (!isSequencer()) return;
+  for (std::uint64_t g = m.from_gseq; g <= m.to_gseq && g < next_gseq_; ++g) {
+    auto it = log_.find(g);
+    if (it == log_.end()) continue;
+    OrderedMsg om;
+    om.view_id = view_id_;
+    om.stable = stable_;
+    om.entry = it->second;
+    ep_.send(src, static_cast<std::uint16_t>(MsgType::Ordered), om.encode());
+  }
+}
+
+void ConsulNode::handleAck(HostId src, const AckMsg& m) {
+  if (!isSequencer()) return;
+  auto& slot = member_acks_[src];
+  slot = std::max(slot, m.delivered);
+  std::uint64_t candidate = next_deliver_ - 1;
+  for (HostId h : members_) {
+    auto it = member_acks_.find(h);
+    candidate = std::min(candidate, it == member_acks_.end() ? 0 : it->second);
+  }
+  stable_ = std::max(stable_, candidate);
+  truncateLog();
+}
+
+void ConsulNode::deliverReady() {
+  const auto now = Clock::now();
+  while (true) {
+    auto it = log_.find(next_deliver_);
+    if (it == log_.end()) break;
+    const LogEntry& e = it->second;
+    if (e.kind == EntryKind::View) {
+      Reader r(e.payload);
+      installViewLocked(ViewEvent::decode(r), e.gseq, now);
+    } else {
+      deliverEntry(e);
+    }
+    ++next_deliver_;
+    if (isSequencer()) member_acks_[self_] = next_deliver_ - 1;
+  }
+}
+
+void ConsulNode::deliverEntry(const LogEntry& e) {
+  if (e.kind == EntryKind::Data) {
+    if (e.origin == net::kNoHost) return;  // hole-filling no-op from a view change
+    auto& max_seen = dedup_[e.origin];
+    if (e.origin_seq <= max_seen) return;  // duplicate across failover
+    max_seen = e.origin_seq;
+    if (e.origin == self_) {
+      while (!pending_.empty() && pending_.front().origin_seq <= e.origin_seq) {
+        pending_.pop_front();
+      }
+    }
+    Delivery d;
+    d.gseq = e.gseq;
+    d.origin = e.origin;
+    d.origin_seq = e.origin_seq;
+    d.payload = e.payload;
+    cb_.on_deliver(d);
+  }
+  // View entries are handled by the caller (deliverReady) because they
+  // mutate membership state.
+}
+
+void ConsulNode::installViewLocked(const ViewEvent& ve, std::uint64_t gseq, TimePoint now) {
+  view_id_ = ve.view_id;
+  members_ = ve.members;
+  const bool was_member = is_member_;
+  is_member_ = contains(members_, self_);
+  if (is_member_) joining_ = false;
+  for (HostId h : ve.failed) {
+    suspects_.erase(h);
+    last_heard_.erase(h);
+  }
+  for (HostId h : members_) last_heard_[h] = now;
+  for (HostId h : ve.joined) pending_joiners_.erase(h);
+  next_gseq_ = std::max(next_gseq_, gseq + 1);
+  if (!log_.empty()) next_gseq_ = std::max(next_gseq_, log_.rbegin()->first + 1);
+  if (isSequencer()) {
+    // Rebuild sequencer bookkeeping from local state.
+    member_acks_.clear();
+    for (HostId h : members_) member_acks_[h] = stable_;
+    member_acks_[self_] = next_deliver_ - 1;
+    assigned_ = dedup_;
+    for (const auto& [g, entry] : log_) {
+      if (entry.kind == EntryKind::Data && entry.origin != net::kNoHost) {
+        auto& slot = assigned_[entry.origin];
+        slot = std::max(slot, entry.origin_seq);
+      }
+    }
+  }
+  // Requests in flight to a dead sequencer are retransmitted immediately;
+  // per-origin dedup makes this safe.
+  if (is_member_) {
+    for (auto& p : pending_) {
+      p.last_sent = now;
+      sendRequestToSequencer(p);
+    }
+  }
+  ViewInfo vi;
+  vi.view_id = ve.view_id;
+  vi.gseq = gseq;
+  vi.members = ve.members;
+  vi.failed = ve.failed;
+  vi.joined = ve.joined;
+  FTL_INFO("consul", "host " << self_ << ": installed view " << vi.view_id << " ("
+                             << members_.size() << " members) at gseq " << gseq);
+  cb_.on_view(vi);
+  (void)was_member;
+}
+
+void ConsulNode::onTick(TimePoint now) {
+  if (!is_member_) {
+    if (joining_ && now - last_join_sent_ >= Duration(cfg_.request_retransmit)) {
+      last_join_sent_ = now;
+      JoinRequestMsg jm;
+      jm.incarnation = incarnation_;
+      const Bytes wire = jm.encode();
+      for (HostId h : othersInGroup()) {
+        ep_.send(h, static_cast<std::uint16_t>(MsgType::JoinRequest), wire);
+      }
+    }
+    return;
+  }
+
+  // Heartbeats.
+  if (now - last_heartbeat_sent_ >= Duration(cfg_.heartbeat_interval)) {
+    last_heartbeat_sent_ = now;
+    HeartbeatMsg hb;
+    hb.view_id = view_id_;
+    hb.stable = isSequencer() ? stable_ : 0;
+    hb.last_gseq = isSequencer() ? next_gseq_ - 1 : 0;
+    const Bytes wire = hb.encode();
+    for (HostId h : members_) {
+      if (h != self_) ep_.send(h, static_cast<std::uint16_t>(MsgType::Heartbeat), wire);
+    }
+  }
+
+  // Stability acks to the sequencer.
+  if (!isSequencer() && now - last_ack_sent_ >= Duration(cfg_.ack_interval)) {
+    last_ack_sent_ = now;
+    AckMsg am;
+    am.view_id = view_id_;
+    am.delivered = next_deliver_ - 1;
+    ep_.send(sequencer(), static_cast<std::uint16_t>(MsgType::Ack), am.encode());
+  }
+
+  // Gap repair.
+  if (have_gap_ && now - gap_since_ >= Duration(cfg_.nack_timeout)) {
+    gap_since_ = now;
+    NackMsg nm;
+    nm.view_id = view_id_;
+    nm.from_gseq = next_deliver_;
+    nm.to_gseq = known_last_;
+    ep_.send(sequencer(), static_cast<std::uint16_t>(MsgType::Nack), nm.encode());
+  }
+
+  // Request retransmission (lost request or dead sequencer).
+  for (auto& p : pending_) {
+    if (now - p.last_sent >= Duration(cfg_.request_retransmit)) {
+      p.last_sent = now;
+      sendRequestToSequencer(p);
+    }
+  }
+
+  // Failure detection.
+  for (HostId h : members_) {
+    if (h == self_ || suspects_.count(h)) continue;
+    auto it = last_heard_.find(h);
+    if (it != last_heard_.end() && now - it->second > Duration(cfg_.failure_timeout)) {
+      FTL_INFO("consul", "host " << self_ << ": suspects host " << h);
+      suspects_.insert(h);
+    }
+  }
+
+  // View change initiation/retry by the coordinator (lowest unsuspected id).
+  if (!suspects_.empty() || !pending_joiners_.empty()) {
+    HostId coordinator = net::kNoHost;
+    for (HostId h : members_) {
+      if (!suspects_.count(h)) {
+        coordinator = h;
+        break;
+      }
+    }
+    if (coordinator == self_) {
+      const bool stalled = vc_ && now - vc_->started > Duration(cfg_.view_change_timeout);
+      if (!vc_ || stalled) {
+        std::vector<HostId> proposed;
+        for (HostId h : members_) {
+          if (!suspects_.count(h) && !pending_joiners_.count(h)) proposed.push_back(h);
+        }
+        for (HostId h : pending_joiners_) proposed.push_back(h);
+        startViewChange(sorted(std::move(proposed)), now);
+      }
+    }
+  }
+}
+
+void ConsulNode::startViewChange(std::vector<HostId> proposed, TimePoint now) {
+  ViewChange vc;
+  vc.new_view_id = std::max(view_id_, vc_ ? vc_->new_view_id : 0) + 1;
+  vc.proposed = std::move(proposed);
+  vc.started = now;
+  for (HostId h : vc.proposed) {
+    if (!contains(members_, h) || pending_joiners_.count(h)) vc.joiners.insert(h);
+  }
+  for (HostId h : vc.proposed) {
+    if (h != self_ && contains(members_, h) && !suspects_.count(h) && !vc.joiners.count(h)) {
+      vc.awaiting.insert(h);
+    }
+  }
+  FTL_INFO("consul", "host " << self_ << ": starting view change to view " << vc.new_view_id
+                             << " (" << vc.proposed.size() << " members, " << vc.joiners.size()
+                             << " joiners)");
+  ViewProbeMsg pm;
+  pm.new_view_id = vc.new_view_id;
+  pm.proposed_members = vc.proposed;
+  const Bytes wire = pm.encode();
+  for (HostId h : vc.awaiting) {
+    ep_.send(h, static_cast<std::uint16_t>(MsgType::ViewProbe), wire);
+  }
+  vc_ = std::move(vc);
+  maybeFinishViewChange(now);
+}
+
+void ConsulNode::handleViewProbe(HostId src, const ViewProbeMsg& m) {
+  ViewStateMsg vs;
+  vs.new_view_id = m.new_view_id;
+  vs.delivered = next_deliver_ - 1;
+  vs.log_entries.reserve(log_.size());
+  for (const auto& [g, e] : log_) vs.log_entries.push_back(e);
+  ep_.send(src, static_cast<std::uint16_t>(MsgType::ViewState), vs.encode());
+}
+
+void ConsulNode::handleViewState(HostId src, ViewStateMsg m) {
+  if (!vc_ || m.new_view_id != vc_->new_view_id) return;
+  if (!vc_->awaiting.count(src)) return;
+  vc_->awaiting.erase(src);
+  vc_->responses[src] = std::move(m);
+  maybeFinishViewChange(Clock::now());
+}
+
+void ConsulNode::maybeFinishViewChange(TimePoint now) {
+  if (vc_ && vc_->awaiting.empty()) finishViewChange(now);
+}
+
+void ConsulNode::finishViewChange(TimePoint now) {
+  ViewChange vc = std::move(*vc_);
+  vc_.reset();
+
+  // 1. Union of every survivor's log; compute the weakest member's frontier.
+  std::uint64_t min_hd = next_deliver_ - 1;
+  for (auto& [h, resp] : vc.responses) {
+    min_hd = std::min(min_hd, resp.delivered);
+    for (auto& e : resp.log_entries) {
+      if (e.gseq >= next_deliver_ && log_.find(e.gseq) == log_.end()) {
+        log_.emplace(e.gseq, std::move(e));
+      }
+    }
+  }
+
+  // 2. Fill holes (slots assigned by a dead sequencer whose message reached
+  //    no survivor) with no-op entries so the order stays contiguous.
+  std::uint64_t max_g = next_deliver_ - 1;
+  if (!log_.empty()) max_g = std::max(max_g, log_.rbegin()->first);
+  for (std::uint64_t g = next_deliver_; g <= max_g; ++g) {
+    if (log_.find(g) == log_.end()) {
+      LogEntry hole;
+      hole.gseq = g;
+      hole.kind = EntryKind::Data;
+      hole.origin = net::kNoHost;
+      log_.emplace(g, std::move(hole));
+    }
+  }
+  deliverReady();
+  FTL_ENSURE(next_deliver_ == max_g + 1, "view-change catch-up left a gap");
+
+  // 3. The view event itself occupies the next slot of the total order.
+  const std::uint64_t view_gseq = max_g + 1;
+  known_last_ = std::max(known_last_, view_gseq);
+  ViewEvent ve;
+  ve.view_id = vc.new_view_id;
+  ve.members = vc.proposed;
+  for (HostId h : members_) {
+    if (!contains(vc.proposed, h) || vc.joiners.count(h)) ve.failed.push_back(h);
+  }
+  for (HostId h : vc.joiners) ve.joined.push_back(h);
+
+  Writer vw;
+  ve.encode(vw);
+  LogEntry view_entry;
+  view_entry.gseq = view_gseq;
+  view_entry.kind = EntryKind::View;
+  view_entry.payload = vw.take();
+  log_.emplace(view_gseq, view_entry);
+
+  // Deliver the view event locally (installs the view, rebuilds sequencer
+  // role, notifies the app).
+  FTL_ENSURE(next_deliver_ == view_gseq, "view event must be next to deliver");
+  deliverReady();
+  (void)now;
+
+  // 4. Ship the new view to survivors (with catch-up entries) and joiners
+  //    (with a snapshot instead).
+  NewViewMsg nv;
+  nv.view = ve;
+  nv.view_gseq = view_gseq;
+  nv.entries_from = min_hd;
+  for (auto g = min_hd + 1; g < view_gseq; ++g) {
+    auto it = log_.find(g);
+    if (it != log_.end()) nv.entries.push_back(it->second);
+  }
+  const Bytes survivor_wire = nv.encode();
+  for (HostId h : ve.members) {
+    if (h == self_ || vc.joiners.count(h)) continue;
+    ep_.send(h, static_cast<std::uint16_t>(MsgType::NewView), survivor_wire);
+  }
+  if (!vc.joiners.empty()) {
+    NewViewMsg nv_join = nv;
+    nv_join.entries.clear();
+    nv_join.has_snapshot = true;
+    nv_join.snapshot_gseq = view_gseq;
+    nv_join.snapshot = wrapSnapshot();
+    const Bytes joiner_wire = nv_join.encode();
+    for (HostId h : vc.joiners) {
+      ep_.send(h, static_cast<std::uint16_t>(MsgType::NewView), joiner_wire);
+    }
+  }
+}
+
+void ConsulNode::handleNewView(NewViewMsg m, TimePoint now) {
+  if (m.view.view_id <= view_id_ && is_member_) return;  // stale
+  if (m.has_snapshot) {
+    if (!joining_) return;  // stale snapshot for an earlier incarnation
+    FTL_INFO("consul", "host " << self_ << ": installing snapshot at gseq " << m.snapshot_gseq);
+    unwrapSnapshot(m.snapshot);
+    log_.clear();
+    pending_.clear();
+    next_origin_seq_ = dedup_[self_] + 1;  // resume our origin numbering
+    next_deliver_ = m.snapshot_gseq + 1;
+    stable_ = m.snapshot_gseq;
+    known_last_ = m.snapshot_gseq;
+    have_gap_ = false;
+    // The snapshot already reflects the view event's application effects;
+    // report the membership but not the failure/join deltas.
+    ViewEvent ve = m.view;
+    ve.failed.clear();
+    ve.joined.clear();
+    installViewLocked(ve, m.view_gseq, now);
+    return;
+  }
+  if (!is_member_) return;
+  for (auto& e : m.entries) {
+    if (e.gseq >= next_deliver_ && log_.find(e.gseq) == log_.end()) {
+      log_.emplace(e.gseq, std::move(e));
+    }
+  }
+  if (m.view_gseq >= next_deliver_ && log_.find(m.view_gseq) == log_.end()) {
+    Writer w;
+    m.view.encode(w);
+    LogEntry view_entry;
+    view_entry.gseq = m.view_gseq;
+    view_entry.kind = EntryKind::View;
+    view_entry.payload = w.take();
+    log_.emplace(m.view_gseq, std::move(view_entry));
+  }
+  known_last_ = std::max(known_last_, m.view_gseq);
+  deliverReady();
+  updateGapState(now);
+  truncateLog();
+}
+
+void ConsulNode::handleJoinRequest(HostId src, const JoinRequestMsg& m, TimePoint now) {
+  (void)now;
+  if (!is_member_) return;
+  auto& inc = joiner_incarnation_[src];
+  if (m.incarnation < inc) return;
+  inc = m.incarnation;
+  if (contains(members_, src)) {
+    // The host crashed and restarted before the failure was detected: treat
+    // it as failed (its volatile state is gone) and re-admit it with a
+    // snapshot in the same view change.
+    suspects_.insert(src);
+  }
+  pending_joiners_.insert(src);
+}
+
+void ConsulNode::truncateLog() {
+  const std::uint64_t keep_above = std::min(stable_, next_deliver_ - 1);
+  while (!log_.empty() && log_.begin()->first <= keep_above) {
+    log_.erase(log_.begin());
+  }
+}
+
+Bytes ConsulNode::wrapSnapshot() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(dedup_.size()));
+  for (const auto& [h, s] : dedup_) {
+    w.u32(h);
+    w.u64(s);
+  }
+  w.bytes(cb_.take_snapshot ? cb_.take_snapshot() : Bytes{});
+  return w.take();
+}
+
+void ConsulNode::unwrapSnapshot(const Bytes& b) {
+  Reader r(b);
+  dedup_.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const HostId h = r.u32();
+    dedup_[h] = r.u64();
+  }
+  const Bytes app = r.bytes();
+  if (cb_.install_snapshot) cb_.install_snapshot(app);
+}
+
+}  // namespace ftl::consul

@@ -1,0 +1,233 @@
+// ConsulNode: the group-communication substrate one simulated processor
+// runs (our reproduction of Consul [Mishra/Peterson/Schlichting]; see
+// DESIGN.md "Substitutions").
+//
+// Services provided, mirroring what the FT-Linda implementation needs:
+//  - atomic multicast: broadcast() hands in an opaque payload; every group
+//    member receives every payload exactly once, in one global total order,
+//    via the on_deliver callback;
+//  - membership: crashes and joins are detected and delivered through the
+//    SAME total order (on_view callback), so every replica interleaves
+//    failure notifications with data identically — this is what makes the
+//    FT-Linda failure-tuple semantics deterministic;
+//  - recovery: a restarted processor calls joinGroup(); the coordinator
+//    ships it a state snapshot (via the take/install_snapshot callbacks)
+//    plus a view change adding it back.
+//
+// Protocol: fixed sequencer (lowest-id live member) assigns global sequence
+// numbers; gaps are repaired by negative acknowledgements against the
+// sequencer's log; periodic acks establish stability for log truncation;
+// heartbeat timeouts trigger a coordinator-driven view change that collects
+// surviving members' logs, fills holes, and installs the next view as an
+// ordered event. Exactly-once delivery across sequencer failover comes from
+// per-origin sequence numbers (origins retransmit; replicas dedup).
+//
+// Threading: one service thread per node runs the protocol and makes all
+// upcalls (so upcalls are serialized and ordered). broadcast() may be called
+// from any thread. Callbacks MUST NOT call back into ConsulNode.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "consul/config.hpp"
+#include "consul/messages.hpp"
+#include "net/network.hpp"
+
+namespace ftl::consul {
+
+/// One totally-ordered application payload.
+struct Delivery {
+  std::uint64_t gseq = 0;
+  HostId origin = net::kNoHost;
+  std::uint64_t origin_seq = 0;
+  Bytes payload;
+};
+
+/// One totally-ordered membership event.
+struct ViewInfo {
+  std::uint64_t view_id = 0;
+  std::uint64_t gseq = 0;  // 0 for the synthetic initial view
+  std::vector<HostId> members;
+  std::vector<HostId> failed;
+  std::vector<HostId> joined;
+};
+
+class ConsulNode {
+ public:
+  struct Callbacks {
+    /// Ordered application payload (identical sequence at every member).
+    std::function<void(const Delivery&)> on_deliver;
+    /// Ordered membership event. Also fired once at start() for the
+    /// bootstrap view (gseq 0).
+    std::function<void(const ViewInfo&)> on_view;
+    /// Serialize application state covering everything delivered so far
+    /// (used to bring joiners up to date).
+    std::function<Bytes()> take_snapshot;
+    /// Replace application state with a snapshot (joiner side).
+    std::function<void(const Bytes&)> install_snapshot;
+  };
+
+  /// `group` is the full set of hosts that may ever be members. With
+  /// `join_existing == false` the node boots as a member of the initial view
+  /// (all of `group`); with true it starts outside the group and joinGroup()
+  /// must be called.
+  ConsulNode(net::Network& net, HostId self, std::vector<HostId> group, ConsulConfig cfg,
+             Callbacks cb, bool join_existing = false);
+  ~ConsulNode();
+
+  ConsulNode(const ConsulNode&) = delete;
+  ConsulNode& operator=(const ConsulNode&) = delete;
+
+  /// Register a handler for non-Consul messages arriving at this host's
+  /// endpoint (message types >= kForeignTypeBase). The node's service thread
+  /// demultiplexes, x-kernel style, and invokes the handler WITHOUT holding
+  /// protocol locks (so the handler may call broadcast()). Must be set
+  /// before start().
+  static constexpr std::uint16_t kForeignTypeBase = 32;
+  void setForeignHandler(std::function<void(const net::Message&)> handler);
+
+  /// Launch the service thread. Must be called exactly once.
+  void start();
+
+  /// Stop the service thread (local shutdown, not a simulated crash — use
+  /// Network::crash for that). Idempotent.
+  void stop();
+
+  /// stop() and wait for the service thread to exit. Required before a
+  /// replacement node may reuse this host's endpoint: an old service thread
+  /// that outlives Network::recover() would steal the new node's messages.
+  void shutdown();
+
+  /// Atomic multicast of `payload` to the group. Asynchronous: returns the
+  /// per-origin sequence number; delivery is signalled through on_deliver at
+  /// every member (including this one). Retries across sequencer failures
+  /// until delivered. Must only be called while the node is a member.
+  std::uint64_t broadcast(Bytes payload);
+
+  /// Begin (re)joining the group after recovery; asynchronous, completes
+  /// when on_view/install_snapshot fire. `incarnation` should increase on
+  /// every recovery of the same host.
+  void joinGroup(std::uint64_t incarnation);
+
+  /// True once this node belongs to the current view.
+  bool isMember() const;
+
+  /// Highest contiguously delivered global sequence number.
+  std::uint64_t delivered() const;
+
+  /// Current view (id + members) as known locally.
+  ViewInfo currentView() const;
+
+  /// Entries currently retained for retransmission (log above stability).
+  std::size_t logSize() const;
+
+  /// Highest gseq known to be delivered at every member (stability floor).
+  std::uint64_t stableSeq() const;
+
+  HostId self() const { return self_; }
+
+ private:
+  struct Pending {
+    std::uint64_t origin_seq;
+    Bytes payload;
+    TimePoint last_sent;
+  };
+
+  // All handlers run on the service thread with mutex_ held.
+  void serviceLoop();
+  void onTick(TimePoint now);
+  void handleMessage(const net::Message& m, TimePoint now);
+  void handleHeartbeat(HostId src, const HeartbeatMsg& m, TimePoint now);
+  void handleRequest(HostId src, RequestMsg m);
+  void handleOrdered(OrderedMsg m);
+  void handleNack(HostId src, const NackMsg& m);
+  void handleAck(HostId src, const AckMsg& m);
+  void handleViewProbe(HostId src, const ViewProbeMsg& m);
+  void handleViewState(HostId src, ViewStateMsg m);
+  void handleNewView(NewViewMsg m, TimePoint now);
+  void handleJoinRequest(HostId src, const JoinRequestMsg& m, TimePoint now);
+
+  void updateGapState(TimePoint now);   // recompute have_gap_/gap_since_
+  void deliverReady();                  // drain contiguous log prefix
+  void deliverEntry(const LogEntry& e); // upcall for one entry
+  void installViewLocked(const ViewEvent& ve, std::uint64_t gseq, TimePoint now);
+  void startViewChange(std::vector<HostId> proposed, TimePoint now);
+  void maybeFinishViewChange(TimePoint now);
+  void finishViewChange(TimePoint now);
+  void truncateLog();
+  void sendRequestToSequencer(const Pending& p);
+  HostId sequencer() const;  // lowest-id member
+  bool isSequencer() const { return is_member_ && !members_.empty() && members_.front() == self_; }
+  std::vector<HostId> othersInGroup() const;
+  Bytes wrapSnapshot() const;
+  void unwrapSnapshot(const Bytes& b);
+
+  net::Network& net_;
+  net::Endpoint ep_;
+  const HostId self_;
+  const std::vector<HostId> group_;
+  const ConsulConfig cfg_;
+  Callbacks cb_;
+  std::function<void(const net::Message&)> foreign_handler_;
+
+  mutable std::mutex mutex_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+
+  // View / membership.
+  std::uint64_t view_id_ = 1;
+  std::vector<HostId> members_;
+  bool is_member_ = false;
+  bool joining_ = false;
+  std::uint64_t incarnation_ = 0;
+  TimePoint last_join_sent_{};
+
+  // Ordered log.
+  std::map<std::uint64_t, LogEntry> log_;  // gseq -> entry, truncated below stable_
+  std::uint64_t next_deliver_ = 1;
+  std::uint64_t stable_ = 0;
+  std::map<HostId, std::uint64_t> dedup_;  // origin -> max origin_seq delivered
+  std::uint64_t known_last_ = 0;  // highest gseq known to exist (for gap nacks)
+  bool have_gap_ = false;
+  TimePoint gap_since_{};
+
+  // Sequencer role.
+  std::uint64_t next_gseq_ = 1;
+  std::map<HostId, std::uint64_t> member_acks_;
+  std::map<HostId, std::uint64_t> assigned_;  // origin -> max origin_seq given a gseq
+
+  // Origin role.
+  std::uint64_t next_origin_seq_ = 1;
+  std::deque<Pending> pending_;
+
+  // Failure detection.
+  std::map<HostId, TimePoint> last_heard_;
+  std::set<HostId> suspects_;
+  TimePoint last_heartbeat_sent_{};
+  TimePoint last_ack_sent_{};
+
+  // View change coordination.
+  struct ViewChange {
+    std::uint64_t new_view_id = 0;
+    std::vector<HostId> proposed;       // next view's members (incl. joiners)
+    std::set<HostId> awaiting;          // surviving members yet to respond
+    std::map<HostId, ViewStateMsg> responses;
+    std::set<HostId> joiners;
+    TimePoint started{};
+  };
+  std::optional<ViewChange> vc_;
+  std::set<HostId> pending_joiners_;  // join requests seen, next view change
+  std::map<HostId, std::uint64_t> joiner_incarnation_;
+
+  std::thread service_;
+};
+
+}  // namespace ftl::consul

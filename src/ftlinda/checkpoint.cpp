@@ -1,0 +1,39 @@
+#include "ftlinda/checkpoint.hpp"
+
+namespace ftl::ftlinda {
+
+using tuple::fBlob;
+using tuple::fInt;
+using tuple::makePattern;
+
+StableCheckpoint::StableCheckpoint(Runtime& rt, TsHandle ts, std::string key)
+    : rt_(rt), ts_(ts), key_(std::move(key)) {
+  FTL_REQUIRE(!ts::isLocalHandle(ts_), "checkpoints need a STABLE tuple space");
+}
+
+std::int64_t StableCheckpoint::save(const Bytes& state) {
+  Reply r = rt_.execute(
+      AgsBuilder()
+          .when(guardIn(ts_, makePattern("checkpoint", key_, fInt(), fBlob())))
+          .then(opOut(ts_, makeTemplate("checkpoint", key_, boundExpr(0, ArithOp::Add, 1),
+                                        Value(state))))
+          .orWhen(guardTrue())
+          .then(opOut(ts_, makeTemplate("checkpoint", key_, 0, Value(state))))
+          .build());
+  return r.branch == 0 ? r.bindings.at(0).asInt() + 1 : 0;
+}
+
+std::optional<StableCheckpoint::Snapshot> StableCheckpoint::load() {
+  auto t = rt_.rdp(ts_, makePattern("checkpoint", key_, fInt(), fBlob()));
+  if (!t) return std::nullopt;
+  Snapshot s;
+  s.version = t->field(2).asInt();
+  s.state = t->field(3).asBlob();
+  return s;
+}
+
+bool StableCheckpoint::clear() {
+  return rt_.inp(ts_, makePattern("checkpoint", key_, fInt(), fBlob())).has_value();
+}
+
+}  // namespace ftl::ftlinda

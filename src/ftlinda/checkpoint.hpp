@@ -1,0 +1,50 @@
+// StableCheckpoint: checkpoint-and-recovery on top of stable tuple space.
+//
+// The paper motivates stable TSs partly as the stable storage that
+// checkpoint/recovery techniques require (§2.1, citing Koo & Toueg): a
+// process saves key values so that, after a failure, its restarted
+// incarnation resumes from the last checkpoint instead of from scratch.
+//
+// A checkpoint is the tuple ("checkpoint", key, version, state). save()
+// REPLACES the previous version atomically — one AGS with a disjunction:
+//
+//   < in("checkpoint", key, ?v, ?old) => out("checkpoint", key, v+1, new)
+//     or true                         => out("checkpoint", key, 0, new) >
+//
+// so there is never a window where the checkpoint is absent or duplicated,
+// no matter when the saver's processor dies (the §2.2 anomaly, solved the
+// same way as the distributed variable).
+#pragma once
+
+#include <optional>
+
+#include "ftlinda/runtime.hpp"
+
+namespace ftl::ftlinda {
+
+class StableCheckpoint {
+ public:
+  /// `key` distinguishes independent checkpoint streams within `ts`.
+  StableCheckpoint(Runtime& rt, TsHandle ts, std::string key);
+
+  /// Atomically replace the checkpoint with `state`. Returns the new
+  /// version number (0 for the first save).
+  std::int64_t save(const Bytes& state);
+
+  /// The latest checkpoint, if any: (version, state).
+  struct Snapshot {
+    std::int64_t version = -1;
+    Bytes state;
+  };
+  std::optional<Snapshot> load();
+
+  /// Remove the checkpoint. Returns false if none existed.
+  bool clear();
+
+ private:
+  Runtime& rt_;
+  const TsHandle ts_;
+  const std::string key_;
+};
+
+}  // namespace ftl::ftlinda

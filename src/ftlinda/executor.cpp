@@ -1,0 +1,236 @@
+#include "ftlinda/executor.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ftl::ftlinda {
+
+namespace {
+
+using ts::isLocalHandle;
+using ts::TsRegistry;
+using tuple::PatternField;
+
+/// The types the guard's formals bind, in formal order (empty for True).
+std::vector<ValueType> bindingTypes(const Guard& g) {
+  std::vector<ValueType> types;
+  if (g.kind == Guard::Kind::True) return types;
+  for (const auto& f : g.pattern.fields()) {
+    if (f.kind == PatternField::Kind::Formal) types.push_back(f.formal_type);
+  }
+  return types;
+}
+
+std::string checkTemplateRefs(const TupleTemplate& t, const std::vector<ValueType>& btypes) {
+  for (const auto& f : t.fields) {
+    if (f.kind == TemplateField::Kind::Literal) continue;
+    if (f.formal_index >= btypes.size()) return "template references formal beyond guard's";
+    if (f.kind == TemplateField::Kind::Expr) {
+      const ValueType bt = btypes[f.formal_index];
+      if (bt != ValueType::Int && bt != ValueType::Real) {
+        return "arithmetic requires an int or real formal";
+      }
+      if (f.literal.type() != bt) return "arithmetic operand type mismatch";
+    }
+  }
+  return {};
+}
+
+std::string checkPatternRefs(const PatternTemplate& p, const std::vector<ValueType>& btypes) {
+  for (const auto& f : p.fields) {
+    if (f.kind == PatternTemplateField::Kind::BoundRef && f.ref >= btypes.size()) {
+      return "pattern references formal beyond guard's";
+    }
+  }
+  return {};
+}
+
+/// Is `h` usable as a WRITE-ONLY destination outside the registry?
+bool externalLocalDst(TsHandle h, const TsRegistry& reg, ExecMode mode) {
+  return mode == ExecMode::Replicated && isLocalHandle(h) && !reg.exists(h);
+}
+
+std::string checkHandleReadable(TsHandle h, const TsRegistry& reg, ExecMode mode,
+                                const char* what) {
+  std::ostringstream os;
+  if (mode == ExecMode::Replicated && isLocalHandle(h)) {
+    os << what << ": a volatile local TS cannot be read inside a replicated AGS";
+    return os.str();
+  }
+  if (!reg.exists(h)) {
+    os << what << ": unknown tuple space handle";
+    return os.str();
+  }
+  return {};
+}
+
+std::string checkHandleWritable(TsHandle h, const TsRegistry& reg, ExecMode mode,
+                                const char* what) {
+  if (externalLocalDst(h, reg, mode)) return {};  // deposit-only target
+  return checkHandleReadable(h, reg, mode, what);
+}
+
+}  // namespace
+
+std::string validateAgs(const Ags& ags, const TsRegistry& reg, ExecMode mode) {
+  if (ags.branches.empty()) return "AGS has no branches";
+  for (const auto& branch : ags.branches) {
+    const auto btypes = bindingTypes(branch.guard);
+    if (branch.guard.kind != Guard::Kind::True) {
+      if (auto e = checkHandleReadable(branch.guard.ts, reg, mode, "guard"); !e.empty()) {
+        return e;
+      }
+    }
+    for (const auto& op : branch.body) {
+      switch (op.op) {
+        case OpCode::Out: {
+          if (auto e = checkHandleWritable(op.ts, reg, mode, "out"); !e.empty()) return e;
+          if (auto e = checkTemplateRefs(op.tmpl, btypes); !e.empty()) return e;
+          break;
+        }
+        case OpCode::Inp:
+        case OpCode::Rdp: {
+          if (auto e = checkHandleReadable(op.ts, reg, mode, opCodeName(op.op)); !e.empty()) {
+            return e;
+          }
+          if (auto e = checkPatternRefs(op.pattern, btypes); !e.empty()) return e;
+          break;
+        }
+        case OpCode::Move:
+        case OpCode::Copy: {
+          if (auto e = checkHandleReadable(op.ts, reg, mode, "move/copy source"); !e.empty()) {
+            return e;
+          }
+          if (auto e = checkHandleWritable(op.dst, reg, mode, "move/copy destination");
+              !e.empty()) {
+            return e;
+          }
+          if (auto e = checkPatternRefs(op.pattern, btypes); !e.empty()) return e;
+          break;
+        }
+        case OpCode::CreateTs: {
+          if (mode == ExecMode::Replicated && !op.create_attrs.stable) {
+            return "create_TS: volatile spaces are processor-local, create them locally";
+          }
+          if (mode == ExecMode::Local && op.create_attrs.stable) {
+            return "create_TS: stable spaces must be created through the replicated path";
+          }
+          break;
+        }
+        case OpCode::DestroyTs: {
+          if (auto e = checkHandleReadable(op.ts, reg, mode, "destroy_TS"); !e.empty()) {
+            return e;
+          }
+          if (op.ts == ts::kTsMain) return "destroy_TS: TSmain cannot be destroyed";
+          break;
+        }
+      }
+    }
+  }
+  return {};
+}
+
+namespace {
+
+void executeBody(const std::vector<BodyOp>& body, const std::vector<Value>& bindings,
+                 TsRegistry& reg, ExecMode mode, Reply& reply) {
+  for (const auto& op : body) {
+    bool status = true;
+    switch (op.op) {
+      case OpCode::Out: {
+        Tuple t = op.tmpl.eval(bindings);
+        if (externalLocalDst(op.ts, reg, mode)) {
+          reply.local_deposits.emplace_back(op.ts, std::move(t));
+        } else {
+          reg.get(op.ts).put(std::move(t));
+        }
+        break;
+      }
+      case OpCode::Inp: {
+        status = reg.get(op.ts).take(op.pattern.resolve(bindings)).has_value();
+        break;
+      }
+      case OpCode::Rdp: {
+        status = reg.get(op.ts).read(op.pattern.resolve(bindings)).has_value();
+        break;
+      }
+      case OpCode::Move:
+      case OpCode::Copy: {
+        const Pattern p = op.pattern.resolve(bindings);
+        std::vector<Tuple> tuples = (op.op == OpCode::Move) ? reg.get(op.ts).takeAll(p)
+                                                            : reg.get(op.ts).readAll(p);
+        status = !tuples.empty();
+        if (externalLocalDst(op.dst, reg, mode)) {
+          for (auto& t : tuples) reply.local_deposits.emplace_back(op.dst, std::move(t));
+        } else {
+          auto& dst = reg.get(op.dst);
+          for (auto& t : tuples) dst.put(std::move(t));
+        }
+        break;
+      }
+      case OpCode::CreateTs: {
+        reply.created.push_back(reg.create(op.create_attrs));
+        break;
+      }
+      case OpCode::DestroyTs: {
+        status = reg.destroy(op.ts);
+        break;
+      }
+    }
+    reply.op_status.push_back(status);
+  }
+}
+
+}  // namespace
+
+ExecResult tryExecuteAgs(const Ags& ags, TsRegistry& reg, ExecMode mode) {
+  ExecResult result;
+  if (auto err = validateAgs(ags, reg, mode); !err.empty()) {
+    result.executed = true;
+    result.reply.error = std::move(err);
+    return result;
+  }
+  for (std::size_t i = 0; i < ags.branches.size(); ++i) {
+    const Branch& branch = ags.branches[i];
+    const Guard& g = branch.guard;
+    std::vector<Value> bindings;
+    std::optional<Tuple> matched;
+    bool fired = false;
+    switch (g.kind) {
+      case Guard::Kind::True:
+        fired = true;
+        break;
+      case Guard::Kind::In:
+      case Guard::Kind::Inp: {
+        matched = reg.get(g.ts).take(g.pattern);
+        fired = matched.has_value();
+        break;
+      }
+      case Guard::Kind::Rd:
+      case Guard::Kind::Rdp: {
+        matched = reg.get(g.ts).read(g.pattern);
+        fired = matched.has_value();
+        break;
+      }
+    }
+    if (!fired) continue;
+    if (matched) bindings = g.pattern.bind(*matched);
+    result.reply.succeeded = true;
+    result.reply.branch = static_cast<std::int32_t>(i);
+    result.reply.bindings = bindings;
+    result.reply.guard_tuple = matched;
+    executeBody(branch.body, bindings, reg, mode, result.reply);
+    result.executed = true;
+    return result;
+  }
+  if (ags.blocking()) {
+    result.executed = false;  // caller queues the AGS
+    return result;
+  }
+  result.executed = true;
+  result.reply.succeeded = false;  // strong inp/rdp verdict
+  return result;
+}
+
+}  // namespace ftl::ftlinda

@@ -1,0 +1,46 @@
+// AGS executor: evaluates an Atomic Guarded Statement against a tuple-space
+// registry, all-or-nothing.
+//
+// The SAME code runs in two contexts:
+//  - inside the replicated TS state machine at every replica (mode
+//    Replicated): the registry holds the stable tuple spaces; operations
+//    whose destination is a volatile local handle don't touch the registry —
+//    their tuples are collected into Reply::local_deposits for the issuing
+//    processor's runtime to apply;
+//  - inside a processor's runtime against its volatile scratch registry
+//    (mode Local): every handle must be local and present.
+//
+// Execution is strictly deterministic: an AGS is validated completely before
+// any mutation, so a branch either (a) fires and runs its whole body, (b)
+// reports a deterministic validation error with no state change, or (c)
+// cannot fire, in which case the statement blocks (if any guard is blocking)
+// or returns succeeded=false (strong inp/rdp semantics).
+#pragma once
+
+#include "ftlinda/protocol.hpp"
+#include "ts/registry.hpp"
+
+namespace ftl::ftlinda {
+
+enum class ExecMode {
+  Replicated,  // stable registry; local handles allowed as deposit targets
+  Local,       // scratch registry; all handles must resolve locally
+};
+
+struct ExecResult {
+  /// False means "no guard can fire now and the AGS blocks" — the caller
+  /// queues it. True means `reply` is final (which includes deterministic
+  /// errors and failed non-blocking statements).
+  bool executed = false;
+  Reply reply;
+};
+
+/// Validate `ags` against `reg` under `mode`. Returns an empty string if
+/// valid, else a deterministic diagnostic. Never mutates state.
+std::string validateAgs(const Ags& ags, const ts::TsRegistry& reg, ExecMode mode);
+
+/// Try to execute `ags`. Guards are tried in branch order; the first branch
+/// whose guard is satisfiable fires atomically.
+ExecResult tryExecuteAgs(const Ags& ags, ts::TsRegistry& reg, ExecMode mode);
+
+}  // namespace ftl::ftlinda

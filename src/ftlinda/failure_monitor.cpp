@@ -1,0 +1,79 @@
+#include "ftlinda/failure_monitor.hpp"
+
+#include "common/logging.hpp"
+
+namespace ftl::ftlinda {
+
+FailureMonitor::FailureMonitor(Runtime& rt, TsHandle ts, RegenRule rule, Callback on_handled)
+    : rt_(rt), ts_(ts), rule_(std::move(rule)), on_handled_(std::move(on_handled)) {
+  FTL_REQUIRE(!rule_.marker_name.empty() && !rule_.work_name.empty(),
+              "regen rule needs marker and work tuple names");
+}
+
+void FailureMonitor::run() {
+  rt_.monitorFailures(ts_);
+  for (;;) handleOne();
+}
+
+net::HostId FailureMonitor::handleOne() {
+  Reply fr = rt_.execute(AgsBuilder()
+                             .when(guardIn(ts_, tuple::makePattern("failure", tuple::fInt())))
+                             .build());
+  const std::int64_t dead = fr.bindings.at(0).asInt();
+  const int regenerated = regenerate(dead);
+  FTL_INFO("monitor", "host " << rt_.host() << ": handled failure of " << dead << ", regenerated "
+                              << regenerated << " marker(s)");
+  if (on_handled_) on_handled_(static_cast<net::HostId>(dead), regenerated);
+  return static_cast<net::HostId>(dead);
+}
+
+int FailureMonitor::regenerate(std::int64_t failed_host) {
+  // Build < inp(marker, host, ?p0, ?p1, ...) => out(work, p0, p1, ...) >
+  // once, then drain markers until the inp misses.
+  std::vector<tuple::PatternField> pf;
+  pf.push_back(tuple::actual(Value(rule_.marker_name)));
+  pf.push_back(tuple::actual(Value(failed_host)));
+  for (ValueType t : rule_.payload_types) pf.push_back(tuple::formal(t));
+  PatternTemplate marker;
+  for (const auto& f : pf) {
+    PatternTemplateField g;
+    if (f.kind == tuple::PatternField::Kind::Actual) {
+      g.kind = PatternTemplateField::Kind::Actual;
+      g.actual = f.actual;
+    } else {
+      g.kind = PatternTemplateField::Kind::Formal;
+      g.formal_type = f.formal_type;
+    }
+    marker.fields.push_back(std::move(g));
+  }
+  TupleTemplate work;
+  {
+    TemplateField name;
+    name.kind = TemplateField::Kind::Literal;
+    name.literal = Value(rule_.work_name);
+    work.fields.push_back(std::move(name));
+    for (std::uint16_t i = 0; i < rule_.payload_types.size(); ++i) {
+      work.fields.push_back(bound(i));
+    }
+  }
+  Ags regen;
+  {
+    Branch b;
+    Guard g;
+    g.kind = Guard::Kind::Inp;
+    g.ts = ts_;
+    g.pattern = marker.resolve({});  // all actuals/formals, no bound refs
+    b.guard = std::move(g);
+    b.body.push_back(opOut(ts_, std::move(work)));
+    regen.branches.push_back(std::move(b));
+  }
+  int count = 0;
+  for (;;) {
+    Reply r = rt_.execute(regen);
+    if (!r.succeeded) break;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace ftl::ftlinda

@@ -1,0 +1,64 @@
+// FailureMonitor: the paper's §4 monitor-process idiom as a reusable
+// component.
+//
+// Every fault-tolerant FT-Linda application in the paper follows the same
+// pattern: a monitor process blocks on
+//
+//     < in("failure", ?host) => ... >
+//
+// and, upon a failure notification, atomically repairs the dead processor's
+// traces — typically converting each of its ("in_progress", host, ...)
+// markers back into work tuples. This class packages that loop: give it the
+// marker pattern and the regeneration template, and it runs the handler
+// process for you (including the atomic consume-marker/redeposit-work AGS).
+//
+// A custom callback variant is provided for repairs that don't fit the
+// marker->work shape.
+#pragma once
+
+#include <functional>
+
+#include "ftlinda/runtime.hpp"
+
+namespace ftl::ftlinda {
+
+class FailureMonitor {
+ public:
+  /// Describes the standard regeneration rule. The marker pattern must have
+  /// the failed HOST as its field 1 slot filled by the monitor (write the
+  /// pattern WITHOUT the host: it is inserted at `host_field_index`).
+  struct RegenRule {
+    /// Name of the in-progress marker tuples, e.g. "in_progress". The
+    /// marker layout is (name, host, payload fields...).
+    std::string marker_name;
+    /// Types of the marker's payload fields (after name and host).
+    std::vector<ValueType> payload_types;
+    /// Name of the regenerated work tuple; it receives the payload fields
+    /// in order: (work_name, payload...).
+    std::string work_name;
+  };
+
+  /// Called after each handled failure: (failed host, markers regenerated).
+  using Callback = std::function<void(net::HostId, int)>;
+
+  FailureMonitor(Runtime& rt, TsHandle ts, RegenRule rule, Callback on_handled = {});
+
+  /// Run the monitor loop forever (until the processor fails). Call from a
+  /// dedicated process, e.g. sys.spawnProcess(h, [&](Runtime&){ m.run(); }).
+  /// Registers `ts` for failure notification on entry.
+  void run();
+
+  /// Handle exactly one failure notification (blocking); returns the failed
+  /// host. Useful for tests and custom loops.
+  net::HostId handleOne();
+
+ private:
+  int regenerate(std::int64_t failed_host);
+
+  Runtime& rt_;
+  const TsHandle ts_;
+  const RegenRule rule_;
+  const Callback on_handled_;
+};
+
+}  // namespace ftl::ftlinda

@@ -1,0 +1,410 @@
+#include "ftlinda/ops.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ftl::ftlinda {
+
+Value TemplateField::eval(const std::vector<Value>& bindings) const {
+  switch (kind) {
+    case Kind::Literal:
+      return literal;
+    case Kind::FormalRef:
+      FTL_CHECK(formal_index < bindings.size(), "template references unbound formal");
+      return bindings[formal_index];
+    case Kind::Expr: {
+      FTL_CHECK(formal_index < bindings.size(), "template references unbound formal");
+      const Value& lhs = bindings[formal_index];
+      FTL_CHECK(lhs.type() == literal.type(), "arith on mismatched types");
+      if (lhs.type() == ValueType::Int) {
+        const std::int64_t a = lhs.asInt();
+        const std::int64_t b = literal.asInt();
+        switch (arith) {
+          case ArithOp::Add: return Value(a + b);
+          case ArithOp::Sub: return Value(a - b);
+          case ArithOp::Mul: return Value(a * b);
+        }
+      } else if (lhs.type() == ValueType::Real) {
+        const double a = lhs.asReal();
+        const double b = literal.asReal();
+        switch (arith) {
+          case ArithOp::Add: return Value(a + b);
+          case ArithOp::Sub: return Value(a - b);
+          case ArithOp::Mul: return Value(a * b);
+        }
+      }
+      throw Error("arith only supported on int/real formals");
+    }
+  }
+  throw Error("bad template field kind");
+}
+
+void TemplateField::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  switch (kind) {
+    case Kind::Literal:
+      literal.encode(w);
+      break;
+    case Kind::FormalRef:
+      w.u16(formal_index);
+      break;
+    case Kind::Expr:
+      w.u16(formal_index);
+      w.u8(static_cast<std::uint8_t>(arith));
+      literal.encode(w);
+      break;
+  }
+}
+
+TemplateField TemplateField::decode(Reader& r) {
+  TemplateField f;
+  f.kind = static_cast<Kind>(r.u8());
+  switch (f.kind) {
+    case Kind::Literal:
+      f.literal = Value::decode(r);
+      break;
+    case Kind::FormalRef:
+      f.formal_index = r.u16();
+      break;
+    case Kind::Expr:
+      f.formal_index = r.u16();
+      f.arith = static_cast<ArithOp>(r.u8());
+      f.literal = Value::decode(r);
+      break;
+  }
+  return f;
+}
+
+TemplateField bound(std::uint16_t i) {
+  TemplateField f;
+  f.kind = TemplateField::Kind::FormalRef;
+  f.formal_index = i;
+  return f;
+}
+
+TemplateField boundExpr(std::uint16_t i, ArithOp op, Value rhs) {
+  TemplateField f;
+  f.kind = TemplateField::Kind::Expr;
+  f.formal_index = i;
+  f.arith = op;
+  f.literal = std::move(rhs);
+  return f;
+}
+
+Tuple TupleTemplate::eval(const std::vector<Value>& bindings) const {
+  std::vector<Value> vals;
+  vals.reserve(fields.size());
+  for (const auto& f : fields) vals.push_back(f.eval(bindings));
+  return Tuple(std::move(vals));
+}
+
+std::size_t TupleTemplate::maxFormalRef() const {
+  std::size_t n = 0;
+  for (const auto& f : fields) {
+    if (f.kind != TemplateField::Kind::Literal) {
+      n = std::max(n, static_cast<std::size_t>(f.formal_index) + 1);
+    }
+  }
+  return n;
+}
+
+void TupleTemplate::encode(Writer& w) const {
+  w.u16(static_cast<std::uint16_t>(fields.size()));
+  for (const auto& f : fields) f.encode(w);
+}
+
+TupleTemplate TupleTemplate::decode(Reader& r) {
+  TupleTemplate t;
+  const std::uint16_t n = r.u16();
+  t.fields.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) t.fields.push_back(TemplateField::decode(r));
+  return t;
+}
+
+void PatternTemplateField::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  switch (kind) {
+    case Kind::Actual: actual.encode(w); break;
+    case Kind::Formal: w.u8(static_cast<std::uint8_t>(formal_type)); break;
+    case Kind::BoundRef: w.u16(ref); break;
+  }
+}
+
+PatternTemplateField PatternTemplateField::decode(Reader& r) {
+  PatternTemplateField f;
+  f.kind = static_cast<Kind>(r.u8());
+  switch (f.kind) {
+    case Kind::Actual: f.actual = Value::decode(r); break;
+    case Kind::Formal: f.formal_type = static_cast<ValueType>(r.u8()); break;
+    case Kind::BoundRef: f.ref = r.u16(); break;
+  }
+  return f;
+}
+
+Pattern PatternTemplate::resolve(const std::vector<Value>& bindings) const {
+  std::vector<PatternField> out;
+  out.reserve(fields.size());
+  for (const auto& f : fields) {
+    switch (f.kind) {
+      case PatternTemplateField::Kind::Actual:
+        out.push_back(tuple::actual(f.actual));
+        break;
+      case PatternTemplateField::Kind::Formal:
+        out.push_back(tuple::formal(f.formal_type));
+        break;
+      case PatternTemplateField::Kind::BoundRef:
+        FTL_CHECK(f.ref < bindings.size(), "pattern references unbound formal");
+        out.push_back(tuple::actual(bindings[f.ref]));
+        break;
+    }
+  }
+  return Pattern(std::move(out));
+}
+
+std::size_t PatternTemplate::maxFormalRef() const {
+  std::size_t n = 0;
+  for (const auto& f : fields) {
+    if (f.kind == PatternTemplateField::Kind::BoundRef) {
+      n = std::max(n, static_cast<std::size_t>(f.ref) + 1);
+    }
+  }
+  return n;
+}
+
+void PatternTemplate::encode(Writer& w) const {
+  w.u16(static_cast<std::uint16_t>(fields.size()));
+  for (const auto& f : fields) f.encode(w);
+}
+
+PatternTemplate PatternTemplate::decode(Reader& r) {
+  PatternTemplate p;
+  const std::uint16_t n = r.u16();
+  p.fields.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) p.fields.push_back(PatternTemplateField::decode(r));
+  return p;
+}
+
+const char* opCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::Out: return "out";
+    case OpCode::Inp: return "inp";
+    case OpCode::Rdp: return "rdp";
+    case OpCode::Move: return "move";
+    case OpCode::Copy: return "copy";
+    case OpCode::CreateTs: return "create_TS";
+    case OpCode::DestroyTs: return "destroy_TS";
+  }
+  return "?";
+}
+
+void BodyOp::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u64(ts);
+  w.u64(dst);
+  switch (op) {
+    case OpCode::Out:
+      tmpl.encode(w);
+      break;
+    case OpCode::Inp:
+    case OpCode::Rdp:
+    case OpCode::Move:
+    case OpCode::Copy:
+      pattern.encode(w);
+      break;
+    case OpCode::CreateTs:
+      create_attrs.encode(w);
+      break;
+    case OpCode::DestroyTs:
+      break;
+  }
+}
+
+BodyOp BodyOp::decode(Reader& r) {
+  BodyOp b;
+  b.op = static_cast<OpCode>(r.u8());
+  b.ts = r.u64();
+  b.dst = r.u64();
+  switch (b.op) {
+    case OpCode::Out:
+      b.tmpl = TupleTemplate::decode(r);
+      break;
+    case OpCode::Inp:
+    case OpCode::Rdp:
+    case OpCode::Move:
+    case OpCode::Copy:
+      b.pattern = PatternTemplate::decode(r);
+      break;
+    case OpCode::CreateTs:
+      b.create_attrs = TsAttributes::decode(r);
+      break;
+    case OpCode::DestroyTs:
+      break;
+  }
+  return b;
+}
+
+BodyOp opOut(TsHandle ts, TupleTemplate tmpl) {
+  BodyOp b;
+  b.op = OpCode::Out;
+  b.ts = ts;
+  b.tmpl = std::move(tmpl);
+  return b;
+}
+
+BodyOp opInp(TsHandle ts, PatternTemplate pattern) {
+  BodyOp b;
+  b.op = OpCode::Inp;
+  b.ts = ts;
+  b.pattern = std::move(pattern);
+  return b;
+}
+
+BodyOp opRdp(TsHandle ts, PatternTemplate pattern) {
+  BodyOp b;
+  b.op = OpCode::Rdp;
+  b.ts = ts;
+  b.pattern = std::move(pattern);
+  return b;
+}
+
+BodyOp opMove(TsHandle src, TsHandle dst, PatternTemplate pattern) {
+  BodyOp b;
+  b.op = OpCode::Move;
+  b.ts = src;
+  b.dst = dst;
+  b.pattern = std::move(pattern);
+  return b;
+}
+
+BodyOp opCopy(TsHandle src, TsHandle dst, PatternTemplate pattern) {
+  BodyOp b;
+  b.op = OpCode::Copy;
+  b.ts = src;
+  b.dst = dst;
+  b.pattern = std::move(pattern);
+  return b;
+}
+
+BodyOp opCreateTs(TsAttributes attrs) {
+  BodyOp b;
+  b.op = OpCode::CreateTs;
+  b.create_attrs = attrs;
+  return b;
+}
+
+BodyOp opDestroyTs(TsHandle ts) {
+  BodyOp b;
+  b.op = OpCode::DestroyTs;
+  b.ts = ts;
+  return b;
+}
+
+void Guard::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  if (kind != Kind::True) {
+    w.u64(ts);
+    pattern.encode(w);
+  }
+}
+
+Guard Guard::decode(Reader& r) {
+  Guard g;
+  g.kind = static_cast<Kind>(r.u8());
+  if (g.kind != Kind::True) {
+    g.ts = r.u64();
+    g.pattern = Pattern::decode(r);
+  }
+  return g;
+}
+
+Guard guardTrue() { return Guard{}; }
+
+namespace {
+Guard makeGuard(Guard::Kind k, TsHandle ts, Pattern p) {
+  Guard g;
+  g.kind = k;
+  g.ts = ts;
+  g.pattern = std::move(p);
+  return g;
+}
+}  // namespace
+
+Guard guardIn(TsHandle ts, Pattern p) { return makeGuard(Guard::Kind::In, ts, std::move(p)); }
+Guard guardRd(TsHandle ts, Pattern p) { return makeGuard(Guard::Kind::Rd, ts, std::move(p)); }
+Guard guardInp(TsHandle ts, Pattern p) { return makeGuard(Guard::Kind::Inp, ts, std::move(p)); }
+Guard guardRdp(TsHandle ts, Pattern p) { return makeGuard(Guard::Kind::Rdp, ts, std::move(p)); }
+
+void Branch::encode(Writer& w) const {
+  guard.encode(w);
+  w.u16(static_cast<std::uint16_t>(body.size()));
+  for (const auto& op : body) op.encode(w);
+}
+
+Branch Branch::decode(Reader& r) {
+  Branch b;
+  b.guard = Guard::decode(r);
+  const std::uint16_t n = r.u16();
+  b.body.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) b.body.push_back(BodyOp::decode(r));
+  return b;
+}
+
+bool Ags::blocking() const {
+  for (const auto& b : branches) {
+    if (b.guard.blocking()) return true;
+  }
+  return false;
+}
+
+void Ags::encode(Writer& w) const {
+  w.u16(static_cast<std::uint16_t>(branches.size()));
+  for (const auto& b : branches) b.encode(w);
+}
+
+Ags Ags::decode(Reader& r) {
+  Ags a;
+  const std::uint16_t n = r.u16();
+  a.branches.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) a.branches.push_back(Branch::decode(r));
+  return a;
+}
+
+std::string Ags::toString() const {
+  std::ostringstream os;
+  os << "< ";
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    if (i) os << " or ";
+    const auto& b = branches[i];
+    switch (b.guard.kind) {
+      case Guard::Kind::True: os << "true"; break;
+      case Guard::Kind::In: os << "in" << b.guard.pattern.toString(); break;
+      case Guard::Kind::Rd: os << "rd" << b.guard.pattern.toString(); break;
+      case Guard::Kind::Inp: os << "inp" << b.guard.pattern.toString(); break;
+      case Guard::Kind::Rdp: os << "rdp" << b.guard.pattern.toString(); break;
+    }
+    os << " => " << b.body.size() << " ops";
+  }
+  os << " >";
+  return os.str();
+}
+
+AgsBuilder& AgsBuilder::when(Guard g) {
+  Branch b;
+  b.guard = std::move(g);
+  ags_.branches.push_back(std::move(b));
+  return *this;
+}
+
+AgsBuilder& AgsBuilder::then(BodyOp op) {
+  FTL_REQUIRE(!ags_.branches.empty(), "then() before when()");
+  ags_.branches.back().body.push_back(std::move(op));
+  return *this;
+}
+
+Ags AgsBuilder::build() {
+  FTL_REQUIRE(!ags_.branches.empty(), "AGS needs at least one branch");
+  return std::move(ags_);
+}
+
+}  // namespace ftl::ftlinda

@@ -1,0 +1,241 @@
+// The Atomic Guarded Statement (AGS) — the paper's central construct — and
+// the opcode representation FT-lcc compiles it into.
+//
+//     < guard => body  or  guard => body  or ... >
+//
+// The guard is one (possibly blocking) TS operation or `true`; the body is a
+// sequence of non-blocking TS operations. The whole statement executes
+// all-or-nothing at one point of the global total order.
+//
+// Values bound by the guard's formals are numbered left-to-right and may be
+// referenced by body operations (as out-template fields or as pattern
+// actuals), optionally through a small arithmetic expression — the FT-lcc
+// compilation of things like `out("count", x+1)` in the paper's
+// distributed-variable example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ts/registry.hpp"
+#include "tuple/pattern.hpp"
+
+namespace ftl::ftlinda {
+
+using ts::TsAttributes;
+using ts::TsHandle;
+using tuple::Pattern;
+using tuple::PatternField;
+using tuple::Tuple;
+using tuple::Value;
+using tuple::ValueType;
+
+/// Arithmetic applied to a bound formal inside a body op (the only
+/// computation permitted inside an AGS, keeping replica execution
+/// deterministic and cheap — see DESIGN.md).
+enum class ArithOp : std::uint8_t { Add = 0, Sub = 1, Mul = 2 };
+
+/// One field of an `out` template in an AGS body.
+struct TemplateField {
+  enum class Kind : std::uint8_t { Literal = 0, FormalRef = 1, Expr = 2 };
+  Kind kind = Kind::Literal;
+  Value literal;                    // Literal; Expr's right operand
+  std::uint16_t formal_index = 0;   // FormalRef / Expr's left operand
+  ArithOp arith = ArithOp::Add;     // Expr
+
+  /// Resolve against the guard's bound formals.
+  Value eval(const std::vector<Value>& bindings) const;
+
+  void encode(Writer& w) const;
+  static TemplateField decode(Reader& r);
+};
+
+/// Reference to guard formal `i` (use in templates/pattern-templates).
+TemplateField bound(std::uint16_t i);
+/// `bound(i) <op> literal`, e.g. boundExpr(0, ArithOp::Add, 1) for `x+1`.
+TemplateField boundExpr(std::uint16_t i, ArithOp op, Value rhs);
+
+/// Template for the tuple an `out` deposits.
+struct TupleTemplate {
+  std::vector<TemplateField> fields;
+
+  Tuple eval(const std::vector<Value>& bindings) const;
+  std::size_t maxFormalRef() const;  // 0 if none; else max index + 1
+
+  void encode(Writer& w) const;
+  static TupleTemplate decode(Reader& r);
+};
+
+/// Variadic template builder mixing literals and bound() refs:
+///   makeTemplate("count", boundExpr(0, ArithOp::Add, 1))
+template <typename... Args>
+TupleTemplate makeTemplate(Args&&... args) {
+  TupleTemplate t;
+  t.fields.reserve(sizeof...(Args));
+  auto push = [&t](auto&& a) {
+    using A = std::decay_t<decltype(a)>;
+    if constexpr (std::is_same_v<A, TemplateField>) {
+      t.fields.push_back(std::forward<decltype(a)>(a));
+    } else {
+      TemplateField f;
+      f.kind = TemplateField::Kind::Literal;
+      f.literal = Value(std::forward<decltype(a)>(a));
+      t.fields.push_back(std::move(f));
+    }
+  };
+  (push(std::forward<Args>(args)), ...);
+  return t;
+}
+
+/// One field of a body-op pattern: an actual, a typed formal (matches
+/// anything of the type, binds nothing in body position), or a reference to
+/// a guard formal used as an actual.
+struct PatternTemplateField {
+  enum class Kind : std::uint8_t { Actual = 0, Formal = 1, BoundRef = 2 };
+  Kind kind = Kind::Actual;
+  Value actual;
+  ValueType formal_type = ValueType::Int;
+  std::uint16_t ref = 0;
+
+  void encode(Writer& w) const;
+  static PatternTemplateField decode(Reader& r);
+};
+
+/// Pattern whose actuals may come from guard formals.
+struct PatternTemplate {
+  std::vector<PatternTemplateField> fields;
+
+  Pattern resolve(const std::vector<Value>& bindings) const;
+  std::size_t maxFormalRef() const;
+
+  void encode(Writer& w) const;
+  static PatternTemplate decode(Reader& r);
+};
+
+/// Builder: makePatternTemplate("in_progress", bound(0), fInt()).
+template <typename... Args>
+PatternTemplate makePatternTemplate(Args&&... args) {
+  PatternTemplate p;
+  p.fields.reserve(sizeof...(Args));
+  auto push = [&p](auto&& a) {
+    using A = std::decay_t<decltype(a)>;
+    PatternTemplateField f;
+    if constexpr (std::is_same_v<A, TemplateField>) {
+      // A bound() reference reused in pattern position.
+      f.kind = PatternTemplateField::Kind::BoundRef;
+      f.ref = a.formal_index;
+    } else if constexpr (std::is_same_v<A, PatternField>) {
+      if (a.kind == PatternField::Kind::Formal) {
+        f.kind = PatternTemplateField::Kind::Formal;
+        f.formal_type = a.formal_type;
+      } else {
+        f.kind = PatternTemplateField::Kind::Actual;
+        f.actual = a.actual;
+      }
+    } else {
+      f.kind = PatternTemplateField::Kind::Actual;
+      f.actual = Value(std::forward<decltype(a)>(a));
+    }
+    p.fields.push_back(std::move(f));
+  };
+  (push(std::forward<Args>(args)), ...);
+  return p;
+}
+
+/// Body operation codes. In/Rd are guard-only (blocking); bodies use the
+/// non-blocking forms.
+enum class OpCode : std::uint8_t {
+  Out = 0,
+  Inp = 1,
+  Rdp = 2,
+  Move = 3,
+  Copy = 4,
+  CreateTs = 5,
+  DestroyTs = 6,
+};
+
+const char* opCodeName(OpCode op);
+
+/// One operation in an AGS body.
+struct BodyOp {
+  OpCode op = OpCode::Out;
+  TsHandle ts = ts::kTsMain;   // target; source for Move/Copy
+  TsHandle dst = 0;            // destination for Move/Copy
+  TupleTemplate tmpl;          // Out
+  PatternTemplate pattern;     // Inp/Rdp/Move/Copy
+  TsAttributes create_attrs;   // CreateTs
+
+  void encode(Writer& w) const;
+  static BodyOp decode(Reader& r);
+};
+
+BodyOp opOut(TsHandle ts, TupleTemplate tmpl);
+BodyOp opInp(TsHandle ts, PatternTemplate pattern);
+BodyOp opRdp(TsHandle ts, PatternTemplate pattern);
+BodyOp opMove(TsHandle src, TsHandle dst, PatternTemplate pattern);
+BodyOp opCopy(TsHandle src, TsHandle dst, PatternTemplate pattern);
+BodyOp opCreateTs(TsAttributes attrs);
+BodyOp opDestroyTs(TsHandle ts);
+
+/// AGS guard: `true` or one TS operation. In/Rd block until a match exists;
+/// Inp/Rdp make the branch conditional without blocking.
+struct Guard {
+  enum class Kind : std::uint8_t { True = 0, In = 1, Rd = 2, Inp = 3, Rdp = 4 };
+  Kind kind = Kind::True;
+  TsHandle ts = ts::kTsMain;
+  Pattern pattern;
+
+  bool blocking() const { return kind == Kind::In || kind == Kind::Rd; }
+  bool destructive() const { return kind == Kind::In || kind == Kind::Inp; }
+
+  void encode(Writer& w) const;
+  static Guard decode(Reader& r);
+};
+
+Guard guardTrue();
+Guard guardIn(TsHandle ts, Pattern p);
+Guard guardRd(TsHandle ts, Pattern p);
+Guard guardInp(TsHandle ts, Pattern p);
+Guard guardRdp(TsHandle ts, Pattern p);
+
+/// One disjunct: guard => body.
+struct Branch {
+  Guard guard;
+  std::vector<BodyOp> body;
+
+  void encode(Writer& w) const;
+  static Branch decode(Reader& r);
+};
+
+/// The Atomic Guarded Statement.
+struct Ags {
+  std::vector<Branch> branches;
+
+  /// True if failing to satisfy any guard should block (vs return failure):
+  /// blocks iff at least one branch has a blocking guard.
+  bool blocking() const;
+
+  void encode(Writer& w) const;
+  static Ags decode(Reader& r);
+
+  std::string toString() const;
+};
+
+/// Fluent builder:
+///   Ags a = AgsBuilder()
+///             .when(guardIn(ts, pat)).then(opOut(ts, tmpl))
+///             .orWhen(guardTrue()).then(opOut(ts, other))
+///             .build();
+class AgsBuilder {
+ public:
+  AgsBuilder& when(Guard g);
+  AgsBuilder& orWhen(Guard g) { return when(std::move(g)); }
+  AgsBuilder& then(BodyOp op);
+  Ags build();
+
+ private:
+  Ags ags_;
+};
+
+}  // namespace ftl::ftlinda

@@ -1,0 +1,96 @@
+#include "ftlinda/protocol.hpp"
+
+namespace ftl::ftlinda {
+
+Bytes Command::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(request_id);
+  switch (kind) {
+    case CommandKind::ExecuteAgs:
+      ags.encode(w);
+      break;
+    case CommandKind::MonitorFailures:
+    case CommandKind::UnmonitorFailures:
+      w.u64(ts);
+      break;
+  }
+  return w.take();
+}
+
+Command Command::decode(const Bytes& b) {
+  Reader r(b);
+  Command c;
+  c.kind = static_cast<CommandKind>(r.u8());
+  c.request_id = r.u64();
+  switch (c.kind) {
+    case CommandKind::ExecuteAgs:
+      c.ags = Ags::decode(r);
+      break;
+    case CommandKind::MonitorFailures:
+    case CommandKind::UnmonitorFailures:
+      c.ts = r.u64();
+      break;
+  }
+  return c;
+}
+
+Command makeExecute(std::uint64_t request_id, Ags ags) {
+  Command c;
+  c.kind = CommandKind::ExecuteAgs;
+  c.request_id = request_id;
+  c.ags = std::move(ags);
+  return c;
+}
+
+Bytes Reply::encode() const {
+  Writer w;
+  w.boolean(succeeded);
+  w.u32(static_cast<std::uint32_t>(branch));
+  w.u16(static_cast<std::uint16_t>(bindings.size()));
+  for (const auto& v : bindings) v.encode(w);
+  w.boolean(guard_tuple.has_value());
+  if (guard_tuple) guard_tuple->encode(w);
+  w.u16(static_cast<std::uint16_t>(op_status.size()));
+  for (bool s : op_status) w.boolean(s);
+  w.u32(static_cast<std::uint32_t>(local_deposits.size()));
+  for (const auto& [h, t] : local_deposits) {
+    w.u64(h);
+    t.encode(w);
+  }
+  w.u16(static_cast<std::uint16_t>(created.size()));
+  for (TsHandle h : created) w.u64(h);
+  w.str(error);
+  return w.take();
+}
+
+Reply Reply::decode(const Bytes& b) {
+  Reader r(b);
+  Reply rep;
+  rep.succeeded = r.boolean();
+  rep.branch = static_cast<std::int32_t>(r.u32());
+  const std::uint16_t nb = r.u16();
+  for (std::uint16_t i = 0; i < nb; ++i) rep.bindings.push_back(Value::decode(r));
+  if (r.boolean()) rep.guard_tuple = Tuple::decode(r);
+  const std::uint16_t ns = r.u16();
+  for (std::uint16_t i = 0; i < ns; ++i) rep.op_status.push_back(r.boolean());
+  const std::uint32_t nd = r.u32();
+  for (std::uint32_t i = 0; i < nd; ++i) {
+    const TsHandle h = r.u64();
+    rep.local_deposits.emplace_back(h, Tuple::decode(r));
+  }
+  const std::uint16_t nc = r.u16();
+  for (std::uint16_t i = 0; i < nc; ++i) rep.created.push_back(r.u64());
+  rep.error = r.str();
+  return rep;
+}
+
+Command makeMonitor(std::uint64_t request_id, TsHandle ts, bool enable) {
+  Command c;
+  c.kind = enable ? CommandKind::MonitorFailures : CommandKind::UnmonitorFailures;
+  c.request_id = request_id;
+  c.ts = ts;
+  return c;
+}
+
+}  // namespace ftl::ftlinda

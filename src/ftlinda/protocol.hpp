@@ -1,0 +1,64 @@
+// Commands shipped through the atomic multicast (one message per AGS — the
+// paper's key efficiency property) and the reply the TS state machine
+// produces for the issuing processor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ftlinda/ops.hpp"
+
+namespace ftl::ftlinda {
+
+enum class CommandKind : std::uint8_t {
+  ExecuteAgs = 0,
+  MonitorFailures = 1,    // register a TS for failure-tuple deposit
+  UnmonitorFailures = 2,
+};
+
+struct Command {
+  CommandKind kind = CommandKind::ExecuteAgs;
+  std::uint64_t request_id = 0;  // per-origin; routes the reply
+  Ags ags;                       // ExecuteAgs
+  TsHandle ts = 0;               // Monitor/UnmonitorFailures
+
+  Bytes encode() const;
+  static Command decode(const Bytes& b);
+};
+
+Command makeExecute(std::uint64_t request_id, Ags ags);
+Command makeMonitor(std::uint64_t request_id, TsHandle ts, bool enable);
+
+/// Result of one AGS, produced identically at every replica and consumed by
+/// the issuing processor's runtime.
+struct Reply {
+  /// A guard fired (or a True branch ran). False only for an entirely
+  /// non-blocking AGS whose guards all failed — the strong inp/rdp verdict.
+  bool succeeded = false;
+  /// Index of the branch that fired; -1 if none.
+  std::int32_t branch = -1;
+  /// Values bound by the firing guard's formals, in formal order.
+  std::vector<Value> bindings;
+  /// The tuple the guard matched (In/Rd/Inp/Rdp guards only).
+  std::optional<Tuple> guard_tuple;
+  /// Per-body-op hit flag for Inp/Rdp ops (parallel to the body, true for
+  /// other op kinds).
+  std::vector<bool> op_status;
+  /// Tuples destined for the issuer's volatile local spaces: (local handle,
+  /// tuple), in deposit order. Produced by Out/Move/Copy with a local dst.
+  std::vector<std::pair<TsHandle, Tuple>> local_deposits;
+  /// Handles allocated by CreateTs ops, in op order.
+  std::vector<TsHandle> created;
+  /// Deterministic validation error (same at every replica); empty if none.
+  /// When set, no state was modified.
+  std::string error;
+
+  /// Wire form, used by the tuple-server (RPC) configuration of §6/Fig. 17.
+  Bytes encode() const;
+  static Reply decode(const Bytes& b);
+};
+
+}  // namespace ftl::ftlinda

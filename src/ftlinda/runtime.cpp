@@ -1,0 +1,181 @@
+#include "ftlinda/runtime.hpp"
+
+#include "common/logging.hpp"
+
+namespace ftl::ftlinda {
+
+using ts::isLocalHandle;
+
+Runtime::Runtime(net::HostId host) : host_(host) {}
+
+void Runtime::attach(rsm::Replica* replica, TsStateMachine* sm) {
+  FTL_REQUIRE(replica && sm, "attach() needs a replica and a state machine");
+  replica_ = replica;
+  sm_ = sm;
+  sm_->setReplySink([this](net::HostId origin, std::uint64_t rid, const Reply& r) {
+    if (origin == host_) completeRequest(rid, r);
+  });
+}
+
+void Runtime::completeRequest(std::uint64_t rid, const Reply& r) {
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    auto it = pending_.find(rid);
+    if (it == pending_.end()) return;  // stale reply (pre-crash request)
+    slot = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(slot->m);
+    slot->reply = r;
+  }
+  slot->cv.notify_all();
+}
+
+void Runtime::markCrashed() {
+  crashed_.store(true);
+  std::vector<std::shared_ptr<Slot>> slots;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    for (auto& [rid, slot] : pending_) slots.push_back(slot);
+    pending_.clear();
+  }
+  for (auto& slot : slots) {
+    {
+      std::lock_guard<std::mutex> lock(slot->m);
+      slot->failed = true;
+    }
+    slot->cv.notify_all();
+  }
+  scratch_.interrupt();
+}
+
+bool entirelyLocalAgs(const Ags& ags) {
+  for (const auto& branch : ags.branches) {
+    if (branch.guard.kind != Guard::Kind::True && !isLocalHandle(branch.guard.ts)) return false;
+    for (const auto& op : branch.body) {
+      switch (op.op) {
+        case OpCode::Out:
+        case OpCode::Inp:
+        case OpCode::Rdp:
+        case OpCode::DestroyTs:
+          if (!isLocalHandle(op.ts)) return false;
+          break;
+        case OpCode::Move:
+        case OpCode::Copy:
+          if (!isLocalHandle(op.ts) || !isLocalHandle(op.dst)) return false;
+          break;
+        case OpCode::CreateTs:
+          if (op.create_attrs.stable) return false;
+          break;
+      }
+    }
+  }
+  return true;
+}
+
+Reply Runtime::execute(const Ags& ags) {
+  if (crashed_.load()) throw ProcessorFailure(host_);
+  if (entirelyLocalAgs(ags)) {
+    try {
+      return scratch_.execute(ags, [this] { return crashed_.load(); });
+    } catch (const Error&) {
+      if (crashed_.load()) throw ProcessorFailure(host_);
+      throw;
+    }
+  }
+  return executeReplicated(ags);
+}
+
+Reply Runtime::submitAndWait(Command cmd) {
+  FTL_REQUIRE(replica_ != nullptr, "runtime not attached");
+  auto slot = std::make_shared<Slot>();
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.emplace(cmd.request_id, slot);
+  }
+  // Re-check after registering: a crash between the entry check and the
+  // insert would otherwise leave this slot unfailed forever.
+  if (crashed_.load()) {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.erase(cmd.request_id);
+    throw ProcessorFailure(host_);
+  }
+  replica_->submit(cmd.encode());
+  std::unique_lock<std::mutex> lock(slot->m);
+  slot->cv.wait(lock, [&] { return slot->reply.has_value() || slot->failed; });
+  {
+    std::lock_guard<std::mutex> plock(pending_mutex_);
+    pending_.erase(cmd.request_id);
+  }
+  if (slot->failed) throw ProcessorFailure(host_);
+  return std::move(*slot->reply);
+}
+
+Reply Runtime::executeReplicated(const Ags& ags) {
+  const std::uint64_t rid = next_rid_.fetch_add(1);
+  Reply r = submitAndWait(makeExecute(rid, ags));
+  if (!r.error.empty()) throw Error(r.error);
+  scratch_.applyDeposits(r.local_deposits);
+  return r;
+}
+
+void Runtime::out(TsHandle ts, Tuple t) {
+  TupleTemplate tmpl;
+  tmpl.fields.reserve(t.arity());
+  for (const auto& v : t.fields()) {
+    TemplateField f;
+    f.kind = TemplateField::Kind::Literal;
+    f.literal = v;
+    tmpl.fields.push_back(std::move(f));
+  }
+  execute(AgsBuilder().when(guardTrue()).then(opOut(ts, std::move(tmpl))).build());
+}
+
+Tuple Runtime::in(TsHandle ts, Pattern p) {
+  Reply r = execute(AgsBuilder().when(guardIn(ts, std::move(p))).build());
+  FTL_ENSURE(r.guard_tuple.has_value(), "in() reply carries no tuple");
+  return std::move(*r.guard_tuple);
+}
+
+Tuple Runtime::rd(TsHandle ts, Pattern p) {
+  Reply r = execute(AgsBuilder().when(guardRd(ts, std::move(p))).build());
+  FTL_ENSURE(r.guard_tuple.has_value(), "rd() reply carries no tuple");
+  return std::move(*r.guard_tuple);
+}
+
+std::optional<Tuple> Runtime::inp(TsHandle ts, Pattern p) {
+  Reply r = execute(AgsBuilder().when(guardInp(ts, std::move(p))).build());
+  return r.guard_tuple;
+}
+
+std::optional<Tuple> Runtime::rdp(TsHandle ts, Pattern p) {
+  Reply r = execute(AgsBuilder().when(guardRdp(ts, std::move(p))).build());
+  return r.guard_tuple;
+}
+
+TsHandle Runtime::createTs(TsAttributes attrs) {
+  if (!attrs.stable) return scratch_.create(attrs);
+  Reply r = execute(AgsBuilder().when(guardTrue()).then(opCreateTs(attrs)).build());
+  FTL_ENSURE(r.created.size() == 1, "create_TS reply carries no handle");
+  return r.created.front();
+}
+
+void Runtime::destroyTs(TsHandle ts) {
+  if (isLocalHandle(ts)) {
+    scratch_.destroy(ts);
+    return;
+  }
+  execute(AgsBuilder().when(guardTrue()).then(opDestroyTs(ts)).build());
+}
+
+void Runtime::monitorFailures(TsHandle ts, bool enable) {
+  FTL_REQUIRE(!isLocalHandle(ts), "only stable spaces receive failure tuples");
+  if (crashed_.load()) throw ProcessorFailure(host_);
+  const std::uint64_t rid = next_rid_.fetch_add(1);
+  submitAndWait(makeMonitor(rid, ts, enable));
+}
+
+std::size_t Runtime::localTupleCount(TsHandle ts) const { return scratch_.tupleCount(ts); }
+
+}  // namespace ftl::ftlinda

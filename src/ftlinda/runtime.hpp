@@ -1,0 +1,115 @@
+// Runtime: the FT-Linda library a process on one simulated processor links
+// against. Provides the classic Linda verbs (out/in/rd/inp/rdp), tuple space
+// management, failure monitoring, and AGS execution.
+//
+// Routing (paper §5.2): an AGS whose operations touch stable tuple spaces is
+// compiled into ONE multicast command, submitted into the total order, and
+// executed by every replica's TS state machine; the local replica's reply
+// completes the call. An AGS that touches only this processor's volatile
+// scratch spaces never leaves the processor — it executes locally (with
+// identical semantics, including blocking).
+//
+// Crash semantics: when the processor "fails" (Network::crash), every
+// pending and future call throws ProcessorFailure — simulated processes use
+// that to halt, mirroring a real process dying with its host.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "ftlinda/scratch.hpp"
+#include "ftlinda/ts_state_machine.hpp"
+#include "rsm/replica.hpp"
+
+namespace ftl::ftlinda {
+
+/// Thrown by runtime calls on/after the processor's simulated crash.
+class ProcessorFailure : public Error {
+ public:
+  explicit ProcessorFailure(net::HostId host)
+      : Error("processor " + std::to_string(host) + " failed") {}
+};
+
+class Runtime {
+ public:
+  explicit Runtime(net::HostId host);
+
+  /// Wire to this processor's replica and TS state machine (installs the
+  /// reply sink). Called once by FtLindaSystem.
+  void attach(rsm::Replica* replica, TsStateMachine* sm);
+
+  net::HostId host() const { return host_; }
+
+  /// Execute an AGS. Blocks until the statement completes (which may mean
+  /// waiting for a guard to become satisfiable). Throws ftl::Error for
+  /// invalid statements and ProcessorFailure on crash.
+  Reply execute(const Ags& ags);
+
+  // ---- single-operation sugar (each is an AGS of its own) ----
+
+  /// out(ts, t): deposit a tuple.
+  void out(TsHandle ts, Tuple t);
+  /// in(ts, p): withdraw the oldest match, blocking until one exists.
+  Tuple in(TsHandle ts, Pattern p);
+  /// rd(ts, p): read the oldest match, blocking until one exists.
+  Tuple rd(TsHandle ts, Pattern p);
+  /// inp(ts, p): withdraw without blocking; strong semantics — nullopt
+  /// GUARANTEES no match existed at this point of the total order.
+  std::optional<Tuple> inp(TsHandle ts, Pattern p);
+  /// rdp(ts, p): non-destructive inp.
+  std::optional<Tuple> rdp(TsHandle ts, Pattern p);
+
+  // ---- tuple space management ----
+
+  /// Create a tuple space. Stable+shared spaces are replicated; volatile
+  /// ones live only on this processor (scratch). The paper's
+  /// create_TS(stability, scope).
+  TsHandle createTs(TsAttributes attrs);
+  /// Convenience: volatile private scratch space.
+  TsHandle createScratch() { return createTs(TsAttributes{false, false}); }
+  void destroyTs(TsHandle ts);
+
+  /// Register `ts` to receive ("failure", host) tuples when a processor
+  /// crashes (fail-stop conversion).
+  void monitorFailures(TsHandle ts, bool enable = true);
+
+  // ---- crash plumbing (driven by FtLindaSystem) ----
+  void markCrashed();
+  bool crashed() const { return crashed_.load(); }
+
+  /// Local-scratch introspection for tests.
+  std::size_t localTupleCount(TsHandle ts) const;
+
+ private:
+  struct Slot {
+    std::mutex m;
+    std::condition_variable cv;
+    std::optional<Reply> reply;
+    bool failed = false;
+  };
+
+  Reply executeReplicated(const Ags& ags);
+  void completeRequest(std::uint64_t rid, const Reply& r);
+  Reply submitAndWait(Command cmd);
+
+  const net::HostId host_;
+  rsm::Replica* replica_ = nullptr;
+  TsStateMachine* sm_ = nullptr;
+
+  std::atomic<bool> crashed_{false};
+  std::atomic<std::uint64_t> next_rid_{1};
+
+  std::mutex pending_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Slot>> pending_;
+
+  ScratchSpaces scratch_;
+};
+
+/// True if every handle the AGS references is a processor-local scratch
+/// handle (such statements execute without any multicast). Exposed for both
+/// runtime flavours.
+bool entirelyLocalAgs(const Ags& ags);
+
+}  // namespace ftl::ftlinda

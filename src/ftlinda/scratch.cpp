@@ -1,0 +1,52 @@
+#include "ftlinda/scratch.hpp"
+
+namespace ftl::ftlinda {
+
+TsHandle ScratchSpaces::create(TsAttributes attrs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reg_.create(attrs);
+}
+
+void ScratchSpaces::destroy(TsHandle h) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FTL_CHECK(reg_.destroy(h), "destroy_TS: unknown local handle");
+}
+
+Reply ScratchSpaces::execute(const Ags& ags, const std::function<bool()>& aborted) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (aborted && aborted()) throw Error("local execution aborted");
+    ExecResult res = tryExecuteAgs(ags, reg_, ExecMode::Local);
+    if (res.executed) {
+      if (!res.reply.error.empty()) throw Error(res.reply.error);
+      ++version_;  // the body may have deposited tuples
+      lock.unlock();
+      cv_.notify_all();
+      return res.reply;
+    }
+    const std::uint64_t seen = version_;
+    cv_.wait_for(lock, Millis{20}, [&] { return version_ != seen; });
+  }
+}
+
+void ScratchSpaces::applyDeposits(const std::vector<std::pair<TsHandle, Tuple>>& deposits) {
+  if (deposits.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [h, t] : deposits) {
+      if (auto* space = reg_.find(h)) space->put(t);
+    }
+    ++version_;
+  }
+  cv_.notify_all();
+}
+
+void ScratchSpaces::interrupt() { cv_.notify_all(); }
+
+std::size_t ScratchSpaces::tupleCount(TsHandle h) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto* space = reg_.find(h);
+  return space ? space->size() : 0;
+}
+
+}  // namespace ftl::ftlinda

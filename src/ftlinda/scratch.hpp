@@ -1,0 +1,51 @@
+// ScratchSpaces: a processor's volatile private tuple spaces.
+//
+// Shared by both runtime flavours (the embedded Runtime and the
+// tuple-server RemoteRuntime of §6/Fig. 17). Provides local execution of
+// all-local AGSes — with full blocking semantics against a local condition
+// variable — and absorbs the local_deposits carried back in replies from
+// the replicated path.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "ftlinda/executor.hpp"
+
+namespace ftl::ftlinda {
+
+class ScratchSpaces {
+ public:
+  ScratchSpaces() = default;
+  ScratchSpaces(const ScratchSpaces&) = delete;
+  ScratchSpaces& operator=(const ScratchSpaces&) = delete;
+
+  /// Create a volatile space; the handle carries ts::kLocalHandleBit.
+  TsHandle create(TsAttributes attrs);
+  /// Destroy a local space. Throws on unknown handle.
+  void destroy(TsHandle h);
+
+  /// Execute an all-local AGS; blocks (on this processor only) until a
+  /// guard can fire. `aborted` is polled so a crashed processor's waiters
+  /// wake up; when it returns true this call throws ftl::Error.
+  Reply execute(const Ags& ags, const std::function<bool()>& aborted);
+
+  /// Absorb (handle, tuple) deposits from a replicated reply; wakes local
+  /// waiters. Deposits to destroyed spaces are silently dropped.
+  void applyDeposits(const std::vector<std::pair<TsHandle, Tuple>>& deposits);
+
+  /// Wake all local waiters (crash plumbing).
+  void interrupt();
+
+  std::size_t tupleCount(TsHandle h) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  ts::TsRegistry reg_{/*with_main=*/false, ts::kLocalHandleBit};
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace ftl::ftlinda

@@ -1,0 +1,184 @@
+#include "ftlinda/system.hpp"
+
+#include "common/logging.hpp"
+
+namespace ftl::ftlinda {
+
+consul::ConsulConfig simulationConsulConfig() {
+  consul::ConsulConfig cfg;
+  cfg.tick = Micros{2'000};
+  cfg.heartbeat_interval = Micros{10'000};
+  cfg.failure_timeout = Micros{80'000};
+  cfg.request_retransmit = Micros{50'000};
+  cfg.nack_timeout = Micros{10'000};
+  cfg.ack_interval = Micros{20'000};
+  cfg.view_change_timeout = Micros{200'000};
+  return cfg;
+}
+
+FtLindaSystem::FtLindaSystem(SystemConfig cfg)
+    : cfg_([&] {
+        // Default the consul config to simulation-speed timeouts when the
+        // caller left it untouched.
+        if (cfg.consul.heartbeat_interval == consul::ConsulConfig{}.heartbeat_interval &&
+            cfg.consul.failure_timeout == consul::ConsulConfig{}.failure_timeout) {
+          cfg.consul = simulationConsulConfig();
+        }
+        return cfg;
+      }()),
+      replica_count_(cfg_.replica_hosts == 0 ? cfg_.hosts : cfg_.replica_hosts),
+      net_(cfg_.hosts, cfg_.net) {
+  FTL_REQUIRE(cfg_.hosts > 0, "system needs at least one host");
+  FTL_REQUIRE(replica_count_ <= cfg_.hosts, "more replica hosts than hosts");
+  for (std::uint32_t h = 0; h < replica_count_; ++h) group_.push_back(h);
+  incarnation_.assign(cfg_.hosts, 0);
+  ctxs_.resize(cfg_.hosts);
+  for (std::uint32_t h = 0; h < cfg_.hosts; ++h) {
+    ctxs_[h] = makeCtx(h, /*join_existing=*/false);
+  }
+  for (auto& ctx : ctxs_) {
+    if (ctx.replica) ctx.replica->start();
+    if (ctx.remote) ctx.remote->start();
+  }
+  if (cfg_.monitor_main) {
+    runtime(0).monitorFailures(ts::kTsMain);
+  }
+}
+
+FtLindaSystem::Ctx FtLindaSystem::makeCtx(net::HostId host, bool join_existing) {
+  Ctx ctx;
+  if (host < replica_count_) {
+    ctx.sm = std::make_unique<TsStateMachine>();
+    ctx.replica = std::make_unique<rsm::Replica>(net_, host, group_, cfg_.consul, *ctx.sm,
+                                                 join_existing);
+    ctx.runtime = std::make_unique<Runtime>(host);
+    ctx.runtime->attach(ctx.replica.get(), ctx.sm.get());
+    if (replica_count_ < cfg_.hosts) {
+      // Tuple-server configuration: this replica also serves RPC clients.
+      ctx.server = std::make_unique<TupleServer>(net_, *ctx.replica, *ctx.sm);
+    }
+  } else {
+    const net::HostId server = host % replica_count_;
+    ctx.remote = std::make_unique<RemoteRuntime>(net_, host, server);
+  }
+  return ctx;
+}
+
+FtLindaSystem::~FtLindaSystem() {
+  // Unblock every simulated process, then join them before the stack dies.
+  for (std::uint32_t h = 0; h < hostCount(); ++h) {
+    if (isUp(h)) crash(h);
+  }
+  joinProcesses();
+}
+
+Runtime& FtLindaSystem::runtime(net::HostId host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FTL_REQUIRE(host < ctxs_.size(), "no such host");
+  FTL_REQUIRE(ctxs_[host].runtime != nullptr, "host is an RPC client: use remoteRuntime()");
+  return *ctxs_[host].runtime;
+}
+
+RemoteRuntime& FtLindaSystem::remoteRuntime(net::HostId host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FTL_REQUIRE(host < ctxs_.size(), "no such host");
+  FTL_REQUIRE(ctxs_[host].remote != nullptr, "host runs a replica: use runtime()");
+  return *ctxs_[host].remote;
+}
+
+TsStateMachine& FtLindaSystem::stateMachine(net::HostId host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FTL_REQUIRE(host < ctxs_.size(), "no such host");
+  FTL_REQUIRE(ctxs_[host].sm != nullptr, "client hosts have no replica");
+  return *ctxs_[host].sm;
+}
+
+void FtLindaSystem::crash(net::HostId host) {
+  FTL_REQUIRE(host < ctxs_.size(), "no such host");
+  net_.crash(host);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ctxs_[host].runtime) ctxs_[host].runtime->markCrashed();
+  if (ctxs_[host].remote) ctxs_[host].remote->markCrashed();
+  FTL_INFO("system", "processor " << host << " crashed");
+}
+
+bool FtLindaSystem::recover(net::HostId host, Millis timeout) {
+  FTL_REQUIRE(host < ctxs_.size(), "no such host");
+  FTL_REQUIRE(net_.isCrashed(host), "recover() of a live processor");
+  Ctx fresh = makeCtx(host, /*join_existing=*/true);
+  rsm::Replica* replica = fresh.replica.get();
+  RemoteRuntime* remote = fresh.remote.get();
+  rsm::Replica* old_replica = nullptr;
+  RemoteRuntime* old_remote = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    graveyard_.push_back(std::move(ctxs_[host]));
+    ctxs_[host] = std::move(fresh);
+    old_replica = graveyard_.back().replica.get();
+    old_remote = graveyard_.back().remote.get();
+  }
+  // The crashed stack's service threads must be fully gone BEFORE the
+  // network endpoint reopens, or they would keep draining the inbox and
+  // steal the replacement's messages (the objects themselves stay alive in
+  // the graveyard for any simulated process still holding a reference).
+  if (old_replica) old_replica->shutdown();
+  if (old_remote) old_remote->shutdown();
+  net_.recover(host);
+  ++incarnation_[host];
+  if (remote) {
+    // RPC clients hold no replicated state; recovery is just a fresh library.
+    remote->start();
+    FTL_INFO("system", "client processor " << host << " restarted");
+    return true;
+  }
+  replica->start();
+  replica->join(incarnation_[host]);
+  const auto deadline = Clock::now() + timeout;
+  while (Clock::now() < deadline) {
+    if (replica->isMember()) {
+      FTL_INFO("system", "processor " << host << " rejoined");
+      return true;
+    }
+    std::this_thread::sleep_for(Millis{2});
+  }
+  return replica->isMember();
+}
+
+void FtLindaSystem::spawnProcess(net::HostId host, std::function<void(Runtime&)> fn) {
+  Runtime* rt = &runtime(host);
+  std::lock_guard<std::mutex> lock(mutex_);
+  processes_.emplace_back([rt, host, fn = std::move(fn)] {
+    try {
+      fn(*rt);
+    } catch (const ProcessorFailure&) {
+      // The process died with its processor — expected under crash injection.
+    } catch (const std::exception& e) {
+      FTL_ERROR("system", "process on host " << host << " terminated: " << e.what());
+    }
+  });
+}
+
+void FtLindaSystem::spawnRemoteProcess(net::HostId host,
+                                       std::function<void(RemoteRuntime&)> fn) {
+  RemoteRuntime* rt = &remoteRuntime(host);
+  std::lock_guard<std::mutex> lock(mutex_);
+  processes_.emplace_back([rt, host, fn = std::move(fn)] {
+    try {
+      fn(*rt);
+    } catch (const ProcessorFailure&) {
+    } catch (const std::exception& e) {
+      FTL_ERROR("system", "client process on host " << host << " terminated: " << e.what());
+    }
+  });
+}
+
+void FtLindaSystem::joinProcesses() {
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads.swap(processes_);
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace ftl::ftlinda

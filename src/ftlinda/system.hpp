@@ -1,0 +1,115 @@
+// FtLindaSystem: a complete FT-Linda deployment on a simulated network of
+// workstations — the object examples and benches instantiate.
+//
+// Per processor it wires together the full stack from the paper's Figure
+// (user processes / FT-Linda library / TS state machine / Consul / network):
+//
+//   Runtime  (client library, scratch spaces)
+//      |  commands / replies
+//   TsStateMachine  (replicated stable tuple spaces)
+//      |  totally ordered commands
+//   rsm::Replica -> consul::ConsulNode  (atomic multicast, membership)
+//      |
+//   net::Network  (simulated LAN with crash injection)
+//
+// crash(h) injects a fail-silent processor failure; recover(h) restarts the
+// processor, which rejoins the group and receives a state snapshot.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ftlinda/runtime.hpp"
+#include "ftlinda/tuple_server.hpp"
+
+namespace ftl::ftlinda {
+
+struct SystemConfig {
+  std::uint32_t hosts = 3;
+  net::NetworkConfig net;          // default: zero latency (fast tests)
+  consul::ConsulConfig consul;     // default: see constructor note below
+  /// Auto-register TSmain for failure tuples at startup.
+  bool monitor_main = false;
+  /// Tuple-server configuration (§6/Fig. 17): only the first `replica_hosts`
+  /// hosts run TS replicas (and request handlers); the remaining hosts are
+  /// clients whose runtimes forward AGSes by RPC (round-robin assignment).
+  /// 0 = every host runs a replica (the default, embedded configuration).
+  std::uint32_t replica_hosts = 0;
+};
+
+/// Consul timeouts tuned for simulation speed (milliseconds, not seconds).
+consul::ConsulConfig simulationConsulConfig();
+
+class FtLindaSystem {
+ public:
+  explicit FtLindaSystem(SystemConfig cfg);
+  /// Crashes every host (to unblock simulated processes), joins them, and
+  /// tears the stack down.
+  ~FtLindaSystem();
+
+  FtLindaSystem(const FtLindaSystem&) = delete;
+  FtLindaSystem& operator=(const FtLindaSystem&) = delete;
+
+  std::uint32_t hostCount() const { return static_cast<std::uint32_t>(ctxs_.size()); }
+  net::Network& network() { return net_; }
+
+  /// The live runtime for `host` (replaced on recovery). Only valid for
+  /// replica hosts.
+  Runtime& runtime(net::HostId host);
+  /// The live RPC runtime for a client host (tuple-server configuration).
+  RemoteRuntime& remoteRuntime(net::HostId host);
+  /// True if `host` runs a replica (vs. being an RPC client).
+  bool isReplicaHost(net::HostId host) const { return host < replica_count_; }
+  /// The live TS state machine replica hosted on `host` (introspection).
+  TsStateMachine& stateMachine(net::HostId host);
+
+  /// Fail-silent crash of a processor: all its traffic stops, its pending
+  /// and future runtime calls throw ProcessorFailure, and the survivors
+  /// eventually deposit a failure tuple into monitored spaces.
+  void crash(net::HostId host);
+
+  /// Restart a crashed processor: fresh runtime + replica that rejoins the
+  /// group and installs a snapshot. Blocks until membership (or timeout).
+  /// Returns true on successful rejoin.
+  bool recover(net::HostId host, Millis timeout = Millis{10'000});
+
+  bool isUp(net::HostId host) const { return !net_.isCrashed(host); }
+
+  /// Run `fn(runtime)` on a dedicated thread bound to `host`, like a process
+  /// created on that processor. ProcessorFailure terminates it quietly
+  /// (the process dies with its host).
+  void spawnProcess(net::HostId host, std::function<void(Runtime&)> fn);
+
+  /// spawnProcess for a client host in the tuple-server configuration.
+  void spawnRemoteProcess(net::HostId host, std::function<void(RemoteRuntime&)> fn);
+
+  /// Join all spawned process threads (they must terminate on their own).
+  void joinProcesses();
+
+ private:
+  struct Ctx {
+    // Replica hosts:
+    std::unique_ptr<TsStateMachine> sm;
+    std::unique_ptr<rsm::Replica> replica;
+    std::unique_ptr<Runtime> runtime;
+    std::unique_ptr<TupleServer> server;
+    // Client hosts (tuple-server configuration):
+    std::unique_ptr<RemoteRuntime> remote;
+  };
+
+  Ctx makeCtx(net::HostId host, bool join_existing);
+
+  SystemConfig cfg_;
+  std::uint32_t replica_count_ = 0;
+  net::Network net_;
+  std::vector<net::HostId> group_;
+  std::vector<Ctx> ctxs_;
+  std::vector<Ctx> graveyard_;  // keeps crashed stacks alive for old threads
+  std::vector<std::uint64_t> incarnation_;
+  std::vector<std::thread> processes_;
+  std::mutex mutex_;
+};
+
+}  // namespace ftl::ftlinda

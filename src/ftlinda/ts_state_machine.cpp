@@ -1,0 +1,222 @@
+#include "ftlinda/ts_state_machine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace ftl::ftlinda {
+
+TsStateMachine::TsStateMachine(ReplySink sink) : sink_(std::move(sink)) {}
+
+void TsStateMachine::setReplySink(ReplySink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void TsStateMachine::addReplySink(ReplySink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  extra_sinks_.push_back(std::move(sink));
+}
+
+void TsStateMachine::emitLocked(net::HostId origin, std::uint64_t request_id,
+                                const Reply& reply) {
+  if (sink_) sink_(origin, request_id, reply);
+  for (const auto& sink : extra_sinks_) sink(origin, request_id, reply);
+}
+
+void TsStateMachine::apply(const rsm::ApplyContext& ctx, const Bytes& command) {
+  Command cmd = Command::decode(command);
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (cmd.kind) {
+    case CommandKind::ExecuteAgs: {
+      ExecResult res = tryExecuteAgs(cmd.ags, reg_, ExecMode::Replicated);
+      countLocked(cmd.ags, res, /*woken=*/false);
+      if (!res.executed) {
+        BlockedAgs b;
+        b.order = ctx.gseq;
+        b.origin = ctx.origin;
+        b.request_id = cmd.request_id;
+        b.ags = std::move(cmd.ags);
+        blocked_.push_back(std::move(b));
+        FTL_DEBUG("tssm", "AGS from host " << ctx.origin << " blocked (queue="
+                                           << blocked_.size() << ")");
+      } else {
+        emitLocked(ctx.origin, cmd.request_id, res.reply);
+      }
+      // Whatever just ran may have deposited tuples that unblock others.
+      retryBlockedLocked();
+      break;
+    }
+    case CommandKind::MonitorFailures: {
+      auto it = std::lower_bound(monitored_.begin(), monitored_.end(), cmd.ts);
+      if (it == monitored_.end() || *it != cmd.ts) monitored_.insert(it, cmd.ts);
+      Reply r;
+      r.succeeded = true;
+      emitLocked(ctx.origin, cmd.request_id, r);
+      break;
+    }
+    case CommandKind::UnmonitorFailures: {
+      auto it = std::lower_bound(monitored_.begin(), monitored_.end(), cmd.ts);
+      if (it != monitored_.end() && *it == cmd.ts) monitored_.erase(it);
+      Reply r;
+      r.succeeded = true;
+      emitLocked(ctx.origin, cmd.request_id, r);
+      break;
+    }
+  }
+}
+
+void TsStateMachine::countLocked(const Ags& ags, const ExecResult& res, bool woken) {
+  if (!res.executed) {
+    ++metrics_.ags_blocked;
+    return;
+  }
+  if (!res.reply.error.empty()) {
+    ++metrics_.ags_errors;
+    return;
+  }
+  if (!res.reply.succeeded) {
+    ++metrics_.ags_failed;
+    return;
+  }
+  ++metrics_.ags_executed;
+  if (woken) ++metrics_.ags_woken;
+  const Branch& br = ags.branches[static_cast<std::size_t>(res.reply.branch)];
+  switch (br.guard.kind) {
+    case Guard::Kind::In: ++metrics_.guards_in; break;
+    case Guard::Kind::Rd: ++metrics_.guards_rd; break;
+    case Guard::Kind::Inp: ++metrics_.guards_in; break;
+    case Guard::Kind::Rdp: ++metrics_.guards_rd; break;
+    case Guard::Kind::True: break;
+  }
+  for (const auto& op : br.body) {
+    switch (op.op) {
+      case OpCode::Out: ++metrics_.ops_out; break;
+      case OpCode::Inp: ++metrics_.ops_inp; break;
+      case OpCode::Rdp: ++metrics_.ops_rdp; break;
+      case OpCode::Move: ++metrics_.ops_move; break;
+      case OpCode::Copy: ++metrics_.ops_copy; break;
+      case OpCode::CreateTs:
+      case OpCode::DestroyTs: break;
+    }
+  }
+}
+
+TsStateMachine::Metrics TsStateMachine::metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_;
+}
+
+void TsStateMachine::retryBlockedLocked() {
+  // Deterministic wake policy: scan the queue oldest-first; repeat until a
+  // full pass wakes nobody (a woken body may enable an older statement).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = blocked_.begin(); it != blocked_.end();) {
+      ExecResult res = tryExecuteAgs(it->ags, reg_, ExecMode::Replicated);
+      if (res.executed) {
+        countLocked(it->ags, res, /*woken=*/true);
+        emitLocked(it->origin, it->request_id, res.reply);
+        it = blocked_.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void TsStateMachine::onMembership(std::uint64_t gseq, const std::vector<net::HostId>& members,
+                                  const std::vector<net::HostId>& failed,
+                                  const std::vector<net::HostId>& joined) {
+  (void)gseq;
+  (void)members;
+  (void)joined;
+  if (failed.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (net::HostId h : failed) {
+    // Fail-silent -> fail-stop: one failure tuple per registered TS, at the
+    // same point of the total order at every replica.
+    for (TsHandle ts : monitored_) {
+      if (auto* space = reg_.find(ts)) {
+        space->put(tuple::makeTuple("failure", static_cast<std::int64_t>(h)));
+        ++metrics_.failure_tuples;
+      }
+    }
+    // Blocked statements from the dead processor will never be claimed.
+    const auto before = blocked_.size();
+    blocked_.erase(std::remove_if(blocked_.begin(), blocked_.end(),
+                                  [&](const BlockedAgs& b) { return b.origin == h; }),
+                   blocked_.end());
+    metrics_.cancelled_blocked += before - blocked_.size();
+  }
+  retryBlockedLocked();
+}
+
+Bytes TsStateMachine::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Writer w;
+  reg_.encode(w);
+  w.u32(static_cast<std::uint32_t>(blocked_.size()));
+  for (const auto& b : blocked_) {
+    w.u64(b.order);
+    w.u32(b.origin);
+    w.u64(b.request_id);
+    b.ags.encode(w);
+  }
+  w.u32(static_cast<std::uint32_t>(monitored_.size()));
+  for (TsHandle h : monitored_) w.u64(h);
+  return w.take();
+}
+
+void TsStateMachine::restore(const Bytes& snapshot) {
+  Reader r(snapshot);
+  std::lock_guard<std::mutex> lock(mutex_);
+  reg_ = ts::TsRegistry::decode(r);
+  blocked_.clear();
+  const std::uint32_t nb = r.u32();
+  for (std::uint32_t i = 0; i < nb; ++i) {
+    BlockedAgs b;
+    b.order = r.u64();
+    b.origin = r.u32();
+    b.request_id = r.u64();
+    b.ags = Ags::decode(r);
+    blocked_.push_back(std::move(b));
+  }
+  monitored_.clear();
+  const std::uint32_t nm = r.u32();
+  for (std::uint32_t i = 0; i < nm; ++i) monitored_.push_back(r.u64());
+}
+
+std::size_t TsStateMachine::blockedCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocked_.size();
+}
+
+std::size_t TsStateMachine::spaceCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reg_.spaceCount();
+}
+
+std::size_t TsStateMachine::tupleCount(TsHandle ts) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto* space = reg_.find(ts);
+  return space ? space->size() : 0;
+}
+
+std::vector<Tuple> TsStateMachine::spaceContents(TsHandle ts) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto* space = reg_.find(ts);
+  return space ? space->contents() : std::vector<Tuple>{};
+}
+
+bool TsStateMachine::monitored(TsHandle ts) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::binary_search(monitored_.begin(), monitored_.end(), ts);
+}
+
+Bytes TsStateMachine::stateDigestBytes() const { return snapshot(); }
+
+}  // namespace ftl::ftlinda

@@ -1,0 +1,106 @@
+// TsStateMachine: the replicated state machine that realizes STABLE tuple
+// spaces (paper §5). One instance runs at every processor; all of them apply
+// the same AGS stream in the same total order, so their registries stay
+// identical and tuples survive any minority of crashes.
+//
+// Responsibilities:
+//  - execute each AGS command atomically (via the shared executor);
+//  - queue AGSes whose guards cannot fire (blocking semantics), waking them
+//    deterministically — oldest first — whenever state changes;
+//  - convert membership failures into failure tuples ("failure", host)
+//    deposited into every registered TS, at the same point of the total
+//    order everywhere (the fail-silent -> fail-stop conversion of §3.3);
+//  - cancel blocked statements issued by a failed processor;
+//  - snapshot/restore everything for recovering replicas.
+//
+// Replies are produced at every replica (deterministically) and handed to
+// the reply sink; the sink installed by the local runtime keeps only replies
+// addressed to its own processor.
+#pragma once
+
+#include <functional>
+#include <mutex>
+
+#include "ftlinda/executor.hpp"
+#include "rsm/state_machine.hpp"
+
+namespace ftl::ftlinda {
+
+class TsStateMachine : public rsm::StateMachine {
+ public:
+  /// (origin processor, request id, reply). Called while the machine's lock
+  /// is held; must not call back into the state machine.
+  using ReplySink = std::function<void(net::HostId, std::uint64_t, const Reply&)>;
+
+  explicit TsStateMachine(ReplySink sink = {});
+
+  /// Install/replace the reply sink (the runtime wires itself in here).
+  void setReplySink(ReplySink sink);
+
+  /// Add an ADDITIONAL reply sink (the tuple server uses this to intercept
+  /// replies for requests it forwarded on behalf of RPC clients). Sinks see
+  /// every reply and filter by (origin, request id) themselves.
+  void addReplySink(ReplySink sink);
+
+  // rsm::StateMachine
+  void apply(const rsm::ApplyContext& ctx, const Bytes& command) override;
+  void onMembership(std::uint64_t gseq, const std::vector<net::HostId>& members,
+                    const std::vector<net::HostId>& failed,
+                    const std::vector<net::HostId>& joined) override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& snapshot) override;
+
+  /// Operation counters, maintained while applying the ordered stream.
+  /// Deterministic across replicas (they apply identical streams), so they
+  /// double as a cheap divergence probe.
+  struct Metrics {
+    std::uint64_t ags_executed = 0;      // statements that fired a branch
+    std::uint64_t ags_failed = 0;        // non-blocking statements, no match
+    std::uint64_t ags_blocked = 0;       // statements that had to queue
+    std::uint64_t ags_woken = 0;         // queued statements later fired
+    std::uint64_t ags_errors = 0;        // deterministic validation errors
+    std::uint64_t ops_out = 0;
+    std::uint64_t ops_inp = 0;
+    std::uint64_t ops_rdp = 0;
+    std::uint64_t ops_move = 0;
+    std::uint64_t ops_copy = 0;
+    std::uint64_t guards_in = 0;
+    std::uint64_t guards_rd = 0;
+    std::uint64_t failure_tuples = 0;
+    std::uint64_t cancelled_blocked = 0;  // blocked statements of dead hosts
+  };
+  Metrics metrics() const;
+
+  // Introspection (tests, benches, examples). Values are copies taken under
+  // the machine's lock.
+  std::size_t blockedCount() const;
+  std::size_t spaceCount() const;
+  std::size_t tupleCount(TsHandle ts) const;
+  std::vector<Tuple> spaceContents(TsHandle ts) const;
+  bool monitored(TsHandle ts) const;
+  /// Byte-identical across replicas with equal state (determinism checks).
+  Bytes stateDigestBytes() const;
+
+ private:
+  struct BlockedAgs {
+    std::uint64_t order = 0;  // gseq at arrival: deterministic wake order
+    net::HostId origin = net::kNoHost;
+    std::uint64_t request_id = 0;
+    Ags ags;
+  };
+
+  void applyExecute(const rsm::ApplyContext& ctx, Command cmd);
+  void retryBlockedLocked();
+  void emitLocked(net::HostId origin, std::uint64_t request_id, const Reply& reply);
+  void countLocked(const Ags& ags, const ExecResult& res, bool woken);
+
+  mutable std::mutex mutex_;
+  ReplySink sink_;
+  std::vector<ReplySink> extra_sinks_;
+  ts::TsRegistry reg_{/*with_main=*/true};
+  std::vector<BlockedAgs> blocked_;       // sorted by order
+  std::vector<TsHandle> monitored_;       // sorted; failure-notify targets
+  Metrics metrics_;                       // NOT part of snapshots (local)
+};
+
+}  // namespace ftl::ftlinda

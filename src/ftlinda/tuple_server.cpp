@@ -1,0 +1,210 @@
+#include "ftlinda/tuple_server.hpp"
+
+#include "common/logging.hpp"
+
+namespace ftl::ftlinda {
+
+namespace {
+
+Bytes encodeRpcReply(std::uint64_t client_rid, const Reply& reply) {
+  Writer w;
+  w.u64(client_rid);
+  w.bytes(reply.encode());
+  return w.take();
+}
+
+}  // namespace
+
+TupleServer::TupleServer(net::Network& net, rsm::Replica& replica, TsStateMachine& sm)
+    : ep_(net.endpoint(replica.self())), host_(replica.self()), replica_(replica) {
+  replica_.setForeignMessageHandler([this](const net::Message& m) {
+    if (m.type == kRpcRequestType) onRpcRequest(m);
+  });
+  sm.addReplySink([this](net::HostId origin, std::uint64_t rid, const Reply& reply) {
+    onReply(origin, rid, reply);
+  });
+}
+
+std::size_t TupleServer::pendingForwards() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return forwards_.size();
+}
+
+void TupleServer::onRpcRequest(const net::Message& m) {
+  Command cmd = Command::decode(m.payload);
+  const std::uint64_t client_rid = cmd.request_id;
+  const std::uint64_t server_rid = next_rid_.fetch_add(1);
+  cmd.request_id = server_rid;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    forwards_[server_rid] = {m.src, client_rid};
+  }
+  // "This handler immediately submits it to Consul's multicast service as
+  // before" — the request enters the total order exactly like a local one.
+  replica_.submit(cmd.encode());
+}
+
+void TupleServer::onReply(net::HostId origin, std::uint64_t rid, const Reply& reply) {
+  if (origin != host_ || (rid & kServerRidBit) == 0) return;
+  std::pair<net::HostId, std::uint64_t> dest;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = forwards_.find(rid);
+    if (it == forwards_.end()) return;
+    dest = it->second;
+    forwards_.erase(it);
+  }
+  ep_.send(dest.first, kRpcReplyType, encodeRpcReply(dest.second, reply));
+}
+
+RemoteRuntime::RemoteRuntime(net::Network& net, net::HostId host, net::HostId server)
+    : net_(net), ep_(net.endpoint(host)), host_(host), server_(server) {}
+
+RemoteRuntime::~RemoteRuntime() { shutdown(); }
+
+void RemoteRuntime::start() {
+  recv_ = std::thread([this] { recvLoop(); });
+}
+
+void RemoteRuntime::stop() { stop_requested_.store(true); }
+
+void RemoteRuntime::shutdown() {
+  stop();
+  if (recv_.joinable()) recv_.join();
+}
+
+void RemoteRuntime::markCrashed() {
+  crashed_.store(true);
+  scratch_.interrupt();
+  std::vector<std::shared_ptr<Slot>> slots;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    for (auto& [rid, slot] : pending_) slots.push_back(slot);
+    pending_.clear();
+  }
+  for (auto& slot : slots) slot->cv.notify_all();
+}
+
+void RemoteRuntime::recvLoop() {
+  while (!stop_requested_.load()) {
+    auto m = ep_.recvFor(Micros{5'000});
+    if (!m) {
+      if (net_.isCrashed(host_)) return;
+      continue;
+    }
+    if (m->type != kRpcReplyType) continue;
+    Reader r(m->payload);
+    const std::uint64_t rid = r.u64();
+    Reply reply = Reply::decode(r.bytes());
+    std::shared_ptr<Slot> slot;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      auto it = pending_.find(rid);
+      if (it == pending_.end()) continue;
+      slot = it->second;
+      pending_.erase(it);
+    }
+    {
+      std::lock_guard<std::mutex> lock(slot->m);
+      slot->reply = std::move(reply);
+    }
+    slot->cv.notify_all();
+  }
+}
+
+Reply RemoteRuntime::rpc(Command cmd) {
+  auto slot = std::make_shared<Slot>();
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.emplace(cmd.request_id, slot);
+  }
+  if (crashed_.load()) {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.erase(cmd.request_id);
+    throw ProcessorFailure(host_);
+  }
+  ep_.send(server_, kRpcRequestType, cmd.encode());
+  std::unique_lock<std::mutex> lock(slot->m);
+  for (;;) {
+    if (slot->cv.wait_for(lock, Millis{20}, [&] { return slot->reply.has_value(); })) break;
+    if (crashed_.load()) throw ProcessorFailure(host_);
+    if (net_.isCrashed(server_)) {
+      std::lock_guard<std::mutex> plock(pending_mutex_);
+      pending_.erase(cmd.request_id);
+      throw Error("tuple server unreachable");
+    }
+  }
+  return std::move(*slot->reply);
+}
+
+Reply RemoteRuntime::execute(const Ags& ags) {
+  if (crashed_.load()) throw ProcessorFailure(host_);
+  if (entirelyLocalAgs(ags)) {
+    try {
+      return scratch_.execute(ags, [this] { return crashed_.load(); });
+    } catch (const Error&) {
+      if (crashed_.load()) throw ProcessorFailure(host_);
+      throw;
+    }
+  }
+  const std::uint64_t rid = next_rid_.fetch_add(1);
+  Reply r = rpc(makeExecute(rid, ags));
+  if (!r.error.empty()) throw Error(r.error);
+  scratch_.applyDeposits(r.local_deposits);
+  return r;
+}
+
+void RemoteRuntime::out(TsHandle ts, Tuple t) {
+  TupleTemplate tmpl;
+  tmpl.fields.reserve(t.arity());
+  for (const auto& v : t.fields()) {
+    TemplateField f;
+    f.literal = v;
+    tmpl.fields.push_back(std::move(f));
+  }
+  execute(AgsBuilder().when(guardTrue()).then(opOut(ts, std::move(tmpl))).build());
+}
+
+Tuple RemoteRuntime::in(TsHandle ts, Pattern p) {
+  Reply r = execute(AgsBuilder().when(guardIn(ts, std::move(p))).build());
+  FTL_ENSURE(r.guard_tuple.has_value(), "in() reply carries no tuple");
+  return std::move(*r.guard_tuple);
+}
+
+Tuple RemoteRuntime::rd(TsHandle ts, Pattern p) {
+  Reply r = execute(AgsBuilder().when(guardRd(ts, std::move(p))).build());
+  FTL_ENSURE(r.guard_tuple.has_value(), "rd() reply carries no tuple");
+  return std::move(*r.guard_tuple);
+}
+
+std::optional<Tuple> RemoteRuntime::inp(TsHandle ts, Pattern p) {
+  return execute(AgsBuilder().when(guardInp(ts, std::move(p))).build()).guard_tuple;
+}
+
+std::optional<Tuple> RemoteRuntime::rdp(TsHandle ts, Pattern p) {
+  return execute(AgsBuilder().when(guardRdp(ts, std::move(p))).build()).guard_tuple;
+}
+
+TsHandle RemoteRuntime::createTs(TsAttributes attrs) {
+  if (!attrs.stable) return scratch_.create(attrs);
+  Reply r = execute(AgsBuilder().when(guardTrue()).then(opCreateTs(attrs)).build());
+  FTL_ENSURE(r.created.size() == 1, "create_TS reply carries no handle");
+  return r.created.front();
+}
+
+void RemoteRuntime::destroyTs(TsHandle ts) {
+  if (ts::isLocalHandle(ts)) {
+    scratch_.destroy(ts);
+    return;
+  }
+  execute(AgsBuilder().when(guardTrue()).then(opDestroyTs(ts)).build());
+}
+
+void RemoteRuntime::monitorFailures(TsHandle ts, bool enable) {
+  FTL_REQUIRE(!ts::isLocalHandle(ts), "only stable spaces receive failure tuples");
+  if (crashed_.load()) throw ProcessorFailure(host_);
+  const std::uint64_t rid = next_rid_.fetch_add(1);
+  rpc(makeMonitor(rid, ts, enable));
+}
+
+}  // namespace ftl::ftlinda

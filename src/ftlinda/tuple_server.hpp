@@ -1,0 +1,138 @@
+// Tuple-server configuration (paper §6, Figure 17).
+//
+// In the default configuration every processor hosts a TS replica. The
+// paper's alternative dedicates a subset of machines as TUPLE SERVERS:
+// application hosts run no replica; instead their FT-Linda library forwards
+// each AGS with an RPC to a request-handler process on a tuple server,
+// which "immediately submits it to Consul's multicast service as before"
+// and returns the reply when its replica produces it.
+//
+//   client host                    tuple server host
+//   ┌────────────────┐   RPC req   ┌──────────────────────────────┐
+//   │ RemoteRuntime  │ ──────────► │ TupleServer (request handler)│
+//   │ (scratch only) │ ◄────────── │   └► Replica/Consul (ordered)│
+//   └────────────────┘   RPC reply └──────────────────────────────┘
+//
+// Costs one extra network round trip per AGS relative to the embedded
+// configuration (quantified by bench_e10_tuple_server) but frees
+// application hosts from replica work — the trade the paper discusses.
+//
+// Known limitations of this configuration (documented trade-offs):
+//  - client hosts are NOT members of the replica group, so their crashes
+//    are invisible to the membership service: no failure tuples for them,
+//    and statements they left blocked at the replicas stay queued (the
+//    paper's failure-handling idioms assume workers run on replica hosts);
+//  - a client is bound to one tuple server; if that server dies the client
+//    gets an error rather than failing over (automatic failover would need
+//    client-level request ids threaded through the order for dedup).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "ftlinda/runtime.hpp"
+
+namespace ftl::ftlinda {
+
+/// Message types used by the RPC path (must be >= ConsulNode's
+/// kForeignTypeBase so the protocol demultiplexer hands them over).
+constexpr std::uint16_t kRpcRequestType = 40;
+constexpr std::uint16_t kRpcReplyType = 41;
+
+/// Request ids the server allocates carry this bit so they can never
+/// collide with the co-located embedded Runtime's ids.
+constexpr std::uint64_t kServerRidBit = 1ull << 62;
+
+/// The request-handler side, co-located with a replica. Construct after the
+/// Replica (it registers the foreign-message handler) and BEFORE
+/// Replica::start().
+class TupleServer {
+ public:
+  TupleServer(net::Network& net, rsm::Replica& replica, TsStateMachine& sm);
+
+  TupleServer(const TupleServer&) = delete;
+  TupleServer& operator=(const TupleServer&) = delete;
+
+  net::HostId host() const { return host_; }
+
+  /// RPC requests currently awaiting their ordered reply (introspection).
+  std::size_t pendingForwards() const;
+
+ private:
+  void onRpcRequest(const net::Message& m);
+  void onReply(net::HostId origin, std::uint64_t rid, const Reply& reply);
+
+  net::Endpoint ep_;
+  const net::HostId host_;
+  rsm::Replica& replica_;
+  std::atomic<std::uint64_t> next_rid_{kServerRidBit | 1};
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::pair<net::HostId, std::uint64_t>> forwards_;
+};
+
+/// The client-side FT-Linda library for hosts that run no replica. Same
+/// verbs as Runtime; stable-space statements travel by RPC, volatile
+/// scratch spaces live locally as usual.
+class RemoteRuntime {
+ public:
+  RemoteRuntime(net::Network& net, net::HostId host, net::HostId server);
+  ~RemoteRuntime();
+
+  RemoteRuntime(const RemoteRuntime&) = delete;
+  RemoteRuntime& operator=(const RemoteRuntime&) = delete;
+
+  void start();
+  void stop();
+  /// stop() and join the receive thread (must precede endpoint reuse after
+  /// recovery).
+  void shutdown();
+
+  net::HostId host() const { return host_; }
+  net::HostId server() const { return server_; }
+
+  /// Execute an AGS (blocking semantics preserved end-to-end: a blocked
+  /// statement waits at the replicas; the RPC reply arrives when it fires).
+  /// Throws ProcessorFailure if this host crashes, ftl::Error if the tuple
+  /// server becomes unreachable.
+  Reply execute(const Ags& ags);
+
+  void out(TsHandle ts, Tuple t);
+  Tuple in(TsHandle ts, Pattern p);
+  Tuple rd(TsHandle ts, Pattern p);
+  std::optional<Tuple> inp(TsHandle ts, Pattern p);
+  std::optional<Tuple> rdp(TsHandle ts, Pattern p);
+
+  TsHandle createTs(TsAttributes attrs);
+  TsHandle createScratch() { return createTs(TsAttributes{false, false}); }
+  void destroyTs(TsHandle ts);
+  void monitorFailures(TsHandle ts, bool enable = true);
+
+  void markCrashed();
+  bool crashed() const { return crashed_.load(); }
+  std::size_t localTupleCount(TsHandle ts) const { return scratch_.tupleCount(ts); }
+
+ private:
+  struct Slot {
+    std::mutex m;
+    std::condition_variable cv;
+    std::optional<Reply> reply;
+  };
+
+  Reply rpc(Command cmd);
+  void recvLoop();
+
+  net::Network& net_;
+  net::Endpoint ep_;
+  const net::HostId host_;
+  const net::HostId server_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<std::uint64_t> next_rid_{1};
+  std::mutex pending_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Slot>> pending_;
+  ScratchSpaces scratch_;
+  std::thread recv_;
+};
+
+}  // namespace ftl::ftlinda

@@ -1,0 +1,26 @@
+// Wire-level message for the simulated workstation network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/serde.hpp"
+
+namespace ftl::net {
+
+/// Identity of a simulated workstation ("processor" in the paper's terms).
+/// Hosts are numbered 0..n-1 at network construction.
+using HostId = std::uint32_t;
+
+constexpr HostId kNoHost = 0xffffffffu;
+
+/// One datagram. `type` is an application-level discriminator (the Consul
+/// layer defines its own enum); `payload` is an opaque encoded body.
+struct Message {
+  HostId src = kNoHost;
+  HostId dst = kNoHost;
+  std::uint16_t type = 0;
+  Bytes payload;
+};
+
+}  // namespace ftl::net

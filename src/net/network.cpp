@@ -1,0 +1,204 @@
+#include "net/network.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace ftl::net {
+
+NetworkConfig lanProfile(std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.latency_mean = Micros{500};
+  cfg.latency_jitter = Micros{200};
+  cfg.drop_probability = 0.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void Endpoint::send(HostId dst, std::uint16_t type, Bytes payload) {
+  Message m;
+  m.src = host_;
+  m.dst = dst;
+  m.type = type;
+  m.payload = std::move(payload);
+  net_->enqueue(std::move(m));
+}
+
+void Endpoint::multicast(const std::vector<HostId>& dsts, std::uint16_t type,
+                         const Bytes& payload) {
+  for (HostId d : dsts) send(d, type, payload);
+}
+
+std::optional<Message> Endpoint::recv() { return net_->inboxes_[host_]->pop(); }
+
+std::optional<Message> Endpoint::recvFor(Micros timeout) {
+  return net_->inboxes_[host_]->popFor(timeout);
+}
+
+Network::Network(std::uint32_t host_count, NetworkConfig config)
+    : config_(config), rng_(config.seed) {
+  FTL_REQUIRE(host_count > 0, "network needs at least one host");
+  inboxes_.reserve(host_count);
+  for (std::uint32_t i = 0; i < host_count; ++i) {
+    inboxes_.push_back(std::make_unique<BlockingQueue<Message>>());
+  }
+  last_delivery_.assign(static_cast<std::size_t>(host_count) * host_count, TimePoint{});
+  crashed_.assign(host_count, false);
+  stats_.assign(host_count, TrafficStats{});
+  scheduler_ = std::thread([this] { schedulerLoop(); });
+}
+
+Network::~Network() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  scheduler_.join();
+  for (auto& q : inboxes_) q->close();
+}
+
+Endpoint Network::endpoint(HostId host) {
+  FTL_REQUIRE(host < hostCount(), "endpoint(): no such host");
+  return Endpoint(*this, host);
+}
+
+void Network::crash(HostId host) {
+  FTL_REQUIRE(host < hostCount(), "crash(): no such host");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    crashed_[host] = true;
+  }
+  inboxes_[host]->close();
+  inboxes_[host]->clear();
+  FTL_INFO("net", "host " << host << " crashed (fail-silent)");
+}
+
+void Network::recover(HostId host) {
+  FTL_REQUIRE(host < hostCount(), "recover(): no such host");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    crashed_[host] = false;
+    // Messages addressed to the host while it was down vanish, even if their
+    // simulated delivery time falls after the recovery.
+    std::vector<InFlight> keep;
+    keep.reserve(in_flight_.size());
+    while (!in_flight_.empty()) {
+      InFlight f = std::move(const_cast<InFlight&>(in_flight_.top()));
+      in_flight_.pop();
+      if (f.msg.dst != host) keep.push_back(std::move(f));
+    }
+    for (auto& f : keep) in_flight_.push(std::move(f));
+  }
+  inboxes_[host]->clear();
+  inboxes_[host]->reopen();
+  FTL_INFO("net", "host " << host << " recovered");
+}
+
+bool Network::isCrashed(HostId host) const {
+  FTL_REQUIRE(host < hostCount(), "isCrashed(): no such host");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_[host];
+}
+
+TrafficStats Network::stats(HostId host) const {
+  FTL_REQUIRE(host < hostCount(), "stats(): no such host");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_[host];
+}
+
+TrafficStats Network::totalStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TrafficStats total;
+  for (const auto& s : stats_) {
+    total.messages_sent += s.messages_sent;
+    total.bytes_sent += s.bytes_sent;
+    total.messages_delivered += s.messages_delivered;
+    total.messages_dropped += s.messages_dropped;
+  }
+  return total;
+}
+
+void Network::resetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& s : stats_) s = TrafficStats{};
+}
+
+void Network::setDropFilter(DropFilter filter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  drop_filter_ = std::move(filter);
+}
+
+void Network::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return in_flight_.empty() || shutdown_; });
+}
+
+void Network::enqueue(Message msg) {
+  FTL_REQUIRE(msg.dst < hostCount(), "send(): no such destination");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_ || crashed_[msg.src]) return;  // sender dead: message never existed
+  // Self-addressed messages are local loopback: no loss, no latency, and not
+  // counted as network traffic (the E4 message-count ablation relies on this).
+  const bool loopback = msg.src == msg.dst;
+  if (!loopback) {
+    auto& sender_stats = stats_[msg.src];
+    sender_stats.messages_sent += 1;
+    sender_stats.bytes_sent += msg.payload.size();
+    if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
+      sender_stats.messages_dropped += 1;
+      return;
+    }
+    if (drop_filter_ && drop_filter_(msg)) {
+      sender_stats.messages_dropped += 1;
+      return;
+    }
+  }
+  const auto now = Clock::now();
+  Duration latency = loopback ? Duration::zero() : Duration(config_.latency_mean);
+  if (!loopback && config_.latency_jitter.count() > 0) {
+    latency += Micros{static_cast<std::int64_t>(
+        rng_.below(static_cast<std::uint64_t>(config_.latency_jitter.count()) + 1))};
+  }
+  TimePoint due = now + latency;
+  // FIFO per (src,dst): never schedule before the pair's previous delivery.
+  auto& floor = last_delivery_[static_cast<std::size_t>(msg.src) * hostCount() + msg.dst];
+  if (due < floor) due = floor;
+  floor = due;
+  // Duplicates are scheduled OUTSIDE the FIFO floor: the copy may overtake
+  // later traffic, like a real re-routed datagram.
+  if (!loopback && config_.duplicate_probability > 0.0 &&
+      rng_.chance(config_.duplicate_probability)) {
+    in_flight_.push(
+        InFlight{due + config_.latency_mean + Micros{50}, next_seq_++, msg});
+  }
+  in_flight_.push(InFlight{due, next_seq_++, std::move(msg)});
+  cv_.notify_all();
+}
+
+void Network::schedulerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (shutdown_) return;
+    if (in_flight_.empty()) {
+      cv_.wait(lock, [&] { return shutdown_ || !in_flight_.empty(); });
+      continue;
+    }
+    const TimePoint due = in_flight_.top().due;
+    const auto now = Clock::now();
+    if (due > now) {
+      cv_.wait_until(lock, due);
+      continue;  // re-check: new earlier message or shutdown may have arrived
+    }
+    Message msg = std::move(const_cast<InFlight&>(in_flight_.top()).msg);
+    in_flight_.pop();
+    const bool dst_alive = !crashed_[msg.dst];
+    if (dst_alive && msg.src != msg.dst) stats_[msg.dst].messages_delivered += 1;
+    const HostId dst = msg.dst;
+    if (in_flight_.empty()) cv_.notify_all();  // wake drain()
+    lock.unlock();
+    if (dst_alive) inboxes_[dst]->push(std::move(msg));
+    lock.lock();
+  }
+}
+
+}  // namespace ftl::net

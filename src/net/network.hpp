@@ -1,0 +1,174 @@
+// Simulated network of workstations (the paper's x-kernel/Ethernet
+// substitute; see DESIGN.md "Substitutions").
+//
+// Properties provided to the layers above:
+//  - point-to-point datagrams with configurable latency (mean + jitter);
+//  - per-(src,dst) FIFO ordering (delivery times are monotone per pair);
+//  - optional probabilistic message loss, to exercise Consul retransmission;
+//  - fail-silent crash injection: a crashed host's traffic vanishes in both
+//    directions until recover() is called;
+//  - traffic accounting (messages/bytes per host), used by the E4
+//    messages-per-update ablation.
+//
+// A single scheduler thread owns the in-flight message heap and delivers
+// each message into the destination host's inbox queue at its due time.
+// With a zero-latency profile, messages are handed over immediately and the
+// whole network behaves like a set of blocking queues — which is what the
+// unit tests use so they run fast.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/queue.hpp"
+#include "common/rng.hpp"
+#include "net/message.hpp"
+
+namespace ftl::net {
+
+/// Latency/loss profile for every link in the network.
+struct NetworkConfig {
+  /// Mean one-way latency. Zero means "deliver immediately".
+  Micros latency_mean{0};
+  /// Uniform jitter: actual latency is mean + U[0, jitter].
+  Micros latency_jitter{0};
+  /// Probability that a datagram is silently dropped (exercises
+  /// retransmission in the multicast layer). 0 = reliable links.
+  double drop_probability = 0.0;
+  /// Probability that a datagram is DELIVERED TWICE, the copy arriving
+  /// after an extra `latency_mean` (UDP-realistic; exercises every
+  /// dedup path — the duplicate may arrive out of order).
+  double duplicate_probability = 0.0;
+  /// Seed for the latency/loss RNG; experiments print it for reproducibility.
+  std::uint64_t seed = 42;
+};
+
+/// Ethernet-like LAN profile used by latency-sensitive benches; roughly the
+/// 10 Mb Ethernet RTTs of the paper's testbed.
+NetworkConfig lanProfile(std::uint64_t seed = 42);
+
+/// Per-host traffic counters (monotone; survive crash/recover).
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+};
+
+class Network;
+
+/// A host's handle onto the network. Each simulated processor owns exactly
+/// one Endpoint; its service threads block in recv().
+class Endpoint {
+ public:
+  HostId host() const { return host_; }
+
+  /// Send one datagram. Silently dropped if this host or dst is crashed.
+  void send(HostId dst, std::uint16_t type, Bytes payload);
+
+  /// Send the same payload to every host in `dsts`.
+  void multicast(const std::vector<HostId>& dsts, std::uint16_t type, const Bytes& payload);
+
+  /// Blocking receive; std::nullopt when the host has been crashed/shut down.
+  std::optional<Message> recv();
+
+  /// Receive with timeout; std::nullopt on timeout or crash.
+  std::optional<Message> recvFor(Micros timeout);
+
+ private:
+  friend class Network;
+  Endpoint(Network& net, HostId host) : net_(&net), host_(host) {}
+  Network* net_;
+  HostId host_;
+};
+
+/// The network itself. Construct with a host count and a config; then hand
+/// each simulated processor its endpoint().
+class Network {
+ public:
+  Network(std::uint32_t host_count, NetworkConfig config = {});
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  std::uint32_t hostCount() const { return static_cast<std::uint32_t>(inboxes_.size()); }
+
+  /// The (singleton) endpoint for `host`.
+  Endpoint endpoint(HostId host);
+
+  /// Fail-silent crash: all traffic to/from `host` vanishes and its blocked
+  /// recv() calls return std::nullopt. Idempotent.
+  void crash(HostId host);
+
+  /// Undo crash(): the inbox reopens empty. The recovering protocol layer is
+  /// responsible for state transfer. Idempotent.
+  void recover(HostId host);
+
+  bool isCrashed(HostId host) const;
+
+  /// Snapshot of a host's traffic counters.
+  TrafficStats stats(HostId host) const;
+
+  /// Sum of all hosts' counters.
+  TrafficStats totalStats() const;
+
+  /// Zero all traffic counters (between bench phases).
+  void resetStats();
+
+  /// Deterministic fault injection for tests: every outgoing message is
+  /// offered to `filter`; returning true DROPS it (counted in
+  /// messages_dropped). Pass nullptr to clear. Loopback traffic is exempt,
+  /// like probabilistic loss. The filter runs under the network lock — keep
+  /// it trivial and never call back into the network.
+  using DropFilter = std::function<bool(const Message&)>;
+  void setDropFilter(DropFilter filter);
+
+  /// Deliver-everything barrier for zero-latency configs in tests: returns
+  /// once the in-flight heap is empty. (With nonzero latency this waits for
+  /// due messages too.)
+  void drain();
+
+ private:
+  friend class Endpoint;
+
+  struct InFlight {
+    TimePoint due;
+    std::uint64_t seq;  // tie-break => deterministic order for equal due times
+    Message msg;
+  };
+  struct DueLater {
+    bool operator()(const InFlight& a, const InFlight& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  void enqueue(Message msg);
+  void schedulerLoop();
+
+  NetworkConfig config_;
+  std::vector<std::unique_ptr<BlockingQueue<Message>>> inboxes_;
+
+  mutable std::mutex mutex_;  // guards everything below
+  std::condition_variable cv_;
+  std::priority_queue<InFlight, std::vector<InFlight>, DueLater> in_flight_;
+  std::vector<TimePoint> last_delivery_;  // per (src*n+dst) FIFO floor
+  std::vector<bool> crashed_;
+  std::vector<TrafficStats> stats_;
+  DropFilter drop_filter_;
+  Xoshiro256 rng_;
+  std::uint64_t next_seq_ = 0;
+  bool shutdown_ = false;
+
+  std::thread scheduler_;  // started last, joined in dtor
+};
+
+}  // namespace ftl::net

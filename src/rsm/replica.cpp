@@ -1,0 +1,33 @@
+#include "rsm/replica.hpp"
+
+namespace ftl::rsm {
+
+Replica::Replica(net::Network& net, net::HostId self, std::vector<net::HostId> group,
+                 consul::ConsulConfig cfg, StateMachine& sm, bool join_existing)
+    : sm_(sm) {
+  consul::ConsulNode::Callbacks cb;
+  cb.on_deliver = [this](const consul::Delivery& d) {
+    ApplyContext ctx;
+    ctx.gseq = d.gseq;
+    ctx.origin = d.origin;
+    ctx.origin_seq = d.origin_seq;
+    sm_.apply(ctx, d.payload);
+  };
+  cb.on_view = [this](const consul::ViewInfo& v) {
+    sm_.onMembership(v.gseq, v.members, v.failed, v.joined);
+  };
+  cb.take_snapshot = [this]() { return sm_.snapshot(); };
+  cb.install_snapshot = [this](const Bytes& b) { sm_.restore(b); };
+  node_ = std::make_unique<consul::ConsulNode>(net, self, std::move(group), cfg, std::move(cb),
+                                               join_existing);
+}
+
+void Replica::start() { node_->start(); }
+
+void Replica::stop() { node_->stop(); }
+
+std::uint64_t Replica::submit(Bytes command) { return node_->broadcast(std::move(command)); }
+
+void Replica::join(std::uint64_t incarnation) { node_->joinGroup(incarnation); }
+
+}  // namespace ftl::rsm

@@ -1,0 +1,61 @@
+// Replica: glues a ConsulNode to a StateMachine.
+//
+// Every simulated processor hosts one Replica. submit() multicasts a command
+// into the group's total order; the state machine's apply() runs at every
+// replica in that order. The state machine owns whatever reply path it needs
+// (the FT-Linda TS manager completes local promises when it applies a
+// request that originated here).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "consul/node.hpp"
+#include "rsm/state_machine.hpp"
+
+namespace ftl::rsm {
+
+class Replica {
+ public:
+  /// The replica does not own `sm`; it must outlive the replica.
+  /// `join_existing=true` constructs a recovering replica that must
+  /// join() before participating.
+  Replica(net::Network& net, net::HostId self, std::vector<net::HostId> group,
+          consul::ConsulConfig cfg, StateMachine& sm, bool join_existing = false);
+
+  /// Register a handler for non-Consul messages at this host's endpoint
+  /// (see ConsulNode::setForeignHandler). Call before start().
+  void setForeignMessageHandler(std::function<void(const net::Message&)> handler) {
+    node_->setForeignHandler(std::move(handler));
+  }
+
+  /// Start the underlying protocol node.
+  void start();
+
+  /// Graceful local stop (not a simulated crash).
+  void stop();
+
+  /// Stop and join the protocol thread (must precede endpoint reuse after
+  /// recovery; see ConsulNode::shutdown).
+  void shutdown() { node_->shutdown(); }
+
+  /// Multicast a command into the total order (asynchronous). Returns the
+  /// per-origin sequence number.
+  std::uint64_t submit(Bytes command);
+
+  /// Begin rejoining after recovery; completes when the snapshot installs
+  /// and the join view is delivered.
+  void join(std::uint64_t incarnation);
+
+  bool isMember() const { return node_->isMember(); }
+  std::uint64_t delivered() const { return node_->delivered(); }
+  consul::ViewInfo currentView() const { return node_->currentView(); }
+  net::HostId self() const { return node_->self(); }
+
+ private:
+  StateMachine& sm_;
+  std::unique_ptr<consul::ConsulNode> node_;
+};
+
+}  // namespace ftl::rsm

@@ -1,0 +1,45 @@
+// Replicated state machine interface (Schneider's SMA).
+//
+// The FT-Linda TS manager implements this interface; Replica (replica.hpp)
+// drives it from the Consul total order. Determinism contract: two instances
+// that apply the same command sequence from the same snapshot must reach
+// byte-identical snapshots (DESIGN.md invariant 2) — apply() must not consult
+// wall clocks, RNGs, addresses, or thread identity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "net/message.hpp"
+
+namespace ftl::rsm {
+
+/// Context passed with every command application.
+struct ApplyContext {
+  std::uint64_t gseq = 0;        // position in the total order
+  net::HostId origin = 0;        // processor that issued the command
+  std::uint64_t origin_seq = 0;  // its per-origin sequence number
+};
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Apply one totally-ordered command. Must be deterministic.
+  virtual void apply(const ApplyContext& ctx, const Bytes& command) = 0;
+
+  /// Membership event, delivered in the same total order as commands.
+  /// `failed`/`joined` list the processors removed/added at this point.
+  virtual void onMembership(std::uint64_t gseq, const std::vector<net::HostId>& members,
+                            const std::vector<net::HostId>& failed,
+                            const std::vector<net::HostId>& joined) = 0;
+
+  /// Serialize complete state (covering everything applied so far).
+  virtual Bytes snapshot() const = 0;
+
+  /// Replace state from a snapshot (recovery).
+  virtual void restore(const Bytes& snapshot) = 0;
+};
+
+}  // namespace ftl::rsm

@@ -1,0 +1,96 @@
+#include "ts/registry.hpp"
+
+#include "common/assert.hpp"
+
+namespace ftl::ts {
+
+TsRegistry::TsRegistry(bool with_main, TsHandle handle_bits) : handle_bits_(handle_bits) {
+  if (with_main) {
+    Entry e;
+    e.attrs = TsAttributes{/*stable=*/true, /*shared=*/true};
+    spaces_.emplace(kTsMain, std::move(e));
+  }
+}
+
+TsHandle TsRegistry::create(TsAttributes attrs) {
+  const TsHandle h = handle_bits_ | next_id_++;
+  Entry e;
+  e.attrs = attrs;
+  spaces_.emplace(h, std::move(e));
+  return h;
+}
+
+bool TsRegistry::destroy(TsHandle h) {
+  if (h == kTsMain) return false;
+  return spaces_.erase(h) > 0;
+}
+
+TupleSpace* TsRegistry::find(TsHandle h) {
+  auto it = spaces_.find(h);
+  return it == spaces_.end() ? nullptr : &it->second.space;
+}
+
+const TupleSpace* TsRegistry::find(TsHandle h) const {
+  auto it = spaces_.find(h);
+  return it == spaces_.end() ? nullptr : &it->second.space;
+}
+
+TupleSpace& TsRegistry::get(TsHandle h) {
+  auto* p = find(h);
+  FTL_CHECK(p != nullptr, "unknown tuple space handle");
+  return *p;
+}
+
+const TupleSpace& TsRegistry::get(TsHandle h) const {
+  const auto* p = find(h);
+  FTL_CHECK(p != nullptr, "unknown tuple space handle");
+  return *p;
+}
+
+const TsAttributes& TsRegistry::attrs(TsHandle h) const {
+  auto it = spaces_.find(h);
+  FTL_CHECK(it != spaces_.end(), "unknown tuple space handle");
+  return it->second.attrs;
+}
+
+std::vector<TsHandle> TsRegistry::handles() const {
+  std::vector<TsHandle> out;
+  out.reserve(spaces_.size());
+  for (const auto& [h, e] : spaces_) out.push_back(h);
+  return out;
+}
+
+void TsRegistry::encode(Writer& w) const {
+  w.u64(handle_bits_);
+  w.u64(next_id_);
+  w.u32(static_cast<std::uint32_t>(spaces_.size()));
+  for (const auto& [h, e] : spaces_) {
+    w.u64(h);
+    e.attrs.encode(w);
+    e.space.encode(w);
+  }
+}
+
+TsRegistry TsRegistry::decode(Reader& r) {
+  TsRegistry reg(/*with_main=*/false);
+  reg.handle_bits_ = r.u64();
+  reg.next_id_ = r.u64();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const TsHandle h = r.u64();
+    Entry e;
+    e.attrs = TsAttributes::decode(r);
+    e.space = TupleSpace::decode(r);
+    reg.spaces_.emplace(h, std::move(e));
+  }
+  return reg;
+}
+
+bool TsRegistry::operator==(const TsRegistry& other) const {
+  Writer a, b;
+  encode(a);
+  other.encode(b);
+  return a.buffer() == b.buffer();
+}
+
+}  // namespace ftl::ts

@@ -1,0 +1,95 @@
+// TsRegistry: the collection of tuple spaces one context manages, addressed
+// by handle (the paper's ts_create / ts_destroy with stability and scope
+// attributes).
+//
+// Two registries exist per processor in a full FT-Linda system:
+//  - the replicated registry inside the TS state machine holds STABLE
+//    (replicated) tuple spaces — handle allocation there is deterministic
+//    because creations flow through the total order;
+//  - the runtime's local registry holds VOLATILE PRIVATE (scratch) spaces —
+//    their handles carry kLocalHandleBit so the two namespaces never collide
+//    and the AGS validator can tell them apart.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "ts/tuple_space.hpp"
+
+namespace ftl::ts {
+
+/// Opaque tuple space handle.
+using TsHandle = std::uint64_t;
+
+/// The distinguished global stable shared TS every program starts with.
+constexpr TsHandle kTsMain = 1;
+
+/// Set on handles allocated by a processor-local (volatile) registry.
+constexpr TsHandle kLocalHandleBit = 1ull << 63;
+
+/// True if the handle names a processor-local volatile TS.
+constexpr bool isLocalHandle(TsHandle h) { return (h & kLocalHandleBit) != 0; }
+
+/// The paper's TS attributes: resilience and visibility.
+struct TsAttributes {
+  bool stable = true;  // survives failures (replicated)
+  bool shared = true;  // visible to all processes vs. creator-private
+
+  void encode(Writer& w) const {
+    w.boolean(stable);
+    w.boolean(shared);
+  }
+  static TsAttributes decode(Reader& r) {
+    TsAttributes a;
+    a.stable = r.boolean();
+    a.shared = r.boolean();
+    return a;
+  }
+};
+
+class TsRegistry {
+ public:
+  /// `with_main=true` pre-creates TSmain (stable, shared) at kTsMain.
+  /// `handle_bits` is OR-ed into every allocated handle (kLocalHandleBit for
+  /// runtime-local registries, 0 for the replicated one).
+  explicit TsRegistry(bool with_main, TsHandle handle_bits = 0);
+
+  /// Create a new TS; deterministic handle allocation.
+  TsHandle create(TsAttributes attrs);
+
+  /// Destroy a TS and its contents. Returns false if no such handle.
+  /// TSmain cannot be destroyed.
+  bool destroy(TsHandle h);
+
+  /// nullptr if the handle is unknown.
+  TupleSpace* find(TsHandle h);
+  const TupleSpace* find(TsHandle h) const;
+
+  /// Throws ftl::Error if the handle is unknown.
+  TupleSpace& get(TsHandle h);
+  const TupleSpace& get(TsHandle h) const;
+
+  const TsAttributes& attrs(TsHandle h) const;
+  bool exists(TsHandle h) const { return spaces_.count(h) > 0; }
+  std::size_t spaceCount() const { return spaces_.size(); }
+
+  /// All live handles in ascending order.
+  std::vector<TsHandle> handles() const;
+
+  /// Deterministic full serialization (used in replica snapshots).
+  void encode(Writer& w) const;
+  static TsRegistry decode(Reader& r);
+
+  bool operator==(const TsRegistry& other) const;
+
+ private:
+  struct Entry {
+    TsAttributes attrs;
+    TupleSpace space;
+  };
+  std::map<TsHandle, Entry> spaces_;
+  TsHandle handle_bits_ = 0;
+  std::uint64_t next_id_ = 2;  // 1 is TSmain
+};
+
+}  // namespace ftl::ts

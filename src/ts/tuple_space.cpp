@@ -1,0 +1,227 @@
+#include "ts/tuple_space.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ftl::ts {
+
+using tuple::nameOf;
+using tuple::PatternField;
+using tuple::signatureOf;
+
+std::uint64_t TupleSpace::put(Tuple t) {
+  const SignatureKey sig = signatureOf(t);
+  const std::uint64_t seq = next_seq_++;
+  auto& bucket = buckets_[sig];
+  if (auto name = nameOf(t)) {
+    bucket.named[*name].emplace(seq, std::move(t));
+  } else {
+    bucket.unnamed.emplace(seq, std::move(t));
+  }
+  ++size_;
+  return seq;
+}
+
+template <typename Fn>
+void TupleSpace::eachCandidateChain(const Pattern& p, Fn&& fn) const {
+  auto it = buckets_.find(signatureOf(p));
+  if (it == buckets_.end()) return;
+  const Bucket& b = it->second;
+  if (auto name = nameOf(p)) {
+    // Leading string actual: exactly one chain can match.
+    auto cit = b.named.find(*name);
+    if (cit != b.named.end()) fn(cit->second);
+    return;
+  }
+  // Leading field is a formal (or non-string): any chain in the bucket may
+  // hold a match. Iterate deterministically (sorted by name, then unnamed).
+  for (const auto& [name, chain] : b.named) {
+    if (fn(chain)) return;
+  }
+  fn(b.unnamed);
+}
+
+std::optional<Tuple> TupleSpace::take(const Pattern& p) {
+  // Find the oldest match across candidate chains, then erase it.
+  const Chain* best_chain = nullptr;
+  std::uint64_t best_seq = 0;
+  eachCandidateChain(p, [&](const Chain& chain) {
+    for (const auto& [seq, t] : chain) {
+      if (best_chain && seq >= best_seq) break;  // no older match possible here
+      if (p.matches(t)) {
+        best_chain = &chain;
+        best_seq = seq;
+        break;
+      }
+    }
+    return false;
+  });
+  if (!best_chain) return std::nullopt;
+  auto& chain = *const_cast<Chain*>(best_chain);
+  auto node = chain.extract(best_seq);
+  FTL_ENSURE(!node.empty(), "matched tuple vanished");
+  --size_;
+  Tuple out = std::move(node.mapped());
+  // Prune empty chains/buckets so snapshots stay canonical.
+  auto bit = buckets_.find(signatureOf(p));
+  if (bit != buckets_.end()) {
+    Bucket& b = bit->second;
+    for (auto nit = b.named.begin(); nit != b.named.end();) {
+      nit = nit->second.empty() ? b.named.erase(nit) : std::next(nit);
+    }
+    if (b.named.empty() && b.unnamed.empty()) buckets_.erase(bit);
+  }
+  return out;
+}
+
+std::optional<Tuple> TupleSpace::read(const Pattern& p) const {
+  const Tuple* best = nullptr;
+  std::uint64_t best_seq = 0;
+  eachCandidateChain(p, [&](const Chain& chain) {
+    for (const auto& [seq, t] : chain) {
+      if (best && seq >= best_seq) break;
+      if (p.matches(t)) {
+        best = &t;
+        best_seq = seq;
+        break;
+      }
+    }
+    return false;
+  });
+  if (!best) return std::nullopt;
+  return *best;
+}
+
+std::vector<Tuple> TupleSpace::takeAll(const Pattern& p) {
+  // Collect (seq, tuple) matches across chains, oldest first.
+  std::vector<std::pair<std::uint64_t, Tuple>> matches;
+  eachCandidateChain(p, [&](const Chain& chain) {
+    for (const auto& [seq, t] : chain) {
+      if (p.matches(t)) matches.emplace_back(seq, t);
+    }
+    return false;
+  });
+  std::sort(matches.begin(), matches.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Tuple> out;
+  out.reserve(matches.size());
+  for (auto& [seq, t] : matches) {
+    out.push_back(std::move(t));
+  }
+  // Erase them (by seq) from the bucket.
+  auto bit = buckets_.find(signatureOf(p));
+  if (bit != buckets_.end()) {
+    Bucket& b = bit->second;
+    for (const auto& [seq, t] : matches) {
+      bool erased = false;
+      for (auto& [name, chain] : b.named) {
+        if (chain.erase(seq)) {
+          erased = true;
+          break;
+        }
+      }
+      if (!erased) erased = b.unnamed.erase(seq) > 0;
+      FTL_ENSURE(erased, "takeAll lost track of a matched tuple");
+      --size_;
+    }
+    for (auto nit = b.named.begin(); nit != b.named.end();) {
+      nit = nit->second.empty() ? b.named.erase(nit) : std::next(nit);
+    }
+    if (b.named.empty() && b.unnamed.empty()) buckets_.erase(bit);
+  }
+  return out;
+}
+
+std::vector<Tuple> TupleSpace::readAll(const Pattern& p) const {
+  std::vector<std::pair<std::uint64_t, Tuple>> matches;
+  eachCandidateChain(p, [&](const Chain& chain) {
+    for (const auto& [seq, t] : chain) {
+      if (p.matches(t)) matches.emplace_back(seq, t);
+    }
+    return false;
+  });
+  std::sort(matches.begin(), matches.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Tuple> out;
+  out.reserve(matches.size());
+  for (auto& [seq, t] : matches) out.push_back(std::move(t));
+  return out;
+}
+
+std::size_t TupleSpace::count(const Pattern& p) const {
+  std::size_t n = 0;
+  eachCandidateChain(p, [&](const Chain& chain) {
+    for (const auto& [seq, t] : chain) {
+      if (p.matches(t)) ++n;
+    }
+    return false;
+  });
+  return n;
+}
+
+std::vector<Tuple> TupleSpace::contents() const {
+  std::vector<std::pair<std::uint64_t, Tuple>> all;
+  all.reserve(size_);
+  for (const auto& [sig, b] : buckets_) {
+    for (const auto& [name, chain] : b.named) {
+      for (const auto& [seq, t] : chain) all.emplace_back(seq, t);
+    }
+    for (const auto& [seq, t] : b.unnamed) all.emplace_back(seq, t);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Tuple> out;
+  out.reserve(all.size());
+  for (auto& [seq, t] : all) out.push_back(std::move(t));
+  return out;
+}
+
+void TupleSpace::encode(Writer& w) const {
+  w.u64(next_seq_);
+  w.u64(size_);
+  // Flatten to (seq, tuple) pairs in seq order; decode re-buckets. This is
+  // canonical: equal contents => identical bytes.
+  std::vector<std::pair<std::uint64_t, const Tuple*>> all;
+  all.reserve(size_);
+  for (const auto& [sig, b] : buckets_) {
+    for (const auto& [name, chain] : b.named) {
+      for (const auto& [seq, t] : chain) all.emplace_back(seq, &t);
+    }
+    for (const auto& [seq, t] : b.unnamed) all.emplace_back(seq, &t);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [seq, t] : all) {
+    w.u64(seq);
+    t->encode(w);
+  }
+}
+
+TupleSpace TupleSpace::decode(Reader& r) {
+  TupleSpace ts;
+  ts.next_seq_ = r.u64();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t seq = r.u64();
+    Tuple t = Tuple::decode(r);
+    const SignatureKey sig = signatureOf(t);
+    auto& bucket = ts.buckets_[sig];
+    if (auto name = nameOf(t)) {
+      bucket.named[*name].emplace(seq, std::move(t));
+    } else {
+      bucket.unnamed.emplace(seq, std::move(t));
+    }
+    ++ts.size_;
+  }
+  return ts;
+}
+
+bool TupleSpace::operator==(const TupleSpace& other) const {
+  Writer a, b;
+  encode(a);
+  other.encode(b);
+  return a.buffer() == b.buffer();
+}
+
+}  // namespace ftl::ts

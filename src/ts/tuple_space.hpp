@@ -1,0 +1,85 @@
+// TupleSpace: the associative store backing one Linda tuple space.
+//
+// Storage is bucketed by signature (ordered type list — the FT-lcc catalog
+// artifact) and, within a signature, by the conventional leading string
+// "name". Matching therefore touches only same-signature candidates; the E9
+// bench quantifies the win over a linear scan.
+//
+// DETERMINISM: this container is part of the replicated TS state machine, so
+// every operation must behave identically at every replica:
+//  - insertion order is tracked with an explicit sequence counter that is
+//    itself part of the state (and of snapshots);
+//  - a match always selects the OLDEST matching tuple (lowest sequence);
+//  - snapshots serialize buckets and chains in sorted order, so equal
+//    contents produce byte-identical snapshots (DESIGN.md invariant 2).
+//
+// This class is NOT thread-safe; the owning state machine / runtime
+// serializes access.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tuple/signature.hpp"
+
+namespace ftl::ts {
+
+using tuple::Pattern;
+using tuple::SignatureKey;
+using tuple::Tuple;
+
+class TupleSpace {
+ public:
+  /// Deposit a copy of `t`; returns its insertion sequence number.
+  std::uint64_t put(Tuple t);
+
+  /// Remove and return the oldest tuple matching `p`, if any (inp / the
+  /// destructive half of in).
+  std::optional<Tuple> take(const Pattern& p);
+
+  /// Return (without removing) the oldest tuple matching `p`, if any.
+  std::optional<Tuple> read(const Pattern& p) const;
+
+  /// Remove and return ALL tuples matching `p`, oldest first (move).
+  std::vector<Tuple> takeAll(const Pattern& p);
+
+  /// Return ALL tuples matching `p`, oldest first, without removing (copy).
+  std::vector<Tuple> readAll(const Pattern& p) const;
+
+  /// Number of tuples matching `p`.
+  std::size_t count(const Pattern& p) const;
+
+  /// Total number of tuples.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// All tuples, oldest first (diagnostics and tests).
+  std::vector<Tuple> contents() const;
+
+  /// Deterministic full-state serialization.
+  void encode(Writer& w) const;
+  static TupleSpace decode(Reader& r);
+
+  bool operator==(const TupleSpace& other) const;
+
+ private:
+  // Chain: insertion-ordered tuples (seq -> tuple).
+  using Chain = std::map<std::uint64_t, Tuple>;
+  struct Bucket {
+    std::map<std::string, Chain> named;  // leading string actual -> chain
+    Chain unnamed;                       // everything else
+  };
+
+  const Chain* chainFor(const Pattern& p, const Bucket& b) const;
+  template <typename Fn>  // Fn(const Chain&) -> bool (stop?)
+  void eachCandidateChain(const Pattern& p, Fn&& fn) const;
+
+  std::map<SignatureKey, Bucket> buckets_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ftl::ts

@@ -1,0 +1,222 @@
+#include "tuple/parse.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ftl::tuple {
+
+namespace {
+
+/// Recursive-descent scanner over the input text.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "parse error at offset " << pos_ << ": " << what;
+    throw Error(os.str());
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool atEnd() {
+    skipWs();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skipWs();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool tryTake(char c) {
+    if (!atEnd() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Consume an identifier-like word ([a-z0-9]+).
+  std::string word() {
+    skipWs();
+    std::string w;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      w.push_back(text_[pos_++]);
+    }
+    if (w.empty()) fail("expected a word");
+    return w;
+  }
+
+  std::string quotedString() {
+    expect('"');
+    std::string s;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': s.push_back('"'); break;
+          case '\\': s.push_back('\\'); break;
+          case 'n': s.push_back('\n'); break;
+          case 't': s.push_back('\t'); break;
+          default: fail("unknown escape");
+        }
+      } else {
+        s.push_back(c);
+      }
+    }
+    return s;
+  }
+
+  Value number() {
+    skipWs();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool is_real = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        is_real = true;
+        ++pos_;
+        if ((c == 'e' || c == 'E') && pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    const std::string lit(text_.substr(start, pos_ - start));
+    if (lit.empty() || lit == "-" || lit == "+") fail("expected a number");
+    try {
+      if (is_real) return Value(std::stod(lit));
+      return Value(static_cast<std::int64_t>(std::stoll(lit)));
+    } catch (const std::exception&) {
+      fail("bad numeric literal '" + lit + "'");
+    }
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+int base64Digit(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+Bytes decodeBase64(Scanner& s, const std::string& text) {
+  Bytes out;
+  int acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    if (c == '=') break;
+    const int d = base64Digit(c);
+    if (d < 0) s.fail("bad base64 digit");
+    acc = (acc << 6) | d;
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xff));
+    }
+  }
+  return out;
+}
+
+Value parseValueFrom(Scanner& s) {
+  const char c = s.peek();
+  if (c == '"') return Value(s.quotedString());
+  if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') return s.number();
+  const std::string w = s.word();
+  if (w == "true") return Value(true);
+  if (w == "false") return Value(false);
+  if (w == "b64") {
+    return Value(decodeBase64(s, s.quotedString()));
+  }
+  s.fail("unknown value '" + w + "'");
+}
+
+ValueType parseTypeName(Scanner& s) {
+  const std::string w = s.word();
+  if (w == "int") return ValueType::Int;
+  if (w == "real") return ValueType::Real;
+  if (w == "bool") return ValueType::Bool;
+  if (w == "str") return ValueType::Str;
+  if (w == "blob") return ValueType::Blob;
+  s.fail("unknown type '" + w + "' (want int/real/bool/str/blob)");
+}
+
+}  // namespace
+
+Value parseValue(std::string_view text) {
+  Scanner s(text);
+  Value v = parseValueFrom(s);
+  if (!s.atEnd()) s.fail("trailing input after value");
+  return v;
+}
+
+Tuple parseTuple(std::string_view text) {
+  Scanner s(text);
+  s.expect('(');
+  std::vector<Value> fields;
+  if (!s.tryTake(')')) {
+    do {
+      fields.push_back(parseValueFrom(s));
+    } while (s.tryTake(','));
+    s.expect(')');
+  }
+  if (!s.atEnd()) s.fail("trailing input after tuple");
+  return Tuple(std::move(fields));
+}
+
+Pattern parsePattern(std::string_view text) {
+  Scanner s(text);
+  s.expect('(');
+  std::vector<PatternField> fields;
+  if (!s.tryTake(')')) {
+    do {
+      if (s.peek() == '?') {
+        s.take();
+        fields.push_back(formal(parseTypeName(s)));
+      } else {
+        fields.push_back(actual(parseValueFrom(s)));
+      }
+    } while (s.tryTake(','));
+    s.expect(')');
+  }
+  if (!s.atEnd()) s.fail("trailing input after pattern");
+  return Pattern(std::move(fields));
+}
+
+}  // namespace ftl::tuple

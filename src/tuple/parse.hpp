@@ -1,0 +1,40 @@
+// Text syntax for tuples and patterns — the notation the paper (and every
+// Linda paper) writes:
+//
+//   tuple:    ("subtask", 17, 2.5, true, b64"AQID")
+//   pattern:  ("subtask", ?int, ?real, ?bool, ?blob)
+//
+// Grammar (informal):
+//   tuple   := '(' [value (',' value)*] ')'
+//   pattern := '(' [field (',' field)*] ')'
+//   field   := value | '?' type
+//   value   := integer | real | 'true' | 'false' | string | blob
+//   type    := 'int' | 'real' | 'bool' | 'str' | 'blob'
+//   string  := '"' chars with \" \\ \n \t escapes '"'
+//   blob    := 'b64"' base64 '"'
+//   real    := requires '.' or exponent (else it is an integer)
+//
+// Parsing throws ftl::Error with a position-annotated message on bad input.
+// Used by the interactive REPL example and handy for config/test fixtures.
+#pragma once
+
+#include <string_view>
+
+#include "tuple/pattern.hpp"
+
+namespace ftl::tuple {
+
+/// Parse a single value, e.g. `42`, `2.5`, `"text"`, `true`, `b64"AQ=="`.
+Value parseValue(std::string_view text);
+
+/// Parse a tuple, e.g. `("job", 7)`.
+Tuple parseTuple(std::string_view text);
+
+/// Parse a pattern, e.g. `("job", ?int)`. A pattern with no formals is all
+/// actuals (and vice versa a tuple literal is a valid pattern).
+Pattern parsePattern(std::string_view text);
+
+/// Render helpers already exist as Tuple::toString / Pattern::toString;
+/// these parse functions are their inverses (round-trip tested).
+
+}  // namespace ftl::tuple

@@ -1,0 +1,123 @@
+#include "tuple/pattern.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ftl::tuple {
+
+PatternField formal(ValueType t) {
+  PatternField f;
+  f.kind = PatternField::Kind::Formal;
+  f.formal_type = t;
+  return f;
+}
+
+PatternField actual(Value v) {
+  PatternField f;
+  f.kind = PatternField::Kind::Actual;
+  f.actual = std::move(v);
+  return f;
+}
+
+void PatternField::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  if (kind == Kind::Actual) {
+    actual.encode(w);
+  } else {
+    w.u8(static_cast<std::uint8_t>(formal_type));
+  }
+}
+
+PatternField PatternField::decode(Reader& r) {
+  PatternField f;
+  f.kind = static_cast<Kind>(r.u8());
+  if (f.kind == Kind::Actual) {
+    f.actual = Value::decode(r);
+  } else {
+    f.formal_type = static_cast<ValueType>(r.u8());
+  }
+  return f;
+}
+
+const PatternField& Pattern::field(std::size_t i) const {
+  FTL_REQUIRE(i < fields_.size(), "pattern field index out of range");
+  return fields_[i];
+}
+
+std::size_t Pattern::formalCount() const {
+  std::size_t n = 0;
+  for (const auto& f : fields_) {
+    if (f.kind == PatternField::Kind::Formal) ++n;
+  }
+  return n;
+}
+
+bool Pattern::matches(const Tuple& t) const {
+  if (t.arity() != fields_.size()) return false;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const auto& f = fields_[i];
+    const auto& v = t.field(i);
+    if (f.kind == PatternField::Kind::Actual) {
+      if (!(f.actual == v)) return false;
+    } else {
+      if (f.formal_type != v.type()) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Value> Pattern::bind(const Tuple& t) const {
+  FTL_REQUIRE(matches(t), "bind() requires a matching tuple");
+  std::vector<Value> bound;
+  bound.reserve(formalCount());
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].kind == PatternField::Kind::Formal) bound.push_back(t.field(i));
+  }
+  return bound;
+}
+
+bool Pattern::operator==(const Pattern& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const auto& a = fields_[i];
+    const auto& b = other.fields_[i];
+    if (a.kind != b.kind) return false;
+    if (a.kind == PatternField::Kind::Actual) {
+      if (!(a.actual == b.actual)) return false;
+    } else {
+      if (a.formal_type != b.formal_type) return false;
+    }
+  }
+  return true;
+}
+
+void Pattern::encode(Writer& w) const {
+  w.u16(static_cast<std::uint16_t>(fields_.size()));
+  for (const auto& f : fields_) f.encode(w);
+}
+
+Pattern Pattern::decode(Reader& r) {
+  const std::uint16_t n = r.u16();
+  std::vector<PatternField> fields;
+  fields.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) fields.push_back(PatternField::decode(r));
+  return Pattern(std::move(fields));
+}
+
+std::string Pattern::toString() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) os << ", ";
+    if (fields_[i].kind == PatternField::Kind::Actual) {
+      os << fields_[i].actual.toString();
+    } else {
+      os << '?' << valueTypeName(fields_[i].formal_type);
+    }
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace ftl::tuple

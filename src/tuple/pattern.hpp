@@ -1,0 +1,94 @@
+// Pattern: a tuple template used by in/rd/inp/rdp/move/copy.
+//
+// Each field is either an ACTUAL (a concrete value that must match exactly,
+// type and value) or a FORMAL (a typed placeholder, written `?type` in
+// Linda, that matches any value of that type and BINDS it). Bound formals
+// are numbered left-to-right; an AGS body refers to them by slot index
+// (this is exactly the artifact FT-lcc compiles `?x` references into).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tuple/tuple.hpp"
+
+namespace ftl::tuple {
+
+struct PatternField {
+  enum class Kind : std::uint8_t { Actual = 0, Formal = 1 };
+  Kind kind = Kind::Actual;
+  Value actual;                          // valid when kind == Actual
+  ValueType formal_type = ValueType::Int;  // valid when kind == Formal
+
+  /// The type this field requires of the tuple field it matches.
+  ValueType type() const { return kind == Kind::Actual ? actual.type() : formal_type; }
+
+  void encode(Writer& w) const;
+  static PatternField decode(Reader& r);
+};
+
+/// Typed formal placeholder, e.g. `formal(ValueType::Int)` for `?int`.
+PatternField formal(ValueType t);
+/// Actual field wrapper (implicit conversions usually suffice).
+PatternField actual(Value v);
+
+class Pattern {
+ public:
+  Pattern() = default;
+  explicit Pattern(std::vector<PatternField> fields) : fields_(std::move(fields)) {}
+  Pattern(std::initializer_list<PatternField> fields) : fields_(fields) {}
+
+  std::size_t arity() const { return fields_.size(); }
+  const PatternField& field(std::size_t i) const;
+  const std::vector<PatternField>& fields() const { return fields_; }
+
+  /// Number of formals (= number of binding slots, in field order).
+  std::size_t formalCount() const;
+
+  /// True iff `t` has the same arity, every actual equals the corresponding
+  /// tuple field, and every formal's type matches.
+  bool matches(const Tuple& t) const;
+
+  /// Extract the values the formals bind against `t` (which must match),
+  /// in formal order.
+  std::vector<Value> bind(const Tuple& t) const;
+
+  bool operator==(const Pattern& other) const;
+
+  void encode(Writer& w) const;
+  static Pattern decode(Reader& r);
+
+  /// e.g. `("count", ?int)`.
+  std::string toString() const;
+
+ private:
+  std::vector<PatternField> fields_;
+};
+
+/// Variadic builder mixing actuals and formals:
+///   makePattern("count", formal(ValueType::Int))
+template <typename... Args>
+Pattern makePattern(Args&&... args) {
+  std::vector<PatternField> fields;
+  fields.reserve(sizeof...(Args));
+  auto push = [&fields](auto&& a) {
+    using A = std::decay_t<decltype(a)>;
+    if constexpr (std::is_same_v<A, PatternField>) {
+      fields.push_back(std::forward<decltype(a)>(a));
+    } else {
+      fields.push_back(actual(Value(std::forward<decltype(a)>(a))));
+    }
+  };
+  (push(std::forward<Args>(args)), ...);
+  return Pattern(std::move(fields));
+}
+
+/// Shorthand formals used throughout examples/tests: fInt(), fStr(), ...
+inline PatternField fInt() { return formal(ValueType::Int); }
+inline PatternField fReal() { return formal(ValueType::Real); }
+inline PatternField fBool() { return formal(ValueType::Bool); }
+inline PatternField fStr() { return formal(ValueType::Str); }
+inline PatternField fBlob() { return formal(ValueType::Blob); }
+
+}  // namespace ftl::tuple

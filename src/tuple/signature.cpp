@@ -1,0 +1,59 @@
+#include "tuple/signature.hpp"
+
+#include <algorithm>
+
+namespace ftl::tuple {
+
+namespace {
+
+SignatureKey hashTypes(const std::vector<ValueType>& types) {
+  // FNV-1a over the type tags, salted with the arity.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ (types.size() * 0x9e3779b97f4a7c15ULL);
+  for (ValueType t : types) {
+    h ^= static_cast<std::uint8_t>(t);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+SignatureKey signatureOf(const Tuple& t) {
+  std::vector<ValueType> types;
+  types.reserve(t.arity());
+  for (const auto& f : t.fields()) types.push_back(f.type());
+  return hashTypes(types);
+}
+
+SignatureKey signatureOf(const Pattern& p) {
+  std::vector<ValueType> types;
+  types.reserve(p.arity());
+  for (const auto& f : p.fields()) types.push_back(f.type());
+  return hashTypes(types);
+}
+
+std::optional<std::string> nameOf(const Tuple& t) {
+  if (t.arity() > 0 && t.field(0).type() == ValueType::Str) return t.field(0).asStr();
+  return std::nullopt;
+}
+
+std::optional<std::string> nameOf(const Pattern& p) {
+  if (p.arity() > 0 && p.field(0).kind == PatternField::Kind::Actual &&
+      p.field(0).actual.type() == ValueType::Str) {
+    return p.field(0).actual.asStr();
+  }
+  return std::nullopt;
+}
+
+SignatureKey SignatureCatalog::add(const Pattern& p) {
+  const SignatureKey k = signatureOf(p);
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+  if (it == keys_.end() || *it != k) keys_.insert(it, k);
+  return k;
+}
+
+bool SignatureCatalog::contains(SignatureKey k) const {
+  return std::binary_search(keys_.begin(), keys_.end(), k);
+}
+
+}  // namespace ftl::tuple

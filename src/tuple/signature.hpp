@@ -1,0 +1,52 @@
+// Signature catalog — our reproduction of FT-lcc's pattern analysis.
+//
+// The FT-Linda precompiler catalogs the ordered type list ("signature") of
+// every pattern in the program so the runtime can bucket tuples and match
+// against only same-signature candidates. We compute the same artifact at
+// runtime: a signature is the ordered list of field types, hashed to a
+// 64-bit key; the tuple space buckets its contents by it (and secondarily
+// by a leading string actual — the conventional tuple "name").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tuple/pattern.hpp"
+
+namespace ftl::tuple {
+
+/// Hash key of an ordered type list. Equal signatures <=> possibly-matching
+/// arity+types (strict: same types in same order).
+using SignatureKey = std::uint64_t;
+
+/// Signature of a concrete tuple.
+SignatureKey signatureOf(const Tuple& t);
+
+/// Signature of a pattern (actuals contribute their value's type; formals
+/// their declared type). A pattern can only match tuples with an equal
+/// signature key.
+SignatureKey signatureOf(const Pattern& p);
+
+/// The leading string "name" convention: returns the first field if it is a
+/// string actual (pattern) / string value (tuple), else nullopt. Used as a
+/// secondary bucket key.
+std::optional<std::string> nameOf(const Tuple& t);
+std::optional<std::string> nameOf(const Pattern& p);
+
+/// Statistics of a signature catalog built over a set of patterns (exposed
+/// for the E9 matching bench and tests).
+struct SignatureCatalog {
+  /// Register a pattern; returns its signature key.
+  SignatureKey add(const Pattern& p);
+
+  /// Distinct signatures seen.
+  std::size_t distinctSignatures() const { return keys_.size(); }
+
+  bool contains(SignatureKey k) const;
+
+ private:
+  std::vector<SignatureKey> keys_;  // sorted unique
+};
+
+}  // namespace ftl::tuple

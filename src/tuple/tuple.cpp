@@ -1,0 +1,38 @@
+#include "tuple/tuple.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ftl::tuple {
+
+const Value& Tuple::field(std::size_t i) const {
+  FTL_REQUIRE(i < fields_.size(), "tuple field index out of range");
+  return fields_[i];
+}
+
+void Tuple::encode(Writer& w) const {
+  w.u16(static_cast<std::uint16_t>(fields_.size()));
+  for (const auto& f : fields_) f.encode(w);
+}
+
+Tuple Tuple::decode(Reader& r) {
+  const std::uint16_t n = r.u16();
+  std::vector<Value> fields;
+  fields.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) fields.push_back(Value::decode(r));
+  return Tuple(std::move(fields));
+}
+
+std::string Tuple::toString() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) os << ", ";
+    os << fields_[i].toString();
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace ftl::tuple

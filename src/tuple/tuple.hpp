@@ -1,0 +1,43 @@
+// Tuple: an ordered sequence of typed values — the unit of communication in
+// Linda. By convention (followed by all of the paper's examples) the first
+// field is a string naming the tuple's role, e.g. ("subtask", 17, blob).
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "tuple/value.hpp"
+
+namespace ftl::tuple {
+
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> fields) : fields_(std::move(fields)) {}
+  Tuple(std::initializer_list<Value> fields) : fields_(fields) {}
+
+  std::size_t arity() const { return fields_.size(); }
+  const Value& field(std::size_t i) const;
+  const std::vector<Value>& fields() const { return fields_; }
+
+  bool operator==(const Tuple& other) const { return fields_ == other.fields_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+
+  void encode(Writer& w) const;
+  static Tuple decode(Reader& r);
+
+  /// e.g. `("subtask", 17, 3.5)`.
+  std::string toString() const;
+
+ private:
+  std::vector<Value> fields_;
+};
+
+/// Variadic convenience constructor: makeTuple("count", 7).
+template <typename... Args>
+Tuple makeTuple(Args&&... args) {
+  return Tuple({Value(std::forward<Args>(args))...});
+}
+
+}  // namespace ftl::tuple

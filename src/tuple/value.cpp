@@ -1,0 +1,124 @@
+#include "tuple/value.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ftl::tuple {
+
+const char* valueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::Int: return "int";
+    case ValueType::Real: return "real";
+    case ValueType::Bool: return "bool";
+    case ValueType::Str: return "str";
+    case ValueType::Blob: return "blob";
+  }
+  return "?";
+}
+
+std::int64_t Value::asInt() const {
+  FTL_REQUIRE(type() == ValueType::Int, "value is not an int");
+  return std::get<std::int64_t>(v_);
+}
+
+double Value::asReal() const {
+  FTL_REQUIRE(type() == ValueType::Real, "value is not a real");
+  return std::get<double>(v_);
+}
+
+bool Value::asBool() const {
+  FTL_REQUIRE(type() == ValueType::Bool, "value is not a bool");
+  return std::get<bool>(v_);
+}
+
+const std::string& Value::asStr() const {
+  FTL_REQUIRE(type() == ValueType::Str, "value is not a string");
+  return std::get<std::string>(v_);
+}
+
+const Bytes& Value::asBlob() const {
+  FTL_REQUIRE(type() == ValueType::Blob, "value is not a blob");
+  return std::get<Bytes>(v_);
+}
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t x) {
+  h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Value::hash() const {
+  std::uint64_t h = mix(0, static_cast<std::uint64_t>(type()));
+  switch (type()) {
+    case ValueType::Int:
+      return mix(h, static_cast<std::uint64_t>(std::get<std::int64_t>(v_)));
+    case ValueType::Real: {
+      const double d = std::get<double>(v_);
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return mix(h, bits);
+    }
+    case ValueType::Bool:
+      return mix(h, std::get<bool>(v_) ? 1 : 0);
+    case ValueType::Str: {
+      const auto& s = std::get<std::string>(v_);
+      return mix(h, fnv1a(s.data(), s.size()));
+    }
+    case ValueType::Blob: {
+      const auto& b = std::get<Bytes>(v_);
+      return mix(h, fnv1a(b.data(), b.size()));
+    }
+  }
+  return h;
+}
+
+void Value::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(type()));
+  switch (type()) {
+    case ValueType::Int: w.i64(std::get<std::int64_t>(v_)); break;
+    case ValueType::Real: w.f64(std::get<double>(v_)); break;
+    case ValueType::Bool: w.boolean(std::get<bool>(v_)); break;
+    case ValueType::Str: w.str(std::get<std::string>(v_)); break;
+    case ValueType::Blob: w.bytes(std::get<Bytes>(v_)); break;
+  }
+}
+
+Value Value::decode(Reader& r) {
+  const auto t = static_cast<ValueType>(r.u8());
+  switch (t) {
+    case ValueType::Int: return Value(r.i64());
+    case ValueType::Real: return Value(r.f64());
+    case ValueType::Bool: return Value(r.boolean());
+    case ValueType::Str: return Value(r.str());
+    case ValueType::Blob: return Value(r.bytes());
+  }
+  throw Error("bad value type tag while decoding");
+}
+
+std::string Value::toString() const {
+  std::ostringstream os;
+  switch (type()) {
+    case ValueType::Int: os << std::get<std::int64_t>(v_); break;
+    case ValueType::Real: os << std::get<double>(v_); break;
+    case ValueType::Bool: os << (std::get<bool>(v_) ? "true" : "false"); break;
+    case ValueType::Str: os << '"' << std::get<std::string>(v_) << '"'; break;
+    case ValueType::Blob: os << "blob[" << std::get<Bytes>(v_).size() << "]"; break;
+  }
+  return os.str();
+}
+
+}  // namespace ftl::tuple

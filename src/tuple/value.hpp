@@ -1,0 +1,58 @@
+// Value: one typed field of a Linda tuple.
+//
+// FT-Linda (like C-Linda) is typed: matching requires both type and, for
+// actuals, value equality. We support the field types the paper's examples
+// use (integers, reals, booleans, strings) plus an opaque blob for
+// application payloads (subtask descriptors, result vectors, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/serde.hpp"
+
+namespace ftl::tuple {
+
+enum class ValueType : std::uint8_t { Int = 0, Real = 1, Bool = 2, Str = 3, Blob = 4 };
+
+/// Human-readable type name ("int", "real", ...).
+const char* valueTypeName(ValueType t);
+
+class Value {
+ public:
+  Value() : v_(std::int64_t{0}) {}
+  Value(std::int64_t v) : v_(v) {}                       // NOLINT(google-explicit-constructor)
+  Value(int v) : v_(static_cast<std::int64_t>(v)) {}     // NOLINT
+  Value(unsigned v) : v_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(double v) : v_(v) {}                             // NOLINT
+  Value(bool v) : v_(v) {}                               // NOLINT
+  Value(std::string v) : v_(std::move(v)) {}             // NOLINT
+  Value(const char* v) : v_(std::string(v)) {}           // NOLINT
+  Value(Bytes v) : v_(std::move(v)) {}                   // NOLINT
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+
+  std::int64_t asInt() const;
+  double asReal() const;
+  bool asBool() const;
+  const std::string& asStr() const;
+  const Bytes& asBlob() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Stable content hash (same across processes; used for bucket keys).
+  std::uint64_t hash() const;
+
+  void encode(Writer& w) const;
+  static Value decode(Reader& r);
+
+  /// Debug rendering, e.g. `"task"`, `42`, `3.5`, `true`, `blob[12]`.
+  std::string toString() const;
+
+ private:
+  std::variant<std::int64_t, double, bool, std::string, Bytes> v_;
+};
+
+}  // namespace ftl::tuple

@@ -1,0 +1,80 @@
+#include "baseline/central_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ftl::baseline {
+namespace {
+
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+struct CentralFixture : ::testing::Test {
+  CentralFixture() : net(3), server(net, 0), c1(net, 1, 0, /*sync_out=*/true),
+                     c2(net, 2, 0, /*sync_out=*/true) {
+    server.start();
+    c1.start();
+    c2.start();
+  }
+  net::Network net;
+  CentralServer server;
+  CentralClient c1, c2;
+};
+
+TEST_F(CentralFixture, OutInAcrossClients) {
+  c1.out(makeTuple("m", 7));
+  EXPECT_EQ(c2.in(makePattern("m", fInt())).field(1).asInt(), 7);
+  EXPECT_EQ(server.tupleCount(), 0u);
+}
+
+TEST_F(CentralFixture, RdKeepsTuple) {
+  c1.out(makeTuple("m", 7));
+  EXPECT_EQ(c2.rd(makePattern("m", fInt())).field(1).asInt(), 7);
+  EXPECT_EQ(server.tupleCount(), 1u);
+}
+
+TEST_F(CentralFixture, InpMissAndHit) {
+  EXPECT_EQ(c1.inp(makePattern("none")), std::nullopt);
+  c2.out(makeTuple("none"));
+  EXPECT_TRUE(c1.inp(makePattern("none")).has_value());
+}
+
+TEST_F(CentralFixture, BlockingInServedOnLaterOut) {
+  std::thread waiter([&] {
+    EXPECT_EQ(c1.in(makePattern("later", fInt())).field(1).asInt(), 3);
+  });
+  std::this_thread::sleep_for(Millis{20});
+  EXPECT_EQ(server.blockedCount(), 1u);
+  c2.out(makeTuple("later", 3));
+  waiter.join();
+}
+
+TEST_F(CentralFixture, ServerCrashLosesEverything) {
+  c1.out(makeTuple("gone", 1));
+  net.crash(0);
+  c2.setTimeout(Micros{50'000});
+  EXPECT_THROW(c2.inp(makePattern("gone", fInt())), Error);
+  EXPECT_TRUE(c2.serverLost());
+}
+
+TEST(CentralAsync, AsyncOutReturnsBeforeServerApplies) {
+  // With asynchronous out (the conventional kernel behaviour), out() has no
+  // ordering guarantee relative to other clients' inp — the weak-semantics
+  // behaviour E7 quantifies. Here we only check async out works at all.
+  net::NetworkConfig cfg;
+  cfg.latency_mean = Micros{20'000};
+  net::Network net(2, cfg);
+  CentralServer server(net, 0);
+  CentralClient client(net, 1, 0, /*sync_out=*/false);
+  server.start();
+  client.start();
+  const auto start = Clock::now();
+  client.out(makeTuple("x", 1));
+  EXPECT_LT(Clock::now() - start, Micros{10'000});  // returned without waiting
+  EXPECT_TRUE(client.in(makePattern("x", fInt())).field(1).asInt() == 1);
+}
+
+}  // namespace
+}  // namespace ftl::baseline

@@ -1,0 +1,103 @@
+// Decoder robustness: random and truncated byte streams must raise
+// ftl::Error (or decode cleanly) — never crash, hang, or over-read. The
+// replicated state machine decodes peer-provided bytes, so this is a
+// correctness property, not just hygiene.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "consul/messages.hpp"
+#include "ftlinda/protocol.hpp"
+#include "ts/registry.hpp"
+
+namespace ftl {
+namespace {
+
+Bytes randomBytes(Xoshiro256& rng, std::size_t max_len) {
+  Bytes b(rng.below(max_len + 1));
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.below(256));
+  return b;
+}
+
+template <typename Fn>
+void expectNoCrash(Fn&& decode, std::uint64_t seed, int rounds = 300) {
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < rounds; ++i) {
+    const Bytes b = randomBytes(rng, 200);
+    try {
+      decode(b);
+    } catch (const Error&) {
+      // rejected cleanly — fine
+    } catch (const std::bad_alloc&) {
+      // a huge bogus length prefix may exceed memory — also a clean reject
+    }
+  }
+}
+
+TEST(FuzzDecode, Tuple) {
+  expectNoCrash([](const Bytes& b) { Reader r(b); (void)tuple::Tuple::decode(r); }, 11);
+}
+
+TEST(FuzzDecode, Pattern) {
+  expectNoCrash([](const Bytes& b) { Reader r(b); (void)tuple::Pattern::decode(r); }, 12);
+}
+
+TEST(FuzzDecode, TupleSpace) {
+  expectNoCrash([](const Bytes& b) { Reader r(b); (void)ts::TupleSpace::decode(r); }, 13);
+}
+
+TEST(FuzzDecode, Registry) {
+  expectNoCrash([](const Bytes& b) { Reader r(b); (void)ts::TsRegistry::decode(r); }, 14);
+}
+
+TEST(FuzzDecode, Command) {
+  expectNoCrash([](const Bytes& b) { (void)ftlinda::Command::decode(b); }, 15);
+}
+
+TEST(FuzzDecode, Reply) {
+  expectNoCrash([](const Bytes& b) { (void)ftlinda::Reply::decode(b); }, 16);
+}
+
+TEST(FuzzDecode, ConsulMessages) {
+  expectNoCrash([](const Bytes& b) { (void)consul::OrderedMsg::decode(b); }, 17);
+  expectNoCrash([](const Bytes& b) { (void)consul::NewViewMsg::decode(b); }, 18);
+  expectNoCrash([](const Bytes& b) { (void)consul::ViewStateMsg::decode(b); }, 19);
+  expectNoCrash([](const Bytes& b) { (void)consul::HeartbeatMsg::decode(b); }, 20);
+}
+
+TEST(FuzzDecode, TruncationsOfValidEncodings) {
+  // Every strict prefix of a valid encoding must be rejected cleanly.
+  Writer w;
+  tuple::makeTuple("name", 42, 2.5, true, Bytes{1, 2, 3}).encode(w);
+  const Bytes full = w.buffer();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    Bytes prefix(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(len));
+    Reader r(prefix);
+    EXPECT_THROW((void)tuple::Tuple::decode(r), Error) << "prefix length " << len;
+  }
+}
+
+TEST(FuzzDecode, BitflipsOfValidAgs) {
+  using namespace ftlinda;
+  Ags ags = AgsBuilder()
+                .when(guardIn(ts::kTsMain, tuple::makePattern("t", tuple::fInt())))
+                .then(opOut(ts::kTsMain, makeTemplate("u", bound(0))))
+                .build();
+  Writer w;
+  ags.encode(w);
+  const Bytes full = w.buffer();
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 500; ++i) {
+    Bytes mutated = full;
+    mutated[rng.below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    try {
+      Reader r(mutated);
+      (void)Ags::decode(r);
+    } catch (const Error&) {
+    } catch (const std::bad_alloc&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftl

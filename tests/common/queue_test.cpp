@@ -1,0 +1,122 @@
+#include "common/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ftl {
+namespace {
+
+TEST(BlockingQueue, PushPopSingleThread) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BlockingQueue, TryPopEmptyReturnsNullopt) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.tryPop(), std::nullopt);
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> q;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.popFor(std::chrono::milliseconds(20)), std::nullopt);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(15));
+}
+
+TEST(BlockingQueue, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> q;
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(BlockingQueue, CloseDrainsRemainingElementsFirst) {
+  BlockingQueue<int> q;
+  q.push(7);
+  q.push(8);
+  q.close();
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_EQ(q.pop().value(), 8);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BlockingQueue, PushAfterCloseDrops) {
+  BlockingQueue<int> q;
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BlockingQueue, ReopenAfterClose) {
+  BlockingQueue<int> q;
+  q.close();
+  q.reopen();
+  EXPECT_TRUE(q.push(5));
+  EXPECT_EQ(q.pop().value(), 5);
+}
+
+TEST(BlockingQueue, ClearDiscardsElements) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.closed());
+}
+
+TEST(BlockingQueue, FifoOrderUnderConcurrentProducers) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 1000;
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  std::vector<int> last_seen(kProducers, -1);
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    const int producer = *v / kPerProducer;
+    const int seq = *v % kPerProducer;
+    // Per-producer FIFO: each producer's elements arrive in its push order.
+    EXPECT_GT(seq, last_seen[producer]);
+    last_seen[producer] = seq;
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+}
+
+TEST(BlockingQueue, ManyConsumersEachElementDeliveredOnce) {
+  BlockingQueue<int> q;
+  constexpr int kCount = 4000;
+  std::atomic<int> sum{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) sum += *v;
+    });
+  }
+  int expected = 0;
+  for (int i = 1; i <= kCount; ++i) {
+    q.push(i);
+    expected += i;
+  }
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace ftl

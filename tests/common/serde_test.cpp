@@ -1,0 +1,122 @@
+#include "common/serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ftl {
+namespace {
+
+TEST(Serde, RoundTripScalars) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.141592653589793);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.141592653589793);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serde, RoundTripExtremes) {
+  Writer w;
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.i64(std::numeric_limits<std::int64_t>::max());
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Serde, RoundTripStringsAndBytes) {
+  Writer w;
+  w.str("");
+  w.str("hello tuple space");
+  w.str(std::string("embedded\0nul", 12));
+  w.bytes(Bytes{0x00, 0xff, 0x7f});
+  w.bytes(Bytes{});
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello tuple space");
+  EXPECT_EQ(r.str(), std::string("embedded\0nul", 12));
+  EXPECT_EQ(r.bytes(), (Bytes{0x00, 0xff, 0x7f}));
+  EXPECT_EQ(r.bytes(), Bytes{});
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serde, TruncatedBufferThrows) {
+  Writer w;
+  w.u64(1);
+  Bytes truncated = w.buffer();
+  truncated.pop_back();
+  Reader r(truncated);
+  EXPECT_THROW(r.u64(), Error);
+}
+
+TEST(Serde, TruncatedStringThrows) {
+  Writer w;
+  w.str("abcdef");
+  Bytes truncated = w.buffer();
+  truncated.resize(truncated.size() - 3);
+  Reader r(truncated);
+  EXPECT_THROW(r.str(), Error);
+}
+
+TEST(Serde, RawNesting) {
+  Writer inner;
+  inner.u32(99);
+  Writer outer;
+  outer.u8(1);
+  outer.raw(inner.buffer());
+  Reader r(outer.buffer());
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_EQ(r.u32(), 99u);
+}
+
+TEST(Serde, RemainingTracksPosition) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serde, EncodingIsDeterministic) {
+  auto encode = [] {
+    Writer w;
+    w.str("abc");
+    w.i64(-7);
+    w.f64(2.5);
+    return w.take();
+  };
+  EXPECT_EQ(encode(), encode());
+}
+
+}  // namespace
+}  // namespace ftl

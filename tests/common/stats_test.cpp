@@ -1,0 +1,84 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace ftl {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleSampleVarianceZero) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(LatencySamples, PercentilesExact) {
+  LatencySamples ls;
+  for (int i = 1; i <= 100; ++i) ls.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(ls.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(ls.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(ls.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(ls.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(ls.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(ls.min(), 1.0);
+  EXPECT_DOUBLE_EQ(ls.max(), 100.0);
+  EXPECT_DOUBLE_EQ(ls.mean(), 50.5);
+}
+
+TEST(LatencySamples, AddAfterPercentileStillCorrect) {
+  LatencySamples ls;
+  ls.add(10);
+  EXPECT_DOUBLE_EQ(ls.percentile(50), 10.0);
+  ls.add(1);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(ls.min(), 1.0);
+  EXPECT_DOUBLE_EQ(ls.max(), 10.0);
+}
+
+TEST(LatencySamples, PercentileOutOfRangeThrows) {
+  LatencySamples ls;
+  ls.add(1);
+  EXPECT_THROW(ls.percentile(101), ContractViolation);
+  EXPECT_THROW(ls.percentile(-1), ContractViolation);
+}
+
+TEST(LatencySamples, SummaryMentionsCount) {
+  LatencySamples ls;
+  ls.add(5);
+  ls.add(15);
+  const std::string s = ls.summary();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+}
+
+TEST(ScopedTimer, RecordsPositiveDuration) {
+  LatencySamples ls;
+  {
+    ScopedTimerUs t(ls);
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x = x + i;
+  }
+  ASSERT_EQ(ls.count(), 1u);
+  EXPECT_GE(ls.max(), 0.0);
+}
+
+}  // namespace
+}  // namespace ftl

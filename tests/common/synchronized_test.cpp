@@ -1,0 +1,38 @@
+#include "common/synchronized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ftl {
+namespace {
+
+TEST(Synchronized, WithLockMutates) {
+  Synchronized<int> s(5);
+  s.withLock([](int& v) { v += 1; });
+  EXPECT_EQ(s.copy(), 6);
+}
+
+TEST(Synchronized, WithLockReturnsValue) {
+  Synchronized<std::vector<int>> s(std::vector<int>{1, 2, 3});
+  const auto size = s.withLock([](const std::vector<int>& v) { return v.size(); });
+  EXPECT_EQ(size, 3u);
+}
+
+TEST(Synchronized, ConcurrentIncrementsDoNotRace) {
+  Synchronized<long> counter(0);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) counter.withLock([](long& v) { ++v; });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.copy(), static_cast<long>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace ftl

@@ -1,0 +1,154 @@
+// Shared harness for Consul protocol tests: N nodes on one simulated
+// network, each recording its delivery/view history.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "consul/node.hpp"
+
+namespace ftl::consul::testutil {
+
+/// Fast timeouts so failure-detection tests finish in tens of milliseconds.
+inline ConsulConfig fastConfig() {
+  ConsulConfig cfg;
+  cfg.tick = Micros{2'000};
+  cfg.heartbeat_interval = Micros{10'000};
+  cfg.failure_timeout = Micros{60'000};
+  cfg.request_retransmit = Micros{40'000};
+  cfg.nack_timeout = Micros{10'000};
+  cfg.ack_interval = Micros{15'000};
+  cfg.view_change_timeout = Micros{150'000};
+  return cfg;
+}
+
+/// For tests that inject message LOSS: the failure-detector timeout must be
+/// scaled to the loss rate (p^k false-suspicion probability with k
+/// heartbeats per timeout window), exactly as a production deployment would.
+inline ConsulConfig lossyConfig() {
+  ConsulConfig cfg = fastConfig();
+  cfg.failure_timeout = Micros{250'000};  // 25 heartbeat periods
+  cfg.view_change_timeout = Micros{400'000};
+  return cfg;
+}
+
+/// Poll until `pred()` holds or `timeout` elapses; returns pred's final value.
+inline bool waitUntil(const std::function<bool()>& pred,
+                      Millis timeout = Millis{5000}) {
+  const auto deadline = Clock::now() + timeout;
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(Millis{2});
+  }
+  return pred();
+}
+
+/// Per-node application log: the delivered payload sequence and view events.
+struct AppLog {
+  mutable std::mutex mutex;
+  std::vector<std::pair<std::uint64_t, std::string>> delivered;  // (gseq, payload)
+  std::vector<ViewInfo> views;
+  std::vector<std::string> snapshot_installs;  // payload strings recovered from snapshots
+
+  std::size_t deliveredCount() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return delivered.size() + snapshot_installs.size();
+  }
+
+  /// Full payload history: snapshot contents followed by live deliveries.
+  std::vector<std::string> history() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<std::string> out = snapshot_installs;
+    for (const auto& [g, p] : delivered) out.push_back(p);
+    return out;
+  }
+
+  std::size_t viewCount() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return views.size();
+  }
+
+  ViewInfo lastView() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return views.empty() ? ViewInfo{} : views.back();
+  }
+};
+
+/// A cluster of ConsulNodes over one Network. Node i runs on host i.
+class Cluster {
+ public:
+  Cluster(std::uint32_t n, net::NetworkConfig net_cfg = {}, ConsulConfig cfg = fastConfig())
+      : net_(n, net_cfg), cfg_(cfg), logs_(n) {
+    std::vector<net::HostId> group;
+    for (std::uint32_t i = 0; i < n; ++i) group.push_back(i);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<ConsulNode>(net_, i, group, cfg_, callbacksFor(i)));
+    }
+    for (auto& node : nodes_) node->start();
+  }
+
+  ConsulNode& node(std::uint32_t i) { return *nodes_[i]; }
+  AppLog& log(std::uint32_t i) { return logs_[i]; }
+  net::Network& network() { return net_; }
+  const ConsulConfig& config() const { return cfg_; }
+
+  std::string broadcastString(std::uint32_t i, const std::string& s) {
+    nodes_[i]->broadcast(Bytes(s.begin(), s.end()));
+    return s;
+  }
+
+  /// Replace node i with a fresh recovering instance that joins the group.
+  void restartAsJoiner(std::uint32_t i, std::uint64_t incarnation) {
+    nodes_[i].reset();  // joins the old (dead) service thread
+    net_.recover(i);
+    std::vector<net::HostId> group;
+    for (std::uint32_t h = 0; h < net_.hostCount(); ++h) group.push_back(h);
+    nodes_[i] = std::make_unique<ConsulNode>(net_, i, group, cfg_, callbacksFor(i),
+                                             /*join_existing=*/true);
+    nodes_[i]->start();
+    nodes_[i]->joinGroup(incarnation);
+  }
+
+ private:
+  ConsulNode::Callbacks callbacksFor(std::uint32_t i) {
+    ConsulNode::Callbacks cb;
+    AppLog* log = &logs_[i];
+    cb.on_deliver = [log](const Delivery& d) {
+      std::lock_guard<std::mutex> lock(log->mutex);
+      log->delivered.emplace_back(d.gseq, std::string(d.payload.begin(), d.payload.end()));
+    };
+    cb.on_view = [log](const ViewInfo& v) {
+      std::lock_guard<std::mutex> lock(log->mutex);
+      log->views.push_back(v);
+    };
+    cb.take_snapshot = [log]() {
+      std::lock_guard<std::mutex> lock(log->mutex);
+      Writer w;
+      w.u32(static_cast<std::uint32_t>(log->snapshot_installs.size() + log->delivered.size()));
+      for (const auto& s : log->snapshot_installs) w.str(s);
+      for (const auto& [g, p] : log->delivered) w.str(p);
+      return w.take();
+    };
+    cb.install_snapshot = [log](const Bytes& b) {
+      Reader r(b);
+      std::lock_guard<std::mutex> lock(log->mutex);
+      log->snapshot_installs.clear();
+      log->delivered.clear();
+      const std::uint32_t n = r.u32();
+      for (std::uint32_t k = 0; k < n; ++k) log->snapshot_installs.push_back(r.str());
+    };
+    return cb;
+  }
+
+  net::Network net_;
+  ConsulConfig cfg_;
+  std::vector<AppLog> logs_;
+  std::vector<std::unique_ptr<ConsulNode>> nodes_;
+};
+
+}  // namespace ftl::consul::testutil

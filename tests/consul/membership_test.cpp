@@ -1,0 +1,158 @@
+// Membership / view-change behaviour: crash detection, sequencer failover,
+// ordered failure notification (DESIGN.md invariant 7).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "consul/consul_test_util.hpp"
+
+namespace ftl::consul {
+namespace {
+
+using testutil::Cluster;
+using testutil::waitUntil;
+
+bool hasFailedView(testutil::AppLog& log, net::HostId failed) {
+  std::lock_guard<std::mutex> lock(log.mutex);
+  return std::any_of(log.views.begin(), log.views.end(), [&](const ViewInfo& v) {
+    return std::find(v.failed.begin(), v.failed.end(), failed) != v.failed.end();
+  });
+}
+
+TEST(Membership, CrashOfWorkerDetected) {
+  Cluster c(3);
+  c.network().crash(2);
+  for (int n : {0, 1}) {
+    ASSERT_TRUE(waitUntil([&] { return hasFailedView(c.log(n), 2); }, Millis{5000}))
+        << "node " << n << " never saw the failure view";
+    const auto v = c.log(n).lastView();
+    EXPECT_EQ(v.members, (std::vector<net::HostId>{0, 1}));
+  }
+}
+
+TEST(Membership, CrashOfSequencerFailsOver) {
+  Cluster c(3);
+  c.broadcastString(1, "before");
+  ASSERT_TRUE(waitUntil([&] { return c.log(1).deliveredCount() == 1; }));
+  c.network().crash(0);  // host 0 is the sequencer
+  for (int n : {1, 2}) {
+    ASSERT_TRUE(waitUntil([&] { return hasFailedView(c.log(n), 0); }, Millis{5000}))
+        << "node " << n;
+  }
+  // The group keeps ordering under the new sequencer (host 1).
+  c.broadcastString(2, "after");
+  for (int n : {1, 2}) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 2; }, Millis{5000}))
+        << "node " << n;
+    EXPECT_EQ(c.log(n).history().back(), "after");
+  }
+}
+
+TEST(Membership, RequestInFlightAtSequencerCrashStillDelivered) {
+  Cluster c(3);
+  // Crash the sequencer, then immediately broadcast from a survivor before
+  // the failure is detected: the request retransmission machinery must carry
+  // the message into the new view.
+  c.network().crash(0);
+  c.broadcastString(1, "limbo");
+  for (int n : {1, 2}) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 1; }, Millis{10000}))
+        << "node " << n;
+    EXPECT_EQ(c.log(n).history().front(), "limbo");
+  }
+}
+
+TEST(Membership, NoDuplicatesAcrossFailover) {
+  Cluster c(3);
+  for (int i = 0; i < 10; ++i) c.broadcastString(1, "pre" + std::to_string(i));
+  ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == 10; }));
+  c.network().crash(0);
+  for (int i = 0; i < 10; ++i) c.broadcastString(1, "post" + std::to_string(i));
+  for (int n : {1, 2}) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 20; }, Millis{10000}))
+        << "node " << n << " got " << c.log(n).deliveredCount();
+  }
+  auto h = c.log(1).history();
+  EXPECT_EQ(c.log(2).history(), h);
+  std::sort(h.begin(), h.end());
+  EXPECT_EQ(std::unique(h.begin(), h.end()), h.end()) << "duplicate delivery across failover";
+}
+
+TEST(Membership, TwoSimultaneousCrashes) {
+  Cluster c(5);
+  c.network().crash(1);
+  c.network().crash(3);
+  for (int n : {0, 2, 4}) {
+    ASSERT_TRUE(waitUntil(
+        [&] {
+          const auto v = c.log(n).lastView();
+          return v.members == std::vector<net::HostId>{0, 2, 4};
+        },
+        Millis{8000}))
+        << "node " << n;
+  }
+  c.broadcastString(4, "still-alive");
+  for (int n : {0, 2, 4}) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 1; }));
+  }
+}
+
+TEST(Membership, CascadingCrashes) {
+  Cluster c(4);
+  c.network().crash(0);
+  for (int n : {1, 2, 3}) {
+    ASSERT_TRUE(waitUntil([&] { return hasFailedView(c.log(n), 0); }, Millis{8000}));
+  }
+  c.network().crash(1);  // crash the NEW sequencer too
+  for (int n : {2, 3}) {
+    ASSERT_TRUE(waitUntil([&] { return hasFailedView(c.log(n), 1); }, Millis{8000}))
+        << "node " << n;
+  }
+  c.broadcastString(3, "two-failovers-later");
+  for (int n : {2, 3}) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 1; }, Millis{8000}));
+  }
+}
+
+TEST(Membership, ViewEventOrderedIdenticallyAtAllSurvivors) {
+  Cluster c(3);
+  for (int i = 0; i < 5; ++i) c.broadcastString(1, "a" + std::to_string(i));
+  ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == 5; }));
+  c.network().crash(0);
+  for (int n : {1, 2}) {
+    ASSERT_TRUE(waitUntil([&] { return hasFailedView(c.log(n), 0); }, Millis{5000}));
+  }
+  // The failure view must occupy the same gseq at both survivors.
+  auto viewGseq = [&](int n) {
+    std::lock_guard<std::mutex> lock(c.log(n).mutex);
+    for (const auto& v : c.log(n).views) {
+      if (!v.failed.empty()) return v.gseq;
+    }
+    return std::uint64_t{0};
+  };
+  EXPECT_EQ(viewGseq(1), viewGseq(2));
+  EXPECT_GT(viewGseq(1), 0u);
+}
+
+TEST(Membership, LoneSurvivorKeepsWorking) {
+  Cluster c(3);
+  c.network().crash(1);
+  c.network().crash(2);
+  ASSERT_TRUE(waitUntil(
+      [&] { return c.log(0).lastView().members == std::vector<net::HostId>{0}; }, Millis{8000}));
+  c.broadcastString(0, "alone");
+  ASSERT_TRUE(waitUntil([&] { return c.log(0).deliveredCount() == 1; }));
+}
+
+TEST(Membership, CrashUnderLatencyProfile) {
+  Cluster c(3, net::lanProfile(7));
+  c.broadcastString(2, "m0");
+  ASSERT_TRUE(waitUntil([&] { return c.log(0).deliveredCount() == 1; }));
+  c.network().crash(2);
+  for (int n : {0, 1}) {
+    ASSERT_TRUE(waitUntil([&] { return hasFailedView(c.log(n), 2); }, Millis{8000}));
+  }
+}
+
+}  // namespace
+}  // namespace ftl::consul

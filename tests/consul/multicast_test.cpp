@@ -1,0 +1,157 @@
+// Atomic multicast properties: total order, exactly-once, gap repair under
+// message loss (DESIGN.md invariant 1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "consul/consul_test_util.hpp"
+
+namespace ftl::consul {
+namespace {
+
+using testutil::Cluster;
+using testutil::waitUntil;
+
+TEST(Multicast, SingleNodeDeliversToItself) {
+  Cluster c(1);
+  c.broadcastString(0, "hello");
+  ASSERT_TRUE(waitUntil([&] { return c.log(0).deliveredCount() == 1; }));
+  EXPECT_EQ(c.log(0).history().front(), "hello");
+}
+
+TEST(Multicast, AllMembersDeliver) {
+  Cluster c(3);
+  c.broadcastString(0, "a");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(i).deliveredCount() == 1; })) << "node " << i;
+  }
+}
+
+TEST(Multicast, NonSequencerBroadcastDelivers) {
+  Cluster c(3);
+  c.broadcastString(2, "from-two");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(i).deliveredCount() == 1; })) << "node " << i;
+    EXPECT_EQ(c.log(i).history().front(), "from-two");
+  }
+}
+
+TEST(Multicast, ConcurrentSendersTotalOrder) {
+  constexpr int kNodes = 4;
+  constexpr int kPerNode = 50;
+  Cluster c(kNodes);
+  std::vector<std::thread> senders;
+  for (int n = 0; n < kNodes; ++n) {
+    senders.emplace_back([&, n] {
+      for (int i = 0; i < kPerNode; ++i) {
+        c.broadcastString(n, "n" + std::to_string(n) + "-" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  const std::size_t total = kNodes * kPerNode;
+  for (int n = 0; n < kNodes; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == total; },
+                          Millis{10000}))
+        << "node " << n << " got " << c.log(n).deliveredCount();
+  }
+  const auto reference = c.log(0).history();
+  for (int n = 1; n < kNodes; ++n) {
+    EXPECT_EQ(c.log(n).history(), reference) << "node " << n << " diverged from the total order";
+  }
+}
+
+TEST(Multicast, FifoPerOrigin) {
+  Cluster c(3);
+  constexpr int kCount = 30;
+  for (int i = 0; i < kCount; ++i) c.broadcastString(1, std::to_string(i));
+  ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == kCount; }));
+  const auto h = c.log(2).history();
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(h[i], std::to_string(i));
+}
+
+TEST(Multicast, GseqContiguousAndIdenticalAcrossMembers) {
+  Cluster c(3);
+  for (int i = 0; i < 20; ++i) c.broadcastString(i % 3, "m" + std::to_string(i));
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 20; }));
+  }
+  for (int n = 0; n < 3; ++n) {
+    std::lock_guard<std::mutex> lock(c.log(n).mutex);
+    const auto& d = c.log(n).delivered;
+    for (std::size_t i = 1; i < d.size(); ++i) {
+      EXPECT_EQ(d[i].first, d[i - 1].first + 1) << "gap in delivery at node " << n;
+    }
+  }
+}
+
+TEST(Multicast, SurvivesMessageLoss) {
+  // 20% loss on every link: gap repair (nacks) and request retransmission
+  // must still deliver everything everywhere, exactly once, in one order.
+  net::NetworkConfig nc;
+  nc.drop_probability = 0.20;
+  nc.seed = 1234;
+  Cluster c(3, nc, testutil::lossyConfig());
+  constexpr int kCount = 40;
+  for (int i = 0; i < kCount; ++i) c.broadcastString(i % 3, "x" + std::to_string(i));
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == kCount; },
+                          Millis{20000}))
+        << "node " << n << " got " << c.log(n).deliveredCount();
+  }
+  const auto reference = c.log(0).history();
+  EXPECT_EQ(c.log(1).history(), reference);
+  EXPECT_EQ(c.log(2).history(), reference);
+  // Exactly-once: no payload appears twice.
+  auto sorted_copy = reference;
+  std::sort(sorted_copy.begin(), sorted_copy.end());
+  EXPECT_EQ(std::unique(sorted_copy.begin(), sorted_copy.end()), sorted_copy.end());
+}
+
+TEST(Multicast, WorksOverLatencyProfile) {
+  Cluster c(3, net::lanProfile());
+  c.broadcastString(1, "lan");
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 1; }));
+  }
+}
+
+TEST(Multicast, InitialViewReportedToApp) {
+  Cluster c(3);
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).viewCount() >= 1; }));
+    const auto v = c.log(n).lastView();
+    EXPECT_EQ(v.members.size(), 3u);
+    EXPECT_EQ(v.view_id, 1u);
+  }
+}
+
+TEST(Multicast, BroadcastFromNonMemberRejected) {
+  net::Network net(2);
+  ConsulNode::Callbacks cb;
+  cb.on_deliver = [](const Delivery&) {};
+  cb.on_view = [](const ViewInfo&) {};
+  ConsulNode joiner(net, 1, {0, 1}, testutil::fastConfig(), std::move(cb),
+                    /*join_existing=*/true);
+  joiner.start();
+  EXPECT_THROW(joiner.broadcast(Bytes{1}), ContractViolation);
+}
+
+TEST(Multicast, EmptyPayloadDelivered) {
+  Cluster c(2);
+  c.node(0).broadcast(Bytes{});
+  ASSERT_TRUE(waitUntil([&] { return c.log(1).deliveredCount() == 1; }));
+  EXPECT_EQ(c.log(1).history().front(), "");
+}
+
+TEST(Multicast, LargePayloadDelivered) {
+  Cluster c(2);
+  const std::string big(1 << 16, 'z');
+  c.broadcastString(1, big);
+  ASSERT_TRUE(waitUntil([&] { return c.log(0).deliveredCount() == 1; }));
+  EXPECT_EQ(c.log(0).history().front(), big);
+}
+
+}  // namespace
+}  // namespace ftl::consul

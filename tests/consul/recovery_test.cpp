@@ -1,0 +1,143 @@
+// Recovery: a crashed processor rejoins via JoinRequest and receives a state
+// snapshot plus a join view (DESIGN.md invariant 6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "consul/consul_test_util.hpp"
+
+namespace ftl::consul {
+namespace {
+
+using testutil::Cluster;
+using testutil::waitUntil;
+
+TEST(Recovery, RejoinedNodeGetsSnapshotAndCatchesUp) {
+  Cluster c(3);
+  for (int i = 0; i < 5; ++i) c.broadcastString(0, "pre" + std::to_string(i));
+  ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == 5; }));
+
+  c.network().crash(2);
+  ASSERT_TRUE(waitUntil(
+      [&] { return c.log(0).lastView().members == std::vector<net::HostId>{0, 1}; },
+      Millis{8000}));
+  for (int i = 0; i < 5; ++i) c.broadcastString(1, "mid" + std::to_string(i));
+  ASSERT_TRUE(waitUntil([&] { return c.log(0).deliveredCount() == 10; }));
+
+  c.restartAsJoiner(2, /*incarnation=*/1);
+  ASSERT_TRUE(waitUntil([&] { return c.node(2).isMember(); }, Millis{10000}));
+
+  // The snapshot carried the full pre-crash history.
+  ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == 10; }, Millis{5000}));
+  EXPECT_EQ(c.log(2).history(), c.log(0).history());
+
+  // And new traffic reaches the rejoined node.
+  c.broadcastString(0, "post");
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 11; }, Millis{5000}))
+        << "node " << n;
+  }
+  EXPECT_EQ(c.log(2).history(), c.log(0).history());
+}
+
+TEST(Recovery, RejoinedNodeCanBroadcast) {
+  Cluster c(3);
+  c.network().crash(1);
+  ASSERT_TRUE(waitUntil(
+      [&] { return c.log(0).lastView().members == std::vector<net::HostId>{0, 2}; },
+      Millis{8000}));
+  c.restartAsJoiner(1, 1);
+  ASSERT_TRUE(waitUntil([&] { return c.node(1).isMember(); }, Millis{10000}));
+  c.broadcastString(1, "back");
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil(
+        [&] {
+          auto h = c.log(n).history();
+          return !h.empty() && h.back() == "back";
+        },
+        Millis{5000}))
+        << "node " << n;
+  }
+}
+
+TEST(Recovery, JoinViewListsJoiner) {
+  Cluster c(3);
+  c.network().crash(2);
+  ASSERT_TRUE(waitUntil(
+      [&] { return c.log(0).lastView().members == std::vector<net::HostId>{0, 1}; },
+      Millis{8000}));
+  c.restartAsJoiner(2, 1);
+  ASSERT_TRUE(waitUntil(
+      [&] {
+        const auto v = c.log(0).lastView();
+        return v.members == std::vector<net::HostId>{0, 1, 2} &&
+               std::find(v.joined.begin(), v.joined.end(), 2u) != v.joined.end();
+      },
+      Millis{10000}));
+}
+
+TEST(Recovery, SequencerCrashThenRejoinAsWorker) {
+  Cluster c(3);
+  c.broadcastString(0, "a");
+  ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == 1; }));
+  c.network().crash(0);
+  ASSERT_TRUE(waitUntil(
+      [&] { return c.log(1).lastView().members == std::vector<net::HostId>{1, 2}; },
+      Millis{8000}));
+  c.broadcastString(1, "b");
+  ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == 2; }));
+
+  c.restartAsJoiner(0, 1);
+  ASSERT_TRUE(waitUntil([&] { return c.node(0).isMember(); }, Millis{10000}));
+  ASSERT_TRUE(waitUntil([&] { return c.log(0).deliveredCount() == 2; }, Millis{5000}));
+  EXPECT_EQ(c.log(0).history(), c.log(1).history());
+  // Rejoined host 0 is the lowest id again: it resumes the sequencer role.
+  c.broadcastString(2, "c");
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 3; }, Millis{8000}))
+        << "node " << n;
+  }
+}
+
+TEST(Recovery, RepeatedCrashRecoverCycles) {
+  Cluster c(3);
+  std::size_t expected = 0;
+  for (int cycle = 1; cycle <= 3; ++cycle) {
+    c.broadcastString(0, "c" + std::to_string(cycle));
+    ++expected;
+    ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == expected; }, Millis{8000}));
+    c.network().crash(2);
+    ASSERT_TRUE(waitUntil(
+        [&] { return c.log(0).lastView().members == std::vector<net::HostId>{0, 1}; },
+        Millis{8000}))
+        << "cycle " << cycle;
+    c.restartAsJoiner(2, static_cast<std::uint64_t>(cycle));
+    ASSERT_TRUE(waitUntil([&] { return c.node(2).isMember(); }, Millis{10000}))
+        << "cycle " << cycle;
+    ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == expected; }, Millis{5000}));
+    EXPECT_EQ(c.log(2).history(), c.log(0).history()) << "cycle " << cycle;
+  }
+}
+
+TEST(Recovery, HistoryIdenticalEverywhereAfterChurn) {
+  Cluster c(4);
+  for (int i = 0; i < 8; ++i) c.broadcastString(i % 4, "w" + std::to_string(i));
+  ASSERT_TRUE(waitUntil([&] { return c.log(3).deliveredCount() == 8; }));
+  c.network().crash(1);
+  ASSERT_TRUE(waitUntil(
+      [&] { return c.log(0).lastView().members == std::vector<net::HostId>{0, 2, 3}; },
+      Millis{8000}));
+  for (int i = 0; i < 8; ++i) c.broadcastString((i % 2) ? 2u : 3u, "x" + std::to_string(i));
+  c.restartAsJoiner(1, 1);
+  ASSERT_TRUE(waitUntil([&] { return c.node(1).isMember(); }, Millis{10000}));
+  for (int i = 0; i < 4; ++i) c.broadcastString(0, "y" + std::to_string(i));
+  for (int n = 0; n < 4; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 20; }, Millis{10000}))
+        << "node " << n << " got " << c.log(n).deliveredCount();
+  }
+  const auto ref = c.log(0).history();
+  for (int n = 1; n < 4; ++n) EXPECT_EQ(c.log(n).history(), ref) << "node " << n;
+}
+
+}  // namespace
+}  // namespace ftl::consul

@@ -1,0 +1,181 @@
+// Consul robustness under combined adversity: message loss + crashes +
+// recovery, trailing-loss repair, stability-driven log truncation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "consul/consul_test_util.hpp"
+
+namespace ftl::consul {
+namespace {
+
+using testutil::Cluster;
+using testutil::waitUntil;
+
+TEST(ConsulStress, TrailingLossRepairedByHeartbeat) {
+  // Drop ~half of everything, send a burst, then go silent: with no later
+  // traffic only the sequencer heartbeat's last_gseq advertisement lets
+  // members discover and nack the missing tail.
+  net::NetworkConfig nc;
+  nc.drop_probability = 0.5;
+  nc.seed = 99;
+  Cluster c(3, nc, testutil::lossyConfig());
+  for (int i = 0; i < 10; ++i) c.broadcastString(0, "t" + std::to_string(i));
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 10; }, Millis{20000}))
+        << "node " << n << " got " << c.log(n).deliveredCount();
+  }
+  EXPECT_EQ(c.log(1).history(), c.log(0).history());
+}
+
+TEST(ConsulStress, LossPlusSequencerFailover) {
+  net::NetworkConfig nc;
+  nc.drop_probability = 0.15;
+  nc.seed = 7;
+  Cluster c(4, nc, testutil::lossyConfig());
+  for (int i = 0; i < 15; ++i) c.broadcastString(i % 4, "a" + std::to_string(i));
+  ASSERT_TRUE(waitUntil([&] { return c.log(3).deliveredCount() == 15; }, Millis{20000}));
+  c.network().crash(0);
+  for (int i = 0; i < 15; ++i) c.broadcastString(1 + (i % 3), "b" + std::to_string(i));
+  for (int n : {1, 2, 3}) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 30; }, Millis{30000}))
+        << "node " << n << " got " << c.log(n).deliveredCount();
+  }
+  auto h = c.log(1).history();
+  EXPECT_EQ(c.log(2).history(), h);
+  EXPECT_EQ(c.log(3).history(), h);
+  std::sort(h.begin(), h.end());
+  EXPECT_EQ(std::unique(h.begin(), h.end()), h.end());
+}
+
+TEST(ConsulStress, LossPlusRecovery) {
+  net::NetworkConfig nc;
+  nc.drop_probability = 0.10;
+  nc.seed = 21;
+  Cluster c(3, nc, testutil::lossyConfig());
+  for (int i = 0; i < 10; ++i) c.broadcastString(1, "x" + std::to_string(i));
+  ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == 10; }, Millis{20000}));
+  c.network().crash(2);
+  ASSERT_TRUE(waitUntil(
+      [&] { return c.log(0).lastView().members == std::vector<net::HostId>{0, 1}; },
+      Millis{10000}));
+  for (int i = 0; i < 10; ++i) c.broadcastString(0, "y" + std::to_string(i));
+  c.restartAsJoiner(2, 1);
+  ASSERT_TRUE(waitUntil([&] { return c.node(2).isMember(); }, Millis{20000}));
+  for (int i = 0; i < 5; ++i) c.broadcastString(2, "z" + std::to_string(i));
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 25; }, Millis{30000}))
+        << "node " << n << " got " << c.log(n).deliveredCount();
+  }
+  EXPECT_EQ(c.log(2).history(), c.log(0).history());
+}
+
+TEST(ConsulStress, StabilityTruncatesLogs) {
+  Cluster c(3);
+  for (int i = 0; i < 200; ++i) c.broadcastString(i % 3, std::to_string(i));
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 200; }));
+  }
+  // Once acks circulate, stability reaches the frontier and logs shrink to
+  // (stable, last] — near-empty on a quiet group.
+  ASSERT_TRUE(waitUntil([&] { return c.node(0).stableSeq() >= 200; }, Millis{5000}))
+      << "stable=" << c.node(0).stableSeq();
+  ASSERT_TRUE(waitUntil([&] { return c.node(0).logSize() == 0; }, Millis{5000}))
+      << "sequencer log=" << c.node(0).logSize();
+  for (int n = 1; n < 3; ++n) {
+    EXPECT_TRUE(waitUntil([&] { return c.node(n).logSize() == 0; }, Millis{5000}))
+        << "node " << n << " log=" << c.node(n).logSize();
+  }
+}
+
+TEST(ConsulStress, HighConcurrencyManyRounds) {
+  constexpr int kNodes = 5;
+  constexpr int kPerNode = 120;
+  Cluster c(kNodes);
+  std::vector<std::thread> senders;
+  for (int n = 0; n < kNodes; ++n) {
+    senders.emplace_back([&, n] {
+      for (int i = 0; i < kPerNode; ++i) {
+        c.broadcastString(n, std::to_string(n) + ":" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  const std::size_t total = kNodes * kPerNode;
+  for (int n = 0; n < kNodes; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == total; }, Millis{30000}))
+        << "node " << n;
+  }
+  const auto ref = c.log(0).history();
+  for (int n = 1; n < kNodes; ++n) EXPECT_EQ(c.log(n).history(), ref) << "node " << n;
+}
+
+TEST(ConsulStress, CrashDuringHeavyTraffic) {
+  Cluster c(4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> senders;
+  for (int n = 1; n <= 2; ++n) {
+    senders.emplace_back([&, n] {
+      for (int i = 0; i < 500 && !stop.load(); ++i) {
+        c.broadcastString(n, std::to_string(n * 1000 + i));
+      }
+    });
+  }
+  std::this_thread::sleep_for(Millis{10});
+  c.network().crash(0);  // sequencer dies mid-storm
+  for (auto& t : senders) t.join();
+  stop.store(true);
+  // Everything the survivors sent must eventually deliver identically.
+  ASSERT_TRUE(waitUntil(
+      [&] { return c.log(1).deliveredCount() == 1000 && c.log(2).deliveredCount() == 1000 &&
+                   c.log(3).deliveredCount() == 1000; },
+      Millis{30000}))
+      << c.log(1).deliveredCount() << "/" << c.log(2).deliveredCount() << "/"
+      << c.log(3).deliveredCount();
+  EXPECT_EQ(c.log(1).history(), c.log(2).history());
+  EXPECT_EQ(c.log(2).history(), c.log(3).history());
+}
+
+
+TEST(ConsulStress, DuplicationPlusLossPlusFailover) {
+  // UDP-realistic adversity: 20% duplication AND 10% loss, plus a sequencer
+  // crash. Every dedup path (per-gseq, per-origin-seq, view-id staleness)
+  // must hold: exactly-once delivery in one order at every survivor.
+  net::NetworkConfig nc;
+  nc.drop_probability = 0.10;
+  nc.duplicate_probability = 0.20;
+  nc.seed = 77;
+  Cluster c(4, nc, testutil::lossyConfig());
+  for (int i = 0; i < 15; ++i) c.broadcastString(i % 4, "a" + std::to_string(i));
+  ASSERT_TRUE(waitUntil([&] { return c.log(3).deliveredCount() == 15; }, Millis{20000}));
+  c.network().crash(0);
+  for (int i = 0; i < 15; ++i) c.broadcastString(1 + (i % 3), "b" + std::to_string(i));
+  for (int n : {1, 2, 3}) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 30; }, Millis{30000}))
+        << "node " << n << " got " << c.log(n).deliveredCount();
+  }
+  auto h = c.log(1).history();
+  EXPECT_EQ(c.log(2).history(), h);
+  EXPECT_EQ(c.log(3).history(), h);
+  std::sort(h.begin(), h.end());
+  EXPECT_EQ(std::unique(h.begin(), h.end()), h.end()) << "duplicate delivery";
+}
+
+TEST(ConsulStress, PureDuplicationHarmless) {
+  net::NetworkConfig nc;
+  nc.duplicate_probability = 0.5;
+  nc.seed = 5;
+  Cluster c(3, nc);
+  for (int i = 0; i < 40; ++i) c.broadcastString(i % 3, std::to_string(i));
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 40; }, Millis{15000}));
+  }
+  auto h = c.log(0).history();
+  EXPECT_EQ(c.log(1).history(), h);
+  std::sort(h.begin(), h.end());
+  EXPECT_EQ(std::unique(h.begin(), h.end()), h.end());
+}
+
+}  // namespace
+}  // namespace ftl::consul

@@ -1,0 +1,171 @@
+// Executor edge cases beyond the core semantics suite.
+#include <gtest/gtest.h>
+
+#include "ftlinda/executor.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using ts::TsRegistry;
+using tuple::fBlob;
+using tuple::fBool;
+using tuple::fInt;
+using tuple::fReal;
+using tuple::fStr;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+struct EdgeTest : ::testing::Test {
+  TsRegistry reg{true};
+
+  ExecResult run(const Ags& a) { return tryExecuteAgs(a, reg, ExecMode::Replicated); }
+};
+
+TEST_F(EdgeTest, ZeroArityTuples) {
+  auto out = AgsBuilder().when(guardTrue()).then(opOut(kTsMain, TupleTemplate{})).build();
+  run(out);
+  EXPECT_EQ(reg.get(kTsMain).count(Pattern{}), 1u);
+  auto take = AgsBuilder().when(guardInp(kTsMain, Pattern{})).build();
+  EXPECT_TRUE(run(take).reply.succeeded);
+  EXPECT_FALSE(run(take).reply.succeeded);
+}
+
+TEST_F(EdgeTest, AllFormalTypesBindTogether) {
+  reg.get(kTsMain).put(makeTuple("t", 1, 2.5, true, Bytes{9, 9}));
+  auto a = AgsBuilder()
+               .when(guardIn(kTsMain, makePattern(fStr(), fInt(), fReal(), fBool(), fBlob())))
+               .then(opOut(kTsMain, makeTemplate(bound(0), bound(1), bound(2), bound(3),
+                                                 bound(4))))
+               .build();
+  auto res = run(a);
+  ASSERT_TRUE(res.reply.succeeded);
+  ASSERT_EQ(res.reply.bindings.size(), 5u);
+  EXPECT_EQ(res.reply.bindings[0].asStr(), "t");
+  EXPECT_EQ(res.reply.bindings[4].asBlob(), (Bytes{9, 9}));
+  // The body re-deposited an identical tuple.
+  EXPECT_EQ(reg.get(kTsMain).count(makePattern("t", 1, 2.5, true, Bytes{9, 9})), 1u);
+}
+
+TEST_F(EdgeTest, CreatedHandleNotUsableInSameStatement) {
+  // Handles allocated by CreateTs are returned in the reply; referencing
+  // the not-yet-existing space inside the same statement is a deterministic
+  // error (validation precedes execution).
+  auto a = AgsBuilder()
+               .when(guardTrue())
+               .then(opCreateTs({true, true}))
+               .then(opOut(2, makeTemplate("x")))  // 2 = the handle it WOULD get
+               .build();
+  auto res = run(a);
+  EXPECT_FALSE(res.reply.error.empty());
+  EXPECT_EQ(reg.spaceCount(), 1u);  // nothing created
+}
+
+TEST_F(EdgeTest, SameGuardTwiceInDisjunction) {
+  reg.get(kTsMain).put(makeTuple("x", 1));
+  auto a = AgsBuilder()
+               .when(guardInp(kTsMain, makePattern("x", fInt())))
+               .orWhen(guardInp(kTsMain, makePattern("x", fInt())))
+               .build();
+  auto res = run(a);
+  EXPECT_EQ(res.reply.branch, 0);
+  EXPECT_EQ(reg.get(kTsMain).size(), 0u);  // consumed exactly once
+}
+
+TEST_F(EdgeTest, GuardBindingFeedsMoveAndCopyAndInp) {
+  const auto h = reg.create({true, true});
+  reg.get(kTsMain).put(makeTuple("select", 7));
+  for (int i = 0; i < 3; ++i) reg.get(kTsMain).put(makeTuple("item", 7, i));
+  reg.get(kTsMain).put(makeTuple("item", 8, 99));
+  auto a = AgsBuilder()
+               .when(guardIn(kTsMain, makePattern("select", fInt())))
+               .then(opCopy(kTsMain, h, makePatternTemplate("item", bound(0), fInt())))
+               .then(opMove(kTsMain, h, makePatternTemplate("item", bound(0), fInt())))
+               .then(opInp(kTsMain, makePatternTemplate("item", bound(0), fInt())))
+               .build();
+  auto res = run(a);
+  ASSERT_TRUE(res.reply.succeeded);
+  EXPECT_EQ(reg.get(h).size(), 6u);  // 3 copied + 3 moved
+  EXPECT_FALSE(res.reply.op_status[2]);  // the move already took them all
+  EXPECT_EQ(reg.get(kTsMain).count(makePattern("item", 8, fInt())), 1u);  // untouched
+}
+
+TEST_F(EdgeTest, MoveOfNothingSucceedsWithFalseStatus) {
+  const auto h = reg.create({true, true});
+  auto a = AgsBuilder()
+               .when(guardTrue())
+               .then(opMove(kTsMain, h, makePatternTemplate("ghost", fInt())))
+               .build();
+  auto res = run(a);
+  EXPECT_TRUE(res.reply.succeeded);
+  ASSERT_EQ(res.reply.op_status.size(), 1u);
+  EXPECT_FALSE(res.reply.op_status[0]);
+}
+
+TEST_F(EdgeTest, CopyIntoSameSpaceDuplicates) {
+  reg.get(kTsMain).put(makeTuple("d", 1));
+  auto a = AgsBuilder()
+               .when(guardTrue())
+               .then(opCopy(kTsMain, kTsMain, makePatternTemplate("d", fInt())))
+               .build();
+  run(a);
+  EXPECT_EQ(reg.get(kTsMain).count(makePattern("d", fInt())), 2u);
+}
+
+TEST_F(EdgeTest, LargeBodyExecutesAtomically) {
+  AgsBuilder b;
+  b.when(guardTrue());
+  for (int i = 0; i < 100; ++i) b.then(opOut(kTsMain, makeTemplate("bulk", i)));
+  auto res = run(b.build());
+  ASSERT_TRUE(res.reply.succeeded);
+  EXPECT_EQ(res.reply.op_status.size(), 100u);
+  EXPECT_EQ(reg.get(kTsMain).size(), 100u);
+}
+
+TEST_F(EdgeTest, ManyBranchDisjunctionPicksLast) {
+  reg.get(kTsMain).put(makeTuple("only"));
+  AgsBuilder b;
+  for (int i = 0; i < 20; ++i) b.when(guardInp(kTsMain, makePattern("no", i)));
+  b.when(guardInp(kTsMain, makePattern("only")));
+  auto res = run(b.build());
+  EXPECT_EQ(res.reply.branch, 20);
+}
+
+TEST_F(EdgeTest, GuardOnSecondarySpace) {
+  const auto h = reg.create({true, true});
+  reg.get(h).put(makeTuple("here"));
+  auto a = AgsBuilder()
+               .when(guardIn(h, makePattern("here")))
+               .then(opOut(kTsMain, makeTemplate("moved")))
+               .build();
+  auto res = run(a);
+  EXPECT_TRUE(res.reply.succeeded);
+  EXPECT_EQ(reg.get(h).size(), 0u);
+  EXPECT_EQ(reg.get(kTsMain).size(), 1u);
+}
+
+TEST_F(EdgeTest, DestroyedSpaceHandleFailsNextStatement) {
+  const auto h = reg.create({true, true});
+  run(AgsBuilder().when(guardTrue()).then(opDestroyTs(h)).build());
+  auto res = run(AgsBuilder().when(guardRdp(h, makePattern("x"))).build());
+  EXPECT_FALSE(res.reply.error.empty());
+}
+
+TEST_F(EdgeTest, BoolAndBlobActualsMatchExactly) {
+  reg.get(kTsMain).put(makeTuple("flag", true, Bytes{1, 2}));
+  EXPECT_FALSE(run(AgsBuilder()
+                       .when(guardInp(kTsMain, makePattern("flag", false, fBlob())))
+                       .build())
+                   .reply.succeeded);
+  EXPECT_FALSE(run(AgsBuilder()
+                       .when(guardInp(kTsMain, makePattern("flag", true, Bytes{1, 3})))
+                       .build())
+                   .reply.succeeded);
+  EXPECT_TRUE(run(AgsBuilder()
+                      .when(guardInp(kTsMain, makePattern("flag", true, Bytes{1, 2})))
+                      .build())
+                  .reply.succeeded);
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

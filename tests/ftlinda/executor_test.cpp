@@ -1,0 +1,328 @@
+// AGS executor semantics: atomicity, disjunction, binding, blocking
+// decisions, deterministic validation (DESIGN.md invariant 3).
+#include "ftlinda/executor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kLocalHandleBit;
+using ts::kTsMain;
+using ts::TsRegistry;
+using tuple::fInt;
+using tuple::fStr;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+struct ExecutorTest : ::testing::Test {
+  TsRegistry reg{/*with_main=*/true};
+};
+
+TEST_F(ExecutorTest, TrueGuardRunsBody) {
+  auto a = AgsBuilder().when(guardTrue()).then(opOut(kTsMain, makeTemplate("x", 1))).build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  ASSERT_TRUE(res.executed);
+  EXPECT_TRUE(res.reply.succeeded);
+  EXPECT_EQ(res.reply.branch, 0);
+  EXPECT_EQ(reg.get(kTsMain).count(makePattern("x", 1)), 1u);
+}
+
+TEST_F(ExecutorTest, InGuardRemovesAndBinds) {
+  reg.get(kTsMain).put(makeTuple("count", 41));
+  auto a = AgsBuilder()
+               .when(guardIn(kTsMain, makePattern("count", fInt())))
+               .then(opOut(kTsMain, makeTemplate("count", boundExpr(0, ArithOp::Add, 1))))
+               .build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  ASSERT_TRUE(res.executed);
+  EXPECT_TRUE(res.reply.succeeded);
+  ASSERT_EQ(res.reply.bindings.size(), 1u);
+  EXPECT_EQ(res.reply.bindings[0].asInt(), 41);
+  EXPECT_EQ(res.reply.guard_tuple, makeTuple("count", 41));
+  // The old tuple is gone; the incremented one is present — atomically.
+  EXPECT_EQ(reg.get(kTsMain).count(makePattern("count", 41)), 0u);
+  EXPECT_EQ(reg.get(kTsMain).count(makePattern("count", 42)), 1u);
+}
+
+TEST_F(ExecutorTest, RdGuardKeepsTuple) {
+  reg.get(kTsMain).put(makeTuple("cfg", 5));
+  auto a = AgsBuilder().when(guardRd(kTsMain, makePattern("cfg", fInt()))).build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  ASSERT_TRUE(res.executed);
+  EXPECT_TRUE(res.reply.succeeded);
+  EXPECT_EQ(reg.get(kTsMain).size(), 1u);
+}
+
+TEST_F(ExecutorTest, BlockingGuardUnmatchedBlocks) {
+  auto a = AgsBuilder().when(guardIn(kTsMain, makePattern("never"))).build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  EXPECT_FALSE(res.executed);
+  EXPECT_EQ(reg.get(kTsMain).size(), 0u);
+}
+
+TEST_F(ExecutorTest, NonBlockingGuardUnmatchedFails) {
+  auto a = AgsBuilder().when(guardInp(kTsMain, makePattern("never"))).build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  ASSERT_TRUE(res.executed);
+  EXPECT_FALSE(res.reply.succeeded);
+  EXPECT_EQ(res.reply.branch, -1);
+}
+
+TEST_F(ExecutorTest, DisjunctionFirstSatisfiableBranchWins) {
+  reg.get(kTsMain).put(makeTuple("b", 2));
+  auto a = AgsBuilder()
+               .when(guardInp(kTsMain, makePattern("a", fInt())))
+               .then(opOut(kTsMain, makeTemplate("took", "a")))
+               .orWhen(guardInp(kTsMain, makePattern("b", fInt())))
+               .then(opOut(kTsMain, makeTemplate("took", "b")))
+               .build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  ASSERT_TRUE(res.executed);
+  EXPECT_EQ(res.reply.branch, 1);
+  EXPECT_EQ(reg.get(kTsMain).count(makePattern("took", "b")), 1u);
+}
+
+TEST_F(ExecutorTest, DisjunctionPrefersEarlierBranch) {
+  reg.get(kTsMain).put(makeTuple("a", 1));
+  reg.get(kTsMain).put(makeTuple("b", 2));
+  auto a = AgsBuilder()
+               .when(guardInp(kTsMain, makePattern("a", fInt())))
+               .orWhen(guardInp(kTsMain, makePattern("b", fInt())))
+               .build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  EXPECT_EQ(res.reply.branch, 0);
+  // Branch 1's tuple untouched.
+  EXPECT_EQ(reg.get(kTsMain).count(makePattern("b", fInt())), 1u);
+}
+
+TEST_F(ExecutorTest, TrueFallbackBranch) {
+  auto a = AgsBuilder()
+               .when(guardInp(kTsMain, makePattern("missing")))
+               .then(opOut(kTsMain, makeTemplate("found")))
+               .orWhen(guardTrue())
+               .then(opOut(kTsMain, makeTemplate("fallback")))
+               .build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  ASSERT_TRUE(res.executed);
+  EXPECT_EQ(res.reply.branch, 1);
+  EXPECT_EQ(reg.get(kTsMain).count(makePattern("fallback")), 1u);
+}
+
+TEST_F(ExecutorTest, BodyInpReportsStatus) {
+  reg.get(kTsMain).put(makeTuple("hit"));
+  auto a = AgsBuilder()
+               .when(guardTrue())
+               .then(opInp(kTsMain, makePatternTemplate("hit")))
+               .then(opInp(kTsMain, makePatternTemplate("miss")))
+               .then(opRdp(kTsMain, makePatternTemplate("hit")))  // already taken
+               .build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  ASSERT_TRUE(res.executed);
+  ASSERT_EQ(res.reply.op_status.size(), 3u);
+  EXPECT_TRUE(res.reply.op_status[0]);
+  EXPECT_FALSE(res.reply.op_status[1]);
+  EXPECT_FALSE(res.reply.op_status[2]);
+}
+
+TEST_F(ExecutorTest, MoveTransfersAllMatches) {
+  const auto h = reg.create({true, true});
+  for (int i = 0; i < 3; ++i) reg.get(kTsMain).put(makeTuple("r", i));
+  reg.get(kTsMain).put(makeTuple("other"));
+  auto a = AgsBuilder()
+               .when(guardTrue())
+               .then(opMove(kTsMain, h, makePatternTemplate("r", fInt())))
+               .build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  ASSERT_TRUE(res.executed);
+  EXPECT_EQ(reg.get(kTsMain).size(), 1u);
+  EXPECT_EQ(reg.get(h).size(), 3u);
+  // Order preserved oldest-first.
+  EXPECT_EQ(reg.get(h).contents()[0], makeTuple("r", 0));
+}
+
+TEST_F(ExecutorTest, CopyKeepsSource) {
+  const auto h = reg.create({true, true});
+  reg.get(kTsMain).put(makeTuple("r", 1));
+  auto a = AgsBuilder()
+               .when(guardTrue())
+               .then(opCopy(kTsMain, h, makePatternTemplate("r", fInt())))
+               .build();
+  tryExecuteAgs(a, reg, ExecMode::Replicated);
+  EXPECT_EQ(reg.get(kTsMain).size(), 1u);
+  EXPECT_EQ(reg.get(h).size(), 1u);
+}
+
+TEST_F(ExecutorTest, MovePatternUsesGuardBindings) {
+  const auto h = reg.create({true, true});
+  reg.get(kTsMain).put(makeTuple("failure", 7));
+  reg.get(kTsMain).put(makeTuple("in_progress", 7, 100));
+  reg.get(kTsMain).put(makeTuple("in_progress", 8, 200));
+  // The paper's failure-handler idiom: grab the failure tuple, sweep the
+  // dead worker's in-progress tuples.
+  auto a = AgsBuilder()
+               .when(guardIn(kTsMain, makePattern("failure", fInt())))
+               .then(opMove(kTsMain, h, makePatternTemplate("in_progress", bound(0), fInt())))
+               .build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  ASSERT_TRUE(res.executed);
+  EXPECT_EQ(reg.get(h).size(), 1u);
+  EXPECT_EQ(reg.get(h).contents()[0], makeTuple("in_progress", 7, 100));
+  EXPECT_EQ(reg.get(kTsMain).count(makePattern("in_progress", 8, fInt())), 1u);
+}
+
+TEST_F(ExecutorTest, CreateAndDestroyTsInBody) {
+  auto a = AgsBuilder().when(guardTrue()).then(opCreateTs({true, true})).build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  ASSERT_EQ(res.reply.created.size(), 1u);
+  const auto h = res.reply.created[0];
+  EXPECT_TRUE(reg.exists(h));
+  auto d = AgsBuilder().when(guardTrue()).then(opDestroyTs(h)).build();
+  tryExecuteAgs(d, reg, ExecMode::Replicated);
+  EXPECT_FALSE(reg.exists(h));
+}
+
+TEST_F(ExecutorTest, LocalDepositCollectedNotApplied) {
+  const TsHandle scratch = kLocalHandleBit | 42;
+  reg.get(kTsMain).put(makeTuple("r", 5));
+  auto a = AgsBuilder()
+               .when(guardIn(kTsMain, makePattern("r", fInt())))
+               .then(opOut(scratch, makeTemplate("copy", bound(0))))
+               .then(opMove(kTsMain, scratch, makePatternTemplate("r", fInt())))
+               .build();
+  reg.get(kTsMain).put(makeTuple("r", 6));  // for the move
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  ASSERT_TRUE(res.executed);
+  ASSERT_EQ(res.reply.local_deposits.size(), 2u);
+  EXPECT_EQ(res.reply.local_deposits[0].first, scratch);
+  EXPECT_EQ(res.reply.local_deposits[0].second, makeTuple("copy", 5));
+  EXPECT_EQ(res.reply.local_deposits[1].second, makeTuple("r", 6));
+  EXPECT_EQ(reg.get(kTsMain).size(), 0u);
+}
+
+// ---- validation ----
+
+TEST_F(ExecutorTest, UnknownHandleIsDeterministicError) {
+  auto a = AgsBuilder().when(guardIn(12345, makePattern("x"))).build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  ASSERT_TRUE(res.executed);
+  EXPECT_FALSE(res.reply.error.empty());
+}
+
+TEST_F(ExecutorTest, LocalGuardInReplicatedModeRejected) {
+  auto a = AgsBuilder().when(guardIn(kLocalHandleBit | 7, makePattern("x"))).build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  EXPECT_FALSE(res.reply.error.empty());
+}
+
+TEST_F(ExecutorTest, ErrorLeavesStateUntouched) {
+  reg.get(kTsMain).put(makeTuple("x", 1));
+  // Guard is fine; second body op references an unknown handle — validation
+  // must reject the whole statement before the guard consumes anything.
+  auto a = AgsBuilder()
+               .when(guardIn(kTsMain, makePattern("x", fInt())))
+               .then(opOut(kTsMain, makeTemplate("y")))
+               .then(opInp(777, makePatternTemplate("z")))
+               .build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  ASSERT_TRUE(res.executed);
+  EXPECT_FALSE(res.reply.error.empty());
+  EXPECT_EQ(reg.get(kTsMain).count(makePattern("x", fInt())), 1u);
+  EXPECT_EQ(reg.get(kTsMain).count(makePattern("y")), 0u);
+}
+
+TEST_F(ExecutorTest, TemplateRefBeyondGuardFormalsRejected) {
+  auto a = AgsBuilder()
+               .when(guardIn(kTsMain, makePattern("x", fInt())))
+               .then(opOut(kTsMain, makeTemplate(bound(1))))
+               .build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  EXPECT_FALSE(res.reply.error.empty());
+}
+
+TEST_F(ExecutorTest, ArithOnStringFormalRejected) {
+  auto a = AgsBuilder()
+               .when(guardIn(kTsMain, makePattern(tuple::fStr())))
+               .then(opOut(kTsMain, makeTemplate(boundExpr(0, ArithOp::Add, 1))))
+               .build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  EXPECT_FALSE(res.reply.error.empty());
+}
+
+TEST_F(ExecutorTest, ArithOperandTypeMismatchRejected) {
+  auto a = AgsBuilder()
+               .when(guardIn(kTsMain, makePattern(fInt())))
+               .then(opOut(kTsMain, makeTemplate(boundExpr(0, ArithOp::Add, 1.5))))
+               .build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  EXPECT_FALSE(res.reply.error.empty());
+}
+
+TEST_F(ExecutorTest, VolatileCreateInReplicatedModeRejected) {
+  auto a = AgsBuilder().when(guardTrue()).then(opCreateTs({false, false})).build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  EXPECT_FALSE(res.reply.error.empty());
+}
+
+TEST_F(ExecutorTest, DestroyMainRejected) {
+  auto a = AgsBuilder().when(guardTrue()).then(opDestroyTs(kTsMain)).build();
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  EXPECT_FALSE(res.reply.error.empty());
+  EXPECT_TRUE(reg.exists(kTsMain));
+}
+
+TEST_F(ExecutorTest, EmptyAgsRejected) {
+  Ags a;
+  auto res = tryExecuteAgs(a, reg, ExecMode::Replicated);
+  EXPECT_FALSE(res.reply.error.empty());
+}
+
+TEST_F(ExecutorTest, LocalModeRequiresLocalHandles) {
+  TsRegistry local(false, kLocalHandleBit);
+  const auto h = local.create({false, false});
+  // A stable handle inside a Local-mode AGS is unknown there.
+  auto bad = AgsBuilder().when(guardIn(kTsMain, makePattern("x"))).build();
+  auto res = tryExecuteAgs(bad, local, ExecMode::Local);
+  EXPECT_FALSE(res.reply.error.empty());
+  // All-local works, including blocking decision.
+  local.get(h).put(makeTuple("x", 3));
+  auto good = AgsBuilder().when(guardIn(h, makePattern("x", fInt()))).build();
+  auto res2 = tryExecuteAgs(good, local, ExecMode::Local);
+  ASSERT_TRUE(res2.executed);
+  EXPECT_EQ(res2.reply.bindings[0].asInt(), 3);
+}
+
+TEST_F(ExecutorTest, StableCreateInLocalModeRejected) {
+  TsRegistry local(false, kLocalHandleBit);
+  auto a = AgsBuilder().when(guardTrue()).then(opCreateTs({true, true})).build();
+  auto res = tryExecuteAgs(a, local, ExecMode::Local);
+  EXPECT_FALSE(res.reply.error.empty());
+}
+
+TEST_F(ExecutorTest, DeterministicAcrossReplicas) {
+  // Two registries fed the same AGS sequence end byte-identical, including
+  // created handles and the strong inp verdicts.
+  TsRegistry a(true), b(true);
+  auto run = [](TsRegistry& reg) {
+    std::vector<std::int32_t> branches;
+    for (int i = 0; i < 50; ++i) {
+      auto ags =
+          AgsBuilder()
+              .when(guardInp(kTsMain, makePattern("t", fInt())))
+              .then(opOut(kTsMain, makeTemplate("seen", bound(0))))
+              .orWhen(guardTrue())
+              .then(opOut(kTsMain, makeTemplate("t", i)))
+              .build();
+      branches.push_back(tryExecuteAgs(ags, reg, ExecMode::Replicated).reply.branch);
+    }
+    return branches;
+  };
+  EXPECT_EQ(run(a), run(b));
+  Writer wa, wb;
+  a.encode(wa);
+  b.encode(wb);
+  EXPECT_EQ(wa.buffer(), wb.buffer());
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -1,0 +1,164 @@
+// FailureMonitor and StableCheckpoint helper libraries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ftlinda/checkpoint.hpp"
+#include "ftlinda/failure_monitor.hpp"
+#include "ftlinda/system.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+TEST(FailureMonitorHelper, RegeneratesMarkersOfDeadHost) {
+  FtLindaSystem sys({.hosts = 3});
+  auto& rt = sys.runtime(0);
+  // Host 2 claims two tasks then dies.
+  for (int i = 0; i < 2; ++i) {
+    sys.runtime(2).execute(
+        AgsBuilder()
+            .when(guardTrue())
+            .then(opOut(kTsMain, makeTemplate("in_progress", 2, i, i * 100)))
+            .build());
+  }
+  std::atomic<int> handled_host{-1};
+  std::atomic<int> regen_count{-1};
+  FailureMonitor monitor(
+      rt, kTsMain,
+      FailureMonitor::RegenRule{"in_progress", {ValueType::Int, ValueType::Int}, "subtask"},
+      [&](net::HostId h, int n) {
+        handled_host = static_cast<int>(h);
+        regen_count = n;
+      });
+  std::thread mon([&] {
+    try {
+      monitor.run();
+    } catch (const ProcessorFailure&) {
+    }
+  });
+  // Give the monitor time to register before the crash.
+  std::this_thread::sleep_for(Millis{50});
+  sys.crash(2);
+  const auto deadline = Clock::now() + Millis{8000};
+  while (regen_count.load() < 0 && Clock::now() < deadline) {
+    std::this_thread::sleep_for(Millis{2});
+  }
+  EXPECT_EQ(handled_host.load(), 2);
+  EXPECT_EQ(regen_count.load(), 2);
+  // The regenerated subtasks carry the marker payloads.
+  EXPECT_TRUE(rt.rdp(kTsMain, makePattern("subtask", 0, 0)).has_value());
+  EXPECT_TRUE(rt.rdp(kTsMain, makePattern("subtask", 1, 100)).has_value());
+  // No markers remain.
+  EXPECT_EQ(rt.rdp(kTsMain, makePattern("in_progress", fInt(), fInt(), fInt())), std::nullopt);
+  sys.crash(0);  // release the monitor
+  mon.join();
+}
+
+TEST(FailureMonitorHelper, HandleOneReturnsFailedHost) {
+  FtLindaSystem sys({.hosts = 3, .monitor_main = true});
+  FailureMonitor monitor(sys.runtime(0), kTsMain,
+                         FailureMonitor::RegenRule{"m", {ValueType::Int}, "w"});
+  sys.crash(1);
+  EXPECT_EQ(monitor.handleOne(), 1u);
+}
+
+TEST(CheckpointHelper, SaveLoadRoundTrip) {
+  FtLindaSystem sys({.hosts = 2});
+  StableCheckpoint cp(sys.runtime(0), kTsMain, "worker-state");
+  EXPECT_EQ(cp.load(), std::nullopt);
+  EXPECT_EQ(cp.save(Bytes{1, 2, 3}), 0);
+  auto s = cp.load();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->version, 0);
+  EXPECT_EQ(s->state, (Bytes{1, 2, 3}));
+}
+
+TEST(CheckpointHelper, SaveReplacesAtomically) {
+  FtLindaSystem sys({.hosts = 2});
+  StableCheckpoint cp(sys.runtime(0), kTsMain, "k");
+  cp.save(Bytes{1});
+  EXPECT_EQ(cp.save(Bytes{2}), 1);
+  EXPECT_EQ(cp.save(Bytes{3}), 2);
+  auto s = cp.load();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->version, 2);
+  EXPECT_EQ(s->state, Bytes{3});
+  // Exactly one checkpoint tuple exists.
+  EXPECT_EQ(sys.stateMachine(0).tupleCount(kTsMain), 1u);
+}
+
+TEST(CheckpointHelper, IndependentKeys) {
+  FtLindaSystem sys({.hosts = 2});
+  StableCheckpoint a(sys.runtime(0), kTsMain, "a");
+  StableCheckpoint b(sys.runtime(1), kTsMain, "b");
+  a.save(Bytes{10});
+  b.save(Bytes{20});
+  EXPECT_EQ(a.load()->state, Bytes{10});
+  EXPECT_EQ(b.load()->state, Bytes{20});
+}
+
+TEST(CheckpointHelper, SurvivesSaverCrashAndResumes) {
+  // The paper's checkpoint/recovery story end-to-end: a process saves its
+  // progress, its processor dies, the restarted incarnation resumes from
+  // the last checkpoint.
+  FtLindaSystem sys({.hosts = 3});
+  {
+    StableCheckpoint cp(sys.runtime(2), kTsMain, "job");
+    Writer w;
+    w.i64(7);  // "finished 7 of 10 steps"
+    cp.save(w.take());
+  }
+  sys.crash(2);
+  ASSERT_TRUE(sys.recover(2));
+  StableCheckpoint cp2(sys.runtime(2), kTsMain, "job");
+  auto s = cp2.load();
+  ASSERT_TRUE(s.has_value());
+  Reader r(s->state);
+  EXPECT_EQ(r.i64(), 7);
+  // And the resumed process can continue the version chain.
+  Writer w2;
+  w2.i64(10);
+  EXPECT_EQ(cp2.save(w2.take()), 1);
+}
+
+TEST(CheckpointHelper, ClearRemoves) {
+  FtLindaSystem sys({.hosts = 1});
+  StableCheckpoint cp(sys.runtime(0), kTsMain, "x");
+  EXPECT_FALSE(cp.clear());
+  cp.save(Bytes{1});
+  EXPECT_TRUE(cp.clear());
+  EXPECT_EQ(cp.load(), std::nullopt);
+}
+
+TEST(CheckpointHelper, RejectsLocalSpace) {
+  FtLindaSystem sys({.hosts = 1});
+  const TsHandle scratch = sys.runtime(0).createScratch();
+  EXPECT_THROW(StableCheckpoint(sys.runtime(0), scratch, "x"), ContractViolation);
+}
+
+TEST(CheckpointHelper, ConcurrentSaversVersionChainIntact) {
+  FtLindaSystem sys({.hosts = 3});
+  constexpr int kPerHost = 15;
+  for (net::HostId h = 0; h < 3; ++h) {
+    sys.spawnProcess(h, [](Runtime& rt) {
+      StableCheckpoint cp(rt, kTsMain, "shared");
+      for (int i = 0; i < kPerHost; ++i) cp.save(Bytes{static_cast<std::uint8_t>(i)});
+    });
+  }
+  sys.joinProcesses();
+  StableCheckpoint cp(sys.runtime(0), kTsMain, "shared");
+  auto s = cp.load();
+  ASSERT_TRUE(s.has_value());
+  // 45 saves total; the first created version 0, so the last is 44.
+  EXPECT_EQ(s->version, 3 * kPerHost - 1);
+  EXPECT_EQ(sys.stateMachine(0).tupleCount(kTsMain), 1u);
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -1,0 +1,90 @@
+// TS state-machine metrics: deterministic counters over the ordered stream.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ftlinda/system.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+TEST(Metrics, CountsExecutedStatementsAndOps) {
+  FtLindaSystem sys({.hosts = 2});
+  auto& rt = sys.runtime(0);
+  rt.out(kTsMain, makeTuple("a", 1));                         // 1 exec, 1 out
+  rt.in(kTsMain, makePattern("a", fInt()));                   // 1 exec, 1 in-guard
+  EXPECT_EQ(rt.inp(kTsMain, makePattern("a", fInt())), std::nullopt);  // 1 failed
+  const auto m = sys.stateMachine(0).metrics();
+  EXPECT_EQ(m.ags_executed, 2u);
+  EXPECT_EQ(m.ags_failed, 1u);
+  EXPECT_EQ(m.ops_out, 1u);
+  EXPECT_EQ(m.guards_in, 1u);
+  EXPECT_EQ(m.ags_errors, 0u);
+}
+
+TEST(Metrics, CountsBlockedAndWoken) {
+  FtLindaSystem sys({.hosts = 2});
+  std::thread waiter([&] { sys.runtime(1).in(kTsMain, makePattern("later")); });
+  std::this_thread::sleep_for(Millis{40});
+  EXPECT_EQ(sys.stateMachine(0).metrics().ags_blocked, 1u);
+  sys.runtime(0).out(kTsMain, makeTuple("later"));
+  waiter.join();
+  const auto m = sys.stateMachine(0).metrics();
+  EXPECT_EQ(m.ags_woken, 1u);
+  EXPECT_EQ(m.ags_executed, 2u);  // the out and the woken in
+}
+
+TEST(Metrics, CountsErrors) {
+  FtLindaSystem sys({.hosts = 1});
+  EXPECT_THROW(sys.runtime(0).rdp(999, makePattern("x")), Error);
+  EXPECT_EQ(sys.stateMachine(0).metrics().ags_errors, 1u);
+}
+
+TEST(Metrics, CountsFailureTuplesAndCancellations) {
+  FtLindaSystem sys({.hosts = 3, .monitor_main = true});
+  std::thread doomed([&] {
+    try {
+      sys.runtime(2).in(kTsMain, makePattern("never"));
+    } catch (const ProcessorFailure&) {
+    }
+  });
+  std::this_thread::sleep_for(Millis{40});
+  sys.crash(2);
+  doomed.join();
+  const auto deadline = Clock::now() + Millis{8000};
+  while (sys.stateMachine(0).metrics().failure_tuples == 0 && Clock::now() < deadline) {
+    std::this_thread::sleep_for(Millis{2});
+  }
+  const auto m = sys.stateMachine(0).metrics();
+  EXPECT_EQ(m.failure_tuples, 1u);
+  EXPECT_EQ(m.cancelled_blocked, 1u);
+}
+
+TEST(Metrics, IdenticalAcrossReplicas) {
+  FtLindaSystem sys({.hosts = 3});
+  for (int i = 0; i < 20; ++i) {
+    sys.runtime(static_cast<net::HostId>(i % 3)).out(kTsMain, makeTuple("t", i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    sys.runtime(1).inp(kTsMain, makePattern("t", fInt()));
+  }
+  // Allow trailing applies to land everywhere.
+  const auto deadline = Clock::now() + Millis{5000};
+  auto same = [&] {
+    const auto a = sys.stateMachine(0).metrics();
+    const auto b = sys.stateMachine(2).metrics();
+    return a.ags_executed == b.ags_executed && a.ops_out == b.ops_out &&
+           a.guards_in == b.guards_in;
+  };
+  while (!same() && Clock::now() < deadline) std::this_thread::sleep_for(Millis{2});
+  EXPECT_TRUE(same());
+  EXPECT_EQ(sys.stateMachine(0).metrics().ops_out, 20u);
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -1,0 +1,151 @@
+#include "ftlinda/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using tuple::fInt;
+using tuple::fStr;
+using tuple::makePattern;
+
+Ags roundTrip(const Ags& a) {
+  Writer w;
+  a.encode(w);
+  Reader r(w.buffer());
+  return Ags::decode(r);
+}
+
+Bytes encodeAgs(const Ags& a) {
+  Writer w;
+  a.encode(w);
+  return w.take();
+}
+
+TEST(Ops, TemplateFieldLiteralEval) {
+  const auto t = makeTemplate("x", 7, 2.5);
+  const Tuple out = t.eval({});
+  EXPECT_EQ(out, tuple::makeTuple("x", 7, 2.5));
+}
+
+TEST(Ops, TemplateFieldBoundRefEval) {
+  const auto t = makeTemplate("got", bound(0), bound(1));
+  const Tuple out = t.eval({Value(9), Value("abc")});
+  EXPECT_EQ(out, tuple::makeTuple("got", 9, "abc"));
+}
+
+TEST(Ops, TemplateExprArithmetic) {
+  const auto t = makeTemplate(boundExpr(0, ArithOp::Add, 1), boundExpr(0, ArithOp::Sub, 2),
+                              boundExpr(0, ArithOp::Mul, 3));
+  const Tuple out = t.eval({Value(10)});
+  EXPECT_EQ(out.field(0).asInt(), 11);
+  EXPECT_EQ(out.field(1).asInt(), 8);
+  EXPECT_EQ(out.field(2).asInt(), 30);
+}
+
+TEST(Ops, TemplateExprRealArithmetic) {
+  const auto t = makeTemplate(boundExpr(0, ArithOp::Mul, 0.5));
+  EXPECT_DOUBLE_EQ(t.eval({Value(3.0)}).field(0).asReal(), 1.5);
+}
+
+TEST(Ops, TemplateUnboundRefThrows) {
+  const auto t = makeTemplate(bound(2));
+  EXPECT_THROW(t.eval({Value(1)}), Error);
+}
+
+TEST(Ops, TemplateExprTypeMismatchThrows) {
+  const auto t = makeTemplate(boundExpr(0, ArithOp::Add, 1));
+  EXPECT_THROW(t.eval({Value("str")}), Error);
+  EXPECT_THROW(t.eval({Value(1.5)}), Error);  // int literal vs real binding
+}
+
+TEST(Ops, MaxFormalRef) {
+  EXPECT_EQ(makeTemplate("a", 1).maxFormalRef(), 0u);
+  EXPECT_EQ(makeTemplate(bound(0), bound(3)).maxFormalRef(), 4u);
+}
+
+TEST(Ops, PatternTemplateResolvesBoundRefs) {
+  const auto pt = makePatternTemplate("in_progress", bound(0), fInt());
+  const Pattern p = pt.resolve({Value(42)});
+  EXPECT_TRUE(p.matches(tuple::makeTuple("in_progress", 42, 7)));
+  EXPECT_FALSE(p.matches(tuple::makeTuple("in_progress", 43, 7)));
+}
+
+TEST(Ops, PatternTemplateEncodeDecode) {
+  const auto pt = makePatternTemplate("x", bound(1), fStr(), 3.5);
+  Writer w;
+  pt.encode(w);
+  Reader r(w.buffer());
+  const auto pt2 = PatternTemplate::decode(r);
+  const auto bindings = std::vector<Value>{Value(0), Value(7)};
+  EXPECT_TRUE(pt2.resolve(bindings).matches(tuple::makeTuple("x", 7, "s", 3.5)));
+}
+
+TEST(Ops, GuardKinds) {
+  EXPECT_FALSE(guardTrue().blocking());
+  EXPECT_TRUE(guardIn(1, makePattern("a")).blocking());
+  EXPECT_TRUE(guardRd(1, makePattern("a")).blocking());
+  EXPECT_FALSE(guardInp(1, makePattern("a")).blocking());
+  EXPECT_FALSE(guardRdp(1, makePattern("a")).blocking());
+  EXPECT_TRUE(guardIn(1, makePattern("a")).destructive());
+  EXPECT_FALSE(guardRd(1, makePattern("a")).destructive());
+}
+
+TEST(Ops, AgsBlockingIfAnyBranchBlocks) {
+  Ags a = AgsBuilder()
+              .when(guardInp(1, makePattern("a")))
+              .orWhen(guardIn(1, makePattern("b")))
+              .build();
+  EXPECT_TRUE(a.blocking());
+  Ags b = AgsBuilder().when(guardInp(1, makePattern("a"))).build();
+  EXPECT_FALSE(b.blocking());
+}
+
+TEST(Ops, BuilderThenBeforeWhenThrows) {
+  AgsBuilder b;
+  EXPECT_THROW(b.then(opOut(1, makeTemplate("x"))), ContractViolation);
+  AgsBuilder empty;
+  EXPECT_THROW(empty.build(), ContractViolation);
+}
+
+TEST(Ops, AgsEncodeDecodeRoundTrip) {
+  Ags a = AgsBuilder()
+              .when(guardIn(1, makePattern("task", fInt())))
+              .then(opOut(1, makeTemplate("in_progress", bound(0), 5)))
+              .then(opMove(1, 2, makePatternTemplate("log", bound(0))))
+              .orWhen(guardRdp(3, makePattern("done")))
+              .then(opCreateTs(TsAttributes{true, true}))
+              .then(opDestroyTs(3))
+              .then(opInp(1, makePatternTemplate("x", fInt())))
+              .then(opRdp(1, makePatternTemplate("y")))
+              .then(opCopy(1, 2, makePatternTemplate(fStr())))
+              .orWhen(guardTrue())
+              .then(opOut(2, makeTemplate(boundExpr(0, ArithOp::Add, 0))))
+              .build();
+  EXPECT_EQ(encodeAgs(roundTrip(a)), encodeAgs(a));
+}
+
+TEST(Ops, EncodingDeterministic) {
+  auto build = [] {
+    return AgsBuilder()
+        .when(guardIn(ts::kTsMain, makePattern("count", fInt())))
+        .then(opOut(ts::kTsMain, makeTemplate("count", boundExpr(0, ArithOp::Add, 1))))
+        .build();
+  };
+  EXPECT_EQ(encodeAgs(build()), encodeAgs(build()));
+}
+
+TEST(Ops, ToStringMentionsDisjunction) {
+  Ags a = AgsBuilder()
+              .when(guardIn(1, makePattern("a")))
+              .orWhen(guardTrue())
+              .build();
+  const auto s = a.toString();
+  EXPECT_NE(s.find("or"), std::string::npos);
+  EXPECT_NE(s.find("in"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -1,0 +1,173 @@
+// Parameterized property tests over randomized workloads.
+//
+// P1 (determinism, DESIGN.md invariant 2): two TS state machines fed an
+//    identical randomized stream of commands and membership events end with
+//    byte-identical snapshots, and a third machine restored from a snapshot
+//    mid-stream converges to the same bytes.
+// P2 (conservation): tuple counts change exactly as the op semantics say —
+//    no tuple appears or disappears except through an executed operation.
+// P3 (executor totality): any generated AGS either executes, blocks, or
+//    reports a deterministic error; it never corrupts the registry.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ftlinda/ts_state_machine.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::fStr;
+using tuple::makePattern;
+
+/// Random AGS generator: small vocabulary of names/values so guards hit
+/// often enough to exercise every path.
+class AgsGen {
+ public:
+  explicit AgsGen(std::uint64_t seed) : rng_(seed) {}
+
+  Ags next() {
+    AgsBuilder b;
+    const int branches = 1 + static_cast<int>(rng_.below(2));
+    for (int i = 0; i < branches; ++i) {
+      b.when(randomGuard());
+      const int ops = static_cast<int>(rng_.below(3));
+      for (int j = 0; j < ops; ++j) addRandomOp(b);
+    }
+    return b.build();
+  }
+
+  std::uint64_t below(std::uint64_t n) { return rng_.below(n); }
+
+ private:
+  std::string name() { return std::string("n") + std::to_string(rng_.below(4)); }
+  int value() { return static_cast<int>(rng_.below(4)); }
+
+  Pattern randomPattern() {
+    switch (rng_.below(3)) {
+      case 0: return makePattern(name(), value());
+      case 1: return makePattern(name(), fInt());
+      default: return makePattern(fStr(), fInt());
+    }
+  }
+
+  Guard randomGuard() {
+    switch (rng_.below(5)) {
+      case 0: return guardTrue();
+      case 1: return guardInp(kTsMain, randomPattern());
+      case 2: return guardRdp(kTsMain, randomPattern());
+      case 3: return guardRd(kTsMain, randomPattern());
+      default: return guardIn(kTsMain, randomPattern());
+    }
+  }
+
+  void addRandomOp(AgsBuilder& b) {
+    switch (rng_.below(3)) {
+      case 0:
+        b.then(opOut(kTsMain, makeTemplate(name(), value())));
+        break;
+      case 1:
+        b.then(opInp(kTsMain, makePatternTemplate(name(), fInt())));
+        break;
+      default:
+        b.then(opRdp(kTsMain, makePatternTemplate(name(), fInt())));
+        break;
+    }
+  }
+
+  Xoshiro256 rng_;
+};
+
+class RandomWorkload : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWorkload, ReplicaDeterminismWithMidstreamRestore) {
+  const std::uint64_t seed = GetParam();
+  AgsGen gen(seed);
+  TsStateMachine a, b, late;
+  std::uint64_t gseq = 0;
+  bool late_restored = false;
+  for (int step = 0; step < 400; ++step) {
+    if (gen.below(40) == 0) {
+      // A membership event: host (step%3) "fails" — all machines see it at
+      // the same point in the stream.
+      const net::HostId failed = static_cast<net::HostId>(step % 3 + 10);
+      ++gseq;
+      a.onMembership(gseq, {}, {failed}, {});
+      b.onMembership(gseq, {}, {failed}, {});
+      if (late_restored) late.onMembership(gseq, {}, {failed}, {});
+      continue;
+    }
+    rsm::ApplyContext ctx;
+    ctx.gseq = ++gseq;
+    ctx.origin = static_cast<net::HostId>(gen.below(3));
+    ctx.origin_seq = gseq;
+    const Bytes cmd = (gen.below(30) == 0)
+                          ? makeMonitor(gseq, kTsMain, gen.below(2) == 0).encode()
+                          : makeExecute(gseq, gen.next()).encode();
+    a.apply(ctx, cmd);
+    b.apply(ctx, cmd);
+    if (late_restored) late.apply(ctx, cmd);
+    if (step == 200) {
+      late.restore(a.snapshot());  // a replica joining mid-stream
+      late_restored = true;
+    }
+    if (step % 97 == 0) {
+      ASSERT_EQ(a.snapshot(), b.snapshot()) << "diverged at step " << step;
+    }
+  }
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+  EXPECT_EQ(late.snapshot(), a.snapshot());
+}
+
+TEST_P(RandomWorkload, TupleConservation) {
+  const std::uint64_t seed = GetParam() ^ 0xabcdef;
+  AgsGen gen(seed);
+  ts::TsRegistry reg(true);
+  for (int step = 0; step < 600; ++step) {
+    const std::size_t before = reg.get(kTsMain).size();
+    const Ags ags = gen.next();
+    ExecResult res = tryExecuteAgs(ags, reg, ExecMode::Replicated);
+    const std::size_t after = reg.get(kTsMain).size();
+    if (!res.executed || !res.reply.error.empty() || !res.reply.succeeded) {
+      EXPECT_EQ(after, before) << "non-executing statement changed state at step " << step;
+      continue;
+    }
+    // Accounting: guard In removes 1; each body Out adds 1; each body Inp
+    // removes 1 when its status is true; Rd/Rdp never change counts.
+    const Branch& br = ags.branches[static_cast<std::size_t>(res.reply.branch)];
+    std::int64_t delta = 0;
+    if (br.guard.kind == Guard::Kind::In || br.guard.kind == Guard::Kind::Inp) delta -= 1;
+    if (br.guard.kind == Guard::Kind::Rd || br.guard.kind == Guard::Kind::Rdp ||
+        br.guard.kind == Guard::Kind::True) {
+      delta += 0;
+    }
+    for (std::size_t j = 0; j < br.body.size(); ++j) {
+      if (br.body[j].op == OpCode::Out) delta += 1;
+      if (br.body[j].op == OpCode::Inp && res.reply.op_status[j]) delta -= 1;
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(after) - static_cast<std::int64_t>(before), delta)
+        << "conservation violated at step " << step << " by " << ags.toString();
+  }
+}
+
+TEST_P(RandomWorkload, ExecutorNeverCorruptsRegistry) {
+  const std::uint64_t seed = GetParam() ^ 0x5eed;
+  AgsGen gen(seed);
+  ts::TsRegistry reg(true);
+  for (int step = 0; step < 500; ++step) {
+    tryExecuteAgs(gen.next(), reg, ExecMode::Replicated);
+    // The registry must stay serializable and self-consistent throughout.
+    Writer w;
+    reg.encode(w);
+    Reader r(w.buffer());
+    const auto copy = ts::TsRegistry::decode(r);
+    ASSERT_EQ(copy, reg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkload,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -1,0 +1,82 @@
+// Wire-protocol round trips: Command and Reply survive encode/decode.
+#include "ftlinda/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tuple/tuple.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+TEST(Protocol, ExecuteCommandRoundTrip) {
+  Ags ags = AgsBuilder()
+                .when(guardIn(ts::kTsMain, makePattern("a", fInt())))
+                .then(opOut(ts::kTsMain, makeTemplate("b", bound(0))))
+                .build();
+  Command c = makeExecute(42, ags);
+  Command d = Command::decode(c.encode());
+  EXPECT_EQ(d.kind, CommandKind::ExecuteAgs);
+  EXPECT_EQ(d.request_id, 42u);
+  Writer w1, w2;
+  c.ags.encode(w1);
+  d.ags.encode(w2);
+  EXPECT_EQ(w1.buffer(), w2.buffer());
+}
+
+TEST(Protocol, MonitorCommandRoundTrip) {
+  Command c = makeMonitor(7, 123, true);
+  Command d = Command::decode(c.encode());
+  EXPECT_EQ(d.kind, CommandKind::MonitorFailures);
+  EXPECT_EQ(d.request_id, 7u);
+  EXPECT_EQ(d.ts, 123u);
+  Command u = Command::decode(makeMonitor(8, 99, false).encode());
+  EXPECT_EQ(u.kind, CommandKind::UnmonitorFailures);
+}
+
+TEST(Protocol, ReplyRoundTripFull) {
+  Reply r;
+  r.succeeded = true;
+  r.branch = 2;
+  r.bindings = {Value(7), Value("s"), Value(2.5)};
+  r.guard_tuple = makeTuple("matched", 7);
+  r.op_status = {true, false, true};
+  r.local_deposits = {{ts::kLocalHandleBit | 3, makeTuple("d", 1)},
+                      {ts::kLocalHandleBit | 3, makeTuple("d", 2)}};
+  r.created = {5, 6};
+  r.error = "";
+  const Reply d = Reply::decode(r.encode());
+  EXPECT_TRUE(d.succeeded);
+  EXPECT_EQ(d.branch, 2);
+  EXPECT_EQ(d.bindings, r.bindings);
+  EXPECT_EQ(d.guard_tuple, r.guard_tuple);
+  EXPECT_EQ(d.op_status, r.op_status);
+  EXPECT_EQ(d.local_deposits, r.local_deposits);
+  EXPECT_EQ(d.created, r.created);
+  EXPECT_TRUE(d.error.empty());
+}
+
+TEST(Protocol, ReplyRoundTripFailure) {
+  Reply r;
+  r.succeeded = false;
+  r.branch = -1;
+  r.error = "some deterministic diagnostic";
+  const Reply d = Reply::decode(r.encode());
+  EXPECT_FALSE(d.succeeded);
+  EXPECT_EQ(d.branch, -1);
+  EXPECT_EQ(d.guard_tuple, std::nullopt);
+  EXPECT_EQ(d.error, r.error);
+}
+
+TEST(Protocol, ReplyRoundTripEmpty) {
+  const Reply d = Reply::decode(Reply{}.encode());
+  EXPECT_FALSE(d.succeeded);
+  EXPECT_TRUE(d.bindings.empty());
+  EXPECT_TRUE(d.local_deposits.empty());
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -1,0 +1,139 @@
+// Runtime API contract tests: routing rules, misuse diagnostics, scratch
+// lifecycle, monitor registration.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ftlinda/system.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+TEST(RuntimeApi, MonitorOnLocalHandleRejected) {
+  FtLindaSystem sys({.hosts = 1});
+  auto& rt = sys.runtime(0);
+  const TsHandle scratch = rt.createScratch();
+  EXPECT_THROW(rt.monitorFailures(scratch), ContractViolation);
+}
+
+TEST(RuntimeApi, UnmonitorStopsFailureTuples) {
+  FtLindaSystem sys({.hosts = 3, .monitor_main = true});
+  sys.runtime(0).monitorFailures(kTsMain, /*enable=*/false);
+  sys.crash(2);
+  // Give failure detection time to run; no failure tuple should appear.
+  std::this_thread::sleep_for(Millis{300});
+  EXPECT_EQ(sys.runtime(0).rdp(kTsMain, makePattern("failure", fInt())), std::nullopt);
+}
+
+TEST(RuntimeApi, DestroyUnknownLocalHandleThrows) {
+  FtLindaSystem sys({.hosts = 1});
+  EXPECT_THROW(sys.runtime(0).destroyTs(ts::kLocalHandleBit | 999), Error);
+}
+
+TEST(RuntimeApi, DestroyedScratchSwallowsLaterDeposits) {
+  FtLindaSystem sys({.hosts = 2});
+  auto& rt = sys.runtime(0);
+  const TsHandle scratch = rt.createScratch();
+  rt.out(kTsMain, makeTuple("r", 1));
+  rt.destroyTs(scratch);
+  // The move still executes against the stable space; the deposit simply
+  // has nowhere local to land (documented behaviour).
+  Reply r = rt.execute(AgsBuilder()
+                           .when(guardTrue())
+                           .then(opMove(kTsMain, scratch, makePatternTemplate("r", fInt())))
+                           .build());
+  EXPECT_EQ(r.local_deposits.size(), 1u);
+  EXPECT_EQ(sys.stateMachine(0).tupleCount(kTsMain), 0u);
+  EXPECT_EQ(rt.localTupleCount(scratch), 0u);
+}
+
+TEST(RuntimeApi, MixedLocalReadRejected) {
+  // A replicated AGS may only WRITE to scratch; reading it is rejected with
+  // a deterministic diagnostic.
+  FtLindaSystem sys({.hosts = 2});
+  auto& rt = sys.runtime(0);
+  const TsHandle scratch = rt.createScratch();
+  EXPECT_THROW(rt.execute(AgsBuilder()
+                              .when(guardIn(kTsMain, makePattern("x")))
+                              .then(opInp(scratch, makePatternTemplate("y")))
+                              .build()),
+               Error);
+  // And a guard on scratch combined with stable body ops is also mixed.
+  EXPECT_THROW(rt.execute(AgsBuilder()
+                              .when(guardIn(scratch, makePattern("y")))
+                              .then(opOut(kTsMain, makeTemplate("x")))
+                              .build()),
+               Error);
+}
+
+TEST(RuntimeApi, ScratchSpacesIndependentPerProcessor) {
+  FtLindaSystem sys({.hosts = 2});
+  const TsHandle s0 = sys.runtime(0).createScratch();
+  const TsHandle s1 = sys.runtime(1).createScratch();
+  // Same handle VALUE may be allocated on both hosts — they are distinct
+  // spaces.
+  EXPECT_EQ(s0, s1);
+  sys.runtime(0).out(s0, makeTuple("t", 1));
+  EXPECT_EQ(sys.runtime(0).localTupleCount(s0), 1u);
+  EXPECT_EQ(sys.runtime(1).localTupleCount(s1), 0u);
+}
+
+TEST(RuntimeApi, LargeBlobTuplePayload) {
+  FtLindaSystem sys({.hosts = 2});
+  Bytes blob(1 << 15, std::uint8_t{0x5a});
+  sys.runtime(0).out(kTsMain, makeTuple("big", blob));
+  const Tuple t = sys.runtime(1).in(kTsMain, makePattern("big", tuple::fBlob()));
+  EXPECT_EQ(t.field(1).asBlob(), blob);
+}
+
+TEST(RuntimeApi, ManySmallAgsesThroughput) {
+  // Smoke-check that thousands of statements flow without leaks or stalls.
+  FtLindaSystem sys({.hosts = 2});
+  auto& rt = sys.runtime(1);
+  for (int i = 0; i < 2000; ++i) {
+    rt.out(kTsMain, makeTuple("s", i % 7));
+  }
+  // Inspect the ISSUING host's replica: its reply means it has applied the
+  // statement; other replicas may trail by one apply.
+  EXPECT_EQ(sys.stateMachine(1).tupleCount(kTsMain), 2000u);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(rt.inp(kTsMain, makePattern("s", fInt())).has_value());
+  }
+  EXPECT_EQ(sys.stateMachine(1).tupleCount(kTsMain), 0u);
+}
+
+TEST(RuntimeApi, CreatePrivateStableSpace) {
+  // stable+private: replicated (survives crashes) but conventionally scoped
+  // to the creator; the runtime enforces no access control (as in the
+  // paper, scope is a programming convention plus handle secrecy).
+  FtLindaSystem sys({.hosts = 3});
+  const TsHandle h = sys.runtime(0).createTs({true, false});
+  sys.runtime(0).out(h, makeTuple("mine", 1));
+  sys.crash(0);
+  // The space survives its creator's crash (it is stable).
+  EXPECT_TRUE(sys.runtime(1).rdp(h, makePattern("mine", fInt())).has_value());
+}
+
+TEST(RuntimeApi, RdBlocksUntilDeposit) {
+  FtLindaSystem sys({.hosts = 2});
+  std::atomic<bool> got{false};
+  std::thread reader([&] {
+    sys.runtime(0).rd(kTsMain, makePattern("cfg", fInt()));
+    got = true;
+  });
+  std::this_thread::sleep_for(Millis{30});
+  EXPECT_FALSE(got.load());
+  sys.runtime(1).out(kTsMain, makeTuple("cfg", 1));
+  reader.join();
+  EXPECT_TRUE(got.load());
+  // rd left the tuple in place for everyone.
+  EXPECT_TRUE(sys.runtime(1).rdp(kTsMain, makePattern("cfg", fInt())).has_value());
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -1,0 +1,201 @@
+// TS state machine: blocking queue discipline, failure tuples, snapshots,
+// reply routing (DESIGN.md invariants 2, 3, 7).
+#include "ftlinda/ts_state_machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+struct ReplyRecord {
+  net::HostId origin;
+  std::uint64_t rid;
+  Reply reply;
+};
+
+struct SmTest : ::testing::Test {
+  SmTest() {
+    sm.setReplySink([this](net::HostId o, std::uint64_t rid, const Reply& r) {
+      replies.push_back({o, rid, r});
+    });
+  }
+
+  void applyExec(net::HostId origin, std::uint64_t rid, const Ags& ags) {
+    rsm::ApplyContext ctx;
+    ctx.gseq = ++gseq;
+    ctx.origin = origin;
+    ctx.origin_seq = rid;
+    sm.apply(ctx, makeExecute(rid, ags).encode());
+  }
+
+  void applyMonitor(net::HostId origin, std::uint64_t rid, ts::TsHandle ts) {
+    rsm::ApplyContext ctx;
+    ctx.gseq = ++gseq;
+    ctx.origin = origin;
+    sm.apply(ctx, makeMonitor(rid, ts, true).encode());
+  }
+
+  void fail(net::HostId h) {
+    sm.onMembership(++gseq, {}, {h}, {});
+  }
+
+  Ags outAgs(Tuple t) {
+    TupleTemplate tmpl;
+    for (const auto& v : t.fields()) {
+      TemplateField f;
+      f.literal = v;
+      tmpl.fields.push_back(f);
+    }
+    return AgsBuilder().when(guardTrue()).then(opOut(kTsMain, tmpl)).build();
+  }
+
+  TsStateMachine sm;
+  std::vector<ReplyRecord> replies;
+  std::uint64_t gseq = 0;
+};
+
+TEST_F(SmTest, ExecuteProducesReply) {
+  applyExec(0, 1, outAgs(makeTuple("x", 1)));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].origin, 0u);
+  EXPECT_EQ(replies[0].rid, 1u);
+  EXPECT_TRUE(replies[0].reply.succeeded);
+  EXPECT_EQ(sm.tupleCount(kTsMain), 1u);
+}
+
+TEST_F(SmTest, BlockingAgsQueuesUntilDeposit) {
+  applyExec(1, 1, AgsBuilder().when(guardIn(kTsMain, makePattern("w", fInt()))).build());
+  EXPECT_EQ(sm.blockedCount(), 1u);
+  EXPECT_TRUE(replies.empty());
+  applyExec(2, 1, outAgs(makeTuple("w", 9)));
+  EXPECT_EQ(sm.blockedCount(), 0u);
+  ASSERT_EQ(replies.size(), 2u);  // the out's reply and the woken in's reply
+  // The woken reply carries the binding.
+  const auto& woken = replies[1].origin == 1u ? replies[1] : replies[0];
+  EXPECT_EQ(woken.origin, 1u);
+  EXPECT_EQ(woken.reply.bindings.at(0).asInt(), 9);
+}
+
+TEST_F(SmTest, BlockedWokenOldestFirst) {
+  applyExec(1, 1, AgsBuilder().when(guardIn(kTsMain, makePattern("job", fInt()))).build());
+  applyExec(2, 1, AgsBuilder().when(guardIn(kTsMain, makePattern("job", fInt()))).build());
+  applyExec(3, 1, outAgs(makeTuple("job", 7)));
+  // Exactly one of the two blocked statements fires: the older one (host 1).
+  EXPECT_EQ(sm.blockedCount(), 1u);
+  bool host1_woken = false;
+  for (const auto& r : replies) {
+    if (r.origin == 1u) host1_woken = true;
+    EXPECT_NE(r.origin, 2u);
+  }
+  EXPECT_TRUE(host1_woken);
+}
+
+TEST_F(SmTest, WokenBodyCanWakeAnother) {
+  // Host 1 waits for "a" and produces "b"; host 2 waits for "b".
+  applyExec(1, 1,
+            AgsBuilder()
+                .when(guardIn(kTsMain, makePattern("a")))
+                .then(opOut(kTsMain, makeTemplate("b")))
+                .build());
+  applyExec(2, 1, AgsBuilder().when(guardIn(kTsMain, makePattern("b"))).build());
+  EXPECT_EQ(sm.blockedCount(), 2u);
+  applyExec(3, 1, outAgs(makeTuple("a")));
+  EXPECT_EQ(sm.blockedCount(), 0u);
+}
+
+TEST_F(SmTest, MonitorRegistersAndAcks) {
+  applyMonitor(0, 5, kTsMain);
+  EXPECT_TRUE(sm.monitored(kTsMain));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].reply.succeeded);
+}
+
+TEST_F(SmTest, FailureDepositsFailureTuple) {
+  applyMonitor(0, 1, kTsMain);
+  fail(3);
+  const auto contents = sm.spaceContents(kTsMain);
+  ASSERT_EQ(contents.size(), 1u);
+  EXPECT_EQ(contents[0], makeTuple("failure", 3));
+}
+
+TEST_F(SmTest, FailureWithoutMonitorDepositsNothing) {
+  fail(3);
+  EXPECT_EQ(sm.tupleCount(kTsMain), 0u);
+}
+
+TEST_F(SmTest, FailureTupleWakesBlockedHandler) {
+  applyMonitor(0, 1, kTsMain);
+  // The paper's monitor-process idiom: block on in("failure", ?who).
+  applyExec(0, 2,
+            AgsBuilder()
+                .when(guardIn(kTsMain, makePattern("failure", fInt())))
+                .then(opOut(kTsMain, makeTemplate("handled", bound(0))))
+                .build());
+  EXPECT_EQ(sm.blockedCount(), 1u);
+  fail(2);
+  EXPECT_EQ(sm.blockedCount(), 0u);
+  EXPECT_EQ(sm.spaceContents(kTsMain).back(), makeTuple("handled", 2));
+}
+
+TEST_F(SmTest, FailedHostsBlockedAgsCancelled) {
+  applyExec(4, 1, AgsBuilder().when(guardIn(kTsMain, makePattern("never"))).build());
+  EXPECT_EQ(sm.blockedCount(), 1u);
+  fail(4);
+  EXPECT_EQ(sm.blockedCount(), 0u);
+  // And no reply was produced for it.
+  for (const auto& r : replies) EXPECT_NE(r.origin, 4u);
+}
+
+TEST_F(SmTest, SnapshotRestoreRoundTrip) {
+  applyMonitor(0, 1, kTsMain);
+  applyExec(0, 2, outAgs(makeTuple("x", 1)));
+  applyExec(1, 1, AgsBuilder().when(guardIn(kTsMain, makePattern("pending"))).build());
+  const Bytes snap = sm.snapshot();
+
+  TsStateMachine sm2;
+  sm2.restore(snap);
+  EXPECT_EQ(sm2.tupleCount(kTsMain), 1u);
+  EXPECT_EQ(sm2.blockedCount(), 1u);
+  EXPECT_TRUE(sm2.monitored(kTsMain));
+  EXPECT_EQ(sm2.snapshot(), snap);
+}
+
+TEST_F(SmTest, TwoMachinesSameCommandsIdenticalState) {
+  TsStateMachine a, b;
+  std::uint64_t g = 0;
+  auto applyBoth = [&](net::HostId origin, const Command& cmd) {
+    rsm::ApplyContext ctx;
+    ctx.gseq = ++g;
+    ctx.origin = origin;
+    const Bytes enc = cmd.encode();
+    a.apply(ctx, enc);
+    b.apply(ctx, enc);
+  };
+  applyBoth(0, makeMonitor(1, kTsMain, true));
+  for (int i = 0; i < 20; ++i) {
+    applyBoth(i % 3, makeExecute(10 + i, AgsBuilder()
+                                             .when(guardInp(kTsMain, makePattern("t", fInt())))
+                                             .then(opOut(kTsMain, makeTemplate("u", bound(0))))
+                                             .orWhen(guardTrue())
+                                             .then(opOut(kTsMain, makeTemplate("t", i)))
+                                             .build()));
+  }
+  a.onMembership(++g, {}, {2}, {});
+  b.onMembership(g, {}, {2}, {});
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+TEST_F(SmTest, ValidationErrorReplyRouted) {
+  applyExec(0, 9, AgsBuilder().when(guardIn(777, makePattern("x"))).build());
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(replies[0].reply.error.empty());
+  EXPECT_EQ(sm.blockedCount(), 0u);
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

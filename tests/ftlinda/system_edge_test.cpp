@@ -1,0 +1,129 @@
+// FtLindaSystem lifecycle and configuration edges.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ftlinda/system.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+TEST(SystemEdge, BadConfigRejected) {
+  EXPECT_THROW(FtLindaSystem({.hosts = 0}), ContractViolation);
+  SystemConfig cfg;
+  cfg.hosts = 2;
+  cfg.replica_hosts = 3;
+  EXPECT_THROW(FtLindaSystem{cfg}, ContractViolation);
+}
+
+TEST(SystemEdge, WrongRuntimeAccessorThrows) {
+  SystemConfig cfg;
+  cfg.hosts = 3;
+  cfg.replica_hosts = 1;
+  FtLindaSystem sys(cfg);
+  EXPECT_THROW(sys.runtime(2), ContractViolation);        // client host
+  EXPECT_THROW(sys.remoteRuntime(0), ContractViolation);  // replica host
+  EXPECT_THROW(sys.stateMachine(2), ContractViolation);   // client host
+  EXPECT_THROW(sys.runtime(99), ContractViolation);
+}
+
+TEST(SystemEdge, RecoverLiveHostRejected) {
+  FtLindaSystem sys({.hosts = 2});
+  EXPECT_THROW(sys.recover(0), ContractViolation);
+}
+
+TEST(SystemEdge, SingleReplicaWithClients) {
+  // Degenerate tuple-server topology: ONE replica serving two clients.
+  SystemConfig cfg;
+  cfg.hosts = 3;
+  cfg.replica_hosts = 1;
+  FtLindaSystem sys(cfg);
+  sys.remoteRuntime(1).out(kTsMain, makeTuple("x", 1));
+  EXPECT_EQ(sys.remoteRuntime(2).in(kTsMain, makePattern("x", fInt())).field(1).asInt(), 1);
+}
+
+TEST(SystemEdge, RepeatedClientRecoverCycles) {
+  SystemConfig cfg;
+  cfg.hosts = 4;
+  cfg.replica_hosts = 2;
+  FtLindaSystem sys(cfg);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    sys.remoteRuntime(2).out(kTsMain, makeTuple("c", cycle));
+    sys.crash(2);
+    ASSERT_TRUE(sys.recover(2)) << "cycle " << cycle;
+  }
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    EXPECT_TRUE(sys.remoteRuntime(3).inp(kTsMain, makePattern("c", cycle)).has_value());
+  }
+}
+
+TEST(SystemEdge, MonitorMainWorksInTupleServerConfig) {
+  SystemConfig cfg;
+  cfg.hosts = 4;
+  cfg.replica_hosts = 2;
+  cfg.monitor_main = true;
+  FtLindaSystem sys(cfg);
+  sys.crash(1);  // replica host
+  const Tuple t = sys.remoteRuntime(2).in(kTsMain, makePattern("failure", fInt()));
+  EXPECT_EQ(t.field(1).asInt(), 1);
+}
+
+TEST(SystemEdge, DestructorUnblocksEverything) {
+  // Processes blocked in in() must not wedge teardown.
+  auto sys = std::make_unique<FtLindaSystem>(SystemConfig{.hosts = 2});
+  for (int i = 0; i < 4; ++i) {
+    sys->spawnProcess(i % 2, [](Runtime& rt) {
+      try {
+        rt.in(kTsMain, makePattern("never"));
+      } catch (const ProcessorFailure&) {
+      }
+    });
+  }
+  std::this_thread::sleep_for(Millis{30});
+  sys.reset();  // must return promptly
+  SUCCEED();
+}
+
+TEST(SystemEdge, CrashAllButOneThenWork) {
+  FtLindaSystem sys({.hosts = 4});
+  sys.runtime(0).out(kTsMain, makeTuple("seed", 1));
+  sys.crash(1);
+  sys.crash(2);
+  sys.crash(3);
+  // The lone survivor still owns the full stable space.
+  const auto deadline = Clock::now() + Millis{8000};
+  bool alone = false;
+  while (Clock::now() < deadline) {
+    // It keeps working even before the views settle; this out must succeed.
+    alone = true;
+    break;
+  }
+  ASSERT_TRUE(alone);
+  sys.runtime(0).out(kTsMain, makeTuple("alone", 2));
+  EXPECT_TRUE(sys.runtime(0).rdp(kTsMain, makePattern("seed", fInt())).has_value());
+  EXPECT_TRUE(sys.runtime(0).inp(kTsMain, makePattern("alone", fInt())).has_value());
+}
+
+TEST(SystemEdge, SequentialRecoveriesOfDifferentHosts) {
+  FtLindaSystem sys({.hosts = 4});
+  sys.runtime(0).out(kTsMain, makeTuple("base", 0));
+  sys.crash(2);
+  sys.crash(3);
+  ASSERT_TRUE(sys.recover(2));
+  ASSERT_TRUE(sys.recover(3));
+  EXPECT_EQ(sys.runtime(3).rd(kTsMain, makePattern("base", fInt())).field(1).asInt(), 0);
+  // Both recovered replicas hold the state.
+  const auto deadline = Clock::now() + Millis{5000};
+  while (sys.stateMachine(2).tupleCount(kTsMain) != 1 && Clock::now() < deadline) {
+    std::this_thread::sleep_for(Millis{2});
+  }
+  EXPECT_EQ(sys.stateMachine(2).tupleCount(kTsMain), 1u);
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

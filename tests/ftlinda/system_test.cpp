@@ -1,0 +1,347 @@
+// End-to-end FT-Linda system tests: the full stack (runtime -> state machine
+// -> replica -> consul -> simulated network) on several hosts, including
+// crash/recovery behaviour (DESIGN.md invariants 3-7).
+#include "ftlinda/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::fStr;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+bool waitUntil(const std::function<bool()>& pred, Millis timeout = Millis{8000}) {
+  const auto deadline = Clock::now() + timeout;
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(Millis{2});
+  }
+  return pred();
+}
+
+TEST(System, OutThenInAcrossHosts) {
+  FtLindaSystem sys({.hosts = 3});
+  sys.runtime(0).out(kTsMain, makeTuple("greeting", "hello"));
+  const Tuple t = sys.runtime(2).in(kTsMain, makePattern("greeting", fStr()));
+  EXPECT_EQ(t.field(1).asStr(), "hello");
+  // in() removed it everywhere.
+  EXPECT_EQ(sys.runtime(1).inp(kTsMain, makePattern("greeting", fStr())), std::nullopt);
+}
+
+TEST(System, RdLeavesTupleForEveryone) {
+  FtLindaSystem sys({.hosts = 3});
+  sys.runtime(0).out(kTsMain, makeTuple("cfg", 7));
+  for (std::uint32_t h = 0; h < 3; ++h) {
+    EXPECT_EQ(sys.runtime(h).rd(kTsMain, makePattern("cfg", fInt())).field(1).asInt(), 7);
+  }
+  EXPECT_TRUE(sys.runtime(1).inp(kTsMain, makePattern("cfg", fInt())).has_value());
+}
+
+TEST(System, BlockingInWokenByRemoteOut) {
+  FtLindaSystem sys({.hosts = 2});
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    const Tuple t = sys.runtime(1).in(kTsMain, makePattern("signal", fInt()));
+    EXPECT_EQ(t.field(1).asInt(), 5);
+    got = true;
+  });
+  std::this_thread::sleep_for(Millis{30});
+  EXPECT_FALSE(got.load());
+  sys.runtime(0).out(kTsMain, makeTuple("signal", 5));
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(System, InpStrongSemantics) {
+  FtLindaSystem sys({.hosts = 2});
+  EXPECT_EQ(sys.runtime(0).inp(kTsMain, makePattern("none")), std::nullopt);
+  sys.runtime(1).out(kTsMain, makeTuple("none"));
+  EXPECT_TRUE(sys.runtime(0).inp(kTsMain, makePattern("none")).has_value());
+  EXPECT_EQ(sys.runtime(0).inp(kTsMain, makePattern("none")), std::nullopt);
+}
+
+TEST(System, AtomicIncrementNoLostUpdates) {
+  // The paper's distributed-variable example (§2.2): with single-op Linda a
+  // crash or interleaving between in and out loses updates; an AGS makes the
+  // read-modify-write one atomic step.
+  FtLindaSystem sys({.hosts = 3});
+  sys.runtime(0).out(kTsMain, makeTuple("count", 0));
+  constexpr int kPerHost = 25;
+  std::vector<std::thread> incrementers;
+  for (std::uint32_t h = 0; h < 3; ++h) {
+    incrementers.emplace_back([&sys, h] {
+      auto& rt = sys.runtime(h);
+      for (int i = 0; i < kPerHost; ++i) {
+        rt.execute(AgsBuilder()
+                       .when(guardIn(kTsMain, makePattern("count", fInt())))
+                       .then(opOut(kTsMain,
+                                   makeTemplate("count", boundExpr(0, ArithOp::Add, 1))))
+                       .build());
+      }
+    });
+  }
+  for (auto& t : incrementers) t.join();
+  const Tuple final = sys.runtime(1).rd(kTsMain, makePattern("count", fInt()));
+  EXPECT_EQ(final.field(1).asInt(), 3 * kPerHost);
+}
+
+TEST(System, DisjunctionTakesAvailableBranch) {
+  FtLindaSystem sys({.hosts = 2});
+  sys.runtime(0).out(kTsMain, makeTuple("right", 1));
+  Reply r = sys.runtime(1).execute(AgsBuilder()
+                                       .when(guardIn(kTsMain, makePattern("left", fInt())))
+                                       .orWhen(guardIn(kTsMain, makePattern("right", fInt())))
+                                       .build());
+  EXPECT_EQ(r.branch, 1);
+}
+
+TEST(System, CreateStableTsAndUseFromOtherHost) {
+  FtLindaSystem sys({.hosts = 2});
+  const TsHandle h = sys.runtime(0).createTs({true, true});
+  EXPECT_FALSE(ts::isLocalHandle(h));
+  sys.runtime(1).out(h, makeTuple("v", 3));
+  EXPECT_EQ(sys.runtime(0).in(h, makePattern("v", fInt())).field(1).asInt(), 3);
+  sys.runtime(1).destroyTs(h);
+  EXPECT_THROW(sys.runtime(0).rdp(h, makePattern("v", fInt())), Error);
+}
+
+TEST(System, ScratchSpaceIsLocalAndFast) {
+  FtLindaSystem sys({.hosts = 2});
+  auto& rt = sys.runtime(0);
+  const TsHandle scratch = rt.createScratch();
+  ASSERT_TRUE(ts::isLocalHandle(scratch));
+  rt.out(scratch, makeTuple("tmp", 1));
+  rt.out(scratch, makeTuple("tmp", 2));
+  EXPECT_EQ(rt.localTupleCount(scratch), 2u);
+  EXPECT_EQ(rt.in(scratch, makePattern("tmp", fInt())).field(1).asInt(), 1);
+  // Host 1 cannot see host 0's scratch handle (its own registry lacks it).
+  EXPECT_THROW(sys.runtime(1).out(scratch, makeTuple("x", 1)), Error);
+  // No tuples ever reached the replicated space.
+  EXPECT_EQ(sys.stateMachine(1).tupleCount(kTsMain), 0u);
+}
+
+TEST(System, LocalBlockingInWokenByLocalOut) {
+  FtLindaSystem sys({.hosts = 1});
+  auto& rt = sys.runtime(0);
+  const TsHandle scratch = rt.createScratch();
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    rt.in(scratch, makePattern("w"));
+    got = true;
+  });
+  std::this_thread::sleep_for(Millis{20});
+  EXPECT_FALSE(got.load());
+  rt.out(scratch, makeTuple("w"));
+  waiter.join();
+}
+
+TEST(System, MoveStableToScratchViaReply) {
+  // The paper's result-collection idiom: atomically sweep matching tuples
+  // from a stable space into a private scratch space.
+  FtLindaSystem sys({.hosts = 2});
+  auto& rt = sys.runtime(0);
+  for (int i = 0; i < 4; ++i) sys.runtime(1).out(kTsMain, makeTuple("result", i));
+  const TsHandle scratch = rt.createScratch();
+  Reply r = rt.execute(
+      AgsBuilder()
+          .when(guardTrue())
+          .then(opMove(kTsMain, scratch, makePatternTemplate("result", fInt())))
+          .build());
+  EXPECT_EQ(r.local_deposits.size(), 4u);
+  EXPECT_EQ(rt.localTupleCount(scratch), 4u);
+  EXPECT_EQ(sys.stateMachine(0).tupleCount(kTsMain), 0u);
+  // Local blocking consumers drained by the deposits.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rt.in(scratch, makePattern("result", fInt())).field(1).asInt(), i);
+  }
+}
+
+TEST(System, FailureTupleDepositedOnCrash) {
+  FtLindaSystem sys({.hosts = 3, .monitor_main = true});
+  sys.crash(2);
+  // Survivors eventually observe ("failure", 2) in TSmain.
+  const Tuple t = sys.runtime(0).in(kTsMain, makePattern("failure", fInt()));
+  EXPECT_EQ(t.field(1).asInt(), 2);
+}
+
+TEST(System, CrashedRuntimeThrows) {
+  FtLindaSystem sys({.hosts = 2});
+  sys.crash(1);
+  EXPECT_THROW(sys.runtime(1).out(kTsMain, makeTuple("x")), ProcessorFailure);
+  EXPECT_THROW(sys.runtime(1).in(kTsMain, makePattern("x")), ProcessorFailure);
+}
+
+TEST(System, CrashUnblocksPendingCall) {
+  FtLindaSystem sys({.hosts = 2});
+  std::atomic<bool> threw{false};
+  std::thread waiter([&] {
+    try {
+      sys.runtime(1).in(kTsMain, makePattern("never"));
+    } catch (const ProcessorFailure&) {
+      threw = true;
+    }
+  });
+  std::this_thread::sleep_for(Millis{30});
+  sys.crash(1);
+  waiter.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(System, StableTuplesSurviveCrash) {
+  FtLindaSystem sys({.hosts = 3});
+  sys.runtime(0).out(kTsMain, makeTuple("persist", 1));
+  sys.crash(0);
+  // The tuple lives on at the survivors.
+  EXPECT_EQ(sys.runtime(1).rd(kTsMain, makePattern("persist", fInt())).field(1).asInt(), 1);
+  EXPECT_EQ(sys.runtime(2).rd(kTsMain, makePattern("persist", fInt())).field(1).asInt(), 1);
+}
+
+TEST(System, BlockedAgsOfCrashedHostCancelled) {
+  FtLindaSystem sys({.hosts = 3});
+  std::thread doomed([&] {
+    try {
+      sys.runtime(2).in(kTsMain, makePattern("never"));
+    } catch (const ProcessorFailure&) {
+    }
+  });
+  ASSERT_TRUE(waitUntil([&] { return sys.stateMachine(0).blockedCount() == 1; }));
+  sys.crash(2);
+  doomed.join();
+  ASSERT_TRUE(waitUntil([&] { return sys.stateMachine(0).blockedCount() == 0; }));
+  // The tuple that would have matched is NOT consumed by the dead statement.
+  sys.runtime(0).out(kTsMain, makeTuple("never"));
+  EXPECT_TRUE(sys.runtime(1).inp(kTsMain, makePattern("never")).has_value());
+}
+
+TEST(System, RecoveryRestoresReplicaState) {
+  FtLindaSystem sys({.hosts = 3});
+  for (int i = 0; i < 5; ++i) sys.runtime(0).out(kTsMain, makeTuple("d", i));
+  sys.crash(2);
+  for (int i = 5; i < 10; ++i) sys.runtime(1).out(kTsMain, makeTuple("d", i));
+  ASSERT_TRUE(sys.recover(2));
+  ASSERT_TRUE(waitUntil(
+      [&] { return sys.stateMachine(2).tupleCount(kTsMain) == 10; }));
+  // Re-read both digests while waiting: host 0's replica may still be
+  // applying the tail of the stream.
+  ASSERT_TRUE(waitUntil([&] {
+    return sys.stateMachine(2).stateDigestBytes() == sys.stateMachine(0).stateDigestBytes();
+  }));
+  // The recovered runtime works again.
+  EXPECT_EQ(sys.runtime(2).in(kTsMain, makePattern("d", 0)), makeTuple("d", 0));
+}
+
+TEST(System, ReplicasConvergeAfterConcurrentWorkload) {
+  FtLindaSystem sys({.hosts = 3});
+  std::vector<std::thread> workers;
+  for (std::uint32_t h = 0; h < 3; ++h) {
+    workers.emplace_back([&sys, h] {
+      auto& rt = sys.runtime(h);
+      for (int i = 0; i < 20; ++i) {
+        rt.out(kTsMain, makeTuple("w", static_cast<int>(h), i));
+        rt.execute(AgsBuilder()
+                       .when(guardInp(kTsMain, makePattern("w", fInt(), fInt())))
+                       .then(opOut(kTsMain, makeTemplate("seen", bound(0), bound(1))))
+                       .orWhen(guardTrue())
+                       .build());
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  ASSERT_TRUE(waitUntil([&] {
+    return sys.stateMachine(0).stateDigestBytes() == sys.stateMachine(1).stateDigestBytes() &&
+           sys.stateMachine(1).stateDigestBytes() == sys.stateMachine(2).stateDigestBytes();
+  }));
+}
+
+TEST(System, MiniBagOfTasksSurvivesWorkerCrash) {
+  // Scaled-down fault-tolerant bag-of-tasks (§4.2): workers withdraw a
+  // subtask and atomically leave an in_progress marker; a monitor regenerates
+  // subtasks of dead workers from the failure tuple.
+  FtLindaSystem sys({.hosts = 3, .monitor_main = true});
+  constexpr int kTasks = 6;
+  for (int i = 0; i < kTasks; ++i) sys.runtime(0).out(kTsMain, makeTuple("subtask", i));
+
+  auto takeTask = [](Runtime& rt) -> std::optional<std::int64_t> {
+    Reply r = rt.execute(
+        AgsBuilder()
+            .when(guardInp(ts::kTsMain, makePattern("subtask", fInt())))
+            .then(opOut(ts::kTsMain,
+                        makeTemplate("in_progress", static_cast<int>(rt.host()), bound(0))))
+            .build());
+    if (!r.succeeded) return std::nullopt;
+    return r.bindings[0].asInt();
+  };
+  auto finishTask = [](Runtime& rt, std::int64_t id) {
+    rt.execute(AgsBuilder()
+                   .when(guardIn(ts::kTsMain,
+                                 makePattern("in_progress", static_cast<int>(rt.host()),
+                                             static_cast<std::int64_t>(id))))
+                   .then(opOut(ts::kTsMain, makeTemplate("result", id)))
+                   .build());
+  };
+
+  // Host 2 takes a task and "crashes" while holding it.
+  auto& rt2 = sys.runtime(2);
+  auto held = takeTask(rt2);
+  ASSERT_TRUE(held.has_value());
+  sys.crash(2);
+
+  // The monitor on host 0 handles the failure: regenerate the dead worker's
+  // in-progress subtasks atomically with consuming the failure tuple.
+  auto& rt0 = sys.runtime(0);
+  Reply fr = rt0.execute(AgsBuilder()
+                             .when(guardIn(kTsMain, makePattern("failure", fInt())))
+                             .build());
+  const auto dead = fr.bindings[0].asInt();
+  EXPECT_EQ(dead, 2);
+  for (;;) {
+    Reply r = rt0.execute(
+        AgsBuilder()
+            .when(guardInp(kTsMain,
+                           makePattern("in_progress", static_cast<std::int64_t>(dead), fInt())))
+            .then(opOut(kTsMain, makeTemplate("subtask", bound(0))))
+            .build());
+    if (!r.succeeded) break;
+  }
+
+  // Surviving workers finish everything.
+  for (std::uint32_t h = 0; h < 2; ++h) {
+    sys.spawnProcess(h, [&takeTask, &finishTask](Runtime& rt) {
+      while (auto id = takeTask(rt)) finishTask(rt, *id);
+    });
+  }
+  sys.joinProcesses();
+  // Every task produced exactly one result, including the one host 2 held.
+  EXPECT_EQ(sys.stateMachine(0).tupleCount(kTsMain), static_cast<std::size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_TRUE(sys.runtime(1).rdp(kTsMain, makePattern("result", i)).has_value())
+        << "missing result " << i;
+  }
+}
+
+TEST(System, MonitorFailuresOnCustomSpace) {
+  FtLindaSystem sys({.hosts = 3});
+  const TsHandle h = sys.runtime(0).createTs({true, true});
+  sys.runtime(0).monitorFailures(h);
+  sys.crash(1);
+  const Tuple t = sys.runtime(2).in(h, makePattern("failure", fInt()));
+  EXPECT_EQ(t.field(1).asInt(), 1);
+  // TSmain was not monitored.
+  EXPECT_EQ(sys.runtime(0).rdp(kTsMain, makePattern("failure", fInt())), std::nullopt);
+}
+
+TEST(System, WorksUnderLanLatencyProfile) {
+  FtLindaSystem sys({.hosts = 3, .net = net::lanProfile(3)});
+  sys.runtime(0).out(kTsMain, makeTuple("m", 1));
+  EXPECT_EQ(sys.runtime(2).in(kTsMain, makePattern("m", fInt())).field(1).asInt(), 1);
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -1,0 +1,187 @@
+// Tuple-server configuration (§6/Fig. 17): client hosts with no replica
+// forward AGSes over RPC to a request handler co-located with a replica.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ftlinda/system.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::fStr;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+// 5 hosts, 2 replicas (hosts 0,1), 3 RPC clients (hosts 2,3,4).
+SystemConfig tsConfig() {
+  SystemConfig cfg;
+  cfg.hosts = 5;
+  cfg.replica_hosts = 2;
+  return cfg;
+}
+
+TEST(TupleServer, ClientOutInThroughRpc) {
+  FtLindaSystem sys(tsConfig());
+  sys.remoteRuntime(2).out(kTsMain, makeTuple("m", 7));
+  EXPECT_EQ(sys.remoteRuntime(3).in(kTsMain, makePattern("m", fInt())).field(1).asInt(), 7);
+}
+
+TEST(TupleServer, ClientAndReplicaHostInterop) {
+  FtLindaSystem sys(tsConfig());
+  sys.runtime(0).out(kTsMain, makeTuple("from_replica", 1));
+  EXPECT_TRUE(sys.remoteRuntime(4).inp(kTsMain, makePattern("from_replica", fInt()))
+                  .has_value());
+  sys.remoteRuntime(4).out(kTsMain, makeTuple("from_client", 2));
+  EXPECT_TRUE(sys.runtime(1).inp(kTsMain, makePattern("from_client", fInt())).has_value());
+}
+
+TEST(TupleServer, BlockingInViaRpc) {
+  FtLindaSystem sys(tsConfig());
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    const Tuple t = sys.remoteRuntime(2).in(kTsMain, makePattern("later", fInt()));
+    EXPECT_EQ(t.field(1).asInt(), 9);
+    got = true;
+  });
+  std::this_thread::sleep_for(Millis{30});
+  EXPECT_FALSE(got.load());
+  sys.remoteRuntime(3).out(kTsMain, makeTuple("later", 9));
+  waiter.join();
+}
+
+TEST(TupleServer, AgsWithBindingsViaRpc) {
+  FtLindaSystem sys(tsConfig());
+  auto& rt = sys.remoteRuntime(2);
+  rt.out(kTsMain, makeTuple("count", 10));
+  Reply r = rt.execute(
+      AgsBuilder()
+          .when(guardIn(kTsMain, makePattern("count", fInt())))
+          .then(opOut(kTsMain, makeTemplate("count", boundExpr(0, ArithOp::Add, 5))))
+          .build());
+  EXPECT_EQ(r.bindings.at(0).asInt(), 10);
+  EXPECT_EQ(rt.rd(kTsMain, makePattern("count", fInt())).field(1).asInt(), 15);
+}
+
+TEST(TupleServer, StrongInpHoldsForClients) {
+  FtLindaSystem sys(tsConfig());
+  EXPECT_EQ(sys.remoteRuntime(2).inp(kTsMain, makePattern("absent")), std::nullopt);
+  sys.remoteRuntime(3).out(kTsMain, makeTuple("absent"));
+  EXPECT_TRUE(sys.remoteRuntime(2).inp(kTsMain, makePattern("absent")).has_value());
+}
+
+TEST(TupleServer, ScratchSpacesStayLocalOnClient) {
+  FtLindaSystem sys(tsConfig());
+  auto& rt = sys.remoteRuntime(2);
+  const TsHandle scratch = rt.createScratch();
+  rt.out(scratch, makeTuple("tmp", 1));
+  EXPECT_EQ(rt.localTupleCount(scratch), 1u);
+  EXPECT_EQ(sys.stateMachine(0).tupleCount(kTsMain), 0u);
+  // Move from stable to client scratch travels in the RPC reply.
+  rt.out(kTsMain, makeTuple("r", 5));
+  rt.execute(AgsBuilder()
+                 .when(guardTrue())
+                 .then(opMove(kTsMain, scratch, makePatternTemplate("r", fInt())))
+                 .build());
+  EXPECT_EQ(rt.localTupleCount(scratch), 2u);
+  EXPECT_EQ(sys.stateMachine(0).tupleCount(kTsMain), 0u);
+}
+
+TEST(TupleServer, CreateTsViaRpc) {
+  FtLindaSystem sys(tsConfig());
+  const TsHandle h = sys.remoteRuntime(2).createTs({true, true});
+  sys.remoteRuntime(3).out(h, makeTuple("x", 1));
+  EXPECT_TRUE(sys.runtime(0).inp(h, makePattern("x", fInt())).has_value());
+  sys.remoteRuntime(2).destroyTs(h);
+  EXPECT_THROW(sys.remoteRuntime(3).rdp(h, makePattern("x", fInt())), Error);
+}
+
+TEST(TupleServer, ValidationErrorPropagatesToClient) {
+  FtLindaSystem sys(tsConfig());
+  EXPECT_THROW(sys.remoteRuntime(2).rdp(999, makePattern("x")), Error);
+}
+
+TEST(TupleServer, MonitorAndFailureTupleVisibleToClients) {
+  FtLindaSystem sys(tsConfig());
+  sys.remoteRuntime(2).monitorFailures(kTsMain);
+  sys.crash(1);  // a REPLICA host fails (it serves clients 3; client 2 uses host 0)
+  const Tuple t = sys.remoteRuntime(2).in(kTsMain, makePattern("failure", fInt()));
+  EXPECT_EQ(t.field(1).asInt(), 1);
+}
+
+TEST(TupleServer, ClientCrashDoesNotAffectOthers) {
+  FtLindaSystem sys(tsConfig());
+  sys.remoteRuntime(2).out(kTsMain, makeTuple("keep", 1));
+  sys.crash(2);
+  EXPECT_THROW(sys.remoteRuntime(2).out(kTsMain, makeTuple("x")), ProcessorFailure);
+  EXPECT_TRUE(sys.remoteRuntime(3).inp(kTsMain, makePattern("keep", fInt())).has_value());
+}
+
+TEST(TupleServer, ClientCrashUnblocksPendingRpc) {
+  FtLindaSystem sys(tsConfig());
+  std::atomic<bool> threw{false};
+  std::thread waiter([&] {
+    try {
+      sys.remoteRuntime(4).in(kTsMain, makePattern("never"));
+    } catch (const ProcessorFailure&) {
+      threw = true;
+    }
+  });
+  std::this_thread::sleep_for(Millis{30});
+  sys.crash(4);
+  waiter.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(TupleServer, ServerCrashReportedToItsClients) {
+  FtLindaSystem sys(tsConfig());
+  // Host 2's server is host 0 (round-robin: 2 % 2 == 0).
+  sys.crash(0);
+  EXPECT_THROW(sys.remoteRuntime(2).out(kTsMain, makeTuple("x")), Error);
+  // Host 3's server is host 1 — unaffected; the surviving replica carries on.
+  sys.remoteRuntime(3).out(kTsMain, makeTuple("ok", 1));
+  EXPECT_TRUE(sys.remoteRuntime(3).inp(kTsMain, makePattern("ok", fInt())).has_value());
+}
+
+TEST(TupleServer, ClientRestartAfterCrash) {
+  FtLindaSystem sys(tsConfig());
+  sys.remoteRuntime(2).out(kTsMain, makeTuple("pre", 1));
+  sys.crash(2);
+  ASSERT_TRUE(sys.recover(2));
+  // Fresh client library, same stable state.
+  EXPECT_TRUE(sys.remoteRuntime(2).inp(kTsMain, makePattern("pre", fInt())).has_value());
+}
+
+TEST(TupleServer, ManyClientsConcurrentIncrements) {
+  FtLindaSystem sys(tsConfig());
+  sys.runtime(0).out(kTsMain, makeTuple("count", 0));
+  constexpr int kPer = 20;
+  for (net::HostId h : {2u, 3u, 4u}) {
+    sys.spawnRemoteProcess(h, [](RemoteRuntime& rt) {
+      for (int i = 0; i < kPer; ++i) {
+        rt.execute(AgsBuilder()
+                       .when(guardIn(kTsMain, makePattern("count", fInt())))
+                       .then(opOut(kTsMain,
+                                   makeTemplate("count", boundExpr(0, ArithOp::Add, 1))))
+                       .build());
+      }
+    });
+  }
+  sys.joinProcesses();
+  EXPECT_EQ(sys.runtime(0).rd(kTsMain, makePattern("count", fInt())).field(1).asInt(),
+            3 * kPer);
+}
+
+TEST(TupleServer, PendingForwardsDrainToZero) {
+  FtLindaSystem sys(tsConfig());
+  for (int i = 0; i < 10; ++i) sys.remoteRuntime(2).out(kTsMain, makeTuple("t", i));
+  // All forwarded requests answered; nothing leaks in the handler map.
+  // (Introspected indirectly: re-run a request and confirm responsiveness.)
+  EXPECT_TRUE(sys.remoteRuntime(2).inp(kTsMain, makePattern("t", 0)).has_value());
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -1,0 +1,185 @@
+// The Linda verb semantics, run generically over BOTH client libraries:
+// the embedded Runtime (replica on the application host) and the
+// RemoteRuntime of the tuple-server configuration. The observable semantics
+// must be identical (§6: the configurations differ only in cost).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ftlinda/system.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::fStr;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+/// Provider for the embedded configuration: every host runs a replica.
+struct EmbeddedProvider {
+  using Api = Runtime;
+  static SystemConfig config() { return SystemConfig{.hosts = 3}; }
+  /// Application endpoints 0 and 1.
+  static Api& api(FtLindaSystem& sys, int i) { return sys.runtime(static_cast<net::HostId>(i)); }
+  static void spawn(FtLindaSystem& sys, int i, std::function<void(Api&)> fn) {
+    sys.spawnProcess(static_cast<net::HostId>(i), std::move(fn));
+  }
+};
+
+/// Provider for the tuple-server configuration: hosts 0-1 are servers,
+/// hosts 2-4 are RPC clients (the application endpoints).
+struct TupleServerProvider {
+  using Api = RemoteRuntime;
+  static SystemConfig config() {
+    SystemConfig cfg;
+    cfg.hosts = 5;
+    cfg.replica_hosts = 2;
+    return cfg;
+  }
+  static Api& api(FtLindaSystem& sys, int i) {
+    return sys.remoteRuntime(static_cast<net::HostId>(2 + i));
+  }
+  static void spawn(FtLindaSystem& sys, int i, std::function<void(Api&)> fn) {
+    sys.spawnRemoteProcess(static_cast<net::HostId>(2 + i), std::move(fn));
+  }
+};
+
+template <typename Provider>
+class VerbSemantics : public ::testing::Test {
+ protected:
+  VerbSemantics() : sys(Provider::config()) {}
+  FtLindaSystem sys;
+  typename Provider::Api& api(int i) { return Provider::api(sys, i); }
+};
+
+using Providers = ::testing::Types<EmbeddedProvider, TupleServerProvider>;
+TYPED_TEST_SUITE(VerbSemantics, Providers);
+
+TYPED_TEST(VerbSemantics, OutInRoundTrip) {
+  this->api(0).out(kTsMain, makeTuple("msg", "payload", 7));
+  const Tuple t = this->api(1).in(kTsMain, makePattern("msg", fStr(), fInt()));
+  EXPECT_EQ(t.field(1).asStr(), "payload");
+  EXPECT_EQ(t.field(2).asInt(), 7);
+}
+
+TYPED_TEST(VerbSemantics, RdDoesNotConsume) {
+  this->api(0).out(kTsMain, makeTuple("cfg", 1));
+  EXPECT_EQ(this->api(1).rd(kTsMain, makePattern("cfg", fInt())).field(1).asInt(), 1);
+  EXPECT_TRUE(this->api(0).inp(kTsMain, makePattern("cfg", fInt())).has_value());
+}
+
+TYPED_TEST(VerbSemantics, StrongInpVerdicts) {
+  EXPECT_EQ(this->api(0).inp(kTsMain, makePattern("nope")), std::nullopt);
+  this->api(1).out(kTsMain, makeTuple("nope"));
+  EXPECT_TRUE(this->api(0).inp(kTsMain, makePattern("nope")).has_value());
+  EXPECT_EQ(this->api(1).inp(kTsMain, makePattern("nope")), std::nullopt);
+}
+
+TYPED_TEST(VerbSemantics, RdpNonDestructiveProbe) {
+  EXPECT_EQ(this->api(0).rdp(kTsMain, makePattern("p")), std::nullopt);
+  this->api(0).out(kTsMain, makeTuple("p"));
+  EXPECT_TRUE(this->api(1).rdp(kTsMain, makePattern("p")).has_value());
+  EXPECT_TRUE(this->api(1).rdp(kTsMain, makePattern("p")).has_value());  // still there
+}
+
+TYPED_TEST(VerbSemantics, BlockingInWokenByPeer) {
+  std::atomic<bool> got{false};
+  auto& consumer = this->api(0);
+  std::thread waiter([&] {
+    consumer.in(kTsMain, makePattern("wake", fInt()));
+    got = true;
+  });
+  std::this_thread::sleep_for(Millis{30});
+  EXPECT_FALSE(got.load());
+  this->api(1).out(kTsMain, makeTuple("wake", 1));
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TYPED_TEST(VerbSemantics, AgsBindingAndArithmetic) {
+  this->api(0).out(kTsMain, makeTuple("acc", 5));
+  Reply r = this->api(1).execute(
+      AgsBuilder()
+          .when(guardIn(kTsMain, makePattern("acc", fInt())))
+          .then(opOut(kTsMain, makeTemplate("acc", boundExpr(0, ArithOp::Mul, 3))))
+          .build());
+  EXPECT_EQ(r.bindings.at(0).asInt(), 5);
+  EXPECT_EQ(this->api(0).rd(kTsMain, makePattern("acc", fInt())).field(1).asInt(), 15);
+}
+
+TYPED_TEST(VerbSemantics, DisjunctionOrder) {
+  this->api(0).out(kTsMain, makeTuple("b"));
+  Reply r = this->api(0).execute(AgsBuilder()
+                                     .when(guardInp(kTsMain, makePattern("a")))
+                                     .orWhen(guardInp(kTsMain, makePattern("b")))
+                                     .orWhen(guardTrue())
+                                     .build());
+  EXPECT_EQ(r.branch, 1);
+}
+
+TYPED_TEST(VerbSemantics, ScratchIsLocal) {
+  auto& rt = this->api(0);
+  const TsHandle scratch = rt.createScratch();
+  rt.out(scratch, makeTuple("t", 1));
+  EXPECT_EQ(rt.localTupleCount(scratch), 1u);
+  EXPECT_EQ(rt.in(scratch, makePattern("t", fInt())).field(1).asInt(), 1);
+}
+
+TYPED_TEST(VerbSemantics, MoveToScratch) {
+  auto& rt = this->api(0);
+  const TsHandle scratch = rt.createScratch();
+  for (int i = 0; i < 3; ++i) this->api(1).out(kTsMain, makeTuple("r", i));
+  rt.execute(AgsBuilder()
+                 .when(guardTrue())
+                 .then(opMove(kTsMain, scratch, makePatternTemplate("r", fInt())))
+                 .build());
+  EXPECT_EQ(rt.localTupleCount(scratch), 3u);
+  EXPECT_EQ(this->api(1).rdp(kTsMain, makePattern("r", fInt())), std::nullopt);
+}
+
+TYPED_TEST(VerbSemantics, CreateAndDestroyStableSpace) {
+  auto& rt = this->api(0);
+  const TsHandle h = rt.createTs({true, true});
+  this->api(1).out(h, makeTuple("x", 9));
+  EXPECT_EQ(rt.in(h, makePattern("x", fInt())).field(1).asInt(), 9);
+  rt.destroyTs(h);
+  EXPECT_THROW(this->api(1).rdp(h, makePattern("x", fInt())), Error);
+}
+
+TYPED_TEST(VerbSemantics, ValidationErrorsThrow) {
+  EXPECT_THROW(this->api(0).rdp(424242, makePattern("x")), Error);
+}
+
+TYPED_TEST(VerbSemantics, ConcurrentIncrementsExact) {
+  this->api(0).out(kTsMain, makeTuple("n", 0));
+  constexpr int kPer = 15;
+  for (int i = 0; i < 2; ++i) {
+    TypeParam::spawn(this->sys, i, [](auto& rt) {
+      for (int k = 0; k < kPer; ++k) {
+        rt.execute(AgsBuilder()
+                       .when(guardIn(kTsMain, makePattern("n", fInt())))
+                       .then(opOut(kTsMain, makeTemplate("n", boundExpr(0, ArithOp::Add, 1))))
+                       .build());
+      }
+    });
+  }
+  this->sys.joinProcesses();
+  EXPECT_EQ(this->api(0).rd(kTsMain, makePattern("n", fInt())).field(1).asInt(), 2 * kPer);
+}
+
+TYPED_TEST(VerbSemantics, FailureTupleAfterMonitoredCrash) {
+  auto& rt = this->api(0);
+  rt.monitorFailures(kTsMain);
+  // Crash REPLICA host 1. Failure notification covers the replica group
+  // (client hosts of the tuple-server configuration are not group members);
+  // api(0) is unaffected in both configurations (its server is host 0).
+  this->sys.crash(1);
+  const Tuple t = rt.in(kTsMain, makePattern("failure", fInt()));
+  EXPECT_EQ(t.field(1).asInt(), 1);
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace ftl::net {
+namespace {
+
+TEST(DropFilter, DropsMatchingMessages) {
+  Network net(2);
+  net.setDropFilter([](const Message& m) { return m.type == 7; });
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  a.send(1, 7, Bytes{1});  // dropped
+  a.send(1, 8, Bytes{2});  // passes
+  auto m = b.recvFor(Micros{200'000});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, 8u);
+  EXPECT_EQ(net.stats(0).messages_dropped, 1u);
+}
+
+TEST(DropFilter, LoopbackExempt) {
+  Network net(1);
+  net.setDropFilter([](const Message&) { return true; });
+  auto a = net.endpoint(0);
+  a.send(0, 1, Bytes{9});
+  EXPECT_TRUE(a.recvFor(Micros{200'000}).has_value());
+}
+
+TEST(DropFilter, ClearRestoresDelivery) {
+  Network net(2);
+  net.setDropFilter([](const Message&) { return true; });
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  a.send(1, 1, Bytes{1});
+  net.setDropFilter(nullptr);
+  a.send(1, 2, Bytes{2});
+  auto m = b.recvFor(Micros{200'000});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, 2u);
+}
+
+TEST(DropFilter, SeesSrcDstAndPayload) {
+  Network net(3);
+  net.setDropFilter([](const Message& m) {
+    return m.src == 0 && m.dst == 2 && !m.payload.empty() && m.payload[0] == 0xff;
+  });
+  auto a = net.endpoint(0);
+  a.send(2, 1, Bytes{0xff});  // dropped
+  a.send(2, 1, Bytes{0x01});  // passes
+  a.send(1, 1, Bytes{0xff});  // different dst: passes
+  auto c = net.endpoint(2);
+  auto m = c.recvFor(Micros{200'000});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload, Bytes{0x01});
+  EXPECT_TRUE(net.endpoint(1).recvFor(Micros{200'000}).has_value());
+}
+
+}  // namespace
+}  // namespace ftl::net

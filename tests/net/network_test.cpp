@@ -1,0 +1,204 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ftl::net {
+namespace {
+
+Bytes payload(std::uint8_t v) { return Bytes{v}; }
+
+TEST(Network, DeliversPointToPoint) {
+  Network net(2);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  a.send(1, 7, payload(42));
+  auto m = b.recvFor(Micros{200'000});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->src, 0u);
+  EXPECT_EQ(m->dst, 1u);
+  EXPECT_EQ(m->type, 7u);
+  EXPECT_EQ(m->payload, payload(42));
+}
+
+TEST(Network, SelfSendLoopsBack) {
+  Network net(1);
+  auto a = net.endpoint(0);
+  a.send(0, 1, payload(9));
+  auto m = a.recvFor(Micros{200'000});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload, payload(9));
+}
+
+TEST(Network, FifoPerPair) {
+  NetworkConfig cfg;
+  cfg.latency_mean = Micros{500};
+  cfg.latency_jitter = Micros{2000};  // jitter >> mean would reorder without the FIFO floor
+  Network net(2, cfg);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  constexpr int kCount = 50;
+  for (int i = 0; i < kCount; ++i) a.send(1, 0, payload(static_cast<std::uint8_t>(i)));
+  for (int i = 0; i < kCount; ++i) {
+    auto m = b.recvFor(Micros{500'000});
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->payload[0], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(Network, LatencyIsApplied) {
+  NetworkConfig cfg;
+  cfg.latency_mean = Micros{20'000};
+  Network net(2, cfg);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  const auto start = Clock::now();
+  a.send(1, 0, payload(1));
+  auto m = b.recvFor(Micros{500'000});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_GE(Clock::now() - start, Micros{15'000});
+}
+
+TEST(Network, CrashedHostReceivesNothing) {
+  Network net(2);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  net.crash(1);
+  a.send(1, 0, payload(1));
+  net.drain();
+  EXPECT_EQ(b.recvFor(Micros{20'000}), std::nullopt);
+  EXPECT_TRUE(net.isCrashed(1));
+}
+
+TEST(Network, CrashedHostSendsNothing) {
+  Network net(2);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  net.crash(0);
+  a.send(1, 0, payload(1));
+  net.drain();
+  EXPECT_EQ(b.recvFor(Micros{20'000}), std::nullopt);
+}
+
+TEST(Network, CrashUnblocksBlockedReceiver) {
+  Network net(1);
+  auto a = net.endpoint(0);
+  std::thread t([&] { EXPECT_EQ(a.recv(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  net.crash(0);
+  t.join();
+}
+
+TEST(Network, RecoverRestoresDelivery) {
+  Network net(2);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  net.crash(1);
+  a.send(1, 0, payload(1));  // lost
+  net.recover(1);
+  a.send(1, 0, payload(2));
+  auto m = b.recvFor(Micros{200'000});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload, payload(2));  // the pre-recovery message is gone
+}
+
+TEST(Network, InFlightMessagesToCrashedHostDropped) {
+  NetworkConfig cfg;
+  cfg.latency_mean = Micros{50'000};
+  Network net(2, cfg);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  a.send(1, 0, payload(1));
+  net.crash(1);  // crash while the message is in flight
+  net.recover(1);
+  EXPECT_EQ(b.recvFor(Micros{100'000}), std::nullopt);
+}
+
+TEST(Network, DropProbabilityLosesMessages) {
+  NetworkConfig cfg;
+  cfg.drop_probability = 1.0;
+  Network net(2, cfg);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  a.send(1, 0, payload(1));
+  net.drain();
+  EXPECT_EQ(b.recvFor(Micros{20'000}), std::nullopt);
+  EXPECT_EQ(net.stats(0).messages_dropped, 1u);
+}
+
+TEST(Network, LoopbackNeverDropped) {
+  NetworkConfig cfg;
+  cfg.drop_probability = 1.0;
+  Network net(1, cfg);
+  auto a = net.endpoint(0);
+  a.send(0, 0, payload(1));
+  ASSERT_TRUE(a.recvFor(Micros{200'000}).has_value());
+}
+
+TEST(Network, StatsCountTraffic) {
+  Network net(3);
+  auto a = net.endpoint(0);
+  a.send(1, 0, Bytes(10, 0));
+  a.send(2, 0, Bytes(20, 0));
+  a.send(0, 0, Bytes(5, 0));  // loopback: not counted
+  net.drain();
+  const auto s = net.stats(0);
+  EXPECT_EQ(s.messages_sent, 2u);
+  EXPECT_EQ(s.bytes_sent, 30u);
+  const auto total = net.totalStats();
+  EXPECT_EQ(total.messages_sent, 2u);
+  EXPECT_EQ(total.messages_delivered, 2u);
+}
+
+TEST(Network, ResetStatsZeroes) {
+  Network net(2);
+  auto a = net.endpoint(0);
+  a.send(1, 0, payload(1));
+  net.drain();
+  net.resetStats();
+  EXPECT_EQ(net.totalStats().messages_sent, 0u);
+}
+
+TEST(Network, MulticastReachesAll) {
+  Network net(4);
+  auto a = net.endpoint(0);
+  a.multicast({1, 2, 3}, 5, payload(7));
+  for (HostId h : {1u, 2u, 3u}) {
+    auto m = net.endpoint(h).recvFor(Micros{200'000});
+    ASSERT_TRUE(m.has_value()) << "host " << h;
+    EXPECT_EQ(m->type, 5u);
+  }
+}
+
+TEST(Network, ManyMessagesAllDelivered) {
+  NetworkConfig cfg;
+  cfg.latency_mean = Micros{100};
+  cfg.latency_jitter = Micros{300};
+  Network net(2, cfg);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  constexpr int kCount = 2000;
+  std::thread sender([&] {
+    for (int i = 0; i < kCount; ++i) a.send(1, 0, payload(static_cast<std::uint8_t>(i & 0xff)));
+  });
+  int received = 0;
+  while (received < kCount) {
+    auto m = b.recvFor(Micros{1'000'000});
+    ASSERT_TRUE(m.has_value());
+    ++received;
+  }
+  sender.join();
+  EXPECT_EQ(net.stats(1).messages_delivered, static_cast<std::uint64_t>(kCount));
+}
+
+TEST(Network, BadHostIdsRejected) {
+  Network net(2);
+  EXPECT_THROW(net.endpoint(2), ContractViolation);
+  EXPECT_THROW(net.crash(5), ContractViolation);
+  auto a = net.endpoint(0);
+  EXPECT_THROW(a.send(9, 0, payload(0)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftl::net

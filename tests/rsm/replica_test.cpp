@@ -1,0 +1,211 @@
+// Replica + StateMachine harness: determinism across replicas, snapshots,
+// membership upcalls (DESIGN.md invariant 2).
+#include "rsm/replica.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+
+#include "consul/consul_test_util.hpp"
+
+namespace ftl::rsm {
+namespace {
+
+using consul::testutil::fastConfig;
+using consul::testutil::waitUntil;
+
+/// A deterministic register machine: commands are "set <x>" / "add <x>"
+/// encoded as (u8 op, i64 operand); state is one integer plus an apply log.
+class CounterMachine : public StateMachine {
+ public:
+  void apply(const ApplyContext& ctx, const Bytes& command) override {
+    Reader r(command);
+    const std::uint8_t op = r.u8();
+    const std::int64_t x = r.i64();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (op == 0) {
+      value_ = x;
+    } else {
+      value_ += x;
+    }
+    applied_.push_back(ctx.gseq);
+  }
+
+  void onMembership(std::uint64_t, const std::vector<net::HostId>& members,
+                    const std::vector<net::HostId>& failed,
+                    const std::vector<net::HostId>&) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    member_count_ = members.size();
+    failures_seen_ += failed.size();
+  }
+
+  Bytes snapshot() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Writer w;
+    w.i64(value_);
+    return w.take();
+  }
+
+  void restore(const Bytes& b) override {
+    Reader r(b);
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_ = r.i64();
+    restored_ = true;
+  }
+
+  std::int64_t value() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return value_;
+  }
+  std::size_t appliedCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return applied_.size();
+  }
+  std::size_t memberCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return member_count_;
+  }
+  std::size_t failuresSeen() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failures_seen_;
+  }
+  bool restored() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return restored_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::int64_t value_ = 0;
+  std::vector<std::uint64_t> applied_;
+  std::size_t member_count_ = 0;
+  std::size_t failures_seen_ = 0;
+  bool restored_ = false;
+};
+
+Bytes setCmd(std::int64_t x) {
+  Writer w;
+  w.u8(0);
+  w.i64(x);
+  return w.take();
+}
+
+Bytes addCmd(std::int64_t x) {
+  Writer w;
+  w.u8(1);
+  w.i64(x);
+  return w.take();
+}
+
+struct RsmCluster {
+  explicit RsmCluster(std::uint32_t n) : net(n) {
+    std::vector<net::HostId> group;
+    for (std::uint32_t i = 0; i < n; ++i) group.push_back(i);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      machines.push_back(std::make_unique<CounterMachine>());
+      replicas.push_back(
+          std::make_unique<Replica>(net, i, group, fastConfig(), *machines[i]));
+    }
+    for (auto& r : replicas) r->start();
+  }
+
+  net::Network net;
+  std::vector<std::unique_ptr<CounterMachine>> machines;
+  std::vector<std::unique_ptr<Replica>> replicas;
+};
+
+TEST(Replica, CommandsApplyAtAllReplicas) {
+  RsmCluster c(3);
+  c.replicas[0]->submit(setCmd(10));
+  c.replicas[1]->submit(addCmd(5));
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.machines[n]->appliedCount() == 2; })) << "node " << n;
+    EXPECT_EQ(c.machines[n]->value(), 15);
+  }
+}
+
+TEST(Replica, ConcurrentSubmitsConvergeToSameValue) {
+  RsmCluster c(3);
+  // Non-commutative command mix: identical final values imply identical order.
+  for (int i = 0; i < 30; ++i) {
+    c.replicas[i % 3]->submit((i % 2) ? setCmd(i) : addCmd(i));
+  }
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.machines[n]->appliedCount() == 30; }, Millis{10000}));
+  }
+  EXPECT_EQ(c.machines[0]->value(), c.machines[1]->value());
+  EXPECT_EQ(c.machines[1]->value(), c.machines[2]->value());
+}
+
+TEST(Replica, MembershipUpcallOnCrash) {
+  RsmCluster c(3);
+  ASSERT_TRUE(waitUntil([&] { return c.machines[0]->memberCount() == 3; }));
+  c.net.crash(2);
+  ASSERT_TRUE(waitUntil([&] { return c.machines[0]->failuresSeen() == 1; }, Millis{8000}));
+  EXPECT_EQ(c.machines[0]->memberCount(), 2u);
+}
+
+TEST(Replica, RecoveryRestoresSnapshotState) {
+  RsmCluster c(3);
+  c.replicas[0]->submit(setCmd(100));
+  ASSERT_TRUE(waitUntil([&] { return c.machines[2]->value() == 100; }));
+  c.net.crash(2);
+  ASSERT_TRUE(waitUntil([&] { return c.machines[0]->failuresSeen() >= 1; }, Millis{8000}));
+  c.replicas[0]->submit(addCmd(11));
+  ASSERT_TRUE(waitUntil([&] { return c.machines[0]->value() == 111; }));
+
+  // Fresh machine + joining replica for host 2.
+  c.replicas[2].reset();
+  c.net.recover(2);
+  c.machines[2] = std::make_unique<CounterMachine>();
+  c.replicas[2] = std::make_unique<Replica>(c.net, 2, std::vector<net::HostId>{0, 1, 2},
+                                            fastConfig(), *c.machines[2],
+                                            /*join_existing=*/true);
+  c.replicas[2]->start();
+  c.replicas[2]->join(1);
+  ASSERT_TRUE(waitUntil([&] { return c.replicas[2]->isMember(); }, Millis{10000}));
+  EXPECT_TRUE(c.machines[2]->restored());
+  EXPECT_EQ(c.machines[2]->value(), 111);
+
+  c.replicas[1]->submit(addCmd(1));
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.machines[n]->value() == 112; }, Millis{5000}))
+        << "node " << n;
+  }
+}
+
+TEST(Replica, ApplyContextCarriesOrigin) {
+  net::Network net(2);
+  struct OriginRecorder : StateMachine {
+    void apply(const ApplyContext& ctx, const Bytes&) override {
+      std::lock_guard<std::mutex> lock(m);
+      origins.push_back(ctx.origin);
+      gseqs.push_back(ctx.gseq);
+    }
+    void onMembership(std::uint64_t, const std::vector<net::HostId>&,
+                      const std::vector<net::HostId>&,
+                      const std::vector<net::HostId>&) override {}
+    Bytes snapshot() const override { return {}; }
+    void restore(const Bytes&) override {}
+    mutable std::mutex m;
+    std::vector<net::HostId> origins;
+    std::vector<std::uint64_t> gseqs;
+  };
+  OriginRecorder rec0, rec1;
+  Replica r0(net, 0, {0, 1}, fastConfig(), rec0);
+  Replica r1(net, 1, {0, 1}, fastConfig(), rec1);
+  r0.start();
+  r1.start();
+  r1.submit(Bytes{1});
+  ASSERT_TRUE(waitUntil([&] {
+    std::lock_guard<std::mutex> lock(rec0.m);
+    return rec0.origins.size() == 1;
+  }));
+  std::lock_guard<std::mutex> lock(rec0.m);
+  EXPECT_EQ(rec0.origins[0], 1u);
+  EXPECT_GE(rec0.gseqs[0], 1u);
+}
+
+}  // namespace
+}  // namespace ftl::rsm

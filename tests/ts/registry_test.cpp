@@ -1,0 +1,94 @@
+#include "ts/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace ftl::ts {
+namespace {
+
+using tuple::makeTuple;
+
+TEST(TsRegistry, MainExistsByDefault) {
+  TsRegistry reg(true);
+  EXPECT_TRUE(reg.exists(kTsMain));
+  EXPECT_TRUE(reg.attrs(kTsMain).stable);
+  EXPECT_TRUE(reg.attrs(kTsMain).shared);
+  EXPECT_EQ(reg.spaceCount(), 1u);
+}
+
+TEST(TsRegistry, CreateAllocatesDistinctHandles) {
+  TsRegistry reg(true);
+  const auto h1 = reg.create({true, true});
+  const auto h2 = reg.create({true, false});
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h1, kTsMain);
+  EXPECT_TRUE(reg.exists(h1));
+  EXPECT_FALSE(reg.attrs(h2).shared);
+}
+
+TEST(TsRegistry, HandleAllocationDeterministic) {
+  TsRegistry a(true), b(true);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.create({true, true}), b.create({true, true}));
+  }
+}
+
+TEST(TsRegistry, LocalBitMarksLocalRegistryHandles) {
+  TsRegistry local(false, kLocalHandleBit);
+  const auto h = local.create({false, false});
+  EXPECT_TRUE(isLocalHandle(h));
+  TsRegistry stable(true);
+  EXPECT_FALSE(isLocalHandle(stable.create({true, true})));
+  EXPECT_FALSE(isLocalHandle(kTsMain));
+}
+
+TEST(TsRegistry, DestroyRemovesSpaceAndContents) {
+  TsRegistry reg(true);
+  const auto h = reg.create({true, true});
+  reg.get(h).put(makeTuple("a", 1));
+  EXPECT_TRUE(reg.destroy(h));
+  EXPECT_FALSE(reg.exists(h));
+  EXPECT_FALSE(reg.destroy(h));  // already gone
+}
+
+TEST(TsRegistry, MainCannotBeDestroyed) {
+  TsRegistry reg(true);
+  EXPECT_FALSE(reg.destroy(kTsMain));
+  EXPECT_TRUE(reg.exists(kTsMain));
+}
+
+TEST(TsRegistry, GetUnknownThrows) {
+  TsRegistry reg(true);
+  EXPECT_THROW(reg.get(999), Error);
+  EXPECT_THROW(reg.attrs(999), Error);
+  EXPECT_EQ(reg.find(999), nullptr);
+}
+
+TEST(TsRegistry, HandlesSorted) {
+  TsRegistry reg(true);
+  const auto h1 = reg.create({true, true});
+  const auto h2 = reg.create({true, true});
+  const auto hs = reg.handles();
+  ASSERT_EQ(hs.size(), 3u);
+  EXPECT_EQ(hs[0], kTsMain);
+  EXPECT_EQ(hs[1], h1);
+  EXPECT_EQ(hs[2], h2);
+}
+
+TEST(TsRegistry, SnapshotRoundTrip) {
+  TsRegistry reg(true);
+  const auto h = reg.create({true, false});
+  reg.get(kTsMain).put(makeTuple("m", 1));
+  reg.get(h).put(makeTuple("x", 2));
+  Writer w;
+  reg.encode(w);
+  Reader r(w.buffer());
+  TsRegistry reg2 = TsRegistry::decode(r);
+  EXPECT_EQ(reg2, reg);
+  // Handle counter continues identically after restore.
+  EXPECT_EQ(reg.create({true, true}), reg2.create({true, true}));
+}
+
+}  // namespace
+}  // namespace ftl::ts

@@ -1,0 +1,87 @@
+#include "tuple/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace ftl::tuple {
+namespace {
+
+TEST(Parse, Values) {
+  EXPECT_EQ(parseValue("42"), Value(42));
+  EXPECT_EQ(parseValue("-7"), Value(-7));
+  EXPECT_EQ(parseValue("2.5"), Value(2.5));
+  EXPECT_EQ(parseValue("-1e3"), Value(-1000.0));
+  EXPECT_EQ(parseValue("true"), Value(true));
+  EXPECT_EQ(parseValue("false"), Value(false));
+  EXPECT_EQ(parseValue("\"hello\""), Value("hello"));
+  EXPECT_EQ(parseValue("  42  "), Value(42));
+}
+
+TEST(Parse, StringEscapes) {
+  EXPECT_EQ(parseValue(R"("a\"b")").asStr(), "a\"b");
+  EXPECT_EQ(parseValue(R"("a\\b")").asStr(), "a\\b");
+  EXPECT_EQ(parseValue(R"("a\nb")").asStr(), "a\nb");
+  EXPECT_EQ(parseValue(R"("tab\there")").asStr(), "tab\there");
+}
+
+TEST(Parse, Base64Blob) {
+  EXPECT_EQ(parseValue("b64\"AQID\"").asBlob(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(parseValue("b64\"\"").asBlob(), Bytes{});
+  EXPECT_EQ(parseValue("b64\"AQ==\"").asBlob(), Bytes{1});
+}
+
+TEST(Parse, IntVsRealDistinction) {
+  EXPECT_EQ(parseValue("5").type(), ValueType::Int);
+  EXPECT_EQ(parseValue("5.0").type(), ValueType::Real);
+  EXPECT_EQ(parseValue("5e0").type(), ValueType::Real);
+}
+
+TEST(Parse, Tuples) {
+  EXPECT_EQ(parseTuple("()"), Tuple{});
+  EXPECT_EQ(parseTuple("(\"job\", 7)"), makeTuple("job", 7));
+  EXPECT_EQ(parseTuple("( \"a\" , 1 , 2.5 , true )"), makeTuple("a", 1, 2.5, true));
+}
+
+TEST(Parse, Patterns) {
+  const Pattern p = parsePattern("(\"job\", ?int, 2.5, ?str)");
+  EXPECT_EQ(p.arity(), 4u);
+  EXPECT_TRUE(p.matches(makeTuple("job", 1, 2.5, "x")));
+  EXPECT_FALSE(p.matches(makeTuple("job", 1, 2.6, "x")));
+  EXPECT_EQ(p.formalCount(), 2u);
+  const Pattern all = parsePattern("(?int, ?real, ?bool, ?str, ?blob)");
+  EXPECT_TRUE(all.matches(makeTuple(1, 1.0, true, "s", Bytes{1})));
+}
+
+TEST(Parse, RoundTripViaToString) {
+  const Tuple t = makeTuple("round", -3, 0.5, false);
+  EXPECT_EQ(parseTuple(t.toString()), t);
+  const Pattern p = makePattern("round", fInt(), fReal(), fBool());
+  EXPECT_EQ(parsePattern(p.toString()), p);
+}
+
+TEST(Parse, Errors) {
+  EXPECT_THROW(parseValue(""), Error);
+  EXPECT_THROW(parseValue("nope"), Error);
+  EXPECT_THROW(parseValue("\"unterminated"), Error);
+  EXPECT_THROW(parseValue("1.2.3four"), Error);
+  EXPECT_THROW(parseValue("42 extra"), Error);
+  EXPECT_THROW(parseTuple("(1,)"), Error);
+  EXPECT_THROW(parseTuple("(1"), Error);
+  EXPECT_THROW(parseTuple("1, 2)"), Error);
+  EXPECT_THROW(parsePattern("(?unknown)"), Error);
+  EXPECT_THROW(parsePattern("(?)"), Error);
+  EXPECT_THROW(parseValue("b64\"@@\""), Error);
+}
+
+TEST(Parse, ErrorsCarryOffset) {
+  try {
+    parseTuple("(1, nope)");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ftl::tuple

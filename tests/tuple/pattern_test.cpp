@@ -1,0 +1,115 @@
+#include "tuple/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace ftl::tuple {
+namespace {
+
+TEST(Pattern, AllActualsExactMatch) {
+  const Pattern p = makePattern("count", 7);
+  EXPECT_TRUE(p.matches(makeTuple("count", 7)));
+  EXPECT_FALSE(p.matches(makeTuple("count", 8)));
+  EXPECT_FALSE(p.matches(makeTuple("Count", 7)));
+}
+
+TEST(Pattern, FormalMatchesByType) {
+  const Pattern p = makePattern("count", fInt());
+  EXPECT_TRUE(p.matches(makeTuple("count", 0)));
+  EXPECT_TRUE(p.matches(makeTuple("count", -5)));
+  EXPECT_FALSE(p.matches(makeTuple("count", 1.5)));   // real != ?int
+  EXPECT_FALSE(p.matches(makeTuple("count", "x")));   // str != ?int
+  EXPECT_FALSE(p.matches(makeTuple("count", true)));  // bool != ?int
+}
+
+TEST(Pattern, ArityMustMatch) {
+  const Pattern p = makePattern("a", fInt());
+  EXPECT_FALSE(p.matches(makeTuple("a")));
+  EXPECT_FALSE(p.matches(makeTuple("a", 1, 2)));
+}
+
+TEST(Pattern, EmptyPatternMatchesEmptyTuple) {
+  const Pattern p;
+  EXPECT_TRUE(p.matches(Tuple{}));
+  EXPECT_FALSE(p.matches(makeTuple(1)));
+}
+
+TEST(Pattern, BindExtractsFormalsInOrder) {
+  const Pattern p = makePattern(fStr(), 7, fReal(), fBool());
+  const Tuple t = makeTuple("name", 7, 1.5, true);
+  ASSERT_TRUE(p.matches(t));
+  const auto b = p.bind(t);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0].asStr(), "name");
+  EXPECT_DOUBLE_EQ(b[1].asReal(), 1.5);
+  EXPECT_TRUE(b[2].asBool());
+}
+
+TEST(Pattern, BindNonMatchThrows) {
+  const Pattern p = makePattern("a", fInt());
+  EXPECT_THROW(p.bind(makeTuple("b", 1)), ContractViolation);
+}
+
+TEST(Pattern, FormalCount) {
+  EXPECT_EQ(makePattern("a", 1).formalCount(), 0u);
+  EXPECT_EQ(makePattern(fStr(), fInt(), 3).formalCount(), 2u);
+}
+
+TEST(Pattern, EncodeDecodeRoundTrip) {
+  const Pattern p = makePattern("job", fInt(), 2.5, fBlob(), true);
+  Writer w;
+  p.encode(w);
+  Reader r(w.buffer());
+  const Pattern q = Pattern::decode(r);
+  EXPECT_EQ(q, p);
+  EXPECT_TRUE(r.atEnd());
+  EXPECT_TRUE(q.matches(makeTuple("job", 1, 2.5, Bytes{9}, true)));
+}
+
+TEST(Pattern, ToString) {
+  EXPECT_EQ(makePattern("count", fInt()).toString(), "(\"count\", ?int)");
+}
+
+// ---- parameterized sweep: every formal type against every value type ----
+
+struct TypeMatrixCase {
+  ValueType formal;
+  ValueType value;
+};
+
+class FormalTypeMatrix : public ::testing::TestWithParam<TypeMatrixCase> {};
+
+Value sampleOf(ValueType t) {
+  switch (t) {
+    case ValueType::Int: return Value(7);
+    case ValueType::Real: return Value(2.5);
+    case ValueType::Bool: return Value(true);
+    case ValueType::Str: return Value("s");
+    case ValueType::Blob: return Value(Bytes{1});
+  }
+  return Value(0);
+}
+
+TEST_P(FormalTypeMatrix, FormalMatchesIffTypesEqual) {
+  const auto& c = GetParam();
+  const Pattern p({formal(c.formal)});
+  const Tuple t({sampleOf(c.value)});
+  EXPECT_EQ(p.matches(t), c.formal == c.value)
+      << valueTypeName(c.formal) << " vs " << valueTypeName(c.value);
+}
+
+std::vector<TypeMatrixCase> allTypePairs() {
+  const ValueType types[] = {ValueType::Int, ValueType::Real, ValueType::Bool, ValueType::Str,
+                             ValueType::Blob};
+  std::vector<TypeMatrixCase> cases;
+  for (auto f : types) {
+    for (auto v : types) cases.push_back({f, v});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypePairs, FormalTypeMatrix, ::testing::ValuesIn(allTypePairs()));
+
+}  // namespace
+}  // namespace ftl::tuple

@@ -1,0 +1,70 @@
+#include "tuple/signature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftl::tuple {
+namespace {
+
+TEST(Signature, TupleAndMatchingPatternAgree) {
+  const Tuple t = makeTuple("job", 7, 2.5);
+  const Pattern p = makePattern("job", fInt(), fReal());
+  EXPECT_EQ(signatureOf(t), signatureOf(p));
+}
+
+TEST(Signature, ActualTypeCountsNotValue) {
+  EXPECT_EQ(signatureOf(makeTuple("a", 1)), signatureOf(makeTuple("b", 99)));
+}
+
+TEST(Signature, OrderMatters) {
+  EXPECT_NE(signatureOf(makeTuple(1, "a")), signatureOf(makeTuple("a", 1)));
+}
+
+TEST(Signature, ArityMatters) {
+  EXPECT_NE(signatureOf(makeTuple(1)), signatureOf(makeTuple(1, 2)));
+  EXPECT_NE(signatureOf(Tuple{}), signatureOf(makeTuple(1)));
+}
+
+TEST(Signature, NonMatchingSignatureImpliesNoMatch) {
+  // The bucketing soundness property: if signatures differ, matches() is
+  // false. (Checked over a diverse sample.)
+  const Tuple tuples[] = {makeTuple("a", 1), makeTuple("a", 1.0), makeTuple(1, "a"),
+                          makeTuple("a"), makeTuple("a", 1, 2)};
+  const Pattern patterns[] = {makePattern("a", fInt()), makePattern(fStr(), fReal()),
+                              makePattern(fInt(), "a"), makePattern(fStr()),
+                              makePattern("a", fInt(), fInt())};
+  for (const auto& t : tuples) {
+    for (const auto& p : patterns) {
+      if (signatureOf(t) != signatureOf(p)) {
+        EXPECT_FALSE(p.matches(t)) << p.toString() << " vs " << t.toString();
+      }
+    }
+  }
+}
+
+TEST(Signature, NameOfTupleLeadingString) {
+  EXPECT_EQ(nameOf(makeTuple("task", 1)).value(), "task");
+  EXPECT_EQ(nameOf(makeTuple(1, "task")), std::nullopt);
+  EXPECT_EQ(nameOf(Tuple{}), std::nullopt);
+}
+
+TEST(Signature, NameOfPatternRequiresStringActual) {
+  EXPECT_EQ(nameOf(makePattern("task", fInt())).value(), "task");
+  EXPECT_EQ(nameOf(makePattern(fStr(), fInt())), std::nullopt);  // formal first
+  EXPECT_EQ(nameOf(makePattern(3, fInt())), std::nullopt);
+}
+
+TEST(Signature, CatalogCountsDistinct) {
+  SignatureCatalog cat;
+  const auto k1 = cat.add(makePattern("a", fInt()));
+  const auto k2 = cat.add(makePattern("b", fInt()));  // same signature
+  const auto k3 = cat.add(makePattern("a", fReal()));
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, k3);
+  EXPECT_EQ(cat.distinctSignatures(), 2u);
+  EXPECT_TRUE(cat.contains(k1));
+  EXPECT_TRUE(cat.contains(k3));
+  EXPECT_FALSE(cat.contains(k1 ^ k3));
+}
+
+}  // namespace
+}  // namespace ftl::tuple

@@ -1,0 +1,55 @@
+#include "tuple/tuple.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace ftl::tuple {
+namespace {
+
+TEST(Tuple, MakeTupleMixesTypes) {
+  const Tuple t = makeTuple("subtask", 17, 2.5, true);
+  ASSERT_EQ(t.arity(), 4u);
+  EXPECT_EQ(t.field(0).asStr(), "subtask");
+  EXPECT_EQ(t.field(1).asInt(), 17);
+  EXPECT_DOUBLE_EQ(t.field(2).asReal(), 2.5);
+  EXPECT_TRUE(t.field(3).asBool());
+}
+
+TEST(Tuple, EmptyTuple) {
+  const Tuple t;
+  EXPECT_EQ(t.arity(), 0u);
+  Writer w;
+  t.encode(w);
+  Reader r(w.buffer());
+  EXPECT_EQ(Tuple::decode(r), t);
+}
+
+TEST(Tuple, FieldOutOfRangeThrows) {
+  const Tuple t = makeTuple(1);
+  EXPECT_THROW(t.field(1), ContractViolation);
+}
+
+TEST(Tuple, EqualityIsFieldwise) {
+  EXPECT_EQ(makeTuple("a", 1), makeTuple("a", 1));
+  EXPECT_NE(makeTuple("a", 1), makeTuple("a", 2));
+  EXPECT_NE(makeTuple("a", 1), makeTuple("a"));
+  EXPECT_NE(makeTuple(1, "a"), makeTuple("a", 1));
+}
+
+TEST(Tuple, EncodeDecodeRoundTrip) {
+  const Tuple t = makeTuple("result", 9, Bytes{1, 2, 3}, 0.5, false);
+  Writer w;
+  t.encode(w);
+  Reader r(w.buffer());
+  EXPECT_EQ(Tuple::decode(r), t);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Tuple, ToString) {
+  EXPECT_EQ(makeTuple("count", 3).toString(), "(\"count\", 3)");
+  EXPECT_EQ(Tuple{}.toString(), "()");
+}
+
+}  // namespace
+}  // namespace ftl::tuple

@@ -1,0 +1,72 @@
+#include "tuple/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace ftl::tuple {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_EQ(Value(std::int64_t{5}).type(), ValueType::Int);
+  EXPECT_EQ(Value(5).type(), ValueType::Int);
+  EXPECT_EQ(Value(2.5).type(), ValueType::Real);
+  EXPECT_EQ(Value(true).type(), ValueType::Bool);
+  EXPECT_EQ(Value("abc").type(), ValueType::Str);
+  EXPECT_EQ(Value(Bytes{1, 2}).type(), ValueType::Blob);
+
+  EXPECT_EQ(Value(5).asInt(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).asReal(), 2.5);
+  EXPECT_TRUE(Value(true).asBool());
+  EXPECT_EQ(Value("abc").asStr(), "abc");
+  EXPECT_EQ(Value(Bytes{1, 2}).asBlob(), (Bytes{1, 2}));
+}
+
+TEST(Value, WrongAccessorThrows) {
+  EXPECT_THROW(Value(5).asStr(), ContractViolation);
+  EXPECT_THROW(Value("x").asInt(), ContractViolation);
+  EXPECT_THROW(Value(1.0).asBool(), ContractViolation);
+}
+
+TEST(Value, EqualityIsTypeAndValue) {
+  EXPECT_EQ(Value(5), Value(5));
+  EXPECT_NE(Value(5), Value(6));
+  EXPECT_NE(Value(5), Value(5.0));  // int != real even for equal magnitude
+  EXPECT_NE(Value(true), Value(1));
+  EXPECT_EQ(Value("a"), Value(std::string("a")));
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(42).hash(), Value(42).hash());
+  EXPECT_EQ(Value("tuple").hash(), Value("tuple").hash());
+  EXPECT_NE(Value(42).hash(), Value(43).hash());
+  EXPECT_NE(Value(42).hash(), Value(42.0).hash());  // type-salted
+}
+
+TEST(Value, EncodeDecodeRoundTrip) {
+  const Value vals[] = {Value(-7), Value(3.25), Value(false), Value("hello"),
+                        Value(Bytes{0, 255, 9})};
+  for (const auto& v : vals) {
+    Writer w;
+    v.encode(w);
+    Reader r(w.buffer());
+    EXPECT_EQ(Value::decode(r), v) << v.toString();
+    EXPECT_TRUE(r.atEnd());
+  }
+}
+
+TEST(Value, ToStringRendersType) {
+  EXPECT_EQ(Value(7).toString(), "7");
+  EXPECT_EQ(Value("x").toString(), "\"x\"");
+  EXPECT_EQ(Value(true).toString(), "true");
+  EXPECT_EQ(Value(Bytes{1, 2, 3}).toString(), "blob[3]");
+}
+
+TEST(Value, DefaultIsIntZero) {
+  Value v;
+  EXPECT_EQ(v.type(), ValueType::Int);
+  EXPECT_EQ(v.asInt(), 0);
+}
+
+}  // namespace
+}  // namespace ftl::tuple

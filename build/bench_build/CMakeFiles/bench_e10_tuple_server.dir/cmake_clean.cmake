@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_tuple_server"
+  "../bench/bench_e10_tuple_server.pdb"
+  "CMakeFiles/bench_e10_tuple_server.dir/bench_e10_tuple_server.cpp.o"
+  "CMakeFiles/bench_e10_tuple_server.dir/bench_e10_tuple_server.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_tuple_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_multicast"
+  "../bench/bench_e2_multicast.pdb"
+  "CMakeFiles/bench_e2_multicast.dir/bench_e2_multicast.cpp.o"
+  "CMakeFiles/bench_e2_multicast.dir/bench_e2_multicast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_bag_of_tasks"
+  "../bench/bench_e5_bag_of_tasks.pdb"
+  "CMakeFiles/bench_e5_bag_of_tasks.dir/bench_e5_bag_of_tasks.cpp.o"
+  "CMakeFiles/bench_e5_bag_of_tasks.dir/bench_e5_bag_of_tasks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_bag_of_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_dist_var"
+  "../bench/bench_e6_dist_var.pdb"
+  "CMakeFiles/bench_e6_dist_var.dir/bench_e6_dist_var.cpp.o"
+  "CMakeFiles/bench_e6_dist_var.dir/bench_e6_dist_var.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_dist_var.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_inp_semantics"
+  "../bench/bench_e7_inp_semantics.pdb"
+  "CMakeFiles/bench_e7_inp_semantics.dir/bench_e7_inp_semantics.cpp.o"
+  "CMakeFiles/bench_e7_inp_semantics.dir/bench_e7_inp_semantics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_inp_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_recovery"
+  "../bench/bench_e8_recovery.pdb"
+  "CMakeFiles/bench_e8_recovery.dir/bench_e8_recovery.cpp.o"
+  "CMakeFiles/bench_e8_recovery.dir/bench_e8_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t1_ags_cost"
+  "../bench/bench_t1_ags_cost.pdb"
+  "CMakeFiles/bench_t1_ags_cost.dir/bench_t1_ags_cost.cpp.o"
+  "CMakeFiles/bench_t1_ags_cost.dir/bench_t1_ags_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_ags_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/bag_of_tasks"
+  "../examples/bag_of_tasks.pdb"
+  "CMakeFiles/bag_of_tasks.dir/bag_of_tasks.cpp.o"
+  "CMakeFiles/bag_of_tasks.dir/bag_of_tasks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bag_of_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

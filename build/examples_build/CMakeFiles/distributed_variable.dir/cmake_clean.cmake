@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/distributed_variable"
+  "../examples/distributed_variable.pdb"
+  "CMakeFiles/distributed_variable.dir/distributed_variable.cpp.o"
+  "CMakeFiles/distributed_variable.dir/distributed_variable.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_variable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/divide_conquer"
+  "../examples/divide_conquer.pdb"
+  "CMakeFiles/divide_conquer.dir/divide_conquer.cpp.o"
+  "CMakeFiles/divide_conquer.dir/divide_conquer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divide_conquer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

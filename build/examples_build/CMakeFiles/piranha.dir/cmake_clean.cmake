@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/piranha"
+  "../examples/piranha.pdb"
+  "CMakeFiles/piranha.dir/piranha.cpp.o"
+  "CMakeFiles/piranha.dir/piranha.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piranha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

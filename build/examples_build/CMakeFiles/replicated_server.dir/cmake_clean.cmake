@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/replicated_server"
+  "../examples/replicated_server.pdb"
+  "CMakeFiles/replicated_server.dir/replicated_server.cpp.o"
+  "CMakeFiles/replicated_server.dir/replicated_server.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

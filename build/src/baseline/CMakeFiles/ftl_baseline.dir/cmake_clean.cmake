@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_baseline.dir/central_server.cpp.o"
+  "CMakeFiles/ftl_baseline.dir/central_server.cpp.o.d"
+  "CMakeFiles/ftl_baseline.dir/two_phase.cpp.o"
+  "CMakeFiles/ftl_baseline.dir/two_phase.cpp.o.d"
+  "libftl_baseline.a"
+  "libftl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

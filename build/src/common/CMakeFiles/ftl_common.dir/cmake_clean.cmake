@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_common.dir/logging.cpp.o"
+  "CMakeFiles/ftl_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ftl_common.dir/stats.cpp.o"
+  "CMakeFiles/ftl_common.dir/stats.cpp.o.d"
+  "libftl_common.a"
+  "libftl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consul/messages.cpp" "src/consul/CMakeFiles/ftl_consul.dir/messages.cpp.o" "gcc" "src/consul/CMakeFiles/ftl_consul.dir/messages.cpp.o.d"
+  "/root/repo/src/consul/node.cpp" "src/consul/CMakeFiles/ftl_consul.dir/node.cpp.o" "gcc" "src/consul/CMakeFiles/ftl_consul.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftl_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

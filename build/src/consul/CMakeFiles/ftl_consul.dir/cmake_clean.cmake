@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_consul.dir/messages.cpp.o"
+  "CMakeFiles/ftl_consul.dir/messages.cpp.o.d"
+  "CMakeFiles/ftl_consul.dir/node.cpp.o"
+  "CMakeFiles/ftl_consul.dir/node.cpp.o.d"
+  "libftl_consul.a"
+  "libftl_consul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_consul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

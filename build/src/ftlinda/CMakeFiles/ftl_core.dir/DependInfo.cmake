@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftlinda/checkpoint.cpp" "src/ftlinda/CMakeFiles/ftl_core.dir/checkpoint.cpp.o" "gcc" "src/ftlinda/CMakeFiles/ftl_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/ftlinda/executor.cpp" "src/ftlinda/CMakeFiles/ftl_core.dir/executor.cpp.o" "gcc" "src/ftlinda/CMakeFiles/ftl_core.dir/executor.cpp.o.d"
+  "/root/repo/src/ftlinda/failure_monitor.cpp" "src/ftlinda/CMakeFiles/ftl_core.dir/failure_monitor.cpp.o" "gcc" "src/ftlinda/CMakeFiles/ftl_core.dir/failure_monitor.cpp.o.d"
+  "/root/repo/src/ftlinda/ops.cpp" "src/ftlinda/CMakeFiles/ftl_core.dir/ops.cpp.o" "gcc" "src/ftlinda/CMakeFiles/ftl_core.dir/ops.cpp.o.d"
+  "/root/repo/src/ftlinda/protocol.cpp" "src/ftlinda/CMakeFiles/ftl_core.dir/protocol.cpp.o" "gcc" "src/ftlinda/CMakeFiles/ftl_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/ftlinda/runtime.cpp" "src/ftlinda/CMakeFiles/ftl_core.dir/runtime.cpp.o" "gcc" "src/ftlinda/CMakeFiles/ftl_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/ftlinda/scratch.cpp" "src/ftlinda/CMakeFiles/ftl_core.dir/scratch.cpp.o" "gcc" "src/ftlinda/CMakeFiles/ftl_core.dir/scratch.cpp.o.d"
+  "/root/repo/src/ftlinda/system.cpp" "src/ftlinda/CMakeFiles/ftl_core.dir/system.cpp.o" "gcc" "src/ftlinda/CMakeFiles/ftl_core.dir/system.cpp.o.d"
+  "/root/repo/src/ftlinda/ts_state_machine.cpp" "src/ftlinda/CMakeFiles/ftl_core.dir/ts_state_machine.cpp.o" "gcc" "src/ftlinda/CMakeFiles/ftl_core.dir/ts_state_machine.cpp.o.d"
+  "/root/repo/src/ftlinda/tuple_server.cpp" "src/ftlinda/CMakeFiles/ftl_core.dir/tuple_server.cpp.o" "gcc" "src/ftlinda/CMakeFiles/ftl_core.dir/tuple_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/ftl_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsm/CMakeFiles/ftl_rsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/ftl_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/consul/CMakeFiles/ftl_consul.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ftl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/ftl_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ftl_core.dir/executor.cpp.o"
+  "CMakeFiles/ftl_core.dir/executor.cpp.o.d"
+  "CMakeFiles/ftl_core.dir/failure_monitor.cpp.o"
+  "CMakeFiles/ftl_core.dir/failure_monitor.cpp.o.d"
+  "CMakeFiles/ftl_core.dir/ops.cpp.o"
+  "CMakeFiles/ftl_core.dir/ops.cpp.o.d"
+  "CMakeFiles/ftl_core.dir/protocol.cpp.o"
+  "CMakeFiles/ftl_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/ftl_core.dir/runtime.cpp.o"
+  "CMakeFiles/ftl_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/ftl_core.dir/scratch.cpp.o"
+  "CMakeFiles/ftl_core.dir/scratch.cpp.o.d"
+  "CMakeFiles/ftl_core.dir/system.cpp.o"
+  "CMakeFiles/ftl_core.dir/system.cpp.o.d"
+  "CMakeFiles/ftl_core.dir/ts_state_machine.cpp.o"
+  "CMakeFiles/ftl_core.dir/ts_state_machine.cpp.o.d"
+  "CMakeFiles/ftl_core.dir/tuple_server.cpp.o"
+  "CMakeFiles/ftl_core.dir/tuple_server.cpp.o.d"
+  "libftl_core.a"
+  "libftl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_net.dir/network.cpp.o"
+  "CMakeFiles/ftl_net.dir/network.cpp.o.d"
+  "libftl_net.a"
+  "libftl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_rsm.dir/replica.cpp.o"
+  "CMakeFiles/ftl_rsm.dir/replica.cpp.o.d"
+  "libftl_rsm.a"
+  "libftl_rsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_rsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_ts.dir/registry.cpp.o"
+  "CMakeFiles/ftl_ts.dir/registry.cpp.o.d"
+  "CMakeFiles/ftl_ts.dir/tuple_space.cpp.o"
+  "CMakeFiles/ftl_ts.dir/tuple_space.cpp.o.d"
+  "libftl_ts.a"
+  "libftl_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuple/parse.cpp" "src/tuple/CMakeFiles/ftl_tuple.dir/parse.cpp.o" "gcc" "src/tuple/CMakeFiles/ftl_tuple.dir/parse.cpp.o.d"
+  "/root/repo/src/tuple/pattern.cpp" "src/tuple/CMakeFiles/ftl_tuple.dir/pattern.cpp.o" "gcc" "src/tuple/CMakeFiles/ftl_tuple.dir/pattern.cpp.o.d"
+  "/root/repo/src/tuple/signature.cpp" "src/tuple/CMakeFiles/ftl_tuple.dir/signature.cpp.o" "gcc" "src/tuple/CMakeFiles/ftl_tuple.dir/signature.cpp.o.d"
+  "/root/repo/src/tuple/tuple.cpp" "src/tuple/CMakeFiles/ftl_tuple.dir/tuple.cpp.o" "gcc" "src/tuple/CMakeFiles/ftl_tuple.dir/tuple.cpp.o.d"
+  "/root/repo/src/tuple/value.cpp" "src/tuple/CMakeFiles/ftl_tuple.dir/value.cpp.o" "gcc" "src/tuple/CMakeFiles/ftl_tuple.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

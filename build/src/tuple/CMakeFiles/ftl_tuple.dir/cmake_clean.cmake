@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_tuple.dir/parse.cpp.o"
+  "CMakeFiles/ftl_tuple.dir/parse.cpp.o.d"
+  "CMakeFiles/ftl_tuple.dir/pattern.cpp.o"
+  "CMakeFiles/ftl_tuple.dir/pattern.cpp.o.d"
+  "CMakeFiles/ftl_tuple.dir/signature.cpp.o"
+  "CMakeFiles/ftl_tuple.dir/signature.cpp.o.d"
+  "CMakeFiles/ftl_tuple.dir/tuple.cpp.o"
+  "CMakeFiles/ftl_tuple.dir/tuple.cpp.o.d"
+  "CMakeFiles/ftl_tuple.dir/value.cpp.o"
+  "CMakeFiles/ftl_tuple.dir/value.cpp.o.d"
+  "libftl_tuple.a"
+  "libftl_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

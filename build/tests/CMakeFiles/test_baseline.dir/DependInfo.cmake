@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/central_server_test.cpp" "tests/CMakeFiles/test_baseline.dir/baseline/central_server_test.cpp.o" "gcc" "tests/CMakeFiles/test_baseline.dir/baseline/central_server_test.cpp.o.d"
+  "/root/repo/tests/baseline/two_phase_test.cpp" "tests/CMakeFiles/test_baseline.dir/baseline/two_phase_test.cpp.o" "gcc" "tests/CMakeFiles/test_baseline.dir/baseline/two_phase_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/consul/CMakeFiles/ftl_consul.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsm/CMakeFiles/ftl_rsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/ftl_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/ftl_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftlinda/CMakeFiles/ftl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ftl_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

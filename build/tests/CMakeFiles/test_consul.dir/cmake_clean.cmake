@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consul.dir/consul/fault_injection_test.cpp.o"
+  "CMakeFiles/test_consul.dir/consul/fault_injection_test.cpp.o.d"
+  "CMakeFiles/test_consul.dir/consul/membership_test.cpp.o"
+  "CMakeFiles/test_consul.dir/consul/membership_test.cpp.o.d"
+  "CMakeFiles/test_consul.dir/consul/multicast_test.cpp.o"
+  "CMakeFiles/test_consul.dir/consul/multicast_test.cpp.o.d"
+  "CMakeFiles/test_consul.dir/consul/recovery_test.cpp.o"
+  "CMakeFiles/test_consul.dir/consul/recovery_test.cpp.o.d"
+  "CMakeFiles/test_consul.dir/consul/stress_test.cpp.o"
+  "CMakeFiles/test_consul.dir/consul/stress_test.cpp.o.d"
+  "test_consul"
+  "test_consul.pdb"
+  "test_consul[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

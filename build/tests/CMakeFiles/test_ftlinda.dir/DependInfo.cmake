@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ftlinda/chaos_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/chaos_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/executor_edge_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/executor_edge_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/executor_edge_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/executor_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/executor_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/executor_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/helpers_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/helpers_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/helpers_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/idioms_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/idioms_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/idioms_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/metrics_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/metrics_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/ops_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/ops_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/ops_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/property_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/property_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/property_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/protocol_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/protocol_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/recovery_stress_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/recovery_stress_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/recovery_stress_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/runtime_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/runtime_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/state_machine_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/state_machine_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/state_machine_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/system_edge_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/system_edge_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/system_edge_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/system_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/system_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/system_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/tuple_server_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/tuple_server_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/tuple_server_test.cpp.o.d"
+  "/root/repo/tests/ftlinda/verbs_typed_test.cpp" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/verbs_typed_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftlinda.dir/ftlinda/verbs_typed_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/consul/CMakeFiles/ftl_consul.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsm/CMakeFiles/ftl_rsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/ftl_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/ftl_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftlinda/CMakeFiles/ftl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ftl_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsm.dir/rsm/replica_test.cpp.o"
+  "CMakeFiles/test_rsm.dir/rsm/replica_test.cpp.o.d"
+  "test_rsm"
+  "test_rsm.pdb"
+  "test_rsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ts.dir/ts/registry_test.cpp.o"
+  "CMakeFiles/test_ts.dir/ts/registry_test.cpp.o.d"
+  "CMakeFiles/test_ts.dir/ts/tuple_space_test.cpp.o"
+  "CMakeFiles/test_ts.dir/ts/tuple_space_test.cpp.o.d"
+  "test_ts"
+  "test_ts.pdb"
+  "test_ts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

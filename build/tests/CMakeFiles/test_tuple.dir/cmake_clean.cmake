@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuple.dir/tuple/parse_test.cpp.o"
+  "CMakeFiles/test_tuple.dir/tuple/parse_test.cpp.o.d"
+  "CMakeFiles/test_tuple.dir/tuple/pattern_test.cpp.o"
+  "CMakeFiles/test_tuple.dir/tuple/pattern_test.cpp.o.d"
+  "CMakeFiles/test_tuple.dir/tuple/signature_test.cpp.o"
+  "CMakeFiles/test_tuple.dir/tuple/signature_test.cpp.o.d"
+  "CMakeFiles/test_tuple.dir/tuple/tuple_test.cpp.o"
+  "CMakeFiles/test_tuple.dir/tuple/tuple_test.cpp.o.d"
+  "CMakeFiles/test_tuple.dir/tuple/value_test.cpp.o"
+  "CMakeFiles/test_tuple.dir/tuple/value_test.cpp.o.d"
+  "test_tuple"
+  "test_tuple.pdb"
+  "test_tuple[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# Fault-tolerant bag-of-tasks (paper sec. 2): a worker withdraws a subtask
+# and atomically leaves an in-progress marker, so a monitor process can
+# regenerate the subtask if the worker's host fails mid-computation.
+
+< in TSmain ("subtask", ?int)
+  => out TSmain ("in_progress", ?0) >
+
+# Worker finishes: publish the result and retire the marker in one atomic
+# step (no window where the task is neither in progress nor done).
+
+< in TSmain ("in_progress", ?int)
+  => out TSmain ("result", ?0);
+     out TSmain ("progress_count", 1) >
+
+# Monitor notices a failed worker and regenerates its task; the `or true`
+# branch makes the statement non-blocking.
+
+< inp TSmain ("in_progress", ?int)
+  => out TSmain ("subtask", ?0)
+  or true => skip >

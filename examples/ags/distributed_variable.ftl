@@ -1,0 +1,12 @@
+# Distributed variable (paper sec. 2.2): state lives as a ("x", value)
+# tuple in the stable space; updates are atomic in/out pairs.
+
+# Read the current value (rd does not withdraw).
+< rd TSmain ("x", ?int) => skip >
+
+# Atomic increment: the bound formal feeds an arithmetic template.
+< in TSmain ("x", ?int) => out TSmain ("x", ?0 + 1) >
+
+# Initialize-or-double: first branch fires when the variable exists.
+< inp TSmain ("x", ?int) => out TSmain ("x", ?0 * 2)
+  or true => out TSmain ("x", 1) >

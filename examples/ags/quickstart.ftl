@@ -1,0 +1,20 @@
+# Quickstart for the FT-Linda dump format (ftl-lint checks this file in CI).
+# Plain tuples and patterns use the tuple language of tuple/parse.hpp:
+
+("job", 7, 2.5, true)
+("job", ?int, ?real, ?bool)
+("payload", b64"AQID")
+
+# Atomic Guarded Statements use the paper's notation. ?N in a body template
+# refers to guard formal N (numbered left to right).
+
+< in TSmain ("job", ?int) => out TSmain ("done", ?0) >
+
+# A boolean guard with an alternative branch:
+
+< inp TSmain ("token", ?int) => out TSmain ("token", ?0 + 1)
+  or true => out TSmain ("token", 0) >
+
+# Tear down an auxiliary space (never TSmain — the verifier rejects that).
+
+< true => destroy_TS ts7 >

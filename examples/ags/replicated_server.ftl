@@ -1,0 +1,16 @@
+# Replicated server (paper sec. 4): requests are staged through a scratch
+# (volatile, local) space, and the reply is moved into the stable space in
+# one atomic statement so clients never observe partial state.
+
+# Make a private scratch space for request staging.
+< true => create_TS(volatile, private) >
+
+# Take a request and stage it into scratch space 1.
+< in TSmain ("request", ?int, ?str)
+  => out scratch1 ("work", ?0, ?1) >
+
+# Publish: move every finished answer from the scratch space to TSmain.
+< true => move scratch1 TSmain ("answer", ?int, ?str) >
+
+# Mirror a snapshot of results into an archive space without consuming them.
+< true => copy ts3 ts4 ("answer", ?int, ?str) >

@@ -67,3 +67,14 @@ namespace detail {
   do {                                                                 \
     if (!(cond)) ::ftl::detail::checkFail(#cond, __FILE__, __LINE__, (msg)); \
   } while (0)
+
+// FTL_DASSERT -- debug-only invariant for checks too expensive for release
+// hot paths (e.g. re-running the AGS verifier inside replica execution).
+// Compiles to nothing when NDEBUG is defined.
+#ifdef NDEBUG
+#define FTL_DASSERT(cond, msg) \
+  do {                         \
+  } while (0)
+#else
+#define FTL_DASSERT(cond, msg) FTL_ENSURE(cond, msg)
+#endif

@@ -51,12 +51,14 @@ class Writer {
 
   /// Length-prefixed string.
   void str(std::string_view s) {
+    FTL_CHECK(s.size() <= UINT32_MAX, "string too large for u32 length prefix");
     u32(static_cast<std::uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
   /// Length-prefixed blob.
   void bytes(const Bytes& b) {
+    FTL_CHECK(b.size() <= UINT32_MAX, "blob too large for u32 length prefix");
     u32(static_cast<std::uint32_t>(b.size()));
     buf_.insert(buf_.end(), b.begin(), b.end());
   }
@@ -135,8 +137,10 @@ class Reader {
   std::size_t remaining() const { return size_ - pos_; }
 
  private:
+  // Phrased as a subtraction so a hostile length can't wrap pos_ + n
+  // around SIZE_MAX and slip past the bound (pos_ <= size_ always holds).
   void need(std::size_t n) const {
-    FTL_CHECK(pos_ + n <= size_, "truncated buffer while decoding");
+    FTL_CHECK(n <= size_ - pos_, "truncated buffer while decoding");
   }
 
   const std::uint8_t* buf_;

@@ -18,15 +18,19 @@ class Synchronized {
   Synchronized& operator=(const Synchronized&) = delete;
 
   /// Run `fn(T&)` while holding the lock; returns fn's result.
+  /// decltype(auto), not auto: plain `auto` silently decays a
+  /// reference-returning fn to a copy of the referred-to object. A
+  /// reference into the guarded value still escapes the lock, though —
+  /// return by value from fn unless the target outlives the lock.
   template <typename Fn>
-  auto withLock(Fn&& fn) {
+  decltype(auto) withLock(Fn&& fn) {
     std::lock_guard<std::mutex> lock(mutex_);
     return std::forward<Fn>(fn)(value_);
   }
 
   /// Run `fn(const T&)` while holding the lock; returns fn's result.
   template <typename Fn>
-  auto withLock(Fn&& fn) const {
+  decltype(auto) withLock(Fn&& fn) const {
     std::lock_guard<std::mutex> lock(mutex_);
     return std::forward<Fn>(fn)(value_);
   }

@@ -1,0 +1,482 @@
+#include "ftlinda/ags_text.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "tuple/parse.hpp"
+
+namespace ftl::ftlinda {
+
+namespace {
+
+using tuple::parsePatternAt;
+using tuple::parseValueAt;
+
+/// Keyword/punctuation scanner; values, patterns and numbers are delegated
+/// to the tuple-language parser at the current offset.
+class AgsScanner {
+ public:
+  AgsScanner(std::string_view text, std::size_t start) : text_(text), pos_(start) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "AGS parse error at offset " << pos_ << ": " << what;
+    throw Error(os.str());
+  }
+
+  void skipWs() {
+    for (;;) {
+      while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  char peek() {
+    skipWs();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool tryTake(char c) {
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!tryTake(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  /// Peek the next identifier-like word without consuming it.
+  std::string peekWord() {
+    skipWs();
+    std::size_t p = pos_;
+    std::string w;
+    while (p < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[p])) || text_[p] == '_')) {
+      w.push_back(text_[p++]);
+    }
+    return w;
+  }
+
+  std::string word() {
+    const std::string w = peekWord();
+    if (w.empty()) fail("expected a word");
+    pos_ += w.size();
+    return w;
+  }
+
+  bool tryWord(const std::string& w) {
+    if (peekWord() != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  tuple::Value value() {
+    skipWs();
+    return parseValueAt(text_, pos_);
+  }
+
+  tuple::Pattern pattern() {
+    skipWs();
+    return parsePatternAt(text_, pos_);
+  }
+
+  std::uint64_t integer() {
+    skipWs();
+    std::uint64_t n = 0;
+    std::size_t digits = 0;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      n = n * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) fail("expected a number");
+    return n;
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_;
+};
+
+TsHandle parseHandle(AgsScanner& s) {
+  const std::string w = s.peekWord();
+  if (w == "TSmain") {
+    s.word();
+    return ts::kTsMain;
+  }
+  if (w.rfind("ts", 0) == 0 && w.size() > 2) {
+    s.word();
+    TsHandle h = 0;
+    for (std::size_t i = 2; i < w.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(w[i]))) s.fail("bad handle '" + w + "'");
+      h = h * 10 + static_cast<TsHandle>(w[i] - '0');
+    }
+    return h;
+  }
+  if (w.rfind("scratch", 0) == 0 && w.size() > 7) {
+    s.word();
+    TsHandle h = 0;
+    for (std::size_t i = 7; i < w.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(w[i]))) s.fail("bad handle '" + w + "'");
+      h = h * 10 + static_cast<TsHandle>(w[i] - '0');
+    }
+    return h | ts::kLocalHandleBit;
+  }
+  s.fail("expected a tuple-space handle (TSmain / tsN / scratchN), got '" + w + "'");
+}
+
+tuple::ValueType parseTypeWord(AgsScanner& s) {
+  const std::string w = s.word();
+  if (w == "int") return ValueType::Int;
+  if (w == "real") return ValueType::Real;
+  if (w == "bool") return ValueType::Bool;
+  if (w == "str") return ValueType::Str;
+  if (w == "blob") return ValueType::Blob;
+  s.fail("unknown type '" + w + "' (want int/real/bool/str/blob)");
+}
+
+TupleTemplate parseTemplate(AgsScanner& s) {
+  TupleTemplate t;
+  s.expect('(');
+  if (s.tryTake(')')) return t;
+  do {
+    if (s.tryTake('?')) {
+      const auto idx = static_cast<std::uint16_t>(s.integer());
+      if (s.tryTake('+')) {
+        t.fields.push_back(boundExpr(idx, ArithOp::Add, s.value()));
+      } else if (s.tryTake('-')) {
+        t.fields.push_back(boundExpr(idx, ArithOp::Sub, s.value()));
+      } else if (s.tryTake('*')) {
+        t.fields.push_back(boundExpr(idx, ArithOp::Mul, s.value()));
+      } else {
+        t.fields.push_back(bound(idx));
+      }
+    } else {
+      TemplateField f;
+      f.kind = TemplateField::Kind::Literal;
+      f.literal = s.value();
+      t.fields.push_back(std::move(f));
+    }
+  } while (s.tryTake(','));
+  s.expect(')');
+  return t;
+}
+
+PatternTemplate parsePatternTemplate(AgsScanner& s) {
+  PatternTemplate p;
+  s.expect('(');
+  if (s.tryTake(')')) return p;
+  do {
+    PatternTemplateField f;
+    if (s.tryTake('?')) {
+      if (std::isdigit(static_cast<unsigned char>(s.peek()))) {
+        f.kind = PatternTemplateField::Kind::BoundRef;
+        f.ref = static_cast<std::uint16_t>(s.integer());
+      } else {
+        f.kind = PatternTemplateField::Kind::Formal;
+        f.formal_type = parseTypeWord(s);
+      }
+    } else {
+      f.kind = PatternTemplateField::Kind::Actual;
+      f.actual = s.value();
+    }
+    p.fields.push_back(std::move(f));
+  } while (s.tryTake(','));
+  s.expect(')');
+  return p;
+}
+
+BodyOp parseBodyOp(AgsScanner& s) {
+  const std::string w = s.word();
+  if (w == "out") {
+    const TsHandle h = parseHandle(s);
+    return opOut(h, parseTemplate(s));
+  }
+  if (w == "inp" || w == "rdp") {
+    const TsHandle h = parseHandle(s);
+    PatternTemplate p = parsePatternTemplate(s);
+    return w == "inp" ? opInp(h, std::move(p)) : opRdp(h, std::move(p));
+  }
+  if (w == "move" || w == "copy") {
+    const TsHandle src = parseHandle(s);
+    const TsHandle dst = parseHandle(s);
+    PatternTemplate p = parsePatternTemplate(s);
+    return w == "move" ? opMove(src, dst, std::move(p)) : opCopy(src, dst, std::move(p));
+  }
+  if (w == "create_TS") {
+    s.expect('(');
+    TsAttributes attrs;
+    if (s.tryWord("stable")) {
+      attrs.stable = true;
+    } else if (s.tryWord("volatile")) {
+      attrs.stable = false;
+    } else {
+      s.fail("create_TS wants 'stable' or 'volatile'");
+    }
+    s.expect(',');
+    if (s.tryWord("shared")) {
+      attrs.shared = true;
+    } else if (s.tryWord("private")) {
+      attrs.shared = false;
+    } else {
+      s.fail("create_TS wants 'shared' or 'private'");
+    }
+    s.expect(')');
+    return opCreateTs(attrs);
+  }
+  if (w == "destroy_TS") {
+    return opDestroyTs(parseHandle(s));
+  }
+  s.fail("unknown body operation '" + w + "'");
+}
+
+Guard parseGuard(AgsScanner& s) {
+  if (s.tryWord("true")) return guardTrue();
+  const std::string w = s.word();
+  Guard::Kind kind;
+  if (w == "in") {
+    kind = Guard::Kind::In;
+  } else if (w == "rd") {
+    kind = Guard::Kind::Rd;
+  } else if (w == "inp") {
+    kind = Guard::Kind::Inp;
+  } else if (w == "rdp") {
+    kind = Guard::Kind::Rdp;
+  } else {
+    s.fail("unknown guard '" + w + "' (want true/in/rd/inp/rdp)");
+  }
+  const TsHandle h = parseHandle(s);
+  tuple::Pattern p = s.pattern();
+  switch (kind) {
+    case Guard::Kind::In: return guardIn(h, std::move(p));
+    case Guard::Kind::Rd: return guardRd(h, std::move(p));
+    case Guard::Kind::Inp: return guardInp(h, std::move(p));
+    default: return guardRdp(h, std::move(p));
+  }
+}
+
+Branch parseBranch(AgsScanner& s) {
+  Branch b;
+  b.guard = parseGuard(s);
+  s.expect('=');
+  s.expect('>');
+  if (s.tryWord("skip")) return b;
+  do {
+    b.body.push_back(parseBodyOp(s));
+  } while (s.tryTake(';'));
+  return b;
+}
+
+std::string valueToText(const Value& v) {
+  switch (v.type()) {
+    case ValueType::Str: {
+      // Value::toString does not escape; emit the grammar's escape set so
+      // quotes and newlines round-trip (other bytes pass through raw).
+      std::string out = "\"";
+      for (char c : v.asStr()) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out.push_back(c);
+        }
+      }
+      out += '"';
+      return out;
+    }
+    case ValueType::Real: {
+      // Value::toString may print a whole real without '.', which would
+      // re-parse as an int; force a real-typed literal with full precision.
+      std::ostringstream os;
+      os.precision(17);
+      os << v.asReal();
+      std::string s = os.str();
+      if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueType::Blob: {
+      static const char* digits =
+          "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+      const Bytes& b = v.asBlob();
+      std::string out = "b64\"";
+      for (std::size_t i = 0; i < b.size(); i += 3) {
+        std::uint32_t acc = static_cast<std::uint32_t>(b[i]) << 16;
+        if (i + 1 < b.size()) acc |= static_cast<std::uint32_t>(b[i + 1]) << 8;
+        if (i + 2 < b.size()) acc |= b[i + 2];
+        out += digits[(acc >> 18) & 0x3f];
+        out += digits[(acc >> 12) & 0x3f];
+        out += i + 1 < b.size() ? digits[(acc >> 6) & 0x3f] : '=';
+        out += i + 2 < b.size() ? digits[acc & 0x3f] : '=';
+      }
+      out += '"';
+      return out;
+    }
+    default:
+      return v.toString();  // int / bool / quoted string round-trip as-is
+  }
+}
+
+void renderTemplate(std::ostringstream& os, const TupleTemplate& t) {
+  os << '(';
+  for (std::size_t i = 0; i < t.fields.size(); ++i) {
+    if (i) os << ", ";
+    const TemplateField& f = t.fields[i];
+    switch (f.kind) {
+      case TemplateField::Kind::Literal:
+        os << valueToText(f.literal);
+        break;
+      case TemplateField::Kind::FormalRef:
+        os << '?' << f.formal_index;
+        break;
+      case TemplateField::Kind::Expr: {
+        const char* op = f.arith == ArithOp::Add ? "+" : f.arith == ArithOp::Sub ? "-" : "*";
+        os << '?' << f.formal_index << ' ' << op << ' ' << valueToText(f.literal);
+        break;
+      }
+    }
+  }
+  os << ')';
+}
+
+void renderPatternTemplate(std::ostringstream& os, const PatternTemplate& p) {
+  os << '(';
+  for (std::size_t i = 0; i < p.fields.size(); ++i) {
+    if (i) os << ", ";
+    const PatternTemplateField& f = p.fields[i];
+    switch (f.kind) {
+      case PatternTemplateField::Kind::Actual:
+        os << valueToText(f.actual);
+        break;
+      case PatternTemplateField::Kind::Formal:
+        os << '?' << tuple::valueTypeName(f.formal_type);
+        break;
+      case PatternTemplateField::Kind::BoundRef:
+        os << '?' << f.ref;
+        break;
+    }
+  }
+  os << ')';
+}
+
+void renderPattern(std::ostringstream& os, const tuple::Pattern& p) {
+  os << '(';
+  const auto& fields = p.fields();
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) os << ", ";
+    if (fields[i].kind == tuple::PatternField::Kind::Actual) {
+      os << valueToText(fields[i].actual);
+    } else {
+      os << '?' << tuple::valueTypeName(fields[i].formal_type);
+    }
+  }
+  os << ')';
+}
+
+}  // namespace
+
+Ags parseAgsAt(std::string_view text, std::size_t& pos) {
+  AgsScanner s(text, pos);
+  s.expect('<');
+  Ags ags;
+  do {
+    ags.branches.push_back(parseBranch(s));
+  } while (s.tryWord("or"));
+  s.expect('>');
+  pos = s.pos();
+  return ags;
+}
+
+Ags parseAgs(std::string_view text) {
+  std::size_t pos = 0;
+  Ags ags = parseAgsAt(text, pos);
+  AgsScanner s(text, pos);
+  s.skipWs();
+  if (s.pos() < text.size()) s.fail("trailing input after AGS");
+  return ags;
+}
+
+std::string handleToText(TsHandle h) {
+  if (h == ts::kTsMain) return "TSmain";
+  std::ostringstream os;
+  if (ts::isLocalHandle(h)) {
+    os << "scratch" << (h & ~ts::kLocalHandleBit);
+  } else {
+    os << "ts" << h;
+  }
+  return os.str();
+}
+
+std::string agsToText(const Ags& ags) {
+  std::ostringstream os;
+  os << "< ";
+  for (std::size_t i = 0; i < ags.branches.size(); ++i) {
+    if (i) os << " or ";
+    const Branch& b = ags.branches[i];
+    switch (b.guard.kind) {
+      case Guard::Kind::True: os << "true"; break;
+      case Guard::Kind::In: os << "in "; break;
+      case Guard::Kind::Rd: os << "rd "; break;
+      case Guard::Kind::Inp: os << "inp "; break;
+      case Guard::Kind::Rdp: os << "rdp "; break;
+    }
+    if (b.guard.kind != Guard::Kind::True) {
+      os << handleToText(b.guard.ts) << ' ';
+      renderPattern(os, b.guard.pattern);
+    }
+    os << " => ";
+    if (b.body.empty()) {
+      os << "skip";
+    } else {
+      for (std::size_t j = 0; j < b.body.size(); ++j) {
+        if (j) os << "; ";
+        const BodyOp& op = b.body[j];
+        switch (op.op) {
+          case OpCode::Out:
+            os << "out " << handleToText(op.ts) << ' ';
+            renderTemplate(os, op.tmpl);
+            break;
+          case OpCode::Inp:
+          case OpCode::Rdp:
+            os << opCodeName(op.op) << ' ' << handleToText(op.ts) << ' ';
+            renderPatternTemplate(os, op.pattern);
+            break;
+          case OpCode::Move:
+          case OpCode::Copy:
+            os << opCodeName(op.op) << ' ' << handleToText(op.ts) << ' '
+               << handleToText(op.dst) << ' ';
+            renderPatternTemplate(os, op.pattern);
+            break;
+          case OpCode::CreateTs:
+            os << "create_TS(" << (op.create_attrs.stable ? "stable" : "volatile") << ", "
+               << (op.create_attrs.shared ? "shared" : "private") << ')';
+            break;
+          case OpCode::DestroyTs:
+            os << "destroy_TS " << handleToText(op.ts);
+            break;
+        }
+      }
+    }
+  }
+  os << " >";
+  return os.str();
+}
+
+}  // namespace ftl::ftlinda

@@ -1,0 +1,48 @@
+// Textual form of an Atomic Guarded Statement — the notation the paper
+// writes, embedding the tuple language of tuple/parse.hpp:
+//
+//   < in TSmain ("count", ?int) => out TSmain ("count", ?0 + 1)
+//     or true => out TSmain ("count", 0) >
+//
+// Grammar (whitespace-insensitive; `#` starts a to-end-of-line comment):
+//   ags      := '<' branch ('or' branch)* '>'
+//   branch   := guard '=>' body
+//   guard    := 'true' | ('in'|'rd'|'inp'|'rdp') handle pattern
+//   body     := 'skip' | op (';' op)*
+//   op       := 'out' handle template
+//            | ('inp'|'rdp') handle ptemplate
+//            | ('move'|'copy') handle handle ptemplate
+//            | 'create_TS' '(' ('stable'|'volatile') ',' ('shared'|'private') ')'
+//            | 'destroy_TS' handle
+//   handle   := 'TSmain' | 'ts' INT | 'scratch' INT     (scratch = local)
+//   template := '(' [tfield (',' tfield)*] ')'
+//   tfield   := value | '?' INT [('+'|'-'|'*') value]   (?N = guard formal N)
+//   ptemplate:= '(' [pfield (',' pfield)*] ')'
+//   pfield   := value | '?' typename | '?' INT
+//   pattern / value := as in tuple/parse.hpp
+//
+// This is the dump format ftl-lint consumes (tools/ftl_lint.cpp), written by
+// agsToText so every statement round-trips: parseAgs(agsToText(a)) == a's
+// encoding. Parse errors throw ftl::Error with the absolute input offset.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ftlinda/ops.hpp"
+
+namespace ftl::ftlinda {
+
+/// Parse one AGS starting at `pos`; advances `pos` past the closing '>'.
+Ags parseAgsAt(std::string_view text, std::size_t& pos);
+
+/// Parse a whole string holding exactly one AGS (trailing input is an error).
+Ags parseAgs(std::string_view text);
+
+/// Render in the grammar above, one line. Inverse of parseAgs.
+std::string agsToText(const Ags& ags);
+
+/// Render a handle ("TSmain", "ts7", "scratch3").
+std::string handleToText(TsHandle h);
+
+}  // namespace ftl::ftlinda

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "ftlinda/verify.hpp"
 
 namespace ftl::ftlinda {
 
@@ -10,41 +11,6 @@ namespace {
 
 using ts::isLocalHandle;
 using ts::TsRegistry;
-using tuple::PatternField;
-
-/// The types the guard's formals bind, in formal order (empty for True).
-std::vector<ValueType> bindingTypes(const Guard& g) {
-  std::vector<ValueType> types;
-  if (g.kind == Guard::Kind::True) return types;
-  for (const auto& f : g.pattern.fields()) {
-    if (f.kind == PatternField::Kind::Formal) types.push_back(f.formal_type);
-  }
-  return types;
-}
-
-std::string checkTemplateRefs(const TupleTemplate& t, const std::vector<ValueType>& btypes) {
-  for (const auto& f : t.fields) {
-    if (f.kind == TemplateField::Kind::Literal) continue;
-    if (f.formal_index >= btypes.size()) return "template references formal beyond guard's";
-    if (f.kind == TemplateField::Kind::Expr) {
-      const ValueType bt = btypes[f.formal_index];
-      if (bt != ValueType::Int && bt != ValueType::Real) {
-        return "arithmetic requires an int or real formal";
-      }
-      if (f.literal.type() != bt) return "arithmetic operand type mismatch";
-    }
-  }
-  return {};
-}
-
-std::string checkPatternRefs(const PatternTemplate& p, const std::vector<ValueType>& btypes) {
-  for (const auto& f : p.fields) {
-    if (f.kind == PatternTemplateField::Kind::BoundRef && f.ref >= btypes.size()) {
-      return "pattern references formal beyond guard's";
-    }
-  }
-  return {};
-}
 
 /// Is `h` usable as a WRITE-ONLY destination outside the registry?
 bool externalLocalDst(TsHandle h, const TsRegistry& reg, ExecMode mode) {
@@ -74,9 +40,12 @@ std::string checkHandleWritable(TsHandle h, const TsRegistry& reg, ExecMode mode
 }  // namespace
 
 std::string validateAgs(const Ags& ags, const TsRegistry& reg, ExecMode mode) {
-  if (ags.branches.empty()) return "AGS has no branches";
+  // Static (registry-independent) rules first — the same pass the client ran
+  // before multicasting, repeated here so a statement that arrived through
+  // any other path (hostile client, corrupt snapshot) yields the identical
+  // deterministic error at every replica instead of UB. See verify.hpp.
+  if (VerifyResult vr = verify(ags); !vr.ok()) return vr.toString();
   for (const auto& branch : ags.branches) {
-    const auto btypes = bindingTypes(branch.guard);
     if (branch.guard.kind != Guard::Kind::True) {
       if (auto e = checkHandleReadable(branch.guard.ts, reg, mode, "guard"); !e.empty()) {
         return e;
@@ -86,7 +55,6 @@ std::string validateAgs(const Ags& ags, const TsRegistry& reg, ExecMode mode) {
       switch (op.op) {
         case OpCode::Out: {
           if (auto e = checkHandleWritable(op.ts, reg, mode, "out"); !e.empty()) return e;
-          if (auto e = checkTemplateRefs(op.tmpl, btypes); !e.empty()) return e;
           break;
         }
         case OpCode::Inp:
@@ -94,7 +62,6 @@ std::string validateAgs(const Ags& ags, const TsRegistry& reg, ExecMode mode) {
           if (auto e = checkHandleReadable(op.ts, reg, mode, opCodeName(op.op)); !e.empty()) {
             return e;
           }
-          if (auto e = checkPatternRefs(op.pattern, btypes); !e.empty()) return e;
           break;
         }
         case OpCode::Move:
@@ -106,7 +73,6 @@ std::string validateAgs(const Ags& ags, const TsRegistry& reg, ExecMode mode) {
               !e.empty()) {
             return e;
           }
-          if (auto e = checkPatternRefs(op.pattern, btypes); !e.empty()) return e;
           break;
         }
         case OpCode::CreateTs: {
@@ -119,10 +85,10 @@ std::string validateAgs(const Ags& ags, const TsRegistry& reg, ExecMode mode) {
           break;
         }
         case OpCode::DestroyTs: {
+          // TSmain and use-after-destroy are already rejected by verify().
           if (auto e = checkHandleReadable(op.ts, reg, mode, "destroy_TS"); !e.empty()) {
             return e;
           }
-          if (op.ts == ts::kTsMain) return "destroy_TS: TSmain cannot be destroyed";
           break;
         }
       }
@@ -191,6 +157,10 @@ ExecResult tryExecuteAgs(const Ags& ags, TsRegistry& reg, ExecMode mode) {
     result.reply.error = std::move(err);
     return result;
   }
+  // Replica-side statement of the guarantee: past validation, the statement
+  // is statically well-formed — every bindings[] access in eval/resolve is
+  // in range and every arith is numeric (debug builds re-check).
+  FTL_DASSERT(verify(ags).ok(), "verifier-rejected AGS survived validation");
   for (std::size_t i = 0; i < ags.branches.size(); ++i) {
     const Branch& branch = ags.branches[i];
     const Guard& g = branch.guard;

@@ -6,7 +6,25 @@
 
 namespace ftl::ftlinda {
 
+namespace {
+
+// Decode-path defence: enum bytes come off the wire (or out of a snapshot),
+// so range-check them before the cast — a flipped bit must become a clean
+// ftl::Error at decode time, never an out-of-range enum that downstream
+// switches treat as UB. The static verifier (verify.hpp) re-checks the same
+// ranges for statements constructed in memory.
+template <typename E>
+E decodeEnum(std::uint8_t raw, E max, const char* what) {
+  FTL_CHECK(raw <= static_cast<std::uint8_t>(max), std::string("corrupt ") + what + " byte");
+  return static_cast<E>(raw);
+}
+
+}  // namespace
+
 Value TemplateField::eval(const std::vector<Value>& bindings) const {
+  // bindings[] accesses stay guarded even though the verifier (rule
+  // formal-out-of-range) rejects such statements before execution: this is
+  // the last line of defence on the replica hot path.
   switch (kind) {
     case Kind::Literal:
       return literal;
@@ -59,7 +77,7 @@ void TemplateField::encode(Writer& w) const {
 
 TemplateField TemplateField::decode(Reader& r) {
   TemplateField f;
-  f.kind = static_cast<Kind>(r.u8());
+  f.kind = decodeEnum(r.u8(), Kind::Expr, "template-field kind");
   switch (f.kind) {
     case Kind::Literal:
       f.literal = Value::decode(r);
@@ -69,7 +87,7 @@ TemplateField TemplateField::decode(Reader& r) {
       break;
     case Kind::Expr:
       f.formal_index = r.u16();
-      f.arith = static_cast<ArithOp>(r.u8());
+      f.arith = decodeEnum(r.u8(), ArithOp::Mul, "arith op");
       f.literal = Value::decode(r);
       break;
   }
@@ -133,10 +151,10 @@ void PatternTemplateField::encode(Writer& w) const {
 
 PatternTemplateField PatternTemplateField::decode(Reader& r) {
   PatternTemplateField f;
-  f.kind = static_cast<Kind>(r.u8());
+  f.kind = decodeEnum(r.u8(), Kind::BoundRef, "pattern-field kind");
   switch (f.kind) {
     case Kind::Actual: f.actual = Value::decode(r); break;
-    case Kind::Formal: f.formal_type = static_cast<ValueType>(r.u8()); break;
+    case Kind::Formal: f.formal_type = decodeEnum(r.u8(), ValueType::Blob, "value type"); break;
     case Kind::BoundRef: f.ref = r.u16(); break;
   }
   return f;
@@ -154,6 +172,7 @@ Pattern PatternTemplate::resolve(const std::vector<Value>& bindings) const {
         out.push_back(tuple::formal(f.formal_type));
         break;
       case PatternTemplateField::Kind::BoundRef:
+        // Guarded despite verifier rule bound-ref-out-of-range — see eval().
         FTL_CHECK(f.ref < bindings.size(), "pattern references unbound formal");
         out.push_back(tuple::actual(bindings[f.ref]));
         break;
@@ -222,7 +241,7 @@ void BodyOp::encode(Writer& w) const {
 
 BodyOp BodyOp::decode(Reader& r) {
   BodyOp b;
-  b.op = static_cast<OpCode>(r.u8());
+  b.op = decodeEnum(r.u8(), OpCode::DestroyTs, "opcode");
   b.ts = r.u64();
   b.dst = r.u64();
   switch (b.op) {
@@ -310,7 +329,7 @@ void Guard::encode(Writer& w) const {
 
 Guard Guard::decode(Reader& r) {
   Guard g;
-  g.kind = static_cast<Kind>(r.u8());
+  g.kind = decodeEnum(r.u8(), Kind::Rdp, "guard kind");
   if (g.kind != Kind::True) {
     g.ts = r.u64();
     g.pattern = Pattern::decode(r);

@@ -1,6 +1,7 @@
 #include "ftlinda/runtime.hpp"
 
 #include "common/logging.hpp"
+#include "ftlinda/verify.hpp"
 
 namespace ftl::ftlinda {
 
@@ -76,6 +77,12 @@ bool entirelyLocalAgs(const Ags& ags) {
 
 Reply Runtime::execute(const Ags& ags) {
   if (crashed_.load()) throw ProcessorFailure(host_);
+  // FT-lcc rejects malformed statements at compile time; we reject them here,
+  // before the statement is encoded or multicast, so a bad AGS costs its
+  // issuer a local exception instead of work at every replica.
+  if (VerifyResult vr = verify(ags); !vr.ok()) {
+    throw Error("AGS rejected by verifier: " + vr.toString());
+  }
   if (entirelyLocalAgs(ags)) {
     try {
       return scratch_.execute(ags, [this] { return crashed_.load(); });

@@ -1,6 +1,7 @@
 #include "ftlinda/tuple_server.hpp"
 
 #include "common/logging.hpp"
+#include "ftlinda/verify.hpp"
 
 namespace ftl::ftlinda {
 
@@ -33,6 +34,18 @@ std::size_t TupleServer::pendingForwards() const {
 void TupleServer::onRpcRequest(const net::Message& m) {
   Command cmd = Command::decode(m.payload);
   const std::uint64_t client_rid = cmd.request_id;
+  // Defensive re-verification at the trust boundary: the client library ran
+  // the same pass, but RPC clients are not part of the replica group, so a
+  // malformed statement is refused HERE with a direct error reply rather
+  // than multicast to every replica.
+  if (cmd.kind == CommandKind::ExecuteAgs) {
+    if (VerifyResult vr = verify(cmd.ags); !vr.ok()) {
+      Reply reject;
+      reject.error = "AGS rejected by verifier: " + vr.toString();
+      ep_.send(m.src, kRpcReplyType, encodeRpcReply(client_rid, reject));
+      return;
+    }
+  }
   const std::uint64_t server_rid = next_rid_.fetch_add(1);
   cmd.request_id = server_rid;
   {
@@ -139,6 +152,11 @@ Reply RemoteRuntime::rpc(Command cmd) {
 
 Reply RemoteRuntime::execute(const Ags& ags) {
   if (crashed_.load()) throw ProcessorFailure(host_);
+  // Same submission-time gate as Runtime::execute: a malformed statement
+  // never reaches the wire (here: the RPC to the tuple server).
+  if (VerifyResult vr = verify(ags); !vr.ok()) {
+    throw Error("AGS rejected by verifier: " + vr.toString());
+  }
   if (entirelyLocalAgs(ags)) {
     try {
       return scratch_.execute(ags, [this] { return crashed_.load(); });

@@ -1,0 +1,339 @@
+#include "ftlinda/verify.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ftl::ftlinda {
+
+namespace {
+
+using tuple::PatternField;
+
+constexpr std::uint8_t kMaxGuardKind = static_cast<std::uint8_t>(Guard::Kind::Rdp);
+constexpr std::uint8_t kMaxOpCode = static_cast<std::uint8_t>(OpCode::DestroyTs);
+constexpr std::uint8_t kMaxArithOp = static_cast<std::uint8_t>(ArithOp::Mul);
+constexpr std::uint8_t kMaxValueType = static_cast<std::uint8_t>(ValueType::Blob);
+
+const char* arithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::Add: return "+";
+    case ArithOp::Sub: return "-";
+    case ArithOp::Mul: return "*";
+  }
+  return "?";
+}
+
+/// Collects diagnostics while walking one statement.
+class Checker {
+ public:
+  Checker(const VerifyLimits& limits, VerifyResult& out) : limits_(limits), out_(out) {}
+
+  void statement(const Ags& ags) {
+    if (ags.branches.empty()) {
+      add(Severity::Error, RuleId::NoBranches, "AGS has no branches");
+      return;
+    }
+    if (ags.branches.size() > limits_.max_branches) {
+      std::ostringstream os;
+      os << ags.branches.size() << " branches exceed the limit of " << limits_.max_branches;
+      add(Severity::Error, RuleId::TooManyBranches, os.str());
+    }
+    bool saw_true_guard = false;
+    for (std::size_t i = 0; i < ags.branches.size(); ++i) {
+      branch_ = static_cast<std::int32_t>(i);
+      op_ = -1;
+      field_ = -1;
+      if (saw_true_guard) {
+        add(Severity::Warning, RuleId::UnreachableBranch,
+            "unreachable: an earlier branch has guard `true`, which always fires first");
+        saw_true_guard = false;  // one warning marks the rest
+      }
+      branch(ags.branches[i]);
+      if (ags.branches[i].guard.kind == Guard::Kind::True) saw_true_guard = true;
+    }
+  }
+
+ private:
+  void add(Severity sev, RuleId id, std::string msg) {
+    Diagnostic d;
+    d.severity = sev;
+    d.branch = branch_;
+    d.op_index = op_;
+    d.field_index = field_;
+    d.rule_id = id;
+    d.message = std::move(msg);
+    out_.diagnostics.push_back(std::move(d));
+  }
+
+  void branch(const Branch& b) {
+    current_guard_ = &b.guard;
+    const std::size_t formals = guard(b.guard);
+    if (b.body.size() > limits_.max_body_ops) {
+      std::ostringstream os;
+      os << b.body.size() << " body operations exceed the limit of " << limits_.max_body_ops;
+      add(Severity::Error, RuleId::BodyTooLong, os.str());
+    }
+    // Handles destroyed so far in this body: any later reference is a
+    // deterministic error at execution time, so flag it statically.
+    std::vector<TsHandle> destroyed;
+    const auto dead = [&](TsHandle h) {
+      return std::find(destroyed.begin(), destroyed.end(), h) != destroyed.end();
+    };
+    for (std::size_t j = 0; j < b.body.size(); ++j) {
+      op_ = static_cast<std::int32_t>(j);
+      field_ = -1;
+      const BodyOp& op = b.body[j];
+      if (static_cast<std::uint8_t>(op.op) > kMaxOpCode) {
+        std::ostringstream os;
+        os << "opcode byte " << static_cast<unsigned>(op.op)
+           << " is outside the body-operation set";
+        add(Severity::Error, RuleId::BadOpCode, os.str());
+        continue;  // nothing else is interpretable
+      }
+      switch (op.op) {
+        case OpCode::Out:
+          checkDead(dead, op.ts, "out");
+          tupleTemplate(op.tmpl, formals);
+          break;
+        case OpCode::Inp:
+        case OpCode::Rdp:
+          checkDead(dead, op.ts, opCodeName(op.op));
+          patternTemplate(op.pattern, formals);
+          break;
+        case OpCode::Move:
+        case OpCode::Copy: {
+          const bool is_move = op.op == OpCode::Move;
+          checkDead(dead, op.ts, "move/copy source");
+          checkDead(dead, op.dst, "move/copy destination");
+          if (op.ts == op.dst) {
+            if (is_move) {
+              add(Severity::Error, RuleId::MoveAliasedHandles,
+                  "move with identical source and destination is a no-op that "
+                  "reorders the space");
+            } else {
+              add(Severity::Warning, RuleId::CopyAliasedHandles,
+                  "copy with identical source and destination duplicates every match");
+            }
+          }
+          patternTemplate(op.pattern, formals);
+          break;
+        }
+        case OpCode::CreateTs:
+          break;
+        case OpCode::DestroyTs:
+          if (op.ts == ts::kTsMain) {
+            add(Severity::Error, RuleId::DestroyTsMain, "destroy_TS targets TSmain");
+          }
+          checkDead(dead, op.ts, "destroy_TS");
+          destroyed.push_back(op.ts);
+          break;
+      }
+    }
+    op_ = -1;
+  }
+
+  template <typename DeadFn>
+  void checkDead(const DeadFn& dead, TsHandle h, const char* what) {
+    if (!dead(h)) return;
+    std::ostringstream os;
+    os << what << " references a tuple space destroyed earlier in this body";
+    add(Severity::Error, RuleId::UseAfterDestroy, os.str());
+  }
+
+  /// Checks the guard and returns the number of formals it binds (what the
+  /// body may reference). A corrupt guard binds nothing.
+  std::size_t guard(const Guard& g) {
+    if (static_cast<std::uint8_t>(g.kind) > kMaxGuardKind) {
+      std::ostringstream os;
+      os << "guard kind byte " << static_cast<unsigned>(g.kind) << " is outside the guard set";
+      add(Severity::Error, RuleId::BadGuardKind, os.str());
+      return 0;
+    }
+    if (g.kind == Guard::Kind::True) return 0;
+    if (g.pattern.arity() > limits_.max_fields) {
+      std::ostringstream os;
+      os << "guard pattern has " << g.pattern.arity() << " fields, limit "
+         << limits_.max_fields;
+      add(Severity::Error, RuleId::TooManyFields, os.str());
+    }
+    std::size_t formals = 0;
+    const auto& fields = g.pattern.fields();
+    for (std::size_t k = 0; k < fields.size(); ++k) {
+      field_ = static_cast<std::int32_t>(k);
+      const PatternField& f = fields[k];
+      if (static_cast<std::uint8_t>(f.kind) > 1) {
+        add(Severity::Error, RuleId::BadFieldKind, "guard pattern field kind is corrupt");
+        continue;
+      }
+      if (f.kind == PatternField::Kind::Formal) {
+        if (static_cast<std::uint8_t>(f.formal_type) > kMaxValueType) {
+          add(Severity::Error, RuleId::BadValueType, "guard formal has a corrupt type byte");
+        } else {
+          ++formals;
+        }
+      }
+    }
+    field_ = -1;
+    return formals;
+  }
+
+  /// Type of guard formal `i` (only valid when i < formal count). Looked up
+  /// lazily: formals are numbered left-to-right across the guard pattern.
+  ValueType formalType(const Guard& g, std::size_t i) const {
+    std::size_t seen = 0;
+    for (const auto& f : g.pattern.fields()) {
+      if (f.kind != PatternField::Kind::Formal) continue;
+      if (seen == i) return f.formal_type;
+      ++seen;
+    }
+    return ValueType::Int;  // unreachable when callers bound-check first
+  }
+
+  void tupleTemplate(const TupleTemplate& t, std::size_t formals) {
+    if (t.fields.size() > limits_.max_fields) {
+      std::ostringstream os;
+      os << "out template has " << t.fields.size() << " fields, limit " << limits_.max_fields;
+      add(Severity::Error, RuleId::TooManyFields, os.str());
+    }
+    for (std::size_t k = 0; k < t.fields.size(); ++k) {
+      field_ = static_cast<std::int32_t>(k);
+      const TemplateField& f = t.fields[k];
+      if (static_cast<std::uint8_t>(f.kind) > 2) {
+        add(Severity::Error, RuleId::BadFieldKind, "template field kind is corrupt");
+        continue;
+      }
+      if (f.kind == TemplateField::Kind::Literal) continue;
+      if (f.formal_index >= formals) {
+        std::ostringstream os;
+        os << "field references formal ?" << f.formal_index << " but the guard binds "
+           << formals << " formal(s)";
+        add(Severity::Error, RuleId::FormalOutOfRange, os.str());
+        continue;
+      }
+      if (f.kind == TemplateField::Kind::Expr) {
+        if (static_cast<std::uint8_t>(f.arith) > kMaxArithOp) {
+          add(Severity::Error, RuleId::BadArithOp, "arithmetic opcode byte is corrupt");
+          continue;
+        }
+        const ValueType bt = formalType(*current_guard_, f.formal_index);
+        if (bt != ValueType::Int && bt != ValueType::Real) {
+          std::ostringstream os;
+          os << "arithmetic `?" << f.formal_index << " " << arithOpName(f.arith)
+             << " ...` requires an int or real formal, got " << tuple::valueTypeName(bt);
+          add(Severity::Error, RuleId::ArithNonNumericFormal, os.str());
+        } else if (f.literal.type() != bt) {
+          std::ostringstream os;
+          os << "arithmetic operand is " << tuple::valueTypeName(f.literal.type())
+             << " but formal ?" << f.formal_index << " is " << tuple::valueTypeName(bt);
+          add(Severity::Error, RuleId::ArithOperandMismatch, os.str());
+        }
+      }
+    }
+    field_ = -1;
+  }
+
+  void patternTemplate(const PatternTemplate& p, std::size_t formals) {
+    if (p.fields.size() > limits_.max_fields) {
+      std::ostringstream os;
+      os << "pattern has " << p.fields.size() << " fields, limit " << limits_.max_fields;
+      add(Severity::Error, RuleId::TooManyFields, os.str());
+    }
+    for (std::size_t k = 0; k < p.fields.size(); ++k) {
+      field_ = static_cast<std::int32_t>(k);
+      const PatternTemplateField& f = p.fields[k];
+      if (static_cast<std::uint8_t>(f.kind) > 2) {
+        add(Severity::Error, RuleId::BadFieldKind, "pattern field kind is corrupt");
+        continue;
+      }
+      if (f.kind == PatternTemplateField::Kind::Formal &&
+          static_cast<std::uint8_t>(f.formal_type) > kMaxValueType) {
+        add(Severity::Error, RuleId::BadValueType, "pattern formal has a corrupt type byte");
+      }
+      if (f.kind == PatternTemplateField::Kind::BoundRef && f.ref >= formals) {
+        std::ostringstream os;
+        os << "pattern references formal ?" << f.ref << " but the guard binds " << formals
+           << " formal(s)";
+        add(Severity::Error, RuleId::BoundRefOutOfRange, os.str());
+      }
+    }
+    field_ = -1;
+  }
+
+  const VerifyLimits& limits_;
+  VerifyResult& out_;
+  const Guard* current_guard_ = nullptr;
+  std::int32_t branch_ = -1;
+  std::int32_t op_ = -1;
+  std::int32_t field_ = -1;
+};
+
+}  // namespace
+
+const char* ruleIdName(RuleId id) {
+  switch (id) {
+    case RuleId::NoBranches: return "no-branches";
+    case RuleId::BadGuardKind: return "bad-guard-kind";
+    case RuleId::BadOpCode: return "bad-opcode";
+    case RuleId::BadArithOp: return "bad-arith-op";
+    case RuleId::BadFieldKind: return "bad-field-kind";
+    case RuleId::BadValueType: return "bad-value-type";
+    case RuleId::UnreachableBranch: return "unreachable-branch";
+    case RuleId::FormalOutOfRange: return "formal-out-of-range";
+    case RuleId::BoundRefOutOfRange: return "bound-ref-out-of-range";
+    case RuleId::ArithNonNumericFormal: return "arith-non-numeric-formal";
+    case RuleId::ArithOperandMismatch: return "arith-operand-mismatch";
+    case RuleId::MoveAliasedHandles: return "move-aliased-handles";
+    case RuleId::CopyAliasedHandles: return "copy-aliased-handles";
+    case RuleId::DestroyTsMain: return "destroy-ts-main";
+    case RuleId::UseAfterDestroy: return "use-after-destroy";
+    case RuleId::TooManyBranches: return "too-many-branches";
+    case RuleId::BodyTooLong: return "body-too-long";
+    case RuleId::TooManyFields: return "too-many-fields";
+  }
+  return "unknown-rule";
+}
+
+std::string Diagnostic::toString() const {
+  std::ostringstream os;
+  os << (severity == Severity::Error ? "error" : "warning") << ": [" << ruleIdName(rule_id)
+     << "]";
+  if (branch >= 0) {
+    os << " branch " << branch;
+    if (op_index >= 0) os << ", op " << op_index;
+    if (field_index >= 0) os << ", field " << field_index;
+  }
+  os << ": " << message;
+  return os.str();
+}
+
+bool VerifyResult::ok() const {
+  for (const auto& d : diagnostics) {
+    if (d.severity == Severity::Error) return false;
+  }
+  return true;
+}
+
+const Diagnostic* VerifyResult::find(RuleId id) const {
+  for (const auto& d : diagnostics) {
+    if (d.rule_id == id) return &d;
+  }
+  return nullptr;
+}
+
+std::string VerifyResult::toString() const {
+  std::string out;
+  for (const auto& d : diagnostics) {
+    if (!out.empty()) out += "; ";
+    out += d.toString();
+  }
+  return out;
+}
+
+VerifyResult verify(const Ags& ags, const VerifyLimits& limits) {
+  VerifyResult result;
+  Checker c(limits, result);
+  c.statement(ags);
+  return result;
+}
+
+}  // namespace ftl::ftlinda

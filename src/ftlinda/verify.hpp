@@ -1,0 +1,108 @@
+// Static verification of Atomic Guarded Statements — the checks FT-lcc
+// performs at compile time (paper §4): guards are the only blocking
+// operations, bodies are non-blocking straight-line code, and every formal
+// reference is well-typed and in range.
+//
+// Our AGSes are built at runtime (there is no compiler front end), so the
+// same guarantees are established by this pass instead. It runs
+//
+//  - at SUBMISSION time in Runtime/RemoteRuntime::execute, before the
+//    statement is encoded or multicast — a rejected AGS never leaves the
+//    issuing processor;
+//  - at the top of the shared executor's validation (defence in depth: a
+//    hostile or buggy client that bypasses the library still produces the
+//    same deterministic error Reply at every replica, never UB);
+//  - in ftl-lint (tools/) over the textual AGS dump format, for CI.
+//
+// Everything here is registry-INDEPENDENT: a verdict depends only on the
+// statement itself, so it is identical at every replica and on the client.
+// Registry-dependent checks (does this handle exist?) stay in
+// executor.cpp's validateAgs.
+//
+// docs/VERIFIER.md lists every rule with the paper clause it enforces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftlinda/ops.hpp"
+
+namespace ftl::ftlinda {
+
+/// Errors make verify() fail (the AGS is refused); warnings flag legal but
+/// suspicious statements (ftl-lint prints them, execution ignores them).
+enum class Severity : std::uint8_t { Error = 0, Warning = 1 };
+
+/// Stable identifiers for every rule the verifier enforces, grouped by
+/// hundreds: V0xx structural, V1xx formal references, V2xx types, V3xx
+/// handles, V4xx resource limits.
+enum class RuleId : std::uint8_t {
+  // structural (V0xx)
+  NoBranches = 0,        // AGS has an empty branch list
+  BadGuardKind,          // guard kind byte outside the Guard::Kind enum
+  BadOpCode,             // body opcode byte outside the OpCode enum
+  BadArithOp,            // ArithOp byte outside the enum
+  BadFieldKind,          // template/pattern field kind outside its enum
+  BadValueType,          // formal type byte outside the ValueType enum
+  UnreachableBranch,     // warning: branch after a guardTrue() branch
+  // formal references (V1xx)
+  FormalOutOfRange,      // out-template bound()/boundExpr() index >= formals
+  BoundRefOutOfRange,    // body-pattern bound() index >= formals
+  // type rules (V2xx)
+  ArithNonNumericFormal, // boundExpr() on a formal that is not int/real
+  ArithOperandMismatch,  // boundExpr() literal type != the formal's type
+  // handle rules (V3xx)
+  MoveAliasedHandles,    // move with src == dst (a no-op that reorders FIFO)
+  CopyAliasedHandles,    // warning: copy with src == dst (duplicates)
+  DestroyTsMain,         // destroy_TS(TSmain)
+  UseAfterDestroy,       // body op targets a TS destroyed earlier in the body
+  // resource limits (V4xx)
+  TooManyBranches,
+  BodyTooLong,
+  TooManyFields,
+};
+
+/// Kebab-case rule name, e.g. "formal-out-of-range" (stable; used by
+/// ftl-lint output and the test suite).
+const char* ruleIdName(RuleId id);
+
+/// One finding. branch/op_index/field_index are -1 when the finding applies
+/// to the whole statement / the guard / the whole operation respectively.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::int32_t branch = -1;
+  std::int32_t op_index = -1;
+  std::int32_t field_index = -1;
+  RuleId rule_id = RuleId::NoBranches;
+  std::string message;
+
+  /// "error: [destroy-ts-main] branch 0, op 2: destroy_TS targets TSmain"
+  std::string toString() const;
+};
+
+/// Resource ceilings (rule V4xx) so a hostile or buggy client cannot
+/// multicast an unbounded statement to every replica. Generous relative to
+/// anything the paper's programs build; the wire format caps each count at
+/// 65535 regardless.
+struct VerifyLimits {
+  std::size_t max_branches = 128;
+  std::size_t max_body_ops = 1024;
+  std::size_t max_fields = 256;  // per template / pattern
+};
+
+struct VerifyResult {
+  std::vector<Diagnostic> diagnostics;
+
+  /// True iff no Error-severity diagnostic was produced.
+  bool ok() const;
+  /// First diagnostic with the given rule, or nullptr.
+  const Diagnostic* find(RuleId id) const;
+  /// All diagnostics joined with "; " (empty string when clean).
+  std::string toString() const;
+};
+
+/// Run every static check over `ags`. Never throws, never mutates.
+VerifyResult verify(const Ags& ags, const VerifyLimits& limits = {});
+
+}  // namespace ftl::ftlinda

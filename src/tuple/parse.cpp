@@ -12,7 +12,8 @@ namespace {
 /// Recursive-descent scanner over the input text.
 class Scanner {
  public:
-  explicit Scanner(std::string_view text) : text_(text) {}
+  explicit Scanner(std::string_view text, std::size_t start = 0)
+      : text_(text), pos_(start) {}
 
   [[noreturn]] void fail(const std::string& what) const {
     std::ostringstream os;
@@ -124,7 +125,7 @@ class Scanner {
 
  private:
   std::string_view text_;
-  std::size_t pos_ = 0;
+  std::size_t pos_;
 };
 
 int base64Digit(char c) {
@@ -200,8 +201,9 @@ Tuple parseTuple(std::string_view text) {
   return Tuple(std::move(fields));
 }
 
-Pattern parsePattern(std::string_view text) {
-  Scanner s(text);
+namespace {
+
+Pattern parsePatternFrom(Scanner& s) {
   s.expect('(');
   std::vector<PatternField> fields;
   if (!s.tryTake(')')) {
@@ -215,8 +217,30 @@ Pattern parsePattern(std::string_view text) {
     } while (s.tryTake(','));
     s.expect(')');
   }
-  if (!s.atEnd()) s.fail("trailing input after pattern");
   return Pattern(std::move(fields));
+}
+
+}  // namespace
+
+Pattern parsePattern(std::string_view text) {
+  Scanner s(text);
+  Pattern p = parsePatternFrom(s);
+  if (!s.atEnd()) s.fail("trailing input after pattern");
+  return p;
+}
+
+Value parseValueAt(std::string_view text, std::size_t& pos) {
+  Scanner s(text, pos);
+  Value v = parseValueFrom(s);
+  pos = s.pos();
+  return v;
+}
+
+Pattern parsePatternAt(std::string_view text, std::size_t& pos) {
+  Scanner s(text, pos);
+  Pattern p = parsePatternFrom(s);
+  pos = s.pos();
+  return p;
 }
 
 }  // namespace ftl::tuple

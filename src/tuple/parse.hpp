@@ -37,4 +37,12 @@ Pattern parsePattern(std::string_view text);
 /// Render helpers already exist as Tuple::toString / Pattern::toString;
 /// these parse functions are their inverses (round-trip tested).
 
+// Prefix variants for embedding the tuple language inside larger grammars
+// (the AGS text format of ftlinda/ags_text.hpp, the REPL). Each parses one
+// item starting at `pos` and advances `pos` just past it; trailing input is
+// the caller's business. Errors carry the absolute offset into `text`.
+
+Value parseValueAt(std::string_view text, std::size_t& pos);
+Pattern parsePatternAt(std::string_view text, std::size_t& pos);
+
 }  // namespace ftl::tuple

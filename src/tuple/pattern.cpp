@@ -31,11 +31,17 @@ void PatternField::encode(Writer& w) const {
 
 PatternField PatternField::decode(Reader& r) {
   PatternField f;
-  f.kind = static_cast<Kind>(r.u8());
+  const std::uint8_t kind = r.u8();
+  FTL_CHECK(kind <= static_cast<std::uint8_t>(Kind::Formal),
+            "corrupt pattern-field kind byte");
+  f.kind = static_cast<Kind>(kind);
   if (f.kind == Kind::Actual) {
     f.actual = Value::decode(r);
   } else {
-    f.formal_type = static_cast<ValueType>(r.u8());
+    const std::uint8_t type = r.u8();
+    FTL_CHECK(type <= static_cast<std::uint8_t>(ValueType::Blob),
+              "corrupt formal type byte");
+    f.formal_type = static_cast<ValueType>(type);
   }
   return f;
 }
@@ -93,6 +99,7 @@ bool Pattern::operator==(const Pattern& other) const {
 }
 
 void Pattern::encode(Writer& w) const {
+  FTL_CHECK(fields_.size() <= UINT16_MAX, "pattern arity exceeds u16 prefix");
   w.u16(static_cast<std::uint16_t>(fields_.size()));
   for (const auto& f : fields_) f.encode(w);
 }

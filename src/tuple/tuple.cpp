@@ -12,6 +12,7 @@ const Value& Tuple::field(std::size_t i) const {
 }
 
 void Tuple::encode(Writer& w) const {
+  FTL_CHECK(fields_.size() <= UINT16_MAX, "tuple arity exceeds u16 prefix");
   w.u16(static_cast<std::uint16_t>(fields_.size()));
   for (const auto& f : fields_) f.encode(w);
 }

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "consul/messages.hpp"
 #include "ftlinda/protocol.hpp"
+#include "ftlinda/verify.hpp"
 #include "ts/registry.hpp"
 
 namespace ftl {
@@ -73,6 +74,42 @@ TEST(FuzzDecode, TruncationsOfValidEncodings) {
     Bytes prefix(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(len));
     Reader r(prefix);
     EXPECT_THROW((void)tuple::Tuple::decode(r), Error) << "prefix length " << len;
+  }
+}
+
+TEST(FuzzDecode, RandomBytesThroughDecodeAndVerify) {
+  // The replica-side contract: whatever survives Ags::decode is verified
+  // before execution, and verify() itself never throws. Anything the
+  // verifier passes holds the structural invariants execution relies on
+  // (in-range enums and formal indices in every branch).
+  using namespace ftlinda;
+  Xoshiro256 rng(22);
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes b = randomBytes(rng, 400);
+    Ags ags;
+    try {
+      Reader r(b);
+      ags = Ags::decode(r);
+    } catch (const Error&) {
+      continue;
+    } catch (const std::bad_alloc&) {
+      continue;
+    }
+    const VerifyResult vr = verify(ags);
+    if (!vr.ok()) continue;
+    for (const auto& br : ags.branches) {
+      const std::size_t formals =
+          br.guard.kind == Guard::Kind::True ? 0 : br.guard.pattern.formalCount();
+      for (const auto& op : br.body) {
+        ASSERT_LE(static_cast<unsigned>(op.op), static_cast<unsigned>(OpCode::DestroyTs));
+        for (const auto& f : op.tmpl.fields) {
+          if (f.kind != TemplateField::Kind::Literal) ASSERT_LT(f.formal_index, formals);
+        }
+        for (const auto& f : op.pattern.fields) {
+          if (f.kind == PatternTemplateField::Kind::BoundRef) ASSERT_LT(f.ref, formals);
+        }
+      }
+    }
   }
 }
 

@@ -1,0 +1,143 @@
+// Round-trip and error-path tests for the AGS text format (ags_text.hpp),
+// the surface ftl-lint consumes.
+#include <gtest/gtest.h>
+
+#include "ftlinda/ags_text.hpp"
+#include "ftlinda/verify.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::fReal;
+using tuple::fStr;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+Bytes encoded(const Ags& ags) {
+  Writer w;
+  ags.encode(w);
+  return w.take();
+}
+
+/// text -> Ags -> text -> Ags must be a fixed point at the wire level.
+void expectRoundTrip(const Ags& ags) {
+  const std::string text = agsToText(ags);
+  SCOPED_TRACE(text);
+  const Ags reparsed = parseAgs(text);
+  EXPECT_EQ(encoded(reparsed), encoded(ags));
+  EXPECT_EQ(agsToText(reparsed), text);
+}
+
+TEST(AgsText, ParsesPaperStyleStatement) {
+  const Ags ags = parseAgs(
+      "< in TSmain (\"count\", ?int) => out TSmain (\"count\", ?0 + 1)\n"
+      "  or true => out TSmain (\"count\", 0) >");
+  ASSERT_EQ(ags.branches.size(), 2u);
+  EXPECT_EQ(ags.branches[0].guard.kind, Guard::Kind::In);
+  EXPECT_EQ(ags.branches[0].guard.ts, kTsMain);
+  ASSERT_EQ(ags.branches[0].body.size(), 1u);
+  EXPECT_EQ(ags.branches[0].body[0].op, OpCode::Out);
+  EXPECT_EQ(ags.branches[0].body[0].tmpl.fields[1].kind, TemplateField::Kind::Expr);
+  EXPECT_EQ(ags.branches[1].guard.kind, Guard::Kind::True);
+  EXPECT_TRUE(verify(ags).ok());
+}
+
+TEST(AgsText, SkipAndCommentsParse) {
+  const Ags ags = parseAgs(
+      "# reader\n"
+      "< rd TSmain (\"x\", ?int) # the guard\n"
+      "  => skip >");
+  ASSERT_EQ(ags.branches.size(), 1u);
+  EXPECT_EQ(ags.branches[0].guard.kind, Guard::Kind::Rd);
+  EXPECT_TRUE(ags.branches[0].body.empty());
+}
+
+TEST(AgsText, HandleSyntax) {
+  EXPECT_EQ(handleToText(ts::kTsMain), "TSmain");
+  EXPECT_EQ(handleToText(TsHandle{7}), "ts7");
+  EXPECT_EQ(handleToText(ts::kLocalHandleBit | 3), "scratch3");
+  const Ags ags = parseAgs("< true => move scratch3 ts7 (\"x\", ?int) >");
+  EXPECT_EQ(ags.branches[0].body[0].ts, ts::kLocalHandleBit | 3);
+  EXPECT_EQ(ags.branches[0].body[0].dst, TsHandle{7});
+}
+
+TEST(AgsText, RoundTripsEveryOpKind) {
+  TsAttributes attrs;
+  attrs.stable = true;
+  attrs.shared = false;
+  expectRoundTrip(AgsBuilder()
+                      .when(guardIn(kTsMain, makePattern("job", fInt(), fStr())))
+                      .then(opOut(TsHandle{4}, makeTemplate("done", bound(0), bound(1))))
+                      .then(opInp(kTsMain, makePatternTemplate("lock", fInt())))
+                      .then(opRdp(TsHandle{4}, makePatternTemplate("done", bound(0), fStr())))
+                      .then(opMove(TsHandle{4}, ts::kLocalHandleBit | 2,
+                                   makePatternTemplate("done", fInt(), fStr())))
+                      .then(opCopy(kTsMain, TsHandle{4}, makePatternTemplate("audit", fInt())))
+                      .then(opCreateTs(attrs))
+                      .then(opDestroyTs(TsHandle{4}))
+                      .orWhen(guardRdp(TsHandle{4}, makePattern("flag", fInt())))
+                      .orWhen(guardTrue())
+                      .then(opOut(kTsMain, makeTemplate("fallback", 1)))
+                      .build());
+}
+
+TEST(AgsText, RoundTripsEveryValueType) {
+  expectRoundTrip(AgsBuilder()
+                      .when(guardTrue())
+                      .then(opOut(kTsMain, makeTemplate("v", std::int64_t{-7}, 2.5, true, false,
+                                                     std::string("a \"quoted\"\n str"),
+                                                     Bytes{1, 2, 3, 255})))
+                      .build());
+}
+
+TEST(AgsText, RoundTripsAwkwardReals) {
+  // Whole-number and high-precision reals must re-parse as reals.
+  expectRoundTrip(AgsBuilder()
+                      .when(guardIn(kTsMain, makePattern("r", fReal())))
+                      .then(opOut(kTsMain, makeTemplate("w", 3.0, 0.1, 1e-17, -2.0)))
+                      .then(opOut(kTsMain, makeTemplate("s", boundExpr(0, ArithOp::Mul, 2.0))))
+                      .build());
+}
+
+TEST(AgsText, RoundTripsArithOps) {
+  for (const ArithOp op : {ArithOp::Add, ArithOp::Sub, ArithOp::Mul}) {
+    expectRoundTrip(AgsBuilder()
+                        .when(guardIn(kTsMain, makePattern("x", fInt())))
+                        .then(opOut(kTsMain, makeTemplate("x", boundExpr(0, op, 10))))
+                        .build());
+  }
+}
+
+TEST(AgsText, RoundTripsEmptyTemplates) {
+  expectRoundTrip(AgsBuilder()
+                      .when(guardIn(kTsMain, makePattern("go")))
+                      .then(opOut(kTsMain, TupleTemplate{}))
+                      .build());
+}
+
+TEST(AgsText, ParseErrorsCarryOffsets) {
+  EXPECT_THROW(parseAgs(""), Error);
+  EXPECT_THROW(parseAgs("< true => skip"), Error);          // missing '>'
+  EXPECT_THROW(parseAgs("< true => skip > trailing"), Error);
+  EXPECT_THROW(parseAgs("< maybe TSmain (\"x\") => skip >"), Error);  // bad guard
+  EXPECT_THROW(parseAgs("< true => frobnicate TSmain (\"x\") >"), Error);
+  EXPECT_THROW(parseAgs("< true => out TSbogus (\"x\") >"), Error);
+  EXPECT_THROW(parseAgs("< true => create_TS(stable) >"), Error);
+  EXPECT_THROW(parseAgs("< in TSmain (\"x\", ?int) => out TSmain (\"x\", ?0 / 2) >"), Error);
+}
+
+TEST(AgsText, ParseAgsAtAdvancesAcrossStatements) {
+  const std::string two =
+      "< true => out TSmain (\"a\", 1) >  # first\n"
+      "< true => out TSmain (\"b\", 2) >";
+  std::size_t pos = 0;
+  const Ags first = parseAgsAt(two, pos);
+  EXPECT_EQ(first.branches[0].body[0].tmpl.fields[0].literal.asStr(), "a");
+  const Ags second = parseAgsAt(two, pos);
+  EXPECT_EQ(second.branches[0].body[0].tmpl.fields[0].literal.asStr(), "b");
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -1,0 +1,250 @@
+// Negative-path suite for the AGS static verifier: one case per rule_id,
+// plus round-trip checks that (a) a rejected statement never reaches a
+// replica and (b) the verdict survives encode/decode (registry
+// independence — docs/VERIFIER.md).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ftlinda/system.hpp"
+#include "ftlinda/verify.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::fStr;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+constexpr TsHandle kTsAux = 7;       // an arbitrary non-main stable handle
+constexpr TsHandle kScratch = ts::kLocalHandleBit | 1;
+
+Ags oneBranch(Guard g, std::vector<BodyOp> body) {
+  Ags ags;
+  ags.branches.push_back(Branch{std::move(g), std::move(body)});
+  return ags;
+}
+
+/// The diagnostic we expect, and no Error diagnostics of other rules.
+void expectRejected(const Ags& ags, RuleId rule) {
+  const VerifyResult vr = verify(ags);
+  EXPECT_FALSE(vr.ok()) << vr.toString();
+  const Diagnostic* d = vr.find(rule);
+  ASSERT_NE(d, nullptr) << "missing " << ruleIdName(rule) << " in: " << vr.toString();
+  EXPECT_EQ(d->severity, Severity::Error);
+}
+
+TEST(Verify, CleanStatementHasNoDiagnostics) {
+  const Ags ags = AgsBuilder()
+                      .when(guardIn(kTsMain, makePattern("x", fInt())))
+                      .then(opOut(kTsMain, makeTemplate("x", boundExpr(0, ArithOp::Add, 1))))
+                      .orWhen(guardTrue())
+                      .then(opOut(kTsMain, makeTemplate("x", 0)))
+                      .build();
+  const VerifyResult vr = verify(ags);
+  EXPECT_TRUE(vr.ok());
+  EXPECT_TRUE(vr.diagnostics.empty()) << vr.toString();
+}
+
+TEST(Verify, NoBranches) { expectRejected(Ags{}, RuleId::NoBranches); }
+
+TEST(Verify, BadGuardKind) {
+  Ags ags = oneBranch(guardTrue(), {opOut(kTsMain, makeTemplate("x", 1))});
+  ags.branches[0].guard.kind = static_cast<Guard::Kind>(200);
+  expectRejected(ags, RuleId::BadGuardKind);
+}
+
+TEST(Verify, BadOpCode) {
+  Ags ags = oneBranch(guardTrue(), {opOut(kTsMain, makeTemplate("x", 1))});
+  ags.branches[0].body[0].op = static_cast<OpCode>(99);
+  expectRejected(ags, RuleId::BadOpCode);
+}
+
+TEST(Verify, BadArithOp) {
+  Ags ags = oneBranch(guardIn(kTsMain, makePattern("x", fInt())),
+                      {opOut(kTsMain, makeTemplate("x", boundExpr(0, ArithOp::Add, 1)))});
+  ags.branches[0].body[0].tmpl.fields[1].arith = static_cast<ArithOp>(77);
+  expectRejected(ags, RuleId::BadArithOp);
+}
+
+TEST(Verify, BadTemplateFieldKind) {
+  Ags ags = oneBranch(guardTrue(), {opOut(kTsMain, makeTemplate("x", 1))});
+  ags.branches[0].body[0].tmpl.fields[0].kind = static_cast<TemplateField::Kind>(9);
+  expectRejected(ags, RuleId::BadFieldKind);
+}
+
+TEST(Verify, BadPatternFieldValueType) {
+  Ags ags = oneBranch(guardTrue(), {opInp(kTsMain, makePatternTemplate("x", fInt()))});
+  ags.branches[0].body[0].pattern.fields[1].formal_type = static_cast<ValueType>(42);
+  expectRejected(ags, RuleId::BadValueType);
+}
+
+TEST(Verify, UnreachableBranchIsWarningOnly) {
+  const Ags ags = AgsBuilder()
+                      .when(guardTrue())
+                      .then(opOut(kTsMain, makeTemplate("x", 1)))
+                      .orWhen(guardInp(kTsMain, makePattern("x", fInt())))
+                      .build();
+  const VerifyResult vr = verify(ags);
+  EXPECT_TRUE(vr.ok());  // warning must not reject the statement
+  const Diagnostic* d = vr.find(RuleId::UnreachableBranch);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+}
+
+TEST(Verify, FormalOutOfRange) {
+  // Guard binds one formal; the body asks for ?2.
+  expectRejected(oneBranch(guardIn(kTsMain, makePattern("x", fInt())),
+                           {opOut(kTsMain, makeTemplate("x", bound(2)))}),
+                 RuleId::FormalOutOfRange);
+}
+
+TEST(Verify, GuardTrueBindsZeroFormals) {
+  expectRejected(oneBranch(guardTrue(), {opOut(kTsMain, makeTemplate("x", bound(0)))}),
+                 RuleId::FormalOutOfRange);
+}
+
+TEST(Verify, BoundRefOutOfRange) {
+  expectRejected(oneBranch(guardIn(kTsMain, makePattern("x", fInt())),
+                           {opInp(kTsMain, makePatternTemplate("x", bound(5)))}),
+                 RuleId::BoundRefOutOfRange);
+}
+
+TEST(Verify, ArithOnStringFormal) {
+  expectRejected(oneBranch(guardIn(kTsMain, makePattern("name", fStr())),
+                           {opOut(kTsMain, makeTemplate("name", boundExpr(0, ArithOp::Add, 1)))}),
+                 RuleId::ArithNonNumericFormal);
+}
+
+TEST(Verify, ArithOperandTypeMismatch) {
+  // Int formal + real literal would need implicit conversion the replica
+  // does not perform.
+  expectRejected(oneBranch(guardIn(kTsMain, makePattern("x", fInt())),
+                           {opOut(kTsMain, makeTemplate("x", boundExpr(0, ArithOp::Add, 2.5)))}),
+                 RuleId::ArithOperandMismatch);
+}
+
+TEST(Verify, MoveAliasedHandlesRejected) {
+  expectRejected(
+      oneBranch(guardTrue(), {opMove(kTsAux, kTsAux, makePatternTemplate("x", fInt()))}),
+      RuleId::MoveAliasedHandles);
+}
+
+TEST(Verify, CopyAliasedHandlesIsWarningOnly) {
+  // The seed test CopyIntoSameSpaceDuplicates relies on this being legal.
+  const Ags ags =
+      oneBranch(guardTrue(), {opCopy(kTsAux, kTsAux, makePatternTemplate("x", fInt()))});
+  const VerifyResult vr = verify(ags);
+  EXPECT_TRUE(vr.ok());
+  const Diagnostic* d = vr.find(RuleId::CopyAliasedHandles);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+}
+
+TEST(Verify, DestroyTsMain) {
+  expectRejected(oneBranch(guardTrue(), {opDestroyTs(kTsMain)}), RuleId::DestroyTsMain);
+}
+
+TEST(Verify, UseAfterDestroy) {
+  expectRejected(oneBranch(guardTrue(), {opDestroyTs(kTsAux), opOut(kTsAux, makeTemplate("x", 1))}),
+                 RuleId::UseAfterDestroy);
+}
+
+TEST(Verify, UseAfterDestroyAsMoveSource) {
+  expectRejected(
+      oneBranch(guardTrue(), {opDestroyTs(kTsAux),
+                              opMove(kTsAux, kScratch, makePatternTemplate("x", fInt()))}),
+      RuleId::UseAfterDestroy);
+}
+
+TEST(Verify, TooManyBranches) {
+  Ags ags;
+  for (int i = 0; i < 129; ++i) {
+    ags.branches.push_back(Branch{guardInp(kTsMain, makePattern("x", fInt())), {}});
+  }
+  expectRejected(ags, RuleId::TooManyBranches);
+}
+
+TEST(Verify, BodyTooLongAgainstCustomLimits) {
+  Ags ags = oneBranch(guardTrue(), {});
+  for (int i = 0; i < 5; ++i) ags.branches[0].body.push_back(opOut(kTsMain, makeTemplate("x", i)));
+  VerifyLimits limits;
+  limits.max_body_ops = 4;
+  const VerifyResult vr = verify(ags, limits);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_NE(vr.find(RuleId::BodyTooLong), nullptr);
+  EXPECT_TRUE(verify(ags).ok());  // well under the default ceiling
+}
+
+TEST(Verify, TooManyFieldsAgainstCustomLimits) {
+  const Ags ags = oneBranch(guardTrue(), {opOut(kTsMain, makeTemplate("x", 1, 2, 3))});
+  VerifyLimits limits;
+  limits.max_fields = 2;
+  const VerifyResult vr = verify(ags, limits);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_NE(vr.find(RuleId::TooManyFields), nullptr);
+}
+
+TEST(Verify, SeedWorkloadsStayWithinDefaultLimits) {
+  // The largest statements the seed tests build must verify clean.
+  AgsBuilder big;
+  big.when(guardTrue());
+  for (int i = 0; i < 100; ++i) big.then(opOut(kTsMain, makeTemplate("op", i)));
+  EXPECT_TRUE(verify(big.build()).ok());
+
+  AgsBuilder wide;
+  for (int i = 0; i < 21; ++i) {
+    wide.orWhen(guardInp(kTsMain, makePattern("b", fInt()))).then(opOut(kTsMain, makeTemplate("r", i)));
+  }
+  EXPECT_TRUE(verify(wide.build()).ok());
+}
+
+TEST(Verify, VerdictSurvivesEncodeDecode) {
+  // Registry independence: the rejected statement decodes to the same
+  // verdict a replica would compute.
+  const Ags bad = oneBranch(guardIn(kTsMain, makePattern("x", fInt())),
+                            {opOut(kTsMain, makeTemplate("x", bound(3)))});
+  Writer w;
+  bad.encode(w);
+  const Bytes buf = w.take();
+  Reader r(buf);
+  const Ags decoded = Ags::decode(r);
+  const VerifyResult vr = verify(decoded);
+  const Diagnostic* d = vr.find(RuleId::FormalOutOfRange);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->branch, 0);
+  EXPECT_EQ(d->op_index, 0);
+}
+
+TEST(Verify, RuntimeRefusesBeforeAnyMulticast) {
+  FtLindaSystem sys({.hosts = 3});
+  auto& rt = sys.runtime(0);
+  const Ags bad = oneBranch(guardIn(kTsMain, makePattern("x", fInt())),
+                            {opOut(kTsMain, makeTemplate("x", bound(9)))});
+  EXPECT_THROW(rt.execute(bad), Error);
+  // The refusal happens client-side: no replica saw a command at all.
+  std::this_thread::sleep_for(Millis{150});
+  for (net::HostId h = 0; h < 3; ++h) {
+    const auto m = sys.stateMachine(h).metrics();
+    EXPECT_EQ(m.ags_executed, 0u) << "host " << h;
+    EXPECT_EQ(m.ags_failed, 0u) << "host " << h;
+    EXPECT_EQ(m.ags_errors, 0u) << "host " << h;
+  }
+  // The runtime remains usable afterwards.
+  rt.out(kTsMain, makeTuple("x", 1));
+  EXPECT_TRUE(rt.inp(kTsMain, makePattern("x", fInt())).has_value());
+}
+
+TEST(Verify, DiagnosticToStringIsStable) {
+  const Ags bad = oneBranch(guardTrue(), {opDestroyTs(kTsMain)});
+  const VerifyResult vr = verify(bad);
+  ASSERT_FALSE(vr.ok());
+  const std::string s = vr.toString();
+  EXPECT_NE(s.find("destroy-ts-main"), std::string::npos) << s;
+  EXPECT_NE(s.find("branch 0"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -1,0 +1,178 @@
+// ftl-lint: static verification of FT-Linda source artifacts, for CI and
+// editors. Input files hold any mix of
+//
+//   - tuples / patterns in the tuple language of tuple/parse.hpp
+//     ("job", 7)   ("job", ?int)
+//   - Atomic Guarded Statements in the dump format of ftlinda/ags_text.hpp
+//     < in TSmain ("count", ?int) => out TSmain ("count", ?0 + 1) >
+//
+// separated by whitespace; `#` comments run to end of line. Every AGS is run
+// through the same verify() pass the runtime applies before multicasting
+// (docs/VERIFIER.md lists the rules). Diagnostics are clang-style:
+//
+//   file.ftl:12: error: [formal-out-of-range] branch 0, op 1, field 2: ...
+//
+// Exit status: 0 clean (warnings allowed unless --werror), 1 diagnostics
+// or unreadable input, 2 usage errors.
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ftlinda/ags_text.hpp"
+#include "ftlinda/verify.hpp"
+#include "tuple/parse.hpp"
+
+namespace {
+
+using namespace ftl;
+using namespace ftl::ftlinda;
+
+struct LintStats {
+  int errors = 0;
+  int warnings = 0;
+  int statements = 0;
+};
+
+std::size_t lineOfOffset(const std::string& text, std::size_t offset) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+/// Extract "offset N" from the parser's error message so the diagnostic can
+/// point at the right line of the file.
+std::size_t offsetFromError(const std::string& what, std::size_t fallback) {
+  const char* key = "offset ";
+  const auto at = what.find(key);
+  if (at == std::string::npos) return fallback;
+  std::size_t n = 0;
+  bool any = false;
+  for (std::size_t i = at + std::strlen(key);
+       i < what.size() && std::isdigit(static_cast<unsigned char>(what[i])); ++i) {
+    n = n * 10 + static_cast<std::size_t>(what[i] - '0');
+    any = true;
+  }
+  return any ? n : fallback;
+}
+
+void skipWsAndComments(const std::string& text, std::size_t& pos) {
+  for (;;) {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+    if (pos < text.size() && text[pos] == '#') {
+      while (pos < text.size() && text[pos] != '\n') ++pos;
+      continue;
+    }
+    return;
+  }
+}
+
+void lintFile(const std::string& path, bool werror, LintStats& stats) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "ftl-lint: cannot open '" << path << "'\n";
+    stats.errors += 1;
+    return;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::size_t pos = 0;
+  for (;;) {
+    skipWsAndComments(text, pos);
+    if (pos >= text.size()) break;
+    const std::size_t start = pos;
+    const std::size_t line = lineOfOffset(text, start);
+    const char c = text[pos];
+    if (c == '<') {
+      Ags ags;
+      try {
+        ags = parseAgsAt(text, pos);
+      } catch (const Error& e) {
+        const std::size_t at = offsetFromError(e.what(), start);
+        std::cerr << path << ":" << lineOfOffset(text, at) << ": error: " << e.what() << "\n";
+        ++stats.errors;
+        return;  // cannot resynchronize reliably after a parse error
+      }
+      ++stats.statements;
+      const VerifyResult vr = verify(ags);
+      for (const auto& d : vr.diagnostics) {
+        const bool is_err = d.severity == Severity::Error || werror;
+        // toString() leads with the verifier's severity; replace it with
+        // ours so --werror remaps warnings in the printed line too.
+        std::string detail = d.toString();
+        for (const char* prefix : {"error: ", "warning: "}) {
+          if (detail.rfind(prefix, 0) == 0) {
+            detail.erase(0, std::strlen(prefix));
+            break;
+          }
+        }
+        std::cerr << path << ":" << line << ": " << (is_err ? "error" : "warning") << ": "
+                  << detail << "\n";
+        if (is_err) {
+          ++stats.errors;
+        } else {
+          ++stats.warnings;
+        }
+      }
+    } else if (c == '(') {
+      try {
+        (void)tuple::parsePatternAt(text, pos);  // patterns subsume tuples
+        ++stats.statements;
+      } catch (const Error& e) {
+        const std::size_t at = offsetFromError(e.what(), start);
+        std::cerr << path << ":" << lineOfOffset(text, at) << ": error: " << e.what() << "\n";
+        ++stats.errors;
+        return;
+      }
+    } else {
+      std::cerr << path << ":" << line << ": error: expected '<' (AGS) or '(' "
+                << "(tuple/pattern), got '" << c << "'\n";
+      ++stats.errors;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool werror = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: ftl-lint [--werror] FILE...\n"
+                << "Statically verifies FT-Linda AGS dumps and tuple-language "
+                << "files.\nRules: docs/VERIFIER.md. Exit 0 = clean, 1 = "
+                << "diagnostics, 2 = usage.\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ftl-lint: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: ftl-lint [--werror] FILE...\n";
+    return 2;
+  }
+  LintStats stats;
+  for (const auto& f : files) lintFile(f, werror, stats);
+  if (stats.errors == 0) {
+    std::cout << "ftl-lint: " << files.size() << " file(s), " << stats.statements
+              << " statement(s), " << stats.warnings << " warning(s), 0 errors\n";
+    return 0;
+  }
+  std::cerr << "ftl-lint: " << stats.errors << " error(s)\n";
+  return 1;
+}

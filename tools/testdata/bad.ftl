@@ -1,0 +1,17 @@
+# Fixture for the ftl_lint_rejects_bad ctest: every statement here violates
+# a rule in docs/VERIFIER.md, so ftl-lint must exit non-zero.
+
+# formal-out-of-range: the guard binds one formal, the body asks for ?2.
+< in TSmain ("job", ?int) => out TSmain ("job", ?2) >
+
+# destroy-ts-main: the root stable space cannot be destroyed.
+< true => destroy_TS TSmain >
+
+# arith-non-numeric-formal: ?0 is a string; strings have no '+'.
+< in TSmain ("name", ?str) => out TSmain ("name", ?0 + 1) >
+
+# move-aliased-handles: move with src == dst is a no-op that still scans.
+< true => move ts2 ts2 ("x", ?int) >
+
+# use-after-destroy: ts5 is destroyed by op 0, then written by op 1.
+< true => destroy_TS ts5; out ts5 ("late", 1) >

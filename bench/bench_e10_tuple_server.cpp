@@ -31,12 +31,12 @@ Ags incrementAgs() {
       .build();
 }
 
-struct Result {
+struct RunStats {
   LatencySamples latency;
   double msgs_per_ags = 0;
 };
 
-Result runEmbedded(std::uint32_t replicas) {
+RunStats runEmbedded(std::uint32_t replicas) {
   SystemConfig cfg;
   cfg.hosts = replicas;
   cfg.net = net::lanProfile(51);
@@ -48,7 +48,7 @@ Result runEmbedded(std::uint32_t replicas) {
   auto& rt = sys.runtime(replicas - 1);
   rt.out(kTsMain, makeTuple("count", 0));
   sys.network().resetStats();
-  Result res;
+  RunStats res;
   const Ags ags = incrementAgs();
   for (int i = 0; i < kRounds; ++i) {
     const auto start = Clock::now();
@@ -63,7 +63,7 @@ Result runEmbedded(std::uint32_t replicas) {
 /// group sequencer (then the RPC hop replaces the request hop) or a plain
 /// replica (then the RPC adds a full extra round trip — Fig. 17's general
 /// case).
-Result runTupleServer(std::uint32_t replicas, bool via_sequencer) {
+RunStats runTupleServer(std::uint32_t replicas, bool via_sequencer) {
   SystemConfig cfg;
   cfg.hosts = replicas + 2;  // two application hosts, `replicas` servers
   cfg.replica_hosts = replicas;
@@ -78,7 +78,7 @@ Result runTupleServer(std::uint32_t replicas, bool via_sequencer) {
   auto& rt = sys.remoteRuntime(via_sequencer ? replicas : replicas + 1);
   rt.out(kTsMain, makeTuple("count", 0));
   sys.network().resetStats();
-  Result res;
+  RunStats res;
   const Ags ags = incrementAgs();
   for (int i = 0; i < kRounds; ++i) {
     const auto start = Clock::now();
@@ -101,9 +101,9 @@ int main() {
   std::printf("%-9s %-12s %-12s %-12s %-12s %-12s %-12s\n", "replicas", "p50 us", "msgs/AGS",
               "p50 us", "msgs/AGS", "p50 us", "msgs/AGS");
   for (std::uint32_t n : {2u, 3u, 5u}) {
-    const Result emb = runEmbedded(n);
-    const Result seq = runTupleServer(n, /*via_sequencer=*/true);
-    const Result rep = runTupleServer(n, /*via_sequencer=*/false);
+    const RunStats emb = runEmbedded(n);
+    const RunStats seq = runTupleServer(n, /*via_sequencer=*/true);
+    const RunStats rep = runTupleServer(n, /*via_sequencer=*/false);
     std::printf("%-9u %-12.0f %-12.1f %-12.0f %-12.1f %-12.0f %-12.1f\n", n,
                 emb.latency.percentile(50), emb.msgs_per_ags, seq.latency.percentile(50),
                 seq.msgs_per_ags, rep.latency.percentile(50), rep.msgs_per_ags);

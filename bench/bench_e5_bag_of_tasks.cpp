@@ -50,7 +50,7 @@ struct Outcome {
 
 // ---------- FT-Linda ----------
 
-void ftWorker(Runtime& rt) {
+void ftWorker(LindaApi& rt) {
   for (;;) {
     Reply r = rt.execute(
         AgsBuilder()
@@ -61,7 +61,7 @@ void ftWorker(Runtime& rt) {
             .then(opOut(kTsMain, makeTemplate("shutdown")))
             .build());
     if (r.branch == 1) return;
-    const std::int64_t id = r.bindings[0].asInt();
+    const std::int64_t id = r.boundInt(0);
     const std::int64_t result = spinWork(id);
     rt.execute(AgsBuilder()
                    .when(guardIn(kTsMain,
@@ -71,11 +71,11 @@ void ftWorker(Runtime& rt) {
   }
 }
 
-void ftMonitor(Runtime& rt) {
+void ftMonitor(LindaApi& rt) {
   for (;;) {
     Reply fr = rt.execute(
         AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build());
-    const std::int64_t dead = fr.bindings[0].asInt();
+    const std::int64_t dead = fr.boundInt(0);
     for (;;) {
       Reply r = rt.execute(AgsBuilder()
                                .when(guardInp(kTsMain, makePattern("in_progress", dead, fInt())))

@@ -41,7 +41,7 @@ Tally runFtLinda() {
     sys.runtime(0).out(kTsMain, makeTuple("count", 0));
     std::atomic<int> survivor_increments{0};
     for (net::HostId h = 0; h < kUpdaters; ++h) {
-      sys.spawnProcess(h, [&survivor_increments](Runtime& rt) {
+      sys.spawnProcess(h, [&survivor_increments](LindaApi& rt) {
         for (int i = 0; i < kIncrements; ++i) {
           rt.execute(
               AgsBuilder()

@@ -39,14 +39,14 @@ int runFtLinda() {
   std::atomic<int> ready{-1};
   std::atomic<int> violations{0};
   std::atomic<int> consumed{-1};
-  sys.spawnProcess(0, [&](Runtime& rt) {
+  sys.spawnProcess(0, [&](LindaApi& rt) {
     for (int i = 0; i < kRounds; ++i) {
       rt.out(kTsMain, makeTuple("flag", i));  // synchronous: ordered when done
       ready.store(i);
       while (consumed.load() < i) std::this_thread::yield();
     }
   });
-  sys.spawnProcess(1, [&](Runtime& rt) {
+  sys.spawnProcess(1, [&](LindaApi& rt) {
     for (int i = 0; i < kRounds; ++i) {
       while (ready.load() < i) std::this_thread::yield();
       if (!rt.inp(kTsMain, makePattern("flag", i))) violations.fetch_add(1);

@@ -47,7 +47,7 @@ std::int64_t countPrimes(std::int64_t lo, std::int64_t hi) {
 
 /// Atomically withdraw a subtask and mark it in-progress. Returns the task
 /// id, or nullopt when the bag is empty.
-std::optional<std::int64_t> claimSubtask(Runtime& rt) {
+std::optional<std::int64_t> claimSubtask(LindaApi& rt) {
   Reply r = rt.execute(
       AgsBuilder()
           .when(guardInp(kTsMain, makePattern("subtask", fInt(), fInt(), fInt())))
@@ -55,10 +55,10 @@ std::optional<std::int64_t> claimSubtask(Runtime& rt) {
                                             bound(0), bound(1), bound(2))))
           .build());
   if (!r.succeeded) return std::nullopt;
-  return r.bindings[0].asInt();
+  return r.boundInt(0);
 }
 
-void workerLoop(Runtime& rt) {
+void workerLoop(LindaApi& rt) {
   for (;;) {
     // Block until there is a subtask OR the shutdown signal; never exit just
     // because the bag is momentarily empty (the monitor may still regenerate
@@ -72,9 +72,9 @@ void workerLoop(Runtime& rt) {
             .then(opOut(kTsMain, makeTemplate("shutdown")))  // pass it on
             .build());
     if (r.branch == 1) return;  // shutdown
-    const std::int64_t id = r.bindings[0].asInt();
-    const std::int64_t lo = r.bindings[1].asInt();
-    const std::int64_t hi = r.bindings[2].asInt();
+    const std::int64_t id = r.boundInt(0);
+    const std::int64_t lo = r.boundInt(1);
+    const std::int64_t hi = r.boundInt(2);
     const std::int64_t primes = countPrimes(lo, hi);
     // Retire the in-progress marker and deposit the result — atomically, so
     // the result appears exactly once no matter what happens around it.
@@ -87,11 +87,11 @@ void workerLoop(Runtime& rt) {
 }
 
 /// The paper's monitor-process idiom: regenerate subtasks lost to crashes.
-void monitorLoop(Runtime& rt) {
+void monitorLoop(LindaApi& rt) {
   for (;;) {
     Reply fr = rt.execute(
         AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build());
-    const std::int64_t dead = fr.bindings[0].asInt();
+    const std::int64_t dead = fr.boundInt(0);
     std::printf("[monitor] processor %lld failed — regenerating its subtasks\n",
                 static_cast<long long>(dead));
     int regenerated = 0;

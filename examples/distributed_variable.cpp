@@ -63,7 +63,7 @@ void ftLindaVersion() {
 
   // Concurrent updaters on every processor, each doing atomic increments.
   for (net::HostId h = 0; h < kHosts; ++h) {
-    sys.spawnProcess(h, [](Runtime& rt) {
+    sys.spawnProcess(h, [](LindaApi& rt) {
       for (int i = 0; i < kPerHost; ++i) {
         rt.execute(AgsBuilder()
                        .when(guardIn(kTsMain, makePattern("count", fInt())))

@@ -40,7 +40,7 @@ constexpr double kMinWidth = 1.0 / 4096.0;
 // Result piece: ("piece", value). A ("pending", ?int) counter tracks how many
 // tasks are outstanding so the collector knows when integration is done.
 
-void workerLoop(Runtime& rt) {
+void workerLoop(LindaApi& rt) {
   for (;;) {
     Reply r = rt.execute(
         AgsBuilder()
@@ -51,8 +51,8 @@ void workerLoop(Runtime& rt) {
             .then(opOut(kTsMain, makeTemplate("done")))  // re-deposit for other workers
             .build());
     if (r.branch == 1) return;  // termination signal
-    const double lo = r.bindings[0].asReal();
-    const double hi = r.bindings[1].asReal();
+    const double lo = r.boundReal(0);
+    const double hi = r.boundReal(1);
 
     if (hi - lo > kMinWidth) {
       // SPLIT: atomically retire the marker, deposit two children, and bump
@@ -83,11 +83,11 @@ void workerLoop(Runtime& rt) {
   }
 }
 
-void monitorLoop(Runtime& rt) {
+void monitorLoop(LindaApi& rt) {
   for (;;) {
     Reply fr = rt.execute(
         AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build());
-    const std::int64_t dead = fr.bindings[0].asInt();
+    const std::int64_t dead = fr.boundInt(0);
     int regenerated = 0;
     for (;;) {
       Reply r = rt.execute(

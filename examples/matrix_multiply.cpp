@@ -44,7 +44,7 @@ std::vector<std::int64_t> decodeRow(const Bytes& b) {
   return row;
 }
 
-void worker(Runtime& rt) {
+void worker(LindaApi& rt) {
   // Cache B's columns locally in a scratch space: rd them once from the
   // stable space, keep private copies (the paper's scratch-space idiom).
   std::vector<std::vector<std::int64_t>> bcols(kN);
@@ -62,7 +62,7 @@ void worker(Runtime& rt) {
             .then(opOut(kTsMain, makeTemplate("done")))
             .build());
     if (r.branch == 1) return;
-    const int i = static_cast<int>(r.bindings[0].asInt());
+    const int i = static_cast<int>(r.boundInt(0));
     const Tuple arow_t = rt.rd(kTsMain, makePattern("Arow", i, fBlob()));
     const auto arow = decodeRow(arow_t.field(2).asBlob());
     std::vector<std::int64_t> crow(kN, 0);
@@ -105,7 +105,7 @@ int main() {
   std::printf("multiplying two %dx%d matrices across %d workstations\n", kN, kN, kHosts);
 
   // The reusable monitor-process helper regenerates rows of dead workers.
-  sys.spawnProcess(0, [](Runtime& rt) {
+  sys.spawnProcess(0, [](LindaApi& rt) {
     FailureMonitor monitor(rt, kTsMain,
                            FailureMonitor::RegenRule{"in_progress", {ValueType::Int},
                                                      "rowtask"});

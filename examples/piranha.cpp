@@ -40,7 +40,7 @@ std::int64_t work(std::int64_t id) {
   return acc % 997;
 }
 
-void piranhaWorker(Runtime& rt) {
+void piranhaWorker(LindaApi& rt) {
   for (;;) {
     Reply r = rt.execute(
         AgsBuilder()
@@ -51,7 +51,7 @@ void piranhaWorker(Runtime& rt) {
             .then(opOut(kTsMain, makeTemplate("feeding_over")))
             .build());
     if (r.branch == 1) return;
-    const std::int64_t id = r.bindings[0].asInt();
+    const std::int64_t id = r.boundInt(0);
     const std::int64_t value = work(id);
     rt.execute(AgsBuilder()
                    .when(guardIn(kTsMain,
@@ -61,11 +61,11 @@ void piranhaWorker(Runtime& rt) {
   }
 }
 
-void monitor(Runtime& rt) {
+void monitor(LindaApi& rt) {
   for (;;) {
     Reply fr = rt.execute(
         AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build());
-    const std::int64_t dead = fr.bindings[0].asInt();
+    const std::int64_t dead = fr.boundInt(0);
     int regen = 0;
     for (;;) {
       Reply r = rt.execute(AgsBuilder()

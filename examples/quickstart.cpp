@@ -21,8 +21,8 @@ int main() {
   // Three simulated workstations, each hosting a replica of the stable
   // tuple space TSmain.
   FtLindaSystem sys({.hosts = 3});
-  Runtime& p0 = sys.runtime(0);
-  Runtime& p1 = sys.runtime(1);
+  LindaApi& p0 = sys.runtime(0);
+  LindaApi& p1 = sys.runtime(1);
 
   std::printf("== 1. out / in: generative communication ==\n");
   p0.out(kTsMain, makeTuple("greeting", "hello from processor 0"));

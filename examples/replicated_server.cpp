@@ -34,7 +34,7 @@ constexpr int kRequestsPerClient = 30;
 constexpr std::int64_t kOpDeposit = 0;
 constexpr std::int64_t kOpWithdraw = 1;
 
-void serverLoop(Runtime& rt) {
+void serverLoop(LindaApi& rt) {
   for (;;) {
     // Claim a request atomically with an in-service marker.
     Reply claim = rt.execute(
@@ -47,10 +47,10 @@ void serverLoop(Runtime& rt) {
             .then(opOut(kTsMain, makeTemplate("halt")))
             .build());
     if (claim.branch == 1) return;
-    const std::int64_t id = claim.bindings[0].asInt();
-    const std::int64_t op = claim.bindings[1].asInt();
-    const std::int64_t account = claim.bindings[2].asInt();
-    const std::int64_t amount = claim.bindings[3].asInt();
+    const std::int64_t id = claim.boundInt(0);
+    const std::int64_t op = claim.boundInt(1);
+    const std::int64_t account = claim.boundInt(2);
+    const std::int64_t amount = claim.boundInt(3);
     // Apply + retire marker + reply: ONE atomic statement. The account
     // update uses the guard binding, like the distributed variable.
     const ArithOp arith = (op == kOpDeposit) ? ArithOp::Add : ArithOp::Sub;
@@ -77,7 +77,7 @@ int main() {
   std::printf("bank open: %d accounts at balance 1000; servers on hosts 2 and 3\n", kAccounts);
 
   // Monitor: a dead server's in-service requests go back to the pool.
-  sys.spawnProcess(0, [](Runtime& rt) {
+  sys.spawnProcess(0, [](LindaApi& rt) {
     FailureMonitor monitor(
         rt, kTsMain,
         FailureMonitor::RegenRule{
@@ -93,7 +93,7 @@ int main() {
   // Clients: alternating deposit/withdraw of the same amount — net zero.
   std::atomic<int> replies{0};
   for (int c = 0; c < kClients; ++c) {
-    sys.spawnProcess(static_cast<net::HostId>(c), [c, &replies](Runtime& rt) {
+    sys.spawnProcess(static_cast<net::HostId>(c), [c, &replies](LindaApi& rt) {
       for (int i = 0; i < kRequestsPerClient; ++i) {
         const int id = c * kRequestsPerClient + i;
         const std::int64_t op = (i % 2 == 0) ? kOpDeposit : kOpWithdraw;

@@ -1,0 +1,67 @@
+// Result<T>: expected-style success-or-error carrier for API boundaries that
+// prefer values over exceptions (std::expected is C++23; we target C++20).
+//
+// The error arm is ApiError: a short machine-readable rule tag plus the full
+// human-readable message. For statements refused by the AGS verifier the tag
+// is the kebab-case rule name (verify.hpp's ruleIdName, e.g.
+// "formal-out-of-range"); for registry-dependent errors produced at the
+// replicas it is "registry"; transport-level failures keep throwing (a crash
+// is an environmental event, not a property of the statement).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ftl {
+
+/// A rule-tagged API error (see file comment for the tag vocabulary).
+struct ApiError {
+  std::string rule;     // stable machine-readable tag, e.g. "destroy-ts-main"
+  std::string message;  // full diagnostic, suitable for logs / exceptions
+
+  const std::string& toString() const { return message; }
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(ApiError error) : error_(std::move(error)) {}  // NOLINT
+
+  static Result failure(std::string rule, std::string message) {
+    return Result(ApiError{std::move(rule), std::move(message)});
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Preconditions: ok() / !ok() respectively (FTL_REQUIRE-checked).
+  const T& value() const& {
+    FTL_REQUIRE(ok(), "Result::value() on an error: " + error_.message);
+    return *value_;
+  }
+  T& value() & {
+    FTL_REQUIRE(ok(), "Result::value() on an error: " + error_.message);
+    return *value_;
+  }
+  T&& value() && {
+    FTL_REQUIRE(ok(), "Result::value() on an error: " + error_.message);
+    return std::move(*value_);
+  }
+  const ApiError& error() const {
+    FTL_REQUIRE(!ok(), "Result::error() on a success");
+    return error_;
+  }
+
+  /// value() or a fallback (does not throw).
+  T valueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  ApiError error_;
+};
+
+}  // namespace ftl

@@ -32,6 +32,22 @@ struct ConsulConfig {
   /// A coordinator aborts and restarts a view change that has not completed
   /// within this period (e.g. another member died mid-change).
   Micros view_change_timeout{250'000};
+
+  // ---- apply batching (see docs/PROTOCOL.md "Batched apply") ----
+
+  /// Upper bound on the number of ordered commands handed to the state
+  /// machine in one applyBatch() call. 1 disables coalescing entirely
+  /// (every command is delivered the moment it is contiguous, exactly the
+  /// pre-batching behaviour).
+  std::uint32_t max_apply_batch = 64;
+  /// How long a partially-filled batch may wait for more contiguous
+  /// commands before being flushed to the state machine. 0 (the default)
+  /// flushes at the end of every protocol step, so batches form only from
+  /// commands that are ALREADY contiguous when the step runs — no added
+  /// latency. Non-zero values trade up to (window + tick) of apply latency
+  /// for larger batches under a steady trickle of traffic. Batch boundaries
+  /// never affect replicated state, only scheduling (state_machine.hpp).
+  Micros apply_batch_window{0};
 };
 
 }  // namespace ftl::consul

@@ -67,6 +67,9 @@ void ConsulNode::start() {
 
 void ConsulNode::stop() {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Graceful stop: hand any staged deliveries to the application first so a
+  // non-zero apply_batch_window cannot swallow the tail of the stream.
+  flushDeliveries();
   stop_requested_ = true;
 }
 
@@ -144,6 +147,10 @@ void ConsulNode::setForeignHandler(std::function<void(const net::Message&)> hand
 }
 
 void ConsulNode::serviceLoop() {
+  // Upper bound on messages handled per protocol step. Draining the inbox
+  // before the tick work means a burst of ordered traffic pays one step —
+  // and one state-machine apply batch — instead of a full step per message.
+  constexpr int kMaxDrainPerStep = 64;
   while (true) {
     auto msg = ep_.recvFor(cfg_.tick);
     const auto now = Clock::now();
@@ -156,11 +163,35 @@ void ConsulNode::serviceLoop() {
       onTick(now);
       continue;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stop_requested_) return;
-    if (!msg && net_.isCrashed(self_)) return;  // fail-silent: halt
-    if (msg) handleMessage(*msg, now);
-    onTick(now);
+    std::optional<net::Message> deferred_foreign;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_requested_) return;
+      if (!msg && net_.isCrashed(self_)) return;  // fail-silent: halt
+      if (msg) {
+        handleMessage(*msg, now);
+        // The drain is bounded by time as well as count: a burst of slow
+        // messages handled back-to-back under the lock must not postpone
+        // onTick (our own heartbeats!) into a peer's failure_timeout.
+        const auto drain_deadline = now + Duration(cfg_.tick);
+        for (int drained = 1; drained < kMaxDrainPerStep; ++drained) {
+          if (Clock::now() >= drain_deadline) break;
+          auto next = ep_.tryRecv();
+          if (!next) break;
+          if (next->type >= kForeignTypeBase) {
+            // Foreign handlers run without the protocol lock; finish this
+            // step first and hand the message over afterwards.
+            deferred_foreign = std::move(next);
+            break;
+          }
+          handleMessage(*next, now);
+        }
+      }
+      // Fresh timestamp: the drain may have consumed real time, and timer
+      // decisions (heartbeat emission above all) should not lag behind it.
+      onTick(msg ? Clock::now() : now);
+    }
+    if (deferred_foreign && foreign_handler_) foreign_handler_(*deferred_foreign);
   }
 }
 
@@ -337,36 +368,61 @@ void ConsulNode::deliverReady() {
     if (it == log_.end()) break;
     const LogEntry& e = it->second;
     if (e.kind == EntryKind::View) {
+      // A view is a batch barrier: everything ordered before it must reach
+      // the state machine before the membership upcall fires.
+      flushDeliveries();
       Reader r(e.payload);
       installViewLocked(ViewEvent::decode(r), e.gseq, now);
     } else {
-      deliverEntry(e);
+      bufferDelivery(e);
     }
     ++next_deliver_;
     if (isSequencer()) member_acks_[self_] = next_deliver_ - 1;
   }
+  // Staged data entries are flushed by onTick at the end of the SAME service
+  // step (not here): a burst of ordered messages drained in one step then
+  // reaches the state machine as one batch.
 }
 
-void ConsulNode::deliverEntry(const LogEntry& e) {
-  if (e.kind == EntryKind::Data) {
-    if (e.origin == net::kNoHost) return;  // hole-filling no-op from a view change
-    auto& max_seen = dedup_[e.origin];
-    if (e.origin_seq <= max_seen) return;  // duplicate across failover
-    max_seen = e.origin_seq;
-    if (e.origin == self_) {
-      while (!pending_.empty() && pending_.front().origin_seq <= e.origin_seq) {
-        pending_.pop_front();
-      }
+void ConsulNode::bufferDelivery(const LogEntry& e) {
+  if (e.origin == net::kNoHost) return;  // hole-filling no-op from a view change
+  auto& max_seen = dedup_[e.origin];
+  if (e.origin_seq <= max_seen) return;  // duplicate across failover
+  max_seen = e.origin_seq;
+  if (e.origin == self_) {
+    while (!pending_.empty() && pending_.front().origin_seq <= e.origin_seq) {
+      pending_.pop_front();
     }
-    Delivery d;
-    d.gseq = e.gseq;
-    d.origin = e.origin;
-    d.origin_seq = e.origin_seq;
-    d.payload = e.payload;
-    cb_.on_deliver(d);
   }
-  // View entries are handled by the caller (deliverReady) because they
-  // mutate membership state.
+  if (apply_buffer_.empty()) apply_buffer_since_ = Clock::now();
+  Delivery d;
+  d.gseq = e.gseq;
+  d.origin = e.origin;
+  d.origin_seq = e.origin_seq;
+  d.payload = e.payload;
+  apply_buffer_.push_back(std::move(d));
+  if (apply_buffer_.size() >= std::max<std::uint32_t>(1, cfg_.max_apply_batch)) {
+    flushDeliveries();
+  }
+}
+
+void ConsulNode::maybeFlushDeliveries(TimePoint now) {
+  if (apply_buffer_.empty()) return;
+  if (cfg_.apply_batch_window.count() > 0 &&
+      now - apply_buffer_since_ < Duration(cfg_.apply_batch_window)) {
+    return;  // still inside the coalescing window; onTick retries
+  }
+  flushDeliveries();
+}
+
+void ConsulNode::flushDeliveries() {
+  if (apply_buffer_.empty()) return;
+  if (cb_.on_deliver_batch) {
+    cb_.on_deliver_batch(apply_buffer_);
+  } else {
+    for (const Delivery& d : apply_buffer_) cb_.on_deliver(d);
+  }
+  apply_buffer_.clear();
 }
 
 void ConsulNode::installViewLocked(const ViewEvent& ve, std::uint64_t gseq, TimePoint now) {
@@ -417,6 +473,7 @@ void ConsulNode::installViewLocked(const ViewEvent& ve, std::uint64_t gseq, Time
 }
 
 void ConsulNode::onTick(TimePoint now) {
+  maybeFlushDeliveries(now);  // apply_batch_window expiry
   if (!is_member_) {
     if (joining_ && now - last_join_sent_ >= Duration(cfg_.request_retransmit)) {
       last_join_sent_ = now;
@@ -699,7 +756,11 @@ void ConsulNode::truncateLog() {
   }
 }
 
-Bytes ConsulNode::wrapSnapshot() const {
+Bytes ConsulNode::wrapSnapshot() {
+  // take_snapshot must cover everything counted by next_deliver_; staged
+  // deliveries that have not reached the state machine yet would be silently
+  // skipped by the joiner otherwise.
+  flushDeliveries();
   Writer w;
   w.u32(static_cast<std::uint32_t>(dedup_.size()));
   for (const auto& [h, s] : dedup_) {
@@ -712,6 +773,7 @@ Bytes ConsulNode::wrapSnapshot() const {
 
 void ConsulNode::unwrapSnapshot(const Bytes& b) {
   Reader r(b);
+  apply_buffer_.clear();  // superseded by the snapshot's state
   dedup_.clear();
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {

@@ -65,6 +65,13 @@ class ConsulNode {
   struct Callbacks {
     /// Ordered application payload (identical sequence at every member).
     std::function<void(const Delivery&)> on_deliver;
+    /// Optional batched form, preferred over on_deliver when set: a run of
+    /// CONSECUTIVE ordered payloads (gseq strictly increasing, no view event
+    /// between them). Coalescing is bounded by ConsulConfig::max_apply_batch
+    /// and ConsulConfig::apply_batch_window; batch boundaries are local
+    /// scheduling, so the receiver must treat the batch exactly like the
+    /// same deliveries arriving one at a time.
+    std::function<void(const std::vector<Delivery>&)> on_deliver_batch;
     /// Ordered membership event. Also fired once at start() for the
     /// bootstrap view (gseq 0).
     std::function<void(const ViewInfo&)> on_view;
@@ -157,7 +164,9 @@ class ConsulNode {
 
   void updateGapState(TimePoint now);   // recompute have_gap_/gap_since_
   void deliverReady();                  // drain contiguous log prefix
-  void deliverEntry(const LogEntry& e); // upcall for one entry
+  void bufferDelivery(const LogEntry& e);      // dedup + stage one data entry
+  void maybeFlushDeliveries(TimePoint now);    // honor apply_batch_window
+  void flushDeliveries();                      // upcall staged deliveries
   void installViewLocked(const ViewEvent& ve, std::uint64_t gseq, TimePoint now);
   void startViewChange(std::vector<HostId> proposed, TimePoint now);
   void maybeFinishViewChange(TimePoint now);
@@ -167,7 +176,7 @@ class ConsulNode {
   HostId sequencer() const;  // lowest-id member
   bool isSequencer() const { return is_member_ && !members_.empty() && members_.front() == self_; }
   std::vector<HostId> othersInGroup() const;
-  Bytes wrapSnapshot() const;
+  Bytes wrapSnapshot();  // flushes staged deliveries first (snapshot coverage)
   void unwrapSnapshot(const Bytes& b);
 
   net::Network& net_;
@@ -198,6 +207,14 @@ class ConsulNode {
   std::uint64_t known_last_ = 0;  // highest gseq known to exist (for gap nacks)
   bool have_gap_ = false;
   TimePoint gap_since_{};
+
+  // Contiguous data entries staged for the next (batched) application
+  // upcall. next_deliver_ counts them as delivered for protocol purposes
+  // (acks, stability); the application sees them at the next flush — at most
+  // apply_batch_window + tick later, and always before a view upcall or a
+  // snapshot.
+  std::vector<Delivery> apply_buffer_;
+  TimePoint apply_buffer_since_{};
 
   // Sequencer role.
   std::uint64_t next_gseq_ = 1;

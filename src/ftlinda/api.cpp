@@ -1,0 +1,54 @@
+#include "ftlinda/api.hpp"
+
+namespace ftl::ftlinda {
+
+ApiError verifyApiError(const VerifyResult& vr) {
+  const char* rule = "verify";
+  for (const auto& d : vr.diagnostics) {
+    if (d.severity == Severity::Error) {
+      rule = ruleIdName(d.rule_id);
+      break;
+    }
+  }
+  return ApiError{rule, "AGS rejected by verifier: " + vr.toString()};
+}
+
+Reply LindaApi::execute(const Ags& ags) {
+  Result<Reply> r = tryExecute(ags);
+  if (!r.ok()) throw Error(r.error().message);
+  return std::move(r).value();
+}
+
+void LindaApi::out(TsHandle ts, Tuple t) {
+  TupleTemplate tmpl;
+  tmpl.fields.reserve(t.arity());
+  for (const auto& v : t.fields()) {
+    TemplateField f;
+    f.kind = TemplateField::Kind::Literal;
+    f.literal = v;
+    tmpl.fields.push_back(std::move(f));
+  }
+  execute(AgsBuilder().when(guardTrue()).then(opOut(ts, std::move(tmpl))).build());
+}
+
+Tuple LindaApi::in(TsHandle ts, Pattern p) {
+  Reply r = execute(AgsBuilder().when(guardIn(ts, std::move(p))).build());
+  FTL_ENSURE(r.guard_tuple.has_value(), "in() reply carries no tuple");
+  return std::move(*r.guard_tuple);
+}
+
+Tuple LindaApi::rd(TsHandle ts, Pattern p) {
+  Reply r = execute(AgsBuilder().when(guardRd(ts, std::move(p))).build());
+  FTL_ENSURE(r.guard_tuple.has_value(), "rd() reply carries no tuple");
+  return std::move(*r.guard_tuple);
+}
+
+std::optional<Tuple> LindaApi::inp(TsHandle ts, Pattern p) {
+  return execute(AgsBuilder().when(guardInp(ts, std::move(p))).build()).guard_tuple;
+}
+
+std::optional<Tuple> LindaApi::rdp(TsHandle ts, Pattern p) {
+  return execute(AgsBuilder().when(guardRdp(ts, std::move(p))).build()).guard_tuple;
+}
+
+}  // namespace ftl::ftlinda

@@ -1,0 +1,96 @@
+// LindaApi: the one client-facing FT-Linda interface (docs/API.md).
+//
+// Both runtime flavours implement it — the embedded Runtime (co-located
+// replica, paper §5) and the tuple-server RemoteRuntime (§6, Fig. 17) — so
+// application code, examples and benches are written once against LindaApi&
+// and run unchanged in either configuration.
+//
+// Error model:
+//  - tryExecute() is the primitive: it returns Result<Reply>, carrying a
+//    rule-tagged ApiError for every DETERMINISTIC refusal (the static
+//    verifier's rule name, or "registry" for handle errors produced while
+//    executing). It never throws for those.
+//  - execute() and the verb sugar are thin wrappers that convert an error
+//    Result into a thrown ftl::Error (message preserved verbatim).
+//  - Environmental failures are NOT statement errors and always throw:
+//    ProcessorFailure when this processor's simulated crash interrupts the
+//    call, ftl::Error("tuple server unreachable") on the RPC path.
+#pragma once
+
+#include <optional>
+
+#include "common/result.hpp"
+#include "ftlinda/protocol.hpp"
+#include "ftlinda/verify.hpp"
+#include "net/message.hpp"
+
+namespace ftl::ftlinda {
+
+/// Thrown by runtime calls on/after the processor's simulated crash.
+class ProcessorFailure : public Error {
+ public:
+  explicit ProcessorFailure(net::HostId host)
+      : Error("processor " + std::to_string(host) + " failed") {}
+};
+
+/// ApiError for a statement the verifier refused: the tag is the kebab-case
+/// name of the FIRST error-severity rule (e.g. "formal-out-of-range"); the
+/// message matches what the throwing wrappers raise.
+ApiError verifyApiError(const VerifyResult& vr);
+
+class LindaApi {
+ public:
+  virtual ~LindaApi() = default;
+
+  virtual net::HostId host() const = 0;
+
+  /// Execute an AGS. Blocks until the statement completes (which may mean
+  /// waiting for a guard to become satisfiable). Deterministic refusals —
+  /// verifier rejections, registry errors — come back as an error Result;
+  /// environmental failures throw (see file comment).
+  virtual Result<Reply> tryExecute(const Ags& ags) = 0;
+
+  /// Throwing wrapper over tryExecute(): converts an error Result into
+  /// ftl::Error with the same message. Prefer tryExecute() in new code
+  /// (docs/API.md).
+  Reply execute(const Ags& ags);
+
+  // ---- single-operation sugar (each is an AGS of its own) ----
+
+  /// out(ts, t): deposit a tuple.
+  void out(TsHandle ts, Tuple t);
+  /// in(ts, p): withdraw the oldest match, blocking until one exists.
+  Tuple in(TsHandle ts, Pattern p);
+  /// rd(ts, p): read the oldest match, blocking until one exists.
+  Tuple rd(TsHandle ts, Pattern p);
+  /// inp(ts, p): withdraw without blocking; strong semantics — nullopt
+  /// GUARANTEES no match existed at this point of the total order.
+  std::optional<Tuple> inp(TsHandle ts, Pattern p);
+  /// rdp(ts, p): non-destructive inp.
+  std::optional<Tuple> rdp(TsHandle ts, Pattern p);
+
+  // ---- tuple space management ----
+
+  /// Create a tuple space. Stable+shared spaces are replicated; volatile
+  /// ones live only on this processor (scratch). The paper's
+  /// create_TS(stability, scope).
+  virtual TsHandle createTs(TsAttributes attrs) = 0;
+  /// Convenience: volatile private scratch space.
+  TsHandle createScratch() { return createTs(TsAttributes{false, false}); }
+  virtual void destroyTs(TsHandle ts) = 0;
+
+  /// Register `ts` to receive ("failure", host) tuples when a processor
+  /// crashes (fail-stop conversion).
+  void monitorFailures(TsHandle ts, bool enable = true) { doMonitorFailures(ts, enable); }
+
+  /// True once this processor's simulated crash has been signalled.
+  virtual bool crashed() const = 0;
+
+  /// Local-scratch introspection for tests.
+  virtual std::size_t localTupleCount(TsHandle ts) const = 0;
+
+ protected:
+  virtual void doMonitorFailures(TsHandle ts, bool enable) = 0;
+};
+
+}  // namespace ftl::ftlinda

@@ -6,7 +6,7 @@ using tuple::fBlob;
 using tuple::fInt;
 using tuple::makePattern;
 
-StableCheckpoint::StableCheckpoint(Runtime& rt, TsHandle ts, std::string key)
+StableCheckpoint::StableCheckpoint(LindaApi& rt, TsHandle ts, std::string key)
     : rt_(rt), ts_(ts), key_(std::move(key)) {
   FTL_REQUIRE(!ts::isLocalHandle(ts_), "checkpoints need a STABLE tuple space");
 }

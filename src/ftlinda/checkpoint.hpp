@@ -18,14 +18,14 @@
 
 #include <optional>
 
-#include "ftlinda/runtime.hpp"
+#include "ftlinda/api.hpp"
 
 namespace ftl::ftlinda {
 
 class StableCheckpoint {
  public:
   /// `key` distinguishes independent checkpoint streams within `ts`.
-  StableCheckpoint(Runtime& rt, TsHandle ts, std::string key);
+  StableCheckpoint(LindaApi& rt, TsHandle ts, std::string key);
 
   /// Atomically replace the checkpoint with `state`. Returns the new
   /// version number (0 for the first save).
@@ -42,7 +42,7 @@ class StableCheckpoint {
   bool clear();
 
  private:
-  Runtime& rt_;
+  LindaApi& rt_;
   const TsHandle ts_;
   const std::string key_;
 };

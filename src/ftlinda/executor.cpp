@@ -100,7 +100,8 @@ std::string validateAgs(const Ags& ags, const TsRegistry& reg, ExecMode mode) {
 namespace {
 
 void executeBody(const std::vector<BodyOp>& body, const std::vector<Value>& bindings,
-                 TsRegistry& reg, ExecMode mode, Reply& reply) {
+                 TsRegistry& reg, ExecMode mode, ExecResult& result) {
+  Reply& reply = result.reply;
   for (const auto& op : body) {
     bool status = true;
     switch (op.op) {
@@ -109,6 +110,7 @@ void executeBody(const std::vector<BodyOp>& body, const std::vector<Value>& bind
         if (externalLocalDst(op.ts, reg, mode)) {
           reply.local_deposits.emplace_back(op.ts, std::move(t));
         } else {
+          result.deposited.emplace_back(op.ts, tuple::signatureOf(t));
           reg.get(op.ts).put(std::move(t));
         }
         break;
@@ -131,6 +133,8 @@ void executeBody(const std::vector<BodyOp>& body, const std::vector<Value>& bind
           for (auto& t : tuples) reply.local_deposits.emplace_back(op.dst, std::move(t));
         } else {
           auto& dst = reg.get(op.dst);
+          // Every tuple matched one pattern, so they share its signature.
+          if (!tuples.empty()) result.deposited.emplace_back(op.dst, tuple::signatureOf(p));
           for (auto& t : tuples) dst.put(std::move(t));
         }
         break;
@@ -141,6 +145,7 @@ void executeBody(const std::vector<BodyOp>& body, const std::vector<Value>& bind
       }
       case OpCode::DestroyTs: {
         status = reg.destroy(op.ts);
+        result.structural = true;
         break;
       }
     }
@@ -190,7 +195,7 @@ ExecResult tryExecuteAgs(const Ags& ags, TsRegistry& reg, ExecMode mode) {
     result.reply.branch = static_cast<std::int32_t>(i);
     result.reply.bindings = bindings;
     result.reply.guard_tuple = matched;
-    executeBody(branch.body, bindings, reg, mode, result.reply);
+    executeBody(branch.body, bindings, reg, mode, result);
     result.executed = true;
     return result;
   }

@@ -33,6 +33,17 @@ struct ExecResult {
   /// errors and failed non-blocking statements).
   bool executed = false;
   Reply reply;
+
+  /// Wake hints for the caller's blocked-guard wait-index: the (space,
+  /// signature) of every tuple this statement deposited INTO THE REGISTRY
+  /// (out, and move/copy destinations; local_deposits are excluded — they
+  /// never wake replica-side guards). Deterministic: derived only from the
+  /// statement and the matched tuples. May contain duplicates.
+  std::vector<std::pair<TsHandle, tuple::SignatureKey>> deposited;
+  /// True if a destroy_TS ran: blocked statements referencing the destroyed
+  /// space must be re-validated (they now terminate with an error reply), so
+  /// the caller retries its whole wait queue.
+  bool structural = false;
 };
 
 /// Validate `ags` against `reg` under `mode`. Returns an empty string if

@@ -4,7 +4,7 @@
 
 namespace ftl::ftlinda {
 
-FailureMonitor::FailureMonitor(Runtime& rt, TsHandle ts, RegenRule rule, Callback on_handled)
+FailureMonitor::FailureMonitor(LindaApi& rt, TsHandle ts, RegenRule rule, Callback on_handled)
     : rt_(rt), ts_(ts), rule_(std::move(rule)), on_handled_(std::move(on_handled)) {
   FTL_REQUIRE(!rule_.marker_name.empty() && !rule_.work_name.empty(),
               "regen rule needs marker and work tuple names");

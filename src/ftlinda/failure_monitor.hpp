@@ -18,7 +18,7 @@
 
 #include <functional>
 
-#include "ftlinda/runtime.hpp"
+#include "ftlinda/api.hpp"
 
 namespace ftl::ftlinda {
 
@@ -41,10 +41,10 @@ class FailureMonitor {
   /// Called after each handled failure: (failed host, markers regenerated).
   using Callback = std::function<void(net::HostId, int)>;
 
-  FailureMonitor(Runtime& rt, TsHandle ts, RegenRule rule, Callback on_handled = {});
+  FailureMonitor(LindaApi& rt, TsHandle ts, RegenRule rule, Callback on_handled = {});
 
   /// Run the monitor loop forever (until the processor fails). Call from a
-  /// dedicated process, e.g. sys.spawnProcess(h, [&](Runtime&){ m.run(); }).
+  /// dedicated process, e.g. sys.spawnProcess(h, [&](LindaApi&){ m.run(); }).
   /// Registers `ts` for failure notification on entry.
   void run();
 
@@ -55,7 +55,7 @@ class FailureMonitor {
  private:
   int regenerate(std::int64_t failed_host);
 
-  Runtime& rt_;
+  LindaApi& rt_;
   const TsHandle ts_;
   const RegenRule rule_;
   const Callback on_handled_;

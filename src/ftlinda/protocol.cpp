@@ -43,6 +43,14 @@ Command makeExecute(std::uint64_t request_id, Ags ags) {
   return c;
 }
 
+const Value& Reply::bound(std::size_t i) const {
+  if (i >= bindings.size()) {
+    throw Error("Reply::bound(" + std::to_string(i) + "): statement bound only " +
+                std::to_string(bindings.size()) + " formal(s)");
+  }
+  return bindings[i];
+}
+
 Bytes Reply::encode() const {
   Writer w;
   w.boolean(succeeded);

@@ -56,6 +56,16 @@ struct Reply {
   /// When set, no state was modified.
   std::string error;
 
+  /// Range-checked access to the firing guard's bindings. Prefer these over
+  /// indexing `bindings` directly: a bad index throws ftl::Error naming the
+  /// index and the arity instead of undefined behaviour.
+  const Value& bound(std::size_t i) const;
+  std::int64_t boundInt(std::size_t i) const { return bound(i).asInt(); }
+  double boundReal(std::size_t i) const { return bound(i).asReal(); }
+  bool boundBool(std::size_t i) const { return bound(i).asBool(); }
+  const std::string& boundStr(std::size_t i) const { return bound(i).asStr(); }
+  const Bytes& boundBlob(std::size_t i) const { return bound(i).asBlob(); }
+
   /// Wire form, used by the tuple-server (RPC) configuration of §6/Fig. 17.
   Bytes encode() const;
   static Reply decode(const Bytes& b);

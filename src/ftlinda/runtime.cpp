@@ -75,21 +75,24 @@ bool entirelyLocalAgs(const Ags& ags) {
   return true;
 }
 
-Reply Runtime::execute(const Ags& ags) {
+Result<Reply> Runtime::tryExecute(const Ags& ags) {
   if (crashed_.load()) throw ProcessorFailure(host_);
   // FT-lcc rejects malformed statements at compile time; we reject them here,
   // before the statement is encoded or multicast, so a bad AGS costs its
-  // issuer a local exception instead of work at every replica.
+  // issuer a local error instead of work at every replica.
   if (VerifyResult vr = verify(ags); !vr.ok()) {
-    throw Error("AGS rejected by verifier: " + vr.toString());
+    return verifyApiError(vr);
   }
   if (entirelyLocalAgs(ags)) {
+    Reply r;
     try {
-      return scratch_.execute(ags, [this] { return crashed_.load(); });
+      r = scratch_.execute(ags, [this] { return crashed_.load(); });
     } catch (const Error&) {
       if (crashed_.load()) throw ProcessorFailure(host_);
       throw;
     }
+    if (!r.error.empty()) return Result<Reply>::failure("registry", r.error);
+    return r;
   }
   return executeReplicated(ags);
 }
@@ -119,46 +122,12 @@ Reply Runtime::submitAndWait(Command cmd) {
   return std::move(*slot->reply);
 }
 
-Reply Runtime::executeReplicated(const Ags& ags) {
+Result<Reply> Runtime::executeReplicated(const Ags& ags) {
   const std::uint64_t rid = next_rid_.fetch_add(1);
   Reply r = submitAndWait(makeExecute(rid, ags));
-  if (!r.error.empty()) throw Error(r.error);
+  if (!r.error.empty()) return Result<Reply>::failure("registry", r.error);
   scratch_.applyDeposits(r.local_deposits);
   return r;
-}
-
-void Runtime::out(TsHandle ts, Tuple t) {
-  TupleTemplate tmpl;
-  tmpl.fields.reserve(t.arity());
-  for (const auto& v : t.fields()) {
-    TemplateField f;
-    f.kind = TemplateField::Kind::Literal;
-    f.literal = v;
-    tmpl.fields.push_back(std::move(f));
-  }
-  execute(AgsBuilder().when(guardTrue()).then(opOut(ts, std::move(tmpl))).build());
-}
-
-Tuple Runtime::in(TsHandle ts, Pattern p) {
-  Reply r = execute(AgsBuilder().when(guardIn(ts, std::move(p))).build());
-  FTL_ENSURE(r.guard_tuple.has_value(), "in() reply carries no tuple");
-  return std::move(*r.guard_tuple);
-}
-
-Tuple Runtime::rd(TsHandle ts, Pattern p) {
-  Reply r = execute(AgsBuilder().when(guardRd(ts, std::move(p))).build());
-  FTL_ENSURE(r.guard_tuple.has_value(), "rd() reply carries no tuple");
-  return std::move(*r.guard_tuple);
-}
-
-std::optional<Tuple> Runtime::inp(TsHandle ts, Pattern p) {
-  Reply r = execute(AgsBuilder().when(guardInp(ts, std::move(p))).build());
-  return r.guard_tuple;
-}
-
-std::optional<Tuple> Runtime::rdp(TsHandle ts, Pattern p) {
-  Reply r = execute(AgsBuilder().when(guardRdp(ts, std::move(p))).build());
-  return r.guard_tuple;
 }
 
 TsHandle Runtime::createTs(TsAttributes attrs) {
@@ -176,7 +145,7 @@ void Runtime::destroyTs(TsHandle ts) {
   execute(AgsBuilder().when(guardTrue()).then(opDestroyTs(ts)).build());
 }
 
-void Runtime::monitorFailures(TsHandle ts, bool enable) {
+void Runtime::doMonitorFailures(TsHandle ts, bool enable) {
   FTL_REQUIRE(!isLocalHandle(ts), "only stable spaces receive failure tuples");
   if (crashed_.load()) throw ProcessorFailure(host_);
   const std::uint64_t rid = next_rid_.fetch_add(1);

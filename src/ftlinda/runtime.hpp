@@ -19,20 +19,14 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "ftlinda/api.hpp"
 #include "ftlinda/scratch.hpp"
 #include "ftlinda/ts_state_machine.hpp"
 #include "rsm/replica.hpp"
 
 namespace ftl::ftlinda {
 
-/// Thrown by runtime calls on/after the processor's simulated crash.
-class ProcessorFailure : public Error {
- public:
-  explicit ProcessorFailure(net::HostId host)
-      : Error("processor " + std::to_string(host) + " failed") {}
-};
-
-class Runtime {
+class Runtime : public LindaApi {
  public:
   explicit Runtime(net::HostId host);
 
@@ -40,47 +34,22 @@ class Runtime {
   /// reply sink). Called once by FtLindaSystem.
   void attach(rsm::Replica* replica, TsStateMachine* sm);
 
-  net::HostId host() const { return host_; }
+  net::HostId host() const override { return host_; }
 
-  /// Execute an AGS. Blocks until the statement completes (which may mean
-  /// waiting for a guard to become satisfiable). Throws ftl::Error for
-  /// invalid statements and ProcessorFailure on crash.
-  Reply execute(const Ags& ags);
-
-  // ---- single-operation sugar (each is an AGS of its own) ----
-
-  /// out(ts, t): deposit a tuple.
-  void out(TsHandle ts, Tuple t);
-  /// in(ts, p): withdraw the oldest match, blocking until one exists.
-  Tuple in(TsHandle ts, Pattern p);
-  /// rd(ts, p): read the oldest match, blocking until one exists.
-  Tuple rd(TsHandle ts, Pattern p);
-  /// inp(ts, p): withdraw without blocking; strong semantics — nullopt
-  /// GUARANTEES no match existed at this point of the total order.
-  std::optional<Tuple> inp(TsHandle ts, Pattern p);
-  /// rdp(ts, p): non-destructive inp.
-  std::optional<Tuple> rdp(TsHandle ts, Pattern p);
-
-  // ---- tuple space management ----
-
-  /// Create a tuple space. Stable+shared spaces are replicated; volatile
-  /// ones live only on this processor (scratch). The paper's
-  /// create_TS(stability, scope).
-  TsHandle createTs(TsAttributes attrs);
-  /// Convenience: volatile private scratch space.
-  TsHandle createScratch() { return createTs(TsAttributes{false, false}); }
-  void destroyTs(TsHandle ts);
-
-  /// Register `ts` to receive ("failure", host) tuples when a processor
-  /// crashes (fail-stop conversion).
-  void monitorFailures(TsHandle ts, bool enable = true);
+  // LindaApi: verbs, execute() and monitorFailures() are inherited; the
+  // primitives below route stable-space statements through the replica.
+  Result<Reply> tryExecute(const Ags& ags) override;
+  TsHandle createTs(TsAttributes attrs) override;
+  void destroyTs(TsHandle ts) override;
 
   // ---- crash plumbing (driven by FtLindaSystem) ----
   void markCrashed();
-  bool crashed() const { return crashed_.load(); }
+  bool crashed() const override { return crashed_.load(); }
 
-  /// Local-scratch introspection for tests.
-  std::size_t localTupleCount(TsHandle ts) const;
+  std::size_t localTupleCount(TsHandle ts) const override;
+
+ protected:
+  void doMonitorFailures(TsHandle ts, bool enable) override;
 
  private:
   struct Slot {
@@ -90,7 +59,7 @@ class Runtime {
     bool failed = false;
   };
 
-  Reply executeReplicated(const Ags& ags);
+  Result<Reply> executeReplicated(const Ags& ags);
   void completeRequest(std::uint64_t rid, const Reply& r);
   Reply submitAndWait(Command cmd);
 

@@ -18,7 +18,6 @@ Reply ScratchSpaces::execute(const Ags& ags, const std::function<bool()>& aborte
     if (aborted && aborted()) throw Error("local execution aborted");
     ExecResult res = tryExecuteAgs(ags, reg_, ExecMode::Local);
     if (res.executed) {
-      if (!res.reply.error.empty()) throw Error(res.reply.error);
       ++version_;  // the body may have deposited tuples
       lock.unlock();
       cv_.notify_all();

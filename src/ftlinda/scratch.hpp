@@ -29,7 +29,9 @@ class ScratchSpaces {
 
   /// Execute an all-local AGS; blocks (on this processor only) until a
   /// guard can fire. `aborted` is polled so a crashed processor's waiters
-  /// wake up; when it returns true this call throws ftl::Error.
+  /// wake up; when it returns true this call throws ftl::Error. A
+  /// deterministic execution error comes back as a Reply with `error` set
+  /// (the caller maps it into its Result), never as an exception.
   Reply execute(const Ags& ags, const std::function<bool()>& aborted);
 
   /// Absorb (handle, tuple) deposits from a replicated reply; wakes local

@@ -92,11 +92,15 @@ class FtLindaSystem {
   struct Ctx {
     // Replica hosts:
     std::unique_ptr<TsStateMachine> sm;
-    std::unique_ptr<rsm::Replica> replica;
     std::unique_ptr<Runtime> runtime;
     std::unique_ptr<TupleServer> server;
     // Client hosts (tuple-server configuration):
     std::unique_ptr<RemoteRuntime> remote;
+    // Declared last so it is destroyed FIRST: ~Replica stops and joins the
+    // protocol service thread, which can still be draining its inbox backlog
+    // (and flushing staged apply batches) into sm/runtime/server. Everything
+    // it can call into must outlive it.
+    std::unique_ptr<rsm::Replica> replica;
   };
 
   Ctx makeCtx(net::HostId host, bool join_existing);

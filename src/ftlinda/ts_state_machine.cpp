@@ -1,6 +1,7 @@
 #include "ftlinda/ts_state_machine.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
@@ -28,6 +29,27 @@ void TsStateMachine::emitLocked(net::HostId origin, std::uint64_t request_id,
 void TsStateMachine::apply(const rsm::ApplyContext& ctx, const Bytes& command) {
   Command cmd = Command::decode(command);
   std::lock_guard<std::mutex> lock(mutex_);
+  applyCommandLocked(ctx, std::move(cmd));
+}
+
+void TsStateMachine::applyBatch(const std::vector<rsm::BatchItem>& items) {
+  // Decode the whole run before taking the lock: deserialization is the
+  // per-command cost that does NOT need the state, and the apply path runs
+  // on the protocol service thread, so every cycle under the lock lengthens
+  // the ordering critical path.
+  std::vector<Command> cmds;
+  cmds.reserve(items.size());
+  for (const auto& item : items) cmds.push_back(Command::decode(*item.command));
+  std::lock_guard<std::mutex> lock(mutex_);
+  batch_stats_.batches += 1;
+  batch_stats_.commands += items.size();
+  batch_stats_.max_batch = std::max<std::uint64_t>(batch_stats_.max_batch, items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    applyCommandLocked(items[i].ctx, std::move(cmds[i]));
+  }
+}
+
+void TsStateMachine::applyCommandLocked(const rsm::ApplyContext& ctx, Command&& cmd) {
   switch (cmd.kind) {
     case CommandKind::ExecuteAgs: {
       ExecResult res = tryExecuteAgs(cmd.ags, reg_, ExecMode::Replicated);
@@ -38,14 +60,16 @@ void TsStateMachine::apply(const rsm::ApplyContext& ctx, const Bytes& command) {
         b.origin = ctx.origin;
         b.request_id = cmd.request_id;
         b.ags = std::move(cmd.ags);
-        blocked_.push_back(std::move(b));
+        insertBlockedLocked(std::move(b));
         FTL_DEBUG("tssm", "AGS from host " << ctx.origin << " blocked (queue="
                                            << blocked_.size() << ")");
-      } else {
-        emitLocked(ctx.origin, cmd.request_id, res.reply);
+        break;  // a blocked statement mutated nothing: nobody to wake
       }
+      emitLocked(ctx.origin, cmd.request_id, res.reply);
       // Whatever just ran may have deposited tuples that unblock others.
-      retryBlockedLocked();
+      if (!res.deposited.empty() || res.structural) {
+        retryBlockedLocked(res.deposited, res.structural);
+      }
       break;
     }
     case CommandKind::MonitorFailures: {
@@ -65,6 +89,41 @@ void TsStateMachine::apply(const rsm::ApplyContext& ctx, const Bytes& command) {
       break;
     }
   }
+}
+
+std::vector<TsStateMachine::WaitKey> TsStateMachine::guardWaitKeys(const Ags& ags) {
+  // A blocked statement has no guardTrue() branch (it would have fired), so
+  // every branch contributes one (space, pattern-signature) posting. Inp/Rdp
+  // guards are included: a retry probes branches in order, and a deposit may
+  // let a non-blocking branch fire ahead of the blocking one.
+  std::vector<WaitKey> keys;
+  keys.reserve(ags.branches.size());
+  for (const auto& branch : ags.branches) {
+    if (branch.guard.kind == Guard::Kind::True) continue;
+    keys.emplace_back(branch.guard.ts, tuple::signatureOf(branch.guard.pattern));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+void TsStateMachine::insertBlockedLocked(BlockedAgs b) {
+  b.keys = guardWaitKeys(b.ags);
+  const std::uint64_t order = b.order;
+  for (const WaitKey& k : b.keys) wait_index_[k].push_back(order);  // orders ascend
+  blocked_.emplace(order, std::move(b));
+}
+
+std::map<std::uint64_t, TsStateMachine::BlockedAgs>::iterator TsStateMachine::eraseBlockedLocked(
+    std::map<std::uint64_t, BlockedAgs>::iterator it) {
+  for (const WaitKey& k : it->second.keys) {
+    auto idx = wait_index_.find(k);
+    if (idx == wait_index_.end()) continue;
+    auto& orders = idx->second;
+    orders.erase(std::remove(orders.begin(), orders.end(), it->first), orders.end());
+    if (orders.empty()) wait_index_.erase(idx);
+  }
+  return blocked_.erase(it);
 }
 
 void TsStateMachine::countLocked(const Ags& ags, const ExecResult& res, bool woken) {
@@ -108,22 +167,45 @@ TsStateMachine::Metrics TsStateMachine::metrics() const {
   return metrics_;
 }
 
-void TsStateMachine::retryBlockedLocked() {
-  // Deterministic wake policy: scan the queue oldest-first; repeat until a
-  // full pass wakes nobody (a woken body may enable an older statement).
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (auto it = blocked_.begin(); it != blocked_.end();) {
-      ExecResult res = tryExecuteAgs(it->ags, reg_, ExecMode::Replicated);
-      if (res.executed) {
-        countLocked(it->ags, res, /*woken=*/true);
-        emitLocked(it->origin, it->request_id, res.reply);
-        it = blocked_.erase(it);
-        progress = true;
-      } else {
-        ++it;
-      }
+TsStateMachine::BatchStats TsStateMachine::batchStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batch_stats_;
+}
+
+void TsStateMachine::retryBlockedLocked(const std::vector<WaitKey>& dirty, bool wake_all) {
+  // Deterministic wake policy, same fixpoint as the pre-index full rescan:
+  // candidates are retried oldest-first; a woken body's deposits add its
+  // newly-matchable waiters to the candidate set (possibly OLDER than the
+  // statement that just fired — the ordered set handles that). Filtering by
+  // wait key only skips retries that would have re-blocked without touching
+  // state, so the sequence of state changes and emitted replies is
+  // byte-identical to the full rescan.
+  std::set<std::uint64_t> candidates;
+  auto addKey = [&](const WaitKey& k) {
+    auto idx = wait_index_.find(k);
+    if (idx == wait_index_.end()) return;
+    candidates.insert(idx->second.begin(), idx->second.end());
+  };
+  if (wake_all) {
+    for (const auto& [order, b] : blocked_) candidates.insert(order);
+  } else {
+    for (const WaitKey& k : dirty) addKey(k);
+  }
+  while (!candidates.empty()) {
+    const std::uint64_t order = *candidates.begin();
+    candidates.erase(candidates.begin());
+    auto it = blocked_.find(order);
+    if (it == blocked_.end()) continue;  // already woken this round
+    ++metrics_.wake_probes;
+    ExecResult res = tryExecuteAgs(it->second.ags, reg_, ExecMode::Replicated);
+    if (!res.executed) continue;  // still blocked; state untouched
+    countLocked(it->second.ags, res, /*woken=*/true);
+    emitLocked(it->second.origin, it->second.request_id, res.reply);
+    eraseBlockedLocked(it);
+    if (res.structural) {
+      for (const auto& [o, b] : blocked_) candidates.insert(o);
+    } else {
+      for (const WaitKey& k : res.deposited) addKey(k);
     }
   }
 }
@@ -136,23 +218,29 @@ void TsStateMachine::onMembership(std::uint64_t gseq, const std::vector<net::Hos
   (void)joined;
   if (failed.empty()) return;
   std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WaitKey> dirty;
   for (net::HostId h : failed) {
     // Fail-silent -> fail-stop: one failure tuple per registered TS, at the
     // same point of the total order at every replica.
     for (TsHandle ts : monitored_) {
       if (auto* space = reg_.find(ts)) {
-        space->put(tuple::makeTuple("failure", static_cast<std::int64_t>(h)));
+        Tuple t = tuple::makeTuple("failure", static_cast<std::int64_t>(h));
+        dirty.emplace_back(ts, tuple::signatureOf(t));
+        space->put(std::move(t));
         ++metrics_.failure_tuples;
       }
     }
     // Blocked statements from the dead processor will never be claimed.
-    const auto before = blocked_.size();
-    blocked_.erase(std::remove_if(blocked_.begin(), blocked_.end(),
-                                  [&](const BlockedAgs& b) { return b.origin == h; }),
-                   blocked_.end());
-    metrics_.cancelled_blocked += before - blocked_.size();
+    for (auto it = blocked_.begin(); it != blocked_.end();) {
+      if (it->second.origin == h) {
+        it = eraseBlockedLocked(it);
+        ++metrics_.cancelled_blocked;
+      } else {
+        ++it;
+      }
+    }
   }
-  retryBlockedLocked();
+  retryBlockedLocked(dirty, /*wake_all=*/false);
 }
 
 Bytes TsStateMachine::snapshot() const {
@@ -160,7 +248,7 @@ Bytes TsStateMachine::snapshot() const {
   Writer w;
   reg_.encode(w);
   w.u32(static_cast<std::uint32_t>(blocked_.size()));
-  for (const auto& b : blocked_) {
+  for (const auto& [order, b] : blocked_) {
     w.u64(b.order);
     w.u32(b.origin);
     w.u64(b.request_id);
@@ -176,6 +264,7 @@ void TsStateMachine::restore(const Bytes& snapshot) {
   std::lock_guard<std::mutex> lock(mutex_);
   reg_ = ts::TsRegistry::decode(r);
   blocked_.clear();
+  wait_index_.clear();
   const std::uint32_t nb = r.u32();
   for (std::uint32_t i = 0; i < nb; ++i) {
     BlockedAgs b;
@@ -183,7 +272,7 @@ void TsStateMachine::restore(const Bytes& snapshot) {
     b.origin = r.u32();
     b.request_id = r.u64();
     b.ags = Ags::decode(r);
-    blocked_.push_back(std::move(b));
+    insertBlockedLocked(std::move(b));  // rebuilds the wait-index postings
   }
   monitored_.clear();
   const std::uint32_t nm = r.u32();

@@ -6,7 +6,11 @@
 // Responsibilities:
 //  - execute each AGS command atomically (via the shared executor);
 //  - queue AGSes whose guards cannot fire (blocking semantics), waking them
-//    deterministically — oldest first — whenever state changes;
+//    deterministically — oldest first — whenever state changes. A blocked
+//    statement is indexed by the (space, signature) of each of its guards,
+//    so a deposit probes only the statements whose guard signature it can
+//    match instead of re-executing the whole wait queue (a destroy_TS still
+//    wakes everything: it can turn a blocked statement into an error);
 //  - convert membership failures into failure tuples ("failure", host)
 //    deposited into every registered TS, at the same point of the total
 //    order everywhere (the fail-silent -> fail-stop conversion of §3.3);
@@ -44,6 +48,11 @@ class TsStateMachine : public rsm::StateMachine {
 
   // rsm::StateMachine
   void apply(const rsm::ApplyContext& ctx, const Bytes& command) override;
+  /// Batched apply: decodes every command up front, then executes the run
+  /// under ONE lock acquisition. Replicated state after the batch is
+  /// byte-identical to applying the items one at a time (batch boundaries
+  /// are local scheduling — see rsm::StateMachine::applyBatch).
+  void applyBatch(const std::vector<rsm::BatchItem>& items) override;
   void onMembership(std::uint64_t gseq, const std::vector<net::HostId>& members,
                     const std::vector<net::HostId>& failed,
                     const std::vector<net::HostId>& joined) override;
@@ -68,8 +77,22 @@ class TsStateMachine : public rsm::StateMachine {
     std::uint64_t guards_rd = 0;
     std::uint64_t failure_tuples = 0;
     std::uint64_t cancelled_blocked = 0;  // blocked statements of dead hosts
+    /// Blocked statements re-executed by the wake path. With the wait-index
+    /// this counts only statements whose guard signature a deposit could
+    /// match (pre-index it was every blocked statement after every apply).
+    std::uint64_t wake_probes = 0;
   };
   Metrics metrics() const;
+
+  /// Apply-batch shape counters. UNLIKE Metrics these are NOT deterministic
+  /// across replicas: batch boundaries depend on local scheduling, never on
+  /// replicated state. Diagnostics / benches only.
+  struct BatchStats {
+    std::uint64_t batches = 0;        // applyBatch() calls
+    std::uint64_t commands = 0;       // commands applied through batches
+    std::uint64_t max_batch = 0;      // largest single batch
+  };
+  BatchStats batchStats() const;
 
   // Introspection (tests, benches, examples). Values are copies taken under
   // the machine's lock.
@@ -82,15 +105,32 @@ class TsStateMachine : public rsm::StateMachine {
   Bytes stateDigestBytes() const;
 
  private:
+  /// Wait-index key: a blocked guard waits on (space, pattern signature); a
+  /// deposit dirties (space, tuple signature). Strict signature matching
+  /// (signature.hpp) guarantees a pattern only ever matches tuples with an
+  /// equal key, so filtering by key can never miss a wake (hash collisions
+  /// cause spurious probes, which are harmless).
+  using WaitKey = std::pair<TsHandle, tuple::SignatureKey>;
+
   struct BlockedAgs {
     std::uint64_t order = 0;  // gseq at arrival: deterministic wake order
     net::HostId origin = net::kNoHost;
     std::uint64_t request_id = 0;
     Ags ags;
+    std::vector<WaitKey> keys;  // sorted unique guard keys (index postings)
   };
 
-  void applyExecute(const rsm::ApplyContext& ctx, Command cmd);
-  void retryBlockedLocked();
+  static std::vector<WaitKey> guardWaitKeys(const Ags& ags);
+
+  void applyCommandLocked(const rsm::ApplyContext& ctx, Command&& cmd);
+  void insertBlockedLocked(BlockedAgs b);
+  /// Remove one blocked statement and its index postings.
+  std::map<std::uint64_t, BlockedAgs>::iterator eraseBlockedLocked(
+      std::map<std::uint64_t, BlockedAgs>::iterator it);
+  /// Retry blocked statements whose guard keys intersect `dirty` (or all of
+  /// them when `wake_all`), oldest first, to fixpoint: a woken body's own
+  /// deposits extend the candidate set.
+  void retryBlockedLocked(const std::vector<WaitKey>& dirty, bool wake_all);
   void emitLocked(net::HostId origin, std::uint64_t request_id, const Reply& reply);
   void countLocked(const Ags& ags, const ExecResult& res, bool woken);
 
@@ -98,9 +138,11 @@ class TsStateMachine : public rsm::StateMachine {
   ReplySink sink_;
   std::vector<ReplySink> extra_sinks_;
   ts::TsRegistry reg_{/*with_main=*/true};
-  std::vector<BlockedAgs> blocked_;       // sorted by order
+  std::map<std::uint64_t, BlockedAgs> blocked_;          // order -> statement
+  std::map<WaitKey, std::vector<std::uint64_t>> wait_index_;  // key -> orders
   std::vector<TsHandle> monitored_;       // sorted; failure-notify targets
   Metrics metrics_;                       // NOT part of snapshots (local)
+  BatchStats batch_stats_;                // local-only (see accessor)
 };
 
 }  // namespace ftl::ftlinda

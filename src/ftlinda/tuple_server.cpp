@@ -150,57 +150,29 @@ Reply RemoteRuntime::rpc(Command cmd) {
   return std::move(*slot->reply);
 }
 
-Reply RemoteRuntime::execute(const Ags& ags) {
+Result<Reply> RemoteRuntime::tryExecute(const Ags& ags) {
   if (crashed_.load()) throw ProcessorFailure(host_);
-  // Same submission-time gate as Runtime::execute: a malformed statement
+  // Same submission-time gate as Runtime::tryExecute: a malformed statement
   // never reaches the wire (here: the RPC to the tuple server).
   if (VerifyResult vr = verify(ags); !vr.ok()) {
-    throw Error("AGS rejected by verifier: " + vr.toString());
+    return verifyApiError(vr);
   }
   if (entirelyLocalAgs(ags)) {
+    Reply r;
     try {
-      return scratch_.execute(ags, [this] { return crashed_.load(); });
+      r = scratch_.execute(ags, [this] { return crashed_.load(); });
     } catch (const Error&) {
       if (crashed_.load()) throw ProcessorFailure(host_);
       throw;
     }
+    if (!r.error.empty()) return Result<Reply>::failure("registry", r.error);
+    return r;
   }
   const std::uint64_t rid = next_rid_.fetch_add(1);
   Reply r = rpc(makeExecute(rid, ags));
-  if (!r.error.empty()) throw Error(r.error);
+  if (!r.error.empty()) return Result<Reply>::failure("registry", r.error);
   scratch_.applyDeposits(r.local_deposits);
   return r;
-}
-
-void RemoteRuntime::out(TsHandle ts, Tuple t) {
-  TupleTemplate tmpl;
-  tmpl.fields.reserve(t.arity());
-  for (const auto& v : t.fields()) {
-    TemplateField f;
-    f.literal = v;
-    tmpl.fields.push_back(std::move(f));
-  }
-  execute(AgsBuilder().when(guardTrue()).then(opOut(ts, std::move(tmpl))).build());
-}
-
-Tuple RemoteRuntime::in(TsHandle ts, Pattern p) {
-  Reply r = execute(AgsBuilder().when(guardIn(ts, std::move(p))).build());
-  FTL_ENSURE(r.guard_tuple.has_value(), "in() reply carries no tuple");
-  return std::move(*r.guard_tuple);
-}
-
-Tuple RemoteRuntime::rd(TsHandle ts, Pattern p) {
-  Reply r = execute(AgsBuilder().when(guardRd(ts, std::move(p))).build());
-  FTL_ENSURE(r.guard_tuple.has_value(), "rd() reply carries no tuple");
-  return std::move(*r.guard_tuple);
-}
-
-std::optional<Tuple> RemoteRuntime::inp(TsHandle ts, Pattern p) {
-  return execute(AgsBuilder().when(guardInp(ts, std::move(p))).build()).guard_tuple;
-}
-
-std::optional<Tuple> RemoteRuntime::rdp(TsHandle ts, Pattern p) {
-  return execute(AgsBuilder().when(guardRdp(ts, std::move(p))).build()).guard_tuple;
 }
 
 TsHandle RemoteRuntime::createTs(TsAttributes attrs) {
@@ -218,7 +190,7 @@ void RemoteRuntime::destroyTs(TsHandle ts) {
   execute(AgsBuilder().when(guardTrue()).then(opDestroyTs(ts)).build());
 }
 
-void RemoteRuntime::monitorFailures(TsHandle ts, bool enable) {
+void RemoteRuntime::doMonitorFailures(TsHandle ts, bool enable) {
   FTL_REQUIRE(!ts::isLocalHandle(ts), "only stable spaces receive failure tuples");
   if (crashed_.load()) throw ProcessorFailure(host_);
   const std::uint64_t rid = next_rid_.fetch_add(1);

@@ -71,12 +71,12 @@ class TupleServer {
 };
 
 /// The client-side FT-Linda library for hosts that run no replica. Same
-/// verbs as Runtime; stable-space statements travel by RPC, volatile
-/// scratch spaces live locally as usual.
-class RemoteRuntime {
+/// LindaApi as the embedded Runtime; stable-space statements travel by RPC,
+/// volatile scratch spaces live locally as usual.
+class RemoteRuntime : public LindaApi {
  public:
   RemoteRuntime(net::Network& net, net::HostId host, net::HostId server);
-  ~RemoteRuntime();
+  ~RemoteRuntime() override;
 
   RemoteRuntime(const RemoteRuntime&) = delete;
   RemoteRuntime& operator=(const RemoteRuntime&) = delete;
@@ -87,29 +87,24 @@ class RemoteRuntime {
   /// recovery).
   void shutdown();
 
-  net::HostId host() const { return host_; }
+  net::HostId host() const override { return host_; }
   net::HostId server() const { return server_; }
 
   /// Execute an AGS (blocking semantics preserved end-to-end: a blocked
   /// statement waits at the replicas; the RPC reply arrives when it fires).
   /// Throws ProcessorFailure if this host crashes, ftl::Error if the tuple
   /// server becomes unreachable.
-  Reply execute(const Ags& ags);
+  Result<Reply> tryExecute(const Ags& ags) override;
 
-  void out(TsHandle ts, Tuple t);
-  Tuple in(TsHandle ts, Pattern p);
-  Tuple rd(TsHandle ts, Pattern p);
-  std::optional<Tuple> inp(TsHandle ts, Pattern p);
-  std::optional<Tuple> rdp(TsHandle ts, Pattern p);
-
-  TsHandle createTs(TsAttributes attrs);
-  TsHandle createScratch() { return createTs(TsAttributes{false, false}); }
-  void destroyTs(TsHandle ts);
-  void monitorFailures(TsHandle ts, bool enable = true);
+  TsHandle createTs(TsAttributes attrs) override;
+  void destroyTs(TsHandle ts) override;
 
   void markCrashed();
-  bool crashed() const { return crashed_.load(); }
-  std::size_t localTupleCount(TsHandle ts) const { return scratch_.tupleCount(ts); }
+  bool crashed() const override { return crashed_.load(); }
+  std::size_t localTupleCount(TsHandle ts) const override { return scratch_.tupleCount(ts); }
+
+ protected:
+  void doMonitorFailures(TsHandle ts, bool enable) override;
 
  private:
   struct Slot {

@@ -34,6 +34,8 @@ std::optional<Message> Endpoint::recvFor(Micros timeout) {
   return net_->inboxes_[host_]->popFor(timeout);
 }
 
+std::optional<Message> Endpoint::tryRecv() { return net_->inboxes_[host_]->tryPop(); }
+
 Network::Network(std::uint32_t host_count, NetworkConfig config)
     : config_(config), rng_(config.seed) {
   FTL_REQUIRE(host_count > 0, "network needs at least one host");

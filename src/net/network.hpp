@@ -82,6 +82,11 @@ class Endpoint {
   /// Receive with timeout; std::nullopt on timeout or crash.
   std::optional<Message> recvFor(Micros timeout);
 
+  /// Non-blocking receive; std::nullopt when the inbox is empty. Unlike
+  /// recvFor(0) this never touches the condition variable (a zero-timeout
+  /// wait still costs a futex syscall — ruinous on a hot poll path).
+  std::optional<Message> tryRecv();
+
  private:
   friend class Network;
   Endpoint(Network& net, HostId host) : net_(&net), host_(host) {}

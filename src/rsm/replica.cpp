@@ -13,6 +13,14 @@ Replica::Replica(net::Network& net, net::HostId self, std::vector<net::HostId> g
     ctx.origin_seq = d.origin_seq;
     sm_.apply(ctx, d.payload);
   };
+  cb.on_deliver_batch = [this](const std::vector<consul::Delivery>& ds) {
+    std::vector<BatchItem> items;
+    items.reserve(ds.size());
+    for (const auto& d : ds) {
+      items.push_back(BatchItem{ApplyContext{d.gseq, d.origin, d.origin_seq}, &d.payload});
+    }
+    sm_.applyBatch(items);
+  };
   cb.on_view = [this](const consul::ViewInfo& v) {
     sm_.onMembership(v.gseq, v.members, v.failed, v.joined);
   };

@@ -22,12 +22,30 @@ struct ApplyContext {
   std::uint64_t origin_seq = 0;  // its per-origin sequence number
 };
 
+/// One command of an apply batch. `command` points into the delivery buffer
+/// and is valid only for the duration of the applyBatch() call.
+struct BatchItem {
+  ApplyContext ctx;
+  const Bytes* command = nullptr;
+};
+
 class StateMachine {
  public:
   virtual ~StateMachine() = default;
 
   /// Apply one totally-ordered command. Must be deterministic.
   virtual void apply(const ApplyContext& ctx, const Bytes& command) = 0;
+
+  /// Apply a run of CONSECUTIVE totally-ordered commands (items[i].ctx.gseq
+  /// strictly increasing, no gaps filled by views). Batch boundaries are a
+  /// LOCAL scheduling artifact — different replicas may see the same stream
+  /// chopped differently — so an override must produce state byte-identical
+  /// to applying the items one at a time; it may only amortize per-call
+  /// overhead (locking, allocation), never reorder or fuse effects across
+  /// items. Default: loop over apply().
+  virtual void applyBatch(const std::vector<BatchItem>& items) {
+    for (const auto& item : items) apply(item.ctx, *item.command);
+  }
 
   /// Membership event, delivered in the same total order as commands.
   /// `failed`/`joined` list the processors removed/added at this point.

@@ -24,8 +24,8 @@ std::uint64_t TupleSpace::put(Tuple t) {
 }
 
 template <typename Fn>
-void TupleSpace::eachCandidateChain(const Pattern& p, Fn&& fn) const {
-  auto it = buckets_.find(signatureOf(p));
+void TupleSpace::eachCandidateChain(SignatureKey sig, const Pattern& p, Fn&& fn) const {
+  auto it = buckets_.find(sig);
   if (it == buckets_.end()) return;
   const Bucket& b = it->second;
   if (auto name = nameOf(p)) {
@@ -42,11 +42,23 @@ void TupleSpace::eachCandidateChain(const Pattern& p, Fn&& fn) const {
   fn(b.unnamed);
 }
 
+void TupleSpace::pruneBucket(SignatureKey sig) {
+  // Drop empty chains/buckets so snapshots stay canonical.
+  auto bit = buckets_.find(sig);
+  if (bit == buckets_.end()) return;
+  Bucket& b = bit->second;
+  for (auto nit = b.named.begin(); nit != b.named.end();) {
+    nit = nit->second.empty() ? b.named.erase(nit) : std::next(nit);
+  }
+  if (b.named.empty() && b.unnamed.empty()) buckets_.erase(bit);
+}
+
 std::optional<Tuple> TupleSpace::take(const Pattern& p) {
+  const SignatureKey sig = signatureOf(p);
   // Find the oldest match across candidate chains, then erase it.
   const Chain* best_chain = nullptr;
   std::uint64_t best_seq = 0;
-  eachCandidateChain(p, [&](const Chain& chain) {
+  eachCandidateChain(sig, p, [&](const Chain& chain) {
     for (const auto& [seq, t] : chain) {
       if (best_chain && seq >= best_seq) break;  // no older match possible here
       if (p.matches(t)) {
@@ -63,22 +75,14 @@ std::optional<Tuple> TupleSpace::take(const Pattern& p) {
   FTL_ENSURE(!node.empty(), "matched tuple vanished");
   --size_;
   Tuple out = std::move(node.mapped());
-  // Prune empty chains/buckets so snapshots stay canonical.
-  auto bit = buckets_.find(signatureOf(p));
-  if (bit != buckets_.end()) {
-    Bucket& b = bit->second;
-    for (auto nit = b.named.begin(); nit != b.named.end();) {
-      nit = nit->second.empty() ? b.named.erase(nit) : std::next(nit);
-    }
-    if (b.named.empty() && b.unnamed.empty()) buckets_.erase(bit);
-  }
+  pruneBucket(sig);
   return out;
 }
 
 std::optional<Tuple> TupleSpace::read(const Pattern& p) const {
   const Tuple* best = nullptr;
   std::uint64_t best_seq = 0;
-  eachCandidateChain(p, [&](const Chain& chain) {
+  eachCandidateChain(signatureOf(p), p, [&](const Chain& chain) {
     for (const auto& [seq, t] : chain) {
       if (best && seq >= best_seq) break;
       if (p.matches(t)) {
@@ -94,9 +98,10 @@ std::optional<Tuple> TupleSpace::read(const Pattern& p) const {
 }
 
 std::vector<Tuple> TupleSpace::takeAll(const Pattern& p) {
+  const SignatureKey sig = signatureOf(p);
   // Collect (seq, tuple) matches across chains, oldest first.
   std::vector<std::pair<std::uint64_t, Tuple>> matches;
-  eachCandidateChain(p, [&](const Chain& chain) {
+  eachCandidateChain(sig, p, [&](const Chain& chain) {
     for (const auto& [seq, t] : chain) {
       if (p.matches(t)) matches.emplace_back(seq, t);
     }
@@ -110,7 +115,7 @@ std::vector<Tuple> TupleSpace::takeAll(const Pattern& p) {
     out.push_back(std::move(t));
   }
   // Erase them (by seq) from the bucket.
-  auto bit = buckets_.find(signatureOf(p));
+  auto bit = buckets_.find(sig);
   if (bit != buckets_.end()) {
     Bucket& b = bit->second;
     for (const auto& [seq, t] : matches) {
@@ -125,17 +130,14 @@ std::vector<Tuple> TupleSpace::takeAll(const Pattern& p) {
       FTL_ENSURE(erased, "takeAll lost track of a matched tuple");
       --size_;
     }
-    for (auto nit = b.named.begin(); nit != b.named.end();) {
-      nit = nit->second.empty() ? b.named.erase(nit) : std::next(nit);
-    }
-    if (b.named.empty() && b.unnamed.empty()) buckets_.erase(bit);
+    pruneBucket(sig);
   }
   return out;
 }
 
 std::vector<Tuple> TupleSpace::readAll(const Pattern& p) const {
   std::vector<std::pair<std::uint64_t, Tuple>> matches;
-  eachCandidateChain(p, [&](const Chain& chain) {
+  eachCandidateChain(signatureOf(p), p, [&](const Chain& chain) {
     for (const auto& [seq, t] : chain) {
       if (p.matches(t)) matches.emplace_back(seq, t);
     }
@@ -151,7 +153,7 @@ std::vector<Tuple> TupleSpace::readAll(const Pattern& p) const {
 
 std::size_t TupleSpace::count(const Pattern& p) const {
   std::size_t n = 0;
-  eachCandidateChain(p, [&](const Chain& chain) {
+  eachCandidateChain(signatureOf(p), p, [&](const Chain& chain) {
     for (const auto& [seq, t] : chain) {
       if (p.matches(t)) ++n;
     }

@@ -21,6 +21,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "tuple/signature.hpp"
@@ -56,6 +57,9 @@ class TupleSpace {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Distinct signatures currently stored (diagnostics / benches).
+  std::size_t bucketCount() const { return buckets_.size(); }
+
   /// All tuples, oldest first (diagnostics and tests).
   std::vector<Tuple> contents() const;
 
@@ -73,11 +77,14 @@ class TupleSpace {
     Chain unnamed;                       // everything else
   };
 
-  const Chain* chainFor(const Pattern& p, const Bucket& b) const;
   template <typename Fn>  // Fn(const Chain&) -> bool (stop?)
-  void eachCandidateChain(const Pattern& p, Fn&& fn) const;
+  void eachCandidateChain(SignatureKey sig, const Pattern& p, Fn&& fn) const;
+  void pruneBucket(SignatureKey sig);
 
-  std::map<SignatureKey, Bucket> buckets_;
+  // Buckets hash by signature key: lookup is O(1) and nothing iterates this
+  // map in storage order (contents/encode re-sort by insertion seq, so
+  // snapshots stay canonical regardless of hash order).
+  std::unordered_map<SignatureKey, Bucket> buckets_;
   std::uint64_t next_seq_ = 1;
   std::size_t size_ = 0;
 };

@@ -1,0 +1,125 @@
+// LindaApi: one interface over both runtime flavours, Result-based error
+// reporting (rule-tagged, no exceptions for deterministic refusals), and the
+// range-checked Reply::bound accessors (docs/API.md).
+#include "ftlinda/api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ftlinda/system.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::fStr;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+// Written once against LindaApi&, run against both backends.
+std::int64_t counterWorkload(LindaApi& api, const std::string& key, int rounds) {
+  api.out(kTsMain, makeTuple(key, 0));
+  for (int i = 0; i < rounds; ++i) {
+    Reply r = api.execute(
+        AgsBuilder()
+            .when(guardIn(kTsMain, makePattern(key, fInt())))
+            .then(opOut(kTsMain, makeTemplate(key, boundExpr(0, ArithOp::Add, 1))))
+            .build());
+    EXPECT_EQ(r.boundInt(0), i);
+  }
+  return api.in(kTsMain, makePattern(key, fInt())).field(1).asInt();
+}
+
+TEST(LindaApiTest, SameWorkloadOnBothBackends) {
+  SystemConfig cfg;
+  cfg.hosts = 3;
+  cfg.replica_hosts = 2;  // host 2 is an RPC client of a tuple server
+  FtLindaSystem sys(cfg);
+  LindaApi& embedded = sys.runtime(0);
+  LindaApi& remote = sys.remoteRuntime(2);
+  EXPECT_EQ(counterWorkload(embedded, "emb", 4), 4);
+  EXPECT_EQ(counterWorkload(remote, "rpc", 4), 4);
+  EXPECT_EQ(embedded.host(), 0u);
+  EXPECT_EQ(remote.host(), 2u);
+}
+
+TEST(LindaApiTest, TryExecuteTagsVerifierRejections) {
+  SystemConfig cfg;
+  cfg.hosts = 1;
+  FtLindaSystem sys(cfg);
+  const Ags bad = AgsBuilder().when(guardTrue()).then(opDestroyTs(kTsMain)).build();
+  Result<Reply> r = sys.runtime(0).tryExecute(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().rule, "destroy-ts-main");
+  EXPECT_EQ(r.error().message.rfind("AGS rejected by verifier: ", 0), 0u);
+  // The throwing wrapper raises the identical message.
+  try {
+    sys.runtime(0).execute(bad);
+    FAIL() << "execute() did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.what(), r.error().message);
+  }
+}
+
+TEST(LindaApiTest, TryExecuteTagsRegistryErrors) {
+  SystemConfig cfg;
+  cfg.hosts = 1;
+  FtLindaSystem sys(cfg);
+  // Statically well-formed, but the handle does not exist at the replicas.
+  const TsHandle bogus = 777;
+  Result<Reply> r = sys.runtime(0).tryExecute(
+      AgsBuilder().when(guardTrue()).then(opOut(bogus, makeTemplate("x", 1))).build());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().rule, "registry");
+  EXPECT_FALSE(r.error().message.empty());
+}
+
+TEST(LindaApiTest, RemoteTryExecuteTagsMatchEmbedded) {
+  SystemConfig cfg;
+  cfg.hosts = 3;
+  cfg.replica_hosts = 2;
+  FtLindaSystem sys(cfg);
+  const Ags bad = AgsBuilder().when(guardTrue()).then(opDestroyTs(kTsMain)).build();
+  Result<Reply> emb = sys.runtime(0).tryExecute(bad);
+  Result<Reply> rem = sys.remoteRuntime(2).tryExecute(bad);
+  ASSERT_FALSE(emb.ok());
+  ASSERT_FALSE(rem.ok());
+  EXPECT_EQ(emb.error().rule, rem.error().rule);
+  EXPECT_EQ(emb.error().message, rem.error().message);
+}
+
+TEST(LindaApiTest, ResultAccessorsEnforceState) {
+  Result<int> good(7);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+  EXPECT_EQ(good.valueOr(-1), 7);
+  EXPECT_THROW(good.error(), ContractViolation);
+
+  Result<int> bad = Result<int>::failure("registry", "no such space");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.valueOr(-1), -1);
+  EXPECT_EQ(bad.error().rule, "registry");
+  EXPECT_EQ(bad.error().toString(), "no such space");
+  EXPECT_THROW(bad.value(), ContractViolation);
+}
+
+TEST(LindaApiTest, ReplyBoundIsRangeChecked) {
+  SystemConfig cfg;
+  cfg.hosts = 1;
+  FtLindaSystem sys(cfg);
+  auto& rt = sys.runtime(0);
+  rt.out(kTsMain, makeTuple("pair", 3, "s"));
+  Reply r = rt.execute(
+      AgsBuilder().when(guardIn(kTsMain, makePattern("pair", fInt(), fStr()))).build());
+  EXPECT_EQ(r.boundInt(0), 3);
+  EXPECT_EQ(r.boundStr(1), "s");
+  EXPECT_THROW(r.bound(2), Error);
+  EXPECT_THROW(r.boundInt(99), Error);
+
+  Reply none = rt.execute(
+      AgsBuilder().when(guardTrue()).then(opOut(kTsMain, makeTemplate("t", 1))).build());
+  EXPECT_THROW(none.bound(0), Error);
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -1,0 +1,197 @@
+// Property test: the signature-bucketed TupleSpace is observationally
+// identical to a naive linear scan over one insertion-ordered list, across
+// randomized op streams — the correctness contract behind the E9 speedup.
+// Also exercises encode/decode round trips mid-stream: equal contents must
+// re-encode to byte-identical snapshots (DESIGN.md invariant 2).
+#include "ts/tuple_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ftl::ts {
+namespace {
+
+using tuple::fInt;
+using tuple::fReal;
+using tuple::fStr;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+// Reference model: one flat list scanned front to back (insertion order ==
+// age order), exactly the storage ISSUE'd tuple spaces would have without
+// the signature index.
+class LinearSpace {
+ public:
+  void put(Tuple t) { items_.push_back(std::move(t)); }
+
+  std::optional<Tuple> take(const Pattern& p) {
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (p.matches(*it)) {
+        Tuple t = std::move(*it);
+        items_.erase(it);
+        return t;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Tuple> read(const Pattern& p) const {
+    for (const auto& t : items_) {
+      if (p.matches(t)) return t;
+    }
+    return std::nullopt;
+  }
+
+  std::vector<Tuple> takeAll(const Pattern& p) {
+    std::vector<Tuple> out;
+    for (auto it = items_.begin(); it != items_.end();) {
+      if (p.matches(*it)) {
+        out.push_back(std::move(*it));
+        it = items_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return out;
+  }
+
+  std::vector<Tuple> readAll(const Pattern& p) const {
+    std::vector<Tuple> out;
+    for (const auto& t : items_) {
+      if (p.matches(t)) out.push_back(t);
+    }
+    return out;
+  }
+
+  std::size_t count(const Pattern& p) const { return readAll(p).size(); }
+
+  const std::vector<Tuple>& contents() const { return items_; }
+
+ private:
+  std::vector<Tuple> items_;
+};
+
+// A small vocabulary of shapes/values so ops collide often: several shapes
+// share a signature bucket only when their ordered type lists agree, and
+// within a bucket multiple "names" force the cross-chain oldest-first path.
+struct Gen {
+  explicit Gen(std::uint64_t seed) : rng(seed) {}
+
+  std::uint64_t pick(std::uint64_t n) { return rng.below(n); }
+  bool coin() { return pick(2) == 0; }
+  std::int64_t smallInt() { return static_cast<std::int64_t>(pick(4)); }
+  double smallReal() { return 0.5 + static_cast<double>(pick(3)); }
+  std::string name() { return pick(2) ? "alpha" : "beta"; }
+  std::string str() { return pick(2) ? "x" : "y"; }
+
+  Tuple randomTuple() {
+    switch (pick(5)) {
+      case 0: return makeTuple(name(), smallInt());
+      case 1: return makeTuple(name(), smallInt(), smallInt());
+      case 2: return makeTuple(name(), str());
+      case 3: return makeTuple(smallInt(), smallInt());
+      default: return makeTuple(name(), smallReal());
+    }
+  }
+
+  Pattern randomPattern() {
+    switch (pick(5)) {
+      case 0:
+        return coin() ? makePattern(name(), fInt()) : makePattern(fStr(), fInt());
+      case 1:
+        return coin() ? makePattern(name(), fInt(), fInt())
+                      : makePattern(name(), smallInt(), fInt());
+      case 2:
+        return coin() ? makePattern(name(), fStr()) : makePattern(name(), str());
+      case 3:
+        return coin() ? makePattern(fInt(), fInt()) : makePattern(smallInt(), fInt());
+      default:
+        return makePattern(name(), fReal());
+    }
+  }
+
+  Xoshiro256 rng;
+};
+
+Bytes snapshotOf(const TupleSpace& s) {
+  Writer w;
+  s.encode(w);
+  return w.take();
+}
+
+void expectSameContents(const TupleSpace& indexed, const LinearSpace& ref) {
+  // contents() is oldest-first on both sides; tuples must agree exactly.
+  const std::vector<Tuple> a = indexed.contents();
+  const std::vector<Tuple>& b = ref.contents();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+class TupleSpaceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TupleSpaceProperty, IndexedMatchesLinearScan) {
+  Gen gen(GetParam());
+  TupleSpace indexed;
+  LinearSpace ref;
+
+  for (int step = 0; step < 3000; ++step) {
+    switch (gen.pick(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // put
+        Tuple t = gen.randomTuple();
+        indexed.put(t);
+        ref.put(t);
+        break;
+      }
+      case 4:
+      case 5: {  // take
+        const Pattern p = gen.randomPattern();
+        ASSERT_EQ(indexed.take(p), ref.take(p));
+        break;
+      }
+      case 6: {  // read
+        const Pattern p = gen.randomPattern();
+        ASSERT_EQ(indexed.read(p), ref.read(p));
+        break;
+      }
+      case 7: {  // takeAll (move)
+        const Pattern p = gen.randomPattern();
+        ASSERT_EQ(indexed.takeAll(p), ref.takeAll(p));
+        break;
+      }
+      case 8: {  // readAll (copy)
+        const Pattern p = gen.randomPattern();
+        ASSERT_EQ(indexed.readAll(p), ref.readAll(p));
+        break;
+      }
+      default: {  // count
+        const Pattern p = gen.randomPattern();
+        ASSERT_EQ(indexed.count(p), ref.count(p));
+        break;
+      }
+    }
+    ASSERT_EQ(indexed.size(), ref.contents().size());
+    if (step % 500 == 499) {
+      expectSameContents(indexed, ref);
+      // Snapshot round trip: decode(encode(s)) re-encodes byte-identically
+      // and keeps behaving like the reference afterwards.
+      const Bytes snap = snapshotOf(indexed);
+      Reader r(snap);
+      TupleSpace restored = TupleSpace::decode(r);
+      ASSERT_EQ(snapshotOf(restored), snap);
+      ASSERT_TRUE(restored == indexed);
+      indexed = std::move(restored);  // keep mutating the restored copy
+    }
+  }
+  expectSameContents(indexed, ref);
+  EXPECT_GT(indexed.bucketCount(), 1u);  // the vocabulary spans buckets
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TupleSpaceProperty,
+                         ::testing::Values(1u, 42u, 20260805u, 987654321u));
+
+}  // namespace
+}  // namespace ftl::ts

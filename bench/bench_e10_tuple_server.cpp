@@ -105,8 +105,8 @@ int main() {
     const RunStats seq = runTupleServer(n, /*via_sequencer=*/true);
     const RunStats rep = runTupleServer(n, /*via_sequencer=*/false);
     std::printf("%-9u %-12.0f %-12.1f %-12.0f %-12.1f %-12.0f %-12.1f\n", n,
-                emb.latency.percentile(50), emb.msgs_per_ags, seq.latency.percentile(50),
-                seq.msgs_per_ags, rep.latency.percentile(50), rep.msgs_per_ags);
+                emb.latency.percentileOr0(50), emb.msgs_per_ags, seq.latency.percentileOr0(50),
+                seq.msgs_per_ags, rep.latency.percentileOr0(50), rep.msgs_per_ags);
   }
   std::printf("\nshape check: with the server co-located with the sequencer the RPC hop\n");
   std::printf("replaces the request hop (same latency, +1 message). In the general case\n");

@@ -73,26 +73,12 @@ RunResult measureOpsPerSec(std::uint32_t hosts, int issuers, int per_issuer,
   return res;
 }
 
-struct JsonRow {
-  std::string name;
-  RunResult r;
-};
-
-void writeJson(const char* path, const std::vector<JsonRow>& rows) {
-  FILE* f = std::fopen(path, "w");
-  if (!f) {
-    std::fprintf(stderr, "cannot open %s\n", path);
-    return;
-  }
-  std::fprintf(f, "{\n  \"benchmark\": \"e11_throughput\",\n  \"results\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"ags_per_sec\": %.1f, \"mean_apply_batch\": %.2f}%s\n",
-                 rows[i].name.c_str(), rows[i].r.ags_per_sec, rows[i].r.mean_batch,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+std::string jsonRow(const std::string& name, const RunResult& r) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\": \"%s\", \"ags_per_sec\": %.1f, \"mean_apply_batch\": %.2f}",
+                name.c_str(), r.ags_per_sec, r.mean_batch);
+  return buf;
 }
 
 }  // namespace
@@ -111,14 +97,14 @@ int main(int argc, char** argv) {
   std::printf("batch=1 disables apply coalescing; batch=64 is the default pipeline\n\n");
   std::printf("%-34s %12s %12s\n", "configuration", "AGS/sec", "mean batch");
 
-  std::vector<JsonRow> rows;
+  std::vector<std::string> rows;
   auto run = [&](std::uint32_t hosts, int issuers, int per_issuer, std::uint32_t batch,
                  Micros window, const char* tag) {
     const RunResult r = measureOpsPerSec(hosts, issuers, per_issuer, batch, window);
     char name[96];
     std::snprintf(name, sizeof name, "hosts=%u issuers=%d %s", hosts, issuers, tag);
     std::printf("%-34s %12.0f %12.2f\n", name, r.ags_per_sec, r.mean_batch);
-    rows.push_back(JsonRow{name, r});
+    rows.push_back(jsonRow(name, r));
   };
 
   const int base = short_mode ? 400 : 2000;
@@ -136,7 +122,7 @@ int main(int argc, char** argv) {
     run(4, issuers, per, 64, Micros{200}, "batch=64 window=200us");
   }
 
-  if (json_path) writeJson(json_path, rows);
+  if (json_path) bench::writeBenchJson(json_path, "e11_throughput", rows);
 
   std::printf("\nshape check: aggregate throughput FALLS as replicas are added (every\n");
   std::printf("statement is applied at all n replicas and multicast to n-1 of them —\n");

@@ -7,11 +7,19 @@
 // decomposition (measured end-to-end vs. the ordering-only time from an
 // empty-payload run) so the paper's "ordering dominates, processing is
 // noise" conclusion can be checked.
+//
+// Flags: --short (CI smoke: fewer rounds/configs)
+//        --trace <path> (write a Chrome trace-event JSON of a traced run:
+//        open at ui.perfetto.dev to see the submit -> order -> apply -> wake
+//        spans per AGS; see docs/OBSERVABILITY.md)
 #include <atomic>
+#include <cstring>
+#include <fstream>
 #include <thread>
 
 #include "bench_util.hpp"
 #include "ftlinda/system.hpp"
+#include "obs/trace.hpp"
 
 using namespace ftl;
 using namespace ftl::ftlinda;
@@ -90,23 +98,46 @@ LatencySamples measureWakeLatency(int rounds) {
   return lat;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) short_mode = true;
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) trace_path = argv[++i];
+  }
+  const int rounds = short_mode ? 40 : 200;
+
   bench::header("E3", "end-to-end AGS latency (ordering + TS processing)",
                 "§5.3 derived estimate: AGS latency = multicast ordering + Table-1 processing");
   std::printf("simulated LAN profile; one AGS = ONE multicast message regardless of body\n\n");
 
+  if (trace_path != nullptr) {
+    // Dedicated traced run, small enough that every AGS fits the rings:
+    // replicated statements plus a blocking-in wake, so the dump shows the
+    // whole submit -> order -> apply -> wake -> reply lifecycle.
+    obs::trace::enable();
+    measure(3, 1, short_mode ? 10 : 50);
+    measureWakeLatency(short_mode ? 3 : 10);
+    obs::trace::disable();
+    std::ofstream out(trace_path);
+    out << obs::trace::chromeJson();
+    obs::trace::clear();
+    std::printf("wrote Chrome trace JSON to %s (open at ui.perfetto.dev)\n\n", trace_path);
+  }
+
   std::printf("-- latency vs replica count (empty body: pure ordering + dispatch) --\n");
-  for (std::uint32_t n : {2u, 3u, 5u}) {
-    bench::row("hosts=" + std::to_string(n) + " body=0", measure(n, 0, 200));
+  for (std::uint32_t n : (short_mode ? std::vector<std::uint32_t>{3u}
+                                     : std::vector<std::uint32_t>{2u, 3u, 5u})) {
+    bench::row("hosts=" + std::to_string(n) + " body=0", measure(n, 0, rounds));
   }
 
   std::printf("\n-- latency vs body size at 3 hosts (processing is marginal) --\n");
-  for (int body : {0, 1, 4, 16}) {
-    bench::row("hosts=3 body=" + std::to_string(body) + " outs+inps", measure(3, body, 200));
+  for (int body : (short_mode ? std::vector<int>{0, 4} : std::vector<int>{0, 1, 4, 16})) {
+    bench::row("hosts=3 body=" + std::to_string(body) + " outs+inps", measure(3, body, rounds));
   }
 
   std::printf("\n-- blocked-statement wake latency (out at host 1 -> blocked in at host 2) --\n");
-  bench::row("hosts=3 blocking-in wake", measureWakeLatency(100));
+  bench::row("hosts=3 blocking-in wake", measureWakeLatency(short_mode ? 20 : 100));
 
   std::printf("\nshape check: latency is dominated by the ordering hop (compare E2);\n");
   std::printf("growing the body barely moves it — the paper's single-multicast design\n");

@@ -100,7 +100,7 @@ int main() {
     auto ft = runFtLinda(n, kRounds);
     auto pc = runTwoPc(n, kRounds);
     std::printf("%-10u %-12.1f %-15.0f %-12.1f %-15.0f\n", n, ft.msgs_per_update,
-                ft.latency.percentile(50), pc.msgs_per_update, pc.latency.percentile(50));
+                ft.latency.percentileOr0(50), pc.msgs_per_update, pc.latency.percentileOr0(50));
   }
   std::printf("\nshape check: FT-Linda ~n msgs/update (1 request + n-1 ordered) and ~2 hops;\n");
   std::printf("2PC ~6n msgs/update (lock/grant, prepare/vote, commit/ack) and 3 round trips.\n");

@@ -1,0 +1,81 @@
+// Micro-benchmark: cost of the observability layer's hot-path primitives
+// (docs/OBSERVABILITY.md "Overhead"). The contract this pins down:
+//  - a counter increment / histogram observe is a relaxed atomic RMW
+//    (single-digit ns, uncontended);
+//  - a DISABLED trace record is one relaxed load and a branch (~1ns) — the
+//    instrumented protocol paths pay only this when nobody is tracing;
+//  - an ENABLED trace record is a clock read plus a ring store.
+//
+// Run: ./bench/bench_obs_overhead [--benchmark_filter=...]
+#include <benchmark/benchmark.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+void BM_CounterInc(benchmark::State& state) {
+  static ftl::obs::Counter& c = ftl::obs::counter("bench_obs_counter");
+  for (auto _ : state) c.inc();
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_GaugeSet(benchmark::State& state) {
+  static ftl::obs::Gauge& g = ftl::obs::gauge("bench_obs_gauge");
+  std::int64_t v = 0;
+  for (auto _ : state) g.set(v++);
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  static ftl::obs::Histogram& h = ftl::obs::histogram("bench_obs_hist");
+  std::uint64_t v = 0;
+  for (auto _ : state) h.observe(v++ & 0xffff);
+}
+BENCHMARK(BM_HistogramObserve);
+
+// The acceptance bar: instrumentation left in production paths must cost
+// ~a branch when tracing is off.
+void BM_TraceInstantDisabled(benchmark::State& state) {
+  ftl::obs::trace::disable();
+  for (auto _ : state) ftl::obs::trace::instant("bench.obs", 1);
+}
+BENCHMARK(BM_TraceInstantDisabled);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  ftl::obs::trace::disable();
+  for (auto _ : state) {
+    ftl::obs::trace::Span span("bench.obs", 1);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceInstantEnabled(benchmark::State& state) {
+  ftl::obs::trace::enable(1 << 10);
+  for (auto _ : state) ftl::obs::trace::instant("bench.obs", 1);
+  ftl::obs::trace::disable();
+  ftl::obs::trace::clear();
+}
+BENCHMARK(BM_TraceInstantEnabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  ftl::obs::trace::enable(1 << 10);
+  for (auto _ : state) {
+    ftl::obs::trace::Span span("bench.obs", 1);
+    benchmark::DoNotOptimize(&span);
+  }
+  ftl::obs::trace::disable();
+  ftl::obs::trace::clear();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+// Registry lookup by name (mutex + map) — why call sites cache references.
+void BM_CounterLookupByName(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(&ftl::obs::counter("bench_obs_counter"));
+}
+BENCHMARK(BM_CounterLookupByName);
+
+}  // namespace
+
+BENCHMARK_MAIN();

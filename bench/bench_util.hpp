@@ -5,9 +5,11 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace ftl::bench {
 
@@ -20,8 +22,8 @@ inline void header(const char* id, const char* title, const char* paper_ref) {
 
 inline void row(const std::string& label, const LatencySamples& s, const char* unit = "us") {
   std::printf("%-34s n=%-6zu mean=%9.1f%s  p50=%9.1f%s  p95=%9.1f%s  max=%9.1f%s\n",
-              label.c_str(), s.count(), s.mean(), unit, s.percentile(50), unit,
-              s.percentile(95), unit, s.max(), unit);
+              label.c_str(), s.count(), s.mean(), unit, s.percentileOr0(50), unit,
+              s.percentileOr0(95), unit, s.max(), unit);
 }
 
 inline bool waitUntil(const std::function<bool()>& pred, Millis timeout = Millis{10'000}) {
@@ -31,6 +33,39 @@ inline bool waitUntil(const std::function<bool()>& pred, Millis timeout = Millis
     std::this_thread::sleep_for(Millis{1});
   }
   return pred();
+}
+
+/// Render a LatencySamples as a JSON object fragment (microsecond fields).
+inline std::string latencyJson(const LatencySamples& s) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "{\"n\": %zu, \"mean_us\": %.2f, \"p50_us\": %.2f, \"p95_us\": %.2f, "
+                "\"p99_us\": %.2f, \"max_us\": %.2f}",
+                s.count(), s.mean(), s.percentileOr0(50), s.percentileOr0(95),
+                s.percentileOr0(99), s.max());
+  return buf;
+}
+
+/// The shared BENCH_*.json schema (docs/OBSERVABILITY.md):
+///   {"benchmark": "<id>", "results": [<rows>], "obs": <obs::dump()>}
+/// Each row is a pre-rendered JSON object; the trailing "obs" member embeds
+/// the full metrics snapshot at write time, so every artifact carries the
+/// counters that produced it.
+inline void writeBenchJson(const char* path, const char* benchmark,
+                           const std::vector<std::string>& result_rows) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"results\": [\n", benchmark);
+  for (std::size_t i = 0; i < result_rows.size(); ++i) {
+    std::fprintf(f, "    %s%s\n", result_rows[i].c_str(), i + 1 < result_rows.size() ? "," : "");
+  }
+  std::string snapshot = obs::dump();
+  while (!snapshot.empty() && snapshot.back() == '\n') snapshot.pop_back();
+  std::fprintf(f, "  ],\n  \"obs\": %s\n}\n", snapshot.c_str());
+  std::fclose(f);
 }
 
 }  // namespace ftl::bench

@@ -11,7 +11,8 @@
 //   ...
 //
 // Commands: out T | in P | rd P | inp P | rdp P | count P | list |
-//           host N | crash N | recover N | monitor | metrics | help | quit
+//           host N | crash N | recover N | monitor | metrics | stats |
+//           help | quit
 // (T is a tuple literal, P a pattern literal — see docs/API.md. `in`/`rd`
 // block until a match arrives, like the real primitives.)
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include <string>
 
 #include "ftlinda/system.hpp"
+#include "obs/metrics.hpp"
 #include "tuple/parse.hpp"
 
 using namespace ftl;
@@ -44,6 +46,8 @@ void help() {
       "  crash N | recover N        fail-silent crash / rejoin with snapshot\n"
       "  monitor                    deposit (\"failure\", host) tuples on crashes\n"
       "  metrics                    state-machine op counters\n"
+      "  stats                      full ftl::obs dump (Prometheus text):\n"
+      "                             network, consul, state machine, runtime\n"
       "  help | quit\n",
       kHosts - 1);
 }
@@ -135,6 +139,11 @@ int main() {
                     static_cast<unsigned long long>(m.ops_move),
                     static_cast<unsigned long long>(m.ops_copy),
                     static_cast<unsigned long long>(m.failure_tuples));
+      } else if (cmd == "stats") {
+        // The whole deployment shares this process, so one dump covers every
+        // host's network/consul/state-machine series (distinguished by their
+        // {host=...}/{net=...} labels; docs/OBSERVABILITY.md has the catalog).
+        std::fputs(obs::dumpPrometheus().c_str(), stdout);
       } else {
         std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
       }

@@ -1,15 +1,47 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace ftl::log {
 
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+/// Default threshold comes from FTL_LOG_LEVEL when set: a level name
+/// ("trace".."off", case-insensitive) or a digit 0..5. Unset or
+/// unrecognized values fall back to Warn so tests stay quiet.
+int levelFromEnv() {
+  const char* e = std::getenv("FTL_LOG_LEVEL");
+  if (e == nullptr || *e == '\0') return static_cast<int>(LogLevel::Warn);
+  std::string v;
+  for (const char* p = e; *p != '\0'; ++p) {
+    v.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (v == "trace") return static_cast<int>(LogLevel::Trace);
+  if (v == "debug") return static_cast<int>(LogLevel::Debug);
+  if (v == "info") return static_cast<int>(LogLevel::Info);
+  if (v == "warn" || v == "warning") return static_cast<int>(LogLevel::Warn);
+  if (v == "error") return static_cast<int>(LogLevel::Error);
+  if (v == "off" || v == "none") return static_cast<int>(LogLevel::Off);
+  if (v.size() == 1 && v[0] >= '0' && v[0] <= '5') return v[0] - '0';
+  return static_cast<int>(LogLevel::Warn);
+}
+
+std::atomic<int> g_level{levelFromEnv()};
 std::mutex g_sink_mutex;
+
+/// Small per-thread tag so interleaved lines from the simulated processors
+/// can be told apart without full pthread ids.
+unsigned threadTag() {
+  static std::atomic<unsigned> next{1};
+  thread_local unsigned tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
 
 const char* levelName(LogLevel l) {
   switch (l) {
@@ -33,8 +65,8 @@ void write(LogLevel lvl, const std::string& tag, const std::string& message) {
   using namespace std::chrono;
   const auto now = duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count();
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[%12lld] %s [%s] %s\n", static_cast<long long>(now), levelName(lvl),
-               tag.c_str(), message.c_str());
+  std::fprintf(stderr, "[%12lld] [t%02u] %s [%s] %s\n", static_cast<long long>(now), threadTag(),
+               levelName(lvl), tag.c_str(), message.c_str());
 }
 
 }  // namespace ftl::log

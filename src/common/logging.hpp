@@ -3,7 +3,10 @@
 // The simulated network, Consul protocol, and TS state machines all log
 // through this sink so protocol traces from concurrent "processors"
 // interleave line-atomically. Logging defaults to Warn so tests stay quiet;
-// benches and examples raise it when tracing is useful.
+// benches and examples raise it when tracing is useful. The default can be
+// overridden with the FTL_LOG_LEVEL environment variable (a level name such
+// as "debug", or a digit 0..5); setLevel() still wins once called. Each line
+// carries a monotonic microsecond timestamp and a small per-thread tag.
 #pragma once
 
 #include <atomic>

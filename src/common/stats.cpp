@@ -52,9 +52,9 @@ double LatencySamples::max() const {
   return samples_.empty() ? 0.0 : samples_.back();
 }
 
-double LatencySamples::percentile(double p) const {
+std::optional<double> LatencySamples::percentile(double p) const {
   FTL_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
-  if (samples_.empty()) return 0.0;
+  if (samples_.empty()) return std::nullopt;
   ensureSorted();
   const auto n = samples_.size();
   // Nearest-rank: ceil(p/100 * n), 1-based.
@@ -66,8 +66,9 @@ double LatencySamples::percentile(double p) const {
 
 std::string LatencySamples::summary() const {
   std::ostringstream os;
-  os << "n=" << count() << " mean=" << mean() << " p50=" << percentile(50)
-     << " p95=" << percentile(95) << " p99=" << percentile(99) << " max=" << max();
+  os << "n=" << count() << " mean=" << mean() << " p50=" << percentileOr0(50)
+     << " p95=" << percentileOr0(95) << " p99=" << percentileOr0(99)
+     << " p99.9=" << percentileOr0(99.9) << " max=" << max();
   return os.str();
 }
 

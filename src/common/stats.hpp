@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,9 +50,14 @@ class LatencySamples {
   double max() const;
 
   /// Exact percentile by nearest-rank on the sorted samples; p in [0,100].
-  double percentile(double p) const;
+  /// Empty sample sets have no percentiles: returns std::nullopt.
+  std::optional<double> percentile(double p) const;
 
-  /// "mean=… p50=… p95=… p99=… max=…" one-line summary.
+  /// percentile() for callers that have already checked count() > 0; 0.0 on
+  /// an empty set so tables render without a scatter of optional checks.
+  double percentileOr0(double p) const { return percentile(p).value_or(0.0); }
+
+  /// "mean=… p50=… p95=… p99=… p99.9=… max=…" one-line summary.
   std::string summary() const;
 
  private:

@@ -4,6 +4,8 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ftl::consul {
 
@@ -37,9 +39,39 @@ ConsulNode::ConsulNode(net::Network& net, HostId self, std::vector<HostId> group
     is_member_ = true;
     joining_ = false;
   }
+  obs_token_ = obs::registerSource([this](std::vector<obs::Sample>& out) {
+    const std::string host = "{host=\"" + std::to_string(self_) + "\"}";
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.push_back({"ftl_consul_broadcasts" + host, static_cast<double>(stats_.broadcasts)});
+    out.push_back(
+        {"ftl_consul_heartbeats_sent" + host, static_cast<double>(stats_.heartbeats_sent)});
+    out.push_back({"ftl_consul_heartbeats_received" + host,
+                   static_cast<double>(stats_.heartbeats_received)});
+    out.push_back({"ftl_consul_retransmits" + host, static_cast<double>(stats_.retransmits)});
+    out.push_back({"ftl_consul_nacks_sent" + host, static_cast<double>(stats_.nacks_sent)});
+    out.push_back(
+        {"ftl_consul_nacks_received" + host, static_cast<double>(stats_.nacks_received)});
+    out.push_back({"ftl_consul_acks_sent" + host, static_cast<double>(stats_.acks_sent)});
+    out.push_back({"ftl_consul_view_changes_started" + host,
+                   static_cast<double>(stats_.view_changes_started)});
+    out.push_back(
+        {"ftl_consul_views_installed" + host, static_cast<double>(stats_.views_installed)});
+    out.push_back({"ftl_consul_deliveries" + host, static_cast<double>(stats_.deliveries)});
+    out.push_back({"ftl_consul_flushes" + host, static_cast<double>(stats_.flushes)});
+    out.push_back({"ftl_consul_log_size" + host, static_cast<double>(log_.size())});
+    out.push_back({"ftl_consul_pending" + host, static_cast<double>(pending_.size())});
+    out.push_back(
+        {"ftl_consul_apply_buffer_occupancy" + host, static_cast<double>(apply_buffer_.size())});
+    out.push_back({"ftl_consul_delivered_gseq" + host, static_cast<double>(next_deliver_ - 1)});
+    out.push_back({"ftl_consul_stable_gseq" + host, static_cast<double>(stable_)});
+    out.push_back({"ftl_consul_view_id" + host, static_cast<double>(view_id_)});
+  });
 }
 
-ConsulNode::~ConsulNode() { shutdown(); }
+ConsulNode::~ConsulNode() {
+  obs::unregisterSource(obs_token_);
+  shutdown();
+}
 
 void ConsulNode::shutdown() {
   stop();
@@ -81,8 +113,14 @@ std::uint64_t ConsulNode::broadcast(Bytes payload) {
   p.payload = std::move(payload);
   p.last_sent = Clock::now();
   pending_.push_back(p);
+  ++stats_.broadcasts;
   sendRequestToSequencer(pending_.back());
   return p.origin_seq;
+}
+
+ConsulNode::Stats ConsulNode::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 void ConsulNode::joinGroup(std::uint64_t incarnation) {
@@ -147,6 +185,7 @@ void ConsulNode::setForeignHandler(std::function<void(const net::Message&)> hand
 }
 
 void ConsulNode::serviceLoop() {
+  obs::trace::setThreadName("consul/" + std::to_string(self_));
   // Upper bound on messages handled per protocol step. Draining the inbox
   // before the tick work means a burst of ordered traffic pays one step —
   // and one state-machine apply batch — instead of a full step per message.
@@ -233,6 +272,7 @@ void ConsulNode::handleMessage(const net::Message& m, TimePoint now) {
 
 void ConsulNode::handleHeartbeat(HostId src, const HeartbeatMsg& m, TimePoint now) {
   last_heard_[src] = now;
+  ++stats_.heartbeats_received;
   // A heartbeat from a suspect proves it alive: cancel the suspicion, and
   // abort any in-flight view change that would have excluded it (message
   // loss can starve the failure detector; real crashes never heartbeat
@@ -263,6 +303,7 @@ void ConsulNode::handleHeartbeat(HostId src, const HeartbeatMsg& m, TimePoint no
       nm.view_id = m.view_id;
       nm.from_gseq = next_deliver_;
       nm.to_gseq = known_last_;
+      ++stats_.nacks_sent;
       ep_.send(src, static_cast<std::uint16_t>(MsgType::Nack), nm.encode());
       FTL_INFO("consul", "host " << self_ << ": behind view " << m.view_id
                                  << ", pulling entries from host " << src);
@@ -337,6 +378,7 @@ void ConsulNode::handleOrdered(OrderedMsg m) {
 
 void ConsulNode::handleNack(HostId src, const NackMsg& m) {
   if (!isSequencer()) return;
+  ++stats_.nacks_received;
   for (std::uint64_t g = m.from_gseq; g <= m.to_gseq && g < next_gseq_; ++g) {
     auto it = log_.find(g);
     if (it == log_.end()) continue;
@@ -417,6 +459,12 @@ void ConsulNode::maybeFlushDeliveries(TimePoint now) {
 
 void ConsulNode::flushDeliveries() {
   if (apply_buffer_.empty()) return;
+  ++stats_.flushes;
+  stats_.deliveries += apply_buffer_.size();
+  // Process-wide batch-size distribution: how well the apply_batch_window
+  // coalesces ordered traffic (EXPERIMENTS.md e12).
+  static obs::Histogram& batch_size = obs::histogram("ftl_consul_apply_batch_size");
+  batch_size.observe(apply_buffer_.size());
   if (cb_.on_deliver_batch) {
     cb_.on_deliver_batch(apply_buffer_);
   } else {
@@ -457,9 +505,11 @@ void ConsulNode::installViewLocked(const ViewEvent& ve, std::uint64_t gseq, Time
   if (is_member_) {
     for (auto& p : pending_) {
       p.last_sent = now;
+      ++stats_.retransmits;
       sendRequestToSequencer(p);
     }
   }
+  ++stats_.views_installed;
   ViewInfo vi;
   vi.view_id = ve.view_id;
   vi.gseq = gseq;
@@ -496,7 +546,10 @@ void ConsulNode::onTick(TimePoint now) {
     hb.last_gseq = isSequencer() ? next_gseq_ - 1 : 0;
     const Bytes wire = hb.encode();
     for (HostId h : members_) {
-      if (h != self_) ep_.send(h, static_cast<std::uint16_t>(MsgType::Heartbeat), wire);
+      if (h != self_) {
+        ++stats_.heartbeats_sent;
+        ep_.send(h, static_cast<std::uint16_t>(MsgType::Heartbeat), wire);
+      }
     }
   }
 
@@ -506,6 +559,7 @@ void ConsulNode::onTick(TimePoint now) {
     AckMsg am;
     am.view_id = view_id_;
     am.delivered = next_deliver_ - 1;
+    ++stats_.acks_sent;
     ep_.send(sequencer(), static_cast<std::uint16_t>(MsgType::Ack), am.encode());
   }
 
@@ -516,6 +570,7 @@ void ConsulNode::onTick(TimePoint now) {
     nm.view_id = view_id_;
     nm.from_gseq = next_deliver_;
     nm.to_gseq = known_last_;
+    ++stats_.nacks_sent;
     ep_.send(sequencer(), static_cast<std::uint16_t>(MsgType::Nack), nm.encode());
   }
 
@@ -523,6 +578,7 @@ void ConsulNode::onTick(TimePoint now) {
   for (auto& p : pending_) {
     if (now - p.last_sent >= Duration(cfg_.request_retransmit)) {
       p.last_sent = now;
+      ++stats_.retransmits;
       sendRequestToSequencer(p);
     }
   }
@@ -561,6 +617,7 @@ void ConsulNode::onTick(TimePoint now) {
 }
 
 void ConsulNode::startViewChange(std::vector<HostId> proposed, TimePoint now) {
+  ++stats_.view_changes_started;
   ViewChange vc;
   vc.new_view_id = std::max(view_id_, vc_ ? vc_->new_view_id : 0) + 1;
   vc.proposed = std::move(proposed);

@@ -139,6 +139,23 @@ class ConsulNode {
   /// Highest gseq known to be delivered at every member (stability floor).
   std::uint64_t stableSeq() const;
 
+  /// Protocol event counters (monotone since construction). Also exported
+  /// through the ftl::obs registry as ftl_consul_*{host="N"} series.
+  struct Stats {
+    std::uint64_t broadcasts = 0;          // broadcast() calls
+    std::uint64_t heartbeats_sent = 0;     // per-destination
+    std::uint64_t heartbeats_received = 0;
+    std::uint64_t retransmits = 0;         // request retransmissions (timeout/view)
+    std::uint64_t nacks_sent = 0;
+    std::uint64_t nacks_received = 0;      // sequencer side: repair requests served
+    std::uint64_t acks_sent = 0;
+    std::uint64_t view_changes_started = 0;
+    std::uint64_t views_installed = 0;
+    std::uint64_t deliveries = 0;          // data payloads handed to the app
+    std::uint64_t flushes = 0;             // apply batches handed to the app
+  };
+  Stats stats() const;
+
   HostId self() const { return self_; }
 
  private:
@@ -243,6 +260,10 @@ class ConsulNode {
   std::optional<ViewChange> vc_;
   std::set<HostId> pending_joiners_;  // join requests seen, next view change
   std::map<HostId, std::uint64_t> joiner_incarnation_;
+
+  // Observability (stats_ guarded by mutex_ like the protocol state).
+  Stats stats_;
+  std::uint64_t obs_token_ = 0;
 
   std::thread service_;
 };

@@ -6,6 +6,7 @@ Bytes Command::encode() const {
   Writer w;
   w.u8(static_cast<std::uint8_t>(kind));
   w.u64(request_id);
+  w.u64(trace_id);
   switch (kind) {
     case CommandKind::ExecuteAgs:
       ags.encode(w);
@@ -23,6 +24,7 @@ Command Command::decode(const Bytes& b) {
   Command c;
   c.kind = static_cast<CommandKind>(r.u8());
   c.request_id = r.u64();
+  c.trace_id = r.u64();
   switch (c.kind) {
     case CommandKind::ExecuteAgs:
       c.ags = Ags::decode(r);
@@ -35,11 +37,12 @@ Command Command::decode(const Bytes& b) {
   return c;
 }
 
-Command makeExecute(std::uint64_t request_id, Ags ags) {
+Command makeExecute(std::uint64_t request_id, Ags ags, std::uint64_t trace_id) {
   Command c;
   c.kind = CommandKind::ExecuteAgs;
   c.request_id = request_id;
   c.ags = std::move(ags);
+  c.trace_id = trace_id;
   return c;
 }
 

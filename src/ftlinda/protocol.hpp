@@ -24,13 +24,23 @@ struct Command {
   std::uint64_t request_id = 0;  // per-origin; routes the reply
   Ags ags;                       // ExecuteAgs
   TsHandle ts = 0;               // Monitor/UnmonitorFailures
+  /// Observability correlation id minted at submission ((host << 48) | rid);
+  /// carried through the multicast so every replica's trace events for this
+  /// AGS share one id (obs/trace.hpp). 0 = untraced.
+  std::uint64_t trace_id = 0;
 
   Bytes encode() const;
   static Command decode(const Bytes& b);
 };
 
-Command makeExecute(std::uint64_t request_id, Ags ags);
+Command makeExecute(std::uint64_t request_id, Ags ags, std::uint64_t trace_id = 0);
 Command makeMonitor(std::uint64_t request_id, TsHandle ts, bool enable);
+
+/// Deterministic trace id for (issuing host, request id): reconstructible at
+/// reply time without threading it through the reply path.
+inline std::uint64_t makeTraceId(std::uint32_t host, std::uint64_t rid) {
+  return (static_cast<std::uint64_t>(host) << 48) | (rid & ((std::uint64_t{1} << 48) - 1));
+}
 
 /// Result of one AGS, produced identically at every replica and consumed by
 /// the issuing processor's runtime.

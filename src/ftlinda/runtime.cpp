@@ -1,11 +1,51 @@
 #include "ftlinda/runtime.hpp"
 
+#include <atomic>
+#include <optional>
+
+#include "common/clock.hpp"
 #include "common/logging.hpp"
 #include "ftlinda/verify.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ftl::ftlinda {
 
 using ts::isLocalHandle;
+
+namespace {
+
+/// AGS lifecycle metrics, resolved once per process (registry lookups are
+/// mutex-protected; the references themselves are lock-free).
+struct AgsMetrics {
+  obs::Counter& submitted = obs::counter("ftl_ags_submitted");
+  obs::Counter& rejected = obs::counter("ftl_ags_rejected");
+  obs::Counter& local = obs::counter("ftl_ags_local");
+  obs::Counter& replicated = obs::counter("ftl_ags_replicated");
+  obs::Counter& succeeded = obs::counter("ftl_ags_succeeded");
+  obs::Counter& no_branch = obs::counter("ftl_ags_no_branch");
+  obs::Histogram& verify_ns = obs::histogram("ftl_ags_verify_ns");
+  obs::Histogram& local_ns = obs::histogram("ftl_ags_local_ns");
+  obs::Histogram& e2e_ns = obs::histogram("ftl_ags_e2e_ns");
+  obs::Histogram& wait_ns = obs::histogram("ftl_ags_wait_ns");
+  obs::Histogram& branch_index = obs::histogram("ftl_ags_branch_index");
+};
+
+AgsMetrics& agsMetrics() {
+  static AgsMetrics m;
+  return m;
+}
+
+void recordOutcome(AgsMetrics& am, const Reply& r) {
+  if (r.succeeded) {
+    am.succeeded.inc();
+    if (r.branch >= 0) am.branch_index.observe(static_cast<std::uint64_t>(r.branch));
+  } else {
+    am.no_branch.inc();
+  }
+}
+
+}  // namespace
 
 Runtime::Runtime(net::HostId host) : host_(host) {}
 
@@ -13,12 +53,14 @@ void Runtime::attach(rsm::Replica* replica, TsStateMachine* sm) {
   FTL_REQUIRE(replica && sm, "attach() needs a replica and a state machine");
   replica_ = replica;
   sm_ = sm;
+  sm_->setSelf(host_);
   sm_->setReplySink([this](net::HostId origin, std::uint64_t rid, const Reply& r) {
     if (origin == host_) completeRequest(rid, r);
   });
 }
 
 void Runtime::completeRequest(std::uint64_t rid, const Reply& r) {
+  obs::trace::instant("ags.reply", makeTraceId(host_, rid));
   std::shared_ptr<Slot> slot;
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -77,24 +119,56 @@ bool entirelyLocalAgs(const Ags& ags) {
 
 Result<Reply> Runtime::tryExecute(const Ags& ags) {
   if (crashed_.load()) throw ProcessorFailure(host_);
+  AgsMetrics& am = agsMetrics();
+  am.submitted.inc();
+  // The request id doubles as the observability correlation id; local AGS
+  // burn one too so every submission is traceable.
+  const std::uint64_t rid = next_rid_.fetch_add(1);
+  const std::uint64_t tid = makeTraceId(host_, rid);
+  obs::trace::asyncBegin("ags", tid);
+  // Stage timing (verify_ns, local_ns) is SAMPLED 1-in-16 per submission:
+  // the scratch-space fast path runs in well under 100ns, where even one
+  // clock-read pair would dominate. Traced runs time every statement (the
+  // trace spans need real bounds). wait_ns/e2e_ns straddle a multicast and
+  // stay always-on — two clock reads vanish against microseconds.
+  static std::atomic<std::uint32_t> stage_sample{0};
+  const bool timed = obs::trace::enabled() ||
+                     (stage_sample.fetch_add(1, std::memory_order_relaxed) & 15u) == 0;
   // FT-lcc rejects malformed statements at compile time; we reject them here,
   // before the statement is encoded or multicast, so a bad AGS costs its
   // issuer a local error instead of work at every replica.
-  if (VerifyResult vr = verify(ags); !vr.ok()) {
+  const std::int64_t v0 = timed ? nowNanos() : 0;
+  VerifyResult vr = verify(ags);
+  if (timed) {
+    const std::int64_t vdt = nowNanos() - v0;
+    am.verify_ns.observe(vdt > 0 ? static_cast<std::uint64_t>(vdt) : 0);
+    obs::trace::complete("ags.verify", tid, v0, vdt);
+  }
+  if (!vr.ok()) {
+    am.rejected.inc();
+    obs::trace::asyncEnd("ags", tid);
     return verifyApiError(vr);
   }
   if (entirelyLocalAgs(ags)) {
+    am.local.inc();
     Reply r;
     try {
+      std::optional<obs::ScopedTimerNs> t;
+      if (timed) t.emplace(am.local_ns);
       r = scratch_.execute(ags, [this] { return crashed_.load(); });
     } catch (const Error&) {
       if (crashed_.load()) throw ProcessorFailure(host_);
       throw;
     }
+    recordOutcome(am, r);
+    obs::trace::asyncEnd("ags", tid);
     if (!r.error.empty()) return Result<Reply>::failure("registry", r.error);
     return r;
   }
-  return executeReplicated(ags);
+  am.replicated.inc();
+  Result<Reply> res = executeReplicated(ags, rid, tid);
+  obs::trace::asyncEnd("ags", tid);
+  return res;
 }
 
 Reply Runtime::submitAndWait(Command cmd) {
@@ -111,9 +185,15 @@ Reply Runtime::submitAndWait(Command cmd) {
     pending_.erase(cmd.request_id);
     throw ProcessorFailure(host_);
   }
+  // "ags.order" spans multicast submission to total-order arrival at THIS
+  // replica's state machine (ended there when origin == self).
+  obs::trace::asyncBegin("ags.order", cmd.trace_id);
   replica_->submit(cmd.encode());
+  const std::int64_t w0 = nowNanos();
   std::unique_lock<std::mutex> lock(slot->m);
   slot->cv.wait(lock, [&] { return slot->reply.has_value() || slot->failed; });
+  const std::int64_t wdt = nowNanos() - w0;
+  agsMetrics().wait_ns.observe(wdt > 0 ? static_cast<std::uint64_t>(wdt) : 0);
   {
     std::lock_guard<std::mutex> plock(pending_mutex_);
     pending_.erase(cmd.request_id);
@@ -122,9 +202,13 @@ Reply Runtime::submitAndWait(Command cmd) {
   return std::move(*slot->reply);
 }
 
-Result<Reply> Runtime::executeReplicated(const Ags& ags) {
-  const std::uint64_t rid = next_rid_.fetch_add(1);
-  Reply r = submitAndWait(makeExecute(rid, ags));
+Result<Reply> Runtime::executeReplicated(const Ags& ags, std::uint64_t rid, std::uint64_t tid) {
+  AgsMetrics& am = agsMetrics();
+  const std::int64_t t0 = nowNanos();
+  Reply r = submitAndWait(makeExecute(rid, ags, tid));
+  const std::int64_t dt = nowNanos() - t0;
+  am.e2e_ns.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
+  recordOutcome(am, r);
   if (!r.error.empty()) return Result<Reply>::failure("registry", r.error);
   scratch_.applyDeposits(r.local_deposits);
   return r;
@@ -149,7 +233,9 @@ void Runtime::doMonitorFailures(TsHandle ts, bool enable) {
   FTL_REQUIRE(!isLocalHandle(ts), "only stable spaces receive failure tuples");
   if (crashed_.load()) throw ProcessorFailure(host_);
   const std::uint64_t rid = next_rid_.fetch_add(1);
-  submitAndWait(makeMonitor(rid, ts, enable));
+  Command cmd = makeMonitor(rid, ts, enable);
+  cmd.trace_id = makeTraceId(host_, rid);
+  submitAndWait(std::move(cmd));
 }
 
 std::size_t Runtime::localTupleCount(TsHandle ts) const { return scratch_.tupleCount(ts); }

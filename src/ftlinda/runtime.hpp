@@ -59,7 +59,7 @@ class Runtime : public LindaApi {
     bool failed = false;
   };
 
-  Result<Reply> executeReplicated(const Ags& ags);
+  Result<Reply> executeReplicated(const Ags& ags, std::uint64_t rid, std::uint64_t tid);
   void completeRequest(std::uint64_t rid, const Reply& r);
   Reply submitAndWait(Command cmd);
 

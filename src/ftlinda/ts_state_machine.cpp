@@ -4,15 +4,64 @@
 #include <set>
 
 #include "common/assert.hpp"
+#include "common/clock.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ftl::ftlinda {
 
-TsStateMachine::TsStateMachine(ReplySink sink) : sink_(std::move(sink)) {}
+TsStateMachine::TsStateMachine(ReplySink sink) : sink_(std::move(sink)) {
+  obs_token_ = obs::registerSource([this](std::vector<obs::Sample>& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string host = "{host=\"" + std::to_string(self_) + "\"}";
+    auto put = [&](const char* name, std::uint64_t v) {
+      out.push_back({name + host, static_cast<double>(v)});
+    };
+    put("ftl_sm_ags_executed", metrics_.ags_executed);
+    put("ftl_sm_ags_failed", metrics_.ags_failed);
+    put("ftl_sm_ags_blocked", metrics_.ags_blocked);
+    put("ftl_sm_ags_woken", metrics_.ags_woken);
+    put("ftl_sm_ags_errors", metrics_.ags_errors);
+    put("ftl_sm_ops_out", metrics_.ops_out);
+    put("ftl_sm_ops_inp", metrics_.ops_inp);
+    put("ftl_sm_ops_rdp", metrics_.ops_rdp);
+    put("ftl_sm_ops_move", metrics_.ops_move);
+    put("ftl_sm_ops_copy", metrics_.ops_copy);
+    put("ftl_sm_guards_in", metrics_.guards_in);
+    put("ftl_sm_guards_rd", metrics_.guards_rd);
+    put("ftl_sm_failure_tuples", metrics_.failure_tuples);
+    put("ftl_sm_cancelled_blocked", metrics_.cancelled_blocked);
+    // Wake-path efficiency: spurious probes = wake_probes - ags_woken.
+    put("ftl_sm_wake_probes", metrics_.wake_probes);
+    put("ftl_sm_batches", batch_stats_.batches);
+    put("ftl_sm_batch_commands", batch_stats_.commands);
+    put("ftl_sm_max_batch", batch_stats_.max_batch);
+    put("ftl_sm_blocked_now", blocked_.size());
+    put("ftl_sm_spaces", reg_.spaceCount());
+    // Per-space occupancy: tuples and signature buckets (the store is
+    // bucketed by type signature; see ts/tuple_space.hpp).
+    for (TsHandle h : reg_.handles()) {
+      const auto* space = reg_.find(h);
+      if (space == nullptr) continue;
+      const std::string lbl =
+          "{host=\"" + std::to_string(self_) + "\",ts=\"" + std::to_string(h) + "\"}";
+      out.push_back({"ftl_sm_tuples" + lbl, static_cast<double>(space->size())});
+      out.push_back({"ftl_sm_sig_buckets" + lbl, static_cast<double>(space->bucketCount())});
+    }
+  });
+}
+
+TsStateMachine::~TsStateMachine() { obs::unregisterSource(obs_token_); }
 
 void TsStateMachine::setReplySink(ReplySink sink) {
   std::lock_guard<std::mutex> lock(mutex_);
   sink_ = std::move(sink);
+}
+
+void TsStateMachine::setSelf(net::HostId host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  self_ = host;
 }
 
 void TsStateMachine::addReplySink(ReplySink sink) {
@@ -40,6 +89,9 @@ void TsStateMachine::applyBatch(const std::vector<rsm::BatchItem>& items) {
   std::vector<Command> cmds;
   cmds.reserve(items.size());
   for (const auto& item : items) cmds.push_back(Command::decode(*item.command));
+  static obs::Histogram& batch_size_hist = obs::histogram("ftl_sm_apply_batch_size");
+  batch_size_hist.observe(items.size());
+  obs::trace::Span span("sm.apply_batch", items.empty() ? 0 : items.front().ctx.gseq);
   std::lock_guard<std::mutex> lock(mutex_);
   batch_stats_.batches += 1;
   batch_stats_.commands += items.size();
@@ -50,15 +102,33 @@ void TsStateMachine::applyBatch(const std::vector<rsm::BatchItem>& items) {
 }
 
 void TsStateMachine::applyCommandLocked(const rsm::ApplyContext& ctx, Command&& cmd) {
+  // The origin replica alone closes the ordering span and times the apply:
+  // every replica executes this command, but the trace should show each AGS
+  // stage once.
+  const bool traced = ctx.origin == self_ && cmd.trace_id != 0;
+  if (traced) obs::trace::asyncEnd("ags.order", cmd.trace_id);
   switch (cmd.kind) {
     case CommandKind::ExecuteAgs: {
+      static obs::Histogram& apply_ns = obs::histogram("ftl_sm_apply_ns");
+      // Stage timing is SAMPLED: two clock reads cost more than a small
+      // apply itself (T1 base ≈ 70ns, a clock read ≈ 30ns), so only every
+      // 16th command — and every traced one, since the trace span needs
+      // real bounds — pays them. The histogram stays statistically honest.
+      const bool timed = traced || (apply_sample_++ & 15u) == 0;
+      const std::int64_t t0 = timed ? nowNanos() : 0;
       ExecResult res = tryExecuteAgs(cmd.ags, reg_, ExecMode::Replicated);
+      if (timed) {
+        const std::int64_t dt = nowNanos() - t0;
+        apply_ns.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
+        if (traced) obs::trace::complete("ags.apply", cmd.trace_id, t0, dt);
+      }
       countLocked(cmd.ags, res, /*woken=*/false);
       if (!res.executed) {
         BlockedAgs b;
         b.order = ctx.gseq;
         b.origin = ctx.origin;
         b.request_id = cmd.request_id;
+        b.trace_id = cmd.trace_id;
         b.ags = std::move(cmd.ags);
         insertBlockedLocked(std::move(b));
         FTL_DEBUG("tssm", "AGS from host " << ctx.origin << " blocked (queue="
@@ -200,6 +270,9 @@ void TsStateMachine::retryBlockedLocked(const std::vector<WaitKey>& dirty, bool 
     ExecResult res = tryExecuteAgs(it->second.ags, reg_, ExecMode::Replicated);
     if (!res.executed) continue;  // still blocked; state untouched
     countLocked(it->second.ags, res, /*woken=*/true);
+    if (it->second.origin == self_ && it->second.trace_id != 0) {
+      obs::trace::instant("ags.wake", it->second.trace_id);
+    }
     emitLocked(it->second.origin, it->second.request_id, res.reply);
     eraseBlockedLocked(it);
     if (res.structural) {

@@ -37,9 +37,16 @@ class TsStateMachine : public rsm::StateMachine {
   using ReplySink = std::function<void(net::HostId, std::uint64_t, const Reply&)>;
 
   explicit TsStateMachine(ReplySink sink = {});
+  ~TsStateMachine();
 
   /// Install/replace the reply sink (the runtime wires itself in here).
   void setReplySink(ReplySink sink);
+
+  /// Tell the machine which processor it runs on (the runtime wires this in
+  /// at attach()). Used only for observability: trace events that must fire
+  /// exactly once per AGS — ordering-arrival, wake — are emitted by the
+  /// ORIGIN replica alone.
+  void setSelf(net::HostId host);
 
   /// Add an ADDITIONAL reply sink (the tuple server uses this to intercept
   /// replies for requests it forwarded on behalf of RPC clients). Sinks see
@@ -116,6 +123,7 @@ class TsStateMachine : public rsm::StateMachine {
     std::uint64_t order = 0;  // gseq at arrival: deterministic wake order
     net::HostId origin = net::kNoHost;
     std::uint64_t request_id = 0;
+    std::uint64_t trace_id = 0;  // observability only; NOT snapshotted
     Ags ags;
     std::vector<WaitKey> keys;  // sorted unique guard keys (index postings)
   };
@@ -143,6 +151,9 @@ class TsStateMachine : public rsm::StateMachine {
   std::vector<TsHandle> monitored_;       // sorted; failure-notify targets
   Metrics metrics_;                       // NOT part of snapshots (local)
   BatchStats batch_stats_;                // local-only (see accessor)
+  net::HostId self_ = net::kNoHost;       // observability only (setSelf)
+  std::uint32_t apply_sample_ = 0;        // 1-in-16 stage-timing sampler
+  std::uint64_t obs_token_ = 0;           // obs::registerSource token
 };
 
 }  // namespace ftl::ftlinda

@@ -1,7 +1,10 @@
 #include "ftlinda/tuple_server.hpp"
 
+#include "common/clock.hpp"
 #include "common/logging.hpp"
 #include "ftlinda/verify.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ftl::ftlinda {
 
@@ -14,12 +17,27 @@ Bytes encodeRpcReply(std::uint64_t client_rid, const Reply& reply) {
   return w.take();
 }
 
+struct RpcMetrics {
+  obs::Counter& requests = obs::counter("ftl_rpc_requests");
+  obs::Counter& rejected = obs::counter("ftl_rpc_rejected");
+  obs::Counter& replies = obs::counter("ftl_rpc_replies");
+  obs::Counter& stats_requests = obs::counter("ftl_rpc_stats_requests");
+  obs::Counter& client_calls = obs::counter("ftl_rpc_client_calls");
+  obs::Histogram& client_rtt_ns = obs::histogram("ftl_rpc_client_rtt_ns");
+};
+
+RpcMetrics& rpcMetrics() {
+  static RpcMetrics m;
+  return m;
+}
+
 }  // namespace
 
 TupleServer::TupleServer(net::Network& net, rsm::Replica& replica, TsStateMachine& sm)
     : ep_(net.endpoint(replica.self())), host_(replica.self()), replica_(replica) {
   replica_.setForeignMessageHandler([this](const net::Message& m) {
     if (m.type == kRpcRequestType) onRpcRequest(m);
+    if (m.type == kRpcStatsType) onStatsRequest(m);
   });
   sm.addReplySink([this](net::HostId origin, std::uint64_t rid, const Reply& reply) {
     onReply(origin, rid, reply);
@@ -31,7 +49,19 @@ std::size_t TupleServer::pendingForwards() const {
   return forwards_.size();
 }
 
+void TupleServer::onStatsRequest(const net::Message& m) {
+  rpcMetrics().stats_requests.inc();
+  Reader r(m.payload);
+  const std::uint64_t client_rid = r.u64();
+  const std::string json = obs::dumpJson();
+  Writer w;
+  w.u64(client_rid);
+  w.bytes(Bytes(json.begin(), json.end()));
+  ep_.send(m.src, kRpcStatsReplyType, w.take());
+}
+
 void TupleServer::onRpcRequest(const net::Message& m) {
+  rpcMetrics().requests.inc();
   Command cmd = Command::decode(m.payload);
   const std::uint64_t client_rid = cmd.request_id;
   // Defensive re-verification at the trust boundary: the client library ran
@@ -40,6 +70,7 @@ void TupleServer::onRpcRequest(const net::Message& m) {
   // than multicast to every replica.
   if (cmd.kind == CommandKind::ExecuteAgs) {
     if (VerifyResult vr = verify(cmd.ags); !vr.ok()) {
+      rpcMetrics().rejected.inc();
       Reply reject;
       reject.error = "AGS rejected by verifier: " + vr.toString();
       ep_.send(m.src, kRpcReplyType, encodeRpcReply(client_rid, reject));
@@ -67,6 +98,7 @@ void TupleServer::onReply(net::HostId origin, std::uint64_t rid, const Reply& re
     dest = it->second;
     forwards_.erase(it);
   }
+  rpcMetrics().replies.inc();
   ep_.send(dest.first, kRpcReplyType, encodeRpcReply(dest.second, reply));
 }
 
@@ -99,10 +131,30 @@ void RemoteRuntime::markCrashed() {
 }
 
 void RemoteRuntime::recvLoop() {
+  obs::trace::setThreadName("rpc-client/" + std::to_string(host_));
   while (!stop_requested_.load()) {
     auto m = ep_.recvFor(Micros{5'000});
     if (!m) {
       if (net_.isCrashed(host_)) return;
+      continue;
+    }
+    if (m->type == kRpcStatsReplyType) {
+      Reader r(m->payload);
+      const std::uint64_t rid = r.u64();
+      const Bytes raw = r.bytes();
+      std::shared_ptr<StatsSlot> slot;
+      {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        auto it = stats_pending_.find(rid);
+        if (it == stats_pending_.end()) continue;
+        slot = it->second;
+        stats_pending_.erase(it);
+      }
+      {
+        std::lock_guard<std::mutex> lock(slot->m);
+        slot->json = std::string(raw.begin(), raw.end());
+      }
+      slot->cv.notify_all();
       continue;
     }
     if (m->type != kRpcReplyType) continue;
@@ -126,6 +178,9 @@ void RemoteRuntime::recvLoop() {
 }
 
 Reply RemoteRuntime::rpc(Command cmd) {
+  RpcMetrics& rm = rpcMetrics();
+  rm.client_calls.inc();
+  const std::int64_t t0 = nowNanos();
   auto slot = std::make_shared<Slot>();
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -136,6 +191,7 @@ Reply RemoteRuntime::rpc(Command cmd) {
     pending_.erase(cmd.request_id);
     throw ProcessorFailure(host_);
   }
+  obs::trace::asyncBegin("ags.rpc", cmd.trace_id);
   ep_.send(server_, kRpcRequestType, cmd.encode());
   std::unique_lock<std::mutex> lock(slot->m);
   for (;;) {
@@ -147,7 +203,34 @@ Reply RemoteRuntime::rpc(Command cmd) {
       throw Error("tuple server unreachable");
     }
   }
+  obs::trace::asyncEnd("ags.rpc", cmd.trace_id);
+  const std::int64_t dt = nowNanos() - t0;
+  rm.client_rtt_ns.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
   return std::move(*slot->reply);
+}
+
+std::string RemoteRuntime::serverStatsJson() {
+  if (crashed_.load()) throw ProcessorFailure(host_);
+  const std::uint64_t rid = next_rid_.fetch_add(1);
+  auto slot = std::make_shared<StatsSlot>();
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    stats_pending_.emplace(rid, slot);
+  }
+  Writer w;
+  w.u64(rid);
+  ep_.send(server_, kRpcStatsType, w.take());
+  std::unique_lock<std::mutex> lock(slot->m);
+  for (;;) {
+    if (slot->cv.wait_for(lock, Millis{20}, [&] { return slot->json.has_value(); })) break;
+    if (crashed_.load()) throw ProcessorFailure(host_);
+    if (net_.isCrashed(server_)) {
+      std::lock_guard<std::mutex> plock(pending_mutex_);
+      stats_pending_.erase(rid);
+      throw Error("tuple server unreachable");
+    }
+  }
+  return std::move(*slot->json);
 }
 
 Result<Reply> RemoteRuntime::tryExecute(const Ags& ags) {
@@ -169,7 +252,7 @@ Result<Reply> RemoteRuntime::tryExecute(const Ags& ags) {
     return r;
   }
   const std::uint64_t rid = next_rid_.fetch_add(1);
-  Reply r = rpc(makeExecute(rid, ags));
+  Reply r = rpc(makeExecute(rid, ags, makeTraceId(host_, rid)));
   if (!r.error.empty()) return Result<Reply>::failure("registry", r.error);
   scratch_.applyDeposits(r.local_deposits);
   return r;

@@ -38,6 +38,10 @@ namespace ftl::ftlinda {
 /// kForeignTypeBase so the protocol demultiplexer hands them over).
 constexpr std::uint16_t kRpcRequestType = 40;
 constexpr std::uint16_t kRpcReplyType = 41;
+/// Observability: a client asks the server for its obs::dumpJson() snapshot
+/// (metrics of the server process: consul, state machine, network, RPC).
+constexpr std::uint16_t kRpcStatsType = 42;
+constexpr std::uint16_t kRpcStatsReplyType = 43;
 
 /// Request ids the server allocates carry this bit so they can never
 /// collide with the co-located embedded Runtime's ids.
@@ -60,6 +64,7 @@ class TupleServer {
 
  private:
   void onRpcRequest(const net::Message& m);
+  void onStatsRequest(const net::Message& m);
   void onReply(net::HostId origin, std::uint64_t rid, const Reply& reply);
 
   net::Endpoint ep_;
@@ -103,6 +108,11 @@ class RemoteRuntime : public LindaApi {
   bool crashed() const override { return crashed_.load(); }
   std::size_t localTupleCount(TsHandle ts) const override { return scratch_.tupleCount(ts); }
 
+  /// Fetch the tuple server's obs::dumpJson() metrics snapshot over the RPC
+  /// channel (the "stats" request type). Blocks like an AGS; throws
+  /// ftl::Error if the server is unreachable.
+  std::string serverStatsJson();
+
  protected:
   void doMonitorFailures(TsHandle ts, bool enable) override;
 
@@ -111,6 +121,11 @@ class RemoteRuntime : public LindaApi {
     std::mutex m;
     std::condition_variable cv;
     std::optional<Reply> reply;
+  };
+  struct StatsSlot {
+    std::mutex m;
+    std::condition_variable cv;
+    std::optional<std::string> json;
   };
 
   Reply rpc(Command cmd);
@@ -126,6 +141,7 @@ class RemoteRuntime : public LindaApi {
   std::atomic<std::uint64_t> next_rid_{1};
   std::mutex pending_mutex_;
   std::map<std::uint64_t, std::shared_ptr<Slot>> pending_;
+  std::map<std::uint64_t, std::shared_ptr<StatsSlot>> stats_pending_;
   ScratchSpaces scratch_;
   std::thread recv_;
 };

@@ -1,9 +1,22 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+#include <atomic>
+
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace ftl::net {
+
+namespace {
+/// Distinguishes the obs series of networks that coexist in one process
+/// (tests spin up several). Monotone across the process lifetime.
+std::uint64_t nextNetId() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
 
 NetworkConfig lanProfile(std::uint64_t seed) {
   NetworkConfig cfg;
@@ -46,10 +59,39 @@ Network::Network(std::uint32_t host_count, NetworkConfig config)
   last_delivery_.assign(static_cast<std::size_t>(host_count) * host_count, TimePoint{});
   crashed_.assign(host_count, false);
   stats_.assign(host_count, TrafficStats{});
+  net_id_ = nextNetId();
+  obs_token_ = obs::registerSource([this](std::vector<obs::Sample>& out) {
+    const std::string net = "{net=\"" + std::to_string(net_id_) + "\"}";
+    std::lock_guard<std::mutex> lock(mutex_);
+    TrafficStats total;
+    for (const auto& s : stats_) {
+      total.messages_sent += s.messages_sent;
+      total.bytes_sent += s.bytes_sent;
+      total.messages_delivered += s.messages_delivered;
+      total.messages_dropped += s.messages_dropped;
+      total.messages_duplicated += s.messages_duplicated;
+    }
+    out.push_back({"ftl_net_messages_sent" + net, static_cast<double>(total.messages_sent)});
+    out.push_back({"ftl_net_bytes_sent" + net, static_cast<double>(total.bytes_sent)});
+    out.push_back(
+        {"ftl_net_messages_delivered" + net, static_cast<double>(total.messages_delivered)});
+    out.push_back({"ftl_net_messages_dropped" + net, static_cast<double>(total.messages_dropped)});
+    out.push_back(
+        {"ftl_net_messages_duplicated" + net, static_cast<double>(total.messages_duplicated)});
+    out.push_back({"ftl_net_in_flight" + net, static_cast<double>(in_flight_.size())});
+    out.push_back({"ftl_net_hosts" + net, static_cast<double>(inboxes_.size())});
+    for (std::size_t type = 0; type < sent_by_type_.size(); ++type) {
+      if (sent_by_type_[type] == 0) continue;
+      out.push_back({"ftl_net_sent_by_type{net=\"" + std::to_string(net_id_) + "\",type=\"" +
+                         std::to_string(type) + "\"}",
+                     static_cast<double>(sent_by_type_[type])});
+    }
+  });
   scheduler_ = std::thread([this] { schedulerLoop(); });
 }
 
 Network::~Network() {
+  obs::unregisterSource(obs_token_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
@@ -116,13 +158,24 @@ TrafficStats Network::totalStats() const {
     total.bytes_sent += s.bytes_sent;
     total.messages_delivered += s.messages_delivered;
     total.messages_dropped += s.messages_dropped;
+    total.messages_duplicated += s.messages_duplicated;
   }
   return total;
+}
+
+std::map<std::uint16_t, std::uint64_t> Network::sentByType() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::uint16_t, std::uint64_t> out;
+  for (std::size_t type = 0; type < sent_by_type_.size(); ++type) {
+    if (sent_by_type_[type] != 0) out.emplace(static_cast<std::uint16_t>(type), sent_by_type_[type]);
+  }
+  return out;
 }
 
 void Network::resetStats() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& s : stats_) s = TrafficStats{};
+  std::fill(sent_by_type_.begin(), sent_by_type_.end(), 0);
 }
 
 void Network::setDropFilter(DropFilter filter) {
@@ -146,6 +199,8 @@ void Network::enqueue(Message msg) {
     auto& sender_stats = stats_[msg.src];
     sender_stats.messages_sent += 1;
     sender_stats.bytes_sent += msg.payload.size();
+    if (msg.type >= sent_by_type_.size()) sent_by_type_.resize(msg.type + 1, 0);
+    sent_by_type_[msg.type] += 1;
     if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
       sender_stats.messages_dropped += 1;
       return;
@@ -170,6 +225,7 @@ void Network::enqueue(Message msg) {
   // later traffic, like a real re-routed datagram.
   if (!loopback && config_.duplicate_probability > 0.0 &&
       rng_.chance(config_.duplicate_probability)) {
+    stats_[msg.src].messages_duplicated += 1;
     in_flight_.push(
         InFlight{due + config_.latency_mean + Micros{50}, next_seq_++, msg});
   }

@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -60,6 +61,9 @@ struct TrafficStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
+  /// Extra copies scheduled by duplicate_probability (the original is
+  /// counted in messages_sent; the copy only here).
+  std::uint64_t messages_duplicated = 0;
 };
 
 class Network;
@@ -125,6 +129,9 @@ class Network {
   /// Sum of all hosts' counters.
   TrafficStats totalStats() const;
 
+  /// Messages sent per message type (non-loopback, pre-drop), network-wide.
+  std::map<std::uint16_t, std::uint64_t> sentByType() const;
+
   /// Zero all traffic counters (between bench phases).
   void resetStats();
 
@@ -168,10 +175,16 @@ class Network {
   std::vector<TimePoint> last_delivery_;  // per (src*n+dst) FIFO floor
   std::vector<bool> crashed_;
   std::vector<TrafficStats> stats_;
+  // Indexed by message type, grown on demand: the per-send accounting is
+  // under the hot network lock, where a map lookup was measurable.
+  std::vector<std::uint64_t> sent_by_type_;
   DropFilter drop_filter_;
   Xoshiro256 rng_;
   std::uint64_t next_seq_ = 0;
   bool shutdown_ = false;
+
+  std::uint64_t net_id_ = 0;     // distinguishes obs series of coexisting networks
+  std::uint64_t obs_token_ = 0;  // obs::registerSource token, 0 = none
 
   std::thread scheduler_;  // started last, joined in dtor
 };

@@ -1,0 +1,287 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/clock.hpp"
+
+namespace ftl::obs {
+
+namespace {
+
+enum class Kind { Counter, Gauge, Histogram };
+
+struct Entry {
+  Kind kind;
+  std::unique_ptr<Counter> c;
+  std::unique_ptr<Gauge> g;
+  std::unique_ptr<Histogram> h;
+};
+
+struct Registry {
+  std::mutex mutex;
+  // std::map: dumps come out name-sorted, so exports are diffable.
+  std::map<std::string, Entry, std::less<>> metrics;
+  std::map<std::uint64_t, SourceFn> sources;
+  std::uint64_t next_source_token = 1;
+};
+
+Registry& registry() {
+  // Leaked singleton: metric references handed out must stay valid through
+  // static destruction (instrumented code may run during teardown).
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Entry& entryFor(std::string_view name, Kind kind) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.metrics.find(name);
+  if (it == r.metrics.end()) {
+    Entry e;
+    e.kind = kind;
+    switch (kind) {
+      case Kind::Counter: e.c = std::make_unique<Counter>(); break;
+      case Kind::Gauge: e.g = std::make_unique<Gauge>(); break;
+      case Kind::Histogram: e.h = std::make_unique<Histogram>(); break;
+    }
+    it = r.metrics.emplace(std::string(name), std::move(e)).first;
+  }
+  if (it->second.kind != kind) {
+    throw Error("obs: metric '" + std::string(name) + "' already registered as a different kind");
+  }
+  return it->second;
+}
+
+/// Splits "name{label=...}" so histogram series can interpose suffixes
+/// before the label set, Prometheus-style.
+std::pair<std::string, std::string> splitLabels(const std::string& name) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) return {name, ""};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+std::string seriesName(const std::string& base, const char* suffix, const std::string& labels) {
+  return base + suffix + labels;
+}
+
+void appendHistogramSamples(const std::string& name, const Histogram::Snapshot& s,
+                            std::vector<Sample>& out) {
+  const auto [base, labels] = splitLabels(name);
+  out.push_back({seriesName(base, "_count", labels), static_cast<double>(s.count)});
+  out.push_back({seriesName(base, "_sum", labels), static_cast<double>(s.sum)});
+  out.push_back({seriesName(base, "_p50", labels), static_cast<double>(s.percentile(50))});
+  out.push_back({seriesName(base, "_p95", labels), static_cast<double>(s.percentile(95))});
+  out.push_back({seriesName(base, "_p99", labels), static_cast<double>(s.percentile(99))});
+}
+
+std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  // Integral values (the common case: counters) print without a fraction.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os << v;
+  }
+  return os.str();
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out.push_back('\\');
+      out.push_back(ch);
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      out += ' ';
+    } else {
+      out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t Histogram::Snapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return upperBound(i);
+  }
+  return upperBound(kBuckets - 1);
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot s;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+ScopedTimerNs::ScopedTimerNs(Histogram& h) : h_(h), start_ns_(nowNanos()) {}
+ScopedTimerNs::~ScopedTimerNs() {
+  const std::int64_t dt = nowNanos() - start_ns_;
+  h_.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
+}
+
+Counter& counter(std::string_view name) { return *entryFor(name, Kind::Counter).c; }
+Gauge& gauge(std::string_view name) { return *entryFor(name, Kind::Gauge).g; }
+Histogram& histogram(std::string_view name) { return *entryFor(name, Kind::Histogram).h; }
+
+std::uint64_t registerSource(SourceFn fn) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const std::uint64_t token = r.next_source_token++;
+  r.sources.emplace(token, std::move(fn));
+  return token;
+}
+
+void unregisterSource(std::uint64_t token) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.sources.erase(token);
+}
+
+std::vector<Sample> collect() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<Sample> out;
+  out.reserve(r.metrics.size() * 2);
+  for (const auto& [name, e] : r.metrics) {
+    switch (e.kind) {
+      case Kind::Counter:
+        out.push_back({name, static_cast<double>(e.c->value())});
+        break;
+      case Kind::Gauge:
+        out.push_back({name, static_cast<double>(e.g->value())});
+        break;
+      case Kind::Histogram:
+        appendHistogramSamples(name, e.h->snapshot(), out);
+        break;
+    }
+  }
+  for (const auto& [token, fn] : r.sources) fn(out);
+  return out;
+}
+
+std::string dumpPrometheus() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::ostringstream os;
+  for (const auto& [name, e] : r.metrics) {
+    const auto [base, labels] = splitLabels(name);
+    switch (e.kind) {
+      case Kind::Counter:
+        os << "# TYPE " << base << " counter\n" << name << " " << e.c->value() << "\n";
+        break;
+      case Kind::Gauge:
+        os << "# TYPE " << base << " gauge\n" << name << " " << e.g->value() << "\n";
+        break;
+      case Kind::Histogram: {
+        const auto s = e.h->snapshot();
+        os << "# TYPE " << base << " histogram\n";
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          cum += s.buckets[i];
+          if (s.buckets[i] == 0 && i + 1 < Histogram::kBuckets) continue;  // sparse output
+          const std::string le =
+              i + 1 == Histogram::kBuckets ? "+Inf" : std::to_string(Histogram::upperBound(i));
+          if (labels.empty()) {
+            os << base << "_bucket{le=\"" << le << "\"} " << cum << "\n";
+          } else {
+            // Inject le into the existing label set: {a="b"} -> {a="b",le="..."}.
+            os << base << "_bucket" << labels.substr(0, labels.size() - 1) << ",le=\"" << le
+               << "\"} " << cum << "\n";
+          }
+        }
+        os << base << "_sum" << labels << " " << s.sum << "\n";
+        os << base << "_count" << labels << " " << s.count << "\n";
+        break;
+      }
+    }
+  }
+  std::vector<Sample> src;
+  for (const auto& [token, fn] : r.sources) fn(src);
+  std::sort(src.begin(), src.end(), [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  for (const auto& s : src) {
+    os << s.name << " " << jsonNumber(s.value) << "\n";
+  }
+  return os.str();
+}
+
+std::string dumpJson() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, e] : r.metrics) {
+    if (e.kind != Kind::Counter) continue;
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(name) << "\": " << e.c->value();
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, e] : r.metrics) {
+    if (e.kind != Kind::Gauge) continue;
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(name) << "\": " << e.g->value();
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, e] : r.metrics) {
+    if (e.kind != Kind::Histogram) continue;
+    const auto s = e.h->snapshot();
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(name) << "\": {\"count\": " << s.count
+       << ", \"sum\": " << s.sum << ", \"p50\": " << s.percentile(50)
+       << ", \"p95\": " << s.percentile(95) << ", \"p99\": " << s.percentile(99) << "}";
+    first = false;
+  }
+  os << "\n  },\n  \"sources\": {";
+  std::vector<Sample> src;
+  for (const auto& [token, fn] : r.sources) fn(src);
+  std::sort(src.begin(), src.end(), [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  first = true;
+  for (const auto& s : src) {
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(s.name) << "\": " << jsonNumber(s.value);
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+void resetAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [name, e] : r.metrics) {
+    switch (e.kind) {
+      case Kind::Counter: e.c->reset(); break;
+      case Kind::Gauge: e.g->reset(); break;
+      case Kind::Histogram: e.h->reset(); break;
+    }
+  }
+}
+
+}  // namespace ftl::obs

@@ -1,0 +1,157 @@
+// ftl::obs — process-wide metrics registry (docs/OBSERVABILITY.md).
+//
+// Three metric kinds, all safe to touch from any thread without locks:
+//  - Counter:   monotone uint64, relaxed-atomic increment (~1ns);
+//  - Gauge:     int64 level, relaxed-atomic set/add;
+//  - Histogram: fixed power-of-two buckets (log-scale), relaxed-atomic
+//    counts — observe() is two increments and a bit_width, no allocation.
+//
+// Registration (obs::counter("name") etc.) takes a mutex and is meant to be
+// done ONCE per call site — cache the returned reference in a static local
+// or a member. Metric objects are never deallocated, so cached references
+// stay valid for the life of the process.
+//
+// Subsystems whose statistics already live under their own locks (the
+// network's TrafficStats, Consul's protocol counters, the TS state machine's
+// deterministic Metrics) fold into the same export through registered
+// SOURCES: a callback that appends (name, value) samples to a snapshot.
+// That keeps their hot paths exactly as cheap as before this layer existed.
+//
+// Export:
+//  - collect(): every metric flattened to (name, value) samples;
+//  - dumpPrometheus(): Prometheus text exposition (histograms with
+//    cumulative `_bucket{le=...}` series);
+//  - dumpJson() / dump(): one JSON object, the shared schema embedded in
+//    every BENCH_*.json (bench/bench_util.hpp).
+//
+// Naming convention: ftl_<subsystem>_<metric>[{label="v"}]; durations are
+// histograms in nanoseconds with an _ns suffix.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftl::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(std::int64_t d) noexcept { v_.fetch_sub(d, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-scale histogram: bucket i counts observations v with
+/// upperBound(i-1) < v <= upperBound(i), where upperBound(i) = 2^i - 1 for
+/// the first bucket and 2^i thereafter — i.e. bucket index is bit_width(v).
+/// 48 buckets cover [0, 2^47) — nanoseconds up to ~39 hours.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void observe(std::uint64_t v) noexcept {
+    std::size_t b = static_cast<std::size_t>(std::bit_width(v));
+    if (b >= kBuckets) b = kBuckets - 1;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t buckets[kBuckets] = {};
+
+    /// Approximate percentile (upper bound of the bucket holding rank
+    /// ceil(p/100*count)); 0 when empty. p in [0,100].
+    std::uint64_t percentile(double p) const;
+    double mean() const { return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
+  };
+  Snapshot snapshot() const noexcept;
+
+  /// Inclusive upper bound of bucket i (the Prometheus `le` label).
+  static std::uint64_t upperBound(std::size_t i) {
+    return i == 0 ? 0 : (i >= 63 ? ~0ull : (1ull << i) - 1);
+  }
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Scope timer recording elapsed wall nanoseconds into a Histogram.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(Histogram& h);
+  ~ScopedTimerNs();
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  Histogram& h_;
+  std::int64_t start_ns_;
+};
+
+// ---- registry ----
+
+/// Look up or create the named metric. The same name always returns the
+/// same object; a name may only ever be one kind (ftl::Error otherwise).
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// One flattened sample of the current state.
+struct Sample {
+  std::string name;  // full name, including any {label="v"} suffix
+  double value = 0;
+};
+
+/// A source appends samples for state living under the subsystem's own
+/// lock. Runs with the registry lock held: keep it quick and NEVER call
+/// back into the registry from inside it.
+using SourceFn = std::function<void(std::vector<Sample>&)>;
+
+/// Register a snapshot source; returns a token for unregisterSource().
+/// Sources must be unregistered before the state they read is destroyed.
+std::uint64_t registerSource(SourceFn fn);
+void unregisterSource(std::uint64_t token);
+
+/// Every registered metric and source flattened to samples. Histograms
+/// contribute <name>_count, <name>_sum, <name>_p50/_p95/_p99.
+std::vector<Sample> collect();
+
+/// Prometheus text exposition format.
+std::string dumpPrometheus();
+
+/// JSON object: {"counters":{...},"gauges":{...},"histograms":{name:
+/// {"count":..,"sum":..,"p50":..,"p95":..,"p99":..}},"sources":{...}}.
+std::string dumpJson();
+
+/// Alias for dumpJson() — the snapshot embedded in BENCH_*.json.
+inline std::string dump() { return dumpJson(); }
+
+/// Zero every registered counter/gauge/histogram (between bench phases).
+/// Source-backed values are owned by their subsystems and are not touched.
+void resetAll();
+
+}  // namespace ftl::obs

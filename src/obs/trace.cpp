@@ -1,0 +1,171 @@
+#include "obs/trace.hpp"
+
+#include <bit>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace ftl::obs::trace {
+
+namespace {
+
+struct Event {
+  const char* name = nullptr;
+  char phase = 0;  // 'X', 'b', 'e', 'n'
+  std::uint64_t id = 0;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;
+};
+
+struct ThreadRing {
+  std::uint32_t tid = 0;
+  std::string thread_name;
+  std::vector<Event> events;          // capacity-sized ring, power of two
+  std::atomic<std::uint64_t> pos{0};  // total events ever written
+
+  void record(const Event& e) {
+    const std::uint64_t p = pos.load(std::memory_order_relaxed);
+    events[p & (events.size() - 1)] = e;
+    pos.store(p + 1, std::memory_order_release);
+  }
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::size_t> capacity{1 << 16};
+  std::mutex mutex;  // guards rings registration and thread names
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 1;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: outlives static dtors
+  return *s;
+}
+
+ThreadRing& myRing() {
+  // The shared_ptr in the registry keeps rings of exited threads alive for
+  // the dump; the thread_local holder keeps this thread's ring pinned.
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    auto r = std::make_shared<ThreadRing>();
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    r->tid = s.next_tid++;
+    r->events.resize(std::bit_ceil(std::max<std::size_t>(s.capacity.load(), 16)));
+    s.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+void record(const char* name, char phase, std::uint64_t id, std::int64_t ts_ns,
+            std::int64_t dur_ns) {
+  Event e;
+  e.name = name;
+  e.phase = phase;
+  e.id = id;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  myRing().record(e);
+}
+
+}  // namespace
+
+bool enabled() noexcept { return state().enabled.load(std::memory_order_relaxed); }
+
+void enable(std::size_t capacity_per_thread) {
+  TraceState& s = state();
+  s.capacity.store(std::bit_ceil(std::max<std::size_t>(capacity_per_thread, 16)));
+  s.enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() { state().enabled.store(false, std::memory_order_relaxed); }
+
+void clear() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& r : s.rings) r->pos.store(0, std::memory_order_relaxed);
+}
+
+std::size_t eventCount() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::size_t n = 0;
+  for (const auto& r : s.rings) {
+    n += std::min<std::uint64_t>(r->pos.load(std::memory_order_acquire), r->events.size());
+  }
+  return n;
+}
+
+std::int64_t nowNs() noexcept { return nowNanos(); }
+
+void complete(const char* name, std::uint64_t id, std::int64_t start_ns, std::int64_t dur_ns) {
+  if (!enabled()) return;
+  record(name, 'X', id, start_ns, dur_ns);
+}
+
+void asyncBegin(const char* name, std::uint64_t id) {
+  if (!enabled()) return;
+  record(name, 'b', id, nowNanos(), 0);
+}
+
+void asyncEnd(const char* name, std::uint64_t id) {
+  if (!enabled()) return;
+  record(name, 'e', id, nowNanos(), 0);
+}
+
+void instant(const char* name, std::uint64_t id) {
+  if (!enabled()) return;
+  record(name, 'n', id, nowNanos(), 0);
+}
+
+void setThreadName(const std::string& name) {
+  ThreadRing& r = myRing();
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  r.thread_name = name;
+}
+
+std::string chromeJson() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    os << (first ? "\n" : ",\n") << line;
+    first = false;
+  };
+  for (const auto& ring : s.rings) {
+    if (!ring->thread_name.empty()) {
+      std::ostringstream m;
+      m << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << ring->tid
+        << ",\"args\":{\"name\":\"" << ring->thread_name << "\"}}";
+      emit(m.str());
+    }
+    const std::uint64_t written = ring->pos.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(written, ring->events.size());
+    const std::uint64_t start = written - n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Event& e = ring->events[(start + i) & (ring->events.size() - 1)];
+      if (e.name == nullptr) continue;
+      std::ostringstream l;
+      // Chrome trace timestamps are MICROseconds (doubles).
+      l << "{\"name\":\"" << e.name << "\",\"cat\":\"ags\",\"ph\":\"" << e.phase
+        << "\",\"pid\":1,\"tid\":" << ring->tid << ",\"ts\":" << static_cast<double>(e.ts_ns) / 1e3;
+      if (e.phase == 'X') l << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3;
+      if (e.phase == 'b' || e.phase == 'e' || e.phase == 'n') {
+        l << ",\"id\":\"0x" << std::hex << e.id << std::dec << "\"";
+      }
+      l << ",\"args\":{\"trace_id\":" << e.id << "}}";
+      emit(l.str());
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace ftl::obs::trace

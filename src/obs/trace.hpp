@@ -1,0 +1,84 @@
+// ftl::obs::trace — per-thread ring-buffer event tracer for the AGS
+// lifecycle (docs/OBSERVABILITY.md).
+//
+// Design constraints, in order:
+//  1. Disabled cost ~1ns: every record call starts with one relaxed atomic
+//     load and returns. Tracing is OFF by default.
+//  2. Enabled cost is one clock read plus a ring-buffer store. Each thread
+//     writes its own fixed-capacity ring (oldest events overwritten), so
+//     the hot path takes no locks and does no allocation after the first
+//     event on a thread.
+//  3. The dump is Chrome trace-event JSON (chromeJson()): write it to a
+//     file and open it in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Event model:
+//  - complete(name, id, start_ns, dur_ns): a duration on the CALLING
+//    thread's track ("ph":"X") — use for work that starts and ends on one
+//    thread (verify pass, applyBatch execution);
+//  - asyncBegin/asyncEnd(name, id): one span of an async flow ("ph":"b"/
+//    "e"), matched ACROSS threads by (name, id) — use for the AGS stages
+//    that hop threads (submit -> ordered delivery -> apply -> reply);
+//  - instant(name, id): a point marker ("ph":"n").
+//
+// `name` MUST be a string literal (the tracer stores the pointer).
+// `id` is the trace id minted at AGS submission and propagated through
+// protocol.hpp Commands; all spans of one AGS share it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ftl::obs::trace {
+
+/// True when tracing is on. Exposed for call sites that want to skip
+/// argument computation; the record functions all re-check internally.
+bool enabled() noexcept;
+
+/// Turn tracing on. Each thread that records gets its own ring of
+/// `capacity_per_thread` events (rounded up to a power of two).
+void enable(std::size_t capacity_per_thread = 1 << 16);
+
+/// Turn tracing off (buffers are kept for dumping).
+void disable();
+
+/// Drop all recorded events (buffers stay registered with their threads).
+void clear();
+
+/// Number of events currently held across all thread rings.
+std::size_t eventCount();
+
+// Record functions: no-ops (one relaxed load) while disabled.
+void complete(const char* name, std::uint64_t id, std::int64_t start_ns, std::int64_t dur_ns);
+void asyncBegin(const char* name, std::uint64_t id);
+void asyncEnd(const char* name, std::uint64_t id);
+void instant(const char* name, std::uint64_t id);
+
+/// Label the calling thread's track in the trace viewer ("consul/2",
+/// "client/0", ...). Cheap; safe to call whether or not tracing is enabled.
+void setThreadName(const std::string& name);
+
+/// Monotonic nanoseconds on the tracer's clock (common/clock.hpp).
+std::int64_t nowNs() noexcept;
+
+/// Serialize every thread's ring as Chrome trace-event JSON. Call when the
+/// traced workload is quiescent: the dump walks other threads' rings.
+std::string chromeJson();
+
+/// RAII complete-event span on the calling thread's track.
+class Span {
+ public:
+  Span(const char* name, std::uint64_t id) : name_(name), id_(id), start_(enabled() ? nowNs() : 0) {}
+  ~Span() {
+    if (start_ != 0) complete(name_, id_, start_, nowNs() - start_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t id_;
+  std::int64_t start_;
+};
+
+}  // namespace ftl::obs::trace

@@ -1,5 +1,7 @@
 #include "rsm/replica.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace ftl::rsm {
 
 Replica::Replica(net::Network& net, net::HostId self, std::vector<net::HostId> group,
@@ -34,7 +36,11 @@ void Replica::start() { node_->start(); }
 
 void Replica::stop() { node_->stop(); }
 
-std::uint64_t Replica::submit(Bytes command) { return node_->broadcast(std::move(command)); }
+std::uint64_t Replica::submit(Bytes command) {
+  static obs::Counter& submits = obs::counter("ftl_rsm_submits");
+  submits.inc();
+  return node_->broadcast(std::move(command));
+}
 
 void Replica::join(std::uint64_t incarnation) { node_->joinGroup(incarnation); }
 

@@ -35,11 +35,12 @@ TEST(OnlineStats, SingleSampleVarianceZero) {
 TEST(LatencySamples, PercentilesExact) {
   LatencySamples ls;
   for (int i = 1; i <= 100; ++i) ls.add(static_cast<double>(i));
-  EXPECT_DOUBLE_EQ(ls.percentile(50), 50.0);
-  EXPECT_DOUBLE_EQ(ls.percentile(95), 95.0);
-  EXPECT_DOUBLE_EQ(ls.percentile(99), 99.0);
-  EXPECT_DOUBLE_EQ(ls.percentile(100), 100.0);
-  EXPECT_DOUBLE_EQ(ls.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(ls.percentile(50).value(), 50.0);
+  EXPECT_DOUBLE_EQ(ls.percentile(95).value(), 95.0);
+  EXPECT_DOUBLE_EQ(ls.percentile(99).value(), 99.0);
+  EXPECT_DOUBLE_EQ(ls.percentile(99.9).value(), 100.0);
+  EXPECT_DOUBLE_EQ(ls.percentile(100).value(), 100.0);
+  EXPECT_DOUBLE_EQ(ls.percentile(0).value(), 1.0);
   EXPECT_DOUBLE_EQ(ls.min(), 1.0);
   EXPECT_DOUBLE_EQ(ls.max(), 100.0);
   EXPECT_DOUBLE_EQ(ls.mean(), 50.5);
@@ -48,7 +49,7 @@ TEST(LatencySamples, PercentilesExact) {
 TEST(LatencySamples, AddAfterPercentileStillCorrect) {
   LatencySamples ls;
   ls.add(10);
-  EXPECT_DOUBLE_EQ(ls.percentile(50), 10.0);
+  EXPECT_DOUBLE_EQ(ls.percentile(50).value(), 10.0);
   ls.add(1);  // invalidates the sorted cache
   EXPECT_DOUBLE_EQ(ls.min(), 1.0);
   EXPECT_DOUBLE_EQ(ls.max(), 10.0);
@@ -59,6 +60,18 @@ TEST(LatencySamples, PercentileOutOfRangeThrows) {
   ls.add(1);
   EXPECT_THROW(ls.percentile(101), ContractViolation);
   EXPECT_THROW(ls.percentile(-1), ContractViolation);
+}
+
+TEST(LatencySamples, EmptyPercentileIsNullopt) {
+  LatencySamples ls;
+  EXPECT_FALSE(ls.percentile(50).has_value());
+  EXPECT_DOUBLE_EQ(ls.percentileOr0(99), 0.0);
+}
+
+TEST(LatencySamples, SummaryHasP999) {
+  LatencySamples ls;
+  for (int i = 0; i < 10; ++i) ls.add(static_cast<double>(i));
+  EXPECT_NE(ls.summary().find("p99.9="), std::string::npos);
 }
 
 TEST(LatencySamples, SummaryMentionsCount) {

@@ -1,0 +1,124 @@
+// Observability through the full stack: one trace id follows an AGS from
+// submission through ordering, apply and wake; registry counters and
+// subsystem sources show up in the export; the tuple-server stats RPC
+// round-trips a metrics snapshot (docs/OBSERVABILITY.md).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ftlinda/system.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+// Tracing is process-global: scope it tightly and always clean up.
+class ObsIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::trace::disable();
+    obs::trace::clear();
+  }
+  void TearDown() override {
+    obs::trace::disable();
+    obs::trace::clear();
+  }
+};
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+TEST_F(ObsIntegration, AgsLifecycleSpansShareOneTraceId) {
+  obs::trace::enable();
+  std::string json;
+  {
+    FtLindaSystem sys({.hosts = 2});
+    sys.runtime(0).out(kTsMain, makeTuple("traced", 1));
+    sys.runtime(0).in(kTsMain, makePattern("traced", fInt()));
+    // Quiesce before walking other threads' rings.
+  }
+  obs::trace::disable();
+  json = obs::trace::chromeJson();
+  // The full lifecycle: submit span, ordering flow, apply on the origin
+  // replica, verify pass, reply marker.
+  EXPECT_TRUE(contains(json, "\"name\":\"ags\"")) << json;
+  EXPECT_TRUE(contains(json, "\"name\":\"ags.order\""));
+  EXPECT_TRUE(contains(json, "\"name\":\"ags.apply\""));
+  EXPECT_TRUE(contains(json, "\"name\":\"ags.verify\""));
+  EXPECT_TRUE(contains(json, "\"name\":\"ags.reply\""));
+  EXPECT_TRUE(contains(json, "\"name\":\"sm.apply_batch\""));
+  // Consul service threads labeled their tracks.
+  EXPECT_TRUE(contains(json, "\"name\":\"consul/0\""));
+}
+
+TEST_F(ObsIntegration, BlockedAgsEmitsWakeMarker) {
+  obs::trace::enable();
+  {
+    FtLindaSystem sys({.hosts = 2});
+    std::atomic<bool> got{false};
+    std::thread waiter([&] {
+      sys.runtime(0).in(kTsMain, makePattern("later", fInt()));
+      got = true;
+    });
+    while (sys.stateMachine(0).blockedCount() == 0) std::this_thread::sleep_for(Millis{1});
+    sys.runtime(1).out(kTsMain, makeTuple("later", 3));
+    waiter.join();
+    EXPECT_TRUE(got.load());
+  }
+  obs::trace::disable();
+  EXPECT_TRUE(contains(obs::trace::chromeJson(), "\"name\":\"ags.wake\""));
+}
+
+TEST(ObsIntegrationMetrics, RuntimeCountersAndSourcesExport) {
+  const std::uint64_t submitted_before = obs::counter("ftl_ags_submitted").value();
+  FtLindaSystem sys({.hosts = 2});
+  sys.runtime(0).out(kTsMain, makeTuple("m", 1));
+  sys.runtime(1).in(kTsMain, makePattern("m", fInt()));
+  EXPECT_GE(obs::counter("ftl_ags_submitted").value(), submitted_before + 2);
+
+  // Sources registered by the live system appear in the export with their
+  // per-instance labels.
+  const std::string prom = obs::dumpPrometheus();
+  EXPECT_TRUE(contains(prom, "ftl_sm_ags_executed{host=\"0\"}"));
+  EXPECT_TRUE(contains(prom, "ftl_sm_ags_executed{host=\"1\"}"));
+  EXPECT_TRUE(contains(prom, "ftl_consul_broadcasts{host=\"0\"}"));
+  EXPECT_TRUE(contains(prom, "ftl_net_messages_sent{net="));
+  EXPECT_TRUE(contains(prom, "ftl_sm_tuples{host=\"0\",ts=\""));
+}
+
+TEST(ObsIntegrationMetrics, SourcesUnregisterOnTeardown) {
+  {
+    FtLindaSystem sys({.hosts = 2});
+    EXPECT_TRUE(contains(obs::dumpPrometheus(), "ftl_consul_broadcasts{host=\"1\"}"));
+  }
+  // After teardown the per-instance source series are gone again (no dangling
+  // source callbacks; a new dump must not touch destroyed state).
+  std::string after = obs::dumpPrometheus();
+  EXPECT_FALSE(contains(after, "ftl_sm_blocked_now"));
+  EXPECT_FALSE(contains(after, "ftl_consul_pending"));
+}
+
+TEST(ObsIntegrationMetrics, StatsRpcRoundTrip) {
+  SystemConfig cfg;
+  cfg.hosts = 3;
+  cfg.replica_hosts = 2;
+  FtLindaSystem sys(cfg);
+  sys.remoteRuntime(2).out(kTsMain, makeTuple("via_rpc", 1));
+  const std::string json = sys.remoteRuntime(2).serverStatsJson();
+  // A well-formed obs::dumpJson() snapshot of the SERVER process.
+  EXPECT_TRUE(contains(json, "\"counters\""));
+  EXPECT_TRUE(contains(json, "\"sources\""));
+  EXPECT_TRUE(contains(json, "ftl_rpc_requests"));
+  EXPECT_TRUE(contains(json, "ftl_rpc_stats_requests"));
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -27,6 +27,20 @@ TEST(Protocol, ExecuteCommandRoundTrip) {
   EXPECT_EQ(w1.buffer(), w2.buffer());
 }
 
+TEST(Protocol, TraceIdRoundTripsAndDefaultsToZero) {
+  Ags ags = AgsBuilder().when(guardTrue()).then(opOut(ts::kTsMain, makeTemplate("t"))).build();
+  // Default: no trace id on the wire.
+  EXPECT_EQ(Command::decode(makeExecute(1, ags).encode()).trace_id, 0u);
+  // The id minted at submission survives encode/decode unchanged.
+  const std::uint64_t tid = makeTraceId(3, 9);
+  const Command d = Command::decode(makeExecute(9, ags, tid).encode());
+  EXPECT_EQ(d.trace_id, tid);
+  EXPECT_EQ(d.request_id, 9u);
+  // makeTraceId packs (host, rid) injectively for rids below 2^48.
+  EXPECT_NE(makeTraceId(2, 9), makeTraceId(3, 9));
+  EXPECT_NE(makeTraceId(3, 8), makeTraceId(3, 9));
+}
+
 TEST(Protocol, MonitorCommandRoundTrip) {
   Command c = makeMonitor(7, 123, true);
   Command d = Command::decode(c.encode());

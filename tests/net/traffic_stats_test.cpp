@@ -1,0 +1,113 @@
+// TrafficStats accounting: monotone across crash/recover, drop-filter and
+// duplicate counting, loopback exemption (the E4 ablation and the obs layer
+// both read these counters, so their semantics are pinned here).
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace ftl::net {
+namespace {
+
+TEST(TrafficStats, CountsSentBytesAndDelivered) {
+  Network net(2);
+  net.endpoint(0).send(1, 7, Bytes{1, 2, 3});
+  net.drain();
+  const TrafficStats s0 = net.stats(0);
+  EXPECT_EQ(s0.messages_sent, 1u);
+  EXPECT_EQ(s0.bytes_sent, 3u);
+  EXPECT_EQ(net.stats(1).messages_delivered, 1u);
+  auto by_type = net.sentByType();
+  EXPECT_EQ(by_type[7], 1u);
+}
+
+TEST(TrafficStats, MonotoneAcrossCrashAndRecover) {
+  Network net(2);
+  net.endpoint(0).send(1, 1, Bytes{9});
+  net.drain();
+  const TrafficStats before = net.stats(0);
+  ASSERT_EQ(before.messages_sent, 1u);
+
+  // Crash/recover of the DESTINATION must not reset anyone's counters.
+  net.crash(1);
+  net.recover(1);
+  EXPECT_EQ(net.stats(0).messages_sent, before.messages_sent);
+  EXPECT_EQ(net.stats(0).bytes_sent, before.bytes_sent);
+  EXPECT_EQ(net.stats(1).messages_delivered, 1u);
+
+  // A send to a crashed destination still counts at the sender (the datagram
+  // left the NIC); it is just never delivered.
+  net.crash(1);
+  net.endpoint(0).send(1, 1, Bytes{9});
+  net.drain();
+  EXPECT_EQ(net.stats(0).messages_sent, 2u);
+  EXPECT_EQ(net.stats(1).messages_delivered, 1u);
+
+  // A send FROM a crashed host never existed: nothing is counted.
+  net.recover(1);
+  net.crash(0);
+  net.endpoint(0).send(1, 1, Bytes{9});
+  net.drain();
+  EXPECT_EQ(net.stats(0).messages_sent, 2u);
+}
+
+TEST(TrafficStats, DropFilterDropsAreCounted) {
+  Network net(2);
+  net.setDropFilter([](const Message& m) { return m.type == 99; });
+  net.endpoint(0).send(1, 99, Bytes{1});
+  net.endpoint(0).send(1, 7, Bytes{1});
+  net.drain();
+  const TrafficStats s0 = net.stats(0);
+  EXPECT_EQ(s0.messages_sent, 2u);      // counted pre-drop
+  EXPECT_EQ(s0.messages_dropped, 1u);   // the filtered type
+  EXPECT_EQ(net.stats(1).messages_delivered, 1u);
+
+  // Clearing the filter stops the dropping.
+  net.setDropFilter(nullptr);
+  net.endpoint(0).send(1, 99, Bytes{1});
+  net.drain();
+  EXPECT_EQ(net.stats(0).messages_dropped, 1u);
+  EXPECT_EQ(net.stats(1).messages_delivered, 2u);
+}
+
+TEST(TrafficStats, DuplicatesAreCountedAndDelivered) {
+  NetworkConfig cfg;
+  cfg.duplicate_probability = 1.0;
+  Network net(2, cfg);
+  net.endpoint(0).send(1, 5, Bytes{1});
+  net.drain();
+  const TrafficStats s0 = net.stats(0);
+  EXPECT_EQ(s0.messages_sent, 1u);        // the original
+  EXPECT_EQ(s0.messages_duplicated, 1u);  // the extra copy, counted here only
+  EXPECT_EQ(net.stats(1).messages_delivered, 2u);
+  // Both copies actually arrive.
+  auto ep1 = net.endpoint(1);
+  EXPECT_TRUE(ep1.recvFor(Micros{100'000}).has_value());
+  EXPECT_TRUE(ep1.recvFor(Micros{100'000}).has_value());
+}
+
+TEST(TrafficStats, LoopbackIsExempt) {
+  Network net(1);
+  net.endpoint(0).send(0, 1, Bytes{1, 2});
+  net.drain();
+  const TrafficStats s = net.stats(0);
+  EXPECT_EQ(s.messages_sent, 0u);
+  EXPECT_EQ(s.messages_delivered, 0u);
+  EXPECT_TRUE(net.sentByType().empty());
+  EXPECT_TRUE(net.endpoint(0).recvFor(Micros{100'000}).has_value());
+}
+
+TEST(TrafficStats, ResetStatsZeroesEverything) {
+  Network net(2);
+  net.endpoint(0).send(1, 3, Bytes{1});
+  net.drain();
+  ASSERT_EQ(net.totalStats().messages_sent, 1u);
+  net.resetStats();
+  const TrafficStats total = net.totalStats();
+  EXPECT_EQ(total.messages_sent, 0u);
+  EXPECT_EQ(total.bytes_sent, 0u);
+  EXPECT_EQ(total.messages_delivered, 0u);
+  EXPECT_TRUE(net.sentByType().empty());
+}
+
+}  // namespace
+}  // namespace ftl::net

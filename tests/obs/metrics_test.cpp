@@ -1,0 +1,202 @@
+// ftl::obs metrics registry: counters/gauges/histograms, sources, exports.
+// The registry is process-global, so every test uses names prefixed
+// "test_obsm_" and never asserts on the ABSENCE of unrelated metrics.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace ftl::obs {
+namespace {
+
+double sampleValue(const std::vector<Sample>& samples, const std::string& name) {
+  for (const auto& s : samples) {
+    if (s.name == name) return s.value;
+  }
+  ADD_FAILURE() << "sample not found: " << name;
+  return -1;
+}
+
+bool hasSample(const std::vector<Sample>& samples, const std::string& name) {
+  for (const auto& s : samples) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+TEST(ObsMetrics, CounterSameNameSameObject) {
+  Counter& a = counter("test_obsm_ctr");
+  Counter& b = counter("test_obsm_ctr");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.inc();
+  a.inc(4);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(ObsMetrics, KindMismatchThrows) {
+  counter("test_obsm_kind");
+  EXPECT_THROW(gauge("test_obsm_kind"), Error);
+  EXPECT_THROW(histogram("test_obsm_kind"), Error);
+}
+
+TEST(ObsMetrics, GaugeSetAddSub) {
+  Gauge& g = gauge("test_obsm_gauge");
+  g.set(10);
+  g.add(5);
+  g.sub(3);
+  EXPECT_EQ(g.value(), 12);
+  g.set(-4);
+  EXPECT_EQ(g.value(), -4);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndPercentiles) {
+  Histogram& h = histogram("test_obsm_hist");
+  h.reset();
+  // 100 observations of 100ns, 1 of ~1ms: p50 lands in 100's bucket,
+  // p99.99.. (=100) in the big one.
+  for (int i = 0; i < 100; ++i) h.observe(100);
+  h.observe(1'000'000);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_EQ(s.sum, 100u * 100 + 1'000'000);
+  // 100 has bit_width 7 -> bucket upper bound 2^7-1 = 127.
+  EXPECT_EQ(s.percentile(50), 127u);
+  EXPECT_GE(s.percentile(100), 1'000'000u);
+  EXPECT_NEAR(s.mean(), static_cast<double>(s.sum) / 101.0, 1e-9);
+}
+
+TEST(ObsMetrics, HistogramEmptySnapshot) {
+  Histogram& h = histogram("test_obsm_hist_empty");
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.percentile(50), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(ObsMetrics, HistogramUpperBounds) {
+  EXPECT_EQ(Histogram::upperBound(0), 0u);
+  EXPECT_EQ(Histogram::upperBound(1), 1u);
+  EXPECT_EQ(Histogram::upperBound(4), 15u);
+  EXPECT_EQ(Histogram::upperBound(63), ~0ull);
+  // observe(v) increments the bucket whose bound covers v.
+  Histogram& h = histogram("test_obsm_hist_bounds");
+  h.observe(0);
+  h.observe(1);
+  h.observe(15);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.buckets[0], 1u);  // bit_width(0) == 0
+  EXPECT_EQ(s.buckets[1], 1u);  // bit_width(1) == 1
+  EXPECT_EQ(s.buckets[4], 1u);  // bit_width(15) == 4
+}
+
+TEST(ObsMetrics, ScopedTimerRecordsOneObservation) {
+  Histogram& h = histogram("test_obsm_timer_ns");
+  h.reset();
+  { ScopedTimerNs t(h); }
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(ObsMetrics, ConcurrentCounterIncrements) {
+  Counter& c = counter("test_obsm_concurrent");
+  c.reset();
+  constexpr int kThreads = 4, kPer = 10'000;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&c] {
+      for (int j = 0; j < kPer; ++j) c.inc();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+TEST(ObsMetrics, CollectFlattensMetricsAndHistogramSeries) {
+  counter("test_obsm_c1").reset();
+  counter("test_obsm_c1").inc(3);
+  Histogram& h = histogram("test_obsm_h1");
+  h.reset();
+  h.observe(7);
+  const auto samples = collect();
+  EXPECT_EQ(sampleValue(samples, "test_obsm_c1"), 3.0);
+  EXPECT_EQ(sampleValue(samples, "test_obsm_h1_count"), 1.0);
+  EXPECT_EQ(sampleValue(samples, "test_obsm_h1_sum"), 7.0);
+  EXPECT_TRUE(hasSample(samples, "test_obsm_h1_p50"));
+  EXPECT_TRUE(hasSample(samples, "test_obsm_h1_p95"));
+  EXPECT_TRUE(hasSample(samples, "test_obsm_h1_p99"));
+}
+
+TEST(ObsMetrics, HistogramLabelSuffixComposition) {
+  // "name{label}" series put the _count/_sum suffix BEFORE the label set.
+  Histogram& h = histogram("test_obsm_lbl{space=\"main\"}");
+  h.observe(1);
+  const auto samples = collect();
+  EXPECT_TRUE(hasSample(samples, "test_obsm_lbl_count{space=\"main\"}"));
+  EXPECT_TRUE(hasSample(samples, "test_obsm_lbl_sum{space=\"main\"}"));
+}
+
+TEST(ObsMetrics, SourceRegisterCollectUnregister) {
+  const std::uint64_t token = registerSource([](std::vector<Sample>& out) {
+    out.push_back({"test_obsm_source_val", 42.0});
+  });
+  EXPECT_EQ(sampleValue(collect(), "test_obsm_source_val"), 42.0);
+  unregisterSource(token);
+  EXPECT_FALSE(hasSample(collect(), "test_obsm_source_val"));
+}
+
+TEST(ObsMetrics, PrometheusExposition) {
+  counter("test_obsm_prom_ctr").reset();
+  counter("test_obsm_prom_ctr").inc(9);
+  Histogram& h = histogram("test_obsm_prom_hist{host=\"0\"}");
+  h.reset();
+  h.observe(100);
+  const std::uint64_t token = registerSource([](std::vector<Sample>& out) {
+    out.push_back({"test_obsm_prom_src{k=\"v\"}", 1.5});
+  });
+  const std::string text = dumpPrometheus();
+  unregisterSource(token);
+  EXPECT_NE(text.find("# TYPE test_obsm_prom_ctr counter"), std::string::npos);
+  EXPECT_NE(text.find("test_obsm_prom_ctr 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_obsm_prom_hist histogram"), std::string::npos);
+  // le injected into the existing label set, +Inf bucket always present.
+  EXPECT_NE(text.find("test_obsm_prom_hist_bucket{host=\"0\",le=\"127\"} 1"), std::string::npos);
+  EXPECT_NE(text.find(",le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_obsm_prom_hist_sum{host=\"0\"} 100"), std::string::npos);
+  EXPECT_NE(text.find("test_obsm_prom_hist_count{host=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_obsm_prom_src{k=\"v\"} 1.5"), std::string::npos);
+}
+
+TEST(ObsMetrics, JsonDumpSections) {
+  counter("test_obsm_json_ctr").reset();
+  counter("test_obsm_json_ctr").inc(2);
+  gauge("test_obsm_json_gauge").set(-7);
+  Histogram& h = histogram("test_obsm_json_hist");
+  h.reset();
+  h.observe(5);
+  const std::string json = dumpJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"sources\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_obsm_json_ctr\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"test_obsm_json_gauge\": -7"), std::string::npos);
+  EXPECT_NE(json.find("\"test_obsm_json_hist\": {\"count\": 1, \"sum\": 5"), std::string::npos);
+  // dump() is the alias benches embed.
+  EXPECT_EQ(dump(), dumpJson());
+}
+
+TEST(ObsMetrics, ResetAllZeroesRegisteredMetrics) {
+  counter("test_obsm_reset_ctr").inc(3);
+  gauge("test_obsm_reset_gauge").set(11);
+  histogram("test_obsm_reset_hist").observe(9);
+  resetAll();
+  EXPECT_EQ(counter("test_obsm_reset_ctr").value(), 0u);
+  EXPECT_EQ(gauge("test_obsm_reset_gauge").value(), 0);
+  EXPECT_EQ(histogram("test_obsm_reset_hist").snapshot().count, 0u);
+}
+
+}  // namespace
+}  // namespace ftl::obs

@@ -48,6 +48,18 @@ struct ConsulConfig {
   /// for larger batches under a steady trickle of traffic. Batch boundaries
   /// never affect replicated state, only scheduling (state_machine.hpp).
   Micros apply_batch_window{0};
+
+  // ---- send-side coalescing (docs/PROTOCOL.md "Coalesced request frames") ----
+
+  /// Upper bound on the number of commands packed into one Request frame to
+  /// the sequencer (and hence one Ordered frame back out). While a frame is
+  /// in flight, newly submitted commands are staged and shipped together
+  /// once the in-flight commands deliver (or the stage fills). 1 disables
+  /// coalescing: every broadcast() sends its own frame immediately, exactly
+  /// the pre-batching behaviour. Frame boundaries are local scheduling and
+  /// never reach replicated state — the sequencer assigns each packed
+  /// command its own gseq.
+  std::uint32_t max_send_batch = 64;
 };
 
 }  // namespace ftl::consul

@@ -86,7 +86,8 @@ HeartbeatMsg HeartbeatMsg::decode(const Bytes& b) {
 Bytes RequestMsg::encode() const {
   Writer w;
   w.u64(origin_seq);
-  w.bytes(payload);
+  w.u32(static_cast<std::uint32_t>(payloads.size()));
+  for (const Bytes& p : payloads) w.bytes(p);
   return w.take();
 }
 
@@ -94,7 +95,9 @@ RequestMsg RequestMsg::decode(const Bytes& b) {
   Reader r(b);
   RequestMsg m;
   m.origin_seq = r.u64();
-  m.payload = r.bytes();
+  const std::uint32_t n = r.u32();
+  m.payloads.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.payloads.push_back(r.bytes());
   return m;
 }
 
@@ -102,7 +105,7 @@ Bytes OrderedMsg::encode() const {
   Writer w;
   w.u64(view_id);
   w.u64(stable);
-  entry.encode(w);
+  encodeEntries(w, entries);
   return w.take();
 }
 
@@ -111,7 +114,7 @@ OrderedMsg OrderedMsg::decode(const Bytes& b) {
   OrderedMsg m;
   m.view_id = r.u64();
   m.stable = r.u64();
-  m.entry = LogEntry::decode(r);
+  m.entries = decodeEntries(r);
   return m;
 }
 

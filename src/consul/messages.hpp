@@ -74,18 +74,26 @@ struct HeartbeatMsg {
   static HeartbeatMsg decode(const Bytes& b);
 };
 
+/// A COALESCED request frame: `payloads[i]` carries the origin's command
+/// with per-origin sequence number `origin_seq + i`. Commands an origin
+/// submits while an earlier frame is still in flight are staged and packed
+/// into the next frame (sender-side batching, the send mirror of the
+/// apply-side batch). The sequencer unpacks the frame and assigns each
+/// payload its OWN gseq, so frame boundaries never reach replicated state.
 struct RequestMsg {
-  std::uint64_t origin_seq = 0;
-  Bytes payload;
+  std::uint64_t origin_seq = 0;  // seq of payloads.front()
+  std::vector<Bytes> payloads;   // consecutive origin_seqs, never empty
 
   Bytes encode() const;
   static RequestMsg decode(const Bytes& b);
 };
 
+/// One ordered frame: a run of log entries with CONSECUTIVE gseqs (one
+/// entry unless the sequencer just unpacked a coalesced request frame).
 struct OrderedMsg {
   std::uint64_t view_id = 0;
   std::uint64_t stable = 0;  // piggybacked stability for log GC
-  LogEntry entry;
+  std::vector<LogEntry> entries;  // gseq-consecutive, never empty
 
   Bytes encode() const;
   static OrderedMsg decode(const Bytes& b);

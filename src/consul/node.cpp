@@ -44,6 +44,10 @@ ConsulNode::ConsulNode(net::Network& net, HostId self, std::vector<HostId> group
     std::lock_guard<std::mutex> lock(mutex_);
     out.push_back({"ftl_consul_broadcasts" + host, static_cast<double>(stats_.broadcasts)});
     out.push_back(
+        {"ftl_consul_request_frames" + host, static_cast<double>(stats_.request_frames)});
+    out.push_back({"ftl_consul_unsent" + host,
+                   static_cast<double>(pending_.size() - first_unsent_)});
+    out.push_back(
         {"ftl_consul_heartbeats_sent" + host, static_cast<double>(stats_.heartbeats_sent)});
     out.push_back({"ftl_consul_heartbeats_received" + host,
                    static_cast<double>(stats_.heartbeats_received)});
@@ -111,11 +115,19 @@ std::uint64_t ConsulNode::broadcast(Bytes payload) {
   Pending p;
   p.origin_seq = next_origin_seq_++;
   p.payload = std::move(payload);
-  p.last_sent = Clock::now();
-  pending_.push_back(p);
+  const std::uint64_t seq = p.origin_seq;
+  pending_.push_back(std::move(p));
   ++stats_.broadcasts;
-  sendRequestToSequencer(pending_.back());
-  return p.origin_seq;
+  // Send immediately when nothing is in flight; otherwise stage, so commands
+  // submitted while a frame is outstanding pack into the next frame. The
+  // stage also flushes once it fills — the network keeps per-pair FIFO order
+  // and the sequencer skips seen prefixes, so several in-flight frames are
+  // safe.
+  const std::size_t unsent = pending_.size() - first_unsent_;
+  if (first_unsent_ == 0 || unsent >= std::max<std::uint32_t>(1, cfg_.max_send_batch)) {
+    flushUnsentLocked(Clock::now());
+  }
+  return seq;
 }
 
 ConsulNode::Stats ConsulNode::stats() const {
@@ -171,11 +183,29 @@ std::vector<HostId> ConsulNode::othersInGroup() const {
   return out;
 }
 
-void ConsulNode::sendRequestToSequencer(const Pending& p) {
+void ConsulNode::sendRequestFrame(std::size_t begin, std::size_t end, TimePoint now) {
   RequestMsg m;
-  m.origin_seq = p.origin_seq;
-  m.payload = p.payload;
+  m.origin_seq = pending_[begin].origin_seq;
+  m.payloads.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    m.payloads.push_back(pending_[i].payload);
+    pending_[i].last_sent = now;
+  }
+  ++stats_.request_frames;
+  // Frame-size distribution: how well send coalescing packs (EXPERIMENTS.md
+  // e13). Process-wide like the apply-batch histogram.
+  static obs::Histogram& frame_size = obs::histogram("ftl_consul_send_batch_size");
+  frame_size.observe(end - begin);
   ep_.send(sequencer(), static_cast<std::uint16_t>(MsgType::Request), m.encode());
+}
+
+void ConsulNode::flushUnsentLocked(TimePoint now) {
+  const std::size_t cap = std::max<std::uint32_t>(1, cfg_.max_send_batch);
+  while (first_unsent_ < pending_.size()) {
+    const std::size_t n = std::min(cap, pending_.size() - first_unsent_);
+    sendRequestFrame(first_unsent_, first_unsent_ + n, now);
+    first_unsent_ += n;
+  }
 }
 
 void ConsulNode::setForeignHandler(std::function<void(const net::Message&)> handler) {
@@ -191,7 +221,23 @@ void ConsulNode::serviceLoop() {
   // and one state-machine apply batch — instead of a full step per message.
   constexpr int kMaxDrainPerStep = 64;
   while (true) {
-    auto msg = ep_.recvFor(cfg_.tick);
+    // A non-zero apply_batch_window arms a DEADLINE on the recv timeout, not
+    // a stall: with staged deliveries and an idle inbox the loop must wake
+    // when the window expires, not a full tick later. (Sleeping the whole
+    // tick here was the e11 window=200us cliff: every flush waited for the
+    // 2ms sim tick while the issuers sat blocked on their replies.)
+    Micros wait = cfg_.tick;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!apply_buffer_.empty() && cfg_.apply_batch_window.count() > 0) {
+        const auto deadline = apply_buffer_since_ + Duration(cfg_.apply_batch_window);
+        const auto t = Clock::now();
+        wait = deadline <= t ? Micros{1}
+                             : std::min(cfg_.tick, std::chrono::duration_cast<Micros>(
+                                                       deadline - t) + Micros{1});
+      }
+    }
+    auto msg = ep_.recvFor(wait);
     const auto now = Clock::now();
     if (msg && msg->type >= kForeignTypeBase) {
       // Demultiplex app-level traffic (e.g. tuple-server RPC) outside the
@@ -330,22 +376,34 @@ void ConsulNode::handleRequest(HostId src, RequestMsg m) {
   // this, failure handlers (which regenerate a dead worker's tasks) could
   // race a late-arriving request from the corpse.
   if (!contains(members_, src)) return;
+  if (m.payloads.empty()) return;
   const std::uint64_t seen = std::max(dedup_[src], assigned_[src]);
-  // Accept only the strictly-next request per origin: if an earlier request
-  // was lost, accepting a later one would make dedup-by-max drop the earlier
-  // retransmission forever. Origins retransmit pending requests in order.
-  if (m.origin_seq != seen + 1) return;
-  assigned_[src] = m.origin_seq;
-  LogEntry e;
-  e.gseq = next_gseq_++;
-  e.kind = EntryKind::Data;
-  e.origin = src;
-  e.origin_seq = m.origin_seq;
-  e.payload = std::move(m.payload);
+  const std::uint64_t first = m.origin_seq;
+  const std::uint64_t last = first + m.payloads.size() - 1;
+  // Per-origin acceptance must stay gap-free: if an earlier request was
+  // lost, accepting a later one would make dedup-by-max drop the earlier
+  // retransmission forever. A frame whose prefix was already assigned is a
+  // retransmission — skip the seen commands and take the rest; a frame
+  // starting past seen+1 implies a lost predecessor and is dropped whole
+  // (origins retransmit every sent-but-undelivered command as one frame).
+  if (first > seen + 1 || last <= seen) return;
   OrderedMsg om;
   om.view_id = view_id_;
   om.stable = stable_;
-  om.entry = e;
+  om.entries.reserve(static_cast<std::size_t>(last - std::max(first, seen + 1) + 1));
+  for (std::uint64_t s = std::max(first, seen + 1); s <= last; ++s) {
+    LogEntry e;
+    e.gseq = next_gseq_++;
+    e.kind = EntryKind::Data;
+    e.origin = src;
+    e.origin_seq = s;
+    e.payload = std::move(m.payloads[static_cast<std::size_t>(s - first)]);
+    assigned_[src] = s;
+    om.entries.push_back(std::move(e));
+  }
+  // The whole unpacked frame fans out as ONE ordered message per member:
+  // each packed command still gets its own gseq (frame boundaries never
+  // reach replicated state), but the ordering fabric pays one send.
   const Bytes wire = om.encode();
   for (HostId h : members_) {
     if (h != self_) ep_.send(h, static_cast<std::uint16_t>(MsgType::Ordered), wire);
@@ -355,9 +413,11 @@ void ConsulNode::handleRequest(HostId src, RequestMsg m) {
   // has made the moment a view change starts, or the view event could be
   // assigned a gseq that collides with an in-flight data message (replica
   // divergence).
-  const std::uint64_t g = e.gseq;
-  known_last_ = std::max(known_last_, g);
-  log_.emplace(g, std::move(e));
+  for (LogEntry& e : om.entries) {
+    const std::uint64_t g = e.gseq;
+    known_last_ = std::max(known_last_, g);
+    log_.emplace(g, std::move(e));
+  }
   deliverReady();
   truncateLog();
 }
@@ -365,13 +425,17 @@ void ConsulNode::handleRequest(HostId src, RequestMsg m) {
 void ConsulNode::handleOrdered(OrderedMsg m) {
   if (!is_member_) return;
   stable_ = std::max(stable_, std::min(m.stable, next_deliver_ - 1));
-  const std::uint64_t g = m.entry.gseq;
-  known_last_ = std::max(known_last_, g);
-  if (g >= next_deliver_ && log_.find(g) == log_.end()) {
-    next_gseq_ = std::max(next_gseq_, g + 1);
-    log_.emplace(g, std::move(m.entry));
-    deliverReady();
+  bool inserted = false;
+  for (LogEntry& e : m.entries) {
+    const std::uint64_t g = e.gseq;
+    known_last_ = std::max(known_last_, g);
+    if (g >= next_deliver_ && log_.find(g) == log_.end()) {
+      next_gseq_ = std::max(next_gseq_, g + 1);
+      log_.emplace(g, std::move(e));
+      inserted = true;
+    }
   }
+  if (inserted) deliverReady();
   updateGapState(Clock::now());
   truncateLog();
 }
@@ -379,13 +443,22 @@ void ConsulNode::handleOrdered(OrderedMsg m) {
 void ConsulNode::handleNack(HostId src, const NackMsg& m) {
   if (!isSequencer()) return;
   ++stats_.nacks_received;
+  // Repair entries travel in coalesced frames too (chunked like send frames
+  // so one nack over a huge range cannot produce an unbounded message).
+  const std::size_t cap = std::max<std::uint32_t>(1, cfg_.max_send_batch);
+  OrderedMsg om;
+  om.view_id = view_id_;
+  om.stable = stable_;
   for (std::uint64_t g = m.from_gseq; g <= m.to_gseq && g < next_gseq_; ++g) {
     auto it = log_.find(g);
     if (it == log_.end()) continue;
-    OrderedMsg om;
-    om.view_id = view_id_;
-    om.stable = stable_;
-    om.entry = it->second;
+    om.entries.push_back(it->second);
+    if (om.entries.size() >= cap) {
+      ep_.send(src, static_cast<std::uint16_t>(MsgType::Ordered), om.encode());
+      om.entries.clear();
+    }
+  }
+  if (!om.entries.empty()) {
     ep_.send(src, static_cast<std::uint16_t>(MsgType::Ordered), om.encode());
   }
 }
@@ -434,7 +507,10 @@ void ConsulNode::bufferDelivery(const LogEntry& e) {
   if (e.origin == self_) {
     while (!pending_.empty() && pending_.front().origin_seq <= e.origin_seq) {
       pending_.pop_front();
+      if (first_unsent_ > 0) --first_unsent_;
     }
+    // Everything in flight has delivered: ship the staged commands now.
+    if (first_unsent_ == 0 && !pending_.empty()) flushUnsentLocked(Clock::now());
   }
   if (apply_buffer_.empty()) apply_buffer_since_ = Clock::now();
   Delivery d;
@@ -501,13 +577,12 @@ void ConsulNode::installViewLocked(const ViewEvent& ve, std::uint64_t gseq, Time
     }
   }
   // Requests in flight to a dead sequencer are retransmitted immediately;
-  // per-origin dedup makes this safe.
-  if (is_member_) {
-    for (auto& p : pending_) {
-      p.last_sent = now;
-      ++stats_.retransmits;
-      sendRequestToSequencer(p);
-    }
+  // per-origin dedup makes this safe. Staged entries go along in the same
+  // frames — the new sequencer has seen none of them.
+  if (is_member_ && !pending_.empty()) {
+    stats_.retransmits += first_unsent_;
+    first_unsent_ = 0;
+    flushUnsentLocked(now);
   }
   ++stats_.views_installed;
   ViewInfo vi;
@@ -574,12 +649,17 @@ void ConsulNode::onTick(TimePoint now) {
     ep_.send(sequencer(), static_cast<std::uint16_t>(MsgType::Nack), nm.encode());
   }
 
-  // Request retransmission (lost request or dead sequencer).
-  for (auto& p : pending_) {
-    if (now - p.last_sent >= Duration(cfg_.request_retransmit)) {
-      p.last_sent = now;
-      ++stats_.retransmits;
-      sendRequestToSequencer(p);
+  // Request retransmission (lost request or dead sequencer). Only SENT
+  // entries carry a meaningful last_sent; if the oldest has timed out,
+  // everything sent behind it is undeliverable too (per-origin order is
+  // strictly-next at the sequencer), so the whole sent range goes out again
+  // as coalesced frames and the sequencer skips whatever it already has.
+  if (first_unsent_ > 0 &&
+      now - pending_.front().last_sent >= Duration(cfg_.request_retransmit)) {
+    stats_.retransmits += first_unsent_;
+    const std::size_t cap = std::max<std::uint32_t>(1, cfg_.max_send_batch);
+    for (std::size_t b = 0; b < first_unsent_; b += cap) {
+      sendRequestFrame(b, std::min(first_unsent_, b + cap), now);
     }
   }
 
@@ -757,6 +837,7 @@ void ConsulNode::handleNewView(NewViewMsg m, TimePoint now) {
     unwrapSnapshot(m.snapshot);
     log_.clear();
     pending_.clear();
+    first_unsent_ = 0;
     next_origin_seq_ = dedup_[self_] + 1;  // resume our origin numbering
     next_deliver_ = m.snapshot_gseq + 1;
     stable_ = m.snapshot_gseq;

@@ -143,6 +143,8 @@ class ConsulNode {
   /// through the ftl::obs registry as ftl_consul_*{host="N"} series.
   struct Stats {
     std::uint64_t broadcasts = 0;          // broadcast() calls
+    std::uint64_t request_frames = 0;      // Request frames sent (<= broadcasts
+                                           // when send coalescing kicks in)
     std::uint64_t heartbeats_sent = 0;     // per-destination
     std::uint64_t heartbeats_received = 0;
     std::uint64_t retransmits = 0;         // request retransmissions (timeout/view)
@@ -189,7 +191,11 @@ class ConsulNode {
   void maybeFinishViewChange(TimePoint now);
   void finishViewChange(TimePoint now);
   void truncateLog();
-  void sendRequestToSequencer(const Pending& p);
+  /// Pack pending_[begin, end) into one Request frame to the sequencer and
+  /// stamp last_sent.
+  void sendRequestFrame(std::size_t begin, std::size_t end, TimePoint now);
+  /// Ship every not-yet-sent pending entry, in frames of max_send_batch.
+  void flushUnsentLocked(TimePoint now);
   HostId sequencer() const;  // lowest-id member
   bool isSequencer() const { return is_member_ && !members_.empty() && members_.front() == self_; }
   std::vector<HostId> othersInGroup() const;
@@ -238,9 +244,15 @@ class ConsulNode {
   std::map<HostId, std::uint64_t> member_acks_;
   std::map<HostId, std::uint64_t> assigned_;  // origin -> max origin_seq given a gseq
 
-  // Origin role.
+  // Origin role. pending_ holds every broadcast not yet delivered back, in
+  // origin_seq order; the first first_unsent_ entries are in flight to the
+  // sequencer, the rest are STAGED (sender-side coalescing): they ship as
+  // one frame when the in-flight commands deliver or the stage reaches
+  // max_send_batch. Staging is pure scheduling — it never changes what the
+  // sequencer orders, only how many frames carry it.
   std::uint64_t next_origin_seq_ = 1;
   std::deque<Pending> pending_;
+  std::size_t first_unsent_ = 0;  // index of the first staged (unsent) entry
 
   // Failure detection.
   std::map<HostId, TimePoint> last_heard_;

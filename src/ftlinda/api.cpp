@@ -1,6 +1,135 @@
 #include "ftlinda/api.hpp"
 
+#include "common/clock.hpp"
+#include "obs/metrics.hpp"
+
 namespace ftl::ftlinda {
+
+namespace {
+
+bool settledLocked(const AgsFutureState& st) {
+  return st.result.has_value() || st.processor_failed || !st.env_error.empty();
+}
+
+/// Record how long this call actually blocked (0 when the future was already
+/// settled). Recorded at most once per future, so the wait histogram counts
+/// each replicated AGS exactly once — pipelined issuers show up as a pile of
+/// near-zero waits.
+void recordWaitLocked(AgsFutureState& st, std::int64_t blocked_ns) {
+  if (st.wait_hist == nullptr || st.wait_recorded) return;
+  st.wait_recorded = true;
+  st.wait_hist->observe(blocked_ns > 0 ? static_cast<std::uint64_t>(blocked_ns) : 0);
+}
+
+void runContinuations(std::vector<std::function<void(const Result<Reply>&)>> fns,
+                      const Result<Reply>& r) {
+  for (auto& fn : fns) fn(r);
+}
+
+/// The error Result continuations see where get() would throw.
+Result<Reply> envFailureResult(const AgsFutureState& st) {
+  if (st.processor_failed) {
+    return Result<Reply>::failure("processor-failure",
+                                  "processor " + std::to_string(st.host) + " failed");
+  }
+  return Result<Reply>::failure("transport", st.env_error);
+}
+
+}  // namespace
+
+bool AgsFuture::ready() const {
+  FTL_REQUIRE(st_ != nullptr, "ready() on an empty AgsFuture");
+  std::lock_guard<std::mutex> lock(st_->m);
+  return settledLocked(*st_);
+}
+
+void AgsFuture::wait() const {
+  FTL_REQUIRE(st_ != nullptr, "wait() on an empty AgsFuture");
+  std::unique_lock<std::mutex> lock(st_->m);
+  const std::int64_t w0 = settledLocked(*st_) ? 0 : nowNanos();
+  st_->cv.wait(lock, [&] { return settledLocked(*st_); });
+  recordWaitLocked(*st_, w0 ? nowNanos() - w0 : 0);
+}
+
+Result<Reply> AgsFuture::get() {
+  FTL_REQUIRE(st_ != nullptr, "get() on an empty AgsFuture");
+  std::unique_lock<std::mutex> lock(st_->m);
+  FTL_REQUIRE(!st_->consumed, "AgsFuture::get() called twice");
+  const std::int64_t w0 = settledLocked(*st_) ? 0 : nowNanos();
+  st_->cv.wait(lock, [&] { return settledLocked(*st_); });
+  recordWaitLocked(*st_, w0 ? nowNanos() - w0 : 0);
+  st_->consumed = true;
+  if (st_->processor_failed) throw ProcessorFailure(st_->host);
+  if (!st_->env_error.empty()) throw Error(st_->env_error);
+  return std::move(*st_->result);
+}
+
+void AgsFuture::then(std::function<void(const Result<Reply>&)> fn) {
+  FTL_REQUIRE(st_ != nullptr, "then() on an empty AgsFuture");
+  std::unique_lock<std::mutex> lock(st_->m);
+  if (!settledLocked(*st_)) {
+    st_->continuations.push_back(std::move(fn));
+    return;
+  }
+  // Already settled: run inline, outside the lock.
+  const Result<Reply> r = st_->result ? *st_->result : envFailureResult(*st_);
+  lock.unlock();
+  fn(r);
+}
+
+AgsFuture AgsFuture::makeReady(Result<Reply> r) {
+  auto st = std::make_shared<AgsFutureState>();
+  st->result = std::move(r);
+  return AgsFuture(std::move(st));
+}
+
+AgsFuture AgsFuture::makePending(std::shared_ptr<AgsFutureState> st) {
+  return AgsFuture(std::move(st));
+}
+
+namespace detail {
+
+void settleFuture(const std::shared_ptr<AgsFutureState>& st, Result<Reply> r) {
+  std::vector<std::function<void(const Result<Reply>&)>> fns;
+  {
+    std::lock_guard<std::mutex> lock(st->m);
+    if (settledLocked(*st)) return;
+    st->result = std::move(r);
+    fns.swap(st->continuations);
+  }
+  st->cv.notify_all();
+  if (!fns.empty()) runContinuations(std::move(fns), *st->result);
+}
+
+void failFutureProcessor(const std::shared_ptr<AgsFutureState>& st) {
+  std::vector<std::function<void(const Result<Reply>&)>> fns;
+  Result<Reply> r = Result<Reply>::failure("processor-failure", "");
+  {
+    std::lock_guard<std::mutex> lock(st->m);
+    if (settledLocked(*st)) return;
+    st->processor_failed = true;
+    r = envFailureResult(*st);
+    fns.swap(st->continuations);
+  }
+  st->cv.notify_all();
+  if (!fns.empty()) runContinuations(std::move(fns), r);
+}
+
+void failFutureEnv(const std::shared_ptr<AgsFutureState>& st, std::string message) {
+  std::vector<std::function<void(const Result<Reply>&)>> fns;
+  Result<Reply> r = Result<Reply>::failure("transport", "");
+  {
+    std::lock_guard<std::mutex> lock(st->m);
+    if (settledLocked(*st)) return;
+    st->env_error = std::move(message);
+    r = envFailureResult(*st);
+    fns.swap(st->continuations);
+  }
+  st->cv.notify_all();
+  if (!fns.empty()) runContinuations(std::move(fns), r);
+}
+
+}  // namespace detail
 
 ApiError verifyApiError(const VerifyResult& vr) {
   const char* rule = "verify";
@@ -12,6 +141,8 @@ ApiError verifyApiError(const VerifyResult& vr) {
   }
   return ApiError{rule, "AGS rejected by verifier: " + vr.toString()};
 }
+
+Result<Reply> LindaApi::tryExecute(const Ags& ags) { return executeAsync(ags).get(); }
 
 Reply LindaApi::execute(const Ags& ags) {
   Result<Reply> r = tryExecute(ags);

@@ -17,12 +17,22 @@
 //    call, ftl::Error("tuple server unreachable") on the RPC path.
 #pragma once
 
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "common/result.hpp"
 #include "ftlinda/protocol.hpp"
 #include "ftlinda/verify.hpp"
 #include "net/message.hpp"
+
+namespace ftl::obs {
+class Histogram;
+}
 
 namespace ftl::ftlinda {
 
@@ -38,17 +48,100 @@ class ProcessorFailure : public Error {
 /// message matches what the throwing wrappers raise.
 ApiError verifyApiError(const VerifyResult& vr);
 
+/// Completion state shared between an AgsFuture and the runtime that settles
+/// it. Runtime plumbing — application code only ever touches AgsFuture.
+/// Settled EXACTLY once: with a result (detail::settleFuture), a processor
+/// failure, or an environmental error.
+struct AgsFutureState {
+  std::mutex m;
+  std::condition_variable cv;
+  std::optional<Result<Reply>> result;
+  bool processor_failed = false;  // get() throws ProcessorFailure
+  std::string env_error;          // non-empty: get() throws ftl::Error(env_error)
+  bool consumed = false;          // get() is single-shot
+  bool wait_recorded = false;     // wait_hist observed at most once per future
+  net::HostId host = net::kNoHost;
+  /// When set (replicated submissions), the first get()/wait() records its
+  /// blocking time here — ~0 for a future that completed while the issuer
+  /// was elsewhere, which is exactly the pipelining win being measured.
+  obs::Histogram* wait_hist = nullptr;
+  std::vector<std::function<void(const Result<Reply>&)>> continuations;
+};
+
+/// Handle for an in-flight AGS (LindaApi::executeAsync). One-shot future
+/// carrying Result<Reply> with optional continuations.
+///
+/// Semantics:
+///  - get(): blocks until completion, then returns the Result exactly like
+///    tryExecute() — deterministic refusals are error Results, environmental
+///    failures throw (ProcessorFailure after a crash, ftl::Error for an
+///    unreachable tuple server). Single-shot: the Reply is moved out.
+///  - then(fn): runs fn(result) on the completing thread (the replica's
+///    service upcall / RPC receive thread — keep it short and never call
+///    back into the runtime from it), or inline if already settled. On
+///    environmental failure fn sees an error Result tagged
+///    "processor-failure" / "transport" where get() would throw.
+///  - Per-issuer FIFO: futures obtained from consecutive executeAsync()
+///    calls on one thread complete in submission order (the order is the
+///    submission order into the replicated total order).
+class AgsFuture {
+ public:
+  AgsFuture() = default;  // empty; only assignment makes it usable
+
+  bool valid() const { return st_ != nullptr; }
+  /// True once settled (get() would not block).
+  bool ready() const;
+  /// Block until settled (without consuming the result).
+  void wait() const;
+  /// Block until settled and take the result (see class comment). Throws on
+  /// environmental failure; FTL_REQUIREs on an empty or already-consumed
+  /// future.
+  Result<Reply> get();
+  /// Attach a completion continuation (see class comment).
+  void then(std::function<void(const Result<Reply>&)> fn);
+
+  /// Runtime constructors — applications never need these.
+  static AgsFuture makeReady(Result<Reply> r);
+  static AgsFuture makePending(std::shared_ptr<AgsFutureState> st);
+
+ private:
+  explicit AgsFuture(std::shared_ptr<AgsFutureState> st) : st_(std::move(st)) {}
+  std::shared_ptr<AgsFutureState> st_;
+};
+
+namespace detail {
+/// Settle with a result; runs continuations on the calling thread.
+void settleFuture(const std::shared_ptr<AgsFutureState>& st, Result<Reply> r);
+/// Fail after a processor crash: get() throws ProcessorFailure,
+/// continuations see an error Result tagged "processor-failure".
+void failFutureProcessor(const std::shared_ptr<AgsFutureState>& st);
+/// Fail with an environmental error (e.g. "tuple server unreachable"):
+/// get() throws ftl::Error(message), continuations see tag "transport".
+void failFutureEnv(const std::shared_ptr<AgsFutureState>& st, std::string message);
+}  // namespace detail
+
 class LindaApi {
  public:
   virtual ~LindaApi() = default;
 
   virtual net::HostId host() const = 0;
 
+  /// Submit an AGS and return immediately with a future for its completion
+  /// (docs/API.md "Asynchronous execution"). The verifier still runs
+  /// per-statement BEFORE anything is enqueued: a refused statement comes
+  /// back as an already-settled error future. An AGS that touches only
+  /// local scratch spaces executes inline (its blocking semantics cannot be
+  /// deferred), so executeAsync() may block for those; replicated
+  /// statements never block the caller. Futures from one thread complete in
+  /// submission order (per-issuer FIFO).
+  virtual AgsFuture executeAsync(const Ags& ags) = 0;
+
   /// Execute an AGS. Blocks until the statement completes (which may mean
   /// waiting for a guard to become satisfiable). Deterministic refusals —
   /// verifier rejections, registry errors — come back as an error Result;
-  /// environmental failures throw (see file comment).
-  virtual Result<Reply> tryExecute(const Ags& ags) = 0;
+  /// environmental failures throw (see file comment). Exactly
+  /// executeAsync(ags).get().
+  Result<Reply> tryExecute(const Ags& ags);
 
   /// Throwing wrapper over tryExecute(): converts an error Result into
   /// ftl::Error with the same message. Prefer tryExecute() in new code

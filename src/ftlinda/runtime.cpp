@@ -61,35 +61,45 @@ void Runtime::attach(rsm::Replica* replica, TsStateMachine* sm) {
 
 void Runtime::completeRequest(std::uint64_t rid, const Reply& r) {
   obs::trace::instant("ags.reply", makeTraceId(host_, rid));
-  std::shared_ptr<Slot> slot;
+  PendingReq ent;
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     auto it = pending_.find(rid);
     if (it == pending_.end()) return;  // stale reply (pre-crash request)
-    slot = it->second;
+    ent = std::move(it->second);
+    pending_.erase(it);
   }
-  {
-    std::lock_guard<std::mutex> lock(slot->m);
-    slot->reply = r;
+  AgsMetrics& am = agsMetrics();
+  if (ent.ags_stats) {
+    const std::int64_t dt = nowNanos() - ent.submit_ns;
+    am.e2e_ns.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
+    recordOutcome(am, r);
   }
-  slot->cv.notify_all();
+  // Scratch deposits land BEFORE the future settles, so a get()er or
+  // continuation that immediately reads its scratch spaces sees them.
+  // ScratchSpaces has its own lock; calling it from the upcall thread is
+  // safe (and it never calls back into the state machine).
+  scratch_.applyDeposits(r.local_deposits);
+  if (ent.ags_stats) obs::trace::asyncEnd("ags", makeTraceId(host_, rid));
+  if (!r.error.empty()) {
+    detail::settleFuture(ent.st, Result<Reply>::failure("registry", r.error));
+  } else {
+    detail::settleFuture(ent.st, Result<Reply>(r));
+  }
 }
 
 void Runtime::markCrashed() {
   crashed_.store(true);
-  std::vector<std::shared_ptr<Slot>> slots;
+  std::vector<std::shared_ptr<AgsFutureState>> sts;
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
-    for (auto& [rid, slot] : pending_) slots.push_back(slot);
+    for (auto& [rid, ent] : pending_) sts.push_back(ent.st);
     pending_.clear();
   }
-  for (auto& slot : slots) {
-    {
-      std::lock_guard<std::mutex> lock(slot->m);
-      slot->failed = true;
-    }
-    slot->cv.notify_all();
-  }
+  // Every outstanding future — blocked get()ers and pipelined windows alike
+  // — fails with ProcessorFailure, the same environmental contract as the
+  // synchronous path.
+  for (auto& st : sts) detail::failFutureProcessor(st);
   scratch_.interrupt();
 }
 
@@ -117,7 +127,7 @@ bool entirelyLocalAgs(const Ags& ags) {
   return true;
 }
 
-Result<Reply> Runtime::tryExecute(const Ags& ags) {
+AgsFuture Runtime::executeAsync(const Ags& ags) {
   if (crashed_.load()) throw ProcessorFailure(host_);
   AgsMetrics& am = agsMetrics();
   am.submitted.inc();
@@ -147,9 +157,12 @@ Result<Reply> Runtime::tryExecute(const Ags& ags) {
   if (!vr.ok()) {
     am.rejected.inc();
     obs::trace::asyncEnd("ags", tid);
-    return verifyApiError(vr);
+    return AgsFuture::makeReady(verifyApiError(vr));
   }
   if (entirelyLocalAgs(ags)) {
+    // Local scratch statements keep their blocking semantics (an in() on an
+    // empty scratch space must wait for a local deposit), so this branch
+    // executes inline — executeAsync() only pipelines the replicated path.
     am.local.inc();
     Reply r;
     try {
@@ -162,56 +175,42 @@ Result<Reply> Runtime::tryExecute(const Ags& ags) {
     }
     recordOutcome(am, r);
     obs::trace::asyncEnd("ags", tid);
-    if (!r.error.empty()) return Result<Reply>::failure("registry", r.error);
-    return r;
+    if (!r.error.empty()) {
+      return AgsFuture::makeReady(Result<Reply>::failure("registry", r.error));
+    }
+    return AgsFuture::makeReady(std::move(r));
   }
   am.replicated.inc();
-  Result<Reply> res = executeReplicated(ags, rid, tid);
-  obs::trace::asyncEnd("ags", tid);
-  return res;
+  return submitCommand(makeExecute(rid, ags, tid), /*ags_stats=*/true);
 }
 
-Reply Runtime::submitAndWait(Command cmd) {
+AgsFuture Runtime::submitCommand(Command cmd, bool ags_stats) {
   FTL_REQUIRE(replica_ != nullptr, "runtime not attached");
-  auto slot = std::make_shared<Slot>();
+  auto st = std::make_shared<AgsFutureState>();
+  st->host = host_;
+  st->wait_hist = &agsMetrics().wait_ns;
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
-    pending_.emplace(cmd.request_id, slot);
+    PendingReq ent;
+    ent.st = st;
+    ent.submit_ns = nowNanos();
+    ent.ags_stats = ags_stats;
+    pending_.emplace(cmd.request_id, std::move(ent));
   }
   // Re-check after registering: a crash between the entry check and the
   // insert would otherwise leave this slot unfailed forever.
   if (crashed_.load()) {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
-    pending_.erase(cmd.request_id);
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_.erase(cmd.request_id);
+    }
     throw ProcessorFailure(host_);
   }
   // "ags.order" spans multicast submission to total-order arrival at THIS
   // replica's state machine (ended there when origin == self).
   obs::trace::asyncBegin("ags.order", cmd.trace_id);
   replica_->submit(cmd.encode());
-  const std::int64_t w0 = nowNanos();
-  std::unique_lock<std::mutex> lock(slot->m);
-  slot->cv.wait(lock, [&] { return slot->reply.has_value() || slot->failed; });
-  const std::int64_t wdt = nowNanos() - w0;
-  agsMetrics().wait_ns.observe(wdt > 0 ? static_cast<std::uint64_t>(wdt) : 0);
-  {
-    std::lock_guard<std::mutex> plock(pending_mutex_);
-    pending_.erase(cmd.request_id);
-  }
-  if (slot->failed) throw ProcessorFailure(host_);
-  return std::move(*slot->reply);
-}
-
-Result<Reply> Runtime::executeReplicated(const Ags& ags, std::uint64_t rid, std::uint64_t tid) {
-  AgsMetrics& am = agsMetrics();
-  const std::int64_t t0 = nowNanos();
-  Reply r = submitAndWait(makeExecute(rid, ags, tid));
-  const std::int64_t dt = nowNanos() - t0;
-  am.e2e_ns.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
-  recordOutcome(am, r);
-  if (!r.error.empty()) return Result<Reply>::failure("registry", r.error);
-  scratch_.applyDeposits(r.local_deposits);
-  return r;
+  return AgsFuture::makePending(std::move(st));
 }
 
 TsHandle Runtime::createTs(TsAttributes attrs) {
@@ -235,7 +234,7 @@ void Runtime::doMonitorFailures(TsHandle ts, bool enable) {
   const std::uint64_t rid = next_rid_.fetch_add(1);
   Command cmd = makeMonitor(rid, ts, enable);
   cmd.trace_id = makeTraceId(host_, rid);
-  submitAndWait(std::move(cmd));
+  (void)submitCommand(std::move(cmd), /*ags_stats=*/false).get();
 }
 
 std::size_t Runtime::localTupleCount(TsHandle ts) const { return scratch_.tupleCount(ts); }

@@ -36,9 +36,12 @@ class Runtime : public LindaApi {
 
   net::HostId host() const override { return host_; }
 
-  // LindaApi: verbs, execute() and monitorFailures() are inherited; the
-  // primitives below route stable-space statements through the replica.
-  Result<Reply> tryExecute(const Ags& ags) override;
+  // LindaApi: verbs, execute(), tryExecute() and monitorFailures() are
+  // inherited; the primitives below route stable-space statements through
+  // the replica. executeAsync() registers the reply slot and returns
+  // immediately — completion (metrics, scratch deposits, continuations)
+  // happens on the replica's upcall thread when the ordered reply arrives.
+  AgsFuture executeAsync(const Ags& ags) override;
   TsHandle createTs(TsAttributes attrs) override;
   void destroyTs(TsHandle ts) override;
 
@@ -52,16 +55,17 @@ class Runtime : public LindaApi {
   void doMonitorFailures(TsHandle ts, bool enable) override;
 
  private:
-  struct Slot {
-    std::mutex m;
-    std::condition_variable cv;
-    std::optional<Reply> reply;
-    bool failed = false;
+  /// One outstanding replicated submission: the future's shared state plus
+  /// what completion needs to finish the books (e2e metric, trace span).
+  struct PendingReq {
+    std::shared_ptr<AgsFutureState> st;
+    std::int64_t submit_ns = 0;
+    bool ags_stats = false;  // false for non-AGS commands (monitor)
   };
 
-  Result<Reply> executeReplicated(const Ags& ags, std::uint64_t rid, std::uint64_t tid);
+  /// Register a pending slot, submit into the total order, return a future.
+  AgsFuture submitCommand(Command cmd, bool ags_stats);
   void completeRequest(std::uint64_t rid, const Reply& r);
-  Reply submitAndWait(Command cmd);
 
   const net::HostId host_;
   rsm::Replica* replica_ = nullptr;
@@ -71,7 +75,7 @@ class Runtime : public LindaApi {
   std::atomic<std::uint64_t> next_rid_{1};
 
   std::mutex pending_mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Slot>> pending_;
+  std::unordered_map<std::uint64_t, PendingReq> pending_;
 
   ScratchSpaces scratch_;
 };

@@ -22,13 +22,16 @@ FtLindaSystem::FtLindaSystem(SystemConfig cfg)
         // caller left it untouched.
         if (cfg.consul.heartbeat_interval == consul::ConsulConfig{}.heartbeat_interval &&
             cfg.consul.failure_timeout == consul::ConsulConfig{}.failure_timeout) {
-          // Only the timeouts are defaulted; apply-batching knobs the caller
-          // set (e.g. max_apply_batch = 1 to disable coalescing) survive.
+          // Only the timeouts are defaulted; batching knobs the caller set
+          // (e.g. max_apply_batch / max_send_batch = 1 to disable
+          // coalescing) survive.
           const std::uint32_t batch = cfg.consul.max_apply_batch;
           const Micros window = cfg.consul.apply_batch_window;
+          const std::uint32_t send_batch = cfg.consul.max_send_batch;
           cfg.consul = simulationConsulConfig();
           cfg.consul.max_apply_batch = batch;
           cfg.consul.apply_batch_window = window;
+          cfg.consul.max_send_batch = send_batch;
         }
         return cfg;
       }()),

@@ -23,7 +23,10 @@ struct RpcMetrics {
   obs::Counter& replies = obs::counter("ftl_rpc_replies");
   obs::Counter& stats_requests = obs::counter("ftl_rpc_stats_requests");
   obs::Counter& client_calls = obs::counter("ftl_rpc_client_calls");
+  obs::Counter& replies_received = obs::counter("ftl_rpc_replies_received");
   obs::Histogram& client_rtt_ns = obs::histogram("ftl_rpc_client_rtt_ns");
+  // Shared with the embedded runtime so ftl_ags_wait_ns covers both flavours.
+  obs::Histogram& wait_ns = obs::histogram("ftl_ags_wait_ns");
 };
 
 RpcMetrics& rpcMetrics() {
@@ -121,13 +124,35 @@ void RemoteRuntime::shutdown() {
 void RemoteRuntime::markCrashed() {
   crashed_.store(true);
   scratch_.interrupt();
-  std::vector<std::shared_ptr<Slot>> slots;
+  failAllPending(/*processor_failure=*/true);
+}
+
+void RemoteRuntime::failAllPending(bool processor_failure) {
+  std::vector<std::shared_ptr<AgsFutureState>> sts;
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
-    for (auto& [rid, slot] : pending_) slots.push_back(slot);
+    for (auto& [rid, ent] : pending_) sts.push_back(ent.st);
     pending_.clear();
   }
-  for (auto& slot : slots) slot->cv.notify_all();
+  for (auto& st : sts) {
+    if (processor_failure) {
+      detail::failFutureProcessor(st);
+    } else {
+      detail::failFutureEnv(st, "tuple server unreachable");
+    }
+  }
+  window_cv_.notify_all();
+}
+
+void RemoteRuntime::setPipelineWindow(std::size_t window) {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  pipeline_window_ = window == 0 ? 1 : window;
+  window_cv_.notify_all();
+}
+
+std::size_t RemoteRuntime::pipelineWindow() const {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  return pipeline_window_;
 }
 
 void RemoteRuntime::recvLoop() {
@@ -136,6 +161,9 @@ void RemoteRuntime::recvLoop() {
     auto m = ep_.recvFor(Micros{5'000});
     if (!m) {
       if (net_.isCrashed(host_)) return;
+      // A dead tuple server can never answer the outstanding window; fail
+      // the futures now instead of leaving pipelined issuers blocked.
+      if (net_.isCrashed(server_)) failAllPending(/*processor_failure=*/false);
       continue;
     }
     if (m->type == kRpcStatsReplyType) {
@@ -161,52 +189,66 @@ void RemoteRuntime::recvLoop() {
     Reader r(m->payload);
     const std::uint64_t rid = r.u64();
     Reply reply = Reply::decode(r.bytes());
-    std::shared_ptr<Slot> slot;
+    PendingRpc ent;
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
       auto it = pending_.find(rid);
       if (it == pending_.end()) continue;
-      slot = it->second;
+      ent = std::move(it->second);
       pending_.erase(it);
     }
-    {
-      std::lock_guard<std::mutex> lock(slot->m);
-      slot->reply = std::move(reply);
+    window_cv_.notify_all();  // a pipeline slot just freed up
+    RpcMetrics& rm = rpcMetrics();
+    rm.replies_received.inc();
+    const std::int64_t dt = nowNanos() - ent.t0_ns;
+    rm.client_rtt_ns.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
+    obs::trace::asyncEnd("ags.rpc", ent.trace_id);
+    // Deposits land before the future settles (same contract as Runtime).
+    scratch_.applyDeposits(reply.local_deposits);
+    if (!reply.error.empty()) {
+      detail::settleFuture(ent.st, Result<Reply>::failure("registry", reply.error));
+    } else {
+      detail::settleFuture(ent.st, Result<Reply>(std::move(reply)));
     }
-    slot->cv.notify_all();
   }
 }
 
-Reply RemoteRuntime::rpc(Command cmd) {
+AgsFuture RemoteRuntime::submitRpc(Command cmd) {
   RpcMetrics& rm = rpcMetrics();
   rm.client_calls.inc();
-  const std::int64_t t0 = nowNanos();
-  auto slot = std::make_shared<Slot>();
+  auto st = std::make_shared<AgsFutureState>();
+  st->host = host_;
+  st->wait_hist = &rm.wait_ns;
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
-    pending_.emplace(cmd.request_id, slot);
+    // Window admission: block while pipeline_window_ RPCs are outstanding.
+    // The 20ms poll mirrors the old synchronous wait — crash of this host or
+    // the server must be able to unblock a full window.
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    for (;;) {
+      if (window_cv_.wait_for(lock, Millis{20},
+                              [&] { return pending_.size() < pipeline_window_; })) {
+        break;
+      }
+      if (crashed_.load()) throw ProcessorFailure(host_);
+      if (net_.isCrashed(server_)) throw Error("tuple server unreachable");
+    }
+    PendingRpc ent;
+    ent.st = st;
+    ent.t0_ns = nowNanos();
+    ent.trace_id = cmd.trace_id;
+    pending_.emplace(cmd.request_id, std::move(ent));
   }
+  // Re-check after registering (same crash race as Runtime::submitCommand).
   if (crashed_.load()) {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
-    pending_.erase(cmd.request_id);
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_.erase(cmd.request_id);
+    }
     throw ProcessorFailure(host_);
   }
   obs::trace::asyncBegin("ags.rpc", cmd.trace_id);
   ep_.send(server_, kRpcRequestType, cmd.encode());
-  std::unique_lock<std::mutex> lock(slot->m);
-  for (;;) {
-    if (slot->cv.wait_for(lock, Millis{20}, [&] { return slot->reply.has_value(); })) break;
-    if (crashed_.load()) throw ProcessorFailure(host_);
-    if (net_.isCrashed(server_)) {
-      std::lock_guard<std::mutex> plock(pending_mutex_);
-      pending_.erase(cmd.request_id);
-      throw Error("tuple server unreachable");
-    }
-  }
-  obs::trace::asyncEnd("ags.rpc", cmd.trace_id);
-  const std::int64_t dt = nowNanos() - t0;
-  rm.client_rtt_ns.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
-  return std::move(*slot->reply);
+  return AgsFuture::makePending(std::move(st));
 }
 
 std::string RemoteRuntime::serverStatsJson() {
@@ -233,14 +275,16 @@ std::string RemoteRuntime::serverStatsJson() {
   return std::move(*slot->json);
 }
 
-Result<Reply> RemoteRuntime::tryExecute(const Ags& ags) {
+AgsFuture RemoteRuntime::executeAsync(const Ags& ags) {
   if (crashed_.load()) throw ProcessorFailure(host_);
-  // Same submission-time gate as Runtime::tryExecute: a malformed statement
+  // Same submission-time gate as Runtime::executeAsync: a malformed statement
   // never reaches the wire (here: the RPC to the tuple server).
   if (VerifyResult vr = verify(ags); !vr.ok()) {
-    return verifyApiError(vr);
+    return AgsFuture::makeReady(verifyApiError(vr));
   }
   if (entirelyLocalAgs(ags)) {
+    // Local scratch statements keep their blocking semantics, so this path
+    // executes inline; only the RPC path pipelines.
     Reply r;
     try {
       r = scratch_.execute(ags, [this] { return crashed_.load(); });
@@ -248,14 +292,13 @@ Result<Reply> RemoteRuntime::tryExecute(const Ags& ags) {
       if (crashed_.load()) throw ProcessorFailure(host_);
       throw;
     }
-    if (!r.error.empty()) return Result<Reply>::failure("registry", r.error);
-    return r;
+    if (!r.error.empty()) {
+      return AgsFuture::makeReady(Result<Reply>::failure("registry", r.error));
+    }
+    return AgsFuture::makeReady(std::move(r));
   }
   const std::uint64_t rid = next_rid_.fetch_add(1);
-  Reply r = rpc(makeExecute(rid, ags, makeTraceId(host_, rid)));
-  if (!r.error.empty()) return Result<Reply>::failure("registry", r.error);
-  scratch_.applyDeposits(r.local_deposits);
-  return r;
+  return submitRpc(makeExecute(rid, ags, makeTraceId(host_, rid)));
 }
 
 TsHandle RemoteRuntime::createTs(TsAttributes attrs) {
@@ -277,7 +320,9 @@ void RemoteRuntime::doMonitorFailures(TsHandle ts, bool enable) {
   FTL_REQUIRE(!ts::isLocalHandle(ts), "only stable spaces receive failure tuples");
   if (crashed_.load()) throw ProcessorFailure(host_);
   const std::uint64_t rid = next_rid_.fetch_add(1);
-  rpc(makeMonitor(rid, ts, enable));
+  Command cmd = makeMonitor(rid, ts, enable);
+  cmd.trace_id = makeTraceId(host_, rid);
+  (void)submitRpc(std::move(cmd)).get();
 }
 
 }  // namespace ftl::ftlinda

@@ -95,11 +95,20 @@ class RemoteRuntime : public LindaApi {
   net::HostId host() const override { return host_; }
   net::HostId server() const { return server_; }
 
-  /// Execute an AGS (blocking semantics preserved end-to-end: a blocked
-  /// statement waits at the replicas; the RPC reply arrives when it fires).
+  /// Submit an AGS over the RPC channel and return a future (blocking
+  /// semantics preserved end-to-end: a blocked statement waits at the
+  /// replicas; the RPC reply arrives when it fires). The connection runs a
+  /// WINDOWED PIPELINE: up to pipelineWindow() RPCs stay outstanding, each
+  /// tagged by request id and demultiplexed by the receive thread; when the
+  /// window is full, executeAsync() blocks until a reply frees a slot.
   /// Throws ProcessorFailure if this host crashes, ftl::Error if the tuple
   /// server becomes unreachable.
-  Result<Reply> tryExecute(const Ags& ags) override;
+  AgsFuture executeAsync(const Ags& ags) override;
+
+  /// Cap on outstanding RPCs (default 64). 1 degenerates to the synchronous
+  /// one-at-a-time behaviour.
+  void setPipelineWindow(std::size_t window);
+  std::size_t pipelineWindow() const;
 
   TsHandle createTs(TsAttributes attrs) override;
   void destroyTs(TsHandle ts) override;
@@ -117,10 +126,10 @@ class RemoteRuntime : public LindaApi {
   void doMonitorFailures(TsHandle ts, bool enable) override;
 
  private:
-  struct Slot {
-    std::mutex m;
-    std::condition_variable cv;
-    std::optional<Reply> reply;
+  struct PendingRpc {
+    std::shared_ptr<AgsFutureState> st;
+    std::int64_t t0_ns = 0;       // client-side RTT measurement
+    std::uint64_t trace_id = 0;
   };
   struct StatsSlot {
     std::mutex m;
@@ -128,8 +137,11 @@ class RemoteRuntime : public LindaApi {
     std::optional<std::string> json;
   };
 
-  Reply rpc(Command cmd);
+  /// Admit into the pipeline window (may block), send, return the future.
+  AgsFuture submitRpc(Command cmd);
   void recvLoop();
+  /// Fail every outstanding RPC future (crash or unreachable server).
+  void failAllPending(bool processor_failure);
 
   net::Network& net_;
   net::Endpoint ep_;
@@ -139,8 +151,10 @@ class RemoteRuntime : public LindaApi {
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> crashed_{false};
   std::atomic<std::uint64_t> next_rid_{1};
-  std::mutex pending_mutex_;
-  std::map<std::uint64_t, std::shared_ptr<Slot>> pending_;
+  mutable std::mutex pending_mutex_;
+  std::condition_variable window_cv_;  // signalled when the window drains
+  std::size_t pipeline_window_ = 64;
+  std::map<std::uint64_t, PendingRpc> pending_;
   std::map<std::uint64_t, std::shared_ptr<StatsSlot>> stats_pending_;
   ScratchSpaces scratch_;
   std::thread recv_;

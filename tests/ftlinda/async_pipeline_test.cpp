@@ -1,0 +1,201 @@
+// Pipelined async AGS execution: executeAsync() returns an AgsFuture the
+// issuer can hold while submitting more statements. These tests pin down the
+// contract: per-issuer FIFO within the total order, crash mid-window failing
+// every outstanding future with ProcessorFailure, continuations, replica
+// state staying byte-identical under pipelined load, and the RemoteRuntime
+// request window.
+#include "ftlinda/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+bool waitUntil(const std::function<bool()>& pred, Millis timeout = Millis{8000}) {
+  const auto deadline = Clock::now() + timeout;
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(Millis{2});
+  }
+  return pred();
+}
+
+/// AGS i: <inp("next", i) => out("next", i+1)>. The inp guard is
+/// NON-blocking, so the chain only completes end-to-end if the pipelined
+/// statements are delivered in exactly submission order.
+Ags chainLink(int i) {
+  return AgsBuilder()
+      .when(guardInp(kTsMain, makePattern("next", i)))
+      .then(opOut(kTsMain, makeTemplate("next", i + 1)))
+      .build();
+}
+
+TEST(AsyncPipeline, PipelinedIssuerKeepsFifoOrder) {
+  FtLindaSystem sys({.hosts = 3});
+  auto& rt = sys.runtime(0);
+  rt.out(kTsMain, makeTuple("next", 0));
+  constexpr int kN = 32;
+  std::vector<AgsFuture> futures;
+  futures.reserve(kN);
+  for (int i = 0; i < kN; ++i) futures.push_back(rt.executeAsync(chainLink(i)));
+  for (int i = 0; i < kN; ++i) {
+    Result<Reply> r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << "statement " << i << ": " << r.error().message;
+    EXPECT_TRUE(r.value().succeeded) << "statement " << i << " saw out-of-order state";
+  }
+  EXPECT_EQ(sys.runtime(1).in(kTsMain, makePattern("next", fInt())).field(1).asInt(), kN);
+}
+
+TEST(AsyncPipeline, FutureBasics) {
+  FtLindaSystem sys({.hosts = 2});
+  auto& rt = sys.runtime(0);
+  // Default-constructed future is empty.
+  AgsFuture empty;
+  EXPECT_FALSE(empty.valid());
+  // Verifier rejection settles the future before it is returned.
+  AgsFuture bad = rt.executeAsync(Ags{});
+  EXPECT_TRUE(bad.ready());
+  Result<Reply> r = bad.get();
+  EXPECT_FALSE(r.ok());
+  // get() is single-shot.
+  EXPECT_THROW((void)bad.get(), ContractViolation);
+}
+
+TEST(AsyncPipeline, ContinuationRunsOnCompletion) {
+  FtLindaSystem sys({.hosts = 2});
+  auto& rt = sys.runtime(0);
+  std::atomic<int> branch{-2};
+  rt.executeAsync(
+        AgsBuilder().when(guardTrue()).then(opOut(kTsMain, makeTemplate("done", 1))).build())
+      .then([&](const Result<Reply>& r) { branch.store(r.ok() ? r.value().branch : -1); });
+  ASSERT_TRUE(waitUntil([&] { return branch.load() != -2; }));
+  EXPECT_EQ(branch.load(), 0);
+  EXPECT_TRUE(sys.runtime(1).rdp(kTsMain, makePattern("done", fInt())).has_value());
+  // A continuation attached to an already-settled future runs inline.
+  std::atomic<bool> ran{false};
+  AgsFuture ready = rt.executeAsync(Ags{});
+  ready.then([&](const Result<Reply>& r) { ran.store(!r.ok()); });
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(AsyncPipeline, CrashMidWindowFailsEveryOutstandingFuture) {
+  FtLindaSystem sys({.hosts = 3});
+  auto& rt = sys.runtime(0);
+  // Eight statements blocked at the replicas (their in() guards can never
+  // fire), all outstanding from one issuer.
+  constexpr int kWindow = 8;
+  std::vector<AgsFuture> futures;
+  for (int i = 0; i < kWindow; ++i) {
+    futures.push_back(rt.executeAsync(
+        AgsBuilder().when(guardIn(kTsMain, makePattern("never", i))).build()));
+  }
+  for (const auto& f : futures) EXPECT_FALSE(f.ready());
+  sys.crash(0);
+  for (int i = 0; i < kWindow; ++i) {
+    EXPECT_THROW((void)futures[i].get(), ProcessorFailure) << "future " << i;
+  }
+  // New submissions fail immediately too.
+  EXPECT_THROW((void)rt.executeAsync(chainLink(0)), ProcessorFailure);
+}
+
+TEST(AsyncPipeline, ContinuationSeesProcessorFailureResult) {
+  FtLindaSystem sys({.hosts = 3});
+  auto& rt = sys.runtime(0);
+  std::atomic<bool> failed{false};
+  rt.executeAsync(AgsBuilder().when(guardIn(kTsMain, makePattern("never"))).build())
+      .then([&](const Result<Reply>& r) {
+        failed.store(!r.ok() && r.error().rule == "processor-failure");
+      });
+  sys.crash(0);
+  ASSERT_TRUE(waitUntil([&] { return failed.load(); }));
+}
+
+TEST(AsyncPipeline, ReplicaStateIdenticalAfterPipelinedLoad) {
+  FtLindaSystem sys({.hosts = 3});
+  constexpr int kPerIssuer = 40;
+  constexpr std::size_t kWindow = 8;
+  std::vector<std::thread> issuers;
+  for (std::uint32_t h = 0; h < 2; ++h) {
+    issuers.emplace_back([&sys, h] {
+      auto& rt = sys.runtime(h);
+      std::deque<AgsFuture> window;
+      for (int i = 0; i < kPerIssuer; ++i) {
+        window.push_back(rt.executeAsync(
+            AgsBuilder()
+                .when(guardTrue())
+                .then(opOut(kTsMain, makeTemplate("load", static_cast<int>(h), i)))
+                .build()));
+        if (window.size() >= kWindow) {
+          ASSERT_TRUE(window.front().get().ok());
+          window.pop_front();
+        }
+      }
+      while (!window.empty()) {
+        ASSERT_TRUE(window.front().get().ok());
+        window.pop_front();
+      }
+    });
+  }
+  for (auto& t : issuers) t.join();
+  ASSERT_TRUE(waitUntil([&] {
+    const Bytes d0 = sys.stateMachine(0).stateDigestBytes();
+    return sys.stateMachine(1).stateDigestBytes() == d0 &&
+           sys.stateMachine(2).stateDigestBytes() == d0;
+  }));
+}
+
+TEST(AsyncPipeline, RemoteRuntimeWindowedPipeline) {
+  // Tuple-server configuration: host 2 is an RPC client of a replica host.
+  FtLindaSystem sys({.hosts = 3, .replica_hosts = 2});
+  auto& rt = sys.remoteRuntime(2);
+  rt.setPipelineWindow(4);
+  EXPECT_EQ(rt.pipelineWindow(), 4u);
+  rt.out(kTsMain, makeTuple("next", 0));
+  constexpr int kN = 24;
+  std::vector<AgsFuture> futures;
+  for (int i = 0; i < kN; ++i) futures.push_back(rt.executeAsync(chainLink(i)));
+  for (int i = 0; i < kN; ++i) {
+    Result<Reply> r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << "statement " << i;
+    EXPECT_TRUE(r.value().succeeded) << "statement " << i << " out of order over RPC";
+  }
+  EXPECT_EQ(sys.runtime(0).in(kTsMain, makePattern("next", fInt())).field(1).asInt(), kN);
+}
+
+TEST(AsyncPipeline, RemoteClientCrashFailsOutstandingFutures) {
+  FtLindaSystem sys({.hosts = 3, .replica_hosts = 2});
+  auto& rt = sys.remoteRuntime(2);
+  std::vector<AgsFuture> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(rt.executeAsync(
+        AgsBuilder().when(guardIn(kTsMain, makePattern("never", i))).build()));
+  }
+  sys.crash(2);
+  for (auto& f : futures) EXPECT_THROW((void)f.get(), ProcessorFailure);
+}
+
+TEST(AsyncPipeline, RemoteServerCrashFailsOutstandingFutures) {
+  FtLindaSystem sys({.hosts = 4, .replica_hosts = 3});
+  auto& rt = sys.remoteRuntime(3);
+  std::vector<AgsFuture> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(rt.executeAsync(
+        AgsBuilder().when(guardIn(kTsMain, makePattern("never", i))).build()));
+  }
+  sys.crash(rt.server());
+  // The server can never answer: futures fail with a transport error (the
+  // client host itself is alive, so not ProcessorFailure).
+  for (auto& f : futures) EXPECT_THROW((void)f.get(), Error);
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -63,8 +63,8 @@ TEST(ObsMetrics, HistogramBucketsAndPercentiles) {
   const auto s = h.snapshot();
   EXPECT_EQ(s.count, 101u);
   EXPECT_EQ(s.sum, 100u * 100 + 1'000'000);
-  // 100 has bit_width 7 -> bucket upper bound 2^7-1 = 127.
-  EXPECT_EQ(s.percentile(50), 127u);
+  // 100 lands in octave [64,128), third quartile -> upper bound 111.
+  EXPECT_EQ(s.percentile(50), 111u);
   EXPECT_GE(s.percentile(100), 1'000'000u);
   EXPECT_NEAR(s.mean(), static_cast<double>(s.sum) / 101.0, 1e-9);
 }
@@ -78,19 +78,26 @@ TEST(ObsMetrics, HistogramEmptySnapshot) {
 }
 
 TEST(ObsMetrics, HistogramUpperBounds) {
+  // Values 0..3 get exact buckets; octaves above split into 4 sub-buckets.
   EXPECT_EQ(Histogram::upperBound(0), 0u);
   EXPECT_EQ(Histogram::upperBound(1), 1u);
-  EXPECT_EQ(Histogram::upperBound(4), 15u);
-  EXPECT_EQ(Histogram::upperBound(63), ~0ull);
+  EXPECT_EQ(Histogram::upperBound(4), 4u);    // octave [4,8), first quartile
+  EXPECT_EQ(Histogram::upperBound(7), 7u);    // octave [4,8), last quartile
+  EXPECT_EQ(Histogram::upperBound(11), 15u);  // octave [8,16), last quartile
+  EXPECT_EQ(Histogram::upperBound(Histogram::kBuckets - 1), (1ull << 48) - 1);
+  // Consecutive bounds are strictly increasing (no gaps, no overlaps).
+  for (std::size_t i = 1; i < Histogram::kBuckets; ++i) {
+    EXPECT_LT(Histogram::upperBound(i - 1), Histogram::upperBound(i)) << "bucket " << i;
+  }
   // observe(v) increments the bucket whose bound covers v.
   Histogram& h = histogram("test_obsm_hist_bounds");
   h.observe(0);
   h.observe(1);
   h.observe(15);
   const auto s = h.snapshot();
-  EXPECT_EQ(s.buckets[0], 1u);  // bit_width(0) == 0
-  EXPECT_EQ(s.buckets[1], 1u);  // bit_width(1) == 1
-  EXPECT_EQ(s.buckets[4], 1u);  // bit_width(15) == 4
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[11], 1u);  // 15 = top quartile of [8,16)
 }
 
 TEST(ObsMetrics, ScopedTimerRecordsOneObservation) {
@@ -162,7 +169,7 @@ TEST(ObsMetrics, PrometheusExposition) {
   EXPECT_NE(text.find("test_obsm_prom_ctr 9"), std::string::npos);
   EXPECT_NE(text.find("# TYPE test_obsm_prom_hist histogram"), std::string::npos);
   // le injected into the existing label set, +Inf bucket always present.
-  EXPECT_NE(text.find("test_obsm_prom_hist_bucket{host=\"0\",le=\"127\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_obsm_prom_hist_bucket{host=\"0\",le=\"111\"} 1"), std::string::npos);
   EXPECT_NE(text.find(",le=\"+Inf\"} 1"), std::string::npos);
   EXPECT_NE(text.find("test_obsm_prom_hist_sum{host=\"0\"} 100"), std::string::npos);
   EXPECT_NE(text.find("test_obsm_prom_hist_count{host=\"0\"} 1"), std::string::npos);

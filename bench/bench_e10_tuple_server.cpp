@@ -10,6 +10,7 @@
 //
 // We measure AGS latency from an application host in both configurations,
 // plus the extra messages the RPC costs, on the LAN profile.
+#include "net/network.hpp"
 #include "bench_util.hpp"
 #include "ftlinda/system.hpp"
 

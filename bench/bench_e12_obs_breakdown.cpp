@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "net/network.hpp"
 #include "bench_util.hpp"
 #include "ftlinda/system.hpp"
 

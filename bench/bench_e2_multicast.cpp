@@ -13,6 +13,7 @@
 #include <map>
 #include <mutex>
 
+#include "net/network.hpp"
 #include "bench_util.hpp"
 #include "consul/node.hpp"
 

@@ -17,6 +17,7 @@
 #include <fstream>
 #include <thread>
 
+#include "net/network.hpp"
 #include "bench_util.hpp"
 #include "ftlinda/system.hpp"
 #include "obs/trace.hpp"

@@ -13,6 +13,7 @@
 // messages, and its latency carries 3 round trips versus FT-Linda's ~2 hops.
 #include <memory>
 
+#include "net/network.hpp"
 #include "baseline/two_phase.hpp"
 #include "bench_util.hpp"
 #include "ftlinda/system.hpp"

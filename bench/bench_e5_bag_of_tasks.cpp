@@ -14,6 +14,7 @@
 #include <atomic>
 #include <memory>
 
+#include "net/network.hpp"
 #include "baseline/central_server.hpp"
 #include "bench_util.hpp"
 #include "ftlinda/system.hpp"

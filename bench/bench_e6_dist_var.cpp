@@ -11,6 +11,7 @@
 #include <atomic>
 #include <memory>
 
+#include "net/network.hpp"
 #include "baseline/central_server.hpp"
 #include "bench_util.hpp"
 #include "ftlinda/system.hpp"

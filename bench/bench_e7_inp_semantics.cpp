@@ -17,6 +17,7 @@
 // often at LAN latencies.
 #include <atomic>
 
+#include "net/network.hpp"
 #include "baseline/central_server.hpp"
 #include "bench_util.hpp"
 #include "ftlinda/system.hpp"

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "net/network.hpp"
 #include "baseline/central_server.hpp"
 #include "ftlinda/system.hpp"
 

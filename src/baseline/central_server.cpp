@@ -34,7 +34,7 @@ Bytes encodeReply(std::uint64_t rid, bool found, const std::optional<Tuple>& t) 
 
 }  // namespace
 
-CentralServer::CentralServer(net::Network& net, net::HostId host)
+CentralServer::CentralServer(net::Transport& net, net::HostId host)
     : net_(net), ep_(net.endpoint(host)), host_(host) {}
 
 CentralServer::~CentralServer() {
@@ -128,7 +128,7 @@ void CentralServer::retryBlocked() {
   }
 }
 
-CentralClient::CentralClient(net::Network& net, net::HostId host, net::HostId server,
+CentralClient::CentralClient(net::Transport& net, net::HostId host, net::HostId server,
                              bool sync_out)
     : net_(net), ep_(net.endpoint(host)), host_(host), server_(server), sync_out_(sync_out) {}
 

@@ -20,7 +20,7 @@
 #include <optional>
 #include <thread>
 
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "ts/tuple_space.hpp"
 
 namespace ftl::baseline {
@@ -35,7 +35,7 @@ enum class LindaOp : std::uint8_t { Out = 0, In = 1, Rd = 2, Inp = 3, Rdp = 4 };
 /// crashes or stop() is called.
 class CentralServer {
  public:
-  CentralServer(net::Network& net, net::HostId host);
+  CentralServer(net::Transport& net, net::HostId host);
   ~CentralServer();
 
   CentralServer(const CentralServer&) = delete;
@@ -64,7 +64,7 @@ class CentralServer {
              const std::optional<Tuple>& t);
   void retryBlocked();
 
-  net::Network& net_;
+  net::Transport& net_;
   net::Endpoint ep_;
   const net::HostId host_;
 
@@ -79,7 +79,7 @@ class CentralServer {
 class CentralClient {
  public:
   /// `sync_out=false` reproduces the conventional asynchronous out.
-  CentralClient(net::Network& net, net::HostId host, net::HostId server, bool sync_out = false);
+  CentralClient(net::Transport& net, net::HostId host, net::HostId server, bool sync_out = false);
   ~CentralClient();
 
   CentralClient(const CentralClient&) = delete;
@@ -111,7 +111,7 @@ class CentralClient {
   std::optional<Tuple> request(LindaOp op, const Pattern* p, const Tuple* t, bool expect_reply);
   void recvLoop();
 
-  net::Network& net_;
+  net::Transport& net_;
   net::Endpoint ep_;
   const net::HostId host_;
   const net::HostId server_;

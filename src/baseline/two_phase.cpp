@@ -43,7 +43,7 @@ UpdateSpec UpdateSpec::decode(const Bytes& b) {
   return s;
 }
 
-TwoPcReplica::TwoPcReplica(net::Network& net, net::HostId host)
+TwoPcReplica::TwoPcReplica(net::Transport& net, net::HostId host)
     : net_(net), ep_(net.endpoint(host)), host_(host) {}
 
 TwoPcReplica::~TwoPcReplica() {
@@ -142,7 +142,7 @@ void TwoPcReplica::handle(const net::Message& m) {
   }
 }
 
-TwoPcClient::TwoPcClient(net::Network& net, net::HostId host, std::vector<net::HostId> replicas)
+TwoPcClient::TwoPcClient(net::Transport& net, net::HostId host, std::vector<net::HostId> replicas)
     : net_(net),
       ep_(net.endpoint(host)),
       host_(host),

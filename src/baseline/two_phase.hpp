@@ -20,7 +20,7 @@
 #include <thread>
 #include <vector>
 
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "ts/tuple_space.hpp"
 
 namespace ftl::baseline {
@@ -42,7 +42,7 @@ struct UpdateSpec {
 /// A replica server holding one copy of the tuple space plus the lock.
 class TwoPcReplica {
  public:
-  TwoPcReplica(net::Network& net, net::HostId host);
+  TwoPcReplica(net::Transport& net, net::HostId host);
   ~TwoPcReplica();
 
   TwoPcReplica(const TwoPcReplica&) = delete;
@@ -60,7 +60,7 @@ class TwoPcReplica {
   void handle(const net::Message& m);
   void grantNext();
 
-  net::Network& net_;
+  net::Transport& net_;
   net::Endpoint ep_;
   const net::HostId host_;
 
@@ -77,7 +77,7 @@ class TwoPcReplica {
 /// Client driving the lock/2PC protocol against a fixed replica set.
 class TwoPcClient {
  public:
-  TwoPcClient(net::Network& net, net::HostId host, std::vector<net::HostId> replicas);
+  TwoPcClient(net::Transport& net, net::HostId host, std::vector<net::HostId> replicas);
   ~TwoPcClient();
 
   TwoPcClient(const TwoPcClient&) = delete;
@@ -98,7 +98,7 @@ class TwoPcClient {
                  const Bytes& payload);
   void recvLoop();
 
-  net::Network& net_;
+  net::Transport& net_;
   net::Endpoint ep_;
   const net::HostId host_;
   const std::vector<net::HostId> replicas_;

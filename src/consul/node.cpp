@@ -23,7 +23,7 @@ bool contains(const std::vector<HostId>& v, HostId h) {
 
 }  // namespace
 
-ConsulNode::ConsulNode(net::Network& net, HostId self, std::vector<HostId> group,
+ConsulNode::ConsulNode(net::Transport& net, HostId self, std::vector<HostId> group,
                        ConsulConfig cfg, Callbacks cb, bool join_existing)
     : net_(net),
       ep_(net.endpoint(self)),

@@ -39,7 +39,7 @@
 
 #include "consul/config.hpp"
 #include "consul/messages.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 
 namespace ftl::consul {
 
@@ -86,7 +86,7 @@ class ConsulNode {
   /// `join_existing == false` the node boots as a member of the initial view
   /// (all of `group`); with true it starts outside the group and joinGroup()
   /// must be called.
-  ConsulNode(net::Network& net, HostId self, std::vector<HostId> group, ConsulConfig cfg,
+  ConsulNode(net::Transport& net, HostId self, std::vector<HostId> group, ConsulConfig cfg,
              Callbacks cb, bool join_existing = false);
   ~ConsulNode();
 
@@ -202,7 +202,7 @@ class ConsulNode {
   Bytes wrapSnapshot();  // flushes staged deliveries first (snapshot coverage)
   void unwrapSnapshot(const Bytes& b);
 
-  net::Network& net_;
+  net::Transport& net_;
   net::Endpoint ep_;
   const HostId self_;
   const std::vector<HostId> group_;

@@ -16,27 +16,43 @@ consul::ConsulConfig simulationConsulConfig() {
   return cfg;
 }
 
+consul::ConsulConfig mergedConsulConfig(consul::ConsulConfig user) {
+  // Field-by-field over the closed set of protocol timers: a timer still at
+  // its declared default gets the simulation-speed value, everything else is
+  // the caller's. The old all-or-nothing copy silently reset batching knobs
+  // to whatever it remembered to preserve; this shape cannot clobber fields
+  // it does not name.
+  const consul::ConsulConfig declared{};
+  const consul::ConsulConfig sim = simulationConsulConfig();
+  if (user.heartbeat_interval == declared.heartbeat_interval)
+    user.heartbeat_interval = sim.heartbeat_interval;
+  if (user.failure_timeout == declared.failure_timeout) user.failure_timeout = sim.failure_timeout;
+  if (user.tick == declared.tick) user.tick = sim.tick;
+  if (user.request_retransmit == declared.request_retransmit)
+    user.request_retransmit = sim.request_retransmit;
+  if (user.nack_timeout == declared.nack_timeout) user.nack_timeout = sim.nack_timeout;
+  if (user.ack_interval == declared.ack_interval) user.ack_interval = sim.ack_interval;
+  if (user.view_change_timeout == declared.view_change_timeout)
+    user.view_change_timeout = sim.view_change_timeout;
+  return user;
+}
+
+namespace {
+std::unique_ptr<net::Transport> makeTransport(const SystemConfig& cfg) {
+  if (cfg.transport == TransportKind::kUdp) {
+    return std::make_unique<net::UdpTransport>(cfg.hosts, cfg.udp);
+  }
+  return std::make_unique<net::SimTransport>(cfg.hosts, cfg.net);
+}
+}  // namespace
+
 FtLindaSystem::FtLindaSystem(SystemConfig cfg)
     : cfg_([&] {
-        // Default the consul config to simulation-speed timeouts when the
-        // caller left it untouched.
-        if (cfg.consul.heartbeat_interval == consul::ConsulConfig{}.heartbeat_interval &&
-            cfg.consul.failure_timeout == consul::ConsulConfig{}.failure_timeout) {
-          // Only the timeouts are defaulted; batching knobs the caller set
-          // (e.g. max_apply_batch / max_send_batch = 1 to disable
-          // coalescing) survive.
-          const std::uint32_t batch = cfg.consul.max_apply_batch;
-          const Micros window = cfg.consul.apply_batch_window;
-          const std::uint32_t send_batch = cfg.consul.max_send_batch;
-          cfg.consul = simulationConsulConfig();
-          cfg.consul.max_apply_batch = batch;
-          cfg.consul.apply_batch_window = window;
-          cfg.consul.max_send_batch = send_batch;
-        }
+        cfg.consul = mergedConsulConfig(cfg.consul);
         return cfg;
       }()),
       replica_count_(cfg_.replica_hosts == 0 ? cfg_.hosts : cfg_.replica_hosts),
-      net_(cfg_.hosts, cfg_.net) {
+      net_(makeTransport(cfg_)) {
   FTL_REQUIRE(cfg_.hosts > 0, "system needs at least one host");
   FTL_REQUIRE(replica_count_ <= cfg_.hosts, "more replica hosts than hosts");
   for (std::uint32_t h = 0; h < replica_count_; ++h) group_.push_back(h);
@@ -58,17 +74,17 @@ FtLindaSystem::Ctx FtLindaSystem::makeCtx(net::HostId host, bool join_existing) 
   Ctx ctx;
   if (host < replica_count_) {
     ctx.sm = std::make_unique<TsStateMachine>();
-    ctx.replica = std::make_unique<rsm::Replica>(net_, host, group_, cfg_.consul, *ctx.sm,
+    ctx.replica = std::make_unique<rsm::Replica>(*net_, host, group_, cfg_.consul, *ctx.sm,
                                                  join_existing);
     ctx.runtime = std::make_unique<Runtime>(host);
     ctx.runtime->attach(ctx.replica.get(), ctx.sm.get());
     if (replica_count_ < cfg_.hosts) {
       // Tuple-server configuration: this replica also serves RPC clients.
-      ctx.server = std::make_unique<TupleServer>(net_, *ctx.replica, *ctx.sm);
+      ctx.server = std::make_unique<TupleServer>(*net_, *ctx.replica, *ctx.sm);
     }
   } else {
     const net::HostId server = host % replica_count_;
-    ctx.remote = std::make_unique<RemoteRuntime>(net_, host, server);
+    ctx.remote = std::make_unique<RemoteRuntime>(*net_, host, server);
   }
   return ctx;
 }
@@ -104,7 +120,7 @@ TsStateMachine& FtLindaSystem::stateMachine(net::HostId host) {
 
 void FtLindaSystem::crash(net::HostId host) {
   FTL_REQUIRE(host < ctxs_.size(), "no such host");
-  net_.crash(host);
+  net_->crash(host);
   std::lock_guard<std::mutex> lock(mutex_);
   if (ctxs_[host].runtime) ctxs_[host].runtime->markCrashed();
   if (ctxs_[host].remote) ctxs_[host].remote->markCrashed();
@@ -113,7 +129,7 @@ void FtLindaSystem::crash(net::HostId host) {
 
 bool FtLindaSystem::recover(net::HostId host, Millis timeout) {
   FTL_REQUIRE(host < ctxs_.size(), "no such host");
-  FTL_REQUIRE(net_.isCrashed(host), "recover() of a live processor");
+  FTL_REQUIRE(net_->isCrashed(host), "recover() of a live processor");
   Ctx fresh = makeCtx(host, /*join_existing=*/true);
   rsm::Replica* replica = fresh.replica.get();
   RemoteRuntime* remote = fresh.remote.get();
@@ -132,7 +148,7 @@ bool FtLindaSystem::recover(net::HostId host, Millis timeout) {
   // the graveyard for any simulated process still holding a reference).
   if (old_replica) old_replica->shutdown();
   if (old_remote) old_remote->shutdown();
-  net_.recover(host);
+  net_->recover(host);
   ++incarnation_[host];
   if (remote) {
     // RPC clients hold no replicated state; recovery is just a fresh library.

@@ -10,7 +10,7 @@
 //      |  totally ordered commands
 //   rsm::Replica -> consul::ConsulNode  (atomic multicast, membership)
 //      |
-//   net::Network  (simulated LAN with crash injection)
+//   net::Transport  (SimTransport by default; UdpTransport on request)
 //
 // crash(h) injects a fail-silent processor failure; recover(h) restarts the
 // processor, which rejoins the group and receives a state snapshot.
@@ -23,13 +23,23 @@
 
 #include "ftlinda/runtime.hpp"
 #include "ftlinda/tuple_server.hpp"
+#include "net/network.hpp"
+#include "net/udp_transport.hpp"
 
 namespace ftl::ftlinda {
 
+/// Which Transport backend the system builds its stack on.
+enum class TransportKind {
+  kSim,  // in-process simulated LAN (deterministic; the default)
+  kUdp,  // real UDP sockets on loopback (bench_e14, multi-process smoke)
+};
+
 struct SystemConfig {
   std::uint32_t hosts = 3;
-  net::NetworkConfig net;          // default: zero latency (fast tests)
-  consul::ConsulConfig consul;     // default: see constructor note below
+  TransportKind transport = TransportKind::kSim;
+  net::NetworkConfig net;          // kSim backend: default zero latency (fast tests)
+  net::UdpTransportConfig udp;     // kUdp backend: default loopback + ephemeral ports
+  consul::ConsulConfig consul;     // default: see mergedConsulConfig()
   /// Auto-register TSmain for failure tuples at startup.
   bool monitor_main = false;
   /// Tuple-server configuration (§6/Fig. 17): only the first `replica_hosts`
@@ -42,6 +52,14 @@ struct SystemConfig {
 /// Consul timeouts tuned for simulation speed (milliseconds, not seconds).
 consul::ConsulConfig simulationConsulConfig();
 
+/// The ONE place FtLindaSystem defaults a user-supplied ConsulConfig: every
+/// protocol timer the caller left at its ConsulConfig{} declared default is
+/// replaced by the simulationConsulConfig() value; every field the caller
+/// set — timers, batching knobs, anything added later — passes through
+/// untouched. (A caller who genuinely wants a production-speed timer equal
+/// to the declared default can nudge it by one microsecond.)
+consul::ConsulConfig mergedConsulConfig(consul::ConsulConfig user);
+
 class FtLindaSystem {
  public:
   explicit FtLindaSystem(SystemConfig cfg);
@@ -53,7 +71,7 @@ class FtLindaSystem {
   FtLindaSystem& operator=(const FtLindaSystem&) = delete;
 
   std::uint32_t hostCount() const { return static_cast<std::uint32_t>(ctxs_.size()); }
-  net::Network& network() { return net_; }
+  net::Transport& network() { return *net_; }
 
   /// The live runtime for `host` (replaced on recovery). Only valid for
   /// replica hosts.
@@ -75,7 +93,7 @@ class FtLindaSystem {
   /// Returns true on successful rejoin.
   bool recover(net::HostId host, Millis timeout = Millis{10'000});
 
-  bool isUp(net::HostId host) const { return !net_.isCrashed(host); }
+  bool isUp(net::HostId host) const { return !net_->isCrashed(host); }
 
   /// Run `fn(runtime)` on a dedicated thread bound to `host`, like a process
   /// created on that processor. ProcessorFailure terminates it quietly
@@ -107,7 +125,9 @@ class FtLindaSystem {
 
   SystemConfig cfg_;
   std::uint32_t replica_count_ = 0;
-  net::Network net_;
+  // Owns the transport; every Ctx (and the Endpoints inside) is destroyed
+  // before it, which is the lifetime rule Endpoint documents.
+  std::unique_ptr<net::Transport> net_;
   std::vector<net::HostId> group_;
   std::vector<Ctx> ctxs_;
   std::vector<Ctx> graveyard_;  // keeps crashed stacks alive for old threads

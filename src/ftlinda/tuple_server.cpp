@@ -36,7 +36,7 @@ RpcMetrics& rpcMetrics() {
 
 }  // namespace
 
-TupleServer::TupleServer(net::Network& net, rsm::Replica& replica, TsStateMachine& sm)
+TupleServer::TupleServer(net::Transport& net, rsm::Replica& replica, TsStateMachine& sm)
     : ep_(net.endpoint(replica.self())), host_(replica.self()), replica_(replica) {
   replica_.setForeignMessageHandler([this](const net::Message& m) {
     if (m.type == kRpcRequestType) onRpcRequest(m);
@@ -105,7 +105,7 @@ void TupleServer::onReply(net::HostId origin, std::uint64_t rid, const Reply& re
   ep_.send(dest.first, kRpcReplyType, encodeRpcReply(dest.second, reply));
 }
 
-RemoteRuntime::RemoteRuntime(net::Network& net, net::HostId host, net::HostId server)
+RemoteRuntime::RemoteRuntime(net::Transport& net, net::HostId host, net::HostId server)
     : net_(net), ep_(net.endpoint(host)), host_(host), server_(server) {}
 
 RemoteRuntime::~RemoteRuntime() { shutdown(); }

@@ -52,7 +52,7 @@ constexpr std::uint64_t kServerRidBit = 1ull << 62;
 /// Replica::start().
 class TupleServer {
  public:
-  TupleServer(net::Network& net, rsm::Replica& replica, TsStateMachine& sm);
+  TupleServer(net::Transport& net, rsm::Replica& replica, TsStateMachine& sm);
 
   TupleServer(const TupleServer&) = delete;
   TupleServer& operator=(const TupleServer&) = delete;
@@ -80,7 +80,7 @@ class TupleServer {
 /// volatile scratch spaces live locally as usual.
 class RemoteRuntime : public LindaApi {
  public:
-  RemoteRuntime(net::Network& net, net::HostId host, net::HostId server);
+  RemoteRuntime(net::Transport& net, net::HostId host, net::HostId server);
   ~RemoteRuntime() override;
 
   RemoteRuntime(const RemoteRuntime&) = delete;
@@ -143,7 +143,7 @@ class RemoteRuntime : public LindaApi {
   /// Fail every outstanding RPC future (crash or unreachable server).
   void failAllPending(bool processor_failure);
 
-  net::Network& net_;
+  net::Transport& net_;
   net::Endpoint ep_;
   const net::HostId host_;
   const net::HostId server_;

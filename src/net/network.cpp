@@ -1,22 +1,11 @@
 #include "net/network.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
-#include "obs/metrics.hpp"
 
 namespace ftl::net {
-
-namespace {
-/// Distinguishes the obs series of networks that coexist in one process
-/// (tests spin up several). Monotone across the process lifetime.
-std::uint64_t nextNetId() {
-  static std::atomic<std::uint64_t> next{0};
-  return next.fetch_add(1, std::memory_order_relaxed);
-}
-}  // namespace
 
 NetworkConfig lanProfile(std::uint64_t seed) {
   NetworkConfig cfg;
@@ -27,29 +16,7 @@ NetworkConfig lanProfile(std::uint64_t seed) {
   return cfg;
 }
 
-void Endpoint::send(HostId dst, std::uint16_t type, Bytes payload) {
-  Message m;
-  m.src = host_;
-  m.dst = dst;
-  m.type = type;
-  m.payload = std::move(payload);
-  net_->enqueue(std::move(m));
-}
-
-void Endpoint::multicast(const std::vector<HostId>& dsts, std::uint16_t type,
-                         const Bytes& payload) {
-  for (HostId d : dsts) send(d, type, payload);
-}
-
-std::optional<Message> Endpoint::recv() { return net_->inboxes_[host_]->pop(); }
-
-std::optional<Message> Endpoint::recvFor(Micros timeout) {
-  return net_->inboxes_[host_]->popFor(timeout);
-}
-
-std::optional<Message> Endpoint::tryRecv() { return net_->inboxes_[host_]->tryPop(); }
-
-Network::Network(std::uint32_t host_count, NetworkConfig config)
+SimTransport::SimTransport(std::uint32_t host_count, NetworkConfig config)
     : config_(config), rng_(config.seed) {
   FTL_REQUIRE(host_count > 0, "network needs at least one host");
   inboxes_.reserve(host_count);
@@ -59,39 +26,12 @@ Network::Network(std::uint32_t host_count, NetworkConfig config)
   last_delivery_.assign(static_cast<std::size_t>(host_count) * host_count, TimePoint{});
   crashed_.assign(host_count, false);
   stats_.assign(host_count, TrafficStats{});
-  net_id_ = nextNetId();
-  obs_token_ = obs::registerSource([this](std::vector<obs::Sample>& out) {
-    const std::string net = "{net=\"" + std::to_string(net_id_) + "\"}";
-    std::lock_guard<std::mutex> lock(mutex_);
-    TrafficStats total;
-    for (const auto& s : stats_) {
-      total.messages_sent += s.messages_sent;
-      total.bytes_sent += s.bytes_sent;
-      total.messages_delivered += s.messages_delivered;
-      total.messages_dropped += s.messages_dropped;
-      total.messages_duplicated += s.messages_duplicated;
-    }
-    out.push_back({"ftl_net_messages_sent" + net, static_cast<double>(total.messages_sent)});
-    out.push_back({"ftl_net_bytes_sent" + net, static_cast<double>(total.bytes_sent)});
-    out.push_back(
-        {"ftl_net_messages_delivered" + net, static_cast<double>(total.messages_delivered)});
-    out.push_back({"ftl_net_messages_dropped" + net, static_cast<double>(total.messages_dropped)});
-    out.push_back(
-        {"ftl_net_messages_duplicated" + net, static_cast<double>(total.messages_duplicated)});
-    out.push_back({"ftl_net_in_flight" + net, static_cast<double>(in_flight_.size())});
-    out.push_back({"ftl_net_hosts" + net, static_cast<double>(inboxes_.size())});
-    for (std::size_t type = 0; type < sent_by_type_.size(); ++type) {
-      if (sent_by_type_[type] == 0) continue;
-      out.push_back({"ftl_net_sent_by_type{net=\"" + std::to_string(net_id_) + "\",type=\"" +
-                         std::to_string(type) + "\"}",
-                     static_cast<double>(sent_by_type_[type])});
-    }
-  });
+  registerTrafficObs();
   scheduler_ = std::thread([this] { schedulerLoop(); });
 }
 
-Network::~Network() {
-  obs::unregisterSource(obs_token_);
+SimTransport::~SimTransport() {
+  unregisterTrafficObs();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
@@ -101,69 +41,81 @@ Network::~Network() {
   for (auto& q : inboxes_) q->close();
 }
 
-Endpoint Network::endpoint(HostId host) {
-  FTL_REQUIRE(host < hostCount(), "endpoint(): no such host");
-  return Endpoint(*this, host);
+std::optional<Message> SimTransport::recvOn(HostId host) { return inboxes_[host]->pop(); }
+
+std::optional<Message> SimTransport::recvOnFor(HostId host, Micros timeout) {
+  return inboxes_[host]->popFor(timeout);
 }
 
-void Network::crash(HostId host) {
+std::optional<Message> SimTransport::tryRecvOn(HostId host) { return inboxes_[host]->tryPop(); }
+
+std::size_t SimTransport::inFlightCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_.size();
+}
+
+void SimTransport::purgeInFlightLocked(HostId host) {
+  std::vector<InFlight> keep;
+  keep.reserve(in_flight_.size());
+  while (!in_flight_.empty()) {
+    InFlight f = std::move(const_cast<InFlight&>(in_flight_.top()));
+    in_flight_.pop();
+    if (f.msg.src != host && f.msg.dst != host) keep.push_back(std::move(f));
+  }
+  for (auto& f : keep) in_flight_.push(std::move(f));
+  if (in_flight_.empty()) cv_.notify_all();  // wake drain()
+}
+
+void SimTransport::crash(HostId host) {
   FTL_REQUIRE(host < hostCount(), "crash(): no such host");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     crashed_[host] = true;
+    // Fail-silent contract: ALL traffic to/from the host vanishes — its own
+    // in-flight sends included. Delivery re-checks crashed_[src] too, so a
+    // message from the crashed host can never surface later, not even into
+    // the host's own post-recover incarnation.
+    purgeInFlightLocked(host);
   }
   inboxes_[host]->close();
   inboxes_[host]->clear();
   FTL_INFO("net", "host " << host << " crashed (fail-silent)");
 }
 
-void Network::recover(HostId host) {
+void SimTransport::recover(HostId host) {
   FTL_REQUIRE(host < hostCount(), "recover(): no such host");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     crashed_[host] = false;
     // Messages addressed to the host while it was down vanish, even if their
     // simulated delivery time falls after the recovery.
-    std::vector<InFlight> keep;
-    keep.reserve(in_flight_.size());
-    while (!in_flight_.empty()) {
-      InFlight f = std::move(const_cast<InFlight&>(in_flight_.top()));
-      in_flight_.pop();
-      if (f.msg.dst != host) keep.push_back(std::move(f));
-    }
-    for (auto& f : keep) in_flight_.push(std::move(f));
+    purgeInFlightLocked(host);
   }
   inboxes_[host]->clear();
   inboxes_[host]->reopen();
   FTL_INFO("net", "host " << host << " recovered");
 }
 
-bool Network::isCrashed(HostId host) const {
+bool SimTransport::isCrashed(HostId host) const {
   FTL_REQUIRE(host < hostCount(), "isCrashed(): no such host");
   std::lock_guard<std::mutex> lock(mutex_);
   return crashed_[host];
 }
 
-TrafficStats Network::stats(HostId host) const {
+TrafficStats SimTransport::stats(HostId host) const {
   FTL_REQUIRE(host < hostCount(), "stats(): no such host");
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_[host];
 }
 
-TrafficStats Network::totalStats() const {
+TrafficStats SimTransport::totalStats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   TrafficStats total;
-  for (const auto& s : stats_) {
-    total.messages_sent += s.messages_sent;
-    total.bytes_sent += s.bytes_sent;
-    total.messages_delivered += s.messages_delivered;
-    total.messages_dropped += s.messages_dropped;
-    total.messages_duplicated += s.messages_duplicated;
-  }
+  for (const auto& s : stats_) total.add(s);
   return total;
 }
 
-std::map<std::uint16_t, std::uint64_t> Network::sentByType() const {
+std::map<std::uint16_t, std::uint64_t> SimTransport::sentByType() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::map<std::uint16_t, std::uint64_t> out;
   for (std::size_t type = 0; type < sent_by_type_.size(); ++type) {
@@ -172,23 +124,23 @@ std::map<std::uint16_t, std::uint64_t> Network::sentByType() const {
   return out;
 }
 
-void Network::resetStats() {
+void SimTransport::resetStats() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& s : stats_) s = TrafficStats{};
   std::fill(sent_by_type_.begin(), sent_by_type_.end(), 0);
 }
 
-void Network::setDropFilter(DropFilter filter) {
+void SimTransport::setDropFilter(DropFilter filter) {
   std::lock_guard<std::mutex> lock(mutex_);
   drop_filter_ = std::move(filter);
 }
 
-void Network::drain() {
+void SimTransport::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return in_flight_.empty() || shutdown_; });
 }
 
-void Network::enqueue(Message msg) {
+void SimTransport::sendMessage(Message msg) {
   FTL_REQUIRE(msg.dst < hostCount(), "send(): no such destination");
   std::lock_guard<std::mutex> lock(mutex_);
   if (shutdown_ || crashed_[msg.src]) return;  // sender dead: message never existed
@@ -233,7 +185,7 @@ void Network::enqueue(Message msg) {
   cv_.notify_all();
 }
 
-void Network::schedulerLoop() {
+void SimTransport::schedulerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     if (shutdown_) return;
@@ -249,12 +201,15 @@ void Network::schedulerLoop() {
     }
     Message msg = std::move(const_cast<InFlight&>(in_flight_.top()).msg);
     in_flight_.pop();
-    const bool dst_alive = !crashed_[msg.dst];
-    if (dst_alive && msg.src != msg.dst) stats_[msg.dst].messages_delivered += 1;
+    // Fail-silent both ways: neither a crashed destination nor a crashed
+    // source delivers (crash() purges the heap, but a message can become due
+    // in the window before purge runs — this check closes it).
+    const bool deliverable = !crashed_[msg.dst] && !crashed_[msg.src];
+    if (deliverable && msg.src != msg.dst) stats_[msg.dst].messages_delivered += 1;
     const HostId dst = msg.dst;
     if (in_flight_.empty()) cv_.notify_all();  // wake drain()
     lock.unlock();
-    if (dst_alive) inboxes_[dst]->push(std::move(msg));
+    if (deliverable) inboxes_[dst]->push(std::move(msg));
     lock.lock();
   }
 }

@@ -1,5 +1,7 @@
 // Simulated network of workstations (the paper's x-kernel/Ethernet
-// substitute; see DESIGN.md "Substitutions").
+// substitute; see DESIGN.md "Substitutions"). One of the two Transport
+// backends — see net/transport.hpp for the contract and docs/TRANSPORT.md
+// for the backend comparison.
 //
 // Properties provided to the layers above:
 //  - point-to-point datagrams with configurable latency (mean + jitter);
@@ -19,7 +21,6 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,10 +28,9 @@
 #include <thread>
 #include <vector>
 
-#include "common/clock.hpp"
 #include "common/queue.hpp"
 #include "common/rng.hpp"
-#include "net/message.hpp"
+#include "net/transport.hpp"
 
 namespace ftl::net {
 
@@ -55,102 +55,40 @@ struct NetworkConfig {
 /// 10 Mb Ethernet RTTs of the paper's testbed.
 NetworkConfig lanProfile(std::uint64_t seed = 42);
 
-/// Per-host traffic counters (monotone; survive crash/recover).
-struct TrafficStats {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;
-  /// Extra copies scheduled by duplicate_probability (the original is
-  /// counted in messages_sent; the copy only here).
-  std::uint64_t messages_duplicated = 0;
-};
-
-class Network;
-
-/// A host's handle onto the network. Each simulated processor owns exactly
-/// one Endpoint; its service threads block in recv().
-class Endpoint {
+/// The simulated-network backend. Construct with a host count and a config;
+/// then hand each simulated processor its endpoint().
+class SimTransport final : public Transport {
  public:
-  HostId host() const { return host_; }
+  explicit SimTransport(std::uint32_t host_count, NetworkConfig config = {});
+  ~SimTransport() override;
 
-  /// Send one datagram. Silently dropped if this host or dst is crashed.
-  void send(HostId dst, std::uint16_t type, Bytes payload);
+  std::uint32_t hostCount() const override {
+    return static_cast<std::uint32_t>(inboxes_.size());
+  }
 
-  /// Send the same payload to every host in `dsts`.
-  void multicast(const std::vector<HostId>& dsts, std::uint16_t type, const Bytes& payload);
+  void crash(HostId host) override;
+  void recover(HostId host) override;
+  bool isCrashed(HostId host) const override;
 
-  /// Blocking receive; std::nullopt when the host has been crashed/shut down.
-  std::optional<Message> recv();
-
-  /// Receive with timeout; std::nullopt on timeout or crash.
-  std::optional<Message> recvFor(Micros timeout);
-
-  /// Non-blocking receive; std::nullopt when the inbox is empty. Unlike
-  /// recvFor(0) this never touches the condition variable (a zero-timeout
-  /// wait still costs a futex syscall — ruinous on a hot poll path).
-  std::optional<Message> tryRecv();
-
- private:
-  friend class Network;
-  Endpoint(Network& net, HostId host) : net_(&net), host_(host) {}
-  Network* net_;
-  HostId host_;
-};
-
-/// The network itself. Construct with a host count and a config; then hand
-/// each simulated processor its endpoint().
-class Network {
- public:
-  Network(std::uint32_t host_count, NetworkConfig config = {});
-  ~Network();
-
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
-
-  std::uint32_t hostCount() const { return static_cast<std::uint32_t>(inboxes_.size()); }
-
-  /// The (singleton) endpoint for `host`.
-  Endpoint endpoint(HostId host);
-
-  /// Fail-silent crash: all traffic to/from `host` vanishes and its blocked
-  /// recv() calls return std::nullopt. Idempotent.
-  void crash(HostId host);
-
-  /// Undo crash(): the inbox reopens empty. The recovering protocol layer is
-  /// responsible for state transfer. Idempotent.
-  void recover(HostId host);
-
-  bool isCrashed(HostId host) const;
-
-  /// Snapshot of a host's traffic counters.
-  TrafficStats stats(HostId host) const;
-
-  /// Sum of all hosts' counters.
-  TrafficStats totalStats() const;
-
-  /// Messages sent per message type (non-loopback, pre-drop), network-wide.
-  std::map<std::uint16_t, std::uint64_t> sentByType() const;
-
-  /// Zero all traffic counters (between bench phases).
-  void resetStats();
-
-  /// Deterministic fault injection for tests: every outgoing message is
-  /// offered to `filter`; returning true DROPS it (counted in
-  /// messages_dropped). Pass nullptr to clear. Loopback traffic is exempt,
-  /// like probabilistic loss. The filter runs under the network lock — keep
-  /// it trivial and never call back into the network.
-  using DropFilter = std::function<bool(const Message&)>;
-  void setDropFilter(DropFilter filter);
+  TrafficStats stats(HostId host) const override;
+  TrafficStats totalStats() const override;
+  std::map<std::uint16_t, std::uint64_t> sentByType() const override;
+  void resetStats() override;
+  void setDropFilter(DropFilter filter) override;
 
   /// Deliver-everything barrier for zero-latency configs in tests: returns
   /// once the in-flight heap is empty. (With nonzero latency this waits for
   /// due messages too.)
-  void drain();
+  void drain() override;
+
+ protected:
+  void sendMessage(Message msg) override;
+  std::optional<Message> recvOn(HostId host) override;
+  std::optional<Message> recvOnFor(HostId host, Micros timeout) override;
+  std::optional<Message> tryRecvOn(HostId host) override;
+  std::size_t inFlightCount() const override;
 
  private:
-  friend class Endpoint;
-
   struct InFlight {
     TimePoint due;
     std::uint64_t seq;  // tie-break => deterministic order for equal due times
@@ -163,7 +101,9 @@ class Network {
     }
   };
 
-  void enqueue(Message msg);
+  /// Remove every in-flight message with `host` as src and/or dst. Caller
+  /// holds mutex_.
+  void purgeInFlightLocked(HostId host);
   void schedulerLoop();
 
   NetworkConfig config_;
@@ -183,10 +123,11 @@ class Network {
   std::uint64_t next_seq_ = 0;
   bool shutdown_ = false;
 
-  std::uint64_t net_id_ = 0;     // distinguishes obs series of coexisting networks
-  std::uint64_t obs_token_ = 0;  // obs::registerSource token, 0 = none
-
   std::thread scheduler_;  // started last, joined in dtor
 };
+
+/// Historical name: the simulator predates the Transport split and most of
+/// the repo (tests, benches, docs) still says "Network".
+using Network = SimTransport;
 
 }  // namespace ftl::net

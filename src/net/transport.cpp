@@ -1,0 +1,95 @@
+#include "net/transport.hpp"
+
+#include <atomic>
+#include <string>
+
+#include "common/assert.hpp"
+#include "obs/metrics.hpp"
+
+namespace ftl::net {
+
+namespace {
+std::uint64_t nextNetId() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+Transport::Transport()
+    : net_id_(nextNetId()), liveness_(std::make_shared<int>(0)) {}
+
+Transport::~Transport() {
+  // A well-behaved backend already unregistered in its own destructor; this
+  // is the no-op fallback (unregisterSource tolerates token 0 / repeats).
+  unregisterTrafficObs();
+  liveness_.reset();
+}
+
+Endpoint Transport::endpoint(HostId host) {
+  FTL_REQUIRE(host < hostCount(), "endpoint(): no such host");
+  return Endpoint(*this, host, liveness_);
+}
+
+void Transport::registerTrafficObs() {
+  if (obs_token_ != 0) return;
+  obs_token_ = obs::registerSource([this](std::vector<obs::Sample>& out) {
+    const std::string net = "{net=\"" + std::to_string(net_id_) + "\"}";
+    const TrafficStats total = totalStats();
+    out.push_back({"ftl_net_messages_sent" + net, static_cast<double>(total.messages_sent)});
+    out.push_back({"ftl_net_bytes_sent" + net, static_cast<double>(total.bytes_sent)});
+    out.push_back(
+        {"ftl_net_messages_delivered" + net, static_cast<double>(total.messages_delivered)});
+    out.push_back({"ftl_net_messages_dropped" + net, static_cast<double>(total.messages_dropped)});
+    out.push_back(
+        {"ftl_net_messages_duplicated" + net, static_cast<double>(total.messages_duplicated)});
+    out.push_back({"ftl_net_in_flight" + net, static_cast<double>(inFlightCount())});
+    out.push_back({"ftl_net_hosts" + net, static_cast<double>(hostCount())});
+    for (const auto& [type, count] : sentByType()) {
+      out.push_back({"ftl_net_sent_by_type{net=\"" + std::to_string(net_id_) + "\",type=\"" +
+                         std::to_string(type) + "\"}",
+                     static_cast<double>(count)});
+    }
+  });
+}
+
+void Transport::unregisterTrafficObs() {
+  if (obs_token_ == 0) return;
+  obs::unregisterSource(obs_token_);
+  obs_token_ = 0;
+}
+
+void Endpoint::checkAlive() const {
+  FTL_DASSERT(!liveness_.expired(), "Endpoint used after its Transport was destroyed");
+}
+
+void Endpoint::send(HostId dst, std::uint16_t type, Bytes payload) {
+  checkAlive();
+  Message m;
+  m.src = host_;
+  m.dst = dst;
+  m.type = type;
+  m.payload = std::move(payload);
+  t_->sendMessage(std::move(m));
+}
+
+void Endpoint::multicast(const std::vector<HostId>& dsts, std::uint16_t type,
+                         const Bytes& payload) {
+  for (HostId d : dsts) send(d, type, payload);
+}
+
+std::optional<Message> Endpoint::recv() {
+  checkAlive();
+  return t_->recvOn(host_);
+}
+
+std::optional<Message> Endpoint::recvFor(Micros timeout) {
+  checkAlive();
+  return t_->recvOnFor(host_, timeout);
+}
+
+std::optional<Message> Endpoint::tryRecv() {
+  checkAlive();
+  return t_->tryRecvOn(host_);
+}
+
+}  // namespace ftl::net

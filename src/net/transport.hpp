@@ -1,0 +1,186 @@
+// Pluggable transport substrate (the x-kernel slot; see DESIGN.md
+// "Substitutions" and docs/TRANSPORT.md).
+//
+// Every layer above the wire — Consul, the replicas, the tuple-server RPC
+// path, the baselines — talks to a `Transport`, never to a concrete
+// backend. Two backends exist:
+//
+//   SimTransport  (net/network.hpp)        in-process simulated LAN; the
+//                                          default, and what the unit tests
+//                                          and deterministic benches use;
+//   UdpTransport  (net/udp_transport.hpp)  one real UDP socket per host,
+//                                          usable across OS processes via
+//                                          tools/ftl-node.
+//
+// The contract every backend must satisfy (enforced by the conformance
+// suite, tests/net/transport_conformance_test.cpp):
+//
+//  - point-to-point datagrams, FIFO per (src,dst) link;
+//  - self-addressed messages are local loopback: reliable, immediate, and
+//    not counted as network traffic;
+//  - fail-silent crash(h): once crash() returns, no further message from or
+//    to `h` is delivered anywhere — including h's own in-flight sends and
+//    any post-recover incarnation of h — and h's blocked recv() calls
+//    return std::nullopt;
+//  - recover(h): the inbox reopens empty; pre-crash traffic never surfaces;
+//  - traffic accounting per host (TrafficStats) plus a deterministic
+//    drop-filter hook, both exported through ftl::obs as ftl_net_* series.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/message.hpp"
+
+namespace ftl::net {
+
+/// Per-host traffic counters (monotone; survive crash/recover).
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  /// Extra copies scheduled by duplicate injection (the original is counted
+  /// in messages_sent; the copy only here). Always 0 on backends that do not
+  /// inject duplicates.
+  std::uint64_t messages_duplicated = 0;
+
+  void add(const TrafficStats& s) {
+    messages_sent += s.messages_sent;
+    bytes_sent += s.bytes_sent;
+    messages_delivered += s.messages_delivered;
+    messages_dropped += s.messages_dropped;
+    messages_duplicated += s.messages_duplicated;
+  }
+};
+
+class Transport;
+
+/// A host's handle onto its transport. Each simulated processor owns exactly
+/// one Endpoint; its service threads block in recv().
+///
+/// LIFETIME: an Endpoint is a non-owning handle — it must not outlive the
+/// Transport that minted it. FtLindaSystem guarantees this by destroying
+/// every per-host stack before the transport; ftl-node style deployments
+/// must do the same. Debug builds verify the rule on every call (via a
+/// liveness token); release builds document it here and crash undefined
+/// otherwise.
+class Endpoint {
+ public:
+  HostId host() const { return host_; }
+
+  /// Send one datagram. Silently dropped if this host or dst is crashed.
+  void send(HostId dst, std::uint16_t type, Bytes payload);
+
+  /// Send the same payload to every host in `dsts`.
+  void multicast(const std::vector<HostId>& dsts, std::uint16_t type, const Bytes& payload);
+
+  /// Blocking receive; std::nullopt when the host has been crashed/shut down.
+  std::optional<Message> recv();
+
+  /// Receive with timeout; std::nullopt on timeout or crash.
+  std::optional<Message> recvFor(Micros timeout);
+
+  /// Non-blocking receive; std::nullopt when the inbox is empty. Unlike
+  /// recvFor(0) this never touches the condition variable (a zero-timeout
+  /// wait still costs a futex syscall — ruinous on a hot poll path).
+  std::optional<Message> tryRecv();
+
+ private:
+  friend class Transport;
+  Endpoint(Transport& t, HostId host, std::weak_ptr<const void> liveness)
+      : t_(&t), host_(host), liveness_(std::move(liveness)) {}
+  void checkAlive() const;
+
+  Transport* t_;
+  HostId host_;
+  /// Expires when the Transport dies; checked by FTL_DASSERT in debug builds.
+  std::weak_ptr<const void> liveness_;
+};
+
+/// Abstract transport. Construct a concrete backend with a host count; then
+/// hand each processor its endpoint().
+class Transport {
+ public:
+  virtual ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  virtual std::uint32_t hostCount() const = 0;
+
+  /// The (singleton) endpoint for `host`.
+  Endpoint endpoint(HostId host);
+
+  /// Fail-silent crash: all traffic to/from `host` vanishes and its blocked
+  /// recv() calls return std::nullopt. Idempotent.
+  virtual void crash(HostId host) = 0;
+
+  /// Undo crash(): the inbox reopens empty. The recovering protocol layer is
+  /// responsible for state transfer. Idempotent.
+  virtual void recover(HostId host) = 0;
+
+  virtual bool isCrashed(HostId host) const = 0;
+
+  /// Snapshot of a host's traffic counters.
+  virtual TrafficStats stats(HostId host) const = 0;
+
+  /// Sum of all hosts' counters.
+  virtual TrafficStats totalStats() const = 0;
+
+  /// Messages sent per message type (non-loopback, pre-drop), network-wide.
+  virtual std::map<std::uint16_t, std::uint64_t> sentByType() const = 0;
+
+  /// Zero all traffic counters (between bench phases).
+  virtual void resetStats() = 0;
+
+  /// Deterministic fault injection for tests: every outgoing message is
+  /// offered to `filter`; returning true DROPS it (counted in
+  /// messages_dropped). Pass nullptr to clear. Loopback traffic is exempt,
+  /// like probabilistic loss. The filter runs under the transport lock —
+  /// keep it trivial and never call back into the transport.
+  using DropFilter = std::function<bool(const Message&)>;
+  virtual void setDropFilter(DropFilter filter) = 0;
+
+  /// Deliver-everything barrier for tests: returns once every message
+  /// already sent has either reached its destination inbox or been dropped.
+  virtual void drain() = 0;
+
+ protected:
+  Transport();
+
+  // The Endpoint-facing half, implemented by each backend.
+  friend class Endpoint;
+  virtual void sendMessage(Message msg) = 0;
+  virtual std::optional<Message> recvOn(HostId host) = 0;
+  virtual std::optional<Message> recvOnFor(HostId host, Micros timeout) = 0;
+  virtual std::optional<Message> tryRecvOn(HostId host) = 0;
+
+  /// Messages accepted but not yet handed to an inbox (obs gauge only).
+  virtual std::size_t inFlightCount() const { return 0; }
+
+  /// Register/unregister the shared ftl_net_* obs source (TrafficStats +
+  /// sent-by-type + in-flight gauges). Call registerTrafficObs() at the END
+  /// of the derived constructor (the callback makes virtual calls) and
+  /// unregisterTrafficObs() at the START of the derived destructor.
+  void registerTrafficObs();
+  void unregisterTrafficObs();
+
+  /// Distinguishes the obs series of transports that coexist in one process
+  /// (tests spin up several). Assigned at construction.
+  std::uint64_t netId() const { return net_id_; }
+
+ private:
+  std::uint64_t net_id_ = 0;
+  std::uint64_t obs_token_ = 0;  // obs::registerSource token, 0 = none
+  /// Liveness token handed (weakly) to every Endpoint; reset in ~Transport
+  /// so stale endpoints are detectable in debug builds.
+  std::shared_ptr<const void> liveness_;
+};
+
+}  // namespace ftl::net

@@ -1,0 +1,357 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "common/serde.hpp"
+
+namespace ftl::net {
+
+namespace {
+
+constexpr std::uint16_t kFrameMagic = 0xF71D;
+// magic + type + src + dst + incarnation + payload length prefix.
+constexpr std::size_t kHeaderBytes = 2 + 2 + 4 + 4 + 4 + 4;
+// Stay clear of the IPv4 UDP datagram ceiling (65507 payload bytes).
+constexpr std::size_t kMaxDatagram = 65000;
+
+std::uint32_t parseIpv4(const std::string& addr) {
+  in_addr out{};
+  FTL_REQUIRE(inet_pton(AF_INET, addr.c_str(), &out) == 1,
+              ("UdpTransport: bad IPv4 address '" + addr + "'").c_str());
+  return out.s_addr;  // network byte order
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(std::uint32_t host_count, UdpTransportConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  FTL_REQUIRE(host_count > 0, "UdpTransport needs at least one host");
+  hosts_.resize(host_count);
+  crashed_.assign(host_count, false);
+  incarnation_.assign(host_count, 0);
+  stats_.assign(host_count, TrafficStats{});
+
+  std::vector<bool> local(host_count, config_.local_hosts.empty());
+  for (HostId h : config_.local_hosts) {
+    FTL_REQUIRE(h < host_count, "local_hosts entry out of range");
+    local[h] = true;
+  }
+
+  const std::uint32_t default_ip = parseIpv4(config_.bind_address);
+  for (HostId h = 0; h < host_count; ++h) {
+    HostState& hs = hosts_[h];
+    hs.local = local[h];
+    hs.peer_ip = default_ip;
+    if (h < config_.peer_addresses.size() && !config_.peer_addresses[h].empty()) {
+      const std::string& spec = config_.peer_addresses[h];
+      const auto colon = spec.rfind(':');
+      FTL_REQUIRE(colon != std::string::npos,
+                  ("peer address '" + spec + "' is not ip:port").c_str());
+      hs.peer_ip = parseIpv4(spec.substr(0, colon));
+      hs.port = static_cast<std::uint16_t>(std::stoul(spec.substr(colon + 1)));
+    } else if (config_.port_base != 0) {
+      hs.port = static_cast<std::uint16_t>(config_.port_base + h);
+    } else {
+      FTL_REQUIRE(hs.local, "remote host needs a peer address or a nonzero port_base");
+    }
+    if (hs.local) {
+      hs.inbox = std::make_unique<BlockingQueue<Message>>();
+      hs.stop = std::make_unique<std::atomic<bool>>(false);
+      openSocket(h, hs.port);  // fills hs.port when ephemeral
+    }
+  }
+  registerTrafficObs();
+  for (HostId h = 0; h < host_count; ++h) {
+    if (hosts_[h].local) startReceiver(h);
+  }
+}
+
+UdpTransport::~UdpTransport() {
+  unregisterTrafficObs();
+  for (HostId h = 0; h < hosts_.size(); ++h) {
+    teardownSocket(h);
+    if (hosts_[h].inbox) hosts_[h].inbox->close();
+  }
+}
+
+void UdpTransport::openSocket(HostId host, std::uint16_t bind_port) {
+  HostState& hs = hosts_[host];
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  FTL_CHECK(fd >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (config_.rcvbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &config_.rcvbuf_bytes, sizeof(config_.rcvbuf_bytes));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = parseIpv4(config_.bind_address);
+  addr.sin_port = htons(bind_port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = "bind(" + config_.bind_address + ":" + std::to_string(bind_port) +
+                            ") failed: " + std::strerror(errno);
+    ::close(fd);
+    FTL_CHECK(false, why.c_str());
+  }
+  socklen_t len = sizeof(addr);
+  FTL_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+            "getsockname() failed");
+  hs.port = ntohs(addr.sin_port);
+  hs.fd = fd;
+}
+
+void UdpTransport::startReceiver(HostId host) {
+  HostState& hs = hosts_[host];
+  hs.stop->store(false, std::memory_order_relaxed);
+  hs.rx = std::thread([this, host, fd = hs.fd, stop = hs.stop.get()] {
+    receiverLoop(host, fd, stop);
+  });
+}
+
+void UdpTransport::teardownSocket(HostId host) {
+  HostState& hs = hosts_[host];
+  if (!hs.local) return;
+  if (hs.rx.joinable()) {
+    hs.stop->store(true, std::memory_order_relaxed);
+    hs.rx.join();  // the 20ms poll timeout bounds the wait
+  }
+  std::lock_guard<std::mutex> lock(mutex_);  // no sendto on a closing fd
+  if (hs.fd >= 0) {
+    ::close(hs.fd);
+    hs.fd = -1;
+  }
+}
+
+void UdpTransport::receiverLoop(HostId host, int fd, std::atomic<bool>* stop) {
+  std::vector<std::uint8_t> buf(kMaxDatagram + kHeaderBytes);
+  while (!stop->load(std::memory_order_relaxed)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 20);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const ssize_t n = ::recvfrom(fd, buf.data(), buf.size(), 0, nullptr, nullptr);
+    if (n <= 0) continue;
+    deliverFrame(host, buf.data(), static_cast<std::size_t>(n));
+  }
+}
+
+void UdpTransport::deliverFrame(HostId host, const std::uint8_t* data, std::size_t len) {
+  Message msg;
+  std::uint32_t incarnation = 0;
+  try {
+    Reader r(data, len);
+    if (r.u16() != kFrameMagic) throw Error("bad magic");
+    msg.type = r.u16();
+    msg.src = r.u32();
+    msg.dst = r.u32();
+    incarnation = r.u32();
+    msg.payload = r.bytes();
+    if (!r.atEnd()) throw Error("trailing bytes");
+  } catch (const Error&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_[host].messages_dropped += 1;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (msg.src >= hosts_.size() || msg.dst != host) {
+      stats_[host].messages_dropped += 1;
+      return;
+    }
+    // Learn newer incarnations from the wire (a remote process bumped its
+    // counter when it crashed/recovered); drop anything older — that is the
+    // fail-silent guarantee for datagrams already in kernel buffers.
+    if (incarnation > incarnation_[msg.src]) incarnation_[msg.src] = incarnation;
+    if (incarnation < incarnation_[msg.src] || crashed_[msg.src] || crashed_[host]) {
+      stats_[host].messages_dropped += 1;
+      return;
+    }
+    stats_[host].messages_delivered += 1;
+  }
+  hosts_[host].inbox->push(std::move(msg));
+}
+
+void UdpTransport::sendMessage(Message msg) {
+  FTL_REQUIRE(msg.dst < hosts_.size(), "send(): no such destination");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_[msg.src]) return;  // sender dead: message never existed
+  if (msg.src == msg.dst) {
+    // Local loopback: reliable, immediate, uncounted (same as SimTransport).
+    if (hosts_[msg.dst].local) hosts_[msg.dst].inbox->push(std::move(msg));
+    return;
+  }
+  FTL_REQUIRE(hosts_[msg.src].local, "send(): source host lives in another process");
+  auto& sender_stats = stats_[msg.src];
+  sender_stats.messages_sent += 1;
+  sender_stats.bytes_sent += msg.payload.size();
+  if (msg.type >= sent_by_type_.size()) sent_by_type_.resize(msg.type + 1, 0);
+  sent_by_type_[msg.type] += 1;
+  if (msg.payload.size() > kMaxDatagram) {
+    sender_stats.messages_dropped += 1;
+    FTL_WARN("net", "UDP payload of " << msg.payload.size() << " bytes exceeds datagram limit");
+    return;
+  }
+  if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
+    sender_stats.messages_dropped += 1;
+    return;
+  }
+  if (drop_filter_ && drop_filter_(msg)) {
+    sender_stats.messages_dropped += 1;
+    return;
+  }
+
+  Writer w;
+  w.u16(kFrameMagic);
+  w.u16(msg.type);
+  w.u32(msg.src);
+  w.u32(msg.dst);
+  w.u32(incarnation_[msg.src]);
+  w.bytes(msg.payload);
+  const Bytes& frame = w.buffer();
+
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  to.sin_addr.s_addr = hosts_[msg.dst].peer_ip;
+  to.sin_port = htons(hosts_[msg.dst].port);
+  const ssize_t n = ::sendto(hosts_[msg.src].fd, frame.data(), frame.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&to), sizeof(to));
+  if (n != static_cast<ssize_t>(frame.size())) {
+    // ECONNREFUSED etc. — real-world loss; the layers above retransmit.
+    sender_stats.messages_dropped += 1;
+  }
+}
+
+std::optional<Message> UdpTransport::recvOn(HostId host) { return inboxOf(host).pop(); }
+
+std::optional<Message> UdpTransport::recvOnFor(HostId host, Micros timeout) {
+  return inboxOf(host).popFor(timeout);
+}
+
+std::optional<Message> UdpTransport::tryRecvOn(HostId host) { return inboxOf(host).tryPop(); }
+
+BlockingQueue<Message>& UdpTransport::inboxOf(HostId host) {
+  FTL_REQUIRE(hosts_[host].local, "recv(): host lives in another process");
+  return *hosts_[host].inbox;
+}
+
+std::uint16_t UdpTransport::port(HostId host) const {
+  FTL_REQUIRE(host < hosts_.size(), "port(): no such host");
+  return hosts_[host].port;
+}
+
+bool UdpTransport::isLocal(HostId host) const {
+  FTL_REQUIRE(host < hosts_.size(), "isLocal(): no such host");
+  return hosts_[host].local;
+}
+
+void UdpTransport::crash(HostId host) {
+  FTL_REQUIRE(host < hosts_.size(), "crash(): no such host");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (crashed_[host]) return;
+    crashed_[host] = true;
+    // Stale-frame fence: everything the host sent so far carries the old
+    // incarnation and will be dropped on receipt, wherever it is buffered.
+    incarnation_[host] += 1;
+  }
+  if (hosts_[host].local) {
+    teardownSocket(host);  // port quarantined until recover()
+    hosts_[host].inbox->close();
+    hosts_[host].inbox->clear();
+  }
+  FTL_INFO("net", "host " << host << " crashed (udp; port quarantined)");
+}
+
+void UdpTransport::recover(HostId host) {
+  FTL_REQUIRE(host < hosts_.size(), "recover(): no such host");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!crashed_[host]) return;
+    crashed_[host] = false;
+  }
+  if (hosts_[host].local) {
+    hosts_[host].inbox->clear();
+    hosts_[host].inbox->reopen();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      openSocket(host, hosts_[host].port);  // rebind the quarantined port
+    }
+    startReceiver(host);
+  }
+  FTL_INFO("net", "host " << host << " recovered (udp)");
+}
+
+bool UdpTransport::isCrashed(HostId host) const {
+  FTL_REQUIRE(host < hosts_.size(), "isCrashed(): no such host");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_[host];
+}
+
+TrafficStats UdpTransport::stats(HostId host) const {
+  FTL_REQUIRE(host < hosts_.size(), "stats(): no such host");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_[host];
+}
+
+TrafficStats UdpTransport::totalStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TrafficStats total;
+  for (const auto& s : stats_) total.add(s);
+  return total;
+}
+
+std::map<std::uint16_t, std::uint64_t> UdpTransport::sentByType() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::uint16_t, std::uint64_t> out;
+  for (std::size_t type = 0; type < sent_by_type_.size(); ++type) {
+    if (sent_by_type_[type] != 0) out.emplace(static_cast<std::uint16_t>(type), sent_by_type_[type]);
+  }
+  return out;
+}
+
+void UdpTransport::resetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& s : stats_) s = TrafficStats{};
+  std::fill(sent_by_type_.begin(), sent_by_type_.end(), 0);
+}
+
+void UdpTransport::setDropFilter(DropFilter filter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  drop_filter_ = std::move(filter);
+}
+
+void UdpTransport::drain() {
+  // No global in-flight heap to watch: settle once every live local socket's
+  // kernel buffer has been empty on two consecutive checks (loopback delivery
+  // is near-synchronous, so this converges in a few milliseconds).
+  int stable = 0;
+  for (int spin = 0; spin < 500 && stable < 2; ++spin) {
+    bool all_empty = true;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const HostState& hs : hosts_) {
+        if (hs.fd < 0) continue;
+        int pending = 0;
+        if (::ioctl(hs.fd, FIONREAD, &pending) == 0 && pending > 0) {
+          all_empty = false;
+          break;
+        }
+      }
+    }
+    stable = all_empty ? stable + 1 : 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace ftl::net

@@ -1,0 +1,148 @@
+// UdpTransport: the real-socket Transport backend (docs/TRANSPORT.md).
+//
+// One non-blocking UDP socket per LOCAL host, each drained by a receiver
+// thread into the host's inbox queue; sends go straight to the destination
+// host's socket address. The same process can own every host (loopback
+// testing, bench_e14_transport) or just one of them (tools/ftl-node runs a
+// tuple server or client per OS process and lists the peers in a hosts
+// file).
+//
+// Wire framing (length-delimited by the datagram itself, fields encoded
+// with common/serde, little-endian):
+//
+//   u16 magic (0xF71D) | u16 type | u32 src | u32 dst | u32 incarnation |
+//   u32 payload_len | payload bytes
+//
+// Frames that fail to decode, carry the wrong magic, or arrive for the
+// wrong host are dropped and counted in messages_dropped of the RECEIVING
+// host (malformed traffic is the receiver's problem; send-side drops —
+// filter, loss injection, EMSGSIZE — are the sender's).
+//
+// Crash semantics. crash(h) marks the host, stops its receiver thread,
+// closes its socket, and QUARANTINES its port: nothing listens there until
+// recover(h) rebinds the same port. The incarnation field makes the
+// fail-silent contract exact even though real sockets have no global
+// in-flight heap to purge: every crash(h) bumps h's incarnation, sends are
+// stamped with the sender's current incarnation, and receivers drop frames
+// whose incarnation is below the highest they have seen for that source —
+// so a datagram a host sent before crashing can never be delivered after
+// the crash, not even to the host's own rejoined incarnation.
+//
+// Known caveats (also in docs/TRANSPORT.md):
+//  - payloads are bounded by the UDP datagram limit (~64 KiB with the
+//    framing overhead); oversized sends are dropped and counted;
+//  - kernel socket buffers can overflow under burst load — real loss, which
+//    the Consul layer already retransmits around (rcvbuf_bytes raises the
+//    ceiling);
+//  - crash()/isCrashed() of a REMOTE host only suppresses local delivery
+//    from it; it cannot stop the remote process (ftl-node kills processes
+//    for real crash testing).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+
+namespace ftl::net {
+
+struct UdpTransportConfig {
+  /// Address the local hosts' sockets bind to.
+  std::string bind_address = "127.0.0.1";
+  /// Host i binds (and is reached at) port_base + i. 0 = kernel-assigned
+  /// ephemeral ports, which only works when every host is local to this
+  /// process (peers learn each other's ports through shared memory).
+  std::uint16_t port_base = 0;
+  /// Multi-process deployments: "ip:port" per host id, overriding
+  /// bind_address/port_base for REMOTE hosts. Empty = all hosts local.
+  std::vector<std::string> peer_addresses;
+  /// Hosts this process owns sockets for. Empty = all of them.
+  std::vector<HostId> local_hosts;
+  /// Send-side probabilistic loss injection, mirroring
+  /// NetworkConfig::drop_probability.
+  double drop_probability = 0.0;
+  /// Seed for the loss RNG.
+  std::uint64_t seed = 42;
+  /// SO_RCVBUF request per socket (burst headroom on loopback).
+  int rcvbuf_bytes = 1 << 20;
+};
+
+class UdpTransport final : public Transport {
+ public:
+  explicit UdpTransport(std::uint32_t host_count, UdpTransportConfig config = {});
+  ~UdpTransport() override;
+
+  std::uint32_t hostCount() const override {
+    return static_cast<std::uint32_t>(hosts_.size());
+  }
+
+  /// The UDP port a local host is bound to (resolves ephemeral ports).
+  std::uint16_t port(HostId host) const;
+  bool isLocal(HostId host) const;
+
+  void crash(HostId host) override;
+  void recover(HostId host) override;
+  bool isCrashed(HostId host) const override;
+
+  TrafficStats stats(HostId host) const override;
+  TrafficStats totalStats() const override;
+  std::map<std::uint16_t, std::uint64_t> sentByType() const override;
+  void resetStats() override;
+  void setDropFilter(DropFilter filter) override;
+
+  /// Settles once every local socket's kernel receive buffer has drained
+  /// into the inboxes and stayed empty briefly. Real sockets have no global
+  /// in-flight heap, so this is a bounded-wait barrier (~1 s worst case),
+  /// not an exact one; loopback delivery is effectively synchronous, which
+  /// is what makes it reliable in practice.
+  void drain() override;
+
+ protected:
+  void sendMessage(Message msg) override;
+  std::optional<Message> recvOn(HostId host) override;
+  std::optional<Message> recvOnFor(HostId host, Micros timeout) override;
+  std::optional<Message> tryRecvOn(HostId host) override;
+
+ private:
+  struct HostState {
+    bool local = false;
+    int fd = -1;
+    std::uint16_t port = 0;                    // bound (local) or peer port
+    std::uint32_t peer_ip = 0;                 // network byte order
+    std::unique_ptr<BlockingQueue<Message>> inbox;  // local hosts only
+    std::unique_ptr<std::atomic<bool>> stop;        // receiver-thread flag
+    std::thread rx;
+  };
+
+  void openSocket(HostId host, std::uint16_t bind_port);
+  void startReceiver(HostId host);
+  /// Stop + join host's receiver and close its socket (idempotent).
+  void teardownSocket(HostId host);
+  void receiverLoop(HostId host, int fd, std::atomic<bool>* stop);
+  /// Decode + filter one datagram; push to the inbox on acceptance.
+  void deliverFrame(HostId host, const std::uint8_t* data, std::size_t len);
+  BlockingQueue<Message>& inboxOf(HostId host);
+
+  UdpTransportConfig config_;
+  std::vector<HostState> hosts_;
+
+  mutable std::mutex mutex_;  // guards everything below (fds are thread-owned)
+  std::vector<bool> crashed_;
+  /// Highest incarnation known per host: bumped by local crash(), raised by
+  /// frames from remotes that recovered. Frames below it are stale.
+  std::vector<std::uint32_t> incarnation_;
+  std::vector<TrafficStats> stats_;
+  std::vector<std::uint64_t> sent_by_type_;
+  DropFilter drop_filter_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ftl::net

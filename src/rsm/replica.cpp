@@ -4,7 +4,7 @@
 
 namespace ftl::rsm {
 
-Replica::Replica(net::Network& net, net::HostId self, std::vector<net::HostId> group,
+Replica::Replica(net::Transport& net, net::HostId self, std::vector<net::HostId> group,
                  consul::ConsulConfig cfg, StateMachine& sm, bool join_existing)
     : sm_(sm) {
   consul::ConsulNode::Callbacks cb;

@@ -21,7 +21,7 @@ class Replica {
   /// The replica does not own `sm`; it must outlive the replica.
   /// `join_existing=true` constructs a recovering replica that must
   /// join() before participating.
-  Replica(net::Network& net, net::HostId self, std::vector<net::HostId> group,
+  Replica(net::Transport& net, net::HostId self, std::vector<net::HostId> group,
           consul::ConsulConfig cfg, StateMachine& sm, bool join_existing = false);
 
   /// Register a handler for non-Consul messages at this host's endpoint

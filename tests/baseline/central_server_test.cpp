@@ -1,3 +1,4 @@
+#include "net/network.hpp"
 #include "baseline/central_server.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+#include "net/network.hpp"
 #include "baseline/two_phase.hpp"
 
 #include <gtest/gtest.h>

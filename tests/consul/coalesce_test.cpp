@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <map>
 
+#include "net/network.hpp"
 #include "consul/consul_test_util.hpp"
 
 namespace ftl::consul {

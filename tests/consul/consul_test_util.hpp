@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "consul/node.hpp"
+#include "net/network.hpp"
 
 namespace ftl::consul::testutil {
 
@@ -79,22 +80,32 @@ struct AppLog {
   }
 };
 
-/// A cluster of ConsulNodes over one Network. Node i runs on host i.
+/// A cluster of ConsulNodes over one Transport. Node i runs on host i.
+/// The default is the simulator; pass any Transport to run the same
+/// protocol scenarios over real sockets (tests/consul/udp_failover_test.cpp).
 class Cluster {
  public:
   Cluster(std::uint32_t n, net::NetworkConfig net_cfg = {}, ConsulConfig cfg = fastConfig())
-      : net_(n, net_cfg), cfg_(cfg), logs_(n) {
+      : Cluster(std::make_unique<net::SimTransport>(n, net_cfg), cfg) {}
+
+  Cluster(std::unique_ptr<net::Transport> transport, ConsulConfig cfg = fastConfig())
+      : net_(std::move(transport)), cfg_(cfg), logs_(net_->hostCount()) {
+    const std::uint32_t n = net_->hostCount();
     std::vector<net::HostId> group;
     for (std::uint32_t i = 0; i < n; ++i) group.push_back(i);
     for (std::uint32_t i = 0; i < n; ++i) {
-      nodes_.push_back(std::make_unique<ConsulNode>(net_, i, group, cfg_, callbacksFor(i)));
+      nodes_.push_back(std::make_unique<ConsulNode>(*net_, i, group, cfg_, callbacksFor(i)));
     }
     for (auto& node : nodes_) node->start();
   }
 
+  ~Cluster() {
+    nodes_.clear();  // endpoints die before the transport (lifetime rule)
+  }
+
   ConsulNode& node(std::uint32_t i) { return *nodes_[i]; }
   AppLog& log(std::uint32_t i) { return logs_[i]; }
-  net::Network& network() { return net_; }
+  net::Transport& network() { return *net_; }
   const ConsulConfig& config() const { return cfg_; }
 
   std::string broadcastString(std::uint32_t i, const std::string& s) {
@@ -105,10 +116,10 @@ class Cluster {
   /// Replace node i with a fresh recovering instance that joins the group.
   void restartAsJoiner(std::uint32_t i, std::uint64_t incarnation) {
     nodes_[i].reset();  // joins the old (dead) service thread
-    net_.recover(i);
+    net_->recover(i);
     std::vector<net::HostId> group;
-    for (std::uint32_t h = 0; h < net_.hostCount(); ++h) group.push_back(h);
-    nodes_[i] = std::make_unique<ConsulNode>(net_, i, group, cfg_, callbacksFor(i),
+    for (std::uint32_t h = 0; h < net_->hostCount(); ++h) group.push_back(h);
+    nodes_[i] = std::make_unique<ConsulNode>(*net_, i, group, cfg_, callbacksFor(i),
                                              /*join_existing=*/true);
     nodes_[i]->start();
     nodes_[i]->joinGroup(incarnation);
@@ -145,7 +156,7 @@ class Cluster {
     return cb;
   }
 
-  net::Network net_;
+  std::unique_ptr<net::Transport> net_;
   ConsulConfig cfg_;
   std::vector<AppLog> logs_;
   std::vector<std::unique_ptr<ConsulNode>> nodes_;

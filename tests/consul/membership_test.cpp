@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "net/network.hpp"
 #include "consul/consul_test_util.hpp"
 
 namespace ftl::consul {

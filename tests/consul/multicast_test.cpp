@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "net/network.hpp"
 #include "consul/consul_test_util.hpp"
 
 namespace ftl::consul {

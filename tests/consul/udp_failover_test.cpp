@@ -1,0 +1,148 @@
+// The Consul failover scenarios from recovery_test/coalesce_test replayed
+// over REAL UDP sockets (loopback), including a deterministic drop schedule.
+// Same protocol, same assertions — only the wire is different. Passing here
+// means the stack's fault tolerance does not secretly depend on simulator
+// conveniences (global in-flight purge, synchronous delivery).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consul/consul_test_util.hpp"
+#include "net/udp_transport.hpp"
+
+namespace ftl::consul {
+namespace {
+
+using testutil::Cluster;
+using testutil::waitUntil;
+
+std::unique_ptr<net::UdpTransport> loopbackNet(std::uint32_t hosts) {
+  // Ephemeral ports: parallel test binaries never collide.
+  return std::make_unique<net::UdpTransport>(hosts, net::UdpTransportConfig{});
+}
+
+/// UDP timers: like testutil::lossyConfig() but with extra slack — loopback
+/// delivery is fast, yet receiver threads wake on a 20ms poll granularity.
+ConsulConfig udpConfig() {
+  ConsulConfig cfg = testutil::lossyConfig();
+  cfg.failure_timeout = Micros{400'000};
+  cfg.view_change_timeout = Micros{600'000};
+  return cfg;
+}
+
+std::vector<std::string> burst(Cluster& c, std::uint32_t origin, const std::string& prefix,
+                               int n) {
+  std::vector<std::string> sent;
+  for (int i = 0; i < n; ++i) {
+    sent.push_back(c.broadcastString(origin, prefix + std::to_string(i)));
+  }
+  return sent;
+}
+
+/// Per-origin subsequence of `history` (payloads are prefixed per origin).
+std::vector<std::string> withPrefix(const std::vector<std::string>& history,
+                                    const std::string& prefix) {
+  std::vector<std::string> out;
+  for (const auto& s : history) {
+    if (s.rfind(prefix, 0) == 0) out.push_back(s);
+  }
+  return out;
+}
+
+TEST(UdpFailover, TotalOrderAcrossRealSockets) {
+  Cluster c(loopbackNet(3), udpConfig());
+  const auto sent = burst(c, 1, "m", 40);
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 40; }, Millis{15'000}))
+        << "node " << n << " got " << c.log(n).deliveredCount();
+  }
+  const auto ref = c.log(0).history();
+  for (int n = 1; n < 3; ++n) EXPECT_EQ(c.log(n).history(), ref) << "node " << n;
+  EXPECT_EQ(withPrefix(ref, "m"), sent);
+}
+
+TEST(UdpFailover, CrashRejoinSnapshotDigestMatches) {
+  Cluster c(loopbackNet(3), udpConfig());
+  const auto pre = burst(c, 0, "pre", 5);
+  ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == 5; }, Millis{15'000}));
+
+  c.network().crash(2);
+  ASSERT_TRUE(waitUntil(
+      [&] { return c.log(0).lastView().members == std::vector<net::HostId>{0, 1}; },
+      Millis{15'000}));
+  const auto mid = burst(c, 1, "mid", 5);
+  ASSERT_TRUE(waitUntil([&] { return c.log(0).deliveredCount() == 10; }, Millis{15'000}));
+
+  c.restartAsJoiner(2, /*incarnation=*/1);
+  ASSERT_TRUE(waitUntil([&] { return c.node(2).isMember(); }, Millis{20'000}));
+  ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == 10; }, Millis{15'000}));
+  // Snapshot + live suffix must reconstruct the identical history (the
+  // "digest equality on both backends" acceptance check).
+  EXPECT_EQ(c.log(2).history(), c.log(0).history());
+  EXPECT_EQ(withPrefix(c.log(2).history(), "pre"), pre);
+  EXPECT_EQ(withPrefix(c.log(2).history(), "mid"), mid);
+
+  c.broadcastString(0, "post");
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 11; }, Millis{15'000}))
+        << "node " << n;
+  }
+  EXPECT_EQ(c.log(2).history(), c.log(0).history());
+}
+
+TEST(UdpFailover, DeterministicDropScheduleDeliversExactlyOnce) {
+  Cluster c(loopbackNet(3), udpConfig());
+  // Deterministic schedule: kill every 3rd non-heartbeat protocol frame.
+  // Retransmission must fill the gaps without ever double-applying.
+  auto counter = std::make_shared<std::atomic<std::uint64_t>>(0);
+  c.network().setDropFilter([counter](const net::Message& m) {
+    if (m.type == static_cast<std::uint16_t>(MsgType::Heartbeat)) return false;
+    return counter->fetch_add(1) % 3 == 2;  // no false suspicion, just loss
+  });
+  const auto sent1 = burst(c, 1, "a", 25);
+  const auto sent2 = burst(c, 2, "b", 25);
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(waitUntil([&] { return c.log(n).deliveredCount() == 50; }, Millis{30'000}))
+        << "node " << n << " got " << c.log(n).deliveredCount();
+  }
+  const auto ref = c.log(0).history();
+  for (int n = 1; n < 3; ++n) EXPECT_EQ(c.log(n).history(), ref) << "node " << n;
+  // Exactly once, per-origin FIFO, despite the dropped frames.
+  EXPECT_EQ(withPrefix(ref, "a"), sent1);
+  EXPECT_EQ(withPrefix(ref, "b"), sent2);
+  EXPECT_GT(c.network().totalStats().messages_dropped, 0u);
+}
+
+TEST(UdpFailover, RejoinUnderDropScheduleIsExactlyOnce) {
+  Cluster c(loopbackNet(3), udpConfig());
+  const auto pre = burst(c, 0, "pre", 10);
+  ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == 10; }, Millis{15'000}));
+  c.network().crash(2);
+  ASSERT_TRUE(waitUntil(
+      [&] { return c.log(0).lastView().members == std::vector<net::HostId>{0, 1}; },
+      Millis{15'000}));
+  const auto mid = burst(c, 1, "mid", 15);
+
+  // The joiner comes back through a lossy wire: every 4th frame of the
+  // snapshot/catch-up exchange dies, deterministically.
+  auto counter = std::make_shared<std::atomic<std::uint64_t>>(0);
+  c.network().setDropFilter([counter](const net::Message& m) {
+    if (m.type == static_cast<std::uint16_t>(MsgType::Heartbeat)) return false;
+    return counter->fetch_add(1) % 4 == 3;
+  });
+  c.restartAsJoiner(2, /*incarnation=*/1);
+  ASSERT_TRUE(waitUntil([&] { return c.node(2).isMember(); }, Millis{30'000}));
+  ASSERT_TRUE(waitUntil([&] { return c.log(2).deliveredCount() == 25; }, Millis{30'000}))
+      << "joiner got " << c.log(2).deliveredCount();
+  c.network().setDropFilter(nullptr);
+
+  EXPECT_EQ(c.log(2).history(), c.log(0).history());
+  EXPECT_EQ(withPrefix(c.log(2).history(), "pre"), pre);
+  EXPECT_EQ(withPrefix(c.log(2).history(), "mid"), mid);
+}
+
+}  // namespace
+}  // namespace ftl::consul

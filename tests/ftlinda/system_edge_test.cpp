@@ -21,6 +21,52 @@ TEST(SystemEdge, BadConfigRejected) {
   EXPECT_THROW(FtLindaSystem{cfg}, ContractViolation);
 }
 
+// Regression for the consul-config defaulting: the old all-or-nothing merge
+// copied simulationConsulConfig() over the whole struct and hand-restored
+// the fields it knew about — a new knob was silently clobbered back to its
+// default. The merge helper must leave EVERY caller-set field alone.
+TEST(SystemEdge, ConsulConfigMergePreservesEveryUserSetting) {
+  consul::ConsulConfig user;
+  // Set every public knob to a sentinel no default could equal.
+  user.heartbeat_interval = Micros{111};
+  user.failure_timeout = Micros{222};
+  user.tick = Micros{333};
+  user.request_retransmit = Micros{444};
+  user.nack_timeout = Micros{555};
+  user.ack_interval = Micros{666};
+  user.view_change_timeout = Micros{777};
+  user.max_apply_batch = 888;
+  user.apply_batch_window = Micros{999};
+  user.max_send_batch = 1111;
+
+  const consul::ConsulConfig merged = mergedConsulConfig(user);
+  EXPECT_EQ(merged.heartbeat_interval, Micros{111});
+  EXPECT_EQ(merged.failure_timeout, Micros{222});
+  EXPECT_EQ(merged.tick, Micros{333});
+  EXPECT_EQ(merged.request_retransmit, Micros{444});
+  EXPECT_EQ(merged.nack_timeout, Micros{555});
+  EXPECT_EQ(merged.ack_interval, Micros{666});
+  EXPECT_EQ(merged.view_change_timeout, Micros{777});
+  EXPECT_EQ(merged.max_apply_batch, 888u);
+  EXPECT_EQ(merged.apply_batch_window, Micros{999});
+  EXPECT_EQ(merged.max_send_batch, 1111u);
+}
+
+TEST(SystemEdge, ConsulConfigMergeDefaultsOnlyUntouchedTimers) {
+  consul::ConsulConfig user;  // everything at the declared defaults
+  user.failure_timeout = Micros{12'345};
+  const consul::ConsulConfig merged = mergedConsulConfig(user);
+  const consul::ConsulConfig sim = simulationConsulConfig();
+  // The one timer the caller set survives; its untouched siblings get
+  // simulation-speed values; batching knobs keep their declared defaults.
+  EXPECT_EQ(merged.failure_timeout, Micros{12'345});
+  EXPECT_EQ(merged.heartbeat_interval, sim.heartbeat_interval);
+  EXPECT_EQ(merged.tick, sim.tick);
+  EXPECT_EQ(merged.view_change_timeout, sim.view_change_timeout);
+  EXPECT_EQ(merged.max_apply_batch, consul::ConsulConfig{}.max_apply_batch);
+  EXPECT_EQ(merged.max_send_batch, consul::ConsulConfig{}.max_send_batch);
+}
+
 TEST(SystemEdge, WrongRuntimeAccessorThrows) {
   SystemConfig cfg;
   cfg.hosts = 3;

@@ -1,6 +1,7 @@
 // End-to-end FT-Linda system tests: the full stack (runtime -> state machine
 // -> replica -> consul -> simulated network) on several hosts, including
 // crash/recovery behaviour (DESIGN.md invariants 3-7).
+#include "net/network.hpp"
 #include "ftlinda/system.hpp"
 
 #include <gtest/gtest.h>

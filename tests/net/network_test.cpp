@@ -115,6 +115,43 @@ TEST(Network, InFlightMessagesToCrashedHostDropped) {
   EXPECT_EQ(b.recvFor(Micros{100'000}), std::nullopt);
 }
 
+// Regression: crash() used to purge/suppress only traffic ADDRESSED TO the
+// crashed host; its own in-flight sends stayed scheduled and were delivered
+// after the crash, violating the fail-silent model.
+TEST(Network, InFlightMessagesFromCrashedHostDropped) {
+  NetworkConfig cfg;
+  cfg.latency_mean = Micros{30'000};
+  Network net(2, cfg);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  for (int i = 0; i < 10; ++i) a.send(1, 0, payload(1));
+  net.crash(0);  // the burst is still in flight: nothing may arrive
+  EXPECT_EQ(b.recvFor(Micros{120'000}), std::nullopt);
+  EXPECT_EQ(net.stats(1).messages_delivered, 0u);
+}
+
+// Regression: a fast crash→recover→rejoin must not resurrect the dead
+// incarnation's in-flight sends — not at the peer, and not at the rejoined
+// host itself (self-addressed ghosts confused the old delivery check most).
+TEST(Network, FastRejoinSeesNoStaleIncarnationTraffic) {
+  NetworkConfig cfg;
+  cfg.latency_mean = Micros{30'000};
+  Network net(2, cfg);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  a.send(1, 7, payload(1));
+  b.send(0, 7, payload(2));
+  net.crash(0);
+  net.recover(0);  // rejoin faster than the 30ms flight time
+  EXPECT_EQ(a.recvFor(Micros{120'000}), std::nullopt);
+  EXPECT_EQ(b.recvFor(Micros{120'000}), std::nullopt);
+  // The fresh incarnation's own traffic flows normally.
+  a.send(1, 8, payload(3));
+  auto m = b.recvFor(Micros{500'000});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, 8u);
+}
+
 TEST(Network, DropProbabilityLosesMessages) {
   NetworkConfig cfg;
   cfg.drop_probability = 1.0;

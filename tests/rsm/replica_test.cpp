@@ -1,5 +1,6 @@
 // Replica + StateMachine harness: determinism across replicas, snapshots,
 // membership upcalls (DESIGN.md invariant 2).
+#include "net/network.hpp"
 #include "rsm/replica.hpp"
 
 #include <gtest/gtest.h>

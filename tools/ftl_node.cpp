@@ -1,0 +1,211 @@
+// ftl-node: one FT-Linda host in its own OS process, over UdpTransport.
+//
+// The single-process default (FtLindaSystem) is great for tests and
+// benches; this launcher is the multi-process deployment the paper actually
+// describes — each workstation runs its own stack and they meet on the
+// wire. Host ids come from a shared hosts file (or --num-hosts/--port-base
+// for loopback); the first --servers ids run a TS replica + tuple-server
+// request handler, the rest are RPC clients.
+//
+//   # terminal 1 and 2: the replica group
+//   ftl-node --num-hosts 3 --port-base 7400 --servers 2 --id 0
+//   ftl-node --num-hosts 3 --port-base 7400 --servers 2 --id 1
+//   # terminal 3: a client that runs a demo workload and exits
+//   ftl-node --num-hosts 3 --port-base 7400 --servers 2 --id 2 --ops 50
+//
+// See docs/TRANSPORT.md and tools/smoke_transport.sh (the CI smoke test).
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/serde.hpp"
+#include "ftlinda/system.hpp"
+#include "net/udp_transport.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void onSignal(int) { g_stop.store(true); }
+
+struct NodeOptions {
+  std::vector<std::string> peers;  // "ip:port" per host id
+  std::uint32_t id = 0;
+  std::uint32_t servers = 1;
+  int ops = 50;          // client workload size
+  int run_for_sec = 0;   // server lifetime; 0 = until SIGINT/SIGTERM
+  bool help = false;
+};
+
+void usage() {
+  std::cout <<
+      "ftl-node: run one FT-Linda host (tuple server or client) in this process\n"
+      "  --hosts <file>      hosts file, one ip:port per line; host id = line index\n"
+      "  --num-hosts <n>     alternative: n hosts on loopback ...\n"
+      "  --port-base <p>     ... at 127.0.0.1:(p+id)\n"
+      "  --id <i>            which host THIS process is (required)\n"
+      "  --servers <k>       the first k hosts are TS replicas/tuple servers (default 1)\n"
+      "  --ops <n>           client workload: n out+in round trips (default 50)\n"
+      "  --run-for <sec>     server lifetime in seconds; 0 = until SIGINT (default)\n";
+}
+
+bool parseArgs(int argc, char** argv, NodeOptions& opt) {
+  std::string hosts_file;
+  std::uint32_t num_hosts = 0;
+  std::uint16_t port_base = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw ftl::Error("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--hosts") hosts_file = next();
+    else if (a == "--num-hosts") num_hosts = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (a == "--port-base") port_base = static_cast<std::uint16_t>(std::stoul(next()));
+    else if (a == "--id") opt.id = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (a == "--servers") opt.servers = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (a == "--ops") opt.ops = std::stoi(next());
+    else if (a == "--run-for") opt.run_for_sec = std::stoi(next());
+    else if (a == "--help" || a == "-h") { opt.help = true; return true; }
+    else throw ftl::Error("unknown flag " + a);
+  }
+  if (!hosts_file.empty()) {
+    std::ifstream in(hosts_file);
+    if (!in) throw ftl::Error("cannot read hosts file " + hosts_file);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') opt.peers.push_back(line);
+    }
+  } else {
+    for (std::uint32_t h = 0; h < num_hosts; ++h) {
+      opt.peers.push_back("127.0.0.1:" + std::to_string(port_base + h));
+    }
+  }
+  if (opt.peers.size() < 2) throw ftl::Error("need at least 2 hosts (--hosts or --num-hosts)");
+  if (opt.id >= opt.peers.size()) throw ftl::Error("--id out of range");
+  if (opt.servers == 0 || opt.servers > opt.peers.size())
+    throw ftl::Error("--servers out of range");
+  return true;
+}
+
+ftl::net::UdpTransportConfig transportConfig(const NodeOptions& opt) {
+  ftl::net::UdpTransportConfig cfg;
+  cfg.peer_addresses = opt.peers;
+  cfg.local_hosts = {opt.id};
+  return cfg;
+}
+
+/// Cross-process timers: simulation-speed heartbeats, but failure detection
+/// slack for OS scheduling + the receivers' 20ms poll granularity.
+ftl::consul::ConsulConfig nodeConsulConfig() {
+  ftl::consul::ConsulConfig cfg = ftl::ftlinda::simulationConsulConfig();
+  cfg.heartbeat_interval = ftl::Micros{50'000};
+  cfg.failure_timeout = ftl::Micros{1'000'000};
+  cfg.view_change_timeout = ftl::Micros{1'500'000};
+  return cfg;
+}
+
+int runServer(const NodeOptions& opt) {
+  using namespace ftl;
+  net::UdpTransport net(static_cast<std::uint32_t>(opt.peers.size()), transportConfig(opt));
+  std::vector<net::HostId> group;
+  for (std::uint32_t h = 0; h < opt.servers; ++h) group.push_back(h);
+
+  ftlinda::TsStateMachine sm;
+  rsm::Replica replica(net, opt.id, group, nodeConsulConfig(), sm);
+  ftlinda::TupleServer server(net, replica, sm);  // before start(): registers handler
+  replica.start();
+
+  std::cout << "ftl-node server ready id=" << opt.id << " port=" << net.port(opt.id)
+            << " group=" << opt.servers << std::endl;
+  const auto deadline =
+      Clock::now() + std::chrono::seconds(opt.run_for_sec > 0 ? opt.run_for_sec : 86'400);
+  while (!g_stop.load() && Clock::now() < deadline) {
+    std::this_thread::sleep_for(Millis{50});
+  }
+  std::cout << "ftl-node server id=" << opt.id << " shutting down (delivered="
+            << replica.delivered() << ")" << std::endl;
+  replica.shutdown();
+  return 0;
+}
+
+/// Block until the assigned tuple server answers a stats ping (it may still
+/// be binding its socket or electing the first view).
+void awaitServer(ftl::net::UdpTransport& net, std::uint32_t id, std::uint32_t server) {
+  using namespace ftl;
+  auto ep = net.endpoint(id);
+  for (int attempt = 0; attempt < 150; ++attempt) {
+    Writer w;
+    w.u64(0);  // rid 0: a throwaway probe
+    ep.send(server, ftlinda::kRpcStatsType, w.buffer());
+    if (ep.recvFor(Micros{200'000}).has_value()) {
+      // Flush any duplicate replies from earlier retries so the runtime's
+      // receive thread starts with a clean inbox.
+      while (ep.tryRecv().has_value()) {
+      }
+      return;
+    }
+  }
+  throw Error("tuple server " + std::to_string(server) + " did not answer");
+}
+
+int runClient(const NodeOptions& opt) {
+  using namespace ftl;
+  using tuple::fInt;
+  using tuple::makePattern;
+  using tuple::makeTuple;
+
+  net::UdpTransport net(static_cast<std::uint32_t>(opt.peers.size()), transportConfig(opt));
+  const std::uint32_t server = opt.id % opt.servers;
+  awaitServer(net, opt.id, server);
+
+  ftlinda::RemoteRuntime rt(net, opt.id, server);
+  rt.start();
+  const int me = static_cast<int>(opt.id);
+  for (int i = 0; i < opt.ops; ++i) {
+    rt.out(ts::kTsMain, makeTuple("smoke", me, i));
+    const tuple::Tuple got = rt.in(ts::kTsMain, makePattern("smoke", me, fInt()));
+    if (got.field(2).asInt() != i) {
+      std::cerr << "ftl-node client id=" << opt.id << " FIFO violation at op " << i
+                << std::endl;
+      return 1;
+    }
+  }
+  // Leave a calling card other processes can see (and the smoke test asserts
+  // survives server failover).
+  rt.out(ts::kTsMain, makeTuple("done", me, opt.ops));
+  std::cout << "ftl-node client ok id=" << opt.id << " server=" << server
+            << " ops=" << opt.ops << std::endl;
+  rt.shutdown();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  NodeOptions opt;
+  try {
+    parseArgs(argc, argv, opt);
+  } catch (const std::exception& e) {
+    std::cerr << "ftl-node: " << e.what() << "\n";
+    usage();
+    return 2;
+  }
+  if (opt.help) {
+    usage();
+    return 0;
+  }
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  try {
+    return opt.id < opt.servers ? runServer(opt) : runClient(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "ftl-node id=" << opt.id << " failed: " << e.what() << std::endl;
+    return 1;
+  }
+}

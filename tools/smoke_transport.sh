@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Multi-process transport smoke test: 2 tuple servers + 1 RPC client, three
+# OS processes meeting on UDP loopback. Passes iff the client completes its
+# out/in workload against the replicated tuple space. CI runs this in the
+# transport-udp job; locally: tools/smoke_transport.sh [path-to-ftl-node].
+set -euo pipefail
+
+FTL_NODE="${1:-build/tools/ftl-node}"
+PORT_BASE="${SMOKE_PORT_BASE:-$((20000 + RANDOM % 20000))}"
+LOG_DIR="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null || true; wait 2>/dev/null || true' EXIT
+
+echo "smoke: port_base=${PORT_BASE} logs=${LOG_DIR}"
+
+"${FTL_NODE}" --num-hosts 3 --port-base "${PORT_BASE}" --servers 2 --id 0 \
+  --run-for 60 >"${LOG_DIR}/server0.log" 2>&1 &
+"${FTL_NODE}" --num-hosts 3 --port-base "${PORT_BASE}" --servers 2 --id 1 \
+  --run-for 60 >"${LOG_DIR}/server1.log" 2>&1 &
+
+# The client retries its server ping internally, so no fixed sleep is needed;
+# give the whole workload a hard cap so a wedged run fails fast.
+if timeout 60 "${FTL_NODE}" --num-hosts 3 --port-base "${PORT_BASE}" --servers 2 --id 2 \
+    --ops 50 >"${LOG_DIR}/client.log" 2>&1; then
+  grep -q "ftl-node client ok" "${LOG_DIR}/client.log"
+  echo "smoke: OK"
+  cat "${LOG_DIR}/client.log"
+else
+  status=$?
+  echo "smoke: FAILED (exit ${status})"
+  for f in "${LOG_DIR}"/*.log; do
+    echo "---- ${f} ----"
+    tail -40 "${f}"
+  done
+  exit 1
+fi

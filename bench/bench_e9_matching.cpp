@@ -92,6 +92,37 @@ void BM_E9_BucketedPut(benchmark::State& state) {
 }
 BENCHMARK(BM_E9_BucketedPut)->Arg(1)->Arg(16)->Arg(256);
 
+/// Read-mostly (distributed-variable) workload, the shape the whole-program
+/// analyzer detects and plans for: many names resident, repeated rd of one
+/// class. range(1) selects the storage plan: 0 = none (bucket + chain
+/// lookup per read), 1 = analyzer plan marking the class read_mostly (the
+/// one-entry read cache short-circuits both lookups). The ftl_plan_read_
+/// cache_hit counter confirms the specialized path served the reads.
+void BM_E9_DistVarRead(benchmark::State& state) {
+  const int groups = static_cast<int>(state.range(0));
+  const bool planned = state.range(1) != 0;
+  TupleSpace space;
+  if (planned) {
+    auto plan = std::make_shared<ts::StoragePlan>();
+    ts::PlanEntry e;
+    e.paradigm = ts::Paradigm::DistributedVariable;
+    e.read_mostly = true;
+    plan->add(tuple::signatureOf(makeTuple(nameFor(0), 0)), nameFor(groups - 1), e);
+    space.setPlan(std::move(plan));
+  }
+  for (int i = 0; i < groups; ++i) space.put(makeTuple(nameFor(i), i));
+  const Pattern probe = makePattern(nameFor(groups - 1), fInt());
+  for (auto _ : state) {
+    auto t = space.read(probe);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_E9_DistVarRead)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
 /// take() with a leading formal: the store must check multiple chains but
 /// still stay far below a full scan.
 void BM_E9_BucketedFormalFirst(benchmark::State& state) {

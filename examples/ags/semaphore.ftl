@@ -1,0 +1,24 @@
+# Semaphore (paper sec. 3): a counting semaphore is just tokens in the
+# stable space — no data rides on them, the count IS the number of copies.
+# The initial deposit below sets the count to 1 (a mutex); deposit more
+# ("sem") tuples for a counting semaphore.
+
+("sem")
+
+# P(sem): block until a token exists, withdraw it atomically.
+
+< in TSmain ("sem") => skip >
+
+# V(sem): release — deposit a token back.
+
+< true => out TSmain ("sem") >
+
+# A barrier built the same way: the last arriver flips the count tuple
+# into a "go" token every waiter reads (rd does not withdraw, so one
+# deposit releases everyone).
+
+("arrivals", 0)
+
+< in TSmain ("arrivals", ?int) => out TSmain ("arrivals", ?0 + 1) >
+< rd TSmain ("arrivals", 4) => out TSmain ("go") >
+< rd TSmain ("go") => skip >

@@ -1,0 +1,704 @@
+#include "ftlinda/analyze.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "ftlinda/ags_text.hpp"
+#include "tuple/parse.hpp"
+
+namespace ftl::ftlinda {
+
+using tuple::PatternField;
+using tuple::SignatureKey;
+using tuple::signatureOf;
+using tuple::valueTypeName;
+
+namespace {
+
+/// Signature key of an ordered type list (signatures depend only on types,
+/// so a synthetic all-formal pattern hashes identically to any site).
+SignatureKey sigOfTypes(const std::vector<ValueType>& types) {
+  std::vector<PatternField> fields;
+  fields.reserve(types.size());
+  for (const ValueType t : types) fields.push_back(tuple::formal(t));
+  return signatureOf(Pattern(std::move(fields)));
+}
+
+/// How one field of a consumer pattern constrains the tuple field it
+/// matches. `concrete`: a single runtime value (actual or bound formal) —
+/// usable as a shard key. `formal`: matches anything of the type.
+struct FieldView {
+  bool concrete = false;
+  bool formal = false;
+  bool bound_ref = false;  // concrete, but the value flows from the guard
+};
+
+/// One consumer site remembered for the satisfiability pass.
+struct ConsumerSite {
+  ClassId cls;
+  std::int32_t statement = -1;
+  std::int32_t branch = -1;
+  std::int32_t op_index = -1;  // -1: the guard
+  RuleId unsat_rule = RuleId::DeadBodyMatch;
+};
+
+struct SiteAnchor {
+  std::int32_t statement = -1;
+  std::int32_t branch = -1;
+  std::int32_t op_index = -1;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(ProgramAnalysis& out) : out_(out) {}
+
+  void run(const std::vector<Ags>& statements, const std::vector<Tuple>& initial) {
+    for (const Tuple& t : initial) {
+      ClassId c;
+      c.ts = ts::kTsMain;
+      c.sig = signatureOf(t);
+      if (auto n = tuple::nameOf(t)) c.name = *n;
+      std::vector<ValueType> types;
+      types.reserve(t.arity());
+      for (const auto& v : t.fields()) types.push_back(v.type());
+      addProducer(c, types, /*has_data_flow=*/false, {-1, -1, -1});
+    }
+    for (std::size_t i = 0; i < statements.size(); ++i) {
+      const auto idx = static_cast<std::int32_t>(i);
+      const VerifyResult vr = verify(statements[i]);
+      if (!vr.ok()) {
+        out_.invalid.push_back({idx, vr});
+        continue;
+      }
+      statement(statements[i], idx);
+    }
+    finish(statements.empty() && initial.empty());
+  }
+
+ private:
+  // ------------------------------------------------------------- walking --
+
+  void statement(const Ags& ags, std::int32_t idx) {
+    for (std::size_t bi = 0; bi < ags.branches.size(); ++bi) {
+      branch(ags.branches[bi], idx, static_cast<std::int32_t>(bi));
+    }
+  }
+
+  void branch(const Branch& b, std::int32_t stmt, std::int32_t bi) {
+    // Types the guard's formals bind, in slot order (verify() guaranteed
+    // every body reference is in range).
+    std::vector<ValueType> ftypes;
+    for (const auto& f : b.guard.pattern.fields()) {
+      if (f.kind == PatternField::Kind::Formal) ftypes.push_back(f.formal_type);
+    }
+
+    // Classes this branch deposits into — consulted by the distributed-
+    // variable "taker re-deposits" test below.
+    std::vector<ClassId> deposits;
+    for (const BodyOp& op : b.body) {
+      if (op.op == OpCode::Out) {
+        deposits.push_back(templateClass(op.ts, op.tmpl, ftypes));
+      } else if (op.op == OpCode::Move || op.op == OpCode::Copy) {
+        deposits.push_back(patternTemplateClass(op.dst, op.pattern, ftypes));
+      }
+    }
+    const auto redeposits = [&](const ClassId& c) {
+      for (const ClassId& d : deposits) {
+        if (d.ts == c.ts && d.sig == c.sig && (d.dynamic_name || d.name == c.name)) return true;
+      }
+      return false;
+    };
+
+    if (b.guard.kind != Guard::Kind::True) {
+      const ClassId c = guardClass(b.guard);
+      std::vector<ValueType> types;
+      std::vector<FieldView> views;
+      for (const auto& f : b.guard.pattern.fields()) {
+        types.push_back(f.type());
+        FieldView v;
+        v.concrete = f.kind == PatternField::Kind::Actual;
+        v.formal = !v.concrete;
+        views.push_back(v);
+      }
+      addConsumer(c, types, views, b.guard.destructive(), b.guard.blocking(),
+                  redeposits(c), {stmt, bi, -1},
+                  b.guard.blocking() ? RuleId::GuardNeverSatisfied
+                                     : RuleId::DeadConditionalGuard);
+    }
+
+    for (std::size_t oi = 0; oi < b.body.size(); ++oi) {
+      const BodyOp& op = b.body[oi];
+      const SiteAnchor at{stmt, bi, static_cast<std::int32_t>(oi)};
+      switch (op.op) {
+        case OpCode::Out: {
+          const ClassId c = templateClass(op.ts, op.tmpl, ftypes);
+          bool data_flow = false;
+          std::vector<ValueType> types;
+          for (const auto& f : op.tmpl.fields) {
+            types.push_back(templateFieldType(f, ftypes));
+            if (f.kind != TemplateField::Kind::Literal) data_flow = true;
+          }
+          addProducer(c, types, data_flow, at);
+          break;
+        }
+        case OpCode::Inp:
+        case OpCode::Rdp: {
+          const ClassId c = patternTemplateClass(op.ts, op.pattern, ftypes);
+          auto [types, views] = patternTemplateShape(op.pattern, ftypes);
+          addConsumer(c, types, views, /*taker=*/op.op == OpCode::Inp,
+                      /*blocking=*/false, redeposits(c), at, RuleId::DeadBodyMatch);
+          break;
+        }
+        case OpCode::Move:
+        case OpCode::Copy: {
+          const ClassId src = patternTemplateClass(op.ts, op.pattern, ftypes);
+          auto [types, views] = patternTemplateShape(op.pattern, ftypes);
+          addConsumer(src, types, views, /*taker=*/op.op == OpCode::Move,
+                      /*blocking=*/false, redeposits(src), at, RuleId::DeadBodyMatch);
+          // The matched tuples land unchanged in dst: a producer whose
+          // values flow from the source space.
+          const ClassId dst = patternTemplateClass(op.dst, op.pattern, ftypes);
+          addProducer(dst, types, /*has_data_flow=*/true, at);
+          break;
+        }
+        case OpCode::CreateTs:
+        case OpCode::DestroyTs:
+          break;
+      }
+    }
+  }
+
+  // ------------------------------------------------ class/type resolution --
+
+  static ValueType templateFieldType(const TemplateField& f,
+                                     const std::vector<ValueType>& ftypes) {
+    if (f.kind == TemplateField::Kind::Literal) return f.literal.type();
+    return ftypes[f.formal_index];
+  }
+
+  static ClassId guardClass(const Guard& g) {
+    ClassId c;
+    c.ts = g.ts;
+    std::vector<ValueType> types;
+    for (const auto& f : g.pattern.fields()) types.push_back(f.type());
+    c.sig = sigOfTypes(types);
+    if (!g.pattern.fields().empty()) {
+      const PatternField& f0 = g.pattern.field(0);
+      if (f0.type() == ValueType::Str) {
+        if (f0.kind == PatternField::Kind::Actual) {
+          c.name = f0.actual.asStr();
+        } else {
+          c.dynamic_name = true;
+        }
+      }
+    }
+    return c;
+  }
+
+  static ClassId templateClass(TsHandle ts, const TupleTemplate& t,
+                               const std::vector<ValueType>& ftypes) {
+    ClassId c;
+    c.ts = ts;
+    std::vector<ValueType> types;
+    for (const auto& f : t.fields) types.push_back(templateFieldType(f, ftypes));
+    c.sig = sigOfTypes(types);
+    if (!t.fields.empty() && types[0] == ValueType::Str) {
+      const TemplateField& f0 = t.fields[0];
+      if (f0.kind == TemplateField::Kind::Literal) {
+        c.name = f0.literal.asStr();
+      } else {
+        c.dynamic_name = true;
+      }
+    }
+    return c;
+  }
+
+  static ClassId patternTemplateClass(TsHandle ts, const PatternTemplate& p,
+                                      const std::vector<ValueType>& ftypes) {
+    ClassId c;
+    c.ts = ts;
+    std::vector<ValueType> types;
+    for (const auto& f : p.fields) {
+      switch (f.kind) {
+        case PatternTemplateField::Kind::Actual:
+          types.push_back(f.actual.type());
+          break;
+        case PatternTemplateField::Kind::Formal:
+          types.push_back(f.formal_type);
+          break;
+        case PatternTemplateField::Kind::BoundRef:
+          types.push_back(ftypes[f.ref]);
+          break;
+      }
+    }
+    c.sig = sigOfTypes(types);
+    if (!p.fields.empty() && types[0] == ValueType::Str) {
+      const PatternTemplateField& f0 = p.fields[0];
+      if (f0.kind == PatternTemplateField::Kind::Actual) {
+        c.name = f0.actual.asStr();
+      } else {
+        c.dynamic_name = true;  // formal or guard-bound: unknown statically
+      }
+    }
+    return c;
+  }
+
+  static std::pair<std::vector<ValueType>, std::vector<FieldView>> patternTemplateShape(
+      const PatternTemplate& p, const std::vector<ValueType>& ftypes) {
+    std::vector<ValueType> types;
+    std::vector<FieldView> views;
+    for (const auto& f : p.fields) {
+      FieldView v;
+      switch (f.kind) {
+        case PatternTemplateField::Kind::Actual:
+          types.push_back(f.actual.type());
+          v.concrete = true;
+          break;
+        case PatternTemplateField::Kind::Formal:
+          types.push_back(f.formal_type);
+          v.formal = true;
+          break;
+        case PatternTemplateField::Kind::BoundRef:
+          types.push_back(ftypes[f.ref]);
+          v.concrete = true;
+          v.bound_ref = true;
+          break;
+      }
+      views.push_back(v);
+    }
+    return {std::move(types), std::move(views)};
+  }
+
+  // --------------------------------------------------------- accumulation --
+
+  ClassInfo& cls(const ClassId& id, const std::vector<ValueType>& types) {
+    auto [it, inserted] = classes_.try_emplace(id);
+    if (inserted) {
+      it->second.id = id;
+      it->second.types = types;
+      it->second.pinned.assign(types.size(), true);
+    }
+    return it->second;
+  }
+
+  void addProducer(const ClassId& id, const std::vector<ValueType>& types, bool has_data_flow,
+                   SiteAnchor at) {
+    ClassInfo& c = cls(id, types);
+    if (c.producers == 0) first_producer_[id] = at;
+    ++c.producers;
+    if (has_data_flow) c.token_only = false;
+  }
+
+  void addConsumer(const ClassId& id, const std::vector<ValueType>& types,
+                   const std::vector<FieldView>& views, bool taker, bool blocking,
+                   bool redeposits, SiteAnchor at, RuleId unsat_rule) {
+    ClassInfo& c = cls(id, types);
+    if (taker) {
+      ++c.takers;
+      if (!redeposits) c.takers_redeposit = false;
+      for (std::size_t i = 1; i < views.size(); ++i) {
+        if (!views[i].formal) c.consumers_all_formal = false;
+      }
+    } else {
+      ++c.readers;
+    }
+    if (blocking) ++c.blocking_guards;
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      if (views[i].formal || views[i].bound_ref) c.token_only = false;
+      if (!views[i].concrete) c.pinned[i] = false;
+    }
+    consumers_.push_back({id, at.statement, at.branch, at.op_index, unsat_rule});
+  }
+
+  // ------------------------------------------------------------ finishing --
+
+  static bool compatible(const ClassId& a, const ClassId& b) {
+    return a.ts == b.ts && a.sig == b.sig &&
+           (a.dynamic_name || b.dynamic_name || a.name == b.name);
+  }
+
+  /// The runtime itself deposits ("failure", host:int) into every monitored
+  /// space, so such consumers are satisfiable in any space.
+  static bool isFailureClass(const ClassId& c) {
+    static const SignatureKey kFailureSig =
+        sigOfTypes({ValueType::Str, ValueType::Int});
+    return c.sig == kFailureSig && (c.dynamic_name || c.name == "failure");
+  }
+
+  bool satisfied(const ClassId& c) const {
+    if (isFailureClass(c)) return true;
+    for (const auto& [id, info] : classes_) {
+      if (info.producers > 0 && compatible(id, c)) return true;
+    }
+    return false;
+  }
+
+  bool consumed(const ClassId& p) const {
+    for (const auto& [id, info] : classes_) {
+      if (info.takers + info.readers > 0 && compatible(id, p)) return true;
+    }
+    return false;
+  }
+
+  /// A producer exists in c's space under c's name with the SAME arity but
+  /// DIFFERENT types: almost certainly a typo'd field type, reported as
+  /// V520 instead of the generic never-satisfied rules.
+  const ClassInfo* conflictingProducer(const ClassId& c) const {
+    if (c.dynamic_name || c.name.empty()) return nullptr;
+    for (const auto& [id, info] : classes_) {
+      if (info.producers == 0 || id.ts != c.ts || id.sig == c.sig) continue;
+      if (id.dynamic_name || id.name != c.name) continue;
+      const auto cit = classes_.find(c);
+      if (cit != classes_.end() && info.types.size() == cit->second.types.size()) return &info;
+    }
+    return nullptr;
+  }
+
+  const ClassInfo* conflictingConsumer(const ClassId& p) const {
+    if (p.dynamic_name || p.name.empty()) return nullptr;
+    for (const auto& [id, info] : classes_) {
+      if (info.takers + info.readers == 0 || id.ts != p.ts || id.sig == p.sig) continue;
+      if (id.dynamic_name || id.name != p.name) continue;
+      const auto pit = classes_.find(p);
+      if (pit != classes_.end() && info.types.size() == pit->second.types.size()) return &info;
+    }
+    return nullptr;
+  }
+
+  void classify(ClassInfo& c) const {
+    if (c.token_only && c.takers > 0 && c.producers > 0) {
+      c.paradigm = ts::Paradigm::Semaphore;
+    } else if (c.readers > 0 && c.producers > 0 &&
+               (c.takers == 0 || c.takers_redeposit)) {
+      c.paradigm = ts::Paradigm::DistributedVariable;
+    } else if (c.takers > 0) {
+      c.paradigm = ts::Paradigm::Queue;
+    } else {
+      c.paradigm = ts::Paradigm::Unknown;
+    }
+  }
+
+  void diagnose(Severity sev, RuleId rule, SiteAnchor at, std::string msg) {
+    ProgramDiagnostic pd;
+    pd.statement = at.statement;
+    pd.diag.severity = sev;
+    pd.diag.branch = at.branch;
+    pd.diag.op_index = at.op_index;
+    pd.diag.rule_id = rule;
+    pd.diag.message = std::move(msg);
+    out_.diagnostics.push_back(std::move(pd));
+  }
+
+  static std::string describeClass(const ClassId& c, const std::vector<ValueType>& types) {
+    std::ostringstream os;
+    os << handleToText(c.ts) << " (";
+    bool sep = false;
+    std::size_t start = 0;
+    if (c.dynamic_name) {
+      os << "<dynamic>";
+      sep = true;
+      start = 1;
+    } else if (!c.name.empty()) {
+      os << '"' << c.name << '"';
+      sep = true;
+      start = 1;
+    }
+    for (std::size_t i = start; i < types.size(); ++i) {
+      if (sep) os << ", ";
+      os << valueTypeName(types[i]);
+      sep = true;
+    }
+    os << ")";
+    return os.str();
+  }
+
+  void finish(bool empty_program) {
+    // Classify every class, then run the satisfiability rules in program
+    // order (consumer sites first, leaks after).
+    for (auto& [id, info] : classes_) classify(info);
+
+    for (const ConsumerSite& s : consumers_) {
+      if (satisfied(s.cls)) continue;
+      const auto cit = classes_.find(s.cls);
+      const auto& types = cit->second.types;
+      if (const ClassInfo* p = conflictingProducer(s.cls)) {
+        std::ostringstream os;
+        os << "type conflict in class " << describeClass(s.cls, types)
+           << ": the only deposits of this name and arity carry types (";
+        for (std::size_t i = 0; i < p->types.size(); ++i) {
+          if (i) os << ", ";
+          os << valueTypeName(p->types[i]);
+        }
+        os << ")";
+        diagnose(Severity::Error, RuleId::ClassTypeConflict,
+                 {s.statement, s.branch, s.op_index}, os.str());
+        continue;
+      }
+      std::ostringstream os;
+      const char* what = s.op_index >= 0 ? "body match" : "guard";
+      os << what << " on class " << describeClass(s.cls, types)
+         << ": no statement or initial tuple deposits into this class";
+      if (s.unsat_rule == RuleId::GuardNeverSatisfied) {
+        os << "; this guard blocks forever";
+        diagnose(Severity::Error, s.unsat_rule, {s.statement, s.branch, s.op_index}, os.str());
+      } else {
+        os << "; this " << what << " can never succeed";
+        diagnose(Severity::Warning, s.unsat_rule, {s.statement, s.branch, s.op_index},
+                 os.str());
+      }
+    }
+
+    for (const auto& [id, info] : classes_) {
+      if (info.producers == 0 || info.takers + info.readers > 0) continue;
+      if (consumed(id)) continue;
+      if (conflictingConsumer(id) != nullptr) continue;  // V520 covers it
+      if (isFailureClass(id)) continue;  // consumed by failure monitors
+      const SiteAnchor at = first_producer_.count(id) ? first_producer_.at(id) : SiteAnchor{};
+      std::ostringstream os;
+      os << "tuple leak: deposits into class " << describeClass(id, info.types)
+         << " are never read or taken by any statement";
+      diagnose(Severity::Warning, RuleId::TupleLeak, at, os.str());
+    }
+
+    emitPlan();
+
+    out_.classes.reserve(classes_.size());
+    for (auto& [id, info] : classes_) out_.classes.push_back(std::move(info));
+    (void)empty_program;
+  }
+
+  void emitPlan() {
+    // Plan entries are keyed (sig, name) only — tuple space handles are a
+    // runtime notion. Classes sharing (sig, name) across spaces merge
+    // conservatively: hints survive only when every class agrees.
+    struct Merged {
+      ts::PlanEntry entry;
+      bool first = true;
+      ts::Paradigm paradigm = ts::Paradigm::Unknown;
+    };
+    std::map<std::pair<SignatureKey, std::string>, Merged> merged;
+    for (const auto& [id, info] : classes_) {
+      const std::string key_name = id.dynamic_name ? std::string() : id.name;
+      Merged& m = merged[{id.sig, key_name}];
+      const bool named = !id.name.empty() && !id.dynamic_name;
+      ts::PlanEntry e;
+      e.paradigm = info.paradigm;
+      e.fifo = named && info.paradigm == ts::Paradigm::Queue && info.consumers_all_formal;
+      e.read_mostly =
+          named && info.paradigm == ts::Paradigm::DistributedVariable && info.readers > 0;
+      e.no_blocking_consumers = info.blocking_guards == 0;
+      e.shard_key_field = -1;
+      if (info.takers + info.readers > 0) {
+        for (std::size_t i = named ? 1 : 0; i < info.pinned.size(); ++i) {
+          if (info.pinned[i]) {
+            e.shard_key_field = static_cast<std::int32_t>(i);
+            break;
+          }
+        }
+      }
+      if (m.first) {
+        m.entry = e;
+        m.paradigm = info.paradigm;
+        m.first = false;
+      } else {
+        if (m.paradigm != info.paradigm) m.entry.paradigm = ts::Paradigm::Unknown;
+        m.entry.fifo = m.entry.fifo && e.fifo;
+        m.entry.read_mostly = m.entry.read_mostly && e.read_mostly;
+        m.entry.no_blocking_consumers =
+            m.entry.no_blocking_consumers && e.no_blocking_consumers;
+        if (m.entry.shard_key_field != e.shard_key_field) m.entry.shard_key_field = -1;
+      }
+    }
+    for (auto& [key, m] : merged) {
+      out_.plan.add(key.first, key.second, m.entry);
+    }
+  }
+
+  ProgramAnalysis& out_;
+  std::map<ClassId, ClassInfo> classes_;
+  std::map<ClassId, SiteAnchor> first_producer_;
+  std::vector<ConsumerSite> consumers_;
+};
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ProgramDiagnostic::toString() const {
+  std::ostringstream os;
+  if (statement >= 0) {
+    os << "statement " << statement << ": ";
+  } else {
+    os << "program: ";
+  }
+  os << diag.toString();
+  return os.str();
+}
+
+bool ProgramAnalysis::ok() const {
+  if (!invalid.empty()) return false;
+  for (const auto& d : diagnostics) {
+    if (d.diag.severity == Severity::Error) return false;
+  }
+  return true;
+}
+
+const ProgramDiagnostic* ProgramAnalysis::find(RuleId id) const {
+  for (const auto& d : diagnostics) {
+    if (d.diag.rule_id == id) return &d;
+  }
+  return nullptr;
+}
+
+std::string ProgramAnalysis::toText() const {
+  std::ostringstream os;
+  os << "ftl-analyze v1\n";
+  os << "classes=" << classes.size() << " diagnostics=" << diagnostics.size()
+     << " invalid=" << invalid.size() << "\n";
+  for (const auto& c : classes) {
+    os << "class ts=" << handleToText(c.id.ts) << " sig=0x" << std::hex << c.id.sig
+       << std::dec << " name=\"" << c.id.name << "\" dynamic=" << (c.id.dynamic_name ? 1 : 0)
+       << " types=(";
+    for (std::size_t i = 0; i < c.types.size(); ++i) {
+      if (i) os << ",";
+      os << valueTypeName(c.types[i]);
+    }
+    os << ") paradigm=" << ts::paradigmName(c.paradigm) << " producers=" << c.producers
+       << " takers=" << c.takers << " readers=" << c.readers
+       << " blocking=" << c.blocking_guards << "\n";
+  }
+  for (const auto& [idx, vr] : invalid) {
+    for (const auto& d : vr.diagnostics) {
+      os << "statement " << idx << ": " << d.toString() << "\n";
+    }
+  }
+  for (const auto& d : diagnostics) os << d.toString() << "\n";
+  os << "plan:\n" << plan.toText();
+  return os.str();
+}
+
+std::string ProgramAnalysis::toJson() const {
+  std::ostringstream os;
+  os << "{\n  \"classes\": [";
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const auto& c = classes[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"ts\": \"" << handleToText(c.id.ts)
+       << "\", \"sig\": \"0x" << std::hex << c.id.sig << std::dec << "\", \"name\": \""
+       << jsonEscape(c.id.name) << "\", \"dynamic\": " << (c.id.dynamic_name ? "true" : "false")
+       << ", \"types\": [";
+    for (std::size_t t = 0; t < c.types.size(); ++t) {
+      os << (t ? ", " : "") << '"' << valueTypeName(c.types[t]) << '"';
+    }
+    os << "], \"paradigm\": \"" << ts::paradigmName(c.paradigm)
+       << "\", \"producers\": " << c.producers << ", \"takers\": " << c.takers
+       << ", \"readers\": " << c.readers << ", \"blocking_guards\": " << c.blocking_guards
+       << "}";
+  }
+  os << "\n  ],\n  \"diagnostics\": [";
+  bool first = true;
+  for (const auto& [idx, vr] : invalid) {
+    for (const auto& d : vr.diagnostics) {
+      os << (first ? "\n    " : ",\n    ");
+      first = false;
+      os << "{\"statement\": " << idx << ", \"severity\": \""
+         << (d.severity == Severity::Error ? "error" : "warning") << "\", \"rule\": \""
+         << ruleIdName(d.rule_id) << "\", \"branch\": " << d.branch
+         << ", \"op\": " << d.op_index << ", \"field\": " << d.field_index
+         << ", \"message\": \"" << jsonEscape(d.message) << "\"}";
+    }
+  }
+  for (const auto& pd : diagnostics) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    os << "{\"statement\": " << pd.statement << ", \"severity\": \""
+       << (pd.diag.severity == Severity::Error ? "error" : "warning") << "\", \"rule\": \""
+       << ruleIdName(pd.diag.rule_id) << "\", \"branch\": " << pd.diag.branch
+       << ", \"op\": " << pd.diag.op_index << ", \"field\": " << pd.diag.field_index
+       << ", \"message\": \"" << jsonEscape(pd.diag.message) << "\"}";
+  }
+  os << "\n  ],\n  \"plan\": [";
+  const auto entries = plan.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& [key, e] = entries[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"sig\": \"0x" << std::hex << key.first << std::dec
+       << "\", \"name\": \"" << jsonEscape(key.second) << "\", \"paradigm\": \""
+       << ts::paradigmName(e.paradigm) << "\", \"fifo\": " << (e.fifo ? "true" : "false")
+       << ", \"read_mostly\": " << (e.read_mostly ? "true" : "false")
+       << ", \"no_blocking\": " << (e.no_blocking_consumers ? "true" : "false")
+       << ", \"shard_field\": " << e.shard_key_field << "}";
+  }
+  os << "\n  ],\n  \"ok\": " << (ok() ? "true" : "false") << "\n}\n";
+  return os.str();
+}
+
+ProgramAnalysis analyzeProgram(const std::vector<Ags>& statements,
+                               const std::vector<Tuple>& initial) {
+  ProgramAnalysis out;
+  Analyzer a(out);
+  a.run(statements, initial);
+  return out;
+}
+
+ProgramInput parseProgramText(std::string_view text) {
+  ProgramInput in;
+  std::size_t pos = 0;
+  const auto skip = [&] {
+    for (;;) {
+      while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+      if (pos < text.size() && text[pos] == '#') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+        continue;
+      }
+      return;
+    }
+  };
+  for (;;) {
+    skip();
+    if (pos >= text.size()) break;
+    const char c = text[pos];
+    if (c == '<') {
+      in.statements.push_back(parseAgsAt(text, pos));
+    } else if (c == '(') {
+      const Pattern p = tuple::parsePatternAt(text, pos);
+      if (p.formalCount() == 0) {
+        std::vector<tuple::Value> values;
+        values.reserve(p.arity());
+        for (const auto& f : p.fields()) values.push_back(f.actual);
+        in.initial.push_back(Tuple(std::move(values)));
+      }
+      // Patterns WITH formals are match templates, not deposits: ignored.
+    } else {
+      throw Error("program: offset " + std::to_string(pos) +
+                  ": expected '<' (AGS) or '(' (tuple/pattern), got '" + std::string(1, c) +
+                  "'");
+    }
+  }
+  return in;
+}
+
+}  // namespace ftl::ftlinda

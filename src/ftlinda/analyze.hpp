@@ -1,0 +1,133 @@
+// Whole-program tuple-flow analysis — the cross-statement half of FT-lcc.
+//
+// verify.hpp checks one Atomic Guarded Statement in isolation (V0xx–V4xx).
+// This pass looks at a PROGRAM — every AGS a set of processes will execute,
+// plus any initial tuples — and builds a per-signature-class producer/
+// consumer graph: who deposits tuples of each (tuple space, signature,
+// leading name) class, and who reads or takes them. From that graph it
+//
+//  1. reports the V5xx rules (docs/VERIFIER.md): blocking guards no deposit
+//     in the program can ever satisfy (V500), conditional guards and body
+//     matches that can never succeed (V501/V502), deposits nothing consumes
+//     — tuple leaks (V510), and out/in type conflicts inside one
+//     (space, name, arity) class (V520);
+//
+//  2. classifies each class into the paper's coordination paradigms —
+//     bag-of-tasks queue, distributed variable, semaphore/barrier — from
+//     its access shape (paper §2; docs/ANALYZER.md gives the exact rules);
+//
+//  3. emits a ts::StoragePlan the runtime loads (SystemConfig::plan) so the
+//     store can specialize per class: ring-buffer chains for queues, a read
+//     cache for distributed variables, wake-index skips for classes with no
+//     blocking consumers.
+//
+// The analysis is CLOSED-WORLD: it assumes the given statements and initial
+// tuples are the whole program. The runtime's own failure tuples
+// ("failure", host:int) are modeled as an implicit producer in every space,
+// so failure-monitor guards don't trip V500.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ftlinda/ops.hpp"
+#include "ftlinda/verify.hpp"
+#include "ts/plan.hpp"
+
+namespace ftl::ftlinda {
+
+/// One producer/consumer class: tuples of one signature (ordered type list)
+/// with one leading string name, in one tuple space. `dynamic_name` marks
+/// sites whose leading field is only known at runtime (a formal or a bound
+/// reference): they may produce/consume ANY name of the signature.
+struct ClassId {
+  TsHandle ts = ts::kTsMain;
+  tuple::SignatureKey sig = 0;
+  std::string name;           // empty when unnamed or dynamic
+  bool dynamic_name = false;
+
+  bool operator==(const ClassId& other) const = default;
+  bool operator<(const ClassId& other) const {
+    if (ts != other.ts) return ts < other.ts;
+    if (sig != other.sig) return sig < other.sig;
+    if (dynamic_name != other.dynamic_name) return dynamic_name < other.dynamic_name;
+    return name < other.name;
+  }
+};
+
+/// Access-shape summary of one class, accumulated over every site in the
+/// program that touches it.
+struct ClassInfo {
+  ClassId id;
+  std::vector<ValueType> types;  // the signature's ordered type list
+
+  // Site counts. A "taker" destroys tuples (in/inp/move); a "reader" copies
+  // them (rd/rdp/copy); a "producer" deposits (out/move-dst/copy-dst or an
+  // initial tuple).
+  int producers = 0;
+  int takers = 0;
+  int readers = 0;
+  int blocking_guards = 0;  // of the consumers, how many are in/rd guards
+
+  // Shape features feeding classification and plan hints.
+  bool consumers_all_formal = true;  // every taker matches any value (FIFO-safe)
+  bool token_only = true;            // no data flows: fixed tuples in and out
+  bool takers_redeposit = true;      // every taking branch re-deposits the class
+  std::vector<bool> pinned;          // field i is a concrete value at every consumer
+
+  ts::Paradigm paradigm = ts::Paradigm::Unknown;
+};
+
+/// A finding plus the statement (index into the analyzed program) it is
+/// anchored to; -1 = the initial-tuple set / the whole program.
+struct ProgramDiagnostic {
+  std::int32_t statement = -1;
+  Diagnostic diag;
+
+  /// "statement 2: error: [guard-never-satisfied] branch 0: ..."
+  std::string toString() const;
+};
+
+/// A program: the statements plus tuples assumed deposited into TSmain
+/// before execution (bare tuples in an ftl-analyze input file).
+struct ProgramInput {
+  std::vector<Ags> statements;
+  std::vector<Tuple> initial;
+};
+
+struct ProgramAnalysis {
+  std::vector<ClassInfo> classes;  // deterministic order (ts, sig, name)
+  std::vector<ProgramDiagnostic> diagnostics;
+  ts::StoragePlan plan;
+  /// Statements rejected by the per-statement verifier (V0xx–V4xx errors):
+  /// they are excluded from the graph. (index, verifier findings).
+  std::vector<std::pair<std::int32_t, VerifyResult>> invalid;
+
+  /// True iff no Error-severity finding anywhere (V5xx or per-statement).
+  bool ok() const;
+  /// First program diagnostic with the given rule, or nullptr.
+  const ProgramDiagnostic* find(RuleId id) const;
+  /// Deterministic human-readable report (golden-tested; see
+  /// docs/ANALYZER.md for the format).
+  std::string toText() const;
+  /// The same content as one JSON object.
+  std::string toJson() const;
+};
+
+/// Analyze a whole program. Statements failing verify() are recorded in
+/// `invalid` and skipped; everything else feeds the class graph.
+ProgramAnalysis analyzeProgram(const std::vector<Ags>& statements,
+                               const std::vector<Tuple>& initial = {});
+inline ProgramAnalysis analyzeProgram(const ProgramInput& in) {
+  return analyzeProgram(in.statements, in.initial);
+}
+
+/// Parse the ftl-lint input language (AGS dumps + tuple-language items,
+/// '#' comments) into a program: AGSes become statements; bare all-actual
+/// patterns become initial tuples; patterns with formals are ignored (they
+/// are match templates, not deposits). Throws ftl::Error on a parse error.
+ProgramInput parseProgramText(std::string_view text);
+
+}  // namespace ftl::ftlinda

@@ -74,6 +74,7 @@ FtLindaSystem::Ctx FtLindaSystem::makeCtx(net::HostId host, bool join_existing) 
   Ctx ctx;
   if (host < replica_count_) {
     ctx.sm = std::make_unique<TsStateMachine>();
+    if (cfg_.plan) ctx.sm->setPlan(cfg_.plan);
     ctx.replica = std::make_unique<rsm::Replica>(*net_, host, group_, cfg_.consul, *ctx.sm,
                                                  join_existing);
     ctx.runtime = std::make_unique<Runtime>(host);

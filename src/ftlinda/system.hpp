@@ -42,6 +42,10 @@ struct SystemConfig {
   consul::ConsulConfig consul;     // default: see mergedConsulConfig()
   /// Auto-register TSmain for failure tuples at startup.
   bool monitor_main = false;
+  /// Storage plan from the whole-program analyzer (ftl-analyze --plan-out,
+  /// loaded with ts::loadPlanFile). Attached to every replica's state
+  /// machine, including ones rebuilt by recover(). nullptr = no plan.
+  std::shared_ptr<const ts::StoragePlan> plan;
   /// Tuple-server configuration (§6/Fig. 17): only the first `replica_hosts`
   /// hosts run TS replicas (and request handlers); the remaining hosts are
   /// clients whose runtimes forward AGSes by RPC (round-robin assignment).

@@ -59,6 +59,23 @@ void TsStateMachine::setReplySink(ReplySink sink) {
   sink_ = std::move(sink);
 }
 
+void TsStateMachine::setPlan(std::shared_ptr<const ts::StoragePlan> plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = std::move(plan);
+  reg_.setPlan(plan_);
+  // The wake filter is sound only while nothing waits on a filtered class;
+  // statements already blocked when the plan arrives must be re-checked.
+  plan_wake_ok_ = plan_ != nullptr;
+  if (plan_) {
+    for (const auto& [key, orders] : wait_index_) {
+      if (!plan_->sigMayBlock(key.second)) {
+        plan_wake_ok_ = false;
+        break;
+      }
+    }
+  }
+}
+
 void TsStateMachine::setSelf(net::HostId host) {
   std::lock_guard<std::mutex> lock(mutex_);
   self_ = host;
@@ -137,8 +154,27 @@ void TsStateMachine::applyCommandLocked(const rsm::ApplyContext& ctx, Command&& 
       }
       emitLocked(ctx.origin, cmd.request_id, res.reply);
       // Whatever just ran may have deposited tuples that unblock others.
-      if (!res.deposited.empty() || res.structural) {
-        retryBlockedLocked(res.deposited, res.structural);
+      if (res.structural) {
+        retryBlockedLocked(res.deposited, /*wake_all=*/true);
+      } else if (!res.deposited.empty()) {
+        if (planWakeFilterUsable()) {
+          // Deposits into classes the plan proved have no blocking
+          // consumers cannot wake anything (no wait-index posting exists
+          // for them while plan_wake_ok_ holds): skip the probe.
+          static obs::Counter& wake_skips = obs::counter("ftl_plan_wake_skip");
+          std::vector<WaitKey> dirty;
+          dirty.reserve(res.deposited.size());
+          for (const WaitKey& k : res.deposited) {
+            if (plan_->sigMayBlock(k.second)) {
+              dirty.push_back(k);
+            } else {
+              wake_skips.inc();
+            }
+          }
+          if (!dirty.empty()) retryBlockedLocked(dirty, /*wake_all=*/false);
+        } else {
+          retryBlockedLocked(res.deposited, /*wake_all=*/false);
+        }
       }
       break;
     }
@@ -179,6 +215,19 @@ std::vector<TsStateMachine::WaitKey> TsStateMachine::guardWaitKeys(const Ags& ag
 
 void TsStateMachine::insertBlockedLocked(BlockedAgs b) {
   b.keys = guardWaitKeys(b.ags);
+  if (plan_ && plan_wake_ok_) {
+    // A statement is waiting on a class the plan claimed has no blocking
+    // consumers: the plan was built for a different program (or a client
+    // bypassed it). Disable wake filtering — correctness over speed.
+    for (const WaitKey& k : b.keys) {
+      if (!plan_->sigMayBlock(k.second)) {
+        static obs::Counter& violations = obs::counter("ftl_plan_violation");
+        violations.inc();
+        plan_wake_ok_ = false;
+        break;
+      }
+    }
+  }
   const std::uint64_t order = b.order;
   for (const WaitKey& k : b.keys) wait_index_[k].push_back(order);  // orders ascend
   blocked_.emplace(order, std::move(b));
@@ -336,6 +385,8 @@ void TsStateMachine::restore(const Bytes& snapshot) {
   Reader r(snapshot);
   std::lock_guard<std::mutex> lock(mutex_);
   reg_ = ts::TsRegistry::decode(r);
+  if (plan_) reg_.setPlan(plan_);
+  plan_wake_ok_ = plan_ != nullptr;
   blocked_.clear();
   wait_index_.clear();
   const std::uint32_t nb = r.u32();

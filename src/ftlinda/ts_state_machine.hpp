@@ -42,6 +42,17 @@ class TsStateMachine : public rsm::StateMachine {
   /// Install/replace the reply sink (the runtime wires itself in here).
   void setReplySink(ReplySink sink);
 
+  /// Attach the analyzer's storage plan (ts/plan.hpp; nullptr clears). The
+  /// registry re-represents its chains and deposits into classes the plan
+  /// proves have no blocking consumers skip the wake-index probe. Purely an
+  /// optimization: if a statement nevertheless blocks on such a class (the
+  /// plan was built from a different program), the machine detects it,
+  /// counts ftl_plan_violation, and falls back to unfiltered wakes —
+  /// liveness never depends on the plan being right. Replicas may hold
+  /// different plans without diverging: filtered wake keys have no index
+  /// postings, so the filter never changes which statements retry.
+  void setPlan(std::shared_ptr<const ts::StoragePlan> plan);
+
   /// Tell the machine which processor it runs on (the runtime wires this in
   /// at attach()). Used only for observability: trace events that must fire
   /// exactly once per AGS — ordering-arrival, wake — are emitted by the
@@ -142,6 +153,11 @@ class TsStateMachine : public rsm::StateMachine {
   void emitLocked(net::HostId origin, std::uint64_t request_id, const Reply& reply);
   void countLocked(const Ags& ags, const ExecResult& res, bool woken);
 
+  /// True while NO blocked statement has ever waited on a class the plan
+  /// marks no-blocking-consumers; once false, wake filtering is disabled
+  /// for the life of the plan (reset by setPlan/restore).
+  bool planWakeFilterUsable() const { return plan_ != nullptr && plan_wake_ok_; }
+
   mutable std::mutex mutex_;
   ReplySink sink_;
   std::vector<ReplySink> extra_sinks_;
@@ -154,6 +170,8 @@ class TsStateMachine : public rsm::StateMachine {
   net::HostId self_ = net::kNoHost;       // observability only (setSelf)
   std::uint32_t apply_sample_ = 0;        // 1-in-16 stage-timing sampler
   std::uint64_t obs_token_ = 0;           // obs::registerSource token
+  std::shared_ptr<const ts::StoragePlan> plan_;
+  bool plan_wake_ok_ = true;              // see planWakeFilterUsable()
 };
 
 }  // namespace ftl::ftlinda

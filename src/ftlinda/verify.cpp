@@ -48,6 +48,22 @@ class Checker {
             "unreachable: an earlier branch has guard `true`, which always fires first");
         saw_true_guard = false;  // one warning marks the rest
       }
+      // A guard that repeats an earlier branch's (ts, pattern) is dead: all
+      // four guard kinds fire exactly when a match exists, and branches are
+      // tried in order, so the earlier branch always wins.
+      const Guard& g = ags.branches[i].guard;
+      if (g.kind != Guard::Kind::True) {
+        for (std::size_t e = 0; e < i; ++e) {
+          const Guard& prev = ags.branches[e].guard;
+          if (prev.kind == Guard::Kind::True || prev.ts != g.ts || !(prev.pattern == g.pattern))
+            continue;
+          std::ostringstream os;
+          os << "dead branch: guard matches exactly when branch " << e
+             << "'s guard does, and earlier branches fire first";
+          add(Severity::Warning, RuleId::DuplicateGuard, os.str());
+          break;
+        }
+      }
       branch(ags.branches[i]);
       if (ags.branches[i].guard.kind == Guard::Kind::True) saw_true_guard = true;
     }
@@ -289,6 +305,12 @@ const char* ruleIdName(RuleId id) {
     case RuleId::TooManyBranches: return "too-many-branches";
     case RuleId::BodyTooLong: return "body-too-long";
     case RuleId::TooManyFields: return "too-many-fields";
+    case RuleId::DuplicateGuard: return "duplicate-guard";
+    case RuleId::GuardNeverSatisfied: return "guard-never-satisfied";
+    case RuleId::DeadConditionalGuard: return "dead-conditional-guard";
+    case RuleId::DeadBodyMatch: return "dead-body-match";
+    case RuleId::TupleLeak: return "tuple-leak";
+    case RuleId::ClassTypeConflict: return "class-type-conflict";
   }
   return "unknown-rule";
 }

@@ -61,6 +61,17 @@ enum class RuleId : std::uint8_t {
   TooManyBranches,
   BodyTooLong,
   TooManyFields,
+  // structural (V0xx, appended to keep earlier wire values stable)
+  DuplicateGuard,        // warning: branch guard repeats an earlier branch's
+                         // guard (same kind-class, ts, pattern): dead branch
+  // whole-program rules (V5xx) — produced by ftlinda/analyze.hpp, never by
+  // verify() (they need every statement of the program at once)
+  GuardNeverSatisfied,   // in/rd guard no deposit in the program can satisfy
+  DeadConditionalGuard,  // warning: inp/rdp guard that can never match
+  DeadBodyMatch,         // warning: body inp/rdp/move/copy pattern that can
+                         // never match
+  TupleLeak,             // warning: deposits no operation ever consumes
+  ClassTypeConflict,     // out/in type mismatch within one (ts, name, arity)
 };
 
 /// Kebab-case rule name, e.g. "formal-out-of-range" (stable; used by

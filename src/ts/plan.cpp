@@ -1,0 +1,235 @@
+#include "ts/plan.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ftl::ts {
+
+namespace {
+
+/// Quote a class name for the plan text format: wraps in '"' and escapes
+/// '"' and '\' so round-tripping is exact for any byte string.
+std::string quoteName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 2);
+  out.push_back('"');
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+[[noreturn]] void malformed(std::size_t line_no, const std::string& why) {
+  throw Error("plan: line " + std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+const char* paradigmName(Paradigm p) {
+  switch (p) {
+    case Paradigm::Queue:
+      return "queue";
+    case Paradigm::DistributedVariable:
+      return "distributed-variable";
+    case Paradigm::Semaphore:
+      return "semaphore";
+    case Paradigm::Unknown:
+      break;
+  }
+  return "unknown";
+}
+
+std::optional<Paradigm> paradigmFromName(std::string_view name) {
+  for (const Paradigm p : {Paradigm::Unknown, Paradigm::Queue, Paradigm::DistributedVariable,
+                           Paradigm::Semaphore}) {
+    if (name == paradigmName(p)) return p;
+  }
+  return std::nullopt;
+}
+
+void StoragePlan::add(tuple::SignatureKey sig, std::string name, PlanEntry entry) {
+  auto& vec = classes_[sig];
+  const auto at = std::lower_bound(
+      vec.begin(), vec.end(), name,
+      [](const auto& pair, const std::string& n) { return pair.first < n; });
+  if (at != vec.end() && at->first == name) {
+    at->second = entry;
+  } else {
+    vec.insert(at, {std::move(name), entry});
+  }
+  // Rebuild the may-block bit for this sig: true unless every class says no.
+  bool blocks = false;
+  for (const auto& [_, e] : classes_[sig]) {
+    if (!e.no_blocking_consumers) blocks = true;
+  }
+  if (blocks) {
+    may_block_.insert(sig);
+  } else {
+    may_block_.erase(sig);
+  }
+}
+
+const PlanEntry* StoragePlan::find(tuple::SignatureKey sig, std::string_view name) const {
+  const auto it = classes_.find(sig);
+  if (it == classes_.end()) return nullptr;
+  const auto& vec = it->second;
+  const auto at = std::lower_bound(
+      vec.begin(), vec.end(), name,
+      [](const auto& pair, std::string_view n) { return std::string_view(pair.first) < n; });
+  if (at == vec.end() || std::string_view(at->first) != name) return nullptr;
+  return &at->second;
+}
+
+bool StoragePlan::sigMayBlock(tuple::SignatureKey sig) const {
+  const auto it = classes_.find(sig);
+  if (it == classes_.end()) return true;  // unknown sig: assume the worst
+  return may_block_.count(sig) != 0;
+}
+
+std::size_t StoragePlan::size() const {
+  std::size_t n = 0;
+  for (const auto& [_, vec] : classes_) n += vec.size();
+  return n;
+}
+
+std::vector<std::pair<std::pair<tuple::SignatureKey, std::string>, PlanEntry>>
+StoragePlan::entries() const {
+  std::vector<std::pair<std::pair<tuple::SignatureKey, std::string>, PlanEntry>> out;
+  out.reserve(size());
+  for (const auto& [sig, vec] : classes_) {
+    for (const auto& [name, entry] : vec) out.push_back({{sig, name}, entry});
+  }
+  return out;
+}
+
+std::string StoragePlan::toText() const {
+  std::ostringstream os;
+  os << "ftl-plan v1\n";
+  for (const auto& [key, e] : entries()) {
+    os << "class sig=0x" << std::hex << key.first << std::dec
+       << " name=" << quoteName(key.second) << " paradigm=" << paradigmName(e.paradigm)
+       << " fifo=" << (e.fifo ? 1 : 0) << " read_mostly=" << (e.read_mostly ? 1 : 0)
+       << " no_blocking=" << (e.no_blocking_consumers ? 1 : 0)
+       << " shard_field=" << e.shard_key_field << "\n";
+  }
+  return os.str();
+}
+
+StoragePlan StoragePlan::parseText(std::string_view text) {
+  StoragePlan plan;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    // Trim leading/trailing whitespace.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) line.remove_prefix(1);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' || line.back() == '\r'))
+      line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+    if (!saw_header) {
+      if (line != "ftl-plan v1") malformed(line_no, "expected header 'ftl-plan v1'");
+      saw_header = true;
+      continue;
+    }
+    if (line.substr(0, 6) != "class ") malformed(line_no, "expected 'class ...'");
+    line.remove_prefix(6);
+
+    tuple::SignatureKey sig{};
+    std::string name;
+    PlanEntry entry;
+    bool have_sig = false, have_name = false;
+    while (!line.empty()) {
+      while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+      if (line.empty()) break;
+      const std::size_t eq = line.find('=');
+      if (eq == std::string_view::npos) malformed(line_no, "expected key=value");
+      const std::string_view key = line.substr(0, eq);
+      line.remove_prefix(eq + 1);
+      if (key == "name") {
+        if (line.empty() || line.front() != '"') malformed(line_no, "name must be quoted");
+        line.remove_prefix(1);
+        name.clear();
+        bool closed = false;
+        while (!line.empty()) {
+          const char c = line.front();
+          line.remove_prefix(1);
+          if (c == '\\') {
+            if (line.empty()) malformed(line_no, "dangling escape in name");
+            name.push_back(line.front());
+            line.remove_prefix(1);
+          } else if (c == '"') {
+            closed = true;
+            break;
+          } else {
+            name.push_back(c);
+          }
+        }
+        if (!closed) malformed(line_no, "unterminated name");
+        have_name = true;
+        continue;
+      }
+      const std::size_t sp = line.find(' ');
+      const std::string_view val =
+          line.substr(0, sp == std::string_view::npos ? std::string_view::npos : sp);
+      line.remove_prefix(val.size());
+      if (key == "sig") {
+        if (val.substr(0, 2) != "0x") malformed(line_no, "sig must be 0x-hex");
+        std::uint64_t v = 0;
+        const auto* first = val.data() + 2;
+        const auto* last = val.data() + val.size();
+        const auto [ptr, ec] = std::from_chars(first, last, v, 16);
+        if (ec != std::errc() || ptr != last) malformed(line_no, "bad sig value");
+        sig = tuple::SignatureKey{v};
+        have_sig = true;
+      } else if (key == "paradigm") {
+        const auto p = paradigmFromName(val);
+        if (!p) malformed(line_no, "unknown paradigm '" + std::string(val) + "'");
+        entry.paradigm = *p;
+      } else if (key == "fifo" || key == "read_mostly" || key == "no_blocking") {
+        if (val != "0" && val != "1") malformed(line_no, std::string(key) + " must be 0 or 1");
+        const bool b = val == "1";
+        if (key == "fifo") {
+          entry.fifo = b;
+        } else if (key == "read_mostly") {
+          entry.read_mostly = b;
+        } else {
+          entry.no_blocking_consumers = b;
+        }
+      } else if (key == "shard_field") {
+        std::int32_t v = 0;
+        const auto* first = val.data();
+        const auto* last = val.data() + val.size();
+        const auto [ptr, ec] = std::from_chars(first, last, v);
+        if (ec != std::errc() || ptr != last || v < -1) malformed(line_no, "bad shard_field");
+        entry.shard_key_field = v;
+      } else {
+        malformed(line_no, "unknown key '" + std::string(key) + "'");
+      }
+    }
+    if (!have_sig || !have_name) malformed(line_no, "class line needs sig= and name=");
+    plan.add(sig, std::move(name), entry);
+  }
+  if (!saw_header && !plan.empty()) malformed(1, "missing header");
+  return plan;
+}
+
+StoragePlan loadPlanFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("plan: cannot open '" + path + "'");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return StoragePlan::parseText(buf.str());
+}
+
+}  // namespace ftl::ts

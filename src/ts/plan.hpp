@@ -1,0 +1,108 @@
+// StoragePlan: per-signature-class storage and placement hints.
+//
+// The whole-program tuple-flow analyzer (ftlinda/analyze.hpp — the FT-lcc
+// compile-time analysis the 1985 paper leans on, docs/ANALYZER.md) classifies
+// every signature class a program touches into one of the paper's
+// coordination paradigms and emits one PlanEntry per class. The runtime
+// consumes the plan purely as a PERFORMANCE hint:
+//
+//  - ts::TupleSpace switches a FIFO (queue-paradigm) class's chains to a
+//    ring-buffer representation and enables a read cache for read-mostly
+//    (distributed-variable) classes;
+//  - TsStateMachine skips wake-index probing for deposits into classes the
+//    analyzer proved have no blocking consumers anywhere in the program.
+//
+// A plan NEVER changes semantics: matching results, replies, and snapshot
+// bytes are identical with any plan (or none), so replicas loaded with
+// different plans cannot diverge. The plan lives in the ts layer (below
+// ftlinda) so the store can consume what the analyzer produces without a
+// dependency cycle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "tuple/signature.hpp"
+
+namespace ftl::ts {
+
+/// The coordination paradigms of the paper's §2 a signature class can
+/// realize: a bag-of-tasks queue, a distributed variable (read-mostly
+/// state), or a semaphore/barrier token.
+enum class Paradigm : std::uint8_t {
+  Unknown = 0,
+  Queue = 1,
+  DistributedVariable = 2,
+  Semaphore = 3,
+};
+
+/// Stable kebab-case paradigm name ("queue", "distributed-variable", ...).
+const char* paradigmName(Paradigm p);
+/// Inverse of paradigmName; nullopt for an unknown spelling.
+std::optional<Paradigm> paradigmFromName(std::string_view name);
+
+/// Hints for one signature class — identified by (signature key, leading
+/// string name; empty name = unnamed or statically unknown leading field).
+struct PlanEntry {
+  Paradigm paradigm = Paradigm::Unknown;
+  /// Consumers always match the oldest tuple (all-formal patterns): chains
+  /// may use a ring buffer (O(1) append/pop-front, no node allocation).
+  bool fifo = false;
+  /// Reads dominate (distributed-variable idiom): enable the read cache.
+  bool read_mostly = false;
+  /// No in/rd guard anywhere in the program consumes this class: deposits
+  /// never need to probe the blocked-statement wait index.
+  bool no_blocking_consumers = false;
+  /// Smallest field index that is a concrete value at EVERY site (producer
+  /// literal / consumer actual) — the field a sharded kernel can route by.
+  /// -1: no such field; consumers match any value, so any shard can serve
+  /// the class (round-robin placement is safe).
+  std::int32_t shard_key_field = -1;
+
+  bool operator==(const PlanEntry& other) const = default;
+};
+
+class StoragePlan {
+ public:
+  /// Register (or overwrite) the entry for class (sig, name).
+  void add(tuple::SignatureKey sig, std::string name, PlanEntry entry);
+
+  /// Entry for (sig, name), or nullptr when the class is not in the plan.
+  const PlanEntry* find(tuple::SignatureKey sig, std::string_view name) const;
+
+  /// False ONLY when the plan covers `sig` and every class with that
+  /// signature is marked no_blocking_consumers. Unknown signatures are
+  /// conservatively assumed to block (the plan is a hint, not a contract).
+  bool sigMayBlock(tuple::SignatureKey sig) const;
+
+  bool empty() const { return classes_.empty(); }
+  std::size_t size() const;
+
+  /// All entries, deterministic order (sig, then name) — export and tests.
+  std::vector<std::pair<std::pair<tuple::SignatureKey, std::string>, PlanEntry>> entries()
+      const;
+
+  /// Stable line-based text format ("ftl-plan v1"): one `class ...` line per
+  /// entry. Inverse of parseText; what `ftl-analyze --plan-out` writes.
+  std::string toText() const;
+  /// Parse the toText format. Throws ftl::Error on malformed input.
+  static StoragePlan parseText(std::string_view text);
+
+ private:
+  // sig -> [(name, entry)] sorted by name: deterministic and heterogeneous
+  // string_view lookup without a transparent pair comparator.
+  std::map<tuple::SignatureKey, std::vector<std::pair<std::string, PlanEntry>>> classes_;
+  std::unordered_set<tuple::SignatureKey> may_block_;  // sigs with a blocking class
+};
+
+/// Read and parse a plan file (ftl-analyze --plan-out output). Throws
+/// ftl::Error when the file is unreadable or malformed.
+StoragePlan loadPlanFile(const std::string& path);
+
+}  // namespace ftl::ts

@@ -16,6 +16,7 @@ TsHandle TsRegistry::create(TsAttributes attrs) {
   const TsHandle h = handle_bits_ | next_id_++;
   Entry e;
   e.attrs = attrs;
+  if (plan_) e.space.setPlan(plan_);
   spaces_.emplace(h, std::move(e));
   return h;
 }
@@ -58,6 +59,11 @@ std::vector<TsHandle> TsRegistry::handles() const {
   out.reserve(spaces_.size());
   for (const auto& [h, e] : spaces_) out.push_back(h);
   return out;
+}
+
+void TsRegistry::setPlan(std::shared_ptr<const StoragePlan> plan) {
+  plan_ = std::move(plan);
+  for (auto& [h, e] : spaces_) e.space.setPlan(plan_);
 }
 
 void TsRegistry::encode(Writer& w) const {

@@ -76,6 +76,11 @@ class TsRegistry {
   /// All live handles in ascending order.
   std::vector<TsHandle> handles() const;
 
+  /// Attach a storage plan to every live space AND every space created
+  /// later (nullptr clears). decode() returns a plan-less registry — the
+  /// caller re-applies its plan after restoring a snapshot.
+  void setPlan(std::shared_ptr<const StoragePlan> plan);
+
   /// Deterministic full serialization (used in replica snapshots).
   void encode(Writer& w) const;
   static TsRegistry decode(Reader& r);
@@ -90,6 +95,7 @@ class TsRegistry {
   std::map<TsHandle, Entry> spaces_;
   TsHandle handle_bits_ = 0;
   std::uint64_t next_id_ = 2;  // 1 is TSmain
+  std::shared_ptr<const StoragePlan> plan_;
 };
 
 }  // namespace ftl::ts

@@ -3,21 +3,123 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace ftl::ts {
 
 using tuple::nameOf;
 using tuple::PatternField;
 using tuple::signatureOf;
+using tuple::ValueType;
+
+namespace {
+
+struct PlanCounters {
+  obs::Counter& ring_chains = obs::counter("ftl_plan_ring_chains");
+  obs::Counter& read_cache_hit = obs::counter("ftl_plan_read_cache_hit");
+  obs::Counter& read_cache_miss = obs::counter("ftl_plan_read_cache_miss");
+};
+
+PlanCounters& planCounters() {
+  static PlanCounters c;
+  return c;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Chain ---
+
+void TupleSpace::Chain::makeRing() {
+  if (ring_) return;
+  for (auto& [seq, t] : map_rep_) ring_rep_.emplace_back(seq, std::move(t));
+  map_rep_.clear();
+  ring_ = true;
+}
+
+void TupleSpace::Chain::makeMap() {
+  if (!ring_) return;
+  for (auto& [seq, t] : ring_rep_) map_rep_.emplace(seq, std::move(t));
+  ring_rep_.clear();
+  ring_ = false;
+}
+
+void TupleSpace::Chain::append(std::uint64_t seq, Tuple t) {
+  if (ring_) {
+    FTL_ENSURE(ring_rep_.empty() || ring_rep_.back().first < seq,
+               "chain appends must carry increasing seqs");
+    ring_rep_.emplace_back(seq, std::move(t));
+  } else {
+    map_rep_.emplace(seq, std::move(t));
+  }
+}
+
+Tuple TupleSpace::Chain::extract(std::uint64_t seq) {
+  if (ring_) {
+    // The common case for a FIFO class is popping the oldest element.
+    if (!ring_rep_.empty() && ring_rep_.front().first == seq) {
+      Tuple out = std::move(ring_rep_.front().second);
+      ring_rep_.pop_front();
+      return out;
+    }
+    const auto at = std::lower_bound(
+        ring_rep_.begin(), ring_rep_.end(), seq,
+        [](const auto& pair, std::uint64_t s) { return pair.first < s; });
+    FTL_ENSURE(at != ring_rep_.end() && at->first == seq, "matched tuple vanished");
+    Tuple out = std::move(at->second);
+    ring_rep_.erase(at);
+    return out;
+  }
+  auto node = map_rep_.extract(seq);
+  FTL_ENSURE(!node.empty(), "matched tuple vanished");
+  return std::move(node.mapped());
+}
+
+// ----------------------------------------------------------- TupleSpace ---
+
+TupleSpace::TupleSpace(const TupleSpace& other)
+    : buckets_(other.buckets_),
+      next_seq_(other.next_seq_),
+      size_(other.size_),
+      plan_(other.plan_),
+      mut_count_(other.mut_count_) {
+  // rcache_ stays default: other's cached chain pointer targets its buckets.
+}
+
+TupleSpace& TupleSpace::operator=(const TupleSpace& other) {
+  if (this == &other) return *this;
+  buckets_ = other.buckets_;
+  next_seq_ = other.next_seq_;
+  size_ = other.size_;
+  plan_ = other.plan_;
+  mut_count_ = other.mut_count_;
+  rcache_ = ReadCache{};
+  return *this;
+}
+
+const std::string* TupleSpace::leadingName(const Pattern& p) {
+  if (p.arity() == 0) return nullptr;
+  const PatternField& f = p.field(0);
+  if (f.kind != PatternField::Kind::Actual || f.actual.type() != ValueType::Str) return nullptr;
+  return &f.actual.asStr();
+}
 
 std::uint64_t TupleSpace::put(Tuple t) {
   const SignatureKey sig = signatureOf(t);
   const std::uint64_t seq = next_seq_++;
+  noteMutation();
   auto& bucket = buckets_[sig];
   if (auto name = nameOf(t)) {
-    bucket.named[*name].emplace(seq, std::move(t));
+    auto [cit, inserted] = bucket.named.try_emplace(*name);
+    if (inserted && plan_) {
+      // A freshly created chain of a plan-tagged FIFO class goes ring.
+      if (const PlanEntry* e = plan_->find(sig, *name); e && e->fifo) {
+        cit->second.makeRing();
+        planCounters().ring_chains.inc();
+      }
+    }
+    cit->second.append(seq, std::move(t));
   } else {
-    bucket.unnamed.emplace(seq, std::move(t));
+    bucket.unnamed.append(seq, std::move(t));
   }
   ++size_;
   return seq;
@@ -28,7 +130,7 @@ void TupleSpace::eachCandidateChain(SignatureKey sig, const Pattern& p, Fn&& fn)
   auto it = buckets_.find(sig);
   if (it == buckets_.end()) return;
   const Bucket& b = it->second;
-  if (auto name = nameOf(p)) {
+  if (const std::string* name = leadingName(p)) {
     // Leading string actual: exactly one chain can match.
     auto cit = b.named.find(*name);
     if (cit != b.named.end()) fn(cit->second);
@@ -59,38 +161,73 @@ std::optional<Tuple> TupleSpace::take(const Pattern& p) {
   const Chain* best_chain = nullptr;
   std::uint64_t best_seq = 0;
   eachCandidateChain(sig, p, [&](const Chain& chain) {
-    for (const auto& [seq, t] : chain) {
-      if (best_chain && seq >= best_seq) break;  // no older match possible here
+    chain.scan([&](std::uint64_t seq, const Tuple& t) {
+      if (best_chain && seq >= best_seq) return true;  // no older match possible here
       if (p.matches(t)) {
         best_chain = &chain;
         best_seq = seq;
-        break;
+        return true;
       }
-    }
+      return false;
+    });
     return false;
   });
   if (!best_chain) return std::nullopt;
-  auto& chain = *const_cast<Chain*>(best_chain);
-  auto node = chain.extract(best_seq);
-  FTL_ENSURE(!node.empty(), "matched tuple vanished");
+  noteMutation();
+  Tuple out = const_cast<Chain*>(best_chain)->extract(best_seq);
   --size_;
-  Tuple out = std::move(node.mapped());
   pruneBucket(sig);
   return out;
 }
 
 std::optional<Tuple> TupleSpace::read(const Pattern& p) const {
+  const SignatureKey sig = signatureOf(p);
+  const std::string* pname = plan_ ? leadingName(p) : nullptr;
+
+  auto scanChain = [&](const Chain& chain) -> std::optional<Tuple> {
+    const Tuple* found = nullptr;
+    chain.scan([&](std::uint64_t, const Tuple& t) {
+      if (p.matches(t)) {
+        found = &t;
+        return true;
+      }
+      return false;
+    });
+    if (!found) return std::nullopt;
+    return *found;
+  };
+
+  if (pname) {
+    // Read-cache fast path: same class as the last cached read and no
+    // mutation since — skip the bucket and chain lookups.
+    if (rcache_.chain && rcache_.mut == mut_count_ && rcache_.sig == sig &&
+        rcache_.name == *pname) {
+      planCounters().read_cache_hit.inc();
+      return scanChain(*rcache_.chain);
+    }
+    const auto bit = buckets_.find(sig);
+    if (bit == buckets_.end()) return std::nullopt;
+    const auto cit = bit->second.named.find(*pname);
+    if (cit == bit->second.named.end()) return std::nullopt;
+    if (const PlanEntry* e = plan_->find(sig, *pname); e && e->read_mostly) {
+      planCounters().read_cache_miss.inc();
+      rcache_ = ReadCache{sig, *pname, &cit->second, mut_count_};
+    }
+    return scanChain(cit->second);
+  }
+
   const Tuple* best = nullptr;
   std::uint64_t best_seq = 0;
-  eachCandidateChain(signatureOf(p), p, [&](const Chain& chain) {
-    for (const auto& [seq, t] : chain) {
-      if (best && seq >= best_seq) break;
+  eachCandidateChain(sig, p, [&](const Chain& chain) {
+    chain.scan([&](std::uint64_t seq, const Tuple& t) {
+      if (best && seq >= best_seq) return true;
       if (p.matches(t)) {
         best = &t;
         best_seq = seq;
-        break;
+        return true;
       }
-    }
+      return false;
+    });
     return false;
   });
   if (!best) return std::nullopt;
@@ -99,48 +236,35 @@ std::optional<Tuple> TupleSpace::read(const Pattern& p) const {
 
 std::vector<Tuple> TupleSpace::takeAll(const Pattern& p) {
   const SignatureKey sig = signatureOf(p);
-  // Collect (seq, tuple) matches across chains, oldest first.
-  std::vector<std::pair<std::uint64_t, Tuple>> matches;
+  // Collect (seq, chain) matches across chains, oldest first, then extract.
+  std::vector<std::pair<std::uint64_t, Chain*>> matches;
   eachCandidateChain(sig, p, [&](const Chain& chain) {
-    for (const auto& [seq, t] : chain) {
-      if (p.matches(t)) matches.emplace_back(seq, t);
-    }
+    chain.scan([&](std::uint64_t seq, const Tuple& t) {
+      if (p.matches(t)) matches.emplace_back(seq, const_cast<Chain*>(&chain));
+      return false;
+    });
     return false;
   });
   std::sort(matches.begin(), matches.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   std::vector<Tuple> out;
   out.reserve(matches.size());
-  for (auto& [seq, t] : matches) {
-    out.push_back(std::move(t));
+  if (!matches.empty()) noteMutation();
+  for (auto& [seq, chain] : matches) {
+    out.push_back(chain->extract(seq));
+    --size_;
   }
-  // Erase them (by seq) from the bucket.
-  auto bit = buckets_.find(sig);
-  if (bit != buckets_.end()) {
-    Bucket& b = bit->second;
-    for (const auto& [seq, t] : matches) {
-      bool erased = false;
-      for (auto& [name, chain] : b.named) {
-        if (chain.erase(seq)) {
-          erased = true;
-          break;
-        }
-      }
-      if (!erased) erased = b.unnamed.erase(seq) > 0;
-      FTL_ENSURE(erased, "takeAll lost track of a matched tuple");
-      --size_;
-    }
-    pruneBucket(sig);
-  }
+  if (!matches.empty()) pruneBucket(sig);
   return out;
 }
 
 std::vector<Tuple> TupleSpace::readAll(const Pattern& p) const {
   std::vector<std::pair<std::uint64_t, Tuple>> matches;
   eachCandidateChain(signatureOf(p), p, [&](const Chain& chain) {
-    for (const auto& [seq, t] : chain) {
+    chain.scan([&](std::uint64_t seq, const Tuple& t) {
       if (p.matches(t)) matches.emplace_back(seq, t);
-    }
+      return false;
+    });
     return false;
   });
   std::sort(matches.begin(), matches.end(),
@@ -154,9 +278,10 @@ std::vector<Tuple> TupleSpace::readAll(const Pattern& p) const {
 std::size_t TupleSpace::count(const Pattern& p) const {
   std::size_t n = 0;
   eachCandidateChain(signatureOf(p), p, [&](const Chain& chain) {
-    for (const auto& [seq, t] : chain) {
+    chain.scan([&](std::uint64_t, const Tuple& t) {
       if (p.matches(t)) ++n;
-    }
+      return false;
+    });
     return false;
   });
   return n;
@@ -167,9 +292,15 @@ std::vector<Tuple> TupleSpace::contents() const {
   all.reserve(size_);
   for (const auto& [sig, b] : buckets_) {
     for (const auto& [name, chain] : b.named) {
-      for (const auto& [seq, t] : chain) all.emplace_back(seq, t);
+      chain.scan([&](std::uint64_t seq, const Tuple& t) {
+        all.emplace_back(seq, t);
+        return false;
+      });
     }
-    for (const auto& [seq, t] : b.unnamed) all.emplace_back(seq, t);
+    b.unnamed.scan([&](std::uint64_t seq, const Tuple& t) {
+      all.emplace_back(seq, t);
+      return false;
+    });
   }
   std::sort(all.begin(), all.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -177,6 +308,26 @@ std::vector<Tuple> TupleSpace::contents() const {
   out.reserve(all.size());
   for (auto& [seq, t] : all) out.push_back(std::move(t));
   return out;
+}
+
+void TupleSpace::setPlan(std::shared_ptr<const StoragePlan> plan) {
+  plan_ = std::move(plan);
+  rcache_ = ReadCache{};
+  // Re-represent existing named chains to match the plan. (Unnamed chains
+  // stay maps: plan FIFO hints are only emitted for named classes.)
+  for (auto& [sig, b] : buckets_) {
+    for (auto& [name, chain] : b.named) {
+      const PlanEntry* e = plan_ ? plan_->find(sig, name) : nullptr;
+      if (e && e->fifo) {
+        if (!chain.ring()) {
+          chain.makeRing();
+          planCounters().ring_chains.inc();
+        }
+      } else {
+        chain.makeMap();
+      }
+    }
+  }
 }
 
 void TupleSpace::encode(Writer& w) const {
@@ -188,9 +339,15 @@ void TupleSpace::encode(Writer& w) const {
   all.reserve(size_);
   for (const auto& [sig, b] : buckets_) {
     for (const auto& [name, chain] : b.named) {
-      for (const auto& [seq, t] : chain) all.emplace_back(seq, &t);
+      chain.scan([&](std::uint64_t seq, const Tuple& t) {
+        all.emplace_back(seq, &t);
+        return false;
+      });
     }
-    for (const auto& [seq, t] : b.unnamed) all.emplace_back(seq, &t);
+    b.unnamed.scan([&](std::uint64_t seq, const Tuple& t) {
+      all.emplace_back(seq, &t);
+      return false;
+    });
   }
   std::sort(all.begin(), all.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -209,10 +366,11 @@ TupleSpace TupleSpace::decode(Reader& r) {
     Tuple t = Tuple::decode(r);
     const SignatureKey sig = signatureOf(t);
     auto& bucket = ts.buckets_[sig];
+    // Snapshot order is seq-ascending, so append preserves chain order.
     if (auto name = nameOf(t)) {
-      bucket.named[*name].emplace(seq, std::move(t));
+      bucket.named[*name].append(seq, std::move(t));
     } else {
-      bucket.unnamed.emplace(seq, std::move(t));
+      bucket.unnamed.append(seq, std::move(t));
     }
     ++ts.size_;
   }

@@ -5,26 +5,40 @@
 // "name". Matching therefore touches only same-signature candidates; the E9
 // bench quantifies the win over a linear scan.
 //
+// A StoragePlan (ts/plan.hpp, emitted by the whole-program analyzer) can
+// specialize storage per class WITHOUT changing observable behavior:
+//  - queue-paradigm (FIFO) classes store their named chains in a ring buffer
+//    (contiguous deque, O(1) oldest-pop) instead of a node-based map;
+//  - read-mostly (distributed-variable) classes fill a one-entry read cache
+//    so repeated rd's skip the bucket and chain lookups entirely.
+// ftl_plan_* obs counters (docs/ANALYZER.md) report how often each
+// specialized path fires.
+//
 // DETERMINISM: this container is part of the replicated TS state machine, so
 // every operation must behave identically at every replica:
 //  - insertion order is tracked with an explicit sequence counter that is
 //    itself part of the state (and of snapshots);
 //  - a match always selects the OLDEST matching tuple (lowest sequence);
 //  - snapshots serialize buckets and chains in sorted order, so equal
-//    contents produce byte-identical snapshots (DESIGN.md invariant 2).
+//    contents produce byte-identical snapshots (DESIGN.md invariant 2) —
+//    including across replicas loaded with DIFFERENT plans (the chain
+//    representation is not observable).
 //
 // This class is NOT thread-safe; the owning state machine / runtime
 // serializes access.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "tuple/signature.hpp"
+#include "ts/plan.hpp"
 
 namespace ftl::ts {
 
@@ -34,6 +48,14 @@ using tuple::Tuple;
 
 class TupleSpace {
  public:
+  TupleSpace() = default;
+  // The read cache holds a pointer into this space's own buckets; copies
+  // must not inherit it. Moves keep it (the nodes move wholesale).
+  TupleSpace(const TupleSpace& other);
+  TupleSpace& operator=(const TupleSpace& other);
+  TupleSpace(TupleSpace&&) = default;
+  TupleSpace& operator=(TupleSpace&&) = default;
+
   /// Deposit a copy of `t`; returns its insertion sequence number.
   std::uint64_t put(Tuple t);
 
@@ -63,15 +85,58 @@ class TupleSpace {
   /// All tuples, oldest first (diagnostics and tests).
   std::vector<Tuple> contents() const;
 
-  /// Deterministic full-state serialization.
+  /// Attach (or clear, with nullptr) a storage plan. Existing chains are
+  /// re-represented to match the plan; contents and matching behavior are
+  /// unchanged.
+  void setPlan(std::shared_ptr<const StoragePlan> plan);
+  const StoragePlan* plan() const { return plan_.get(); }
+
+  /// Deterministic full-state serialization. Plan-independent: two spaces
+  /// with equal contents encode identically whatever their plans.
   void encode(Writer& w) const;
   static TupleSpace decode(Reader& r);
 
   bool operator==(const TupleSpace& other) const;
 
  private:
-  // Chain: insertion-ordered tuples (seq -> tuple).
-  using Chain = std::map<std::uint64_t, Tuple>;
+  /// Insertion-ordered tuples of one (signature, name) class. Two physical
+  /// representations with identical observable order:
+  ///  - Map (default): seq -> tuple, supports arbitrary-seq erase cheaply.
+  ///  - Ring (plan: fifo classes): deque of (seq, tuple), O(1) append and
+  ///    oldest-pop, contiguous scan. Seqs are strictly increasing in both
+  ///    (appends always carry a fresh, larger seq).
+  class Chain {
+   public:
+    bool ring() const { return ring_; }
+    void makeRing();
+    void makeMap();
+
+    void append(std::uint64_t seq, Tuple t);
+    /// Oldest-first scan; fn(seq, tuple) returns true to stop early.
+    template <typename Fn>
+    void scan(Fn&& fn) const {
+      if (ring_) {
+        for (const auto& [seq, t] : ring_rep_) {
+          if (fn(seq, t)) return;
+        }
+      } else {
+        for (const auto& [seq, t] : map_rep_) {
+          if (fn(seq, t)) return;
+        }
+      }
+    }
+    /// Remove and return the tuple with sequence `seq` (must exist).
+    Tuple extract(std::uint64_t seq);
+
+    bool empty() const { return ring_ ? ring_rep_.empty() : map_rep_.empty(); }
+    std::size_t size() const { return ring_ ? ring_rep_.size() : map_rep_.size(); }
+
+   private:
+    bool ring_ = false;
+    std::map<std::uint64_t, Tuple> map_rep_;
+    std::deque<std::pair<std::uint64_t, Tuple>> ring_rep_;
+  };
+
   struct Bucket {
     std::map<std::string, Chain> named;  // leading string actual -> chain
     Chain unnamed;                       // everything else
@@ -80,6 +145,9 @@ class TupleSpace {
   template <typename Fn>  // Fn(const Chain&) -> bool (stop?)
   void eachCandidateChain(SignatureKey sig, const Pattern& p, Fn&& fn) const;
   void pruneBucket(SignatureKey sig);
+  /// Leading string actual of `p` without allocating, or nullptr.
+  static const std::string* leadingName(const Pattern& p);
+  void noteMutation() { ++mut_count_; }
 
   // Buckets hash by signature key: lookup is O(1) and nothing iterates this
   // map in storage order (contents/encode re-sort by insertion seq, so
@@ -87,6 +155,20 @@ class TupleSpace {
   std::unordered_map<SignatureKey, Bucket> buckets_;
   std::uint64_t next_seq_ = 1;
   std::size_t size_ = 0;
+
+  std::shared_ptr<const StoragePlan> plan_;
+  // One-entry read cache for read-mostly classes: remembers the chain the
+  // last cached rd resolved to. Valid only while mut == mut_count_ (any
+  // mutation invalidates; chain pointers are node-stable until erased, and
+  // every erase bumps mut_count_ first).
+  struct ReadCache {
+    SignatureKey sig = 0;
+    std::string name;
+    const Chain* chain = nullptr;
+    std::uint64_t mut = 0;
+  };
+  mutable ReadCache rcache_;
+  std::uint64_t mut_count_ = 0;
 };
 
 }  // namespace ftl::ts

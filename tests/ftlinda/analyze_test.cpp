@@ -1,0 +1,306 @@
+// Whole-program tuple-flow analyzer (ftlinda/analyze.hpp): paradigm
+// classification, the V5xx rules, plan emission, and golden-file checks of
+// the report format over the shipped paradigm examples.
+//
+// Programs are built from the ftl-analyze input language via
+// parseProgramText, which keeps each case readable as the paper's notation.
+// Golden files live in tools/testdata/golden/; regenerate with
+//   FTL_UPDATE_GOLDEN=1 ./test_ftlinda --gtest_filter='Analyze.Golden*'
+#include "ftlinda/analyze.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "ts/plan.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+ProgramAnalysis analyzeText(std::string_view text) {
+  return analyzeProgram(parseProgramText(text));
+}
+
+const ClassInfo* findClass(const ProgramAnalysis& a, std::string_view name) {
+  for (const auto& c : a.classes) {
+    if (c.id.name == name) return &c;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------- classification --
+
+TEST(Analyze, ClassifiesBagOfTasksAsQueue) {
+  const auto a = analyzeText(R"(
+    < true => out TSmain ("task", 1) >
+    < in TSmain ("task", ?int) => out TSmain ("done", ?0) >
+    < in TSmain ("done", ?int) => skip >
+  )");
+  EXPECT_TRUE(a.ok());
+  const ClassInfo* task = findClass(a, "task");
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->paradigm, ts::Paradigm::Queue);
+  EXPECT_EQ(task->producers, 1);
+  EXPECT_EQ(task->takers, 1);
+  EXPECT_EQ(task->blocking_guards, 1);
+}
+
+TEST(Analyze, ClassifiesDistributedVariable) {
+  const auto a = analyzeText(R"(
+    ("x", 0)
+    < rd TSmain ("x", ?int) => skip >
+    < in TSmain ("x", ?int) => out TSmain ("x", ?0 + 1) >
+  )");
+  EXPECT_TRUE(a.ok());
+  const ClassInfo* x = findClass(a, "x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->paradigm, ts::Paradigm::DistributedVariable);
+  // The increment takes but re-deposits the class in the same branch.
+  EXPECT_TRUE(x->takers_redeposit);
+}
+
+TEST(Analyze, ClassifiesSemaphore) {
+  const auto a = analyzeText(R"(
+    ("sem")
+    < in TSmain ("sem") => skip >
+    < true => out TSmain ("sem") >
+  )");
+  EXPECT_TRUE(a.ok());
+  const ClassInfo* sem = findClass(a, "sem");
+  ASSERT_NE(sem, nullptr);
+  EXPECT_EQ(sem->paradigm, ts::Paradigm::Semaphore);
+  EXPECT_TRUE(sem->token_only);
+}
+
+TEST(Analyze, DataFlowDemotesSemaphoreToQueue) {
+  // Same access shape as a semaphore, but values ride on the tuple: the
+  // formal consumer breaks token_only.
+  const auto a = analyzeText(R"(
+    < in TSmain ("tok", ?int) => skip >
+    < true => out TSmain ("tok", 3) >
+  )");
+  const ClassInfo* tok = findClass(a, "tok");
+  ASSERT_NE(tok, nullptr);
+  EXPECT_FALSE(tok->token_only);
+  EXPECT_EQ(tok->paradigm, ts::Paradigm::Queue);
+}
+
+// --------------------------------------------------------------- rules --
+
+TEST(Analyze, V500BlockedForeverIsError) {
+  const auto a = analyzeText(R"(
+    < in TSmain ("never", ?int) => skip >
+    < true => out TSmain ("other", 1) >
+  )");
+  EXPECT_FALSE(a.ok());
+  const ProgramDiagnostic* d = a.find(RuleId::GuardNeverSatisfied);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->diag.severity, Severity::Error);
+  EXPECT_EQ(d->statement, 0);
+  EXPECT_EQ(d->diag.branch, 0);
+}
+
+TEST(Analyze, V501DeadConditionalGuardIsWarning) {
+  const auto a = analyzeText(R"(
+    < inp TSmain ("ghost", ?int) => skip
+      or true => skip >
+  )");
+  EXPECT_TRUE(a.ok());  // warnings never fail a program
+  const ProgramDiagnostic* d = a.find(RuleId::DeadConditionalGuard);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->diag.severity, Severity::Warning);
+}
+
+TEST(Analyze, V502DeadBodyMatchIsWarning) {
+  const auto a = analyzeText(R"(
+    < true => move TSmain ts4 ("nothing", ?int) >
+  )");
+  const ProgramDiagnostic* d = a.find(RuleId::DeadBodyMatch);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->diag.severity, Severity::Warning);
+  EXPECT_EQ(d->diag.op_index, 0);
+}
+
+TEST(Analyze, V510TupleLeakIsWarning) {
+  const auto a = analyzeText(R"(< true => out TSmain ("orphan", 1) >)");
+  EXPECT_TRUE(a.ok());
+  const ProgramDiagnostic* d = a.find(RuleId::TupleLeak);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->diag.severity, Severity::Warning);
+  EXPECT_EQ(d->statement, 0);
+}
+
+TEST(Analyze, V520TypeConflictBeatsGenericRules) {
+  const auto a = analyzeText(R"(
+    < true => out TSmain ("job", 1) >
+    < in TSmain ("job", ?str) => skip >
+  )");
+  EXPECT_FALSE(a.ok());
+  ASSERT_NE(a.find(RuleId::ClassTypeConflict), nullptr);
+  // The conflict explains BOTH the unsatisfied guard and the unconsumed
+  // deposit: neither generic rule may double-report.
+  EXPECT_EQ(a.find(RuleId::GuardNeverSatisfied), nullptr);
+  EXPECT_EQ(a.find(RuleId::TupleLeak), nullptr);
+}
+
+TEST(Analyze, FailureTuplesHaveImplicitProducer) {
+  // The runtime deposits ("failure", host) into monitored spaces; a monitor
+  // program is well-formed even though no statement produces the class.
+  const auto a = analyzeText(R"(
+    < in TSmain ("failure", ?int) => out TSmain ("alert", ?0) >
+    < in TSmain ("alert", ?int) => skip >
+  )");
+  EXPECT_TRUE(a.ok()) << a.toText();
+  EXPECT_EQ(a.find(RuleId::GuardNeverSatisfied), nullptr);
+}
+
+TEST(Analyze, DynamicNameSatisfiesAnyNameOfSignature) {
+  // The producer's leading field flows from the guard: statically it may
+  // carry ANY name, so the ("want", int) consumer is satisfiable.
+  const auto a = analyzeText(R"(
+    < in TSmain ("key", ?str) => out TSmain (?0, 1) >
+    < true => out TSmain ("key", "want") >
+    < in TSmain ("want", ?int) => skip >
+  )");
+  EXPECT_TRUE(a.ok()) << a.toText();
+}
+
+TEST(Analyze, InvalidStatementIsRecordedAndSkipped) {
+  // ?2 is out of range: statement 0 fails the per-statement verifier and
+  // must not contribute to the graph (so no ("bad", int) class appears).
+  const auto a = analyzeText(R"(
+    < in TSmain ("bad", ?int) => out TSmain ("bad", ?2) >
+  )");
+  EXPECT_FALSE(a.ok());
+  ASSERT_EQ(a.invalid.size(), 1u);
+  EXPECT_EQ(a.invalid[0].first, 0);
+  EXPECT_TRUE(a.classes.empty());
+}
+
+TEST(Analyze, InitialTuplesAreProducers) {
+  const auto a = analyzeText(R"(
+    ("seed", 1)
+    < in TSmain ("seed", ?int) => skip >
+  )");
+  EXPECT_TRUE(a.ok());
+  const ClassInfo* seed = findClass(a, "seed");
+  ASSERT_NE(seed, nullptr);
+  EXPECT_EQ(seed->producers, 1);
+}
+
+// ----------------------------------------------------------------- plan --
+
+TEST(Analyze, PlanMarksFifoAndReadMostly) {
+  const auto a = analyzeText(R"(
+    < true => out TSmain ("q", 1) >
+    < in TSmain ("q", ?int) => skip >
+    ("v", 0)
+    < rd TSmain ("v", ?int) => skip >
+  )");
+  const auto* q = a.plan.find(findClass(a, "q")->id.sig, "q");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->paradigm, ts::Paradigm::Queue);
+  EXPECT_TRUE(q->fifo);
+  EXPECT_FALSE(q->no_blocking_consumers);
+  const auto* v = a.plan.find(findClass(a, "v")->id.sig, "v");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->paradigm, ts::Paradigm::DistributedVariable);
+  EXPECT_TRUE(v->read_mostly);
+}
+
+TEST(Analyze, PlanPinnedConsumerYieldsShardKey) {
+  // Every consumer pins field 1 to a concrete value: the plan advertises it
+  // as the shard key.
+  const auto a = analyzeText(R"(
+    < true => out TSmain ("part", 3, 10) >
+    < inp TSmain ("part", 3, ?int) => skip
+      or true => skip >
+  )");
+  const auto* e = a.plan.find(findClass(a, "part")->id.sig, "part");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->shard_key_field, 1);
+}
+
+TEST(Analyze, PlanMergesAcrossSpacesConservatively) {
+  // ("job", int) is a FIFO queue in TSmain but read-mostly-shaped in ts4;
+  // the merged entry (plans are keyed by sig+name only) must drop both
+  // specializations rather than mis-apply one.
+  const auto a = analyzeText(R"(
+    < true => out TSmain ("job", 1) >
+    < in TSmain ("job", ?int) => skip >
+    < true => out ts4 ("job", 2) >
+    < rd ts4 ("job", ?int) => skip >
+  )");
+  const auto* e = a.plan.find(findClass(a, "job")->id.sig, "job");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->paradigm, ts::Paradigm::Unknown);
+  EXPECT_FALSE(e->fifo);
+  EXPECT_FALSE(e->read_mostly);
+}
+
+TEST(Analyze, PlanTextRoundTripsThroughParse) {
+  const auto a = analyzeText(R"(
+    < true => out TSmain ("q", 1) >
+    < in TSmain ("q", ?int) => skip >
+  )");
+  const ts::StoragePlan back = ts::StoragePlan::parseText(a.plan.toText());
+  EXPECT_EQ(back.toText(), a.plan.toText());
+}
+
+// --------------------------------------------------------------- golden --
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Analyze examples/ags/<name>.ftl and compare the full text report against
+/// tools/testdata/golden/<name>.txt. FTL_UPDATE_GOLDEN=1 rewrites the
+/// golden instead (then re-run without it).
+void goldenCase(const std::string& name) {
+  const std::string src = std::string(FTL_SOURCE_DIR) + "/examples/ags/" + name + ".ftl";
+  const std::string gold = std::string(FTL_SOURCE_DIR) + "/tools/testdata/golden/" + name + ".txt";
+  const ProgramAnalysis a = analyzeProgram(parseProgramText(readFile(src)));
+  const std::string report = a.toText();
+  if (std::getenv("FTL_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(gold);
+    out << report;
+    return;
+  }
+  EXPECT_EQ(report, readFile(gold)) << "golden mismatch for " << name
+                                    << " (FTL_UPDATE_GOLDEN=1 regenerates)";
+}
+
+TEST(Analyze, GoldenBagOfTasks) { goldenCase("bag_of_tasks"); }
+TEST(Analyze, GoldenDistributedVariable) { goldenCase("distributed_variable"); }
+TEST(Analyze, GoldenSemaphore) { goldenCase("semaphore"); }
+TEST(Analyze, GoldenReplicatedServer) { goldenCase("replicated_server"); }
+
+// ----------------------------------------------------------------- misc --
+
+TEST(Analyze, JsonReportIsWellFormedEnough) {
+  const auto a = analyzeText(R"(< true => out TSmain ("orphan", 1) >)");
+  const std::string json = a.toJson();
+  EXPECT_NE(json.find("\"classes\""), std::string::npos);
+  EXPECT_NE(json.find("\"tuple-leak\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+}
+
+TEST(Analyze, ParseProgramTextRejectsGarbage) {
+  EXPECT_THROW(parseProgramText("what is this"), Error);
+}
+
+TEST(Analyze, EmptyProgramIsClean) {
+  const auto a = analyzeText("");
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(a.classes.empty());
+  EXPECT_TRUE(a.plan.empty());
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

@@ -237,6 +237,60 @@ TEST(Verify, RuntimeRefusesBeforeAnyMulticast) {
   EXPECT_TRUE(rt.inp(kTsMain, makePattern("x", fInt())).has_value());
 }
 
+TEST(Verify, DuplicateGuardIsDeadBranchWarning) {
+  // Branch 1 repeats branch 0's (ts, pattern): all guard kinds fire exactly
+  // when a match exists and branches are tried in order, so branch 1 can
+  // never be selected. Warning, not error — the statement still works.
+  const Ags ags = AgsBuilder()
+                      .when(guardIn(kTsMain, makePattern("x", fInt())))
+                      .then(opOut(kTsMain, makeTemplate("a", bound(0))))
+                      .orWhen(guardIn(kTsMain, makePattern("x", fInt())))
+                      .then(opOut(kTsMain, makeTemplate("b", bound(0))))
+                      .build();
+  const VerifyResult vr = verify(ags);
+  EXPECT_TRUE(vr.ok());
+  const Diagnostic* d = vr.find(RuleId::DuplicateGuard);
+  ASSERT_NE(d, nullptr) << vr.toString();
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_EQ(d->branch, 1);
+}
+
+TEST(Verify, DuplicateGuardAcrossKindsIsStillDead) {
+  // A rd after an inp of the same pattern: the match condition is the same,
+  // so the earlier branch still always wins.
+  const Ags ags = AgsBuilder()
+                      .when(guardInp(kTsMain, makePattern("x", fInt())))
+                      .then(opOut(kTsMain, makeTemplate("a", bound(0))))
+                      .orWhen(guardRd(kTsMain, makePattern("x", fInt())))
+                      .then(opOut(kTsMain, makeTemplate("b", bound(0))))
+                      .build();
+  const VerifyResult vr = verify(ags);
+  const Diagnostic* d = vr.find(RuleId::DuplicateGuard);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->branch, 1);
+}
+
+TEST(Verify, DifferentPatternsAreNotDuplicates) {
+  // Same ts and arity, but a different actual: distinct match conditions.
+  const Ags ags = AgsBuilder()
+                      .when(guardInp(kTsMain, makePattern("x", fInt())))
+                      .then(opOut(kTsMain, makeTemplate("a", bound(0))))
+                      .orWhen(guardInp(kTsMain, makePattern("y", fInt())))
+                      .then(opOut(kTsMain, makeTemplate("b", bound(0))))
+                      .build();
+  EXPECT_EQ(verify(ags).find(RuleId::DuplicateGuard), nullptr);
+}
+
+TEST(Verify, SamePatternDifferentSpaceIsNotDuplicate) {
+  const Ags ags = AgsBuilder()
+                      .when(guardInp(kTsMain, makePattern("x", fInt())))
+                      .then(opOut(kTsMain, makeTemplate("a", bound(0))))
+                      .orWhen(guardInp(kTsAux, makePattern("x", fInt())))
+                      .then(opOut(kTsMain, makeTemplate("b", bound(0))))
+                      .build();
+  EXPECT_EQ(verify(ags).find(RuleId::DuplicateGuard), nullptr);
+}
+
 TEST(Verify, DiagnosticToStringIsStable) {
   const Ags bad = oneBranch(guardTrue(), {opDestroyTs(kTsMain)});
   const VerifyResult vr = verify(bad);

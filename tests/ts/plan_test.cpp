@@ -1,0 +1,215 @@
+// StoragePlan and plan-specialized TupleSpace storage.
+//
+// The contract under test (ts/plan.hpp): a plan NEVER changes observable
+// behavior — matching results, insertion order, snapshot bytes — it only
+// switches chain representations (ring buffers for FIFO queue classes) and
+// enables the read cache (read-mostly classes). The equivalence tests here
+// drive a planned and an unplanned space through identical histories and
+// demand identical answers AND identical encode bytes.
+#include "ts/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "ts/registry.hpp"
+#include "ts/tuple_space.hpp"
+
+namespace ftl::ts {
+namespace {
+
+using tuple::fInt;
+using tuple::fStr;
+using tuple::makePattern;
+using tuple::makeTuple;
+using tuple::signatureOf;
+
+SignatureKey sigStrInt() { return signatureOf(makeTuple("x", 0)); }
+
+/// A plan marking ("job", str int) FIFO and ("cfg", str int) read-mostly.
+std::shared_ptr<const StoragePlan> testPlan() {
+  auto plan = std::make_shared<StoragePlan>();
+  PlanEntry fifo;
+  fifo.paradigm = Paradigm::Queue;
+  fifo.fifo = true;
+  plan->add(sigStrInt(), "job", fifo);
+  PlanEntry rm;
+  rm.paradigm = Paradigm::DistributedVariable;
+  rm.read_mostly = true;
+  rm.no_blocking_consumers = true;
+  plan->add(sigStrInt(), "cfg", rm);
+  return plan;
+}
+
+// ------------------------------------------------------------ StoragePlan --
+
+TEST(StoragePlan, FindAndSigMayBlock) {
+  const auto plan = testPlan();
+  ASSERT_NE(plan->find(sigStrInt(), "job"), nullptr);
+  EXPECT_TRUE(plan->find(sigStrInt(), "job")->fifo);
+  EXPECT_EQ(plan->find(sigStrInt(), "nope"), nullptr);
+  EXPECT_EQ(plan->find(123u, "job"), nullptr);
+  // "job" lacks no_blocking_consumers, so the signature as a whole may
+  // block; unknown signatures always may.
+  EXPECT_TRUE(plan->sigMayBlock(sigStrInt()));
+  EXPECT_TRUE(plan->sigMayBlock(123u));
+
+  StoragePlan only_cfg;
+  PlanEntry nb;
+  nb.no_blocking_consumers = true;
+  only_cfg.add(sigStrInt(), "cfg", nb);
+  EXPECT_FALSE(only_cfg.sigMayBlock(sigStrInt()));
+}
+
+TEST(StoragePlan, TextRoundTrip) {
+  const auto plan = testPlan();
+  const std::string text = plan->toText();
+  const StoragePlan back = StoragePlan::parseText(text);
+  EXPECT_EQ(back.toText(), text);
+  EXPECT_EQ(back.size(), plan->size());
+  ASSERT_NE(back.find(sigStrInt(), "cfg"), nullptr);
+  EXPECT_EQ(*back.find(sigStrInt(), "cfg"), *plan->find(sigStrInt(), "cfg"));
+}
+
+TEST(StoragePlan, TextRoundTripEscapedName) {
+  StoragePlan plan;
+  PlanEntry e;
+  e.paradigm = Paradigm::Semaphore;
+  plan.add(7u, "we\"ird\\name", e);
+  const StoragePlan back = StoragePlan::parseText(plan.toText());
+  ASSERT_NE(back.find(7u, "we\"ird\\name"), nullptr);
+  EXPECT_EQ(back.find(7u, "we\"ird\\name")->paradigm, Paradigm::Semaphore);
+}
+
+TEST(StoragePlan, ParseRejectsMalformed) {
+  EXPECT_THROW(StoragePlan::parseText("not a plan"), Error);
+  EXPECT_THROW(StoragePlan::parseText("ftl-plan v1\nclass sig=zzz name=\"a\""), Error);
+  EXPECT_THROW(StoragePlan::parseText("ftl-plan v1\nclass sig=0x1 fifo=1"), Error);  // no name
+  EXPECT_THROW(StoragePlan::parseText("ftl-plan v1\nclass sig=0x1 name=\"a\" fifo=2"), Error);
+  // Hint keys may be omitted (they default); identity keys may not.
+  EXPECT_NO_THROW(StoragePlan::parseText("ftl-plan v1\nclass sig=0x1 name=\"a\""));
+}
+
+// --------------------------------------------- representation equivalence --
+
+/// Drive `planned` and `plain` through the same history, asserting equal
+/// answers at every step and equal snapshots at the end.
+void expectEquivalent(TupleSpace& planned, TupleSpace& plain) {
+  const auto step = [&](auto&& op) {
+    auto a = op(planned);
+    auto b = op(plain);
+    EXPECT_EQ(a, b);
+  };
+  for (int i = 0; i < 8; ++i) {
+    step([&](TupleSpace& s) { return s.put(makeTuple("job", 100 + i)); });
+    step([&](TupleSpace& s) { return s.put(makeTuple("cfg", 7)); });
+    step([&](TupleSpace& s) { return s.put(makeTuple("other", i, 0.5)); });
+  }
+  step([&](TupleSpace& s) { return s.take(makePattern("job", fInt())); });   // oldest
+  step([&](TupleSpace& s) { return s.take(makePattern("job", 104)); });      // mid-chain
+  step([&](TupleSpace& s) { return s.read(makePattern("cfg", fInt())); });
+  step([&](TupleSpace& s) { return s.read(makePattern("cfg", fInt())); });   // cached rd
+  step([&](TupleSpace& s) { return s.take(makePattern(fStr(), fInt())); });  // cross-name
+  step([&](TupleSpace& s) { return s.takeAll(makePattern("job", fInt())); });
+  step([&](TupleSpace& s) { return s.put(makeTuple("job", 1)); });  // refill after drain
+  step([&](TupleSpace& s) { return s.read(makePattern("job", fInt())); });
+  step([&](TupleSpace& s) { return s.count(makePattern(fStr(), fInt())); });
+  step([&](TupleSpace& s) { return s.contents(); });
+  EXPECT_EQ(planned, plain);
+
+  Writer wa;
+  planned.encode(wa);
+  Writer wb;
+  plain.encode(wb);
+  EXPECT_EQ(wa.buffer(), wb.buffer());  // snapshots are plan-independent
+}
+
+TEST(TupleSpacePlan, PlannedSpaceBehavesIdentically) {
+  TupleSpace planned;
+  planned.setPlan(testPlan());
+  TupleSpace plain;
+  expectEquivalent(planned, plain);
+}
+
+TEST(TupleSpacePlan, SetPlanRerepresentsExistingChains) {
+  // Deposits BEFORE the plan attaches land in map chains; setPlan must
+  // convert them in place without disturbing order.
+  TupleSpace planned;
+  TupleSpace plain;
+  for (int i = 0; i < 5; ++i) {
+    planned.put(makeTuple("job", i));
+    plain.put(makeTuple("job", i));
+  }
+  planned.setPlan(testPlan());
+  EXPECT_EQ(planned, plain);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(planned.take(makePattern("job", fInt()))->field(1).asInt(), i);
+  }
+  EXPECT_TRUE(planned.empty());
+  (void)plain.takeAll(makePattern("job", fInt()));
+}
+
+TEST(TupleSpacePlan, RingChainSurvivesSnapshotRoundTrip) {
+  TupleSpace s;
+  s.setPlan(testPlan());
+  for (int i = 0; i < 4; ++i) s.put(makeTuple("job", i));
+  (void)s.take(makePattern("job", 2));  // mid-ring erase, then refill
+  s.put(makeTuple("job", 9));
+  Writer w;
+  s.encode(w);
+  Reader r(w.buffer());
+  const TupleSpace back = TupleSpace::decode(r);
+  EXPECT_EQ(back, s);
+}
+
+TEST(TupleSpacePlan, ReadCacheStaysCorrectAcrossMutation) {
+  TupleSpace s;
+  s.setPlan(testPlan());
+  s.put(makeTuple("cfg", 1));
+  EXPECT_EQ(s.read(makePattern("cfg", fInt()))->field(1).asInt(), 1);
+  EXPECT_EQ(s.read(makePattern("cfg", fInt()))->field(1).asInt(), 1);  // cache hit
+  // Any mutation must invalidate the cache: replace the value and re-read.
+  (void)s.take(makePattern("cfg", fInt()));
+  s.put(makeTuple("cfg", 2));
+  EXPECT_EQ(s.read(makePattern("cfg", fInt()))->field(1).asInt(), 2);
+  // Draining the class entirely must not leave a stale hit behind.
+  (void)s.take(makePattern("cfg", fInt()));
+  EXPECT_EQ(s.read(makePattern("cfg", fInt())), std::nullopt);
+}
+
+TEST(TupleSpacePlan, ReadCacheCountersFire) {
+  obs::Counter& hit = obs::counter("ftl_plan_read_cache_hit");
+  TupleSpace s;
+  s.setPlan(testPlan());
+  s.put(makeTuple("cfg", 42));
+  (void)s.read(makePattern("cfg", fInt()));  // fills the cache
+  const std::uint64_t before = hit.value();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(s.read(makePattern("cfg", fInt()))->field(1).asInt(), 42);
+  }
+  EXPECT_GE(hit.value(), before + 10);
+}
+
+TEST(TupleSpacePlan, CopyDropsCacheButKeepsPlan) {
+  TupleSpace s;
+  s.setPlan(testPlan());
+  s.put(makeTuple("cfg", 5));
+  (void)s.read(makePattern("cfg", fInt()));  // warm the cache
+  const TupleSpace copy = s;                 // must not alias s's chains
+  EXPECT_EQ(copy, s);
+  EXPECT_EQ(copy.read(makePattern("cfg", fInt()))->field(1).asInt(), 5);
+  EXPECT_NE(copy.plan(), nullptr);
+}
+
+TEST(TupleSpacePlan, RegistryPropagatesPlanToNewSpaces) {
+  TsRegistry reg(true);
+  reg.setPlan(testPlan());
+  const auto h = reg.create({true, true});
+  EXPECT_NE(reg.get(kTsMain).plan(), nullptr);
+  EXPECT_NE(reg.get(h).plan(), nullptr);
+  reg.get(h).put(makeTuple("job", 3));
+  EXPECT_EQ(reg.get(h).take(makePattern("job", fInt()))->field(1).asInt(), 3);
+}
+
+}  // namespace
+}  // namespace ftl::ts

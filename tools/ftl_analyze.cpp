@@ -1,0 +1,191 @@
+// ftl-analyze: whole-program tuple-flow analysis (ftlinda/analyze.hpp).
+//
+// Where ftl-lint verifies each Atomic Guarded Statement in isolation, this
+// tool treats ALL its input files as ONE program: every AGS is a statement
+// some process executes, every bare tuple is an initial deposit into TSmain.
+// It prints the producer/consumer class graph with paradigm classification,
+// the V5xx cross-statement diagnostics (docs/VERIFIER.md), and the storage
+// plan the runtime can load (docs/ANALYZER.md):
+//
+//   ftl-analyze examples/ags/*.ftl                # text report to stdout
+//   ftl-analyze --json prog.ftl                   # one JSON object
+//   ftl-analyze --plan-out prog.plan prog.ftl     # write the StoragePlan
+//
+// Diagnostics additionally go to stderr clang-style with file:line anchors.
+// Exit status: 0 clean (warnings allowed unless --werror), 1 diagnostics or
+// unreadable input, 2 usage errors.
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ftlinda/analyze.hpp"
+#include "ftlinda/ags_text.hpp"
+#include "tuple/parse.hpp"
+
+namespace {
+
+using namespace ftl;
+using namespace ftl::ftlinda;
+
+struct StatementLoc {
+  std::string file;
+  std::size_t line = 0;
+};
+
+std::size_t lineOfOffset(const std::string& text, std::size_t offset) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+void skipWsAndComments(const std::string& text, std::size_t& pos) {
+  for (;;) {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+    if (pos < text.size() && text[pos] == '#') {
+      while (pos < text.size() && text[pos] != '\n') ++pos;
+      continue;
+    }
+    return;
+  }
+}
+
+/// Parse one file into the program, recording a file:line anchor per
+/// statement. Returns false (with a message on stderr) on parse failure.
+bool loadFile(const std::string& path, ProgramInput& program,
+              std::vector<StatementLoc>& locs) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "ftl-analyze: cannot open '" << path << "'\n";
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::size_t pos = 0;
+  for (;;) {
+    skipWsAndComments(text, pos);
+    if (pos >= text.size()) return true;
+    const std::size_t line = lineOfOffset(text, pos);
+    try {
+      if (text[pos] == '<') {
+        program.statements.push_back(parseAgsAt(text, pos));
+        locs.push_back({path, line});
+      } else if (text[pos] == '(') {
+        const tuple::Pattern p = tuple::parsePatternAt(text, pos);
+        if (p.formalCount() == 0) {
+          std::vector<tuple::Value> values;
+          values.reserve(p.arity());
+          for (const auto& f : p.fields()) values.push_back(f.actual);
+          program.initial.push_back(tuple::Tuple(std::move(values)));
+        }
+      } else {
+        std::cerr << path << ":" << line << ": error: expected '<' (AGS) or '(' "
+                  << "(tuple/pattern), got '" << text[pos] << "'\n";
+        return false;
+      }
+    } catch (const Error& e) {
+      std::cerr << path << ":" << line << ": error: " << e.what() << "\n";
+      return false;
+    }
+  }
+}
+
+void printAnchored(const std::vector<StatementLoc>& locs, std::int32_t statement,
+                   const std::string& detail) {
+  if (statement >= 0 && static_cast<std::size_t>(statement) < locs.size()) {
+    const auto& loc = locs[static_cast<std::size_t>(statement)];
+    std::cerr << loc.file << ":" << loc.line << ": " << detail << "\n";
+  } else {
+    std::cerr << "ftl-analyze: " << detail << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool werror = false;
+  bool json = false;
+  std::string plan_out;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--plan-out") {
+      if (i + 1 >= argc) {
+        std::cerr << "ftl-analyze: --plan-out needs a file argument\n";
+        return 2;
+      }
+      plan_out = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: ftl-analyze [--json] [--plan-out FILE] [--werror] FILE...\n"
+                << "Whole-program tuple-flow analysis over FT-Linda AGS dumps.\n"
+                << "All input files form ONE program. Rules: docs/VERIFIER.md "
+                << "(V5xx);\nmodel and plan format: docs/ANALYZER.md.\n"
+                << "Exit 0 = clean, 1 = diagnostics, 2 = usage.\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ftl-analyze: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: ftl-analyze [--json] [--plan-out FILE] [--werror] FILE...\n";
+    return 2;
+  }
+
+  ProgramInput program;
+  std::vector<StatementLoc> locs;
+  for (const auto& f : files) {
+    if (!loadFile(f, program, locs)) return 1;
+  }
+
+  const ProgramAnalysis analysis = analyzeProgram(program);
+
+  // Anchored diagnostics to stderr; the report itself to stdout.
+  int errors = 0;
+  int warnings = 0;
+  for (const auto& [idx, vr] : analysis.invalid) {
+    for (const auto& d : vr.diagnostics) {
+      printAnchored(locs, idx, d.toString());
+      if (d.severity == Severity::Error) {
+        ++errors;
+      } else {
+        ++warnings;
+      }
+    }
+  }
+  for (const auto& pd : analysis.diagnostics) {
+    printAnchored(locs, pd.statement, pd.diag.toString());
+    if (pd.diag.severity == Severity::Error) {
+      ++errors;
+    } else {
+      ++warnings;
+    }
+  }
+
+  std::cout << (json ? analysis.toJson() : analysis.toText());
+
+  if (!plan_out.empty()) {
+    std::ofstream out(plan_out);
+    if (!out) {
+      std::cerr << "ftl-analyze: cannot write '" << plan_out << "'\n";
+      return 1;
+    }
+    out << analysis.plan.toText();
+  }
+
+  if (errors > 0 || (werror && warnings > 0)) return 1;
+  return 0;
+}

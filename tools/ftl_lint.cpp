@@ -12,6 +12,10 @@
 //
 //   file.ftl:12: error: [formal-out-of-range] branch 0, op 1, field 2: ...
 //
+// --format=json instead emits one JSON object with a "findings" array
+// (file, line, rule, severity, branch/op/field, message) for tooling;
+// the text format stays byte-stable for humans and golden tests.
+//
 // Exit status: 0 clean (warnings allowed unless --werror), 1 diagnostics
 // or unreadable input, 2 usage errors.
 #include <cctype>
@@ -35,6 +39,20 @@ struct LintStats {
   int errors = 0;
   int warnings = 0;
   int statements = 0;
+};
+
+/// One machine-readable finding for --format=json. `rule` is a verifier
+/// rule name, or "parse-error" / "io-error" for non-verifier failures
+/// (branch/op/field are -1 there).
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string severity;  // "error" | "warning"
+  std::string rule;
+  std::int32_t branch = -1;
+  std::int32_t op_index = -1;
+  std::int32_t field_index = -1;
+  std::string message;
 };
 
 std::size_t lineOfOffset(const std::string& text, std::size_t offset) {
@@ -72,10 +90,53 @@ void skipWsAndComments(const std::string& text, std::size_t& pos) {
   }
 }
 
-void lintFile(const std::string& path, bool werror, LintStats& stats) {
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void lintFile(const std::string& path, bool werror, LintStats& stats,
+              std::vector<Finding>* findings) {
+  const bool text_mode = findings == nullptr;
+  const auto record = [&](std::size_t line, bool is_err, const std::string& rule,
+                          const Diagnostic* d, const std::string& message) {
+    if (text_mode) return;
+    Finding f;
+    f.file = path;
+    f.line = line;
+    f.severity = is_err ? "error" : "warning";
+    f.rule = rule;
+    if (d != nullptr) {
+      f.branch = d->branch;
+      f.op_index = d->op_index;
+      f.field_index = d->field_index;
+    }
+    f.message = message;
+    findings->push_back(std::move(f));
+  };
+
   std::ifstream in(path);
   if (!in) {
-    std::cerr << "ftl-lint: cannot open '" << path << "'\n";
+    if (text_mode) std::cerr << "ftl-lint: cannot open '" << path << "'\n";
+    record(0, true, "io-error", nullptr, "cannot open file");
     stats.errors += 1;
     return;
   }
@@ -96,7 +157,11 @@ void lintFile(const std::string& path, bool werror, LintStats& stats) {
         ags = parseAgsAt(text, pos);
       } catch (const Error& e) {
         const std::size_t at = offsetFromError(e.what(), start);
-        std::cerr << path << ":" << lineOfOffset(text, at) << ": error: " << e.what() << "\n";
+        const std::size_t at_line = lineOfOffset(text, at);
+        if (text_mode) {
+          std::cerr << path << ":" << at_line << ": error: " << e.what() << "\n";
+        }
+        record(at_line, true, "parse-error", nullptr, e.what());
         ++stats.errors;
         return;  // cannot resynchronize reliably after a parse error
       }
@@ -113,8 +178,11 @@ void lintFile(const std::string& path, bool werror, LintStats& stats) {
             break;
           }
         }
-        std::cerr << path << ":" << line << ": " << (is_err ? "error" : "warning") << ": "
-                  << detail << "\n";
+        if (text_mode) {
+          std::cerr << path << ":" << line << ": " << (is_err ? "error" : "warning") << ": "
+                    << detail << "\n";
+        }
+        record(line, is_err, ruleIdName(d.rule_id), &d, d.message);
         if (is_err) {
           ++stats.errors;
         } else {
@@ -127,13 +195,21 @@ void lintFile(const std::string& path, bool werror, LintStats& stats) {
         ++stats.statements;
       } catch (const Error& e) {
         const std::size_t at = offsetFromError(e.what(), start);
-        std::cerr << path << ":" << lineOfOffset(text, at) << ": error: " << e.what() << "\n";
+        const std::size_t at_line = lineOfOffset(text, at);
+        if (text_mode) {
+          std::cerr << path << ":" << at_line << ": error: " << e.what() << "\n";
+        }
+        record(at_line, true, "parse-error", nullptr, e.what());
         ++stats.errors;
         return;
       }
     } else {
-      std::cerr << path << ":" << line << ": error: expected '<' (AGS) or '(' "
-                << "(tuple/pattern), got '" << c << "'\n";
+      const std::string msg =
+          std::string("expected '<' (AGS) or '(' (tuple/pattern), got '") + c + "'";
+      if (text_mode) {
+        std::cerr << path << ":" << line << ": error: " << msg << "\n";
+      }
+      record(line, true, "parse-error", nullptr, msg);
       ++stats.errors;
       return;
     }
@@ -144,13 +220,18 @@ void lintFile(const std::string& path, bool werror, LintStats& stats) {
 
 int main(int argc, char** argv) {
   bool werror = false;
+  bool json = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
     } else if (arg == "-h" || arg == "--help") {
-      std::cout << "usage: ftl-lint [--werror] FILE...\n"
+      std::cout << "usage: ftl-lint [--werror] [--format=text|json] FILE...\n"
                 << "Statically verifies FT-Linda AGS dumps and tuple-language "
                 << "files.\nRules: docs/VERIFIER.md. Exit 0 = clean, 1 = "
                 << "diagnostics, 2 = usage.\n";
@@ -163,16 +244,30 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: ftl-lint [--werror] FILE...\n";
+    std::cerr << "usage: ftl-lint [--werror] [--format=text|json] FILE...\n";
     return 2;
   }
   LintStats stats;
-  for (const auto& f : files) lintFile(f, werror, stats);
-  if (stats.errors == 0) {
+  std::vector<Finding> findings;
+  for (const auto& f : files) lintFile(f, werror, stats, json ? &findings : nullptr);
+  if (json) {
+    std::cout << "{\n  \"files\": " << files.size() << ",\n  \"statements\": "
+              << stats.statements << ",\n  \"errors\": " << stats.errors
+              << ",\n  \"warnings\": " << stats.warnings << ",\n  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      std::cout << (i ? ",\n    " : "\n    ") << "{\"file\": \"" << jsonEscape(f.file)
+                << "\", \"line\": " << f.line << ", \"severity\": \"" << f.severity
+                << "\", \"rule\": \"" << f.rule << "\", \"branch\": " << f.branch
+                << ", \"op\": " << f.op_index << ", \"field\": " << f.field_index
+                << ", \"message\": \"" << jsonEscape(f.message) << "\"}";
+    }
+    std::cout << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  } else if (stats.errors == 0) {
     std::cout << "ftl-lint: " << files.size() << " file(s), " << stats.statements
               << " statement(s), " << stats.warnings << " warning(s), 0 errors\n";
-    return 0;
+  } else {
+    std::cerr << "ftl-lint: " << stats.errors << " error(s)\n";
   }
-  std::cerr << "ftl-lint: " << stats.errors << " error(s)\n";
-  return 1;
+  return stats.errors == 0 ? 0 : 1;
 }

@@ -1,0 +1,13 @@
+# V500 fixture (guard-never-satisfied): the blocking `in` below names a
+# class — TSmain ("never", int) — that no statement and no initial tuple
+# ever deposits, so any process executing it blocks forever. ftl-analyze
+# must reject this program (error severity, non-zero exit).
+
+< in TSmain ("never", ?int) => skip >
+
+# A well-formed producer/consumer pair, so the program is otherwise alive
+# and the error is attributable to the statement above alone.
+
+< true => out TSmain ("other", 1) >
+< inp TSmain ("other", ?int) => skip
+  or true => skip >

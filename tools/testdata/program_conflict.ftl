@@ -1,0 +1,8 @@
+# V520 fixture (class-type-conflict): the producer deposits ("job", int)
+# but the consumer matches ("job", str) — same space, same leading name,
+# same arity, different field types. Classic typo'd-schema bug: the in
+# would block forever, but the root cause is the type mismatch, so
+# ftl-analyze must report V520 (error), not the generic V500.
+
+< true => out TSmain ("job", 1) >
+< in TSmain ("job", ?str) => skip >

@@ -1,0 +1,7 @@
+# V501 fixture (dead-conditional-guard): the inp guard matches a class —
+# TSmain ("ghost", int) — nothing deposits, so the first branch can never
+# fire and the statement always falls through to `or true`. Warning
+# severity (the statement itself never blocks): fails under --werror.
+
+< inp TSmain ("ghost", ?int) => skip
+  or true => skip >

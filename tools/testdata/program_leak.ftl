@@ -1,0 +1,5 @@
+# V510 fixture (tuple-leak): deposits into TSmain ("orphan", int) are
+# never read or taken by any statement — the space grows without bound.
+# Warning severity: ftl-analyze exits non-zero only under --werror.
+
+< true => out TSmain ("orphan", 1) >

@@ -53,7 +53,7 @@ RunStats runEmbedded(std::uint32_t replicas) {
   const Ags ags = incrementAgs();
   for (int i = 0; i < kRounds; ++i) {
     const auto start = Clock::now();
-    rt.execute(ags);
+    requireReply(rt.tryExecute(ags));
     res.latency.add(elapsedUs(start, Clock::now()));
   }
   res.msgs_per_ags = static_cast<double>(sys.network().totalStats().messages_sent) / kRounds;
@@ -83,7 +83,7 @@ RunStats runTupleServer(std::uint32_t replicas, bool via_sequencer) {
   const Ags ags = incrementAgs();
   for (int i = 0; i < kRounds; ++i) {
     const auto start = Clock::now();
-    rt.execute(ags);
+    requireReply(rt.tryExecute(ags));
     res.latency.add(elapsedUs(start, Clock::now()));
   }
   res.msgs_per_ags = static_cast<double>(sys.network().totalStats().messages_sent) / kRounds;

@@ -53,11 +53,11 @@ RunResult measureOpsPerSec(std::uint32_t hosts, int issuers, int per_issuer,
     threads.emplace_back([rt, per_issuer, &go, i] {
       while (!go.load()) std::this_thread::yield();
       for (int k = 0; k < per_issuer; ++k) {
-        rt->execute(AgsBuilder()
+        requireReply(rt->tryExecute(AgsBuilder()
                         .when(guardTrue())
                         .then(opOut(kTsMain, makeTemplate("t", i, k)))
                         .then(opInp(kTsMain, makePatternTemplate("t", i, k)))
-                        .build());
+                        .build()));
       }
     });
   }

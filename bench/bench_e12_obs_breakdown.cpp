@@ -71,7 +71,7 @@ Breakdown measure(std::uint32_t replicas, int rounds) {
   // own counters (the obs source reads the latter live).
   obs::resetAll();
   sys.network().resetStats();
-  for (int i = 0; i < rounds; ++i) rt.execute(increment);
+  for (int i = 0; i < rounds; ++i) requireReply(rt.tryExecute(increment));
 
   Breakdown b;
   b.ags = obs::counter("ftl_ags_replicated").value();

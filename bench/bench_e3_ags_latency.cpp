@@ -58,7 +58,7 @@ LatencySamples measure(std::uint32_t hosts, int body_outs, int rounds) {
   LatencySamples lat;
   for (int i = 0; i < rounds; ++i) {
     const auto start = Clock::now();
-    rt.execute(ags);
+    requireReply(rt.tryExecute(ags));
     lat.add(elapsedUs(start, Clock::now()));
   }
   return lat;

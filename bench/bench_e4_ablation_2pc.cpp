@@ -53,7 +53,7 @@ Result runFtLinda(std::uint32_t replicas, int rounds) {
   Result res;
   for (int i = 0; i < rounds; ++i) {
     const auto start = Clock::now();
-    rt.execute(increment);
+    requireReply(rt.tryExecute(increment));
     res.latency.add(elapsedUs(start, Clock::now()));
   }
   res.msgs_per_update =

@@ -53,35 +53,35 @@ struct Outcome {
 
 void ftWorker(LindaApi& rt) {
   for (;;) {
-    Reply r = rt.execute(
+    Reply r = requireReply(rt.tryExecute(
         AgsBuilder()
             .when(guardIn(kTsMain, makePattern("subtask", fInt())))
             .then(opOut(kTsMain,
                         makeTemplate("in_progress", static_cast<int>(rt.host()), bound(0))))
             .orWhen(guardIn(kTsMain, makePattern("shutdown")))
             .then(opOut(kTsMain, makeTemplate("shutdown")))
-            .build());
+            .build()));
     if (r.branch == 1) return;
     const std::int64_t id = r.boundInt(0);
     const std::int64_t result = spinWork(id);
-    rt.execute(AgsBuilder()
+    requireReply(rt.tryExecute(AgsBuilder()
                    .when(guardIn(kTsMain,
                                  makePattern("in_progress", static_cast<int>(rt.host()), id)))
                    .then(opOut(kTsMain, makeTemplate("result", id, result)))
-                   .build());
+                   .build()));
   }
 }
 
 void ftMonitor(LindaApi& rt) {
   for (;;) {
-    Reply fr = rt.execute(
-        AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build());
+    Reply fr = requireReply(rt.tryExecute(
+        AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build()));
     const std::int64_t dead = fr.boundInt(0);
     for (;;) {
-      Reply r = rt.execute(AgsBuilder()
+      Reply r = requireReply(rt.tryExecute(AgsBuilder()
                                .when(guardInp(kTsMain, makePattern("in_progress", dead, fInt())))
                                .then(opOut(kTsMain, makeTemplate("subtask", bound(0))))
-                               .build());
+                               .build()));
       if (!r.succeeded) break;
     }
   }
@@ -97,11 +97,11 @@ Outcome runFtLinda(int crashes) {
   for (int v = 0; v < crashes; ++v) {
     const net::HostId victim = 3 - static_cast<net::HostId>(v);
     auto& rt = sys.runtime(victim);
-    rt.execute(AgsBuilder()
+    requireReply(rt.tryExecute(AgsBuilder()
                    .when(guardIn(kTsMain, makePattern("subtask", fInt())))
                    .then(opOut(kTsMain, makeTemplate("in_progress",
                                                      static_cast<int>(victim), bound(0))))
-                   .build());
+                   .build()));
     sys.crash(victim);
   }
   for (net::HostId h = 0; h < static_cast<net::HostId>(4 - crashes); ++h) {

@@ -44,11 +44,11 @@ Tally runFtLinda() {
     for (net::HostId h = 0; h < kUpdaters; ++h) {
       sys.spawnProcess(h, [&survivor_increments](LindaApi& rt) {
         for (int i = 0; i < kIncrements; ++i) {
-          rt.execute(
+          requireReply(rt.tryExecute(
               AgsBuilder()
                   .when(guardIn(kTsMain, makePattern("count", fInt())))
                   .then(opOut(kTsMain, makeTemplate("count", boundExpr(0, ArithOp::Add, 1))))
-                  .build());
+                  .build()));
           if (rt.host() != kUpdaters - 1) survivor_increments.fetch_add(1);
         }
         rt.out(kTsMain, makeTuple("done", static_cast<int>(rt.host())));

@@ -35,7 +35,7 @@ Point measure(std::size_t tuples) {
       b.then(opOut(kTsMain, makeTemplate("payload", static_cast<std::int64_t>(seeded),
                                          "some tuple content for realistic sizing")));
     }
-    rt.execute(b.build());
+    requireReply(rt.tryExecute(b.build()));
   }
   sys.crash(2);
   bench::waitUntil([&] {

@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "ftlinda/ts_state_machine.hpp"
 #include "ts/tuple_space.hpp"
+#include "tuple/view.hpp"
 
 namespace {
 
@@ -21,6 +23,8 @@ using tuple::makePattern;
 using tuple::makeTuple;
 using tuple::Pattern;
 using tuple::Tuple;
+using Writer = ftl::Writer;
+using Reader = ftl::Reader;
 
 /// Straw-man store: what a Linda kernel without signature analysis does —
 /// scan everything.
@@ -51,7 +55,7 @@ void BM_E9_Bucketed(benchmark::State& state) {
   for (int i = 0; i < total; ++i) space.put(makeTuple(nameFor(i / (total / groups)), i));
   const Pattern probe = makePattern(nameFor(groups - 1), fInt());
   for (auto _ : state) {
-    auto t = space.read(probe);
+    const Tuple* t = space.readRef(probe);
     benchmark::DoNotOptimize(t);
   }
 }
@@ -88,6 +92,13 @@ void BM_E9_BucketedPut(benchmark::State& state) {
   for (auto _ : state) {
     space.put(makeTuple(nameFor(i % groups), i));
     ++i;
+    if (i % 100000 == 0) {
+      // Bound the store: an ever-growing space measures allocator pressure,
+      // not put cost. Rebuild outside the timed region.
+      state.PauseTiming();
+      space = TupleSpace();
+      state.ResumeTiming();
+    }
   }
 }
 BENCHMARK(BM_E9_BucketedPut)->Arg(1)->Arg(16)->Arg(256);
@@ -113,7 +124,7 @@ void BM_E9_DistVarRead(benchmark::State& state) {
   for (int i = 0; i < groups; ++i) space.put(makeTuple(nameFor(i), i));
   const Pattern probe = makePattern(nameFor(groups - 1), fInt());
   for (auto _ : state) {
-    auto t = space.read(probe);
+    const Tuple* t = space.readRef(probe);
     benchmark::DoNotOptimize(t);
   }
 }
@@ -131,11 +142,107 @@ void BM_E9_BucketedFormalFirst(benchmark::State& state) {
   for (int i = 0; i < total; ++i) space.put(makeTuple(nameFor(i % 16), i));
   const Pattern probe = makePattern(tuple::fStr(), fInt());
   for (auto _ : state) {
-    auto t = space.read(probe);
+    const Tuple* t = space.readRef(probe);
     benchmark::DoNotOptimize(t);
   }
 }
 BENCHMARK(BM_E9_BucketedFormalFirst)->Arg(1000)->Arg(10000);
+
+/// The pre-view API: read() copies the matched tuple (string allocation per
+/// hit). Kept as the before/after comparison for the zero-copy readRef path
+/// used by BM_E9_Bucketed.
+void BM_E9_OwningRead(benchmark::State& state) {
+  const int total = static_cast<int>(state.range(0));
+  const int groups = static_cast<int>(state.range(1));
+  TupleSpace space;
+  for (int i = 0; i < total; ++i) space.put(makeTuple(nameFor(i / (total / groups)), i));
+  const Pattern probe = makePattern(nameFor(groups - 1), fInt());
+  for (auto _ : state) {
+    auto t = space.read(probe);  // std::optional<Tuple>: copies the match
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_E9_OwningRead)->Args({100, 16})->Args({1000, 16})->Args({10000, 16});
+
+/// Wire-to-verdict decode+match: the view path (TupleView/PatternView,
+/// zero materialization) versus the owning path (Tuple::decode allocates
+/// every field). This is the per-command decode cost on the apply path.
+void BM_E9_ViewDecodeMatch(benchmark::State& state) {
+  Writer tw;
+  makeTuple(nameFor(1), 42, std::string(48, 'p'), Bytes(64, 9)).encode(tw);
+  const Bytes tenc = tw.take();
+  Writer pw;
+  makePattern(nameFor(1), fInt(), tuple::fStr(), tuple::fBlob()).encode(pw);
+  const Bytes penc = pw.take();
+  for (auto _ : state) {
+    Reader tr(tenc);
+    Reader pr(penc);
+    const tuple::TupleView tv = tuple::TupleView::decode(tr);
+    const tuple::PatternView pv = tuple::PatternView::decode(pr);
+    bool hit = pv.matches(tv);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_E9_ViewDecodeMatch);
+
+void BM_E9_OwningDecodeMatch(benchmark::State& state) {
+  Writer tw;
+  makeTuple(nameFor(1), 42, std::string(48, 'p'), Bytes(64, 9)).encode(tw);
+  const Bytes tenc = tw.take();
+  Writer pw;
+  makePattern(nameFor(1), fInt(), tuple::fStr(), tuple::fBlob()).encode(pw);
+  const Bytes penc = pw.take();
+  for (auto _ : state) {
+    Reader tr(tenc);
+    Reader pr(penc);
+    const Tuple t = Tuple::decode(tr);
+    const Pattern p = Pattern::decode(pr);
+    bool hit = p.matches(t);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_E9_OwningDecodeMatch);
+
+/// The replica-facing read side: TsStateMachine::readSnapshot with a
+/// read-mostly plan published slot. After the first (fallback) read, every
+/// iteration is the lock-free fast path — two atomic loads, no writer lock,
+/// no match re-evaluation beyond the cached front probe. range(0) toggles
+/// the plan: 0 = no plan (every read takes the shared-lock fallback),
+/// 1 = read-mostly plan (slot hits).
+void BM_E9_LockFreeReadSnapshot(benchmark::State& state) {
+  using namespace ftl::ftlinda;
+  TsStateMachine sm;
+  if (state.range(0) != 0) {
+    auto plan = std::make_shared<ftl::ts::StoragePlan>();
+    ftl::ts::PlanEntry e;
+    e.paradigm = ftl::ts::Paradigm::DistributedVariable;
+    e.read_mostly = true;
+    plan->add(tuple::signatureOf(makeTuple("v", 0)), "v", e);
+    sm.setPlan(std::move(plan));
+  }
+  TupleTemplate tmpl;
+  const Tuple seed = makeTuple("v", 42);  // named: fields() must outlive the loop
+  for (const auto& v : seed.fields()) {
+    TemplateField f;
+    f.literal = v;
+    tmpl.fields.push_back(f);
+  }
+  rsm::ApplyContext ctx;
+  ctx.gseq = 1;
+  ctx.origin = 0;
+  ctx.origin_seq = 1;
+  sm.apply(ctx, makeExecute(1, AgsBuilder()
+                                   .when(guardTrue())
+                                   .then(opOut(ftl::ts::kTsMain, tmpl))
+                                   .build())
+                    .encode());
+  const Pattern probe = makePattern("v", fInt());
+  for (auto _ : state) {
+    auto t = sm.readSnapshot(ftl::ts::kTsMain, probe);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_E9_LockFreeReadSnapshot)->Arg(0)->Arg(1);
 
 }  // namespace
 

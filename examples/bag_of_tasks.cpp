@@ -48,12 +48,12 @@ std::int64_t countPrimes(std::int64_t lo, std::int64_t hi) {
 /// Atomically withdraw a subtask and mark it in-progress. Returns the task
 /// id, or nullopt when the bag is empty.
 std::optional<std::int64_t> claimSubtask(LindaApi& rt) {
-  Reply r = rt.execute(
+  Reply r = requireReply(rt.tryExecute(
       AgsBuilder()
           .when(guardInp(kTsMain, makePattern("subtask", fInt(), fInt(), fInt())))
           .then(opOut(kTsMain, makeTemplate("in_progress", static_cast<int>(rt.host()),
                                             bound(0), bound(1), bound(2))))
-          .build());
+          .build()));
   if (!r.succeeded) return std::nullopt;
   return r.boundInt(0);
 }
@@ -63,14 +63,14 @@ void workerLoop(LindaApi& rt) {
     // Block until there is a subtask OR the shutdown signal; never exit just
     // because the bag is momentarily empty (the monitor may still regenerate
     // tasks a crashed worker held).
-    Reply r = rt.execute(
+    Reply r = requireReply(rt.tryExecute(
         AgsBuilder()
             .when(guardIn(kTsMain, makePattern("subtask", fInt(), fInt(), fInt())))
             .then(opOut(kTsMain, makeTemplate("in_progress", static_cast<int>(rt.host()),
                                               bound(0), bound(1), bound(2))))
             .orWhen(guardIn(kTsMain, makePattern("shutdown")))
             .then(opOut(kTsMain, makeTemplate("shutdown")))  // pass it on
-            .build());
+            .build()));
     if (r.branch == 1) return;  // shutdown
     const std::int64_t id = r.boundInt(0);
     const std::int64_t lo = r.boundInt(1);
@@ -78,31 +78,31 @@ void workerLoop(LindaApi& rt) {
     const std::int64_t primes = countPrimes(lo, hi);
     // Retire the in-progress marker and deposit the result — atomically, so
     // the result appears exactly once no matter what happens around it.
-    rt.execute(AgsBuilder()
+    requireReply(rt.tryExecute(AgsBuilder()
                    .when(guardIn(kTsMain, makePattern("in_progress",
                                                       static_cast<int>(rt.host()), id, lo, hi)))
                    .then(opOut(kTsMain, makeTemplate("result", id, primes)))
-                   .build());
+                   .build()));
   }
 }
 
 /// The paper's monitor-process idiom: regenerate subtasks lost to crashes.
 void monitorLoop(LindaApi& rt) {
   for (;;) {
-    Reply fr = rt.execute(
-        AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build());
+    Reply fr = requireReply(rt.tryExecute(
+        AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build()));
     const std::int64_t dead = fr.boundInt(0);
     std::printf("[monitor] processor %lld failed — regenerating its subtasks\n",
                 static_cast<long long>(dead));
     int regenerated = 0;
     for (;;) {
       // < inp("in_progress", dead, ?id, ?lo, ?hi) => out("subtask", id, lo, hi) >
-      Reply r = rt.execute(
+      Reply r = requireReply(rt.tryExecute(
           AgsBuilder()
               .when(guardInp(kTsMain,
                              makePattern("in_progress", dead, fInt(), fInt(), fInt())))
               .then(opOut(kTsMain, makeTemplate("subtask", bound(0), bound(1), bound(2))))
-              .build());
+              .build()));
       if (!r.succeeded) break;
       ++regenerated;
     }

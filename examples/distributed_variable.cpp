@@ -66,11 +66,11 @@ void ftLindaVersion() {
   for (net::HostId h = 0; h < kHosts; ++h) {
     sys.spawnProcess(h, [](LindaApi& rt) {
       for (int i = 0; i < kPerHost; ++i) {
-        rt.execute(AgsBuilder()
+        requireReply(rt.tryExecute(AgsBuilder()
                        .when(guardIn(kTsMain, makePattern("count", fInt())))
                        .then(opOut(kTsMain,
                                    makeTemplate("count", boundExpr(0, ArithOp::Add, 1))))
-                       .build());
+                       .build()));
       }
       rt.out(kTsMain, makeTuple("updater_done", static_cast<int>(rt.host())));
     });

@@ -42,14 +42,14 @@ constexpr double kMinWidth = 1.0 / 4096.0;
 
 void workerLoop(LindaApi& rt) {
   for (;;) {
-    Reply r = rt.execute(
+    Reply r = requireReply(rt.tryExecute(
         AgsBuilder()
             .when(guardIn(kTsMain, makePattern("task", fReal(), fReal())))
             .then(opOut(kTsMain, makeTemplate("in_progress", static_cast<int>(rt.host()),
                                               bound(0), bound(1))))
             .orWhen(guardIn(kTsMain, makePattern("done")))
             .then(opOut(kTsMain, makeTemplate("done")))  // re-deposit for other workers
-            .build());
+            .build()));
     if (r.branch == 1) return;  // termination signal
     const double lo = r.boundReal(0);
     const double hi = r.boundReal(1);
@@ -58,7 +58,7 @@ void workerLoop(LindaApi& rt) {
       // SPLIT: atomically retire the marker, deposit two children, and bump
       // the pending count by one (net: one task became two).
       const double mid = 0.5 * (lo + hi);
-      rt.execute(
+      requireReply(rt.tryExecute(
           AgsBuilder()
               .when(guardIn(kTsMain, makePattern("pending", fInt())))
               .then(opInp(kTsMain, makePatternTemplate("in_progress",
@@ -66,35 +66,35 @@ void workerLoop(LindaApi& rt) {
               .then(opOut(kTsMain, makeTemplate("task", lo, mid)))
               .then(opOut(kTsMain, makeTemplate("task", mid, hi)))
               .then(opOut(kTsMain, makeTemplate("pending", boundExpr(0, ArithOp::Add, 1))))
-              .build());
+              .build()));
     } else {
       // SOLVE: atomically retire the marker, deposit the piece, decrement
       // pending.
       const double piece = simpson(lo, hi);
-      rt.execute(
+      requireReply(rt.tryExecute(
           AgsBuilder()
               .when(guardIn(kTsMain, makePattern("pending", fInt())))
               .then(opInp(kTsMain, makePatternTemplate("in_progress",
                                                        static_cast<int>(rt.host()), lo, hi)))
               .then(opOut(kTsMain, makeTemplate("piece", piece)))
               .then(opOut(kTsMain, makeTemplate("pending", boundExpr(0, ArithOp::Sub, 1))))
-              .build());
+              .build()));
     }
   }
 }
 
 void monitorLoop(LindaApi& rt) {
   for (;;) {
-    Reply fr = rt.execute(
-        AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build());
+    Reply fr = requireReply(rt.tryExecute(
+        AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build()));
     const std::int64_t dead = fr.boundInt(0);
     int regenerated = 0;
     for (;;) {
-      Reply r = rt.execute(
+      Reply r = requireReply(rt.tryExecute(
           AgsBuilder()
               .when(guardInp(kTsMain, makePattern("in_progress", dead, fReal(), fReal())))
               .then(opOut(kTsMain, makeTemplate("task", bound(0), bound(1))))
-              .build());
+              .build()));
       if (!r.succeeded) break;
       ++regenerated;
     }
@@ -136,10 +136,10 @@ int main() {
 
   // Sweep all pieces into a scratch space atomically and sum them.
   const TsHandle scratch = rt0.createScratch();
-  rt0.execute(AgsBuilder()
+  requireReply(rt0.tryExecute(AgsBuilder()
                   .when(guardTrue())
                   .then(opMove(kTsMain, scratch, makePatternTemplate("piece", fReal())))
-                  .build());
+                  .build()));
   double pi = 0.0;
   int pieces = 0;
   while (auto piece = rt0.inp(scratch, makePattern("piece", fReal()))) {

@@ -53,14 +53,14 @@ void worker(LindaApi& rt) {
     bcols[static_cast<std::size_t>(j)] = decodeRow(t.field(2).asBlob());
   }
   for (;;) {
-    Reply r = rt.execute(
+    Reply r = requireReply(rt.tryExecute(
         AgsBuilder()
             .when(guardIn(kTsMain, makePattern("rowtask", fInt())))
             .then(opOut(kTsMain,
                         makeTemplate("in_progress", static_cast<int>(rt.host()), bound(0))))
             .orWhen(guardIn(kTsMain, makePattern("done")))
             .then(opOut(kTsMain, makeTemplate("done")))
-            .build());
+            .build()));
     if (r.branch == 1) return;
     const int i = static_cast<int>(r.boundInt(0));
     const Tuple arow_t = rt.rd(kTsMain, makePattern("Arow", i, fBlob()));
@@ -72,11 +72,11 @@ void worker(LindaApi& rt) {
                                           bcols[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
       crow[static_cast<std::size_t>(j)] = acc;
     }
-    rt.execute(AgsBuilder()
+    requireReply(rt.tryExecute(AgsBuilder()
                    .when(guardIn(kTsMain,
                                  makePattern("in_progress", static_cast<int>(rt.host()), i)))
                    .then(opOut(kTsMain, makeTemplate("C", i, Value(encodeRow(crow)))))
-                   .build());
+                   .build()));
   }
 }
 

@@ -42,36 +42,36 @@ std::int64_t work(std::int64_t id) {
 
 void piranhaWorker(LindaApi& rt) {
   for (;;) {
-    Reply r = rt.execute(
+    Reply r = requireReply(rt.tryExecute(
         AgsBuilder()
             .when(guardIn(kTsMain, makePattern("task", fInt())))
             .then(opOut(kTsMain,
                         makeTemplate("in_progress", static_cast<int>(rt.host()), bound(0))))
             .orWhen(guardIn(kTsMain, makePattern("feeding_over")))
             .then(opOut(kTsMain, makeTemplate("feeding_over")))
-            .build());
+            .build()));
     if (r.branch == 1) return;
     const std::int64_t id = r.boundInt(0);
     const std::int64_t value = work(id);
-    rt.execute(AgsBuilder()
+    requireReply(rt.tryExecute(AgsBuilder()
                    .when(guardIn(kTsMain,
                                  makePattern("in_progress", static_cast<int>(rt.host()), id)))
                    .then(opOut(kTsMain, makeTemplate("result", id, value)))
-                   .build());
+                   .build()));
   }
 }
 
 void monitor(LindaApi& rt) {
   for (;;) {
-    Reply fr = rt.execute(
-        AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build());
+    Reply fr = requireReply(rt.tryExecute(
+        AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build()));
     const std::int64_t dead = fr.boundInt(0);
     int regen = 0;
     for (;;) {
-      Reply r = rt.execute(AgsBuilder()
+      Reply r = requireReply(rt.tryExecute(AgsBuilder()
                                .when(guardInp(kTsMain, makePattern("in_progress", dead, fInt())))
                                .then(opOut(kTsMain, makeTemplate("task", bound(0))))
-                               .build());
+                               .build()));
       if (!r.succeeded) break;
       ++regen;
     }

@@ -40,10 +40,10 @@ int main() {
   for (int i = 0; i < 5; ++i) {
     // < in("count", ?v) => out("count", v+1) >  — one atomic step, one
     // multicast message, no lost updates even with concurrent writers.
-    p1.execute(AgsBuilder()
+    requireReply(p1.tryExecute(AgsBuilder()
                    .when(guardIn(kTsMain, makePattern("count", fInt())))
                    .then(opOut(kTsMain, makeTemplate("count", boundExpr(0, ArithOp::Add, 1))))
-                   .build());
+                   .build()));
   }
   std::printf("count after 5 atomic increments: %lld\n",
               static_cast<long long>(
@@ -51,10 +51,10 @@ int main() {
 
   std::printf("\n== 4. disjunction: take whichever job kind is available ==\n");
   p0.out(kTsMain, makeTuple("easy_job", 1));
-  Reply r = p1.execute(AgsBuilder()
+  Reply r = requireReply(p1.tryExecute(AgsBuilder()
                            .when(guardIn(kTsMain, makePattern("hard_job", fInt())))
                            .orWhen(guardIn(kTsMain, makePattern("easy_job", fInt())))
-                           .build());
+                           .build()));
   std::printf("branch taken: %d (0=hard, 1=easy)\n", r.branch);
 
   std::printf("\n== 5. scratch space: volatile, private, zero multicasts ==\n");
@@ -64,10 +64,10 @@ int main() {
               p0.localTupleCount(scratch));
   // Atomically sweep matching results from the stable space into scratch.
   p1.out(kTsMain, makeTuple("result", 42));
-  p0.execute(AgsBuilder()
+  requireReply(p0.tryExecute(AgsBuilder()
                  .when(guardTrue())
                  .then(opMove(kTsMain, scratch, makePatternTemplate("result", fInt())))
-                 .build());
+                 .build()));
   std::printf("after move: scratch holds %zu tuples\n", p0.localTupleCount(scratch));
 
   std::printf("\n== 6. strong inp: a false verdict is a guarantee ==\n");

@@ -37,7 +37,7 @@ constexpr std::int64_t kOpWithdraw = 1;
 void serverLoop(LindaApi& rt) {
   for (;;) {
     // Claim a request atomically with an in-service marker.
-    Reply claim = rt.execute(
+    Reply claim = requireReply(rt.tryExecute(
         AgsBuilder()
             .when(guardIn(kTsMain, makePattern("request", fInt(), fInt(), fInt(), fInt())))
             .then(opOut(kTsMain,
@@ -45,7 +45,7 @@ void serverLoop(LindaApi& rt) {
                                      bound(1), bound(2), bound(3))))
             .orWhen(guardIn(kTsMain, makePattern("halt")))
             .then(opOut(kTsMain, makeTemplate("halt")))
-            .build());
+            .build()));
     if (claim.branch == 1) return;
     const std::int64_t id = claim.boundInt(0);
     const std::int64_t op = claim.boundInt(1);
@@ -54,7 +54,7 @@ void serverLoop(LindaApi& rt) {
     // Apply + retire marker + reply: ONE atomic statement. The account
     // update uses the guard binding, like the distributed variable.
     const ArithOp arith = (op == kOpDeposit) ? ArithOp::Add : ArithOp::Sub;
-    rt.execute(
+    requireReply(rt.tryExecute(
         AgsBuilder()
             .when(guardIn(kTsMain, makePattern("account", account, fInt())))
             .then(opInp(kTsMain,
@@ -62,7 +62,7 @@ void serverLoop(LindaApi& rt) {
                                             account, amount)))
             .then(opOut(kTsMain, makeTemplate("account", account, boundExpr(0, arith, amount))))
             .then(opOut(kTsMain, makeTemplate("reply", id, boundExpr(0, arith, amount))))
-            .build());
+            .build()));
   }
 }
 

@@ -1,0 +1,167 @@
+// Epoch-scoped bump allocator for the apply hot path.
+//
+// The replicated delivery path used to heap-allocate a fresh Bytes per
+// delivered command (log entry -> apply-buffer copy). The arena replaces
+// that with a bump pointer into reusable blocks: allocations are a pointer
+// increment, and the WHOLE epoch is freed at once by reset() at an
+// applyBatch boundary. Blocks are retained across epochs, so a steady-state
+// apply loop performs zero heap traffic.
+//
+// LIFETIME: everything allocated from an arena — including every BytesView
+// returned by copy() and every container using ArenaAllocator — dies at the
+// next reset(). Holding an allocation across an epoch is the same bug as
+// holding a view past its datagram; ArenaToken (below) makes it checkable:
+// take a token when borrowing, and require() it before dereferencing.
+// tests/common/arena_test.cpp and the ASan-gated lifetime tests exercise
+// both sides.
+//
+// Thread-compatibility: an Arena is confined to one thread (the consul
+// service/apply thread); it is NOT internally synchronized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/serde.hpp"
+
+namespace ftl {
+
+class Arena;
+
+/// Liveness witness for one arena epoch. alive() is true until the arena's
+/// next reset() (or destruction). The PR 5 Endpoint pattern: the arena owns
+/// a shared tag per epoch; tokens hold a weak reference to it.
+class ArenaToken {
+ public:
+  ArenaToken() = default;
+
+  /// True while the epoch this token was taken in is still current.
+  bool alive() const { return !tag_.expired(); }
+
+  /// Throws ContractViolation when the epoch has ended (use-after-reset).
+  void require(const char* what) const {
+    FTL_REQUIRE(alive(), what ? what : "arena epoch ended (use-after-reset)");
+  }
+
+ private:
+  friend class Arena;
+  explicit ArenaToken(std::weak_ptr<const std::uint64_t> tag) : tag_(std::move(tag)) {}
+  std::weak_ptr<const std::uint64_t> tag_;
+};
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_size = 64 * 1024)
+      : block_size_(block_size), tag_(std::make_shared<const std::uint64_t>(0)) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `n` bytes. Valid until the next reset().
+  void* allocate(std::size_t n, std::size_t align = alignof(std::max_align_t)) {
+    FTL_REQUIRE(align != 0 && (align & (align - 1)) == 0, "alignment must be a power of two");
+    if (n == 0) n = 1;
+    for (;;) {
+      if (block_ < blocks_.size()) {
+        // Align the ADDRESS, not the offset: block bases only carry the
+        // default operator-new alignment.
+        const auto base = reinterpret_cast<std::uintptr_t>(blocks_[block_].data.get());
+        const std::size_t aligned =
+            static_cast<std::size_t>(((base + offset_ + align - 1) & ~(align - 1)) - base);
+        if (aligned + n <= blocks_[block_].size) {
+          void* p = blocks_[block_].data.get() + aligned;
+          offset_ = aligned + n;
+          allocated_ += n;
+          return p;
+        }
+        // Current (retained) block is full or too small: move to the next.
+        ++block_;
+        offset_ = 0;
+        continue;
+      }
+      // Out of retained blocks: grow (oversized requests get their own).
+      const std::size_t want = n + align > block_size_ ? n + align : block_size_;
+      Block b;
+      b.data = std::make_unique<std::uint8_t[]>(want);
+      b.size = want;
+      blocks_.push_back(std::move(b));
+      block_ = blocks_.size() - 1;
+      offset_ = 0;
+    }
+  }
+
+  /// Copy `src` into the arena; the returned view is valid until reset().
+  BytesView copy(BytesView src) {
+    if (src.empty()) return BytesView();
+    auto* dst = static_cast<std::uint8_t*>(allocate(src.size, 1));
+    std::memcpy(dst, src.data, src.size);
+    return BytesView(dst, src.size);
+  }
+
+  /// End the current epoch: bulk-free every allocation (blocks are kept for
+  /// reuse), invalidate outstanding tokens, and start epoch+1.
+  void reset() {
+    block_ = 0;
+    offset_ = 0;
+    allocated_ = 0;
+    ++resets_;
+    tag_ = std::make_shared<const std::uint64_t>(resets_);
+  }
+
+  /// Witness for the CURRENT epoch (expires at the next reset()).
+  ArenaToken token() const { return ArenaToken(tag_); }
+
+  /// Bytes handed out in the current epoch.
+  std::size_t bytesAllocated() const { return allocated_; }
+  /// Blocks owned (high-water mark across epochs).
+  std::size_t blockCount() const { return blocks_.size(); }
+  /// Completed epochs (reset() calls).
+  std::uint64_t resets() const { return resets_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+  };
+
+  std::size_t block_size_;
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   // current block index (may be == blocks_.size())
+  std::size_t offset_ = 0;  // bump offset within the current block
+  std::size_t allocated_ = 0;
+  std::uint64_t resets_ = 0;
+  std::shared_ptr<const std::uint64_t> tag_;  // epoch liveness tag
+};
+
+/// Minimal std-allocator adapter over an Arena: containers built with it
+/// bump-allocate and never free (the epoch reset frees them wholesale).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& o) : arena_(o.arena()) {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}  // bulk-freed at reset()
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& o) const {
+    return arena_ == o.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace ftl

@@ -19,6 +19,31 @@ namespace ftl {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// Non-owning span of encoded bytes (a borrowed slice of a datagram, log
+/// entry, or arena block). The owner must outlive every view into it —
+/// decode-side views (tuple::TupleView, consul deliveries) are only valid
+/// for the duration of the callback/epoch that handed them out.
+struct BytesView {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+
+  BytesView() = default;
+  BytesView(const std::uint8_t* d, std::size_t n) : data(d), size(n) {}
+  BytesView(const Bytes& b) : data(b.data()), size(b.size()) {}  // NOLINT
+
+  bool empty() const { return size == 0; }
+  const std::uint8_t* begin() const { return data; }
+  const std::uint8_t* end() const { return data + size; }
+
+  /// Materialize an owning copy (the escape hatch out of view lifetime).
+  Bytes toOwned() const { return Bytes(data, data + size); }
+
+  bool operator==(const BytesView& o) const {
+    return size == o.size && (size == 0 || std::memcmp(data, o.data, size) == 0);
+  }
+  bool operator==(const Bytes& o) const { return *this == BytesView(o); }
+};
+
 /// Append-only encoder.
 class Writer {
  public:
@@ -63,6 +88,12 @@ class Writer {
     buf_.insert(buf_.end(), b.begin(), b.end());
   }
 
+  void bytes(BytesView b) {
+    FTL_CHECK(b.size <= UINT32_MAX, "blob too large for u32 length prefix");
+    u32(static_cast<std::uint32_t>(b.size));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
   /// Raw append without a length prefix (for nesting pre-encoded buffers).
   void raw(const Bytes& b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
 
@@ -78,6 +109,7 @@ class Writer {
 class Reader {
  public:
   explicit Reader(const Bytes& buf) : buf_(buf.data()), size_(buf.size()) {}
+  explicit Reader(BytesView view) : buf_(view.data), size_(view.size) {}
   Reader(const std::uint8_t* data, std::size_t size) : buf_(data), size_(size) {}
 
   std::uint8_t u8() {
@@ -132,6 +164,42 @@ class Reader {
     pos_ += n;
     return b;
   }
+
+  /// Zero-copy accessors: the returned view aliases the buffer this Reader
+  /// decodes from (same lifetime rules as BytesView — do not retain past the
+  /// owning buffer).
+  std::string_view readStrView() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string_view s(reinterpret_cast<const char*>(buf_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  BytesView readBlobView() {
+    const std::uint32_t n = u32();
+    need(n);
+    BytesView b(buf_ + pos_, n);
+    pos_ += n;
+    return b;
+  }
+
+  /// Borrow the next `n` raw bytes (no length prefix) without copying.
+  BytesView readRawView(std::size_t n) {
+    need(n);
+    BytesView b(buf_ + pos_, n);
+    pos_ += n;
+    return b;
+  }
+
+  /// Skip `n` bytes (bounds-checked).
+  void skip(std::size_t n) {
+    need(n);
+    pos_ += n;
+  }
+
+  std::size_t position() const { return pos_; }
+  const std::uint8_t* cursor() const { return buf_ + pos_; }
 
   bool atEnd() const { return pos_ == size_; }
   std::size_t remaining() const { return size_ - pos_; }

@@ -37,18 +37,22 @@
 #include <thread>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "consul/config.hpp"
 #include "consul/messages.hpp"
 #include "net/transport.hpp"
 
 namespace ftl::consul {
 
-/// One totally-ordered application payload.
+/// One totally-ordered application payload. `payload` views the node's
+/// delivery arena: it is valid only for the duration of the on_deliver /
+/// on_deliver_batch callback (the arena epoch resets right after). Copy
+/// (payload.toOwned()) to retain.
 struct Delivery {
   std::uint64_t gseq = 0;
   HostId origin = net::kNoHost;
   std::uint64_t origin_seq = 0;
-  Bytes payload;
+  BytesView payload;
 };
 
 /// One totally-ordered membership event.
@@ -238,6 +242,10 @@ class ConsulNode {
   // snapshot.
   std::vector<Delivery> apply_buffer_;
   TimePoint apply_buffer_since_{};
+  // Epoch arena backing apply_buffer_ payloads: payload bytes are staged
+  // here (bump-allocated, no per-delivery heap traffic) and bulk-freed by
+  // reset() right after each flushDeliveries() upcall returns.
+  Arena apply_arena_;
 
   // Sequencer role.
   std::uint64_t next_gseq_ = 1;

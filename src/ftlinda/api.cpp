@@ -144,8 +144,7 @@ ApiError verifyApiError(const VerifyResult& vr) {
 
 Result<Reply> LindaApi::tryExecute(const Ags& ags) { return executeAsync(ags).get(); }
 
-Reply LindaApi::execute(const Ags& ags) {
-  Result<Reply> r = tryExecute(ags);
+Reply requireReply(Result<Reply> r) {
   if (!r.ok()) throw Error(r.error().message);
   return std::move(r).value();
 }
@@ -159,27 +158,29 @@ void LindaApi::out(TsHandle ts, Tuple t) {
     f.literal = v;
     tmpl.fields.push_back(std::move(f));
   }
-  execute(AgsBuilder().when(guardTrue()).then(opOut(ts, std::move(tmpl))).build());
+  requireReply(tryExecute(AgsBuilder().when(guardTrue()).then(opOut(ts, std::move(tmpl))).build()));
 }
 
 Tuple LindaApi::in(TsHandle ts, Pattern p) {
-  Reply r = execute(AgsBuilder().when(guardIn(ts, std::move(p))).build());
+  Reply r = requireReply(tryExecute(AgsBuilder().when(guardIn(ts, std::move(p))).build()));
   FTL_ENSURE(r.guard_tuple.has_value(), "in() reply carries no tuple");
   return std::move(*r.guard_tuple);
 }
 
 Tuple LindaApi::rd(TsHandle ts, Pattern p) {
-  Reply r = execute(AgsBuilder().when(guardRd(ts, std::move(p))).build());
+  Reply r = requireReply(tryExecute(AgsBuilder().when(guardRd(ts, std::move(p))).build()));
   FTL_ENSURE(r.guard_tuple.has_value(), "rd() reply carries no tuple");
   return std::move(*r.guard_tuple);
 }
 
 std::optional<Tuple> LindaApi::inp(TsHandle ts, Pattern p) {
-  return execute(AgsBuilder().when(guardInp(ts, std::move(p))).build()).guard_tuple;
+  return requireReply(tryExecute(AgsBuilder().when(guardInp(ts, std::move(p))).build()))
+      .guard_tuple;
 }
 
 std::optional<Tuple> LindaApi::rdp(TsHandle ts, Pattern p) {
-  return execute(AgsBuilder().when(guardRdp(ts, std::move(p))).build()).guard_tuple;
+  return requireReply(tryExecute(AgsBuilder().when(guardRdp(ts, std::move(p))).build()))
+      .guard_tuple;
 }
 
 }  // namespace ftl::ftlinda

@@ -10,8 +10,9 @@
 //    rule-tagged ApiError for every DETERMINISTIC refusal (the static
 //    verifier's rule name, or "registry" for handle errors produced while
 //    executing). It never throws for those.
-//  - execute() and the verb sugar are thin wrappers that convert an error
-//    Result into a thrown ftl::Error (message preserved verbatim).
+//  - the verb sugar (out/in/rd/inp/rdp) and the free requireReply() helper
+//    convert an error Result into a thrown ftl::Error (message preserved
+//    verbatim) for callers that treat refusals as fatal.
 //  - Environmental failures are NOT statement errors and always throw:
 //    ProcessorFailure when this processor's simulated crash interrupts the
 //    call, ftl::Error("tuple server unreachable") on the RPC path.
@@ -143,11 +144,6 @@ class LindaApi {
   /// executeAsync(ags).get().
   Result<Reply> tryExecute(const Ags& ags);
 
-  /// Throwing wrapper over tryExecute(): converts an error Result into
-  /// ftl::Error with the same message. Prefer tryExecute() in new code
-  /// (docs/API.md).
-  Reply execute(const Ags& ags);
-
   // ---- single-operation sugar (each is an AGS of its own) ----
 
   /// out(ts, t): deposit a tuple.
@@ -185,5 +181,11 @@ class LindaApi {
  protected:
   virtual void doMonitorFailures(TsHandle ts, bool enable) = 0;
 };
+
+/// Unwrap a tryExecute() Result for callers that treat deterministic
+/// refusals as fatal: returns the Reply, or throws ftl::Error carrying the
+/// refusal message verbatim. The removed `api.execute(ags)` was exactly
+/// `requireReply(api.tryExecute(ags))` (docs/API.md migration table).
+Reply requireReply(Result<Reply> r);
 
 }  // namespace ftl::ftlinda

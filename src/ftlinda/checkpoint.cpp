@@ -12,14 +12,14 @@ StableCheckpoint::StableCheckpoint(LindaApi& rt, TsHandle ts, std::string key)
 }
 
 std::int64_t StableCheckpoint::save(const Bytes& state) {
-  Reply r = rt_.execute(
+  Reply r = requireReply(rt_.tryExecute(
       AgsBuilder()
           .when(guardIn(ts_, makePattern("checkpoint", key_, fInt(), fBlob())))
           .then(opOut(ts_, makeTemplate("checkpoint", key_, boundExpr(0, ArithOp::Add, 1),
                                         Value(state))))
           .orWhen(guardTrue())
           .then(opOut(ts_, makeTemplate("checkpoint", key_, 0, Value(state))))
-          .build());
+          .build()));
   return r.branch == 0 ? r.bindings.at(0).asInt() + 1 : 0;
 }
 

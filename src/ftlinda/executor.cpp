@@ -120,7 +120,7 @@ void executeBody(const std::vector<BodyOp>& body, const std::vector<Value>& bind
         break;
       }
       case OpCode::Rdp: {
-        status = reg.get(op.ts).read(op.pattern.resolve(bindings)).has_value();
+        status = reg.get(op.ts).readRef(op.pattern.resolve(bindings)) != nullptr;
         break;
       }
       case OpCode::Move:
@@ -169,8 +169,12 @@ ExecResult tryExecuteAgs(const Ags& ags, TsRegistry& reg, ExecMode mode) {
   for (std::size_t i = 0; i < ags.branches.size(); ++i) {
     const Branch& branch = ags.branches[i];
     const Guard& g = branch.guard;
-    std::vector<Value> bindings;
+    // In/Inp extract the tuple (owned); Rd/Rdp borrow it from the store
+    // (readRef — no copy). Either way the reply takes ownership below,
+    // BEFORE the body runs: body ops may mutate the store and invalidate
+    // the borrowed pointer.
     std::optional<Tuple> matched;
+    const Tuple* matched_ref = nullptr;
     bool fired = false;
     switch (g.kind) {
       case Guard::Kind::True:
@@ -180,22 +184,29 @@ ExecResult tryExecuteAgs(const Ags& ags, TsRegistry& reg, ExecMode mode) {
       case Guard::Kind::Inp: {
         matched = reg.get(g.ts).take(g.pattern);
         fired = matched.has_value();
+        if (matched) matched_ref = &*matched;
         break;
       }
       case Guard::Kind::Rd:
       case Guard::Kind::Rdp: {
-        matched = reg.get(g.ts).read(g.pattern);
-        fired = matched.has_value();
+        matched_ref = reg.get(g.ts).readRef(g.pattern);
+        fired = matched_ref != nullptr;
         break;
       }
     }
     if (!fired) continue;
-    if (matched) bindings = g.pattern.bind(*matched);
+    std::vector<Value> bindings;
+    if (matched_ref) bindings = g.pattern.bind(*matched_ref);
     result.reply.succeeded = true;
     result.reply.branch = static_cast<std::int32_t>(i);
-    result.reply.bindings = bindings;
-    result.reply.guard_tuple = matched;
+    if (matched) {
+      result.reply.guard_tuple = std::move(matched);  // extracted: move it
+    } else if (matched_ref) {
+      result.reply.guard_tuple = *matched_ref;  // borrowed: one copy, here only
+    }
+    matched_ref = nullptr;  // body may invalidate the borrow
     executeBody(branch.body, bindings, reg, mode, result);
+    result.reply.bindings = std::move(bindings);
     result.executed = true;
     return result;
   }

@@ -16,9 +16,9 @@ void FailureMonitor::run() {
 }
 
 net::HostId FailureMonitor::handleOne() {
-  Reply fr = rt_.execute(AgsBuilder()
+  Reply fr = requireReply(rt_.tryExecute(AgsBuilder()
                              .when(guardIn(ts_, tuple::makePattern("failure", tuple::fInt())))
-                             .build());
+                             .build()));
   const std::int64_t dead = fr.bindings.at(0).asInt();
   const int regenerated = regenerate(dead);
   FTL_INFO("monitor", "host " << rt_.host() << ": handled failure of " << dead << ", regenerated "
@@ -69,7 +69,7 @@ int FailureMonitor::regenerate(std::int64_t failed_host) {
   }
   int count = 0;
   for (;;) {
-    Reply r = rt_.execute(regen);
+    Reply r = requireReply(rt_.tryExecute(regen));
     if (!r.succeeded) break;
     ++count;
   }

@@ -19,7 +19,7 @@ Bytes Command::encode() const {
   return w.take();
 }
 
-Command Command::decode(const Bytes& b) {
+Command Command::decode(BytesView b) {
   Reader r(b);
   Command c;
   c.kind = static_cast<CommandKind>(r.u8());
@@ -37,6 +37,15 @@ Command Command::decode(const Bytes& b) {
   return c;
 }
 
+CommandHeader CommandHeader::peek(BytesView b) {
+  Reader r(b);
+  CommandHeader h;
+  h.kind = static_cast<CommandKind>(r.u8());
+  h.request_id = r.u64();
+  h.trace_id = r.u64();
+  return h;
+}
+
 Command makeExecute(std::uint64_t request_id, Ags ags, std::uint64_t trace_id) {
   Command c;
   c.kind = CommandKind::ExecuteAgs;
@@ -46,7 +55,7 @@ Command makeExecute(std::uint64_t request_id, Ags ags, std::uint64_t trace_id) {
   return c;
 }
 
-const Value& Reply::bound(std::size_t i) const {
+const Value& Reply::boundValue(std::size_t i) const {
   if (i >= bindings.size()) {
     throw Error("Reply::bound(" + std::to_string(i) + "): statement bound only " +
                 std::to_string(bindings.size()) + " formal(s)");

@@ -10,8 +10,11 @@
 #include <vector>
 
 #include "ftlinda/ops.hpp"
+#include "tuple/view.hpp"
 
 namespace ftl::ftlinda {
+
+using tuple::ValueView;
 
 enum class CommandKind : std::uint8_t {
   ExecuteAgs = 0,
@@ -30,7 +33,19 @@ struct Command {
   std::uint64_t trace_id = 0;
 
   Bytes encode() const;
-  static Command decode(const Bytes& b);
+  /// Decode from a borrowed buffer (datagram, log entry, arena block); the
+  /// returned Command OWNS everything (safe past the buffer's lifetime).
+  static Command decode(BytesView b);
+};
+
+/// The fixed-size command prefix, decodable without materializing the AGS —
+/// for routing/filtering before (or instead of) a full decode.
+struct CommandHeader {
+  CommandKind kind = CommandKind::ExecuteAgs;
+  std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
+
+  static CommandHeader peek(BytesView b);
 };
 
 Command makeExecute(std::uint64_t request_id, Ags ags, std::uint64_t trace_id = 0);
@@ -69,12 +84,18 @@ struct Reply {
   /// Range-checked access to the firing guard's bindings. Prefer these over
   /// indexing `bindings` directly: a bad index throws ftl::Error naming the
   /// index and the arity instead of undefined behaviour.
-  const Value& bound(std::size_t i) const;
-  std::int64_t boundInt(std::size_t i) const { return bound(i).asInt(); }
-  double boundReal(std::size_t i) const { return bound(i).asReal(); }
-  bool boundBool(std::size_t i) const { return bound(i).asBool(); }
-  const std::string& boundStr(std::size_t i) const { return bound(i).asStr(); }
-  const Bytes& boundBlob(std::size_t i) const { return bound(i).asBlob(); }
+  ///
+  /// bound()/boundStr()/boundBlob() return NON-OWNING views into this
+  /// Reply's bindings: valid while the Reply is alive and `bindings` is not
+  /// mutated/moved out of. boundValue() is the owning escape hatch (copy or
+  /// bind a const&) for values that must outlive the Reply.
+  ValueView bound(std::size_t i) const { return ValueView::of(boundValue(i)); }
+  const Value& boundValue(std::size_t i) const;
+  std::int64_t boundInt(std::size_t i) const { return boundValue(i).asInt(); }
+  double boundReal(std::size_t i) const { return boundValue(i).asReal(); }
+  bool boundBool(std::size_t i) const { return boundValue(i).asBool(); }
+  std::string_view boundStr(std::size_t i) const { return boundValue(i).asStr(); }
+  BytesView boundBlob(std::size_t i) const { return BytesView(boundValue(i).asBlob()); }
 
   /// Wire form, used by the tuple-server (RPC) configuration of §6/Fig. 17.
   Bytes encode() const;

@@ -215,7 +215,7 @@ AgsFuture Runtime::submitCommand(Command cmd, bool ags_stats) {
 
 TsHandle Runtime::createTs(TsAttributes attrs) {
   if (!attrs.stable) return scratch_.create(attrs);
-  Reply r = execute(AgsBuilder().when(guardTrue()).then(opCreateTs(attrs)).build());
+  Reply r = requireReply(tryExecute(AgsBuilder().when(guardTrue()).then(opCreateTs(attrs)).build()));
   FTL_ENSURE(r.created.size() == 1, "create_TS reply carries no handle");
   return r.created.front();
 }
@@ -225,7 +225,7 @@ void Runtime::destroyTs(TsHandle ts) {
     scratch_.destroy(ts);
     return;
   }
-  execute(AgsBuilder().when(guardTrue()).then(opDestroyTs(ts)).build());
+  requireReply(tryExecute(AgsBuilder().when(guardTrue()).then(opDestroyTs(ts)).build()));
 }
 
 void Runtime::doMonitorFailures(TsHandle ts, bool enable) {

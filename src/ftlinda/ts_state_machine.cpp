@@ -13,7 +13,7 @@ namespace ftl::ftlinda {
 
 TsStateMachine::TsStateMachine(ReplySink sink) : sink_(std::move(sink)) {
   obs_token_ = obs::registerSource([this](std::vector<obs::Sample>& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     const std::string host = "{host=\"" + std::to_string(self_) + "\"}";
     auto put = [&](const char* name, std::uint64_t v) {
       out.push_back({name + host, static_cast<double>(v)});
@@ -55,12 +55,13 @@ TsStateMachine::TsStateMachine(ReplySink sink) : sink_(std::move(sink)) {
 TsStateMachine::~TsStateMachine() { obs::unregisterSource(obs_token_); }
 
 void TsStateMachine::setReplySink(ReplySink sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::shared_mutex> lock(mutex_);
   sink_ = std::move(sink);
 }
 
 void TsStateMachine::setPlan(std::shared_ptr<const ts::StoragePlan> plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::shared_mutex> lock(mutex_);
+  WriteEpoch epoch(state_version_);  // chain re-representation moves tuples
   plan_ = std::move(plan);
   reg_.setPlan(plan_);
   // The wake filter is sound only while nothing waits on a filtered class;
@@ -77,12 +78,12 @@ void TsStateMachine::setPlan(std::shared_ptr<const ts::StoragePlan> plan) {
 }
 
 void TsStateMachine::setSelf(net::HostId host) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::shared_mutex> lock(mutex_);
   self_ = host;
 }
 
 void TsStateMachine::addReplySink(ReplySink sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::shared_mutex> lock(mutex_);
   extra_sinks_.push_back(std::move(sink));
 }
 
@@ -92,9 +93,10 @@ void TsStateMachine::emitLocked(net::HostId origin, std::uint64_t request_id,
   for (const auto& sink : extra_sinks_) sink(origin, request_id, reply);
 }
 
-void TsStateMachine::apply(const rsm::ApplyContext& ctx, const Bytes& command) {
-  Command cmd = Command::decode(command);
-  std::lock_guard<std::mutex> lock(mutex_);
+void TsStateMachine::apply(const rsm::ApplyContext& ctx, BytesView command) {
+  Command cmd = Command::decode(command);  // owns its data past the view
+  std::lock_guard<std::shared_mutex> lock(mutex_);
+  WriteEpoch epoch(state_version_);
   applyCommandLocked(ctx, std::move(cmd));
 }
 
@@ -105,11 +107,15 @@ void TsStateMachine::applyBatch(const std::vector<rsm::BatchItem>& items) {
   // the ordering critical path.
   std::vector<Command> cmds;
   cmds.reserve(items.size());
-  for (const auto& item : items) cmds.push_back(Command::decode(*item.command));
+  for (const auto& item : items) cmds.push_back(Command::decode(item.command));
   static obs::Histogram& batch_size_hist = obs::histogram("ftl_sm_apply_batch_size");
   batch_size_hist.observe(items.size());
   obs::trace::Span span("sm.apply_batch", items.empty() ? 0 : items.front().ctx.gseq);
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::shared_mutex> lock(mutex_);
+  // ONE write epoch for the whole run: readers see the batch as a single
+  // mutation (intermediate states were never observable under the old
+  // exclusive lock either — batch boundaries are local scheduling).
+  WriteEpoch epoch(state_version_);
   batch_stats_.batches += 1;
   batch_stats_.commands += items.size();
   batch_stats_.max_batch = std::max<std::uint64_t>(batch_stats_.max_batch, items.size());
@@ -282,12 +288,12 @@ void TsStateMachine::countLocked(const Ags& ags, const ExecResult& res, bool wok
 }
 
 TsStateMachine::Metrics TsStateMachine::metrics() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return metrics_;
 }
 
 TsStateMachine::BatchStats TsStateMachine::batchStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return batch_stats_;
 }
 
@@ -339,7 +345,8 @@ void TsStateMachine::onMembership(std::uint64_t gseq, const std::vector<net::Hos
   (void)members;
   (void)joined;
   if (failed.empty()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::shared_mutex> lock(mutex_);
+  WriteEpoch epoch(state_version_);
   std::vector<WaitKey> dirty;
   for (net::HostId h : failed) {
     // Fail-silent -> fail-stop: one failure tuple per registered TS, at the
@@ -366,7 +373,7 @@ void TsStateMachine::onMembership(std::uint64_t gseq, const std::vector<net::Hos
 }
 
 Bytes TsStateMachine::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   Writer w;
   reg_.encode(w);
   w.u32(static_cast<std::uint32_t>(blocked_.size()));
@@ -383,7 +390,8 @@ Bytes TsStateMachine::snapshot() const {
 
 void TsStateMachine::restore(const Bytes& snapshot) {
   Reader r(snapshot);
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::shared_mutex> lock(mutex_);
+  WriteEpoch epoch(state_version_);  // stales every published read slot
   reg_ = ts::TsRegistry::decode(r);
   if (plan_) reg_.setPlan(plan_);
   plan_wake_ok_ = plan_ != nullptr;
@@ -404,32 +412,78 @@ void TsStateMachine::restore(const Bytes& snapshot) {
 }
 
 std::size_t TsStateMachine::blockedCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return blocked_.size();
 }
 
 std::size_t TsStateMachine::spaceCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return reg_.spaceCount();
 }
 
 std::size_t TsStateMachine::tupleCount(TsHandle ts) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto* space = reg_.find(ts);
   return space ? space->size() : 0;
 }
 
 std::vector<Tuple> TsStateMachine::spaceContents(TsHandle ts) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto* space = reg_.find(ts);
   return space ? space->contents() : std::vector<Tuple>{};
 }
 
 bool TsStateMachine::monitored(TsHandle ts) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return std::binary_search(monitored_.begin(), monitored_.end(), ts);
 }
 
 Bytes TsStateMachine::stateDigestBytes() const { return snapshot(); }
+
+std::shared_ptr<const Tuple> TsStateMachine::readSnapshot(TsHandle ts, const Pattern& p) const {
+  static obs::Counter& hits = obs::counter("ftl_rd_lockfree_hit");
+  static obs::Counter& fallbacks = obs::counter("ftl_rd_lockfree_fallback");
+  const tuple::SignatureKey sig = p.signature();
+  const std::string* pname = tuple::nameRefOf(p);
+  const std::size_t idx = slotIndex(ts, sig);
+  if (pname != nullptr) {
+    std::shared_ptr<const RdSlot> slot = rd_slots_[idx].load(std::memory_order_acquire);
+    // Hit condition: the slot is for this exact chain, the probe matches the
+    // chain FRONT (so the front IS the probe's oldest match — chains are
+    // FIFO), and the state version is unchanged since publication (an
+    // in-flight writer shows as odd ≠ the slot's even stamp). The tuple in
+    // the slot is an immutable shared copy, so no torn read is possible.
+    if (slot && slot->ts == ts && slot->sig == sig && slot->name == *pname &&
+        p.matches(*slot->front) &&
+        state_version_.load(std::memory_order_acquire) == slot->version) {
+      hits.inc();
+      return slot->front;
+    }
+  }
+  fallbacks.inc();
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto* space = reg_.find(ts);
+  if (space == nullptr) return nullptr;
+  const Tuple* t = space->readRefShared(p);  // cache-write-free: reader-safe
+  if (t == nullptr) return nullptr;
+  auto result = std::make_shared<const Tuple>(*t);
+  // Publish a slot for future lock-free hits — only for classes the plan
+  // proved read-mostly (anything hotter would thrash the slot), and always
+  // stamped with the CURRENT version, which is stable (and even) while we
+  // hold the shared lock. Concurrent publishers race benignly: both slots
+  // are valid for this version; last store wins.
+  if (pname != nullptr && plan_ != nullptr) {
+    if (const ts::PlanEntry* e = plan_->find(sig, *pname); e != nullptr && e->read_mostly) {
+      if (const Tuple* front = space->chainFront(sig, *pname)) {
+        auto slot = std::make_shared<const RdSlot>(
+            RdSlot{ts, sig, *pname,
+                   front == t ? result : std::make_shared<const Tuple>(*front),
+                   state_version_.load(std::memory_order_acquire)});
+        rd_slots_[idx].store(std::move(slot), std::memory_order_release);
+      }
+    }
+  }
+  return result;
+}
 
 }  // namespace ftl::ftlinda

@@ -22,8 +22,11 @@
 // addressed to its own processor.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <functional>
-#include <mutex>
+#include <memory>
+#include <shared_mutex>
 
 #include "ftlinda/executor.hpp"
 #include "rsm/state_machine.hpp"
@@ -65,7 +68,7 @@ class TsStateMachine : public rsm::StateMachine {
   void addReplySink(ReplySink sink);
 
   // rsm::StateMachine
-  void apply(const rsm::ApplyContext& ctx, const Bytes& command) override;
+  void apply(const rsm::ApplyContext& ctx, BytesView command) override;
   /// Batched apply: decodes every command up front, then executes the run
   /// under ONE lock acquisition. Replicated state after the batch is
   /// byte-identical to applying the items one at a time (batch boundaries
@@ -122,6 +125,23 @@ class TsStateMachine : public rsm::StateMachine {
   /// Byte-identical across replicas with equal state (determinism checks).
   Bytes stateDigestBytes() const;
 
+  /// Lock-free (common case) non-destructive read: a shared snapshot of the
+  /// oldest tuple matching `p` in `ts`, or nullptr when nothing matches.
+  /// Linearizes against the apply stream: the result is some state that
+  /// existed between the call's start and end.
+  ///
+  /// Fast path: a per-(space, signature, name) slot published by earlier
+  /// readers holds the chain-front tuple stamped with the state version; if
+  /// the version still matches (no mutation since publication) and the probe
+  /// matches the front, the read completes with TWO atomic loads and no lock
+  /// (ftl_rd_lockfree_hit). Otherwise a reader-shared lock is taken, the
+  /// store probed cache-write-free, and — for classes the storage plan marks
+  /// read-mostly — a fresh slot published (ftl_rd_lockfree_fallback).
+  ///
+  /// The returned tuple is an immutable shared copy: safe to hold across
+  /// any later mutation of the machine.
+  std::shared_ptr<const Tuple> readSnapshot(TsHandle ts, const Pattern& p) const;
+
  private:
   /// Wait-index key: a blocked guard waits on (space, pattern signature); a
   /// deposit dirties (space, tuple signature). Strict signature matching
@@ -158,7 +178,45 @@ class TsStateMachine : public rsm::StateMachine {
   /// for the life of the plan (reset by setPlan/restore).
   bool planWakeFilterUsable() const { return plan_ != nullptr && plan_wake_ok_; }
 
-  mutable std::mutex mutex_;
+  /// One published lock-free read slot: the front (oldest) tuple of the
+  /// (ts, sig, name) chain as of state version `version`. Immutable after
+  /// publication; replaced wholesale (atomic shared_ptr swap).
+  struct RdSlot {
+    TsHandle ts = 0;
+    tuple::SignatureKey sig = 0;
+    std::string name;
+    std::shared_ptr<const Tuple> front;  // never null in a published slot
+    std::uint64_t version = 0;           // state_version_ at publication (even)
+  };
+  static constexpr std::size_t kRdSlots = 64;
+  static std::size_t slotIndex(TsHandle ts, tuple::SignatureKey sig) {
+    return static_cast<std::size_t>((static_cast<std::uint64_t>(ts) * 0x9e3779b97f4a7c15ULL) ^
+                                    sig) %
+           kRdSlots;
+  }
+
+  /// RAII write epoch: state_version_ is ODD while any mutation is in
+  /// progress and even otherwise, so a published slot (always stamped even,
+  /// under the shared lock) validates iff the version is EQUAL — covering
+  /// both "a write completed since" and "a write is in flight".
+  class WriteEpoch {
+   public:
+    explicit WriteEpoch(std::atomic<std::uint64_t>& v) : v_(v) {
+      v_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~WriteEpoch() { v_.fetch_add(1, std::memory_order_acq_rel); }
+    WriteEpoch(const WriteEpoch&) = delete;
+    WriteEpoch& operator=(const WriteEpoch&) = delete;
+
+   private:
+    std::atomic<std::uint64_t>& v_;
+  };
+
+  // Reader-writer lock: apply/membership/restore take it unique; the
+  // introspection accessors and the readSnapshot fallback take it shared,
+  // so read-side probes never serialize behind each other — only behind
+  // actual mutations.
+  mutable std::shared_mutex mutex_;
   ReplySink sink_;
   std::vector<ReplySink> extra_sinks_;
   ts::TsRegistry reg_{/*with_main=*/true};
@@ -172,6 +230,14 @@ class TsStateMachine : public rsm::StateMachine {
   std::uint64_t obs_token_ = 0;           // obs::registerSource token
   std::shared_ptr<const ts::StoragePlan> plan_;
   bool plan_wake_ok_ = true;              // see planWakeFilterUsable()
+
+  /// Seqlock-style state version (see WriteEpoch). Bumped on entry AND exit
+  /// of every mutating section; readers validate published slots against it
+  /// without taking any lock.
+  mutable std::atomic<std::uint64_t> state_version_{0};
+  /// Lock-free read slots, indexed by slotIndex(ts, sig). Collisions just
+  /// evict (last publisher wins) — the slot is a cache, never authoritative.
+  mutable std::array<std::atomic<std::shared_ptr<const RdSlot>>, kRdSlots> rd_slots_{};
 };
 
 }  // namespace ftl::ftlinda

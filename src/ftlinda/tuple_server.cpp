@@ -303,7 +303,7 @@ AgsFuture RemoteRuntime::executeAsync(const Ags& ags) {
 
 TsHandle RemoteRuntime::createTs(TsAttributes attrs) {
   if (!attrs.stable) return scratch_.create(attrs);
-  Reply r = execute(AgsBuilder().when(guardTrue()).then(opCreateTs(attrs)).build());
+  Reply r = requireReply(tryExecute(AgsBuilder().when(guardTrue()).then(opCreateTs(attrs)).build()));
   FTL_ENSURE(r.created.size() == 1, "create_TS reply carries no handle");
   return r.created.front();
 }
@@ -313,7 +313,7 @@ void RemoteRuntime::destroyTs(TsHandle ts) {
     scratch_.destroy(ts);
     return;
   }
-  execute(AgsBuilder().when(guardTrue()).then(opDestroyTs(ts)).build());
+  requireReply(tryExecute(AgsBuilder().when(guardTrue()).then(opDestroyTs(ts)).build()));
 }
 
 void RemoteRuntime::doMonitorFailures(TsHandle ts, bool enable) {

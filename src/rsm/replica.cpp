@@ -19,7 +19,7 @@ Replica::Replica(net::Transport& net, net::HostId self, std::vector<net::HostId>
     std::vector<BatchItem> items;
     items.reserve(ds.size());
     for (const auto& d : ds) {
-      items.push_back(BatchItem{ApplyContext{d.gseq, d.origin, d.origin_seq}, &d.payload});
+      items.push_back(BatchItem{ApplyContext{d.gseq, d.origin, d.origin_seq}, d.payload});
     }
     sm_.applyBatch(items);
   };

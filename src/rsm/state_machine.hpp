@@ -22,19 +22,21 @@ struct ApplyContext {
   std::uint64_t origin_seq = 0;  // its per-origin sequence number
 };
 
-/// One command of an apply batch. `command` points into the delivery buffer
-/// and is valid only for the duration of the applyBatch() call.
+/// One command of an apply batch. `command` views the delivery epoch's
+/// arena (or buffer) and is valid only for the duration of the applyBatch()
+/// call — decode what you need, never retain the view.
 struct BatchItem {
   ApplyContext ctx;
-  const Bytes* command = nullptr;
+  BytesView command;
 };
 
 class StateMachine {
  public:
   virtual ~StateMachine() = default;
 
-  /// Apply one totally-ordered command. Must be deterministic.
-  virtual void apply(const ApplyContext& ctx, const Bytes& command) = 0;
+  /// Apply one totally-ordered command. Must be deterministic. `command` is
+  /// a borrowed view, valid only for the duration of the call.
+  virtual void apply(const ApplyContext& ctx, BytesView command) = 0;
 
   /// Apply a run of CONSECUTIVE totally-ordered commands (items[i].ctx.gseq
   /// strictly increasing, no gaps filled by views). Batch boundaries are a
@@ -44,7 +46,7 @@ class StateMachine {
   /// overhead (locking, allocation), never reorder or fuse effects across
   /// items. Default: loop over apply().
   virtual void applyBatch(const std::vector<BatchItem>& items) {
-    for (const auto& item : items) apply(item.ctx, *item.command);
+    for (const auto& item : items) apply(item.ctx, item.command);
   }
 
   /// Membership event, delivered in the same total order as commands.

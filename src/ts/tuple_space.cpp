@@ -96,19 +96,14 @@ TupleSpace& TupleSpace::operator=(const TupleSpace& other) {
   return *this;
 }
 
-const std::string* TupleSpace::leadingName(const Pattern& p) {
-  if (p.arity() == 0) return nullptr;
-  const PatternField& f = p.field(0);
-  if (f.kind != PatternField::Kind::Actual || f.actual.type() != ValueType::Str) return nullptr;
-  return &f.actual.asStr();
-}
+const std::string* TupleSpace::leadingName(const Pattern& p) { return tuple::nameRefOf(p); }
 
 std::uint64_t TupleSpace::put(Tuple t) {
   const SignatureKey sig = signatureOf(t);
   const std::uint64_t seq = next_seq_++;
   noteMutation();
   auto& bucket = buckets_[sig];
-  if (auto name = nameOf(t)) {
+  if (const std::string* name = tuple::nameRefOf(t)) {
     auto [cit, inserted] = bucket.named.try_emplace(*name);
     if (inserted && plan_) {
       // A freshly created chain of a plan-tagged FIFO class goes ring.
@@ -181,10 +176,21 @@ std::optional<Tuple> TupleSpace::take(const Pattern& p) {
 }
 
 std::optional<Tuple> TupleSpace::read(const Pattern& p) const {
-  const SignatureKey sig = signatureOf(p);
+  if (const Tuple* t = readRef(p)) return *t;
+  return std::nullopt;
+}
+
+const Tuple* TupleSpace::readRef(const Pattern& p) const { return readRefImpl(p, true); }
+
+const Tuple* TupleSpace::readRefShared(const Pattern& p) const {
+  return readRefImpl(p, false);
+}
+
+const Tuple* TupleSpace::readRefImpl(const Pattern& p, bool use_cache) const {
+  const SignatureKey sig = p.signature();
   const std::string* pname = plan_ ? leadingName(p) : nullptr;
 
-  auto scanChain = [&](const Chain& chain) -> std::optional<Tuple> {
+  auto scanChain = [&](const Chain& chain) -> const Tuple* {
     const Tuple* found = nullptr;
     chain.scan([&](std::uint64_t, const Tuple& t) {
       if (p.matches(t)) {
@@ -193,25 +199,26 @@ std::optional<Tuple> TupleSpace::read(const Pattern& p) const {
       }
       return false;
     });
-    if (!found) return std::nullopt;
-    return *found;
+    return found;
   };
 
   if (pname) {
     // Read-cache fast path: same class as the last cached read and no
     // mutation since — skip the bucket and chain lookups.
-    if (rcache_.chain && rcache_.mut == mut_count_ && rcache_.sig == sig &&
+    if (use_cache && rcache_.chain && rcache_.mut == mut_count_ && rcache_.sig == sig &&
         rcache_.name == *pname) {
       planCounters().read_cache_hit.inc();
       return scanChain(*rcache_.chain);
     }
     const auto bit = buckets_.find(sig);
-    if (bit == buckets_.end()) return std::nullopt;
+    if (bit == buckets_.end()) return nullptr;
     const auto cit = bit->second.named.find(*pname);
-    if (cit == bit->second.named.end()) return std::nullopt;
-    if (const PlanEntry* e = plan_->find(sig, *pname); e && e->read_mostly) {
-      planCounters().read_cache_miss.inc();
-      rcache_ = ReadCache{sig, *pname, &cit->second, mut_count_};
+    if (cit == bit->second.named.end()) return nullptr;
+    if (use_cache) {
+      if (const PlanEntry* e = plan_->find(sig, *pname); e && e->read_mostly) {
+        planCounters().read_cache_miss.inc();
+        rcache_ = ReadCache{sig, *pname, &cit->second, mut_count_};
+      }
     }
     return scanChain(cit->second);
   }
@@ -230,8 +237,20 @@ std::optional<Tuple> TupleSpace::read(const Pattern& p) const {
     });
     return false;
   });
-  if (!best) return std::nullopt;
-  return *best;
+  return best;
+}
+
+const Tuple* TupleSpace::chainFront(SignatureKey sig, const std::string& name) const {
+  const auto bit = buckets_.find(sig);
+  if (bit == buckets_.end()) return nullptr;
+  const auto cit = bit->second.named.find(name);
+  if (cit == bit->second.named.end()) return nullptr;
+  const Tuple* front = nullptr;
+  cit->second.scan([&](std::uint64_t, const Tuple& t) {
+    front = &t;
+    return true;
+  });
+  return front;
 }
 
 std::vector<Tuple> TupleSpace::takeAll(const Pattern& p) {

@@ -64,7 +64,28 @@ class TupleSpace {
   std::optional<Tuple> take(const Pattern& p);
 
   /// Return (without removing) the oldest tuple matching `p`, if any.
+  /// Copies the match; prefer readRef() on the hot path.
   std::optional<Tuple> read(const Pattern& p) const;
+
+  /// Zero-copy read: a borrowed pointer to the oldest match (nullptr if
+  /// none). The pointer is invalidated by ANY subsequent mutation of this
+  /// space — copy before mutating. May fill the plan read-cache, so it is
+  /// NOT safe under a shared (reader-reader) lock; use readRefShared there.
+  const Tuple* readRef(const Pattern& p) const;
+
+  /// readRef without any cache write: every access is const in the machine
+  /// sense, so concurrent calls from multiple reader threads are safe (the
+  /// owner must still exclude writers, e.g. via a shared_mutex).
+  const Tuple* readRefShared(const Pattern& p) const;
+
+  /// Oldest tuple of the (sig, name) chain — regardless of any further
+  /// actuals a probe may carry (nullptr if the chain is absent/empty).
+  /// Cache-free and shared-lock safe. Used to publish lock-free read slots.
+  const Tuple* chainFront(SignatureKey sig, const std::string& name) const;
+
+  /// Bumped by every mutation; lets callers validate borrowed readRef
+  /// pointers and published read slots.
+  std::uint64_t mutationCount() const { return mut_count_; }
 
   /// Remove and return ALL tuples matching `p`, oldest first (move).
   std::vector<Tuple> takeAll(const Pattern& p);
@@ -144,6 +165,8 @@ class TupleSpace {
 
   template <typename Fn>  // Fn(const Chain&) -> bool (stop?)
   void eachCandidateChain(SignatureKey sig, const Pattern& p, Fn&& fn) const;
+  /// Shared implementation of readRef/readRefShared.
+  const Tuple* readRefImpl(const Pattern& p, bool use_cache) const;
   void pruneBucket(SignatureKey sig);
   /// Leading string actual of `p` without allocating, or nullptr.
   static const std::string* leadingName(const Pattern& p);

@@ -1,0 +1,45 @@
+// Shared hashing primitives for the owning (Value/Tuple) and view
+// (ValueView/TupleView) layers. Both layers MUST produce bit-identical
+// hashes and signature keys for equal content — keeping the constants and
+// steps in one place is what guarantees it (view_test.cpp cross-checks).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace ftl::tuple {
+
+enum class ValueType : std::uint8_t;
+
+namespace detail {
+
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t x) {
+  h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+inline std::uint64_t fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Streaming form of signature.cpp's hashTypes: FNV-1a over type tags,
+/// salted with the arity. sigInit(arity) then sigStep per field type, in
+/// field order, yields exactly hashTypes({types...}).
+inline std::uint64_t sigInit(std::size_t arity) {
+  return 0xcbf29ce484222325ULL ^ (arity * 0x9e3779b97f4a7c15ULL);
+}
+
+inline std::uint64_t sigStep(std::uint64_t h, std::uint8_t type_tag) {
+  h ^= type_tag;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace detail
+}  // namespace ftl::tuple

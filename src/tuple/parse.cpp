@@ -1,6 +1,7 @@
 #include "tuple/parse.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -55,21 +56,36 @@ class Scanner {
     return false;
   }
 
-  /// Consume an identifier-like word ([a-z0-9]+).
-  std::string word() {
+  /// Consume an identifier-like word ([a-z0-9]+); a view into the input.
+  std::string_view word() {
     skipWs();
-    std::string w;
+    const std::size_t start = pos_;
     while (pos_ < text_.size() &&
            (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
-      w.push_back(text_[pos_++]);
+      ++pos_;
     }
-    if (w.empty()) fail("expected a word");
-    return w;
+    if (pos_ == start) fail("expected a word");
+    return text_.substr(start, pos_ - start);
   }
 
-  std::string quotedString() {
+  /// Quoted string content. Escape-free strings (the common case) come back
+  /// as a view into the input; only escaped ones materialize into `buf`.
+  std::string_view quotedString(std::string& buf) {
     expect('"');
-    std::string s;
+    const std::size_t start = pos_;
+    // Fast path: scan for the closing quote; bail to the slow path on '\\'.
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        const std::string_view out = text_.substr(start, pos_ - start);
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') break;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    buf.assign(text_.substr(start, pos_ - start));
     while (true) {
       if (pos_ >= text_.size()) fail("unterminated string");
       char c = text_[pos_++];
@@ -78,17 +94,17 @@ class Scanner {
         if (pos_ >= text_.size()) fail("dangling escape");
         const char e = text_[pos_++];
         switch (e) {
-          case '"': s.push_back('"'); break;
-          case '\\': s.push_back('\\'); break;
-          case 'n': s.push_back('\n'); break;
-          case 't': s.push_back('\t'); break;
+          case '"': buf.push_back('"'); break;
+          case '\\': buf.push_back('\\'); break;
+          case 'n': buf.push_back('\n'); break;
+          case 't': buf.push_back('\t'); break;
           default: fail("unknown escape");
         }
       } else {
-        s.push_back(c);
+        buf.push_back(c);
       }
     }
-    return s;
+    return buf;
   }
 
   Value number() {
@@ -111,14 +127,25 @@ class Scanner {
         break;
       }
     }
-    const std::string lit(text_.substr(start, pos_ - start));
+    const std::string_view lit = text_.substr(start, pos_ - start);
     if (lit.empty() || lit == "-" || lit == "+") fail("expected a number");
-    try {
-      if (is_real) return Value(std::stod(lit));
-      return Value(static_cast<std::int64_t>(std::stoll(lit)));
-    } catch (const std::exception&) {
-      fail("bad numeric literal '" + lit + "'");
+    // from_chars parses the view in place (no intermediate std::string, no
+    // locale). It rejects a leading '+', which stoll/stod accepted — skip it.
+    const std::string_view digits = lit.front() == '+' ? lit.substr(1) : lit;
+    if (is_real) {
+      double d = 0;
+      const auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), d);
+      if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+        fail("bad numeric literal '" + std::string(lit) + "'");
+      }
+      return Value(d);
     }
+    std::int64_t i = 0;
+    const auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), i);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+      fail("bad numeric literal '" + std::string(lit) + "'");
+    }
+    return Value(i);
   }
 
   std::size_t pos() const { return pos_; }
@@ -137,7 +164,7 @@ int base64Digit(char c) {
   return -1;
 }
 
-Bytes decodeBase64(Scanner& s, const std::string& text) {
+Bytes decodeBase64(Scanner& s, std::string_view text) {
   Bytes out;
   int acc = 0;
   int bits = 0;
@@ -157,25 +184,26 @@ Bytes decodeBase64(Scanner& s, const std::string& text) {
 
 Value parseValueFrom(Scanner& s) {
   const char c = s.peek();
-  if (c == '"') return Value(s.quotedString());
+  std::string buf;
+  if (c == '"') return Value(s.quotedString(buf));
   if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') return s.number();
-  const std::string w = s.word();
+  const std::string_view w = s.word();
   if (w == "true") return Value(true);
   if (w == "false") return Value(false);
   if (w == "b64") {
-    return Value(decodeBase64(s, s.quotedString()));
+    return Value(decodeBase64(s, s.quotedString(buf)));
   }
-  s.fail("unknown value '" + w + "'");
+  s.fail("unknown value '" + std::string(w) + "'");
 }
 
 ValueType parseTypeName(Scanner& s) {
-  const std::string w = s.word();
+  const std::string_view w = s.word();
   if (w == "int") return ValueType::Int;
   if (w == "real") return ValueType::Real;
   if (w == "bool") return ValueType::Bool;
   if (w == "str") return ValueType::Str;
   if (w == "blob") return ValueType::Blob;
-  s.fail("unknown type '" + w + "' (want int/real/bool/str/blob)");
+  s.fail("unknown type '" + std::string(w) + "' (want int/real/bool/str/blob)");
 }
 
 }  // namespace

@@ -3,8 +3,18 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "tuple/hash_detail.hpp"
+#include "tuple/view.hpp"
 
 namespace ftl::tuple {
+
+void Pattern::computeSig() {
+  std::uint64_t h = detail::sigInit(fields_.size());
+  for (const auto& f : fields_) h = detail::sigStep(h, static_cast<std::uint8_t>(f.type()));
+  sig_ = h;
+}
+
+std::uint64_t Pattern::emptySig() { return detail::sigInit(0); }
 
 PatternField formal(ValueType t) {
   PatternField f;
@@ -71,6 +81,21 @@ bool Pattern::matches(const Tuple& t) const {
     }
   }
   return true;
+}
+
+bool Pattern::matches(const TupleView& t) const {
+  if (t.arity() != fields_.size()) return false;
+  bool ok = true;
+  t.forEachField([&](std::size_t i, const ValueView& v) {
+    const auto& f = fields_[i];
+    if (f.kind == PatternField::Kind::Actual) {
+      ok = v.equals(f.actual);
+    } else {
+      ok = (f.formal_type == v.type());
+    }
+    return ok;
+  });
+  return ok;
 }
 
 std::vector<Value> Pattern::bind(const Tuple& t) const {

@@ -33,11 +33,15 @@ PatternField formal(ValueType t);
 /// Actual field wrapper (implicit conversions usually suffice).
 PatternField actual(Value v);
 
+class TupleView;
+
 class Pattern {
  public:
-  Pattern() = default;
-  explicit Pattern(std::vector<PatternField> fields) : fields_(std::move(fields)) {}
-  Pattern(std::initializer_list<PatternField> fields) : fields_(fields) {}
+  Pattern() : sig_(emptySig()) {}
+  explicit Pattern(std::vector<PatternField> fields) : fields_(std::move(fields)) {
+    computeSig();
+  }
+  Pattern(std::initializer_list<PatternField> fields) : fields_(fields) { computeSig(); }
 
   std::size_t arity() const { return fields_.size(); }
   const PatternField& field(std::size_t i) const;
@@ -46,9 +50,17 @@ class Pattern {
   /// Number of formals (= number of binding slots, in field order).
   std::size_t formalCount() const;
 
+  /// Cached signature key (tuple/signature.hpp), computed eagerly at
+  /// construction — patterns are immutable, so every match/bucket lookup
+  /// reuses it instead of re-hashing the type list.
+  std::uint64_t signature() const { return sig_; }
+
   /// True iff `t` has the same arity, every actual equals the corresponding
   /// tuple field, and every formal's type matches.
   bool matches(const Tuple& t) const;
+  /// Same relation, evaluated directly over an encoded tuple (no
+  /// materialization).
+  bool matches(const TupleView& t) const;
 
   /// Extract the values the formals bind against `t` (which must match),
   /// in formal order.
@@ -63,7 +75,11 @@ class Pattern {
   std::string toString() const;
 
  private:
+  void computeSig();
+  static std::uint64_t emptySig();
+
   std::vector<PatternField> fields_;
+  std::uint64_t sig_ = 0;  // derived from fields_; not part of equality
 };
 
 /// Variadic builder mixing actuals and formals:

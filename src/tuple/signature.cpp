@@ -2,47 +2,47 @@
 
 #include <algorithm>
 
+#include "tuple/hash_detail.hpp"
+#include "tuple/view.hpp"
+
 namespace ftl::tuple {
 
-namespace {
-
-SignatureKey hashTypes(const std::vector<ValueType>& types) {
-  // FNV-1a over the type tags, salted with the arity.
-  std::uint64_t h = 0xcbf29ce484222325ULL ^ (types.size() * 0x9e3779b97f4a7c15ULL);
-  for (ValueType t : types) {
-    h ^= static_cast<std::uint8_t>(t);
-    h *= 0x100000001b3ULL;
+SignatureKey signatureOf(const Tuple& t) {
+  // Fused FNV-1a over the field types (no intermediate type vector).
+  std::uint64_t h = detail::sigInit(t.arity());
+  for (const auto& f : t.fields()) {
+    h = detail::sigStep(h, static_cast<std::uint8_t>(f.type()));
   }
   return h;
 }
 
-}  // namespace
+SignatureKey signatureOf(const Pattern& p) { return p.signature(); }
 
-SignatureKey signatureOf(const Tuple& t) {
-  std::vector<ValueType> types;
-  types.reserve(t.arity());
-  for (const auto& f : t.fields()) types.push_back(f.type());
-  return hashTypes(types);
-}
+SignatureKey signatureOf(const TupleView& t) { return t.signature(); }
 
-SignatureKey signatureOf(const Pattern& p) {
-  std::vector<ValueType> types;
-  types.reserve(p.arity());
-  for (const auto& f : p.fields()) types.push_back(f.type());
-  return hashTypes(types);
-}
+SignatureKey signatureOf(const PatternView& p) { return p.signature(); }
 
 std::optional<std::string> nameOf(const Tuple& t) {
-  if (t.arity() > 0 && t.field(0).type() == ValueType::Str) return t.field(0).asStr();
+  if (const std::string* n = nameRefOf(t)) return *n;
   return std::nullopt;
 }
 
 std::optional<std::string> nameOf(const Pattern& p) {
+  if (const std::string* n = nameRefOf(p)) return *n;
+  return std::nullopt;
+}
+
+const std::string* nameRefOf(const Tuple& t) {
+  if (t.arity() > 0 && t.field(0).type() == ValueType::Str) return &t.field(0).asStr();
+  return nullptr;
+}
+
+const std::string* nameRefOf(const Pattern& p) {
   if (p.arity() > 0 && p.field(0).kind == PatternField::Kind::Actual &&
       p.field(0).actual.type() == ValueType::Str) {
-    return p.field(0).actual.asStr();
+    return &p.field(0).actual.asStr();
   }
-  return std::nullopt;
+  return nullptr;
 }
 
 SignatureKey SignatureCatalog::add(const Pattern& p) {

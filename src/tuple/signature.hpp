@@ -20,19 +20,32 @@ namespace ftl::tuple {
 /// arity+types (strict: same types in same order).
 using SignatureKey = std::uint64_t;
 
+class TupleView;
+class PatternView;
+
 /// Signature of a concrete tuple.
 SignatureKey signatureOf(const Tuple& t);
 
 /// Signature of a pattern (actuals contribute their value's type; formals
 /// their declared type). A pattern can only match tuples with an equal
-/// signature key.
+/// signature key. O(1): patterns cache their signature at construction.
 SignatureKey signatureOf(const Pattern& p);
+
+/// View overloads: the key was already computed during the decode scan.
+SignatureKey signatureOf(const TupleView& t);
+SignatureKey signatureOf(const PatternView& p);
 
 /// The leading string "name" convention: returns the first field if it is a
 /// string actual (pattern) / string value (tuple), else nullopt. Used as a
 /// secondary bucket key.
 std::optional<std::string> nameOf(const Tuple& t);
 std::optional<std::string> nameOf(const Pattern& p);
+
+/// Zero-copy variants of nameOf: a pointer into the tuple/pattern's own
+/// storage (nullptr when unnamed). Preferred on the hot path — no
+/// std::string construction per lookup.
+const std::string* nameRefOf(const Tuple& t);
+const std::string* nameRefOf(const Pattern& p);
 
 /// Statistics of a signature catalog built over a set of patterns (exposed
 /// for the E9 matching bench and tests).

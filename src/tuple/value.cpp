@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "tuple/hash_detail.hpp"
 
 namespace ftl::tuple {
 
@@ -42,24 +43,8 @@ const Bytes& Value::asBlob() const {
   return std::get<Bytes>(v_);
 }
 
-namespace {
-
-std::uint64_t mix(std::uint64_t h, std::uint64_t x) {
-  h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-std::uint64_t fnv1a(const void* data, std::size_t n) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-}  // namespace
+using detail::fnv1a;
+using detail::mix;
 
 std::uint64_t Value::hash() const {
   std::uint64_t h = mix(0, static_cast<std::uint64_t>(type()));

@@ -28,8 +28,10 @@ class Value {
   Value(double v) : v_(v) {}                             // NOLINT
   Value(bool v) : v_(v) {}                               // NOLINT
   Value(std::string v) : v_(std::move(v)) {}             // NOLINT
+  Value(std::string_view v) : v_(std::string(v)) {}      // NOLINT
   Value(const char* v) : v_(std::string(v)) {}           // NOLINT
   Value(Bytes v) : v_(std::move(v)) {}                   // NOLINT
+  Value(BytesView v) : v_(v.toOwned()) {}                // NOLINT
 
   ValueType type() const { return static_cast<ValueType>(v_.index()); }
 

@@ -1,0 +1,286 @@
+#include "tuple/view.hpp"
+
+#include "common/assert.hpp"
+#include "tuple/hash_detail.hpp"
+
+namespace ftl::tuple {
+
+// ------------------------------------------------------------ ValueView ---
+
+std::int64_t ValueView::asInt() const {
+  FTL_REQUIRE(type_ == ValueType::Int, "value is not an int");
+  return int_;
+}
+
+double ValueView::asReal() const {
+  FTL_REQUIRE(type_ == ValueType::Real, "value is not a real");
+  return real_;
+}
+
+bool ValueView::asBool() const {
+  FTL_REQUIRE(type_ == ValueType::Bool, "value is not a bool");
+  return int_ != 0;
+}
+
+std::string_view ValueView::asStrView() const {
+  FTL_REQUIRE(type_ == ValueType::Str, "value is not a string");
+  return str_;
+}
+
+BytesView ValueView::asBlobView() const {
+  FTL_REQUIRE(type_ == ValueType::Blob, "value is not a blob");
+  return blob_;
+}
+
+bool ValueView::equals(const Value& v) const {
+  if (type_ != v.type()) return false;
+  switch (type_) {
+    case ValueType::Int: return int_ == v.asInt();
+    case ValueType::Real: return real_ == v.asReal();
+    case ValueType::Bool: return (int_ != 0) == v.asBool();
+    case ValueType::Str: return str_ == v.asStr();
+    case ValueType::Blob: return blob_ == v.asBlob();
+  }
+  return false;
+}
+
+bool ValueView::operator==(const ValueView& o) const {
+  if (type_ != o.type_) return false;
+  switch (type_) {
+    case ValueType::Int: return int_ == o.int_;
+    case ValueType::Real: return real_ == o.real_;
+    case ValueType::Bool: return (int_ != 0) == (o.int_ != 0);
+    case ValueType::Str: return str_ == o.str_;
+    case ValueType::Blob: return blob_ == o.blob_;
+  }
+  return false;
+}
+
+std::uint64_t ValueView::hash() const {
+  using detail::fnv1a;
+  using detail::mix;
+  std::uint64_t h = mix(0, static_cast<std::uint64_t>(type_));
+  switch (type_) {
+    case ValueType::Int: return mix(h, static_cast<std::uint64_t>(int_));
+    case ValueType::Real: {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &real_, sizeof(bits));
+      return mix(h, bits);
+    }
+    case ValueType::Bool: return mix(h, int_ != 0 ? 1 : 0);
+    case ValueType::Str: return mix(h, fnv1a(str_.data(), str_.size()));
+    case ValueType::Blob: return mix(h, fnv1a(blob_.data, blob_.size));
+  }
+  return h;
+}
+
+Value ValueView::toOwned() const {
+  switch (type_) {
+    case ValueType::Int: return Value(int_);
+    case ValueType::Real: return Value(real_);
+    case ValueType::Bool: return Value(int_ != 0);
+    case ValueType::Str: return Value(str_);
+    case ValueType::Blob: return Value(blob_.toOwned());
+  }
+  throw Error("bad value type in view");
+}
+
+ValueView ValueView::of(const Value& v) {
+  ValueView out;
+  out.type_ = v.type();
+  switch (v.type()) {
+    case ValueType::Int: out.int_ = v.asInt(); break;
+    case ValueType::Real: out.real_ = v.asReal(); break;
+    case ValueType::Bool: out.int_ = v.asBool() ? 1 : 0; break;
+    case ValueType::Str: out.str_ = v.asStr(); break;
+    case ValueType::Blob: out.blob_ = BytesView(v.asBlob()); break;
+  }
+  return out;
+}
+
+ValueView ValueView::decode(Reader& r) {
+  ValueView out;
+  const std::uint8_t tag = r.u8();
+  FTL_CHECK(tag <= static_cast<std::uint8_t>(ValueType::Blob),
+            "bad value type tag while decoding");
+  out.type_ = static_cast<ValueType>(tag);
+  switch (out.type_) {
+    case ValueType::Int: out.int_ = r.i64(); break;
+    case ValueType::Real: out.real_ = r.f64(); break;
+    case ValueType::Bool: out.int_ = r.boolean() ? 1 : 0; break;
+    case ValueType::Str: out.str_ = r.readStrView(); break;
+    case ValueType::Blob: out.blob_ = r.readBlobView(); break;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ TupleView ---
+
+TupleView TupleView::decode(Reader& r) {
+  TupleView out;
+  out.data_ = r.cursor();
+  const std::size_t start = r.position();
+  out.arity_ = r.u16();
+  std::uint64_t sig = detail::sigInit(out.arity_);
+  for (std::uint16_t i = 0; i < out.arity_; ++i) {
+    const ValueView v = ValueView::decode(r);  // validates field bounds
+    sig = detail::sigStep(sig, static_cast<std::uint8_t>(v.type()));
+  }
+  out.sig_ = sig;
+  out.size_ = r.position() - start;
+  return out;
+}
+
+ValueView TupleView::field(std::size_t i) const {
+  FTL_REQUIRE(i < arity_, "tuple field index out of range");
+  Reader r(data_, size_);
+  r.skip(2);
+  for (std::size_t k = 0; k < i; ++k) (void)ValueView::decode(r);
+  return ValueView::decode(r);
+}
+
+std::optional<std::string_view> TupleView::nameView() const {
+  if (arity_ == 0) return std::nullopt;
+  Reader r(data_, size_);
+  r.skip(2);
+  if (static_cast<ValueType>(r.u8()) != ValueType::Str) return std::nullopt;
+  return r.readStrView();
+}
+
+bool TupleView::equals(const Tuple& t) const {
+  if (t.arity() != arity_) return false;
+  bool eq = true;
+  forEachField([&](std::size_t i, const ValueView& v) {
+    eq = v.equals(t.field(i));
+    return eq;
+  });
+  return eq;
+}
+
+Tuple TupleView::toOwned() const {
+  std::vector<Value> fields;
+  fields.reserve(arity_);
+  forEachField([&](std::size_t, const ValueView& v) {
+    fields.push_back(v.toOwned());
+    return true;
+  });
+  return Tuple(std::move(fields));
+}
+
+// ---------------------------------------------------------- PatternView ---
+
+namespace {
+
+/// Decode one encoded pattern field in place. Returns true for an actual
+/// (with `actual` set) and false for a formal (with `ftype` set).
+bool decodePatternField(Reader& r, ValueView& actual, ValueType& ftype) {
+  const std::uint8_t kind = r.u8();
+  FTL_CHECK(kind <= 1, "corrupt pattern-field kind byte");
+  if (kind == 0) {  // Actual
+    actual = ValueView::decode(r);
+    return true;
+  }
+  const std::uint8_t type = r.u8();
+  FTL_CHECK(type <= static_cast<std::uint8_t>(ValueType::Blob), "corrupt formal type byte");
+  ftype = static_cast<ValueType>(type);
+  return false;
+}
+
+}  // namespace
+
+PatternView PatternView::decode(Reader& r) {
+  PatternView out;
+  out.data_ = r.cursor();
+  const std::size_t start = r.position();
+  out.arity_ = r.u16();
+  std::uint64_t sig = detail::sigInit(out.arity_);
+  for (std::uint16_t i = 0; i < out.arity_; ++i) {
+    ValueView actual;
+    ValueType ftype{};
+    if (decodePatternField(r, actual, ftype)) {
+      sig = detail::sigStep(sig, static_cast<std::uint8_t>(actual.type()));
+    } else {
+      sig = detail::sigStep(sig, static_cast<std::uint8_t>(ftype));
+      ++out.formals_;
+    }
+  }
+  out.sig_ = sig;
+  out.size_ = r.position() - start;
+  return out;
+}
+
+std::optional<std::string_view> PatternView::nameView() const {
+  if (arity_ == 0) return std::nullopt;
+  Reader r(data_, size_);
+  r.skip(2);
+  if (r.u8() != 0) return std::nullopt;  // formal
+  if (static_cast<ValueType>(r.u8()) != ValueType::Str) return std::nullopt;
+  return r.readStrView();
+}
+
+bool PatternView::matches(const TupleView& t) const {
+  if (t.arity() != arity_) return false;
+  Reader pr(data_, size_);
+  pr.skip(2);
+  bool ok = true;
+  t.forEachField([&](std::size_t, const ValueView& v) {
+    ValueView actual;
+    ValueType ftype{};
+    if (decodePatternField(pr, actual, ftype)) {
+      ok = (actual == v);
+    } else {
+      ok = (ftype == v.type());
+    }
+    return ok;
+  });
+  return ok;
+}
+
+bool PatternView::matches(const Tuple& t) const {
+  if (t.arity() != arity_) return false;
+  Reader pr(data_, size_);
+  pr.skip(2);
+  for (std::size_t i = 0; i < arity_; ++i) {
+    ValueView actual;
+    ValueType ftype{};
+    const Value& v = t.field(i);
+    if (decodePatternField(pr, actual, ftype)) {
+      if (!actual.equals(v)) return false;
+    } else {
+      if (ftype != v.type()) return false;
+    }
+  }
+  return true;
+}
+
+void PatternView::bindInto(const TupleView& t, std::vector<Value>& out) const {
+  FTL_REQUIRE(matches(t), "bindInto() requires a matching tuple");
+  out.reserve(out.size() + formals_);
+  Reader pr(data_, size_);
+  pr.skip(2);
+  t.forEachField([&](std::size_t, const ValueView& v) {
+    ValueView actual;
+    ValueType ftype{};
+    if (!decodePatternField(pr, actual, ftype)) out.push_back(v.toOwned());
+    return true;
+  });
+}
+
+Pattern PatternView::toOwned() const {
+  std::vector<PatternField> fields;
+  fields.reserve(arity_);
+  Reader pr(data_, size_);
+  pr.skip(2);
+  for (std::size_t i = 0; i < arity_; ++i) {
+    ValueView a;
+    ValueType ftype{};
+    if (decodePatternField(pr, a, ftype)) {
+      fields.push_back(actual(a.toOwned()));
+    } else {
+      fields.push_back(formal(ftype));
+    }
+  }
+  return Pattern(std::move(fields));
+}
+
+}  // namespace ftl::tuple

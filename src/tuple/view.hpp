@@ -1,0 +1,147 @@
+// Non-owning views over ENCODED tuples and patterns: the zero-copy half of
+// the tuple API (docs/API.md "View vs. owning").
+//
+// A ValueView/TupleView/PatternView borrows the wire bytes it was decoded
+// from — a received datagram, a consul log entry, an arena block — and
+// supports everything the match path needs (type inspection, signature,
+// equality, matching, binding) without materializing a single std::string
+// or std::vector. The owning Tuple/Value API remains the materialization
+// boundary: call toOwned() when a value must outlive the buffer.
+//
+// Invariants the rest of the system relies on:
+//  - ValueView::hash() is bit-identical to Value::hash() for equal content;
+//  - TupleView::signature() equals tuple::signatureOf(decoded Tuple);
+//  - decode() fully bounds-checks: a truncated or corrupt buffer throws
+//    ftl::Error (never yields a view past the end of the buffer).
+//
+// LIFETIME: a view is valid only while the buffer it was decoded from is.
+// Views must not be stored across the callback / arena epoch that produced
+// them; tests/tuple/view_test.cpp and the ASan lifetime tests enforce this.
+#pragma once
+
+#include <string_view>
+
+#include "tuple/signature.hpp"
+
+namespace ftl::tuple {
+
+/// One decoded-in-place tuple field.
+class ValueView {
+ public:
+  ValueView() = default;
+
+  ValueType type() const { return type_; }
+
+  std::int64_t asInt() const;
+  double asReal() const;
+  bool asBool() const;
+  std::string_view asStrView() const;
+  BytesView asBlobView() const;
+
+  /// Content equality against owning and view values (same relation as
+  /// Value::operator==).
+  bool equals(const Value& v) const;
+  bool operator==(const ValueView& o) const;
+
+  /// Bit-identical to Value::hash() of the same content.
+  std::uint64_t hash() const;
+
+  /// Materialize an owning Value (copies string/blob payloads).
+  Value toOwned() const;
+
+  /// View of an already-owning value (used by Reply::bound: borrow from the
+  /// reply without copying).
+  static ValueView of(const Value& v);
+
+  /// Decode one encoded value, borrowing payload bytes from the reader's
+  /// buffer. Throws ftl::Error on truncation or a bad type tag.
+  static ValueView decode(Reader& r);
+
+ private:
+  ValueType type_ = ValueType::Int;
+  std::int64_t int_ = 0;  // Int (also Bool: 0/1)
+  double real_ = 0;       // Real
+  std::string_view str_;  // Str
+  BytesView blob_;        // Blob
+};
+
+/// A whole encoded tuple, validated and scanned once at decode time (the
+/// scan computes arity and signature); fields are re-walked lazily.
+class TupleView {
+ public:
+  TupleView() = default;
+
+  std::size_t arity() const { return arity_; }
+  /// Signature key — equal to signatureOf(toOwned()).
+  SignatureKey signature() const { return sig_; }
+
+  /// Field access re-scans the encoding from the front: O(i). Use
+  /// forEachField for full iteration (O(arity) total).
+  ValueView field(std::size_t i) const;
+
+  /// fn(index, ValueView); returns false from fn to stop early.
+  template <typename Fn>
+  void forEachField(Fn&& fn) const {
+    Reader r(data_, size_);
+    r.skip(2);  // arity prefix (validated at decode)
+    for (std::size_t i = 0; i < arity_; ++i) {
+      if (!fn(i, ValueView::decode(r))) return;
+    }
+  }
+
+  /// Leading string field (the conventional tuple "name"), if any.
+  std::optional<std::string_view> nameView() const;
+
+  /// The encoded bytes this view spans (arity prefix + fields).
+  BytesView encoded() const { return BytesView(data_, size_); }
+
+  bool equals(const Tuple& t) const;
+
+  Tuple toOwned() const;
+
+  /// Decode one encoded tuple starting at the reader's cursor; the reader
+  /// advances past it. Validates every field (throws on corrupt input).
+  static TupleView decode(Reader& r);
+
+ private:
+  const std::uint8_t* data_ = nullptr;  // start of the arity prefix
+  std::size_t size_ = 0;                // bytes spanned by this tuple
+  std::uint16_t arity_ = 0;
+  SignatureKey sig_ = 0;
+};
+
+/// A whole encoded pattern (sequence of actual/formal fields), validated and
+/// scanned once at decode time.
+class PatternView {
+ public:
+  PatternView() = default;
+
+  std::size_t arity() const { return arity_; }
+  SignatureKey signature() const { return sig_; }
+  std::size_t formalCount() const { return formals_; }
+
+  /// Leading string ACTUAL (the name convention), if any.
+  std::optional<std::string_view> nameView() const;
+
+  /// Same relation as Pattern::matches(Tuple) on the decoded forms.
+  bool matches(const TupleView& t) const;
+  bool matches(const Tuple& t) const;
+
+  /// Append the values the formals bind against `t` (which must match), in
+  /// formal order. The appended Values are OWNING (materialized).
+  void bindInto(const TupleView& t, std::vector<Value>& out) const;
+
+  Pattern toOwned() const;
+
+  static PatternView decode(Reader& r);
+
+ private:
+  /// fn(field kind byte, actual ValueView OR formal type); see .cpp.
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint16_t arity_ = 0;
+  std::uint16_t formals_ = 0;
+  SignatureKey sig_ = 0;
+};
+
+}  // namespace ftl::tuple

@@ -4,8 +4,11 @@
 // correctness property, not just hygiene.
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "common/rng.hpp"
 #include "consul/messages.hpp"
+#include "tuple/view.hpp"
 #include "ftlinda/protocol.hpp"
 #include "ftlinda/verify.hpp"
 #include "ts/registry.hpp"
@@ -48,6 +51,48 @@ TEST(FuzzDecode, TupleSpace) {
 
 TEST(FuzzDecode, Registry) {
   expectNoCrash([](const Bytes& b) { Reader r(b); (void)ts::TsRegistry::decode(r); }, 14);
+}
+
+TEST(FuzzDecode, TupleView) {
+  expectNoCrash([](const Bytes& b) { Reader r(b); (void)tuple::TupleView::decode(r); }, 41);
+}
+
+TEST(FuzzDecode, PatternView) {
+  expectNoCrash([](const Bytes& b) { Reader r(b); (void)tuple::PatternView::decode(r); }, 42);
+}
+
+TEST(FuzzDecode, ViewDecodeAgreesWithOwningDecode) {
+  // Differential fuzz: on ANY input, the view decoder and the owning
+  // decoder must agree — both reject, or both accept with identical
+  // decoded content (same signature, equal tuples).
+  Xoshiro256 rng(43);
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes b = randomBytes(rng, 200);
+    std::optional<tuple::Tuple> owned;
+    std::optional<tuple::TupleView> viewed;
+    std::size_t owned_end = 0;
+    std::size_t view_end = 0;
+    try {
+      Reader r(b);
+      owned = tuple::Tuple::decode(r);
+      owned_end = r.position();
+    } catch (const Error&) {
+    } catch (const std::bad_alloc&) {
+      continue;  // bogus length prefix: view path cannot over-allocate
+    }
+    try {
+      Reader r(b);
+      viewed = tuple::TupleView::decode(r);
+      view_end = r.position();
+    } catch (const Error&) {
+    }
+    ASSERT_EQ(owned.has_value(), viewed.has_value()) << "round " << i;
+    if (owned) {
+      ASSERT_EQ(owned_end, view_end) << "round " << i;
+      ASSERT_TRUE(viewed->equals(*owned)) << "round " << i;
+      ASSERT_EQ(viewed->signature(), tuple::signatureOf(*owned)) << "round " << i;
+    }
+  }
 }
 
 TEST(FuzzDecode, Command) {

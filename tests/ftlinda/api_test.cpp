@@ -20,11 +20,11 @@ using tuple::makeTuple;
 std::int64_t counterWorkload(LindaApi& api, const std::string& key, int rounds) {
   api.out(kTsMain, makeTuple(key, 0));
   for (int i = 0; i < rounds; ++i) {
-    Reply r = api.execute(
+    Reply r = requireReply(api.tryExecute(
         AgsBuilder()
             .when(guardIn(kTsMain, makePattern(key, fInt())))
             .then(opOut(kTsMain, makeTemplate(key, boundExpr(0, ArithOp::Add, 1))))
-            .build());
+            .build()));
     EXPECT_EQ(r.boundInt(0), i);
   }
   return api.in(kTsMain, makePattern(key, fInt())).field(1).asInt();
@@ -54,7 +54,7 @@ TEST(LindaApiTest, TryExecuteTagsVerifierRejections) {
   EXPECT_EQ(r.error().message.rfind("AGS rejected by verifier: ", 0), 0u);
   // The throwing wrapper raises the identical message.
   try {
-    sys.runtime(0).execute(bad);
+    requireReply(sys.runtime(0).tryExecute(bad));
     FAIL() << "execute() did not throw";
   } catch (const Error& e) {
     EXPECT_EQ(e.what(), r.error().message);
@@ -109,15 +109,15 @@ TEST(LindaApiTest, ReplyBoundIsRangeChecked) {
   FtLindaSystem sys(cfg);
   auto& rt = sys.runtime(0);
   rt.out(kTsMain, makeTuple("pair", 3, "s"));
-  Reply r = rt.execute(
-      AgsBuilder().when(guardIn(kTsMain, makePattern("pair", fInt(), fStr()))).build());
+  Reply r = requireReply(rt.tryExecute(
+      AgsBuilder().when(guardIn(kTsMain, makePattern("pair", fInt(), fStr()))).build()));
   EXPECT_EQ(r.boundInt(0), 3);
   EXPECT_EQ(r.boundStr(1), "s");
   EXPECT_THROW(r.bound(2), Error);
   EXPECT_THROW(r.boundInt(99), Error);
 
-  Reply none = rt.execute(
-      AgsBuilder().when(guardTrue()).then(opOut(kTsMain, makeTemplate("t", 1))).build());
+  Reply none = requireReply(rt.tryExecute(
+      AgsBuilder().when(guardTrue()).then(opOut(kTsMain, makeTemplate("t", 1))).build()));
   EXPECT_THROW(none.bound(0), Error);
 }
 

@@ -74,7 +74,7 @@ TEST(BatchApply, BatchesMatchOneAtATimeExactly) {
       rsm::ApplyContext ctx;
       ctx.gseq = ++gseq;
       ctx.origin = 1;
-      items.push_back(rsm::BatchItem{ctx, &encoded[i]});
+      items.push_back(rsm::BatchItem{ctx, encoded[i]});
     }
     batched.applyBatch(items);
     width = width % 4 + 1;
@@ -100,10 +100,10 @@ void runCounterWorkload(FtLindaSystem& sys, int hosts, int per_host) {
   for (int h = 0; h < hosts; ++h) {
     sys.spawnProcess(static_cast<net::HostId>(h), [per_host](LindaApi& rt) {
       for (int i = 0; i < per_host; ++i) {
-        rt.execute(AgsBuilder()
+        requireReply(rt.tryExecute(AgsBuilder()
                        .when(guardIn(kTsMain, makePattern("acc", fInt())))
                        .then(opOut(kTsMain, makeTemplate("acc", boundExpr(0, ArithOp::Add, 1))))
-                       .build());
+                       .build()));
       }
     });
   }

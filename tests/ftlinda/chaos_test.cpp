@@ -24,14 +24,14 @@ constexpr int kHosts = 4;
 void mover(Runtime& rt) {
   // Move a token A->B or B->A, atomically; stop on the shutdown signal.
   for (;;) {
-    Reply r = rt.execute(AgsBuilder()
+    Reply r = requireReply(rt.tryExecute(AgsBuilder()
                              .when(guardIn(kTsMain, makePattern("stop")))
                              .then(opOut(kTsMain, makeTemplate("stop")))
                              .orWhen(guardInp(kTsMain, makePattern("poolA", fInt())))
                              .then(opOut(kTsMain, makeTemplate("poolB", bound(0))))
                              .orWhen(guardInp(kTsMain, makePattern("poolB", fInt())))
                              .then(opOut(kTsMain, makeTemplate("poolA", bound(0))))
-                             .build());
+                             .build()));
     if (r.branch == 0) return;
     std::this_thread::sleep_for(Micros{500});  // temper the offered load
   }

@@ -21,11 +21,11 @@ TEST(FailureMonitorHelper, RegeneratesMarkersOfDeadHost) {
   auto& rt = sys.runtime(0);
   // Host 2 claims two tasks then dies.
   for (int i = 0; i < 2; ++i) {
-    sys.runtime(2).execute(
+    requireReply(sys.runtime(2).tryExecute(
         AgsBuilder()
             .when(guardTrue())
             .then(opOut(kTsMain, makeTemplate("in_progress", 2, i, i * 100)))
-            .build());
+            .build()));
   }
   std::atomic<int> handled_host{-1};
   std::atomic<int> regen_count{-1};

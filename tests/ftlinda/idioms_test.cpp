@@ -56,11 +56,11 @@ TEST(LindaIdioms, BarrierAllArriveBeforeAnyProceeds) {
   for (net::HostId h = 0; h < kN; ++h) {
     sys.spawnProcess(h, [&](Runtime& rt) {
       arrived.fetch_add(1);
-      rt.execute(AgsBuilder()
+      requireReply(rt.tryExecute(AgsBuilder()
                      .when(guardIn(kTsMain, makePattern("barrier", fInt())))
                      .then(opOut(kTsMain,
                                  makeTemplate("barrier", boundExpr(0, ArithOp::Sub, 1))))
-                     .build());
+                     .build()));
       rt.rd(kTsMain, makePattern("barrier", 0));
       if (arrived.load() != kN) order_ok.store(false);
       proceeded.fetch_add(1);
@@ -171,11 +171,11 @@ TEST(LindaIdioms, DistributedArrayUpdate) {
   for (net::HostId h = 0; h < 2; ++h) {
     sys.spawnProcess(h, [](Runtime& r) {
       for (int i = 0; i < 8; ++i) {
-        r.execute(AgsBuilder()
+        requireReply(r.tryExecute(AgsBuilder()
                       .when(guardIn(kTsMain, makePattern("A", i, fInt())))
                       .then(opOut(kTsMain,
                                   makeTemplate("A", i, boundExpr(0, ArithOp::Add, 1))))
-                      .build());
+                      .build()));
       }
     });
   }

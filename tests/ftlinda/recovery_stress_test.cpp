@@ -23,20 +23,20 @@ using tuple::makeTuple;
 
 void worker(Runtime& rt) {
   for (;;) {
-    Reply r = rt.execute(
+    Reply r = requireReply(rt.tryExecute(
         AgsBuilder()
             .when(guardIn(kTsMain, makePattern("task", fInt(), fInt())))
             .then(opOut(kTsMain, makeTemplate("in_progress", static_cast<int>(rt.host()),
                                               bound(0), bound(1))))
             .orWhen(guardIn(kTsMain, makePattern("shutdown")))
             .then(opOut(kTsMain, makeTemplate("shutdown")))
-            .build());
+            .build()));
     if (r.branch == 1) return;
     const std::int64_t lo = r.bindings[0].asInt();
     const std::int64_t hi = r.bindings[1].asInt();
     if (hi - lo > 1) {
       const std::int64_t mid = (lo + hi) / 2;
-      rt.execute(AgsBuilder()
+      requireReply(rt.tryExecute(AgsBuilder()
                      .when(guardIn(kTsMain, makePattern("pending", fInt())))
                      .then(opInp(kTsMain, makePatternTemplate(
                                               "in_progress", static_cast<int>(rt.host()),
@@ -45,9 +45,9 @@ void worker(Runtime& rt) {
                      .then(opOut(kTsMain, makeTemplate("task", mid, hi)))
                      .then(opOut(kTsMain,
                                  makeTemplate("pending", boundExpr(0, ArithOp::Add, 1))))
-                     .build());
+                     .build()));
     } else {
-      rt.execute(AgsBuilder()
+      requireReply(rt.tryExecute(AgsBuilder()
                      .when(guardIn(kTsMain, makePattern("pending", fInt())))
                      .then(opInp(kTsMain, makePatternTemplate(
                                               "in_progress", static_cast<int>(rt.host()),
@@ -55,22 +55,22 @@ void worker(Runtime& rt) {
                      .then(opOut(kTsMain, makeTemplate("piece", lo)))
                      .then(opOut(kTsMain,
                                  makeTemplate("pending", boundExpr(0, ArithOp::Sub, 1))))
-                     .build());
+                     .build()));
     }
   }
 }
 
 void monitor(Runtime& rt) {
   for (;;) {
-    Reply fr = rt.execute(
-        AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build());
+    Reply fr = requireReply(rt.tryExecute(
+        AgsBuilder().when(guardIn(kTsMain, makePattern("failure", fInt()))).build()));
     const std::int64_t dead = fr.bindings[0].asInt();
     for (;;) {
-      Reply r = rt.execute(
+      Reply r = requireReply(rt.tryExecute(
           AgsBuilder()
               .when(guardInp(kTsMain, makePattern("in_progress", dead, fInt(), fInt())))
               .then(opOut(kTsMain, makeTemplate("task", bound(0), bound(1))))
-              .build());
+              .build()));
       if (!r.succeeded) break;
     }
   }

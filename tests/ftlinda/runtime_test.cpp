@@ -43,10 +43,10 @@ TEST(RuntimeApi, DestroyedScratchSwallowsLaterDeposits) {
   rt.destroyTs(scratch);
   // The move still executes against the stable space; the deposit simply
   // has nowhere local to land (documented behaviour).
-  Reply r = rt.execute(AgsBuilder()
+  Reply r = requireReply(rt.tryExecute(AgsBuilder()
                            .when(guardTrue())
                            .then(opMove(kTsMain, scratch, makePatternTemplate("r", fInt())))
-                           .build());
+                           .build()));
   EXPECT_EQ(r.local_deposits.size(), 1u);
   EXPECT_EQ(sys.stateMachine(0).tupleCount(kTsMain), 0u);
   EXPECT_EQ(rt.localTupleCount(scratch), 0u);
@@ -58,17 +58,17 @@ TEST(RuntimeApi, MixedLocalReadRejected) {
   FtLindaSystem sys({.hosts = 2});
   auto& rt = sys.runtime(0);
   const TsHandle scratch = rt.createScratch();
-  EXPECT_THROW(rt.execute(AgsBuilder()
-                              .when(guardIn(kTsMain, makePattern("x")))
-                              .then(opInp(scratch, makePatternTemplate("y")))
-                              .build()),
-               Error);
+  const Result<Reply> r1 = rt.tryExecute(AgsBuilder()
+                                             .when(guardIn(kTsMain, makePattern("x")))
+                                             .then(opInp(scratch, makePatternTemplate("y")))
+                                             .build());
+  EXPECT_FALSE(r1.ok());
   // And a guard on scratch combined with stable body ops is also mixed.
-  EXPECT_THROW(rt.execute(AgsBuilder()
-                              .when(guardIn(scratch, makePattern("y")))
-                              .then(opOut(kTsMain, makeTemplate("x")))
-                              .build()),
-               Error);
+  const Result<Reply> r2 = rt.tryExecute(AgsBuilder()
+                                             .when(guardIn(scratch, makePattern("y")))
+                                             .then(opOut(kTsMain, makeTemplate("x")))
+                                             .build());
+  EXPECT_FALSE(r2.ok());
 }
 
 TEST(RuntimeApi, ScratchSpacesIndependentPerProcessor) {

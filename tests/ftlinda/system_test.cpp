@@ -80,11 +80,11 @@ TEST(System, AtomicIncrementNoLostUpdates) {
     incrementers.emplace_back([&sys, h] {
       auto& rt = sys.runtime(h);
       for (int i = 0; i < kPerHost; ++i) {
-        rt.execute(AgsBuilder()
+        requireReply(rt.tryExecute(AgsBuilder()
                        .when(guardIn(kTsMain, makePattern("count", fInt())))
                        .then(opOut(kTsMain,
                                    makeTemplate("count", boundExpr(0, ArithOp::Add, 1))))
-                       .build());
+                       .build()));
       }
     });
   }
@@ -96,10 +96,10 @@ TEST(System, AtomicIncrementNoLostUpdates) {
 TEST(System, DisjunctionTakesAvailableBranch) {
   FtLindaSystem sys({.hosts = 2});
   sys.runtime(0).out(kTsMain, makeTuple("right", 1));
-  Reply r = sys.runtime(1).execute(AgsBuilder()
+  Reply r = requireReply(sys.runtime(1).tryExecute(AgsBuilder()
                                        .when(guardIn(kTsMain, makePattern("left", fInt())))
                                        .orWhen(guardIn(kTsMain, makePattern("right", fInt())))
-                                       .build());
+                                       .build()));
   EXPECT_EQ(r.branch, 1);
 }
 
@@ -150,11 +150,11 @@ TEST(System, MoveStableToScratchViaReply) {
   auto& rt = sys.runtime(0);
   for (int i = 0; i < 4; ++i) sys.runtime(1).out(kTsMain, makeTuple("result", i));
   const TsHandle scratch = rt.createScratch();
-  Reply r = rt.execute(
+  Reply r = requireReply(rt.tryExecute(
       AgsBuilder()
           .when(guardTrue())
           .then(opMove(kTsMain, scratch, makePatternTemplate("result", fInt())))
-          .build());
+          .build()));
   EXPECT_EQ(r.local_deposits.size(), 4u);
   EXPECT_EQ(rt.localTupleCount(scratch), 4u);
   EXPECT_EQ(sys.stateMachine(0).tupleCount(kTsMain), 0u);
@@ -246,11 +246,11 @@ TEST(System, ReplicasConvergeAfterConcurrentWorkload) {
       auto& rt = sys.runtime(h);
       for (int i = 0; i < 20; ++i) {
         rt.out(kTsMain, makeTuple("w", static_cast<int>(h), i));
-        rt.execute(AgsBuilder()
+        requireReply(rt.tryExecute(AgsBuilder()
                        .when(guardInp(kTsMain, makePattern("w", fInt(), fInt())))
                        .then(opOut(kTsMain, makeTemplate("seen", bound(0), bound(1))))
                        .orWhen(guardTrue())
-                       .build());
+                       .build()));
       }
     });
   }
@@ -270,22 +270,22 @@ TEST(System, MiniBagOfTasksSurvivesWorkerCrash) {
   for (int i = 0; i < kTasks; ++i) sys.runtime(0).out(kTsMain, makeTuple("subtask", i));
 
   auto takeTask = [](Runtime& rt) -> std::optional<std::int64_t> {
-    Reply r = rt.execute(
+    Reply r = requireReply(rt.tryExecute(
         AgsBuilder()
             .when(guardInp(ts::kTsMain, makePattern("subtask", fInt())))
             .then(opOut(ts::kTsMain,
                         makeTemplate("in_progress", static_cast<int>(rt.host()), bound(0))))
-            .build());
+            .build()));
     if (!r.succeeded) return std::nullopt;
     return r.bindings[0].asInt();
   };
   auto finishTask = [](Runtime& rt, std::int64_t id) {
-    rt.execute(AgsBuilder()
+    requireReply(rt.tryExecute(AgsBuilder()
                    .when(guardIn(ts::kTsMain,
                                  makePattern("in_progress", static_cast<int>(rt.host()),
                                              static_cast<std::int64_t>(id))))
                    .then(opOut(ts::kTsMain, makeTemplate("result", id)))
-                   .build());
+                   .build()));
   };
 
   // Host 2 takes a task and "crashes" while holding it.
@@ -297,18 +297,18 @@ TEST(System, MiniBagOfTasksSurvivesWorkerCrash) {
   // The monitor on host 0 handles the failure: regenerate the dead worker's
   // in-progress subtasks atomically with consuming the failure tuple.
   auto& rt0 = sys.runtime(0);
-  Reply fr = rt0.execute(AgsBuilder()
+  Reply fr = requireReply(rt0.tryExecute(AgsBuilder()
                              .when(guardIn(kTsMain, makePattern("failure", fInt())))
-                             .build());
+                             .build()));
   const auto dead = fr.bindings[0].asInt();
   EXPECT_EQ(dead, 2);
   for (;;) {
-    Reply r = rt0.execute(
+    Reply r = requireReply(rt0.tryExecute(
         AgsBuilder()
             .when(guardInp(kTsMain,
                            makePattern("in_progress", static_cast<std::int64_t>(dead), fInt())))
             .then(opOut(kTsMain, makeTemplate("subtask", bound(0))))
-            .build());
+            .build()));
     if (!r.succeeded) break;
   }
 

@@ -57,11 +57,11 @@ TEST(TupleServer, AgsWithBindingsViaRpc) {
   FtLindaSystem sys(tsConfig());
   auto& rt = sys.remoteRuntime(2);
   rt.out(kTsMain, makeTuple("count", 10));
-  Reply r = rt.execute(
+  Reply r = requireReply(rt.tryExecute(
       AgsBuilder()
           .when(guardIn(kTsMain, makePattern("count", fInt())))
           .then(opOut(kTsMain, makeTemplate("count", boundExpr(0, ArithOp::Add, 5))))
-          .build());
+          .build()));
   EXPECT_EQ(r.bindings.at(0).asInt(), 10);
   EXPECT_EQ(rt.rd(kTsMain, makePattern("count", fInt())).field(1).asInt(), 15);
 }
@@ -82,10 +82,10 @@ TEST(TupleServer, ScratchSpacesStayLocalOnClient) {
   EXPECT_EQ(sys.stateMachine(0).tupleCount(kTsMain), 0u);
   // Move from stable to client scratch travels in the RPC reply.
   rt.out(kTsMain, makeTuple("r", 5));
-  rt.execute(AgsBuilder()
+  requireReply(rt.tryExecute(AgsBuilder()
                  .when(guardTrue())
                  .then(opMove(kTsMain, scratch, makePatternTemplate("r", fInt())))
-                 .build());
+                 .build()));
   EXPECT_EQ(rt.localTupleCount(scratch), 2u);
   EXPECT_EQ(sys.stateMachine(0).tupleCount(kTsMain), 0u);
 }
@@ -162,11 +162,11 @@ TEST(TupleServer, ManyClientsConcurrentIncrements) {
   for (net::HostId h : {2u, 3u, 4u}) {
     sys.spawnRemoteProcess(h, [](RemoteRuntime& rt) {
       for (int i = 0; i < kPer; ++i) {
-        rt.execute(AgsBuilder()
+        requireReply(rt.tryExecute(AgsBuilder()
                        .when(guardIn(kTsMain, makePattern("count", fInt())))
                        .then(opOut(kTsMain,
                                    makeTemplate("count", boundExpr(0, ArithOp::Add, 1))))
-                       .build());
+                       .build()));
       }
     });
   }

@@ -101,22 +101,22 @@ TYPED_TEST(VerbSemantics, BlockingInWokenByPeer) {
 
 TYPED_TEST(VerbSemantics, AgsBindingAndArithmetic) {
   this->api(0).out(kTsMain, makeTuple("acc", 5));
-  Reply r = this->api(1).execute(
+  Reply r = requireReply(this->api(1).tryExecute(
       AgsBuilder()
           .when(guardIn(kTsMain, makePattern("acc", fInt())))
           .then(opOut(kTsMain, makeTemplate("acc", boundExpr(0, ArithOp::Mul, 3))))
-          .build());
+          .build()));
   EXPECT_EQ(r.bindings.at(0).asInt(), 5);
   EXPECT_EQ(this->api(0).rd(kTsMain, makePattern("acc", fInt())).field(1).asInt(), 15);
 }
 
 TYPED_TEST(VerbSemantics, DisjunctionOrder) {
   this->api(0).out(kTsMain, makeTuple("b"));
-  Reply r = this->api(0).execute(AgsBuilder()
+  Reply r = requireReply(this->api(0).tryExecute(AgsBuilder()
                                      .when(guardInp(kTsMain, makePattern("a")))
                                      .orWhen(guardInp(kTsMain, makePattern("b")))
                                      .orWhen(guardTrue())
-                                     .build());
+                                     .build()));
   EXPECT_EQ(r.branch, 1);
 }
 
@@ -132,10 +132,10 @@ TYPED_TEST(VerbSemantics, MoveToScratch) {
   auto& rt = this->api(0);
   const TsHandle scratch = rt.createScratch();
   for (int i = 0; i < 3; ++i) this->api(1).out(kTsMain, makeTuple("r", i));
-  rt.execute(AgsBuilder()
+  requireReply(rt.tryExecute(AgsBuilder()
                  .when(guardTrue())
                  .then(opMove(kTsMain, scratch, makePatternTemplate("r", fInt())))
-                 .build());
+                 .build()));
   EXPECT_EQ(rt.localTupleCount(scratch), 3u);
   EXPECT_EQ(this->api(1).rdp(kTsMain, makePattern("r", fInt())), std::nullopt);
 }
@@ -159,10 +159,10 @@ TYPED_TEST(VerbSemantics, ConcurrentIncrementsExact) {
   for (int i = 0; i < 2; ++i) {
     TypeParam::spawn(this->sys, i, [](auto& rt) {
       for (int k = 0; k < kPer; ++k) {
-        rt.execute(AgsBuilder()
+        requireReply(rt.tryExecute(AgsBuilder()
                        .when(guardIn(kTsMain, makePattern("n", fInt())))
                        .then(opOut(kTsMain, makeTemplate("n", boundExpr(0, ArithOp::Add, 1))))
-                       .build());
+                       .build()));
       }
     });
   }

@@ -223,7 +223,9 @@ TEST(Verify, RuntimeRefusesBeforeAnyMulticast) {
   auto& rt = sys.runtime(0);
   const Ags bad = oneBranch(guardIn(kTsMain, makePattern("x", fInt())),
                             {opOut(kTsMain, makeTemplate("x", bound(9)))});
-  EXPECT_THROW(rt.execute(bad), Error);
+  const Result<Reply> refused = rt.tryExecute(bad);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().rule, "formal-out-of-range");
   // The refusal happens client-side: no replica saw a command at all.
   std::this_thread::sleep_for(Millis{150});
   for (net::HostId h = 0; h < 3; ++h) {

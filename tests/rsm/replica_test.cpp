@@ -20,7 +20,7 @@ using consul::testutil::waitUntil;
 /// encoded as (u8 op, i64 operand); state is one integer plus an apply log.
 class CounterMachine : public StateMachine {
  public:
-  void apply(const ApplyContext& ctx, const Bytes& command) override {
+  void apply(const ApplyContext& ctx, BytesView command) override {
     Reader r(command);
     const std::uint8_t op = r.u8();
     const std::int64_t x = r.i64();
@@ -179,7 +179,7 @@ TEST(Replica, RecoveryRestoresSnapshotState) {
 TEST(Replica, ApplyContextCarriesOrigin) {
   net::Network net(2);
   struct OriginRecorder : StateMachine {
-    void apply(const ApplyContext& ctx, const Bytes&) override {
+    void apply(const ApplyContext& ctx, BytesView) override {
       std::lock_guard<std::mutex> lock(m);
       origins.push_back(ctx.origin);
       gseqs.push_back(ctx.gseq);

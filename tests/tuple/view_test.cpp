@@ -1,0 +1,213 @@
+// View layer (tuple/view.hpp): zero-copy decode must be OBSERVATIONALLY
+// IDENTICAL to the owning decode — same signatures, same hashes, same match
+// verdicts, same bindings — while never allocating. These are the
+// equivalence guarantees the lock-free read side and the protocol decode
+// path lean on.
+#include "tuple/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "tuple/pattern.hpp"
+#include "tuple/signature.hpp"
+
+namespace ftl::tuple {
+namespace {
+
+Bytes encodeTuple(const Tuple& t) {
+  Writer w;
+  t.encode(w);
+  return w.take();
+}
+
+Bytes encodePattern(const Pattern& p) {
+  Writer w;
+  p.encode(w);
+  return w.take();
+}
+
+TEST(TupleView, DecodeEquivalentToOwningDecode) {
+  const Tuple t = makeTuple("name", 42, 2.5, true, Bytes{9, 8, 7});
+  const Bytes enc = encodeTuple(t);
+  Reader r(enc);
+  const TupleView v = TupleView::decode(r);
+  EXPECT_EQ(v.arity(), t.arity());
+  EXPECT_TRUE(v.equals(t));
+  EXPECT_EQ(v.toOwned(), t);
+  EXPECT_EQ(v.signature(), signatureOf(t));
+  ASSERT_TRUE(v.nameView().has_value());
+  EXPECT_EQ(*v.nameView(), "name");
+  // The view spans exactly the encoded bytes.
+  EXPECT_TRUE(v.encoded() == enc);
+}
+
+TEST(TupleView, FieldAccessorsMatchOwningValues) {
+  const Tuple t = makeTuple("k", -7, 0.5, false, Bytes{1});
+  const Bytes enc = encodeTuple(t);
+  Reader r(enc);
+  const TupleView v = TupleView::decode(r);
+  EXPECT_EQ(v.field(0).asStrView(), "k");
+  EXPECT_EQ(v.field(1).asInt(), -7);
+  EXPECT_EQ(v.field(2).asReal(), 0.5);
+  EXPECT_EQ(v.field(3).asBool(), false);
+  EXPECT_TRUE(v.field(4).asBlobView() == Bytes{1});
+  // Wrong-type access throws like Value's accessors.
+  EXPECT_THROW((void)v.field(0).asInt(), ContractViolation);
+  v.forEachField([&](std::size_t i, ValueView f) {
+    EXPECT_TRUE(f.equals(t.field(i))) << "field " << i;
+    return true;
+  });
+}
+
+TEST(ValueView, HashBitIdenticalToOwningHash) {
+  const Tuple t = makeTuple("h", 123, 4.25, true, Bytes{0, 255, 3});
+  const Bytes enc = encodeTuple(t);
+  Reader r(enc);
+  const TupleView v = TupleView::decode(r);
+  for (std::size_t i = 0; i < t.arity(); ++i) {
+    EXPECT_EQ(v.field(i).hash(), t.field(i).hash()) << "field " << i;
+  }
+}
+
+TEST(ValueView, OfBorrowsOwningValue) {
+  const Value s{std::string("hello")};
+  const ValueView v = ValueView::of(s);
+  EXPECT_EQ(v.asStrView(), "hello");
+  EXPECT_EQ(v.hash(), s.hash());
+  EXPECT_TRUE(v.equals(s));
+  // The view ALIASES the owning string — zero-copy, same bytes.
+  EXPECT_EQ(static_cast<const void*>(v.asStrView().data()),
+            static_cast<const void*>(s.asStr().data()));
+}
+
+TEST(ValueView, StringViewConstructorOnValue) {
+  // Satellite: Value gains a string_view constructor so views materialize
+  // without an intermediate std::string copy at the call site.
+  const std::string_view sv = "view-made";
+  const Value v{sv};
+  EXPECT_EQ(v.asStr(), "view-made");
+}
+
+TEST(PatternView, SignatureAndMatchEquivalence) {
+  const Pattern p = makePattern("job", fInt(), 2.5, fStr());
+  const Bytes enc = encodePattern(p);
+  Reader r(enc);
+  const PatternView pv = PatternView::decode(r);
+  EXPECT_EQ(pv.arity(), p.arity());
+  EXPECT_EQ(pv.formalCount(), 2u);
+  EXPECT_EQ(pv.signature(), signatureOf(p));
+  EXPECT_EQ(pv.toOwned(), p);
+  ASSERT_TRUE(pv.nameView().has_value());
+  EXPECT_EQ(*pv.nameView(), "job");
+
+  const Tuple hit = makeTuple("job", 1, 2.5, "payload");
+  const Tuple miss_value = makeTuple("job", 1, 9.0, "payload");
+  const Tuple miss_type = makeTuple("job", 1, 2.5, 3);
+  for (const Tuple& t : {hit, miss_value, miss_type}) {
+    const Bytes tenc = encodeTuple(t);
+    Reader tr(tenc);
+    const TupleView tv = TupleView::decode(tr);
+    EXPECT_EQ(pv.matches(tv), p.matches(t)) << t.toString();
+    EXPECT_EQ(pv.matches(t), p.matches(t)) << t.toString();
+    EXPECT_EQ(p.matches(tv), p.matches(t)) << t.toString();
+  }
+}
+
+TEST(PatternView, BindIntoMatchesOwningBind) {
+  const Pattern p = makePattern("t", fInt(), fBlob(), 7);
+  const Tuple t = makeTuple("t", 55, Bytes{4, 5}, 7);
+  const Bytes penc = encodePattern(p);
+  const Bytes tenc = encodeTuple(t);
+  Reader pr(penc);
+  Reader tr(tenc);
+  const PatternView pv = PatternView::decode(pr);
+  const TupleView tv = TupleView::decode(tr);
+  ASSERT_TRUE(pv.matches(tv));
+  std::vector<Value> bound;
+  pv.bindInto(tv, bound);
+  EXPECT_EQ(bound, p.bind(t));
+}
+
+TEST(View, RandomizedDifferentialAgainstOwning) {
+  // Random tuples/patterns: every observable of the view path must agree
+  // with the owning path.
+  Xoshiro256 rng(77);
+  auto randomValue = [&]() -> Value {
+    switch (rng.below(5)) {
+      case 0: return Value{static_cast<std::int64_t>(rng.below(100))};
+      case 1: return Value{static_cast<double>(rng.below(100)) / 4.0};
+      case 2: return Value{rng.below(2) == 0};
+      case 3: return Value{std::string(rng.below(12), 'a' + static_cast<char>(rng.below(26)))};
+      default: return Value{Bytes(rng.below(12), static_cast<std::uint8_t>(rng.below(256)))};
+    }
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Value> fields;
+    const std::size_t arity = rng.below(6);
+    fields.reserve(arity);
+    for (std::size_t i = 0; i < arity; ++i) fields.push_back(randomValue());
+    const Tuple t{fields};
+    // Pattern over the same fields with random formal/actual choices.
+    std::vector<PatternField> pf;
+    pf.reserve(arity);
+    for (std::size_t i = 0; i < arity; ++i) {
+      if (rng.below(2) == 0) {
+        pf.push_back(actual(fields[i]));
+      } else {
+        pf.push_back(formal(fields[i].type()));
+      }
+    }
+    const Pattern p{pf};
+
+    const Bytes tenc = encodeTuple(t);
+    const Bytes penc = encodePattern(p);
+    Reader tr(tenc);
+    Reader pr(penc);
+    const TupleView tv = TupleView::decode(tr);
+    const PatternView pv = PatternView::decode(pr);
+
+    ASSERT_EQ(tv.signature(), signatureOf(t));
+    ASSERT_EQ(pv.signature(), signatureOf(p));
+    ASSERT_TRUE(tv.equals(t));
+    ASSERT_EQ(pv.matches(tv), p.matches(t));
+    if (p.matches(t)) {
+      std::vector<Value> bound;
+      pv.bindInto(tv, bound);
+      ASSERT_EQ(bound, p.bind(t));
+    }
+  }
+}
+
+TEST(View, TruncatedEncodingsThrow) {
+  const Tuple t = makeTuple("x", 5, "payload", Bytes{1, 2, 3});
+  const Bytes full = encodeTuple(t);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const Bytes prefix(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(len));
+    Reader r(prefix);
+    EXPECT_THROW((void)TupleView::decode(r), Error) << "prefix " << len;
+  }
+  const Pattern p = makePattern("x", fInt(), "s");
+  const Bytes pfull = encodePattern(p);
+  for (std::size_t len = 0; len < pfull.size(); ++len) {
+    const Bytes prefix(pfull.begin(), pfull.begin() + static_cast<std::ptrdiff_t>(len));
+    Reader r(prefix);
+    EXPECT_THROW((void)PatternView::decode(r), Error) << "prefix " << len;
+  }
+}
+
+TEST(View, ViewsAliasTheDecodedBuffer) {
+  // The whole point: payloads are NOT copied. The str view must point into
+  // the encoding buffer.
+  const Tuple t = makeTuple("alias-check", 1);
+  const Bytes enc = encodeTuple(t);
+  Reader r(enc);
+  const TupleView v = TupleView::decode(r);
+  const std::string_view name = v.field(0).asStrView();
+  ASSERT_GE(static_cast<const void*>(name.data()), static_cast<const void*>(enc.data()));
+  ASSERT_LT(static_cast<const void*>(name.data()),
+            static_cast<const void*>(enc.data() + enc.size()));
+}
+
+}  // namespace
+}  // namespace ftl::tuple

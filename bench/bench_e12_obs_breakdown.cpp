@@ -16,6 +16,7 @@
 // Flags: --short (CI smoke)
 //        --json <path> (shared BENCH_*.json schema, obs snapshot embedded)
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -41,12 +42,15 @@ struct Breakdown {
   std::uint64_t ags = 0;      // ftl_ags_replicated delta
 };
 
-/// The one live network's ftl_net_messages_sent{net="..."} sample.
-double obsNetMessagesSent() {
-  for (const auto& s : obs::collect()) {
-    if (s.name.rfind("ftl_net_messages_sent{net=", 0) == 0) return s.value;
+/// The one live network's ftl_net_messages_sent{net="..."} delta since the
+/// baseline. Source-backed, so resetAll() cannot zero it — the snapshot/
+/// delta pair is how a bench isolates its own run (docs/OBSERVABILITY.md).
+double obsNetMessagesSent(const std::vector<obs::Sample>& baseline) {
+  double total = 0;
+  for (const auto& s : obs::deltaSince(baseline)) {
+    if (s.name.rfind("ftl_net_messages_sent{net=", 0) == 0) total += s.value;
   }
-  return 0;
+  return total;
 }
 
 Breakdown measure(std::uint32_t replicas, int rounds) {
@@ -67,20 +71,70 @@ Breakdown measure(std::uint32_t replicas, int rounds) {
           .when(guardIn(kTsMain, makePattern("count", fInt())))
           .then(opOut(kTsMain, makeTemplate("count", boundExpr(0, ArithOp::Add, 1))))
           .build();
-  // Zero both sides of the cross-check: registry metrics AND the network's
-  // own counters (the obs source reads the latter live).
+  // Zero the registry metrics, then snapshot: source-backed samples (the
+  // network's counters) are isolated by the baseline delta, not by reset.
   obs::resetAll();
-  sys.network().resetStats();
+  const std::vector<obs::Sample> baseline = obs::snapshotAll();
   for (int i = 0; i < rounds; ++i) requireReply(rt.tryExecute(increment));
 
   Breakdown b;
   b.ags = obs::counter("ftl_ags_replicated").value();
-  b.msgs_per_ags = b.ags ? obsNetMessagesSent() / static_cast<double>(b.ags) : 0;
+  b.msgs_per_ags = b.ags ? obsNetMessagesSent(baseline) / static_cast<double>(b.ags) : 0;
   b.verify_ns_mean = obs::histogram("ftl_ags_verify_ns").snapshot().mean();
   b.apply_ns_mean = obs::histogram("ftl_sm_apply_ns").snapshot().mean();
   b.wait_us_mean = obs::histogram("ftl_ags_wait_ns").snapshot().mean() / 1e3;
   b.e2e_us_mean = obs::histogram("ftl_ags_e2e_ns").snapshot().mean() / 1e3;
   return b;
+}
+
+/// Ordering-path stage profile at hosts=1, pipelined issue (the ROADMAP
+/// latency budget's configuration): per-stage mean latencies from the
+/// sampled ftl_stage_* histograms, against the always-on e2e mean.
+struct StageProfile {
+  std::map<std::string, double> mean_ns;  // stage name -> mean (0 = no samples)
+  double e2e_ns_mean = 0;
+  double stage_sum_ns = 0;  // critical-path stages (issue+order+apply+reply)
+  double coverage = 0;      // stage_sum / e2e
+  std::uint64_t ags = 0;
+};
+
+StageProfile stageProfile(int rounds) {
+  SystemConfig cfg;
+  cfg.hosts = 1;
+  FtLindaSystem sys(cfg);
+  auto& rt = sys.runtime(0);
+  obs::resetAll();
+  // Pipelined window of independent deposits, then one drain: the issuer
+  // never blocks per-AGS, so e2e is the pipeline's per-AGS time.
+  constexpr int kWindow = 64;
+  std::vector<AgsFuture> window;
+  window.reserve(kWindow);
+  for (int i = 0; i < rounds; ++i) {
+    window.push_back(rt.executeAsync(
+        AgsBuilder().when(guardTrue()).then(opOut(kTsMain, makeTemplate("st", i))).build()));
+    if (static_cast<int>(window.size()) == kWindow) {
+      for (auto& f : window) (void)f.get();
+      window.clear();
+    }
+  }
+  for (auto& f : window) (void)f.get();
+
+  StageProfile p;
+  p.ags = obs::counter("ftl_ags_replicated").value();
+  p.e2e_ns_mean = obs::histogram("ftl_ags_e2e_ns").snapshot().mean();
+  const char* stages[] = {"ftl_ags_verify_ns",      "ftl_stage_issue_ns",
+                          "ftl_stage_coalesce_ns",  "ftl_stage_order_ns",
+                          "ftl_sm_apply_ns",        "ftl_stage_reply_ns",
+                          "ftl_stage_future_wake_ns", "ftl_stage_frame_encode_ns"};
+  for (const char* s : stages) p.mean_ns[s] = obs::histogram(s).snapshot().mean();
+  // The critical path: issue -> order -> apply -> reply. coalesce is a
+  // sub-interval of order and frame-encode of coalesce; future_wake lands
+  // after the e2e span closes — reported, not summed.
+  p.stage_sum_ns = p.mean_ns["ftl_ags_verify_ns"] + p.mean_ns["ftl_stage_issue_ns"] +
+                   p.mean_ns["ftl_stage_order_ns"] + p.mean_ns["ftl_sm_apply_ns"] +
+                   p.mean_ns["ftl_stage_reply_ns"];
+  p.coverage = p.e2e_ns_mean > 0 ? p.stage_sum_ns / p.e2e_ns_mean : 0;
+  return p;
 }
 
 }  // namespace
@@ -100,6 +154,10 @@ int main(int argc, char** argv) {
               "wait us", "e2e us");
 
   const int rounds = short_mode ? 60 : 300;
+  // Whole-bench baseline: the artifact's "obs_delta" member isolates this
+  // process's source-backed counts (resetAll can't zero those).
+  obs::resetAll();
+  const std::vector<obs::Sample> run_baseline = obs::snapshotAll();
   std::vector<std::string> rows;
   bool shape_ok = true;
   for (std::uint32_t n :
@@ -119,7 +177,37 @@ int main(int argc, char** argv) {
     if (b.msgs_per_ags < 0.8 * n || b.msgs_per_ags > 1.6 * n) shape_ok = false;
   }
 
-  if (json_path) bench::writeBenchJson(json_path, "e12_obs_breakdown", rows);
+  // Stage profile at hosts=1, pipelined — the ROADMAP latency budget's
+  // configuration. Stage means are 1-in-16 sampled; e2e is always-on.
+  const StageProfile sp = stageProfile(short_mode ? 2'000 : 20'000);
+  std::printf("\nhosts=1 pipelined stage profile (n=%llu AGS, sampled 1-in-16):\n",
+              static_cast<unsigned long long>(sp.ags));
+  for (const auto& [name, mean] : sp.mean_ns) {
+    std::printf("  %-28s mean=%9.0f ns\n", name.c_str(), mean);
+  }
+  std::printf("  %-28s mean=%9.0f ns\n", "ftl_ags_e2e_ns", sp.e2e_ns_mean);
+  std::printf("  critical-path stage sum %.0f ns = %.0f%% of e2e (gate: >=80%%)\n",
+              sp.stage_sum_ns, 100.0 * sp.coverage);
+  const bool coverage_ok = sp.coverage >= 0.8;
+  if (!coverage_ok) shape_ok = false;
+  {
+    char row[512];
+    std::snprintf(row, sizeof row,
+                  "{\"name\": \"stage_profile_hosts1_pipelined\", \"ags\": %llu, "
+                  "\"e2e_ns_mean\": %.0f, \"stage_sum_ns\": %.0f, \"coverage\": %.3f, "
+                  "\"issue_ns\": %.0f, \"coalesce_ns\": %.0f, \"order_ns\": %.0f, "
+                  "\"apply_ns\": %.0f, \"reply_ns\": %.0f, \"future_wake_ns\": %.0f, "
+                  "\"frame_encode_ns\": %.0f}",
+                  static_cast<unsigned long long>(sp.ags), sp.e2e_ns_mean, sp.stage_sum_ns,
+                  sp.coverage, sp.mean_ns.at("ftl_stage_issue_ns"),
+                  sp.mean_ns.at("ftl_stage_coalesce_ns"), sp.mean_ns.at("ftl_stage_order_ns"),
+                  sp.mean_ns.at("ftl_sm_apply_ns"), sp.mean_ns.at("ftl_stage_reply_ns"),
+                  sp.mean_ns.at("ftl_stage_future_wake_ns"),
+                  sp.mean_ns.at("ftl_stage_frame_encode_ns"));
+    rows.push_back(row);
+  }
+
+  if (json_path) bench::writeBenchJson(json_path, "e12_obs_breakdown", rows, run_baseline);
 
   std::printf("\ncross-check vs E4: msgs/AGS ~= n (e4 measured 2.0/3.0/4.0/6.1 at n=2/3/4/6): %s\n",
               shape_ok ? "OK" : "DIVERGED — obs counters disagree with the network's own books");

@@ -20,6 +20,7 @@
 #include "net/network.hpp"
 #include "bench_util.hpp"
 #include "ftlinda/system.hpp"
+#include "obs/assemble.hpp"
 #include "obs/trace.hpp"
 
 using namespace ftl;
@@ -122,8 +123,16 @@ int main(int argc, char** argv) {
     obs::trace::disable();
     std::ofstream out(trace_path);
     out << obs::trace::chromeJson();
+    // `.spans` sidecar: the same rings in assemble's binary format, the
+    // offline input of ftl-trace --in (CI merges and validates it).
+    const std::string spans_path = std::string(trace_path) + ".spans";
+    const Bytes blob = obs::assemble::encodeFile({obs::assemble::captureLocal(0)});
+    std::ofstream spans(spans_path, std::ios::binary);
+    spans.write(reinterpret_cast<const char*>(blob.data()),
+                static_cast<std::streamsize>(blob.size()));
     obs::trace::clear();
-    std::printf("wrote Chrome trace JSON to %s (open at ui.perfetto.dev)\n\n", trace_path);
+    std::printf("wrote Chrome trace JSON to %s (open at ui.perfetto.dev)\n", trace_path);
+    std::printf("wrote span sidecar to %s (merge with ftl-trace --in)\n\n", spans_path.c_str());
   }
 
   std::printf("-- latency vs replica count (empty body: pure ordering + dispatch) --\n");

@@ -68,4 +68,30 @@ inline void writeBenchJson(const char* path, const char* benchmark,
   std::fclose(f);
 }
 
+/// writeBenchJson with a per-run baseline: obs::resetAll() cannot zero
+/// source-backed samples (the owning subsystems hold those numbers), so a
+/// bench that wants this run's counts alone snapshots before the run
+/// (obs::snapshotAll()) and passes the baseline here; the artifact gains an
+/// "obs_delta" member holding current − baseline (obs::deltaSince).
+inline void writeBenchJson(const char* path, const char* benchmark,
+                           const std::vector<std::string>& result_rows,
+                           const std::vector<obs::Sample>& baseline) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"results\": [\n", benchmark);
+  for (std::size_t i = 0; i < result_rows.size(); ++i) {
+    std::fprintf(f, "    %s%s\n", result_rows[i].c_str(), i + 1 < result_rows.size() ? "," : "");
+  }
+  std::string snapshot = obs::dump();
+  while (!snapshot.empty() && snapshot.back() == '\n') snapshot.pop_back();
+  std::string delta = obs::dumpDeltaJson(baseline);
+  while (!delta.empty() && delta.back() == '\n') delta.pop_back();
+  std::fprintf(f, "  ],\n  \"obs_delta\": %s,\n  \"obs\": %s\n}\n", delta.c_str(),
+               snapshot.c_str());
+  std::fclose(f);
+}
+
 }  // namespace ftl::bench

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <atomic>
+
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -109,12 +112,23 @@ void ConsulNode::stop() {
   stop_requested_ = true;
 }
 
-std::uint64_t ConsulNode::broadcast(Bytes payload) {
+std::uint64_t ConsulNode::broadcast(Bytes payload, std::uint64_t trace_id) {
+  // Ordering-path stage sampling (1-in-16, always-on while tracing): the
+  // coalesce stage covers broadcast-enqueue -> first frame send, the order
+  // stage enqueue -> origin-side delivery. Unsampled commands pay no clock
+  // read here (ROADMAP "Hot-path speed": keep the disabled path ~free).
+  static std::atomic<std::uint32_t> stage_sample{0};
+  const bool traced = obs::trace::enabled() && trace_id != 0;
+  const bool timed =
+      traced || (stage_sample.fetch_add(1, std::memory_order_relaxed) & 15u) == 0;
   std::lock_guard<std::mutex> lock(mutex_);
   FTL_REQUIRE(is_member_, "broadcast() requires group membership");
   Pending p;
   p.origin_seq = next_origin_seq_++;
   p.payload = std::move(payload);
+  p.trace_id = traced ? trace_id : 0;
+  if (timed) p.enq_ns = nowNanos();
+  if (traced) obs::trace::asyncBegin("ags.coalesce", trace_id);
   const std::uint64_t seq = p.origin_seq;
   pending_.push_back(std::move(p));
   ++stats_.broadcasts;
@@ -163,6 +177,11 @@ std::uint64_t ConsulNode::stableSeq() const {
   return stable_;
 }
 
+std::size_t ConsulNode::pendingCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
 ViewInfo ConsulNode::currentView() const {
   std::lock_guard<std::mutex> lock(mutex_);
   ViewInfo vi;
@@ -187,16 +206,41 @@ void ConsulNode::sendRequestFrame(std::size_t begin, std::size_t end, TimePoint 
   RequestMsg m;
   m.origin_seq = pending_[begin].origin_seq;
   m.payloads.reserve(end - begin);
+  // The coalesce stage closes at the command's FIRST frame send;
+  // retransmissions of the same range must not re-record it.
+  static obs::Histogram& coalesce_ns = obs::histogram("ftl_stage_coalesce_ns");
   for (std::size_t i = begin; i < end; ++i) {
-    m.payloads.push_back(pending_[i].payload);
-    pending_[i].last_sent = now;
+    Pending& p = pending_[i];
+    m.payloads.push_back(p.payload);
+    p.last_sent = now;
+    if (!p.coalesce_done) {
+      p.coalesce_done = true;
+      if (p.trace_id != 0) obs::trace::asyncEnd("ags.coalesce", p.trace_id);
+      if (p.enq_ns != 0) {
+        const std::int64_t dt = nowNanos() - p.enq_ns;
+        coalesce_ns.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
+      }
+    }
   }
   ++stats_.request_frames;
   // Frame-size distribution: how well send coalescing packs (EXPERIMENTS.md
   // e13). Process-wide like the apply-batch histogram.
   static obs::Histogram& frame_size = obs::histogram("ftl_consul_send_batch_size");
   frame_size.observe(end - begin);
-  ep_.send(sequencer(), static_cast<std::uint16_t>(MsgType::Request), m.encode());
+  // Per-frame encode of coalesced requests — one of the three ordering-path
+  // costs ROADMAP names as the remaining hosts=1 budget. Sampled per frame.
+  static obs::Histogram& encode_ns = obs::histogram("ftl_stage_frame_encode_ns");
+  static std::atomic<std::uint32_t> encode_sample{0};
+  if (obs::trace::enabled() ||
+      (encode_sample.fetch_add(1, std::memory_order_relaxed) & 15u) == 0) {
+    const std::int64_t t0 = nowNanos();
+    Bytes wire = m.encode();
+    const std::int64_t dt = nowNanos() - t0;
+    encode_ns.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
+    ep_.send(sequencer(), static_cast<std::uint16_t>(MsgType::Request), std::move(wire));
+  } else {
+    ep_.send(sequencer(), static_cast<std::uint16_t>(MsgType::Request), m.encode());
+  }
 }
 
 void ConsulNode::flushUnsentLocked(TimePoint now) {
@@ -504,8 +548,13 @@ void ConsulNode::bufferDelivery(const LogEntry& e) {
   auto& max_seen = dedup_[e.origin];
   if (e.origin_seq <= max_seen) return;  // duplicate across failover
   max_seen = e.origin_seq;
+  std::int64_t enq_ns = 0;
   if (e.origin == self_) {
+    // Retire the in-flight entries this delivery acknowledges; keep the
+    // newest enqueue stamp so the apply side can close the ordering stage
+    // (ftl_stage_order_ns) when the command reaches the state machine.
     while (!pending_.empty() && pending_.front().origin_seq <= e.origin_seq) {
+      enq_ns = pending_.front().enq_ns;
       pending_.pop_front();
       if (first_unsent_ > 0) --first_unsent_;
     }
@@ -514,6 +563,7 @@ void ConsulNode::bufferDelivery(const LogEntry& e) {
   }
   if (apply_buffer_.empty()) apply_buffer_since_ = Clock::now();
   Delivery d;
+  d.enq_ns = enq_ns;
   d.gseq = e.gseq;
   d.origin = e.origin;
   d.origin_seq = e.origin_seq;
@@ -546,6 +596,9 @@ void ConsulNode::flushDeliveries() {
   // coalesces ordered traffic (EXPERIMENTS.md e12).
   static obs::Histogram& batch_size = obs::histogram("ftl_consul_apply_batch_size");
   batch_size.observe(apply_buffer_.size());
+  obs::flight::record(obs::flight::Kind::ApplyBatch, self_,
+                      static_cast<std::int64_t>(apply_buffer_.size()),
+                      static_cast<std::int64_t>(apply_buffer_.back().gseq));
   if (cb_.on_deliver_batch) {
     cb_.on_deliver_batch(apply_buffer_);
   } else {
@@ -593,10 +646,16 @@ void ConsulNode::installViewLocked(const ViewEvent& ve, std::uint64_t gseq, Time
   // frames — the new sequencer has seen none of them.
   if (is_member_ && !pending_.empty()) {
     stats_.retransmits += first_unsent_;
+    obs::flight::record(obs::flight::Kind::Retransmit, self_,
+                        static_cast<std::int64_t>(first_unsent_),
+                        static_cast<std::int64_t>(ve.view_id), "view install");
     first_unsent_ = 0;
     flushUnsentLocked(now);
   }
   ++stats_.views_installed;
+  obs::flight::record(obs::flight::Kind::ViewInstalled, self_,
+                      static_cast<std::int64_t>(ve.view_id),
+                      static_cast<std::int64_t>(ve.members.size()));
   ViewInfo vi;
   vi.view_id = ve.view_id;
   vi.gseq = gseq;
@@ -658,6 +717,9 @@ void ConsulNode::onTick(TimePoint now) {
     nm.from_gseq = next_deliver_;
     nm.to_gseq = known_last_;
     ++stats_.nacks_sent;
+    obs::flight::record(obs::flight::Kind::Nack, self_,
+                        static_cast<std::int64_t>(nm.from_gseq),
+                        static_cast<std::int64_t>(nm.to_gseq), "gap repair");
     ep_.send(sequencer(), static_cast<std::uint16_t>(MsgType::Nack), nm.encode());
   }
 
@@ -669,6 +731,9 @@ void ConsulNode::onTick(TimePoint now) {
   if (first_unsent_ > 0 &&
       now - pending_.front().last_sent >= Duration(cfg_.request_retransmit)) {
     stats_.retransmits += first_unsent_;
+    obs::flight::record(obs::flight::Kind::Retransmit, self_,
+                        static_cast<std::int64_t>(first_unsent_),
+                        static_cast<std::int64_t>(view_id_), "request timeout");
     const std::size_t cap = std::max<std::uint32_t>(1, cfg_.max_send_batch);
     for (std::size_t b = 0; b < first_unsent_; b += cap) {
       sendRequestFrame(b, std::min(first_unsent_, b + cap), now);
@@ -710,6 +775,9 @@ void ConsulNode::onTick(TimePoint now) {
 
 void ConsulNode::startViewChange(std::vector<HostId> proposed, TimePoint now) {
   ++stats_.view_changes_started;
+  obs::flight::record(obs::flight::Kind::ViewChange, self_,
+                      static_cast<std::int64_t>(view_id_),
+                      static_cast<std::int64_t>(proposed.size()));
   ViewChange vc;
   vc.new_view_id = std::max(view_id_, vc_ ? vc_->new_view_id : 0) + 1;
   vc.proposed = std::move(proposed);
@@ -846,6 +914,9 @@ void ConsulNode::handleNewView(NewViewMsg m, TimePoint now) {
   if (m.has_snapshot) {
     if (!joining_) return;  // stale snapshot for an earlier incarnation
     FTL_INFO("consul", "host " << self_ << ": installing snapshot at gseq " << m.snapshot_gseq);
+    obs::flight::record(obs::flight::Kind::SnapshotInstall, self_,
+                        static_cast<std::int64_t>(m.snapshot_gseq),
+                        static_cast<std::int64_t>(m.view.view_id));
     unwrapSnapshot(m.snapshot);
     log_.clear();
     pending_.clear();

@@ -53,6 +53,12 @@ struct Delivery {
   HostId origin = net::kNoHost;
   std::uint64_t origin_seq = 0;
   BytesView payload;
+  // Origin-local broadcast-enqueue stamp (nowNanos), carried only on the
+  // origin host for sampled commands (0 otherwise). Lets the apply side
+  // close the ordering stage (ftl_stage_order_ns) at the point the command
+  // actually reaches the state machine — including the apply-batch window —
+  // matching the "ags.order" trace span.
+  std::int64_t enq_ns = 0;
 };
 
 /// One totally-ordered membership event.
@@ -121,7 +127,13 @@ class ConsulNode {
   /// per-origin sequence number; delivery is signalled through on_deliver at
   /// every member (including this one). Retries across sequencer failures
   /// until delivered. Must only be called while the node is a member.
-  std::uint64_t broadcast(Bytes payload);
+  /// `trace_id` (0 = untraced) threads the submitting AGS's id into the
+  /// ordering-path stage profiler (ags.coalesce span + stage histograms).
+  std::uint64_t broadcast(Bytes payload, std::uint64_t trace_id = 0);
+
+  /// Commands submitted here but not yet delivered back (origin backlog) —
+  /// the watchdog's ordering-progress probe.
+  std::size_t pendingCount() const;
 
   /// Begin (re)joining the group after recovery; asynchronous, completes
   /// when on_view/install_snapshot fire. `incarnation` should increase on
@@ -169,6 +181,9 @@ class ConsulNode {
     std::uint64_t origin_seq;
     Bytes payload;
     TimePoint last_sent;
+    std::uint64_t trace_id = 0;  // AGS trace id, 0 = untraced
+    std::int64_t enq_ns = 0;     // broadcast() stamp; 0 = unsampled
+    bool coalesce_done = false;  // first frame send already recorded
   };
 
   // All handlers run on the service thread with mutex_ held.

@@ -2,6 +2,7 @@
 
 #include "common/clock.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ftl::ftlinda {
 
@@ -19,6 +20,15 @@ void recordWaitLocked(AgsFutureState& st, std::int64_t blocked_ns) {
   if (st.wait_hist == nullptr || st.wait_recorded) return;
   st.wait_recorded = true;
   st.wait_hist->observe(blocked_ns > 0 ? static_cast<std::uint64_t>(blocked_ns) : 0);
+  // A call that actually blocked also times the settle→resume hop: the
+  // future-wake leg of the reply chain. Futures that were already settled
+  // never slept, so there is no wakeup to measure.
+  if (blocked_ns > 0 && st.settle_ns != 0) {
+    static obs::Histogram& wake_ns = obs::histogram("ftl_stage_future_wake_ns");
+    const std::int64_t dt = nowNanos() - st.settle_ns;
+    wake_ns.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
+    if (st.trace_id != 0) obs::trace::complete("ags.future_wake", st.trace_id, st.settle_ns, dt);
+  }
 }
 
 void runContinuations(std::vector<std::function<void(const Result<Reply>&)>> fns,
@@ -94,6 +104,7 @@ void settleFuture(const std::shared_ptr<AgsFutureState>& st, Result<Reply> r) {
   {
     std::lock_guard<std::mutex> lock(st->m);
     if (settledLocked(*st)) return;
+    st->settle_ns = nowNanos();
     st->result = std::move(r);
     fns.swap(st->continuations);
   }

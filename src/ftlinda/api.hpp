@@ -66,6 +66,12 @@ struct AgsFutureState {
   /// blocking time here — ~0 for a future that completed while the issuer
   /// was elsewhere, which is exactly the pipelining win being measured.
   obs::Histogram* wait_hist = nullptr;
+  /// Observability correlation id of the submission (0 for local futures).
+  std::uint64_t trace_id = 0;
+  /// Stamped by settleFuture under the lock; a get()/wait() that actually
+  /// blocked reads it after waking to measure the notify→resume hop
+  /// (ags.future_wake / ftl_stage_future_wake_ns).
+  std::int64_t settle_ns = 0;
   std::vector<std::function<void(const Result<Reply>&)>> continuations;
 };
 

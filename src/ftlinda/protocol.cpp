@@ -1,6 +1,13 @@
 #include "ftlinda/protocol.hpp"
 
+#include <atomic>
+
 namespace ftl::ftlinda {
+
+std::uint64_t freshRidBase() {
+  static std::atomic<std::uint64_t> instance{0};
+  return (instance.fetch_add(1, std::memory_order_relaxed) & 0xFFFF) << 32;
+}
 
 Bytes Command::encode() const {
   Writer w;

@@ -57,6 +57,14 @@ inline std::uint64_t makeTraceId(std::uint32_t host, std::uint64_t rid) {
   return (static_cast<std::uint64_t>(host) << 48) | (rid & ((std::uint64_t{1} << 48) - 1));
 }
 
+/// Starting rid for a new rid-minting runtime: each instance draws from its
+/// own 2^32 block (bits 32..47 of the 48-bit rid field). Trace ids are
+/// (host << 48 | rid) and the tracer rings outlive any single System, so
+/// without distinct blocks two sequential Systems in one process would mint
+/// colliding ids and the cross-host analyzer would stitch spans from
+/// different statements together.
+std::uint64_t freshRidBase();
+
 /// Result of one AGS, produced identically at every replica and consumed by
 /// the issuing processor's runtime.
 struct Reply {

@@ -60,7 +60,14 @@ void Runtime::attach(rsm::Replica* replica, TsStateMachine* sm) {
 }
 
 void Runtime::completeRequest(std::uint64_t rid, const Reply& r) {
-  obs::trace::instant("ags.reply", makeTraceId(host_, rid));
+  // "ags.reply" spans reply arrival on the upcall thread through deposit
+  // application to just before the future settles — the reply-encode/
+  // dispatch leg of the stage taxonomy. Sampled like the other stages.
+  const std::uint64_t tid = makeTraceId(host_, rid);
+  static std::atomic<std::uint32_t> reply_sample{0};
+  const bool timed = obs::trace::enabled() ||
+                     (reply_sample.fetch_add(1, std::memory_order_relaxed) & 15u) == 0;
+  const std::int64_t r0 = timed ? nowNanos() : 0;
   PendingReq ent;
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -80,7 +87,13 @@ void Runtime::completeRequest(std::uint64_t rid, const Reply& r) {
   // ScratchSpaces has its own lock; calling it from the upcall thread is
   // safe (and it never calls back into the state machine).
   scratch_.applyDeposits(r.local_deposits);
-  if (ent.ags_stats) obs::trace::asyncEnd("ags", makeTraceId(host_, rid));
+  if (timed) {
+    const std::int64_t rdt = nowNanos() - r0;
+    static obs::Histogram& reply_ns = obs::histogram("ftl_stage_reply_ns");
+    reply_ns.observe(rdt > 0 ? static_cast<std::uint64_t>(rdt) : 0);
+    obs::trace::complete("ags.reply", tid, r0, rdt);
+  }
+  if (ent.ags_stats) obs::trace::asyncEnd("ags", tid);
   if (!r.error.empty()) {
     detail::settleFuture(ent.st, Result<Reply>::failure("registry", r.error));
   } else {
@@ -181,14 +194,19 @@ AgsFuture Runtime::executeAsync(const Ags& ags) {
     return AgsFuture::makeReady(std::move(r));
   }
   am.replicated.inc();
-  return submitCommand(makeExecute(rid, ags, tid), /*ags_stats=*/true);
+  // "ags.issue" covers command encode + registration up to the multicast
+  // handoff — submitCommand closes it right where "ags.order" begins, so
+  // the two stages tile instead of overlapping.
+  const std::int64_t i0 = timed ? nowNanos() : 0;
+  return submitCommand(makeExecute(rid, ags, tid), /*ags_stats=*/true, i0);
 }
 
-AgsFuture Runtime::submitCommand(Command cmd, bool ags_stats) {
+AgsFuture Runtime::submitCommand(Command cmd, bool ags_stats, std::int64_t issue_start_ns) {
   FTL_REQUIRE(replica_ != nullptr, "runtime not attached");
   auto st = std::make_shared<AgsFutureState>();
   st->host = host_;
   st->wait_hist = &agsMetrics().wait_ns;
+  st->trace_id = cmd.trace_id;
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     PendingReq ent;
@@ -206,11 +224,27 @@ AgsFuture Runtime::submitCommand(Command cmd, bool ags_stats) {
     }
     throw ProcessorFailure(host_);
   }
+  Bytes payload = cmd.encode();
+  if (issue_start_ns != 0) {
+    const std::int64_t idt = nowNanos() - issue_start_ns;
+    static obs::Histogram& issue_ns = obs::histogram("ftl_stage_issue_ns");
+    issue_ns.observe(idt > 0 ? static_cast<std::uint64_t>(idt) : 0);
+    obs::trace::complete("ags.issue", cmd.trace_id, issue_start_ns, idt);
+  }
   // "ags.order" spans multicast submission to total-order arrival at THIS
   // replica's state machine (ended there when origin == self).
   obs::trace::asyncBegin("ags.order", cmd.trace_id);
-  replica_->submit(cmd.encode());
+  replica_->submit(std::move(payload), cmd.trace_id);
   return AgsFuture::makePending(std::move(st));
+}
+
+std::int64_t Runtime::oldestPendingNs() const {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  std::int64_t oldest = 0;
+  for (const auto& [rid, ent] : pending_) {
+    if (oldest == 0 || ent.submit_ns < oldest) oldest = ent.submit_ns;
+  }
+  return oldest == 0 ? 0 : nowNanos() - oldest;
 }
 
 TsHandle Runtime::createTs(TsAttributes attrs) {

@@ -51,6 +51,10 @@ class Runtime : public LindaApi {
 
   std::size_t localTupleCount(TsHandle ts) const override;
 
+  /// Age in nanoseconds of the oldest outstanding replicated submission
+  /// (0 when nothing is pending) — the stall watchdog's future probe.
+  std::int64_t oldestPendingNs() const;
+
  protected:
   void doMonitorFailures(TsHandle ts, bool enable) override;
 
@@ -64,7 +68,10 @@ class Runtime : public LindaApi {
   };
 
   /// Register a pending slot, submit into the total order, return a future.
-  AgsFuture submitCommand(Command cmd, bool ags_stats);
+  /// issue_start_ns != 0 closes the "ags.issue" stage (histogram + trace
+  /// span) at the ordering handoff, so issue and order tile rather than
+  /// overlap — the critical-path analyzer sums them (obs/assemble.hpp).
+  AgsFuture submitCommand(Command cmd, bool ags_stats, std::int64_t issue_start_ns = 0);
   void completeRequest(std::uint64_t rid, const Reply& r);
 
   const net::HostId host_;
@@ -72,9 +79,9 @@ class Runtime : public LindaApi {
   TsStateMachine* sm_ = nullptr;
 
   std::atomic<bool> crashed_{false};
-  std::atomic<std::uint64_t> next_rid_{1};
+  std::atomic<std::uint64_t> next_rid_{freshRidBase() + 1};
 
-  std::mutex pending_mutex_;
+  mutable std::mutex pending_mutex_;
   std::unordered_map<std::uint64_t, PendingReq> pending_;
 
   ScratchSpaces scratch_;

@@ -1,6 +1,7 @@
 #include "ftlinda/system.hpp"
 
 #include "common/logging.hpp"
+#include "obs/flight.hpp"
 
 namespace ftl::ftlinda {
 
@@ -64,6 +65,7 @@ FtLindaSystem::FtLindaSystem(SystemConfig cfg)
   for (auto& ctx : ctxs_) {
     if (ctx.replica) ctx.replica->start();
     if (ctx.remote) ctx.remote->start();
+    if (ctx.watchdog) ctx.watchdog->start();
   }
   if (cfg_.monitor_main) {
     runtime(0).monitorFailures(ts::kTsMain);
@@ -82,6 +84,21 @@ FtLindaSystem::Ctx FtLindaSystem::makeCtx(net::HostId host, bool join_existing) 
     if (replica_count_ < cfg_.hosts) {
       // Tuple-server configuration: this replica also serves RPC clients.
       ctx.server = std::make_unique<TupleServer>(*net_, *ctx.replica, *ctx.sm);
+    }
+    if (cfg_.watchdog) {
+      obs::Watchdog::Probes probes;
+      Runtime* rt = ctx.runtime.get();
+      TsStateMachine* sm = ctx.sm.get();
+      rsm::Replica* rep = ctx.replica.get();
+      probes.oldest_future_age_ns = [rt] { return rt->oldestPendingNs(); };
+      probes.blocked_guards = [sm] { return sm->blockedInfo(); };
+      probes.order_progress = [rep] {
+        obs::OrderProgressProbe p;
+        p.delivered = rep->delivered();
+        p.pending = rep->pendingCount();
+        return p;
+      };
+      ctx.watchdog = std::make_unique<obs::Watchdog>(host, cfg_.watchdog_cfg, std::move(probes));
     }
   } else {
     const net::HostId server = host % replica_count_;
@@ -122,7 +139,11 @@ TsStateMachine& FtLindaSystem::stateMachine(net::HostId host) {
 void FtLindaSystem::crash(net::HostId host) {
   FTL_REQUIRE(host < ctxs_.size(), "no such host");
   net_->crash(host);
+  obs::flight::record(obs::flight::Kind::Crash, host, host);
   std::lock_guard<std::mutex> lock(mutex_);
+  // The crashed stack's watchdog stops polling (its probes would otherwise
+  // report the failure as a stall of the dead host itself).
+  if (ctxs_[host].watchdog) ctxs_[host].watchdog->stop();
   if (ctxs_[host].runtime) ctxs_[host].runtime->markCrashed();
   if (ctxs_[host].remote) ctxs_[host].remote->markCrashed();
   FTL_INFO("system", "processor " << host << " crashed");
@@ -151,6 +172,8 @@ bool FtLindaSystem::recover(net::HostId host, Millis timeout) {
   if (old_remote) old_remote->shutdown();
   net_->recover(host);
   ++incarnation_[host];
+  obs::flight::record(obs::flight::Kind::Recover, host, host,
+                      static_cast<std::int64_t>(incarnation_[host]));
   if (remote) {
     // RPC clients hold no replicated state; recovery is just a fresh library.
     remote->start();
@@ -158,6 +181,10 @@ bool FtLindaSystem::recover(net::HostId host, Millis timeout) {
     return true;
   }
   replica->start();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ctxs_[host].watchdog) ctxs_[host].watchdog->start();
+  }
   replica->join(incarnation_[host]);
   const auto deadline = Clock::now() + timeout;
   while (Clock::now() < deadline) {

@@ -25,6 +25,7 @@
 #include "ftlinda/tuple_server.hpp"
 #include "net/network.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/watchdog.hpp"
 
 namespace ftl::ftlinda {
 
@@ -51,6 +52,11 @@ struct SystemConfig {
   /// clients whose runtimes forward AGSes by RPC (round-robin assignment).
   /// 0 = every host runs a replica (the default, embedded configuration).
   std::uint32_t replica_hosts = 0;
+  /// Run a stall watchdog per replica host (docs/OBSERVABILITY.md "Stall
+  /// watchdog"). Off by default — tests that crash hosts on purpose would
+  /// otherwise trip it constantly.
+  bool watchdog = false;
+  obs::WatchdogConfig watchdog_cfg;
 };
 
 /// Consul timeouts tuned for simulation speed (milliseconds, not seconds).
@@ -123,6 +129,9 @@ class FtLindaSystem {
     // (and flushing staged apply batches) into sm/runtime/server. Everything
     // it can call into must outlive it.
     std::unique_ptr<rsm::Replica> replica;
+    // Declared after replica so it is destroyed before anything its probes
+    // read (runtime/sm/replica).
+    std::unique_ptr<obs::Watchdog> watchdog;
   };
 
   Ctx makeCtx(net::HostId host, bool join_existing);

@@ -130,6 +130,14 @@ void TsStateMachine::applyCommandLocked(const rsm::ApplyContext& ctx, Command&& 
   // stage once.
   const bool traced = ctx.origin == self_ && cmd.trace_id != 0;
   if (traced) obs::trace::asyncEnd("ags.order", cmd.trace_id);
+  if (ctx.origin == self_ && ctx.enq_ns != 0) {
+    // Ordering stage closes here, where the command reaches the state
+    // machine — so the apply-batch window and intra-batch queueing count
+    // as ordering time, matching the "ags.order" span's bounds.
+    static obs::Histogram& order_ns = obs::histogram("ftl_stage_order_ns");
+    const std::int64_t dt = nowNanos() - ctx.enq_ns;
+    order_ns.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
+  }
   switch (cmd.kind) {
     case CommandKind::ExecuteAgs: {
       static obs::Histogram& apply_ns = obs::histogram("ftl_sm_apply_ns");
@@ -220,6 +228,7 @@ std::vector<TsStateMachine::WaitKey> TsStateMachine::guardWaitKeys(const Ags& ag
 }
 
 void TsStateMachine::insertBlockedLocked(BlockedAgs b) {
+  if (b.blocked_ns == 0) b.blocked_ns = nowNanos();
   b.keys = guardWaitKeys(b.ags);
   if (plan_ && plan_wake_ok_) {
     // A statement is waiting on a class the plan claimed has no blocking
@@ -414,6 +423,16 @@ void TsStateMachine::restore(const Bytes& snapshot) {
 std::size_t TsStateMachine::blockedCount() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   return blocked_.size();
+}
+
+obs::BlockedGuardsProbe TsStateMachine::blockedInfo() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  obs::BlockedGuardsProbe p;
+  p.count = blocked_.size();
+  p.wake_probes = metrics_.wake_probes;
+  // blocked_ is keyed by arrival gseq, so the first entry is the oldest.
+  if (!blocked_.empty()) p.oldest_ns = blocked_.begin()->second.blocked_ns;
+  return p;
 }
 
 std::size_t TsStateMachine::spaceCount() const {

@@ -29,6 +29,7 @@
 #include <shared_mutex>
 
 #include "ftlinda/executor.hpp"
+#include "obs/watchdog.hpp"
 #include "rsm/state_machine.hpp"
 
 namespace ftl::ftlinda {
@@ -118,6 +119,9 @@ class TsStateMachine : public rsm::StateMachine {
   // Introspection (tests, benches, examples). Values are copies taken under
   // the machine's lock.
   std::size_t blockedCount() const;
+  /// Stall-watchdog probe: blocked-guard count, the monotonic stamp of the
+  /// oldest blocked statement, and the cumulative wake-probe count.
+  obs::BlockedGuardsProbe blockedInfo() const;
   std::size_t spaceCount() const;
   std::size_t tupleCount(TsHandle ts) const;
   std::vector<Tuple> spaceContents(TsHandle ts) const;
@@ -155,6 +159,7 @@ class TsStateMachine : public rsm::StateMachine {
     net::HostId origin = net::kNoHost;
     std::uint64_t request_id = 0;
     std::uint64_t trace_id = 0;  // observability only; NOT snapshotted
+    std::int64_t blocked_ns = 0;  // monotonic stamp at queueing; NOT snapshotted
     Ags ags;
     std::vector<WaitKey> keys;  // sorted unique guard keys (index postings)
   };

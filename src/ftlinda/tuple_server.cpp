@@ -41,10 +41,16 @@ TupleServer::TupleServer(net::Transport& net, rsm::Replica& replica, TsStateMach
   replica_.setForeignMessageHandler([this](const net::Message& m) {
     if (m.type == kRpcRequestType) onRpcRequest(m);
     if (m.type == kRpcStatsType) onStatsRequest(m);
+    if (m.type == kRpcTraceType) onTraceRequest(m);
   });
   sm.addReplySink([this](net::HostId origin, std::uint64_t rid, const Reply& reply) {
     onReply(origin, rid, reply);
   });
+  // Origin-side observability (the "ags.order" close, apply span, stage
+  // histograms) keys on the state machine knowing which host it serves.
+  // With an embedded Runtime, attach() sets this to the same id; a pure
+  // server process (ftl-node) has no Runtime, so set it here too.
+  sm.setSelf(replica.self());
 }
 
 std::size_t TupleServer::pendingForwards() const {
@@ -61,6 +67,43 @@ void TupleServer::onStatsRequest(const net::Message& m) {
   w.u64(client_rid);
   w.bytes(Bytes(json.begin(), json.end()));
   ep_.send(m.src, kRpcStatsReplyType, w.take());
+}
+
+void TupleServer::onTraceRequest(const net::Message& m) {
+  static obs::Counter& trace_requests = obs::counter("ftl_rpc_trace_requests");
+  trace_requests.inc();
+  Reader r(m.payload);
+  const std::uint64_t client_rid = r.u64();
+  const std::uint8_t mode = r.u8();
+  if (mode == 0) {
+    Writer w;
+    w.u64(client_rid);
+    w.i64(nowNanos());
+    w.u8(0);
+    ep_.send(m.src, kRpcTraceReplyType, w.take());
+    return;
+  }
+  // A busy host's span blob easily exceeds one UDP datagram (65000 bytes),
+  // so mode-1 replies ship as a numbered chunk series the client
+  // reassembles; every chunk repeats rid/server_now so any of them can
+  // serve as the clock sample.
+  const Bytes blob = obs::assemble::encode(obs::assemble::captureLocal(host_));
+  constexpr std::size_t kChunkBytes = 48 * 1024;
+  const std::uint32_t chunks =
+      blob.empty() ? 1
+                   : static_cast<std::uint32_t>((blob.size() + kChunkBytes - 1) / kChunkBytes);
+  for (std::uint32_t i = 0; i < chunks; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * kChunkBytes;
+    const std::size_t len = std::min(kChunkBytes, blob.size() - off);
+    Writer w;
+    w.u64(client_rid);
+    w.i64(nowNanos());
+    w.u8(1);
+    w.u32(i);
+    w.u32(chunks);
+    w.bytes(BytesView(blob.data() + off, len));
+    ep_.send(m.src, kRpcTraceReplyType, w.take());
+  }
 }
 
 void TupleServer::onRpcRequest(const net::Message& m) {
@@ -82,18 +125,36 @@ void TupleServer::onRpcRequest(const net::Message& m) {
   }
   const std::uint64_t server_rid = next_rid_.fetch_add(1);
   cmd.request_id = server_rid;
+  const std::uint64_t trace_id = cmd.trace_id;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    forwards_[server_rid] = {m.src, client_rid};
+    forwards_[server_rid] = {m.src, client_rid, trace_id};
   }
   // "This handler immediately submits it to Consul's multicast service as
   // before" — the request enters the total order exactly like a local one.
-  replica_.submit(cmd.encode());
+  // The client's trace id rides along so the ordering stages correlate.
+  // This server is the ORIGIN of the ordering path for its RPC clients, so
+  // when tracing it emits the same critical-path stages the embedded
+  // Runtime does: "ags" bounds the server-side e2e, "ags.issue" the
+  // re-encode up to the ordering handoff, and "ags.order" begins here (the
+  // state machine closes it at apply, origin-side).
+  const bool traced = obs::trace::enabled() && trace_id != 0;
+  std::int64_t i0 = 0;
+  if (traced) {
+    obs::trace::asyncBegin("ags", trace_id);
+    i0 = nowNanos();
+  }
+  Bytes payload = cmd.encode();
+  if (traced) {
+    obs::trace::complete("ags.issue", trace_id, i0, nowNanos() - i0);
+    obs::trace::asyncBegin("ags.order", trace_id);
+  }
+  replica_.submit(std::move(payload), trace_id);
 }
 
 void TupleServer::onReply(net::HostId origin, std::uint64_t rid, const Reply& reply) {
   if (origin != host_ || (rid & kServerRidBit) == 0) return;
-  std::pair<net::HostId, std::uint64_t> dest;
+  Forward dest;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = forwards_.find(rid);
@@ -102,7 +163,16 @@ void TupleServer::onReply(net::HostId origin, std::uint64_t rid, const Reply& re
     forwards_.erase(it);
   }
   rpcMetrics().replies.inc();
-  ep_.send(dest.first, kRpcReplyType, encodeRpcReply(dest.second, reply));
+  // "ags.reply" here is the reply-encode/forward leg; together with the
+  // "ags" end it lets the critical-path analyzer tile the server-side e2e
+  // of a proxied statement just like an embedded one.
+  const bool traced = obs::trace::enabled() && dest.trace_id != 0;
+  const std::int64_t r0 = traced ? nowNanos() : 0;
+  ep_.send(dest.client, kRpcReplyType, encodeRpcReply(dest.client_rid, reply));
+  if (traced) {
+    obs::trace::complete("ags.reply", dest.trace_id, r0, nowNanos() - r0);
+    obs::trace::asyncEnd("ags", dest.trace_id);
+  }
 }
 
 RemoteRuntime::RemoteRuntime(net::Transport& net, net::HostId host, net::HostId server)
@@ -181,6 +251,58 @@ void RemoteRuntime::recvLoop() {
       {
         std::lock_guard<std::mutex> lock(slot->m);
         slot->json = std::string(raw.begin(), raw.end());
+      }
+      slot->cv.notify_all();
+      continue;
+    }
+    if (m->type == kRpcTraceReplyType) {
+      const std::int64_t t1 = nowNanos();
+      Reader r(m->payload);
+      const std::uint64_t rid = r.u64();
+      const std::int64_t server_ns = r.i64();
+      const std::uint8_t has_spans = r.u8();
+      std::shared_ptr<TraceSlot> slot;
+      {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        auto it = trace_pending_.find(rid);
+        if (it == trace_pending_.end()) continue;
+        slot = it->second;
+      }
+      bool complete = false;
+      if (has_spans == 0) {
+        std::lock_guard<std::mutex> lock(slot->m);
+        slot->t1_ns = t1;
+        slot->server_ns = server_ns;
+        slot->done = true;
+        complete = true;
+      } else {
+        const std::uint32_t idx = r.u32();
+        const std::uint32_t count = r.u32();
+        Bytes chunk = r.bytes();
+        std::lock_guard<std::mutex> lock(slot->m);
+        // First chunk of a series — or of a resent series with a different
+        // shape — (re)initializes the reassembly buffer.
+        if (slot->chunk_count != count) {
+          slot->chunk_count = count;
+          slot->chunks.assign(count, Bytes{});
+          slot->chunks_received = 0;
+        }
+        if (idx < count && slot->chunks[idx].empty()) {
+          slot->chunks[idx] = std::move(chunk);
+          ++slot->chunks_received;
+        }
+        if (slot->chunks_received == slot->chunk_count) {
+          slot->blob.clear();
+          for (const Bytes& c : slot->chunks) slot->blob.insert(slot->blob.end(), c.begin(), c.end());
+          slot->t1_ns = t1;
+          slot->server_ns = server_ns;
+          slot->done = true;
+          complete = true;
+        }
+      }
+      if (complete) {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        trace_pending_.erase(rid);
       }
       slot->cv.notify_all();
       continue;
@@ -273,6 +395,62 @@ std::string RemoteRuntime::serverStatsJson() {
     }
   }
   return std::move(*slot->json);
+}
+
+std::shared_ptr<RemoteRuntime::TraceSlot> RemoteRuntime::traceRequest(std::uint8_t mode,
+                                                                      std::int64_t& t0_ns) {
+  if (crashed_.load()) throw ProcessorFailure(host_);
+  const std::uint64_t rid = next_rid_.fetch_add(1);
+  auto slot = std::make_shared<TraceSlot>();
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    trace_pending_.emplace(rid, slot);
+  }
+  Writer w;
+  w.u64(rid);
+  w.u8(mode);
+  const Bytes request = w.take();
+  t0_ns = nowNanos();
+  ep_.send(server_, kRpcTraceType, request);
+  std::unique_lock<std::mutex> lock(slot->m);
+  int ticks = 0;
+  for (;;) {
+    if (slot->cv.wait_for(lock, Millis{20}, [&] { return slot->done; })) break;
+    if (crashed_.load()) throw ProcessorFailure(host_);
+    if (net_.isCrashed(server_)) {
+      std::lock_guard<std::mutex> plock(pending_mutex_);
+      trace_pending_.erase(rid);
+      throw Error("tuple server unreachable");
+    }
+    // A lost datagram (request or any reply chunk) would wedge the wait;
+    // periodically restart the exchange from scratch. Discarding partial
+    // chunks avoids stitching two different server captures together.
+    if (++ticks % 25 == 0) {
+      slot->chunk_count = 0;
+      slot->chunks.clear();
+      slot->chunks_received = 0;
+      t0_ns = nowNanos();
+      ep_.send(server_, kRpcTraceType, request);
+    }
+  }
+  return slot;
+}
+
+obs::assemble::PingSample RemoteRuntime::serverClockPing() {
+  std::int64_t t0 = 0;
+  auto slot = traceRequest(/*mode=*/0, t0);
+  obs::assemble::PingSample s;
+  s.t0_ns = t0;
+  s.t1_ns = slot->t1_ns;
+  s.server_ns = slot->server_ns;
+  return s;
+}
+
+obs::assemble::HostSpans RemoteRuntime::serverTraceSpans() {
+  std::int64_t t0 = 0;
+  auto slot = traceRequest(/*mode=*/1, t0);
+  Reader r(slot->blob);
+  return obs::assemble::decode(r);
 }
 
 AgsFuture RemoteRuntime::executeAsync(const Ags& ags) {

@@ -31,6 +31,7 @@
 #include <memory>
 
 #include "ftlinda/runtime.hpp"
+#include "obs/assemble.hpp"
 
 namespace ftl::ftlinda {
 
@@ -42,6 +43,16 @@ constexpr std::uint16_t kRpcReplyType = 41;
 /// (metrics of the server process: consul, state machine, network, RPC).
 constexpr std::uint16_t kRpcStatsType = 42;
 constexpr std::uint16_t kRpcStatsReplyType = 43;
+/// Observability: trace-dump RPC (docs/OBSERVABILITY.md "Trace-dump RPC").
+/// Request payload: u64 client_rid, u8 mode (0 = clock ping only, 1 = also
+/// ship the tracer rings). Reply payload: u64 client_rid, i64 server_now_ns
+/// (the server's monotonic clock at handling time, for NTP-style offset
+/// estimation), u8 has_spans; mode-1 replies then carry u32 chunk_index,
+/// u32 chunk_count, and a bytes slice of one assemble::encode(HostSpans)
+/// blob — span blobs outgrow a UDP datagram, so the blob ships as a chunk
+/// series the client reassembles (and re-requests wholesale on loss).
+constexpr std::uint16_t kRpcTraceType = 44;
+constexpr std::uint16_t kRpcTraceReplyType = 45;
 
 /// Request ids the server allocates carry this bit so they can never
 /// collide with the co-located embedded Runtime's ids.
@@ -65,14 +76,24 @@ class TupleServer {
  private:
   void onRpcRequest(const net::Message& m);
   void onStatsRequest(const net::Message& m);
+  void onTraceRequest(const net::Message& m);
   void onReply(net::HostId origin, std::uint64_t rid, const Reply& reply);
+
+  /// Where a proxied command's ordered reply goes back to, plus the client's
+  /// trace id so the server — the ORIGIN of the ordering path for RPC
+  /// clients — can close the reply/e2e trace spans it opened at receipt.
+  struct Forward {
+    net::HostId client = net::kNoHost;
+    std::uint64_t client_rid = 0;
+    std::uint64_t trace_id = 0;
+  };
 
   net::Endpoint ep_;
   const net::HostId host_;
   rsm::Replica& replica_;
   std::atomic<std::uint64_t> next_rid_{kServerRidBit | 1};
   mutable std::mutex mutex_;
-  std::map<std::uint64_t, std::pair<net::HostId, std::uint64_t>> forwards_;
+  std::map<std::uint64_t, Forward> forwards_;
 };
 
 /// The client-side FT-Linda library for hosts that run no replica. Same
@@ -122,6 +143,15 @@ class RemoteRuntime : public LindaApi {
   /// ftl::Error if the server is unreachable.
   std::string serverStatsJson();
 
+  /// One clock-ping exchange over the trace-dump RPC: t0/t1 stamped on this
+  /// host's clock around the round trip, server_ns the server's clock at
+  /// handling time. Feed several into assemble::estimateOffset().
+  obs::assemble::PingSample serverClockPing();
+
+  /// Fetch the server's tracer rings as a HostSpans blob (offset_ns left 0
+  /// for the caller to fill in from clock pings).
+  obs::assemble::HostSpans serverTraceSpans();
+
  protected:
   void doMonitorFailures(TsHandle ts, bool enable) override;
 
@@ -136,9 +166,25 @@ class RemoteRuntime : public LindaApi {
     std::condition_variable cv;
     std::optional<std::string> json;
   };
+  struct TraceSlot {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::int64_t t1_ns = 0;       // receive stamp (recv thread's clock read)
+    std::int64_t server_ns = 0;
+    Bytes blob;                   // assemble::encode() payload (mode 1)
+    // Mode-1 chunk reassembly (recv thread, under m): the server splits a
+    // span blob across datagrams; blob is stitched when all chunks land.
+    std::uint32_t chunk_count = 0;
+    std::uint32_t chunks_received = 0;
+    std::vector<Bytes> chunks;
+  };
 
   /// Admit into the pipeline window (may block), send, return the future.
   AgsFuture submitRpc(Command cmd);
+  /// Send a trace-dump request and wait for its slot; returns the filled
+  /// slot plus the send stamp t0.
+  std::shared_ptr<TraceSlot> traceRequest(std::uint8_t mode, std::int64_t& t0_ns);
   void recvLoop();
   /// Fail every outstanding RPC future (crash or unreachable server).
   void failAllPending(bool processor_failure);
@@ -150,12 +196,13 @@ class RemoteRuntime : public LindaApi {
 
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> crashed_{false};
-  std::atomic<std::uint64_t> next_rid_{1};
+  std::atomic<std::uint64_t> next_rid_{freshRidBase() + 1};
   mutable std::mutex pending_mutex_;
   std::condition_variable window_cv_;  // signalled when the window drains
   std::size_t pipeline_window_ = 64;
   std::map<std::uint64_t, PendingRpc> pending_;
   std::map<std::uint64_t, std::shared_ptr<StatsSlot>> stats_pending_;
+  std::map<std::uint64_t, std::shared_ptr<TraceSlot>> trace_pending_;
   ScratchSpaces scratch_;
   std::thread recv_;
 };

@@ -15,6 +15,7 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "common/serde.hpp"
+#include "obs/flight.hpp"
 
 namespace ftl::net {
 
@@ -161,6 +162,7 @@ void UdpTransport::deliverFrame(HostId host, const std::uint8_t* data, std::size
   } catch (const Error&) {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_[host].messages_dropped += 1;
+    obs::flight::record(obs::flight::Kind::Drop, host, 0, 0, "bad frame");
     return;
   }
   {
@@ -175,6 +177,8 @@ void UdpTransport::deliverFrame(HostId host, const std::uint8_t* data, std::size
     if (incarnation > incarnation_[msg.src]) incarnation_[msg.src] = incarnation;
     if (incarnation < incarnation_[msg.src] || crashed_[msg.src] || crashed_[host]) {
       stats_[host].messages_dropped += 1;
+      obs::flight::record(obs::flight::Kind::Drop, host, msg.src, incarnation,
+                          "stale incarnation");
       return;
     }
     stats_[host].messages_delivered += 1;
@@ -199,6 +203,8 @@ void UdpTransport::sendMessage(Message msg) {
   sent_by_type_[msg.type] += 1;
   if (msg.payload.size() > kMaxDatagram) {
     sender_stats.messages_dropped += 1;
+    obs::flight::record(obs::flight::Kind::Drop, msg.src, msg.dst,
+                        static_cast<std::int64_t>(msg.payload.size()), "oversize datagram");
     FTL_WARN("net", "UDP payload of " << msg.payload.size() << " bytes exceeds datagram limit");
     return;
   }
@@ -229,6 +235,7 @@ void UdpTransport::sendMessage(Message msg) {
   if (n != static_cast<ssize_t>(frame.size())) {
     // ECONNREFUSED etc. — real-world loss; the layers above retransmit.
     sender_stats.messages_dropped += 1;
+    obs::flight::record(obs::flight::Kind::Drop, msg.src, msg.dst, 0, "sendto failed");
   }
 }
 
@@ -264,6 +271,8 @@ void UdpTransport::crash(HostId host) {
     // Stale-frame fence: everything the host sent so far carries the old
     // incarnation and will be dropped on receipt, wherever it is buffered.
     incarnation_[host] += 1;
+    obs::flight::record(obs::flight::Kind::IncarnationFence, host, host,
+                        incarnation_[host]);
   }
   if (hosts_[host].local) {
     teardownSocket(host);  // port quarantined until recover()

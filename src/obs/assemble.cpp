@@ -1,0 +1,332 @@
+#include "obs/assemble.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/clock.hpp"
+
+namespace ftl::obs::assemble {
+
+namespace {
+
+constexpr std::uint32_t kSpanMagic = 0x46545350;  // "FTSP" (one host)
+constexpr std::uint32_t kFileMagic = 0x46545341;  // "FTSA" (host set)
+constexpr std::uint8_t kVersion = 1;
+
+/// Stage names in pipeline order; the index doubles as the monotonicity
+/// rank for offset-corrected start times.
+constexpr const char* kStageOrder[] = {"ags.verify",  "ags.issue", "ags.order", "ags.coalesce",
+                                       "ags.apply", "ags.reply", "ags.future_wake"};
+
+/// Stages whose durations tile the e2e span (coalesce is a sub-interval of
+/// order, future_wake runs after the e2e span closes — both are reported
+/// but excluded from the critical-path sum).
+constexpr const char* kCriticalPath[] = {"ags.verify", "ags.issue", "ags.order", "ags.apply",
+                                         "ags.reply"};
+
+int stageRank(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kStageOrder); ++i) {
+    if (name == kStageOrder[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool onCriticalPath(const std::string& name) {
+  for (const char* s : kCriticalPath) {
+    if (name == s) return true;
+  }
+  return false;
+}
+
+std::string jsonEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::int64_t TraceReport::AgsRow::stageSumNs() const {
+  std::int64_t sum = 0;
+  for (const auto& [name, ns] : stage_ns) {
+    if (onCriticalPath(name)) sum += ns;
+  }
+  return sum;
+}
+
+HostSpans captureLocal(std::uint32_t host) {
+  HostSpans hs;
+  hs.host = host;
+  hs.clock_ns = nowNanos();
+  hs.spans = trace::exportEvents();
+  return hs;
+}
+
+Bytes encode(const HostSpans& hs) {
+  Writer w;
+  w.u32(kSpanMagic);
+  w.u8(kVersion);
+  w.u32(hs.host);
+  w.i64(hs.clock_ns);
+  w.i64(hs.offset_ns);
+  w.u32(static_cast<std::uint32_t>(hs.spans.size()));
+  for (const auto& e : hs.spans) {
+    w.str(e.name);
+    w.u8(static_cast<std::uint8_t>(e.phase));
+    w.u64(e.id);
+    w.i64(e.ts_ns);
+    w.i64(e.dur_ns);
+    w.u32(e.tid);
+    w.str(e.thread_name);
+  }
+  return w.take();
+}
+
+HostSpans decode(Reader& r) {
+  FTL_CHECK(r.u32() == kSpanMagic, "bad span-dump magic");
+  FTL_CHECK(r.u8() == kVersion, "unsupported span-dump version");
+  HostSpans hs;
+  hs.host = r.u32();
+  hs.clock_ns = r.i64();
+  hs.offset_ns = r.i64();
+  const std::uint32_t n = r.u32();
+  hs.spans.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    trace::RawEvent e;
+    e.name = r.str();
+    e.phase = static_cast<char>(r.u8());
+    e.id = r.u64();
+    e.ts_ns = r.i64();
+    e.dur_ns = r.i64();
+    e.tid = r.u32();
+    e.thread_name = r.str();
+    hs.spans.push_back(std::move(e));
+  }
+  return hs;
+}
+
+Bytes encodeFile(const std::vector<HostSpans>& hosts) {
+  Writer w;
+  w.u32(kFileMagic);
+  w.u8(kVersion);
+  w.u32(static_cast<std::uint32_t>(hosts.size()));
+  for (const auto& hs : hosts) w.bytes(encode(hs));
+  return w.take();
+}
+
+std::vector<HostSpans> decodeFile(BytesView bytes) {
+  Reader r(bytes);
+  FTL_CHECK(r.u32() == kFileMagic, "bad spans-file magic");
+  FTL_CHECK(r.u8() == kVersion, "unsupported spans-file version");
+  const std::uint32_t n = r.u32();
+  std::vector<HostSpans> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const BytesView blob = r.readBlobView();
+    Reader hr(blob);
+    out.push_back(decode(hr));
+  }
+  return out;
+}
+
+std::int64_t estimateOffset(const std::vector<PingSample>& samples) {
+  std::int64_t best_rtt = std::numeric_limits<std::int64_t>::max();
+  std::int64_t offset = 0;
+  for (const auto& s : samples) {
+    const std::int64_t rtt = s.t1_ns - s.t0_ns;
+    if (rtt < 0 || rtt >= best_rtt) continue;
+    best_rtt = rtt;
+    offset = s.server_ns - (s.t0_ns + s.t1_ns) / 2;
+  }
+  return offset;
+}
+
+std::string mergedChromeJson(const std::vector<HostSpans>& hosts) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    os << (first ? "\n" : ",\n") << line;
+    first = false;
+  };
+  for (const auto& hs : hosts) {
+    {
+      std::ostringstream m;
+      m << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << hs.host
+        << ",\"args\":{\"name\":\"host " << hs.host << "\"}}";
+      emit(m.str());
+    }
+    // One thread_name metadata record per (host, tid).
+    std::map<std::uint32_t, std::string> names;
+    for (const auto& e : hs.spans) {
+      if (!e.thread_name.empty()) names.emplace(e.tid, e.thread_name);
+    }
+    for (const auto& [tid, name] : names) {
+      std::ostringstream m;
+      m << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << hs.host << ",\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << jsonEscaped(name) << "\"}}";
+      emit(m.str());
+    }
+    for (const auto& e : hs.spans) {
+      std::ostringstream l;
+      l << "{\"name\":\"" << jsonEscaped(e.name) << "\",\"cat\":\"ags\",\"ph\":\"" << e.phase
+        << "\",\"pid\":" << hs.host << ",\"tid\":" << e.tid
+        << ",\"ts\":" << static_cast<double>(e.ts_ns + hs.offset_ns) / 1e3;
+      if (e.phase == 'X') l << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3;
+      if (e.phase == 'b' || e.phase == 'e' || e.phase == 'n') {
+        l << ",\"id\":\"0x" << std::hex << e.id << std::dec << "\"";
+      }
+      l << ",\"args\":{\"trace_id\":" << e.id << ",\"host\":" << hs.host << "}}";
+      emit(l.str());
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+TraceReport analyze(const std::vector<HostSpans>& hosts) {
+  struct PerAgs {
+    std::int64_t e2e_begin = -1, e2e_end = -1;        // "ags" b/e (local preferred)
+    std::int64_t rpc_begin = -1, rpc_end = -1;        // "ags.rpc" b/e (remote clients)
+    std::map<std::string, std::int64_t> stage_dur;    // X stages + assembled b/e pairs
+    std::map<std::string, std::int64_t> stage_start;  // offset-corrected starts
+    std::map<std::string, std::int64_t> async_begin;  // pending b timestamps
+    std::map<std::string, int> seen;                  // per-stage record count
+  };
+  std::map<std::uint64_t, PerAgs> by_id;
+
+  // Events within one host's rings are windows over per-thread rings, not
+  // globally ordered; sort each trace id's contributions by corrected time
+  // implicitly by walking hosts then matching begin/end pairs.
+  for (const auto& hs : hosts) {
+    for (const auto& e : hs.spans) {
+      if (e.id == 0) continue;
+      // Only AGS-lifecycle events form rows: batch/bookkeeping spans
+      // (sm.apply_batch keys on gseq, not trace id) must not fabricate
+      // phantom AGS entries.
+      if (e.name != "ags" && e.name != "ags.rpc" && stageRank(e.name) < 0) continue;
+      const std::int64_t ts = e.ts_ns + hs.offset_ns;
+      PerAgs& a = by_id[e.id];
+      if (e.name == "ags") {
+        if (e.phase == 'b') a.e2e_begin = ts;
+        if (e.phase == 'e') a.e2e_end = ts;
+        continue;
+      }
+      if (e.name == "ags.rpc") {
+        if (e.phase == 'b') a.rpc_begin = ts;
+        if (e.phase == 'e') a.rpc_end = ts;
+        continue;
+      }
+      if (stageRank(e.name) < 0) continue;
+      if (e.phase == 'X') {
+        a.stage_dur[e.name] += e.dur_ns;
+        a.stage_start.emplace(e.name, ts);
+        a.seen[e.name] += 1;
+      } else if (e.phase == 'b') {
+        a.async_begin[e.name] = ts;
+        a.stage_start.emplace(e.name, ts);
+      } else if (e.phase == 'e') {
+        auto it = a.async_begin.find(e.name);
+        if (it != a.async_begin.end()) {
+          a.stage_dur[e.name] += ts - it->second;
+          a.async_begin.erase(it);
+          a.seen[e.name] += 1;
+        }
+      }
+    }
+  }
+
+  TraceReport r;
+  double e2e_total = 0, sum_total = 0;
+  std::uint64_t covered = 0;
+  for (auto& [id, a] : by_id) {
+    TraceReport::AgsRow row;
+    row.trace_id = id;
+    std::int64_t b = a.e2e_begin, e = a.e2e_end;
+    if (b < 0 || e < 0) {
+      b = a.rpc_begin;
+      e = a.rpc_end;
+    }
+    if (b >= 0 && e >= 0) row.e2e_ns = e - b;
+    row.stage_ns = a.stage_dur;
+    for (const auto& [name, n] : a.seen) {
+      if (n > 1) ++r.duplicate_stages;
+      r.stages[name].count += 1;
+      r.stages[name].total_ns += static_cast<double>(a.stage_dur[name]);
+    }
+    // Monotonicity of offset-corrected stage starts along the pipeline.
+    int last_rank = -1;
+    std::int64_t last_ts = std::numeric_limits<std::int64_t>::min();
+    bool violated = false;
+    for (const char* stage : kStageOrder) {
+      auto it = a.stage_start.find(stage);
+      if (it == a.stage_start.end()) continue;
+      const int rank = stageRank(stage);
+      if (rank > last_rank && it->second < last_ts) violated = true;
+      last_rank = rank;
+      last_ts = it->second;
+    }
+    if (violated) ++r.monotone_violations;
+    if (row.e2e_ns > 0) {
+      e2e_total += static_cast<double>(row.e2e_ns);
+      sum_total += static_cast<double>(row.stageSumNs());
+      ++covered;
+    }
+    r.ags.push_back(std::move(row));
+  }
+  if (covered > 0) {
+    r.mean_e2e_ns = e2e_total / static_cast<double>(covered);
+    r.mean_stage_sum_ns = sum_total / static_cast<double>(covered);
+    if (e2e_total > 0) r.coverage = sum_total / e2e_total;
+  }
+  return r;
+}
+
+std::string reportText(const TraceReport& r) {
+  std::ostringstream os;
+  os << "cross-host critical path: " << r.ags.size() << " AGS traces\n";
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "  mean e2e %.1fus, critical-path stage sum %.1fus (%.0f%%)\n",
+                r.mean_e2e_ns / 1e3, r.mean_stage_sum_ns / 1e3, 100.0 * r.coverage);
+  os << buf;
+  os << "  monotone violations " << r.monotone_violations << ", duplicate stages "
+     << r.duplicate_stages << "\n";
+  os << "  stage                    count     mean\n";
+  for (const auto& [name, st] : r.stages) {
+    std::snprintf(buf, sizeof buf, "  %-22s %7llu %7.1fus%s\n", name.c_str(),
+                  static_cast<unsigned long long>(st.count), st.meanNs() / 1e3,
+                  onCriticalPath(name) ? "" : "  (overlaps, not summed)");
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string reportJson(const TraceReport& r) {
+  std::ostringstream os;
+  os << "{\n  \"ags_count\": " << r.ags.size() << ",\n";
+  os << "  \"mean_e2e_ns\": " << r.mean_e2e_ns << ",\n";
+  os << "  \"mean_stage_sum_ns\": " << r.mean_stage_sum_ns << ",\n";
+  os << "  \"coverage\": " << r.coverage << ",\n";
+  os << "  \"monotone_violations\": " << r.monotone_violations << ",\n";
+  os << "  \"duplicate_stages\": " << r.duplicate_stages << ",\n";
+  os << "  \"stages\": {";
+  bool first = true;
+  for (const auto& [name, st] : r.stages) {
+    os << (first ? "\n" : ",\n") << "    \"" << jsonEscaped(name) << "\": {\"count\": " << st.count
+       << ", \"mean_ns\": " << st.meanNs() << ", \"critical_path\": "
+       << (onCriticalPath(name) ? "true" : "false") << "}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+}  // namespace ftl::obs::assemble

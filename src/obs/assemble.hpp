@@ -1,0 +1,122 @@
+// ftl::obs::assemble — cross-host trace assembly (docs/OBSERVABILITY.md
+// "Cross-host trace assembly").
+//
+// Each host traces into its own process-local rings (obs/trace.hpp) on its
+// own monotonic clock. This module is the cluster-level layer on top:
+//  - HostSpans: one host's exported span set plus the clock context needed
+//    to place it on a shared timeline (capture-time clock reading and an
+//    estimated offset onto the reference host's clock);
+//  - a compact binary wire/file format (encode/decode) — the same blob the
+//    tuple server's trace-dump RPC ships and that trace producers write as
+//    a `.spans` sidecar next to Chrome JSON dumps;
+//  - NTP-style offset estimation from request/reply clock samples;
+//  - a merger producing one Chrome trace-event JSON with per-host pids and
+//    offset-corrected timestamps;
+//  - a critical-path analyzer that groups spans by trace id and attributes
+//    each AGS's end-to-end latency to the named pipeline stages
+//    (issue -> coalesce -> order -> apply -> reply -> future wake).
+//
+// All timestamps are monotonic nanoseconds on the ORIGINATING host's clock
+// unless a HostSpans::offset_ns has been applied; the merger and analyzer
+// apply offsets themselves, callers only fill them in.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "obs/trace.hpp"
+
+namespace ftl::obs::assemble {
+
+/// One host's span export. `clock_ns` is that host's monotonic clock read
+/// at capture time; `offset_ns` maps host-local timestamps onto the
+/// reference clock (reference_ts = local_ts + offset_ns) and is 0 until an
+/// estimate is filled in.
+struct HostSpans {
+  std::uint32_t host = 0;
+  std::int64_t clock_ns = 0;
+  std::int64_t offset_ns = 0;
+  std::vector<trace::RawEvent> spans;
+};
+
+/// Snapshot this process's tracer rings as host `host`'s span set.
+HostSpans captureLocal(std::uint32_t host);
+
+/// Binary format, versioned: one HostSpans per blob. This is the payload of
+/// the trace-dump RPC reply and the unit of a `.spans` sidecar file (which
+/// simply concatenates encodeFile's framed blobs).
+Bytes encode(const HostSpans& hs);
+HostSpans decode(Reader& r);
+
+/// Multi-host container: magic + count, then each host blob.
+Bytes encodeFile(const std::vector<HostSpans>& hosts);
+std::vector<HostSpans> decodeFile(BytesView bytes);
+
+/// One clock-ping exchange: client sends at t0, server stamps server_ns,
+/// client receives at t1 (all monotonic ns, client clock for t0/t1).
+struct PingSample {
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;
+  std::int64_t server_ns = 0;
+};
+
+/// NTP-style offset of the server clock relative to the client clock
+/// (client_ts + offset = server_ts), taken from the minimum-RTT sample —
+/// queuing delay only ever inflates RTT, so the tightest exchange bounds
+/// the true offset best. Empty input returns 0.
+std::int64_t estimateOffset(const std::vector<PingSample>& samples);
+
+/// Merge every host's spans into one Chrome trace-event JSON: pid = host id,
+/// timestamps shifted by each host's offset_ns onto the shared timeline.
+std::string mergedChromeJson(const std::vector<HostSpans>& hosts);
+
+/// The ordering-path stage taxonomy the analyzer attributes latency to, in
+/// pipeline order (docs/OBSERVABILITY.md "Stage taxonomy").
+///  - ags.verify        X   static verify on the issuing thread
+///  - ags.issue         X   encode + submit handoff on the issuing thread
+///  - ags.order         b/e submit -> origin-side ordered delivery
+///  - ags.coalesce      b/e broadcast enqueue -> first request-frame send
+///                          (a sub-interval of order, so it ranks after it)
+///  - ags.apply         X   state-machine apply at the origin replica
+///  - ags.reply         X   reply decode/deposit -> future settled
+///  - ags.future_wake   X   future settled -> blocked waiter resumed
+/// `ags` (b/e) bounds the end-to-end span; `ags.rpc` (b/e) bounds it for
+/// remote clients.
+struct TraceReport {
+  struct Stage {
+    std::uint64_t count = 0;       // AGS that recorded this stage
+    double total_ns = 0;           // summed duration
+    double meanNs() const { return count ? total_ns / static_cast<double>(count) : 0.0; }
+  };
+  struct AgsRow {
+    std::uint64_t trace_id = 0;
+    std::int64_t e2e_ns = 0;                       // ags (or ags.rpc) b->e
+    std::map<std::string, std::int64_t> stage_ns;  // per-stage durations
+    std::int64_t stageSumNs() const;               // critical-path stages only
+  };
+
+  std::vector<AgsRow> ags;
+  std::map<std::string, Stage> stages;
+  double mean_e2e_ns = 0;
+  double mean_stage_sum_ns = 0;
+  /// mean_stage_sum / mean_e2e over AGS with a complete e2e span — how much
+  /// of the measured latency the named stages account for.
+  double coverage = 0;
+  /// AGS whose offset-corrected stage start times run backwards relative to
+  /// the pipeline order (clock offsets not monotone) — should be 0.
+  std::size_t monotone_violations = 0;
+  /// (stage name, count) for AGS that recorded a stage more than once.
+  std::size_t duplicate_stages = 0;
+};
+
+/// Group spans by trace id across hosts (offsets applied) and attribute
+/// end-to-end latency to stages. Events with id 0 are ignored.
+TraceReport analyze(const std::vector<HostSpans>& hosts);
+
+std::string reportText(const TraceReport& r);
+std::string reportJson(const TraceReport& r);
+
+}  // namespace ftl::obs::assemble

@@ -1,0 +1,112 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+#include "common/clock.hpp"
+
+namespace ftl::obs::flight {
+
+namespace {
+
+constexpr std::size_t kCapacity = 8192;
+
+struct Ring {
+  std::mutex mutex;
+  std::vector<Event> events;   // kCapacity once first used
+  std::uint64_t written = 0;   // total events ever recorded
+};
+
+Ring& ring() {
+  static Ring* r = new Ring();  // leaked: dumps may run during teardown
+  return *r;
+}
+
+}  // namespace
+
+const char* kindName(Kind k) {
+  switch (k) {
+    case Kind::ViewChange: return "view_change";
+    case Kind::ViewInstalled: return "view_installed";
+    case Kind::Retransmit: return "retransmit";
+    case Kind::Nack: return "nack";
+    case Kind::IncarnationFence: return "incarnation_fence";
+    case Kind::ApplyBatch: return "apply_batch";
+    case Kind::Drop: return "drop";
+    case Kind::SnapshotInstall: return "snapshot_install";
+    case Kind::WatchdogTrip: return "watchdog_trip";
+    case Kind::Crash: return "crash";
+    case Kind::Recover: return "recover";
+    case Kind::Note: return "note";
+  }
+  return "unknown";
+}
+
+void record(Kind kind, std::uint32_t host, std::int64_t a, std::int64_t b, const char* note) {
+  Event e;
+  e.kind = kind;
+  e.host = host;
+  e.ts_ns = nowNanos();
+  e.a = a;
+  e.b = b;
+  e.note = note;
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (r.events.empty()) r.events.resize(kCapacity);
+  r.events[r.written % kCapacity] = e;
+  ++r.written;
+}
+
+std::size_t eventCount() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return static_cast<std::size_t>(std::min<std::uint64_t>(r.written, kCapacity));
+}
+
+std::vector<Event> snapshot() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const std::uint64_t n = std::min<std::uint64_t>(r.written, kCapacity);
+  std::vector<Event> out;
+  out.reserve(n);
+  for (std::uint64_t i = r.written - n; i < r.written; ++i) {
+    out.push_back(r.events[i % kCapacity]);
+  }
+  return out;
+}
+
+std::string dumpJson() {
+  const std::vector<Event> events = snapshot();
+  std::ostringstream os;
+  os << "{\"flight\": [";
+  bool first = true;
+  for (const Event& e : events) {
+    os << (first ? "\n" : ",\n") << "  {\"kind\": \"" << kindName(e.kind)
+       << "\", \"host\": " << e.host << ", \"ts_ns\": " << e.ts_ns << ", \"a\": " << e.a
+       << ", \"b\": " << e.b;
+    if (e.note != nullptr) os << ", \"note\": \"" << e.note << "\"";
+    os << "}";
+    first = false;
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool writeDump(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = dumpJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+void clear() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.written = 0;
+  r.events.clear();
+}
+
+}  // namespace ftl::obs::flight

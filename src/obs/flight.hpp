@@ -1,0 +1,69 @@
+// ftl::obs::flight — per-process flight recorder (docs/OBSERVABILITY.md
+// "Flight recorder").
+//
+// A fixed-size ring of recent structured protocol events — view changes,
+// retransmits, incarnation fences, apply-batch boundaries, datagram drops —
+// recorded unconditionally at a rate the control plane sets (every event
+// here is already a rare or batched occurrence; the per-command data path
+// never records). The ring is dumped as JSON on crash-path teardown, a
+// watchdog trip, or an ftl-node signal, so a chaos-run post-mortem reads
+// the last few thousand protocol decisions without reproducing the run.
+//
+// `note` arguments MUST be string literals: the recorder stores the
+// pointer, exactly like the tracer, so recording never allocates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftl::obs::flight {
+
+enum class Kind : std::uint8_t {
+  ViewChange,        // a = coordinator-side view-change round started
+  ViewInstalled,     // a = view gseq, b = member count
+  Retransmit,        // a = unsent/resent frame or command count
+  Nack,              // a = gap start gseq
+  IncarnationFence,  // a = host fenced, b = new incarnation
+  ApplyBatch,        // a = batch size, b = last gseq in batch
+  Drop,              // a = src/dst context, note = reason
+  SnapshotInstall,   // a = snapshot gseq
+  WatchdogTrip,      // a = signal ordinal, note = signal name
+  Crash,             // a = crashed host
+  Recover,           // a = recovering host, b = incarnation
+  Note,              // freeform marker
+};
+
+const char* kindName(Kind k);
+
+/// One recorded event (host = recording host's id, ts_ns = monotonic).
+struct Event {
+  Kind kind = Kind::Note;
+  std::uint32_t host = 0;
+  std::int64_t ts_ns = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  const char* note = nullptr;  // string literal or nullptr
+};
+
+/// Append to the ring (oldest events overwritten). Thread-safe; cost is an
+/// uncontended mutex plus a clock read — keep it off per-command paths.
+void record(Kind kind, std::uint32_t host, std::int64_t a = 0, std::int64_t b = 0,
+            const char* note = nullptr);
+
+/// Number of events currently held (capped at the ring capacity).
+std::size_t eventCount();
+
+/// Oldest-to-newest snapshot of the ring.
+std::vector<Event> snapshot();
+
+/// The ring as a JSON document: {"flight": [{...}, ...]}.
+std::string dumpJson();
+
+/// Write dumpJson() to `path`; returns false if the file cannot be opened.
+bool writeDump(const std::string& path);
+
+/// Drop all recorded events (tests).
+void clear();
+
+}  // namespace ftl::obs::flight

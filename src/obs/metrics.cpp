@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -282,6 +283,72 @@ void resetAll() {
       case Kind::Histogram: e.h->reset(); break;
     }
   }
+}
+
+std::vector<Sample> snapshotAll() { return collect(); }
+
+namespace {
+
+/// A sample subtracts iff it is monotone: percentile series and gauges are
+/// levels and always report current; everything else (counters, histogram
+/// _count/_sum, source samples) is cumulative.
+bool isLevelSample(const std::string& name, const std::set<std::string>& gauge_names) {
+  if (gauge_names.count(name) != 0) return true;
+  const auto [base, labels] = splitLabels(name);
+  for (const char* suffix : {"_p50", "_p95", "_p99"}) {
+    if (base.size() >= 4 && base.compare(base.size() - 4, 4, suffix) == 0) return true;
+  }
+  return false;
+}
+
+std::set<std::string> gaugeNames() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::set<std::string> out;
+  for (const auto& [name, e] : r.metrics) {
+    if (e.kind == Kind::Gauge) out.insert(name);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Sample> deltaSince(const std::vector<Sample>& baseline) {
+  std::map<std::string, double> base;
+  for (const auto& s : baseline) base[s.name] = s.value;
+  const std::set<std::string> gauges = gaugeNames();
+  std::vector<Sample> out = collect();
+  for (auto& s : out) {
+    if (isLevelSample(s.name, gauges)) continue;
+    const auto it = base.find(s.name);
+    if (it == base.end()) continue;
+    // A source that reset underneath the baseline yields current < base;
+    // report current rather than a negative delta.
+    if (s.value >= it->second) s.value -= it->second;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+double sampleValue(const std::vector<Sample>& samples, std::string_view name) {
+  for (const auto& s : samples) {
+    if (s.name == name) return s.value;
+  }
+  return 0;
+}
+
+std::string dumpDeltaJson(const std::vector<Sample>& baseline) {
+  const std::vector<Sample> delta = deltaSince(baseline);
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& s : delta) {
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(s.name) << "\": " << jsonNumber(s.value);
+    first = false;
+  }
+  os << "\n  }";
+  return os.str();
 }
 
 }  // namespace ftl::obs

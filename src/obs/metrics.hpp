@@ -170,4 +170,25 @@ inline std::string dump() { return dumpJson(); }
 /// Source-backed values are owned by their subsystems and are not touched.
 void resetAll();
 
+/// Epoch snapshot for between-phase deltas. resetAll() cannot reset
+/// source-backed samples (the owning subsystem holds those numbers), so a
+/// bench that wants per-phase counts snapshots before the phase and
+/// subtracts afterwards instead of resetting.
+std::vector<Sample> snapshotAll();
+
+/// current − baseline, monotone-aware: counters, histogram _count/_sum
+/// series, and source samples subtract (clamped to the current value when
+/// the source was reset or replaced underneath the baseline); gauges and
+/// percentile (_p50/_p95/_p99) series report the CURRENT value — a level or
+/// quantile has no meaningful difference. Samples new since the baseline
+/// pass through unchanged. Output is name-sorted.
+std::vector<Sample> deltaSince(const std::vector<Sample>& baseline);
+
+/// One sample by exact (full) name in a sample set; 0 when absent.
+double sampleValue(const std::vector<Sample>& samples, std::string_view name);
+
+/// The delta rendered as one flat JSON object {"name": value, ...} — what
+/// bench_util::writeBenchJson's baseline overload embeds as "obs_delta".
+std::string dumpDeltaJson(const std::vector<Sample>& baseline);
+
 }  // namespace ftl::obs

@@ -168,4 +168,29 @@ std::string chromeJson() {
   return os.str();
 }
 
+std::vector<RawEvent> exportEvents() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<RawEvent> out;
+  for (const auto& ring : s.rings) {
+    const std::uint64_t written = ring->pos.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(written, ring->events.size());
+    const std::uint64_t start = written - n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Event& e = ring->events[(start + i) & (ring->events.size() - 1)];
+      if (e.name == nullptr) continue;
+      RawEvent r;
+      r.name = e.name;
+      r.phase = e.phase;
+      r.id = e.id;
+      r.ts_ns = e.ts_ns;
+      r.dur_ns = e.dur_ns;
+      r.tid = ring->tid;
+      r.thread_name = ring->thread_name;
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
 }  // namespace ftl::obs::trace

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ftl::obs::trace {
 
@@ -64,6 +65,24 @@ std::int64_t nowNs() noexcept;
 /// Serialize every thread's ring as Chrome trace-event JSON. Call when the
 /// traced workload is quiescent: the dump walks other threads' rings.
 std::string chromeJson();
+
+/// One recorded event with the name COPIED out of the ring, so it stays
+/// valid across clear() and can cross a process boundary. This is the raw
+/// form cross-host trace assembly ships over the trace-dump RPC
+/// (obs/assemble.hpp).
+struct RawEvent {
+  std::string name;
+  char phase = 0;  // 'X', 'b', 'e', 'n'
+  std::uint64_t id = 0;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+  std::string thread_name;
+};
+
+/// Snapshot every thread's ring as raw events (the same window chromeJson
+/// serializes). Call when the traced workload is quiescent.
+std::vector<RawEvent> exportEvents();
 
 /// RAII complete-event span on the calling thread's track.
 class Span {

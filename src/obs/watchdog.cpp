@@ -1,0 +1,112 @@
+#include "obs/watchdog.hpp"
+
+#include <string>
+
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ftl::obs {
+
+namespace {
+
+std::string hostLabel(std::uint32_t host) { return "{host=\"" + std::to_string(host) + "\"}"; }
+
+std::string tripName(std::uint32_t host, const char* signal) {
+  return "ftl_watchdog_trips{host=\"" + std::to_string(host) + "\",signal=\"" + signal + "\"}";
+}
+
+}  // namespace
+
+Watchdog::Watchdog(std::uint32_t host, WatchdogConfig cfg, Probes probes)
+    : host_(host), cfg_(cfg), probes_(std::move(probes)) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] {
+    trace::setThreadName("watchdog/" + std::to_string(host_));
+    while (running_.load(std::memory_order_relaxed)) {
+      pollOnce();
+      // Sleep in small steps so stop() is prompt even with long periods.
+      const auto deadline = Clock::now() + cfg_.poll_period;
+      while (running_.load(std::memory_order_relaxed) && Clock::now() < deadline) {
+        std::this_thread::sleep_for(Millis{10});
+      }
+    }
+  });
+}
+
+void Watchdog::stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::trip(const char* signal, std::int64_t observed_ns) {
+  trips_.fetch_add(1, std::memory_order_relaxed);
+  counter(tripName(host_, signal)).inc();
+  flight::record(flight::Kind::WatchdogTrip, host_, observed_ns, 0, signal);
+  if (on_trip_) on_trip_(signal, observed_ns);
+}
+
+std::uint64_t Watchdog::pollOnce() {
+  static Counter& polls = counter("ftl_watchdog_polls");
+  polls.inc();
+  polls_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t now = nowNanos();
+  std::uint64_t fired = 0;
+
+  if (probes_.oldest_future_age_ns) {
+    const std::int64_t age = probes_.oldest_future_age_ns();
+    gauge("ftl_watchdog_oldest_future_ns" + hostLabel(host_)).set(age);
+    const bool stalled = age > cfg_.future_stall_ns;
+    if (stalled && !future_stalled_) {
+      trip("future_stall", age);
+      ++fired;
+    }
+    future_stalled_ = stalled;
+  }
+
+  if (probes_.blocked_guards) {
+    const BlockedGuardsProbe b = probes_.blocked_guards();
+    gauge("ftl_watchdog_blocked_guards" + hostLabel(host_))
+        .set(static_cast<std::int64_t>(b.count));
+    const std::int64_t age = (b.count > 0 && b.oldest_ns > 0) ? now - b.oldest_ns : 0;
+    // Only a stall if nothing even probed the wake index since last poll:
+    // deposits against other signatures still show intent to make progress.
+    const bool quiet = have_wake_probes_ && b.wake_probes == last_wake_probes_;
+    const bool stalled = age > cfg_.blocked_guard_stall_ns && quiet;
+    if (stalled && !guard_stalled_) {
+      trip("guard_stall", age);
+      ++fired;
+    }
+    guard_stalled_ = stalled;
+    last_wake_probes_ = b.wake_probes;
+    have_wake_probes_ = true;
+  }
+
+  if (probes_.order_progress) {
+    const OrderProgressProbe o = probes_.order_progress();
+    gauge("ftl_watchdog_order_pending" + hostLabel(host_))
+        .set(static_cast<std::int64_t>(o.pending));
+    if (o.pending == 0 || o.delivered != last_delivered_ || last_progress_ns_ == 0) {
+      last_progress_ns_ = now;
+      order_stalled_ = false;
+    } else if (now - last_progress_ns_ > cfg_.order_stall_ns) {
+      if (!order_stalled_) {
+        trip("order_stall", now - last_progress_ns_);
+        ++fired;
+      }
+      order_stalled_ = true;
+    }
+    last_delivered_ = o.delivered;
+  }
+
+  return fired;
+}
+
+}  // namespace ftl::obs

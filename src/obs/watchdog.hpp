@@ -1,0 +1,115 @@
+// ftl::obs::Watchdog — per-host liveness monitor (docs/OBSERVABILITY.md
+// "Stall watchdog").
+//
+// The chaos-harness correctness gate: a polling monitor that reads three
+// cheap probes the runtime layers expose and flags the stall shapes a
+// wedged FT-Linda host exhibits —
+//  - future_stall:  an AGS future outstanding longer than the threshold
+//    (reply lost, ordering wedged, or the origin fenced);
+//  - guard_stall:   blocked guards whose oldest entry exceeds the threshold
+//    while NO wake probes ran since the previous poll (nothing is even
+//    attempting a matching deposit);
+//  - order_stall:   the consul group has a submit backlog but the delivered
+//    sequence number has not advanced within the threshold.
+// Each signal is edge-triggered: one trip when it starts, re-armed when the
+// condition clears. A trip bumps ftl_watchdog_trips{host,signal}, records a
+// flight-recorder event, and invokes the on-trip hook (ftl-node uses it to
+// write the flight dump to disk).
+//
+// Probes must be safe to call from the watchdog thread at any time and
+// should cost no more than a mutex acquire; pollOnce() is public so tests
+// drive the monitor synchronously without the thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace ftl::obs {
+
+struct WatchdogConfig {
+  /// Age beyond which an outstanding AGS future counts as stalled.
+  std::int64_t future_stall_ns = 5'000'000'000;
+  /// Age beyond which the oldest blocked guard counts as stalled (only
+  /// trips when no wake probes ran between polls — a long-blocked `in`
+  /// with active deposits nearby is waiting, not stuck).
+  std::int64_t blocked_guard_stall_ns = 10'000'000'000;
+  /// How long the delivered gseq may sit still while submits are pending.
+  std::int64_t order_stall_ns = 5'000'000'000;
+  /// Poll period of the background thread (start()/stop()).
+  Millis poll_period{500};
+};
+
+/// Blocked-guard probe result (TsStateMachine::blockedInfo).
+struct BlockedGuardsProbe {
+  std::uint64_t count = 0;      // guards currently blocked
+  std::int64_t oldest_ns = 0;   // monotonic stamp of the oldest; 0 = none
+  std::uint64_t wake_probes = 0;  // cumulative wake-index probe count
+};
+
+/// Ordering-progress probe result (Replica delivered + ConsulNode pending).
+struct OrderProgressProbe {
+  std::uint64_t delivered = 0;  // contiguous delivered gseq
+  std::uint64_t pending = 0;    // commands submitted but not yet delivered
+};
+
+class Watchdog {
+ public:
+  struct Probes {
+    /// Age in ns of the oldest outstanding AGS future; 0 = none.
+    std::function<std::int64_t()> oldest_future_age_ns;
+    std::function<BlockedGuardsProbe()> blocked_guards;
+    std::function<OrderProgressProbe()> order_progress;
+  };
+
+  Watchdog(std::uint32_t host, WatchdogConfig cfg, Probes probes);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Spawn the polling thread / join it. start() is idempotent.
+  void start();
+  void stop();
+
+  /// Run one poll synchronously; returns the number of trips fired by THIS
+  /// poll. Tests call this directly with the thread never started.
+  std::uint64_t pollOnce();
+
+  /// Hook invoked on every trip with the signal name ("future_stall", ...)
+  /// and the observed value (ns of stall). Set before start().
+  void setOnTrip(std::function<void(const char* signal, std::int64_t observed_ns)> fn) {
+    on_trip_ = std::move(fn);
+  }
+
+  std::uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+  std::uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+
+ private:
+  void trip(const char* signal, std::int64_t observed_ns);
+
+  const std::uint32_t host_;
+  const WatchdogConfig cfg_;
+  Probes probes_;
+  std::function<void(const char*, std::int64_t)> on_trip_;
+
+  std::atomic<std::uint64_t> trips_{0};
+  std::atomic<std::uint64_t> polls_{0};
+
+  // Edge-trigger state, watchdog thread only.
+  bool future_stalled_ = false;
+  bool guard_stalled_ = false;
+  bool order_stalled_ = false;
+  std::uint64_t last_wake_probes_ = 0;
+  bool have_wake_probes_ = false;
+  std::uint64_t last_delivered_ = 0;
+  std::int64_t last_progress_ns_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace ftl::obs

@@ -13,13 +13,14 @@ Replica::Replica(net::Transport& net, net::HostId self, std::vector<net::HostId>
     ctx.gseq = d.gseq;
     ctx.origin = d.origin;
     ctx.origin_seq = d.origin_seq;
+    ctx.enq_ns = d.enq_ns;
     sm_.apply(ctx, d.payload);
   };
   cb.on_deliver_batch = [this](const std::vector<consul::Delivery>& ds) {
     std::vector<BatchItem> items;
     items.reserve(ds.size());
     for (const auto& d : ds) {
-      items.push_back(BatchItem{ApplyContext{d.gseq, d.origin, d.origin_seq}, d.payload});
+      items.push_back(BatchItem{ApplyContext{d.gseq, d.origin, d.origin_seq, d.enq_ns}, d.payload});
     }
     sm_.applyBatch(items);
   };
@@ -36,10 +37,10 @@ void Replica::start() { node_->start(); }
 
 void Replica::stop() { node_->stop(); }
 
-std::uint64_t Replica::submit(Bytes command) {
+std::uint64_t Replica::submit(Bytes command, std::uint64_t trace_id) {
   static obs::Counter& submits = obs::counter("ftl_rsm_submits");
   submits.inc();
-  return node_->broadcast(std::move(command));
+  return node_->broadcast(std::move(command), trace_id);
 }
 
 void Replica::join(std::uint64_t incarnation) { node_->joinGroup(incarnation); }

@@ -41,8 +41,9 @@ class Replica {
   void shutdown() { node_->shutdown(); }
 
   /// Multicast a command into the total order (asynchronous). Returns the
-  /// per-origin sequence number.
-  std::uint64_t submit(Bytes command);
+  /// per-origin sequence number. A non-zero trace_id ties the ordering span
+  /// to the originating AGS when tracing is enabled.
+  std::uint64_t submit(Bytes command, std::uint64_t trace_id = 0);
 
   /// Begin rejoining after recovery; completes when the snapshot installs
   /// and the join view is delivered.
@@ -50,6 +51,7 @@ class Replica {
 
   bool isMember() const { return node_->isMember(); }
   std::uint64_t delivered() const { return node_->delivered(); }
+  std::size_t pendingCount() const { return node_->pendingCount(); }
   consul::ViewInfo currentView() const { return node_->currentView(); }
   net::HostId self() const { return node_->self(); }
 

@@ -20,6 +20,7 @@ struct ApplyContext {
   std::uint64_t gseq = 0;        // position in the total order
   net::HostId origin = 0;        // processor that issued the command
   std::uint64_t origin_seq = 0;  // its per-origin sequence number
+  std::int64_t enq_ns = 0;       // origin broadcast-enqueue stamp (sampled; 0 off-origin)
 };
 
 /// One command of an apply batch. `command` views the delivery epoch's

@@ -1,0 +1,186 @@
+// Cluster-wide observability over a simulated deployment: cross-host trace
+// assembly out of a live run, the trace-dump RPC (types 44/45), and the
+// stall watchdog wired through SystemConfig.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ftlinda/system.hpp"
+#include "obs/assemble.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ftl::ftlinda {
+namespace {
+
+using ts::kTsMain;
+using tuple::fInt;
+using tuple::makePattern;
+using tuple::makeTuple;
+
+class ClusterObs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::trace::disable();
+    obs::trace::clear();
+  }
+  void TearDown() override {
+    obs::trace::disable();
+    obs::trace::clear();
+  }
+};
+
+double tripCount(std::uint32_t host, const char* signal) {
+  return obs::counter("ftl_watchdog_trips{host=\"" + std::to_string(host) + "\",signal=\"" +
+                      signal + "\"}")
+      .value();
+}
+
+TEST_F(ClusterObs, TwoHostRunAssemblesEveryStageOncePerAgs) {
+  SystemConfig cfg;
+  cfg.hosts = 2;
+  FtLindaSystem sys(cfg);
+  obs::trace::enable();
+  std::vector<AgsFuture> futs;
+  for (int i = 0; i < 6; ++i) {
+    auto& rt = sys.runtime(static_cast<net::HostId>(i % 2));
+    futs.push_back(rt.executeAsync(
+        AgsBuilder().when(guardTrue()).then(opOut(kTsMain, makeTemplate("obs", i))).build()));
+  }
+  for (auto& f : futs) (void)f.get();
+  obs::trace::disable();
+
+  // Both simulated hosts share this process's rings; assemble them as one
+  // host's span set and run the analyzer over the merged timeline.
+  const obs::assemble::TraceReport r = obs::assemble::analyze({obs::assemble::captureLocal(0)});
+  ASSERT_GE(r.ags.size(), 6u);
+  EXPECT_EQ(r.duplicate_stages, 0u);
+  EXPECT_EQ(r.monotone_violations, 0u);
+  const char* required[] = {"ags.verify", "ags.issue", "ags.order", "ags.apply", "ags.reply"};
+  std::size_t complete_rows = 0;
+  for (const auto& row : r.ags) {
+    if (row.e2e_ns <= 0) continue;  // ring-clipped tail
+    ++complete_rows;
+    for (const char* s : required) {
+      EXPECT_EQ(row.stage_ns.count(s), 1u)
+          << "trace " << row.trace_id << " missing stage " << s;
+    }
+    EXPECT_GT(row.stageSumNs(), 0);
+    EXPECT_LE(row.stageSumNs(), row.e2e_ns);
+  }
+  EXPECT_GE(complete_rows, 6u);
+  EXPECT_GT(r.coverage, 0.0);
+  EXPECT_LE(r.coverage, 1.0);
+}
+
+TEST_F(ClusterObs, TraceDumpRpcServesClockPingsAndSpans) {
+  // Tuple-server configuration: host 2 is an RPC client; its trace-dump
+  // requests (type 44) hit host 0's server. The ping mode must return a
+  // plausible clock sample, the span mode the server process's rings.
+  SystemConfig cfg;
+  cfg.hosts = 3;
+  cfg.replica_hosts = 2;
+  FtLindaSystem sys(cfg);
+
+  obs::trace::enable();
+  sys.remoteRuntime(2).out(kTsMain, makeTuple("ping", 1));
+  (void)sys.remoteRuntime(2).inp(kTsMain, makePattern("ping", fInt()));
+  obs::trace::disable();
+
+  auto& rt = sys.remoteRuntime(2);
+  std::vector<obs::assemble::PingSample> pings;
+  for (int i = 0; i < 4; ++i) pings.push_back(rt.serverClockPing());
+  for (const auto& p : pings) {
+    EXPECT_GE(p.t1_ns, p.t0_ns);
+    EXPECT_GT(p.server_ns, 0);
+  }
+  // Same process, same clock: the estimated offset is just RPC jitter.
+  const std::int64_t offset = obs::assemble::estimateOffset(pings);
+  EXPECT_LT(std::abs(offset), 500'000'000);
+
+  obs::assemble::HostSpans hs = rt.serverTraceSpans();
+  EXPECT_EQ(hs.host, 0u);
+  EXPECT_GT(hs.clock_ns, 0);
+  ASSERT_FALSE(hs.spans.empty());
+  bool saw_rpc_stage = false;
+  for (const auto& e : hs.spans) saw_rpc_stage = saw_rpc_stage || e.name == "ags.rpc";
+  EXPECT_TRUE(saw_rpc_stage);
+}
+
+TEST_F(ClusterObs, NeverMatchingGuardTripsBlockedGuardSignal) {
+  SystemConfig cfg;
+  cfg.hosts = 1;
+  cfg.watchdog = true;
+  cfg.watchdog_cfg.future_stall_ns = 50'000'000;
+  cfg.watchdog_cfg.blocked_guard_stall_ns = 50'000'000;
+  cfg.watchdog_cfg.order_stall_ns = 3'600'000'000'000;  // not under test here
+  cfg.watchdog_cfg.poll_period = Millis{20};
+  const double guard_before = tripCount(0, "guard_stall");
+  const double future_before = tripCount(0, "future_stall");
+  {
+    FtLindaSystem sys(cfg);
+    auto fut = sys.runtime(0).executeAsync(
+        AgsBuilder().when(guardIn(kTsMain, makePattern("never", fInt()))).build());
+    const auto deadline = Clock::now() + Millis{10'000};
+    while (tripCount(0, "guard_stall") == guard_before && Clock::now() < deadline) {
+      std::this_thread::sleep_for(Millis{10});
+    }
+    EXPECT_GT(tripCount(0, "guard_stall"), guard_before);
+    // The unanswered future also ages past its (smaller) threshold.
+    EXPECT_GT(tripCount(0, "future_stall"), future_before);
+    // Unblock so teardown joins cleanly.
+    sys.runtime(0).out(kTsMain, makeTuple("never", 1));
+    (void)fut.get();
+  }
+}
+
+TEST_F(ClusterObs, HealthyPipelinedRunTripsNothing) {
+  SystemConfig cfg;
+  cfg.hosts = 2;
+  cfg.watchdog = true;  // default multi-second thresholds
+  cfg.watchdog_cfg.poll_period = Millis{10};
+  const double before = tripCount(0, "guard_stall") + tripCount(0, "future_stall") +
+                        tripCount(0, "order_stall") + tripCount(1, "guard_stall") +
+                        tripCount(1, "future_stall") + tripCount(1, "order_stall");
+  {
+    FtLindaSystem sys(cfg);
+    std::vector<AgsFuture> window;
+    for (int i = 0; i < 200; ++i) {
+      window.push_back(sys.runtime(i % 2).executeAsync(
+          AgsBuilder().when(guardTrue()).then(opOut(kTsMain, makeTemplate("h", i))).build()));
+      if (window.size() == 16) {
+        for (auto& f : window) (void)f.get();
+        window.clear();
+      }
+    }
+    for (auto& f : window) (void)f.get();
+    // Let several poll cycles observe the now-idle system.
+    std::this_thread::sleep_for(Millis{100});
+    const double after = tripCount(0, "guard_stall") + tripCount(0, "future_stall") +
+                         tripCount(0, "order_stall") + tripCount(1, "guard_stall") +
+                         tripCount(1, "future_stall") + tripCount(1, "order_stall");
+    EXPECT_EQ(after, before);
+    EXPECT_GT(obs::counter("ftl_watchdog_polls").value(), 0.0);
+  }
+}
+
+TEST_F(ClusterObs, WatchdogSurvivesCrashAndRecover) {
+  SystemConfig cfg;
+  cfg.hosts = 3;
+  cfg.watchdog = true;
+  cfg.watchdog_cfg.poll_period = Millis{10};
+  cfg.consul = simulationConsulConfig();
+  FtLindaSystem sys(cfg);
+  sys.runtime(0).out(kTsMain, makeTuple("pre", 1));
+  sys.crash(2);
+  EXPECT_TRUE(sys.recover(2));
+  // The recovered host's watchdog is live again and the system serves AGSes.
+  sys.runtime(2).out(kTsMain, makeTuple("post", 2));
+  EXPECT_TRUE(sys.runtime(1).inp(kTsMain, makePattern("post", fInt())).has_value());
+}
+
+}  // namespace
+}  // namespace ftl::ftlinda

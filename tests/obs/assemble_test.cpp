@@ -1,0 +1,204 @@
+// ftl::obs::assemble: cross-host trace assembly — binary round trips,
+// NTP-style offset estimation, the Chrome-trace merger, and the critical-
+// path analyzer over synthetic two-host span sets with skewed clocks.
+#include "obs/assemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ftl::obs::assemble {
+namespace {
+
+trace::RawEvent ev(const char* name, char phase, std::uint64_t id, std::int64_t ts_ns,
+                   std::int64_t dur_ns = 0, std::uint32_t tid = 1) {
+  trace::RawEvent e;
+  e.name = name;
+  e.phase = phase;
+  e.id = id;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.tid = tid;
+  return e;
+}
+
+/// One complete AGS lifecycle on host-local clock base T: e2e spans
+/// [T, T+1000], critical-path stages sum to 940 (coverage 0.94).
+void addAgs(HostSpans& hs, std::uint64_t id, std::int64_t t) {
+  hs.spans.push_back(ev("ags", 'b', id, t));
+  hs.spans.push_back(ev("ags.verify", 'X', id, t, 50));
+  hs.spans.push_back(ev("ags.issue", 'X', id, t + 60, 40));
+  hs.spans.push_back(ev("ags.coalesce", 'b', id, t + 100));
+  hs.spans.push_back(ev("ags.order", 'b', id, t + 100));
+  hs.spans.push_back(ev("ags.coalesce", 'e', id, t + 300));
+  hs.spans.push_back(ev("ags.order", 'e', id, t + 600));
+  hs.spans.push_back(ev("ags.apply", 'X', id, t + 600, 200));
+  hs.spans.push_back(ev("ags.reply", 'X', id, t + 850, 150));
+  hs.spans.push_back(ev("ags", 'e', id, t + 1000));
+  hs.spans.push_back(ev("ags.future_wake", 'X', id, t + 1010, 30));
+}
+
+const char* kAllStages[] = {"ags.verify", "ags.issue",      "ags.coalesce", "ags.order",
+                            "ags.apply",  "ags.reply", "ags.future_wake"};
+
+TEST(Assemble, EstimateOffsetPicksMinRttSample) {
+  // Tight exchange: t0=100 t1=120, server stamped 1110 at the midpoint 110
+  // -> offset +1000. The loose exchange would give +2000 but its RTT is
+  // wider, so it must lose.
+  std::vector<PingSample> s;
+  s.push_back({100, 300, 2200});   // rtt 200
+  s.push_back({100, 120, 1110});   // rtt 20 <- min
+  s.push_back({500, 900, 2700});   // rtt 400
+  EXPECT_EQ(estimateOffset(s), 1000);
+  EXPECT_EQ(estimateOffset({}), 0);
+}
+
+TEST(Assemble, EncodeDecodeRoundTrip) {
+  HostSpans hs;
+  hs.host = 7;
+  hs.clock_ns = 123456789;
+  hs.offset_ns = -42;
+  addAgs(hs, 0xabc, 1'000'000);
+  hs.spans[0].thread_name = "client/7";
+
+  const Bytes blob = encode(hs);
+  Reader r{BytesView{blob.data(), blob.size()}};
+  const HostSpans back = decode(r);
+  EXPECT_EQ(back.host, 7u);
+  EXPECT_EQ(back.clock_ns, 123456789);
+  EXPECT_EQ(back.offset_ns, -42);
+  ASSERT_EQ(back.spans.size(), hs.spans.size());
+  EXPECT_EQ(back.spans[0].name, "ags");
+  EXPECT_EQ(back.spans[0].phase, 'b');
+  EXPECT_EQ(back.spans[0].id, 0xabcu);
+  EXPECT_EQ(back.spans[0].thread_name, "client/7");
+  EXPECT_EQ(back.spans[1].dur_ns, 50);
+}
+
+TEST(Assemble, FileRoundTripMultiHost) {
+  HostSpans h0, h1;
+  h0.host = 0;
+  h1.host = 1;
+  h1.offset_ns = -5'000'000;
+  addAgs(h0, 1, 1000);
+  addAgs(h1, 2, 5'001'000);
+  const Bytes file = encodeFile({h0, h1});
+  const std::vector<HostSpans> back = decodeFile(BytesView{file.data(), file.size()});
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].host, 0u);
+  EXPECT_EQ(back[1].host, 1u);
+  EXPECT_EQ(back[1].offset_ns, -5'000'000);
+  EXPECT_EQ(back[1].spans.size(), back[0].spans.size());
+}
+
+TEST(Assemble, AnalyzeTwoHostsEveryStageOncePerAgs) {
+  // Host 1's clock runs 5ms ahead; its offset maps it back onto host 0's
+  // timeline. Each AGS must come out with every stage exactly once, no
+  // ordering violations, and the synthetic 94% coverage.
+  HostSpans h0, h1;
+  h0.host = 0;
+  addAgs(h0, 1, 1'000'000);
+  addAgs(h0, 2, 2'000'000);
+  h1.host = 1;
+  h1.offset_ns = -5'000'000;
+  addAgs(h1, 3, 6'000'000);
+
+  const TraceReport r = analyze({h0, h1});
+  ASSERT_EQ(r.ags.size(), 3u);
+  EXPECT_EQ(r.duplicate_stages, 0u);
+  EXPECT_EQ(r.monotone_violations, 0u);
+  for (const auto& row : r.ags) {
+    EXPECT_EQ(row.e2e_ns, 1000) << "trace " << row.trace_id;
+    for (const char* s : kAllStages) {
+      EXPECT_EQ(row.stage_ns.count(s), 1u) << "trace " << row.trace_id << " missing " << s;
+    }
+    EXPECT_EQ(row.stageSumNs(), 940);
+  }
+  for (const char* s : kAllStages) {
+    ASSERT_TRUE(r.stages.count(s)) << s;
+    EXPECT_EQ(r.stages.at(s).count, 3u) << s;
+  }
+  EXPECT_NEAR(r.coverage, 0.94, 1e-9);
+  EXPECT_NEAR(r.mean_e2e_ns, 1000.0, 1e-9);
+}
+
+TEST(Assemble, AnalyzeFlagsDuplicateStages) {
+  HostSpans hs;
+  hs.host = 0;
+  addAgs(hs, 9, 1000);
+  hs.spans.push_back(ev("ags.apply", 'X', 9, 2000, 10));  // second apply: wrong
+  const TraceReport r = analyze({hs});
+  EXPECT_EQ(r.duplicate_stages, 1u);
+}
+
+TEST(Assemble, AnalyzeFlagsNonMonotoneOffsets) {
+  // One AGS split across hosts (verify on 0, apply on 1). With host 1's
+  // offset missing, its apply lands BEFORE the verify on the shared
+  // timeline; with the true offset applied the violation disappears.
+  HostSpans h0, h1;
+  h0.host = 0;
+  h0.spans.push_back(ev("ags", 'b', 5, 10'000));
+  h0.spans.push_back(ev("ags.verify", 'X', 5, 10'000, 50));
+  h0.spans.push_back(ev("ags", 'e', 5, 12'000));
+  h1.host = 1;
+  h1.spans.push_back(ev("ags.apply", 'X', 5, 500, 100));  // local clock far behind
+
+  h1.offset_ns = 0;
+  EXPECT_EQ(analyze({h0, h1}).monotone_violations, 1u);
+  h1.offset_ns = 10'600;  // maps 500 -> 11'100, after the verify
+  EXPECT_EQ(analyze({h0, h1}).monotone_violations, 0u);
+}
+
+TEST(Assemble, MergedChromeJsonAppliesOffsetsAndLabelsHosts) {
+  HostSpans h0, h1;
+  h0.host = 0;
+  h0.spans.push_back(ev("ags.apply", 'X', 1, 2'000, 500));
+  h1.host = 1;
+  h1.offset_ns = -5'000'000;
+  h1.spans.push_back(ev("ags.apply", 'X', 2, 5'002'000, 500));
+
+  const std::string json = mergedChromeJson({h0, h1});
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"host 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"host 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  // Host 1's event shifts onto the shared timeline: (5'002'000 - 5'000'000)
+  // ns = 2us, identical to host 0's local 2'000ns.
+  EXPECT_EQ(json.find("\"ts\":5002"), std::string::npos);
+  const std::size_t first = json.find("\"ts\":2,");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2,", first + 1), std::string::npos);
+}
+
+TEST(Assemble, ReportRendersBothForms) {
+  HostSpans hs;
+  hs.host = 0;
+  addAgs(hs, 4, 1000);
+  const TraceReport r = analyze({hs});
+  const std::string text = reportText(r);
+  EXPECT_NE(text.find("1 AGS traces"), std::string::npos);
+  EXPECT_NE(text.find("ags.order"), std::string::npos);
+  const std::string json = reportJson(r);
+  EXPECT_NE(json.find("\"ags_count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"coverage\": 0.94"), std::string::npos);
+  EXPECT_NE(json.find("\"monotone_violations\": 0"), std::string::npos);
+}
+
+TEST(Assemble, CaptureLocalSnapshotsTracerRings) {
+  trace::clear();
+  trace::enable();
+  trace::complete("ags.apply", 0x77, trace::nowNs(), 123);
+  trace::disable();
+  const HostSpans hs = captureLocal(3);
+  trace::clear();
+  EXPECT_EQ(hs.host, 3u);
+  EXPECT_GT(hs.clock_ns, 0);
+  ASSERT_FALSE(hs.spans.empty());
+  bool found = false;
+  for (const auto& e : hs.spans) found = found || (e.id == 0x77 && e.name == "ags.apply");
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ftl::obs::assemble

@@ -1,0 +1,87 @@
+// ftl::obs::flight: the fixed-size protocol-event ring and its JSON dump.
+// The ring is process-global; every test starts and ends from clear().
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ftl::obs::flight {
+namespace {
+
+class Flight : public ::testing::Test {
+ protected:
+  void SetUp() override { clear(); }
+  void TearDown() override { clear(); }
+};
+
+TEST_F(Flight, RecordSnapshotOldestToNewest) {
+  EXPECT_EQ(eventCount(), 0u);
+  record(Kind::ViewChange, 2, 5);
+  record(Kind::ApplyBatch, 2, 8, 41);
+  record(Kind::Drop, 2, 1, 0, "bad frame");
+  EXPECT_EQ(eventCount(), 3u);
+
+  const std::vector<Event> evs = snapshot();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0].kind, Kind::ViewChange);
+  EXPECT_EQ(evs[0].host, 2u);
+  EXPECT_EQ(evs[0].a, 5);
+  EXPECT_EQ(evs[1].kind, Kind::ApplyBatch);
+  EXPECT_EQ(evs[1].b, 41);
+  EXPECT_EQ(evs[2].kind, Kind::Drop);
+  EXPECT_STREQ(evs[2].note, "bad frame");
+  EXPECT_GT(evs[0].ts_ns, 0);
+  EXPECT_LE(evs[0].ts_ns, evs[2].ts_ns);
+}
+
+TEST_F(Flight, RingOverwritesOldest) {
+  // Way past any plausible capacity: the ring must cap and keep the tail.
+  constexpr std::int64_t kTotal = 10'000;
+  for (std::int64_t i = 0; i < kTotal; ++i) record(Kind::Note, 0, i);
+  const std::size_t cap = eventCount();
+  EXPECT_LT(cap, static_cast<std::size_t>(kTotal));
+  const std::vector<Event> evs = snapshot();
+  ASSERT_EQ(evs.size(), cap);
+  EXPECT_EQ(evs.back().a, kTotal - 1);
+  EXPECT_EQ(evs.front().a, kTotal - static_cast<std::int64_t>(cap));
+}
+
+TEST_F(Flight, DumpJsonNamesKindsAndCarriesFields) {
+  record(Kind::IncarnationFence, 1, 3, 7);
+  record(Kind::WatchdogTrip, 1, 42, 0, "guard_stall");
+  const std::string json = dumpJson();
+  EXPECT_NE(json.find("\"flight\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"incarnation_fence\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"watchdog_trip\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"note\": \"guard_stall\""), std::string::npos);
+  EXPECT_NE(json.find("\"host\": 1"), std::string::npos);
+}
+
+TEST_F(Flight, WriteDumpProducesReadableFile) {
+  record(Kind::Recover, 4, 4, 2);
+  const std::string path = ::testing::TempDir() + "/flight_dump_test.json";
+  ASSERT_TRUE(writeDump(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"kind\": \"recover\""), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_FALSE(writeDump("/nonexistent-dir/zzz/flight.json"));
+}
+
+TEST_F(Flight, KindNamesCoverTheEnum) {
+  EXPECT_STREQ(kindName(Kind::ViewChange), "view_change");
+  EXPECT_STREQ(kindName(Kind::Retransmit), "retransmit");
+  EXPECT_STREQ(kindName(Kind::Nack), "nack");
+  EXPECT_STREQ(kindName(Kind::SnapshotInstall), "snapshot_install");
+  EXPECT_STREQ(kindName(Kind::Crash), "crash");
+  EXPECT_STREQ(kindName(Kind::Note), "note");
+}
+
+}  // namespace
+}  // namespace ftl::obs::flight

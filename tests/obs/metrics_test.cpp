@@ -12,14 +12,6 @@
 namespace ftl::obs {
 namespace {
 
-double sampleValue(const std::vector<Sample>& samples, const std::string& name) {
-  for (const auto& s : samples) {
-    if (s.name == name) return s.value;
-  }
-  ADD_FAILURE() << "sample not found: " << name;
-  return -1;
-}
-
 bool hasSample(const std::vector<Sample>& samples, const std::string& name) {
   for (const auto& s : samples) {
     if (s.name == name) return true;

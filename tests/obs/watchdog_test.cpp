@@ -1,0 +1,149 @@
+// ftl::obs::Watchdog: edge-triggered stall detection over fake probes,
+// driven synchronously with pollOnce() (the polling thread never starts).
+#include "obs/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+
+namespace ftl::obs {
+namespace {
+
+WatchdogConfig tinyThresholds() {
+  WatchdogConfig cfg;
+  cfg.future_stall_ns = 100;
+  cfg.blocked_guard_stall_ns = 100;
+  cfg.order_stall_ns = 0;  // any poll-to-poll standstill counts
+  return cfg;
+}
+
+TEST(Watchdog, FutureStallEdgeTriggersOncePerEpisode) {
+  std::atomic<std::int64_t> age{0};
+  Watchdog::Probes p;
+  p.oldest_future_age_ns = [&] { return age.load(); };
+  Watchdog wd(0, tinyThresholds(), std::move(p));
+
+  EXPECT_EQ(wd.pollOnce(), 0u);  // healthy
+  age = 1'000'000;
+  EXPECT_EQ(wd.pollOnce(), 1u);  // stall starts: one trip
+  EXPECT_EQ(wd.pollOnce(), 0u);  // still stalled: edge already fired
+  age = 0;
+  EXPECT_EQ(wd.pollOnce(), 0u);  // cleared: re-armed
+  age = 2'000'000;
+  EXPECT_EQ(wd.pollOnce(), 1u);  // new episode trips again
+  EXPECT_EQ(wd.trips(), 2u);
+  EXPECT_EQ(wd.polls(), 5u);
+}
+
+TEST(Watchdog, GuardStallNeedsAgeAndQuietWakeIndex) {
+  BlockedGuardsProbe probe;
+  probe.count = 1;
+  probe.oldest_ns = 1;  // blocked essentially forever ago (monotonic origin)
+  probe.wake_probes = 10;
+  Watchdog::Probes p;
+  p.blocked_guards = [&] { return probe; };
+  Watchdog wd(3, tinyThresholds(), std::move(p));
+
+  // First poll only baselines the wake-probe counter — no quiet window yet.
+  EXPECT_EQ(wd.pollOnce(), 0u);
+  // Deposits keep probing the wake index: blocked-but-waited-on, not stuck.
+  probe.wake_probes = 11;
+  EXPECT_EQ(wd.pollOnce(), 0u);
+  // Wake index quiet across a full poll interval -> genuinely stuck.
+  EXPECT_EQ(wd.pollOnce(), 1u);
+  EXPECT_EQ(wd.pollOnce(), 0u);  // edge
+  // A fresh deposit attempt clears the stall and re-arms.
+  probe.wake_probes = 12;
+  EXPECT_EQ(wd.pollOnce(), 0u);
+  EXPECT_EQ(wd.pollOnce(), 1u);
+}
+
+TEST(Watchdog, OrderStallRequiresPendingWithNoDeliveryAdvance) {
+  OrderProgressProbe probe;
+  Watchdog::Probes p;
+  p.order_progress = [&] { return probe; };
+  Watchdog wd(1, tinyThresholds(), std::move(p));
+
+  probe.delivered = 5;
+  probe.pending = 0;
+  EXPECT_EQ(wd.pollOnce(), 0u);  // idle group: nothing owed (clock baselined)
+  probe.pending = 4;
+  EXPECT_EQ(wd.pollOnce(), 1u);  // backlog with no advance since baseline
+  EXPECT_EQ(wd.pollOnce(), 0u);  // edge
+  probe.delivered = 6;
+  EXPECT_EQ(wd.pollOnce(), 0u);  // advance re-arms
+  EXPECT_EQ(wd.pollOnce(), 1u);  // wedges again at 6
+}
+
+TEST(Watchdog, TripInvokesHookRecordsFlightAndMetrics) {
+  flight::clear();
+  std::vector<std::string> signals;
+  std::atomic<std::int64_t> age{1'000'000};
+  Watchdog::Probes p;
+  p.oldest_future_age_ns = [&] { return age.load(); };
+  Watchdog wd(9, tinyThresholds(), std::move(p));
+  wd.setOnTrip([&](const char* signal, std::int64_t observed_ns) {
+    signals.push_back(signal);
+    EXPECT_GT(observed_ns, 0);
+  });
+
+  const double trips_before =
+      counter("ftl_watchdog_trips{host=\"9\",signal=\"future_stall\"}").value();
+  EXPECT_EQ(wd.pollOnce(), 1u);
+  ASSERT_EQ(signals.size(), 1u);
+  EXPECT_EQ(signals[0], "future_stall");
+  EXPECT_EQ(counter("ftl_watchdog_trips{host=\"9\",signal=\"future_stall\"}").value(),
+            trips_before + 1);
+  EXPECT_EQ(gauge("ftl_watchdog_oldest_future_ns{host=\"9\"}").value(), 1'000'000);
+
+  bool flight_has_trip = false;
+  for (const auto& e : flight::snapshot()) {
+    flight_has_trip = flight_has_trip || (e.kind == flight::Kind::WatchdogTrip && e.host == 9);
+  }
+  EXPECT_TRUE(flight_has_trip);
+  flight::clear();
+}
+
+TEST(Watchdog, HealthyProbesNeverTrip) {
+  BlockedGuardsProbe guards;  // count 0
+  OrderProgressProbe order;   // pending 0
+  std::uint64_t wakes = 0;
+  Watchdog::Probes p;
+  p.oldest_future_age_ns = [] { return std::int64_t{0}; };
+  p.blocked_guards = [&] {
+    guards.wake_probes = ++wakes;
+    return guards;
+  };
+  p.order_progress = [&] {
+    order.delivered += 1;  // steady progress
+    order.pending = 2;
+    return order;
+  };
+  Watchdog wd(0, tinyThresholds(), std::move(p));
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(wd.pollOnce(), 0u) << "poll " << i;
+  EXPECT_EQ(wd.trips(), 0u);
+}
+
+TEST(Watchdog, StartStopIsIdempotentAndPolls) {
+  WatchdogConfig cfg = tinyThresholds();
+  cfg.poll_period = Millis{5};
+  Watchdog::Probes p;
+  p.oldest_future_age_ns = [] { return std::int64_t{0}; };
+  Watchdog wd(0, cfg, std::move(p));
+  wd.start();
+  wd.start();  // no second thread
+  const auto deadline = Clock::now() + Millis{2000};
+  while (wd.polls() < 2 && Clock::now() < deadline) std::this_thread::sleep_for(Millis{5});
+  wd.stop();
+  wd.stop();
+  EXPECT_GE(wd.polls(), 2u);
+  EXPECT_EQ(wd.trips(), 0u);
+}
+
+}  // namespace
+}  // namespace ftl::obs

@@ -27,11 +27,19 @@
 #include "common/serde.hpp"
 #include "ftlinda/system.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/assemble.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 namespace {
 
 std::atomic<bool> g_stop{false};
 void onSignal(int) { g_stop.store(true); }
+// SIGUSR1: dump metrics + flight recorder now (async-signal-safe flag only).
+std::atomic<bool> g_dump{false};
+void onDumpSignal(int) { g_dump.store(true); }
 
 struct NodeOptions {
   std::vector<std::string> peers;  // "ip:port" per host id
@@ -39,6 +47,9 @@ struct NodeOptions {
   std::uint32_t servers = 1;
   int ops = 50;          // client workload size
   int run_for_sec = 0;   // server lifetime; 0 = until SIGINT/SIGTERM
+  int stats_period_ms = 0;  // periodic metrics+flight dump; 0 = off
+  std::string stats_dir = ".";
+  bool trace = false;    // enable the tracer; write a .spans sidecar on exit
   bool help = false;
 };
 
@@ -51,7 +62,11 @@ void usage() {
       "  --id <i>            which host THIS process is (required)\n"
       "  --servers <k>       the first k hosts are TS replicas/tuple servers (default 1)\n"
       "  --ops <n>           client workload: n out+in round trips (default 50)\n"
-      "  --run-for <sec>     server lifetime in seconds; 0 = until SIGINT (default)\n";
+      "  --run-for <sec>     server lifetime in seconds; 0 = until SIGINT (default)\n"
+      "  --stats-period <ms> dump metrics + flight recorder every ms (servers; 0 = off)\n"
+      "  --stats-dir <dir>   where periodic/teardown dumps go (default .)\n"
+      "  --trace             enable tracing; write ftl-node-trace-<id>.spans on exit\n"
+      "  (SIGUSR1 dumps metrics + flight recorder immediately)\n";
 }
 
 bool parseArgs(int argc, char** argv, NodeOptions& opt) {
@@ -71,6 +86,9 @@ bool parseArgs(int argc, char** argv, NodeOptions& opt) {
     else if (a == "--servers") opt.servers = static_cast<std::uint32_t>(std::stoul(next()));
     else if (a == "--ops") opt.ops = std::stoi(next());
     else if (a == "--run-for") opt.run_for_sec = std::stoi(next());
+    else if (a == "--stats-period") opt.stats_period_ms = std::stoi(next());
+    else if (a == "--stats-dir") opt.stats_dir = next();
+    else if (a == "--trace") opt.trace = true;
     else if (a == "--help" || a == "-h") { opt.help = true; return true; }
     else throw ftl::Error("unknown flag " + a);
   }
@@ -110,8 +128,20 @@ ftl::consul::ConsulConfig nodeConsulConfig() {
   return cfg;
 }
 
+/// Metrics snapshot + flight-recorder ring, one JSON file each, named by
+/// host id so a whole loopback cluster can share --stats-dir.
+void writeDumps(const NodeOptions& opt) {
+  const std::string tag = std::to_string(opt.id);
+  {
+    std::ofstream out(opt.stats_dir + "/ftl-node-stats-" + tag + ".json");
+    if (out) out << ftl::obs::dumpJson() << "\n";
+  }
+  ftl::obs::flight::writeDump(opt.stats_dir + "/ftl-node-flight-" + tag + ".json");
+}
+
 int runServer(const NodeOptions& opt) {
   using namespace ftl;
+  if (opt.trace) obs::trace::enable();
   net::UdpTransport net(static_cast<std::uint32_t>(opt.peers.size()), transportConfig(opt));
   std::vector<net::HostId> group;
   for (std::uint32_t h = 0; h < opt.servers; ++h) group.push_back(h);
@@ -121,16 +151,52 @@ int runServer(const NodeOptions& opt) {
   ftlinda::TupleServer server(net, replica, sm);  // before start(): registers handler
   replica.start();
 
+  // Stall watchdog, always on for long-lived server processes. No embedded
+  // runtime here, so the future probe has nothing to watch — blocked guards
+  // and ordering progress are the live signals.
+  obs::Watchdog::Probes probes;
+  probes.oldest_future_age_ns = [] { return std::int64_t{0}; };
+  probes.blocked_guards = [&sm] { return sm.blockedInfo(); };
+  probes.order_progress = [&replica] {
+    obs::OrderProgressProbe p;
+    p.delivered = replica.delivered();
+    p.pending = replica.pendingCount();
+    return p;
+  };
+  obs::Watchdog watchdog(opt.id, obs::WatchdogConfig{}, std::move(probes));
+  watchdog.setOnTrip([&opt](const char* signal, std::int64_t observed_ns) {
+    std::cerr << "ftl-node id=" << opt.id << " watchdog trip: " << signal << " ("
+              << observed_ns / 1'000'000 << "ms)" << std::endl;
+    writeDumps(opt);
+  });
+  watchdog.start();
+
   std::cout << "ftl-node server ready id=" << opt.id << " port=" << net.port(opt.id)
             << " group=" << opt.servers << std::endl;
   const auto deadline =
       Clock::now() + std::chrono::seconds(opt.run_for_sec > 0 ? opt.run_for_sec : 86'400);
+  auto next_stats = Clock::now();
   while (!g_stop.load() && Clock::now() < deadline) {
     std::this_thread::sleep_for(Millis{50});
+    if (g_dump.exchange(false)) writeDumps(opt);
+    if (opt.stats_period_ms > 0 && Clock::now() >= next_stats) {
+      writeDumps(opt);
+      next_stats = Clock::now() + Millis{opt.stats_period_ms};
+    }
   }
   std::cout << "ftl-node server id=" << opt.id << " shutting down (delivered="
             << replica.delivered() << ")" << std::endl;
+  watchdog.stop();
   replica.shutdown();
+  writeDumps(opt);  // teardown snapshot: metrics + flight ring
+  if (opt.trace) {
+    const std::string path =
+        opt.stats_dir + "/ftl-node-trace-" + std::to_string(opt.id) + ".spans";
+    const Bytes blob = obs::assemble::encodeFile({obs::assemble::captureLocal(opt.id)});
+    std::ofstream out(path, std::ios::binary);
+    if (out) out.write(reinterpret_cast<const char*>(blob.data()),
+                       static_cast<std::streamsize>(blob.size()));
+  }
   return 0;
 }
 
@@ -202,6 +268,7 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
+  std::signal(SIGUSR1, onDumpSignal);
   try {
     return opt.id < opt.servers ? runServer(opt) : runClient(opt);
   } catch (const std::exception& e) {

@@ -1,0 +1,184 @@
+// ftl-trace: pull tracer rings from every host of a running cluster (or
+// read `.spans` sidecar files) and assemble one cross-host Chrome trace
+// plus a critical-path report (docs/OBSERVABILITY.md "Cross-host trace
+// assembly").
+//
+// Two modes:
+//  - offline: --in <file.spans> (repeatable) reads span sidecars written by
+//    trace producers (bench_e3 --trace, ftl-node --trace) and merges them;
+//  - live: --num-hosts/--port-base (or --hosts <file>) + --id <client id>
+//    joins the cluster as an RPC client, runs --pings clock-ping exchanges
+//    per server for NTP-style offset estimation, fetches each server's
+//    rings over the trace-dump RPC, and merges them onto this process's
+//    clock (offset_ns = -estimateOffset per host).
+//
+//   ftl-trace --num-hosts 4 --port-base 7400 --servers 3 --id 3 \
+//             --out merged_trace.json --report trace_report.json
+//   ftl-trace --in ags_trace.spans --out merged_trace.json
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "ftlinda/tuple_server.hpp"
+#include "net/udp_transport.hpp"
+#include "obs/assemble.hpp"
+
+namespace {
+
+using namespace ftl;
+
+struct TraceOptions {
+  std::vector<std::string> in_files;   // offline mode when non-empty
+  std::vector<std::string> peers;      // "ip:port" per host id (live mode)
+  std::uint32_t id = 0;
+  std::uint32_t servers = 1;
+  int pings = 8;
+  std::string out;     // merged Chrome trace JSON path
+  std::string report;  // report JSON path
+  bool help = false;
+};
+
+void usage() {
+  std::cout <<
+      "ftl-trace: assemble a cross-host trace from a cluster or .spans files\n"
+      "  --in <file.spans>   offline: merge span sidecar file(s); repeatable\n"
+      "  --hosts <file>      hosts file, one ip:port per line; host id = line index\n"
+      "  --num-hosts <n>     alternative: n hosts on loopback ...\n"
+      "  --port-base <p>     ... at 127.0.0.1:(p+id)\n"
+      "  --id <i>            host id THIS process binds (a non-server id)\n"
+      "  --servers <k>       pull from hosts 0..k-1 (default 1)\n"
+      "  --pings <n>         clock-ping exchanges per server (default 8)\n"
+      "  --out <path>        write merged Chrome trace-event JSON\n"
+      "  --report <path>     write the critical-path report as JSON\n";
+}
+
+bool parseArgs(int argc, char** argv, TraceOptions& opt) {
+  std::string hosts_file;
+  std::uint32_t num_hosts = 0;
+  std::uint16_t port_base = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--in") opt.in_files.push_back(next());
+    else if (a == "--hosts") hosts_file = next();
+    else if (a == "--num-hosts") num_hosts = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (a == "--port-base") port_base = static_cast<std::uint16_t>(std::stoul(next()));
+    else if (a == "--id") opt.id = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (a == "--servers") opt.servers = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (a == "--pings") opt.pings = std::stoi(next());
+    else if (a == "--out") opt.out = next();
+    else if (a == "--report") opt.report = next();
+    else if (a == "--help" || a == "-h") { opt.help = true; return true; }
+    else throw Error("unknown flag " + a);
+  }
+  if (!opt.in_files.empty()) return true;  // offline mode needs nothing else
+  if (!hosts_file.empty()) {
+    std::ifstream in(hosts_file);
+    if (!in) throw Error("cannot read hosts file " + hosts_file);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') opt.peers.push_back(line);
+    }
+  } else {
+    for (std::uint32_t h = 0; h < num_hosts; ++h) {
+      opt.peers.push_back("127.0.0.1:" + std::to_string(port_base + h));
+    }
+  }
+  if (opt.peers.size() < 2) throw Error("need --in files or a cluster (--hosts/--num-hosts)");
+  if (opt.id >= opt.peers.size()) throw Error("--id out of range");
+  if (opt.servers == 0 || opt.servers > opt.peers.size()) throw Error("--servers out of range");
+  if (opt.id < opt.servers) throw Error("--id must name a non-server host");
+  return true;
+}
+
+std::vector<obs::assemble::HostSpans> readSidecars(const TraceOptions& opt) {
+  std::vector<obs::assemble::HostSpans> hosts;
+  for (const std::string& path : opt.in_files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw Error("cannot read " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string raw = buf.str();
+    auto decoded = obs::assemble::decodeFile(
+        BytesView(reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()));
+    for (auto& hs : decoded) hosts.push_back(std::move(hs));
+  }
+  return hosts;
+}
+
+std::vector<obs::assemble::HostSpans> pullCluster(const TraceOptions& opt) {
+  net::UdpTransportConfig cfg;
+  cfg.peer_addresses = opt.peers;
+  cfg.local_hosts = {opt.id};
+  net::UdpTransport net(static_cast<std::uint32_t>(opt.peers.size()), cfg);
+
+  std::vector<obs::assemble::HostSpans> hosts;
+  for (std::uint32_t s = 0; s < opt.servers; ++s) {
+    // One sequential RemoteRuntime per server: each shuts down its receive
+    // thread before the next binds the same client endpoint.
+    ftlinda::RemoteRuntime rt(net, opt.id, s);
+    rt.start();
+    std::vector<obs::assemble::PingSample> pings;
+    for (int i = 0; i < opt.pings; ++i) pings.push_back(rt.serverClockPing());
+    const std::int64_t offset = obs::assemble::estimateOffset(pings);
+    obs::assemble::HostSpans hs = rt.serverTraceSpans();
+    // Reference clock is THIS process: server_ts - offset = client_ts.
+    hs.offset_ns = -offset;
+    std::cerr << "ftl-trace: host " << s << ": " << hs.spans.size()
+              << " spans, offset " << offset << "ns" << std::endl;
+    hosts.push_back(std::move(hs));
+    rt.shutdown();
+  }
+  return hosts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TraceOptions opt;
+  try {
+    parseArgs(argc, argv, opt);
+  } catch (const std::exception& e) {
+    std::cerr << "ftl-trace: " << e.what() << "\n";
+    usage();
+    return 2;
+  }
+  if (opt.help) {
+    usage();
+    return 0;
+  }
+  try {
+    const std::vector<obs::assemble::HostSpans> hosts =
+        opt.in_files.empty() ? pullCluster(opt) : readSidecars(opt);
+    std::size_t total = 0;
+    for (const auto& hs : hosts) total += hs.spans.size();
+    if (hosts.empty() || total == 0) {
+      std::cerr << "ftl-trace: no spans collected (is tracing enabled on the hosts?)\n";
+      return 1;
+    }
+    if (!opt.out.empty()) {
+      std::ofstream out(opt.out);
+      if (!out) throw ftl::Error("cannot write " + opt.out);
+      out << ftl::obs::assemble::mergedChromeJson(hosts);
+      std::cerr << "ftl-trace: wrote " << opt.out << " (" << total << " spans, "
+                << hosts.size() << " hosts)" << std::endl;
+    }
+    const ftl::obs::assemble::TraceReport report = ftl::obs::assemble::analyze(hosts);
+    if (!opt.report.empty()) {
+      std::ofstream out(opt.report);
+      if (!out) throw ftl::Error("cannot write " + opt.report);
+      out << ftl::obs::assemble::reportJson(report);
+    }
+    std::cout << ftl::obs::assemble::reportText(report);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "ftl-trace failed: " << e.what() << std::endl;
+    return 1;
+  }
+}

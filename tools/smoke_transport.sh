@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Multi-process transport smoke test: 2 tuple servers + 1 RPC client, three
 # OS processes meeting on UDP loopback. Passes iff the client completes its
-# out/in workload against the replicated tuple space. CI runs this in the
+# out/in workload against the replicated tuple space AND the servers'
+# observability dumps (metrics JSON + flight-recorder JSON, both periodic
+# and SIGUSR1-triggered) parse as valid JSON. CI runs this in the
 # transport-udp job; locally: tools/smoke_transport.sh [path-to-ftl-node].
+#
+# SMOKE_ARTIFACT_DIR, if set, receives the dumps for CI artifact upload.
 set -euo pipefail
 
 FTL_NODE="${1:-build/tools/ftl-node}"
@@ -13,23 +17,67 @@ trap 'kill $(jobs -p) 2>/dev/null || true; wait 2>/dev/null || true' EXIT
 echo "smoke: port_base=${PORT_BASE} logs=${LOG_DIR}"
 
 "${FTL_NODE}" --num-hosts 3 --port-base "${PORT_BASE}" --servers 2 --id 0 \
-  --run-for 60 >"${LOG_DIR}/server0.log" 2>&1 &
+  --run-for 60 --stats-period 500 --stats-dir "${LOG_DIR}" \
+  >"${LOG_DIR}/server0.log" 2>&1 &
+SERVER0_PID=$!
 "${FTL_NODE}" --num-hosts 3 --port-base "${PORT_BASE}" --servers 2 --id 1 \
-  --run-for 60 >"${LOG_DIR}/server1.log" 2>&1 &
+  --run-for 60 --stats-period 500 --stats-dir "${LOG_DIR}" \
+  >"${LOG_DIR}/server1.log" 2>&1 &
 
-# The client retries its server ping internally, so no fixed sleep is needed;
-# give the whole workload a hard cap so a wedged run fails fast.
-if timeout 60 "${FTL_NODE}" --num-hosts 3 --port-base "${PORT_BASE}" --servers 2 --id 2 \
-    --ops 50 >"${LOG_DIR}/client.log" 2>&1; then
-  grep -q "ftl-node client ok" "${LOG_DIR}/client.log"
-  echo "smoke: OK"
-  cat "${LOG_DIR}/client.log"
-else
-  status=$?
-  echo "smoke: FAILED (exit ${status})"
+fail() {
+  echo "smoke: FAILED ($1)"
   for f in "${LOG_DIR}"/*.log; do
     echo "---- ${f} ----"
     tail -40 "${f}"
   done
   exit 1
+}
+
+# The client retries its server ping internally, so no fixed sleep is needed;
+# give the whole workload a hard cap so a wedged run fails fast.
+timeout 60 "${FTL_NODE}" --num-hosts 3 --port-base "${PORT_BASE}" --servers 2 --id 2 \
+  --ops 50 >"${LOG_DIR}/client.log" 2>&1 || fail "client exit $?"
+grep -q "ftl-node client ok" "${LOG_DIR}/client.log" || fail "client log missing OK line"
+
+# On-demand dump: SIGUSR1 must produce/refresh both dump files promptly.
+rm -f "${LOG_DIR}/ftl-node-stats-0.json" "${LOG_DIR}/ftl-node-flight-0.json"
+kill -USR1 "${SERVER0_PID}"
+for _ in $(seq 1 50); do
+  [[ -s "${LOG_DIR}/ftl-node-stats-0.json" && -s "${LOG_DIR}/ftl-node-flight-0.json" ]] && break
+  sleep 0.1
+done
+[[ -s "${LOG_DIR}/ftl-node-stats-0.json" ]] || fail "no SIGUSR1 stats dump"
+[[ -s "${LOG_DIR}/ftl-node-flight-0.json" ]] || fail "no SIGUSR1 flight dump"
+
+# Periodic dumps from BOTH servers, and every dump must be valid JSON with
+# the expected top-level shape.
+for id in 0 1; do
+  [[ -s "${LOG_DIR}/ftl-node-stats-${id}.json" ]] || fail "no stats dump for server ${id}"
+  [[ -s "${LOG_DIR}/ftl-node-flight-${id}.json" ]] || fail "no flight dump for server ${id}"
+done
+python3 - "${LOG_DIR}" <<'EOF' || fail "dump JSON validation"
+import glob, json, sys
+log_dir = sys.argv[1]
+stats = sorted(glob.glob(log_dir + "/ftl-node-stats-*.json"))
+flights = sorted(glob.glob(log_dir + "/ftl-node-flight-*.json"))
+assert len(stats) >= 2 and len(flights) >= 2, (stats, flights)
+for p in stats:
+    doc = json.load(open(p))
+    assert isinstance(doc.get("counters"), dict), f"{p}: missing counters"
+    assert any(k.startswith("ftl_") for k in doc["counters"]), f"{p}: no ftl_ metrics"
+    assert "ftl_watchdog_polls" in doc["counters"], f"{p}: watchdog not polling"
+for p in flights:
+    doc = json.load(open(p))
+    assert isinstance(doc.get("flight"), list), f"{p}: missing flight array"
+    for ev in doc["flight"]:
+        assert "kind" in ev and "ts_ns" in ev and "host" in ev, (p, ev)
+print(f"validated {len(stats)} stats + {len(flights)} flight dumps")
+EOF
+
+if [[ -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
+  mkdir -p "${SMOKE_ARTIFACT_DIR}"
+  cp "${LOG_DIR}"/ftl-node-*.json "${LOG_DIR}"/*.log "${SMOKE_ARTIFACT_DIR}/" || true
 fi
+
+echo "smoke: OK"
+cat "${LOG_DIR}/client.log"

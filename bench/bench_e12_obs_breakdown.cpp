@@ -127,12 +127,16 @@ StageProfile stageProfile(int rounds) {
                           "ftl_sm_apply_ns",        "ftl_stage_reply_ns",
                           "ftl_stage_future_wake_ns", "ftl_stage_frame_encode_ns"};
   for (const char* s : stages) p.mean_ns[s] = obs::histogram(s).snapshot().mean();
-  // The critical path: issue -> order -> apply -> reply. coalesce is a
-  // sub-interval of order and frame-encode of coalesce; future_wake lands
-  // after the e2e span closes — reported, not summed.
-  p.stage_sum_ns = p.mean_ns["ftl_ags_verify_ns"] + p.mean_ns["ftl_stage_issue_ns"] +
-                   p.mean_ns["ftl_stage_order_ns"] + p.mean_ns["ftl_sm_apply_ns"] +
-                   p.mean_ns["ftl_stage_reply_ns"];
+  // The critical path: issue -> order -> apply -> reply. verify nests
+  // inside issue (issuer-side view verify) and coalesce is a sub-interval
+  // of order, frame-encode of coalesce; future_wake lands after the e2e
+  // span closes — all reported, not summed. At hosts=1 the self-delivery
+  // shortcut runs order/apply/reply INLINE inside the issue span
+  // (docs/PROTOCOL.md "Self-delivery"), so the sum legitimately exceeds
+  // e2e there: the gate reads "every stage is instrumented and accounts
+  // for the path", not "the stages tile e2e".
+  p.stage_sum_ns = p.mean_ns["ftl_stage_issue_ns"] + p.mean_ns["ftl_stage_order_ns"] +
+                   p.mean_ns["ftl_sm_apply_ns"] + p.mean_ns["ftl_stage_reply_ns"];
   p.coverage = p.e2e_ns_mean > 0 ? p.stage_sum_ns / p.e2e_ns_mean : 0;
   return p;
 }
@@ -186,7 +190,9 @@ int main(int argc, char** argv) {
     std::printf("  %-28s mean=%9.0f ns\n", name.c_str(), mean);
   }
   std::printf("  %-28s mean=%9.0f ns\n", "ftl_ags_e2e_ns", sp.e2e_ns_mean);
-  std::printf("  critical-path stage sum %.0f ns = %.0f%% of e2e (gate: >=80%%)\n",
+  std::printf("  critical-path stage sum %.0f ns = %.0f%% of e2e (gate: >=80%%; may\n"
+              "  exceed 100%% at hosts=1 — self-delivery runs order/apply/reply\n"
+              "  inline inside the issue span)\n",
               sp.stage_sum_ns, 100.0 * sp.coverage);
   const bool coverage_ok = sp.coverage >= 0.8;
   if (!coverage_ok) shape_ok = false;

@@ -115,6 +115,14 @@ int main(int argc, char** argv) {
   std::printf("deeper windows keep the sequencer fed and let request frames coalesce\n\n");
   std::printf("%-34s %12s %12s %12s\n", "configuration", "AGS/sec", "wait/e2e", "send batch");
 
+  // Whole-bench baseline: the artifact's "obs_delta" member carries the
+  // per-stage ftl_stage_* histograms (and every other source-backed count)
+  // this process accumulated — measureRun's obs::resetAll() cannot zero
+  // those, so the delta is what isolates them. The stage histograms it
+  // embeds come from the LAST run (resetAll zeroes the resettable ones per
+  // run), which the sweep below arranges to be a pipelined configuration.
+  obs::resetAll();
+  const std::vector<obs::Sample> run_baseline = obs::snapshotAll();
   std::vector<std::string> rows;
   double hosts1_pipelined = 0;
   double sync_4x8 = 0, pipe_4x8 = 0;
@@ -145,7 +153,7 @@ int main(int argc, char** argv) {
   if (!short_mode) run(4, 8, 2000, 8);
   run(4, 8, short_mode ? 400 : 2000, 32);
 
-  if (json_path) bench::writeBenchJson(json_path, "e13_pipeline", rows);
+  if (json_path) bench::writeBenchJson(json_path, "e13_pipeline", rows, run_baseline);
 
   if (sync_4x8 > 0 && pipe_4x8 > 0) {
     std::printf("\nhosts=4 issuers=8 speedup (window=32 vs window=1): %.2fx\n",

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ftlinda/ts_state_machine.hpp"
+#include "ftlinda/verify.hpp"
 #include "ts/tuple_space.hpp"
 #include "tuple/view.hpp"
 
@@ -202,6 +203,51 @@ void BM_E9_OwningDecodeMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_E9_OwningDecodeMatch);
+
+/// Representative two-branch AGS for the verifier benchmarks: a guarded
+/// withdraw with an arithmetic rebind plus a guardTrue fallback — the shape
+/// the E13 pipeline issues all day.
+ftl::Bytes encodedVerifyFixture() {
+  using namespace ftl::ftlinda;
+  const Ags ags = AgsBuilder()
+                      .when(guardIn(ftl::ts::kTsMain, makePattern(nameFor(1), fInt())))
+                      .then(opOut(ftl::ts::kTsMain,
+                                  makeTemplate(nameFor(2), boundExpr(0, ArithOp::Add, 1))))
+                      .orWhen(guardTrue())
+                      .then(opOut(ftl::ts::kTsMain, makeTemplate(nameFor(3), 0)))
+                      .build();
+  Writer w;
+  ags.encode(w);
+  return w.take();
+}
+
+/// Issuer-side view verify: rule evaluation straight over the encoded
+/// statement (the hot path Runtime::executeAsync takes — encode once,
+/// verify the bytes, ship the same bytes).
+void BM_E9_ViewVerify(benchmark::State& state) {
+  using namespace ftl::ftlinda;
+  const ftl::Bytes enc = encodedVerifyFixture();
+  for (auto _ : state) {
+    const VerifyResult vr = verifyEncoded(ftl::BytesView{enc.data(), enc.size()});
+    benchmark::DoNotOptimize(vr.ok());
+  }
+}
+BENCHMARK(BM_E9_ViewVerify);
+
+/// The pre-fast-lane comparison point: materialize the Ags from the wire
+/// form, then run the owning verifier over it (decode → verify). CI gates
+/// on the view/owning ratio staying below 1 (docs/EXPERIMENTS.md E9).
+void BM_E9_OwningVerify(benchmark::State& state) {
+  using namespace ftl::ftlinda;
+  const ftl::Bytes enc = encodedVerifyFixture();
+  for (auto _ : state) {
+    Reader r(enc);
+    const Ags ags = Ags::decode(r);
+    const VerifyResult vr = verify(ags);
+    benchmark::DoNotOptimize(vr.ok());
+  }
+}
+BENCHMARK(BM_E9_OwningVerify);
 
 /// The replica-facing read side: TsStateMachine::readSnapshot with a
 /// read-mostly plan published slot. After the first (fallback) read, every

@@ -51,17 +51,31 @@ class Writer {
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
 
+  // Multi-byte writes stage the little-endian form in a local array and
+  // append it in ONE insert: a push_back per byte re-checks capacity eight
+  // times for a u64, and encode dominates the issue stage of the ordering
+  // hot path (DESIGN.md "Ordering-path fast lane").
   void u16(std::uint16_t v) {
-    for (int i = 0; i < 2; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    std::uint8_t le[2];
+    for (int i = 0; i < 2; ++i) le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    buf_.insert(buf_.end(), le, le + sizeof le);
   }
 
   void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    std::uint8_t le[4];
+    for (int i = 0; i < 4; ++i) le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    buf_.insert(buf_.end(), le, le + sizeof le);
   }
 
   void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    std::uint8_t le[8];
+    for (int i = 0; i < 8; ++i) le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    buf_.insert(buf_.end(), le, le + sizeof le);
   }
+
+  /// Pre-size the underlying buffer (hot encode paths know their rough
+  /// frame size; one up-front grow beats log2(n) reallocations).
+  void reserve(std::size_t n) { buf_.reserve(n); }
 
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
 

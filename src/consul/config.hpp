@@ -60,6 +60,21 @@ struct ConsulConfig {
   /// never reach replicated state — the sequencer assigns each packed
   /// command its own gseq.
   std::uint32_t max_send_batch = 64;
+
+  // ---- self-delivery shortcut (docs/PROTOCOL.md "Self-delivery") ----
+
+  /// When the issuing host is the sequencer of a single-member group and
+  /// nothing of its own is in flight, broadcast() assigns the gseq locally
+  /// and delivers to its own state machine inline — skipping the Request
+  /// frame and two thread handoffs. The command is still stamped into the
+  /// total order (same gseq/origin_seq bookkeeping as the sequencer's
+  /// request handler), so replicated state is byte-identical with the
+  /// shortcut on or off. Groups with peers always take the symmetric
+  /// request path: completing inline before the Ordered fan-out leaves the
+  /// send queue would open a durability window a fail-silent crash could
+  /// exploit. Disable to force the request path everywhere
+  /// (digest-differential tests).
+  bool self_delivery = true;
 };
 
 }  // namespace ftl::consul

@@ -65,6 +65,8 @@ ConsulNode::ConsulNode(net::Transport& net, HostId self, std::vector<HostId> gro
         {"ftl_consul_views_installed" + host, static_cast<double>(stats_.views_installed)});
     out.push_back({"ftl_consul_deliveries" + host, static_cast<double>(stats_.deliveries)});
     out.push_back({"ftl_consul_flushes" + host, static_cast<double>(stats_.flushes)});
+    out.push_back(
+        {"ftl_consul_self_deliveries" + host, static_cast<double>(stats_.self_deliveries)});
     out.push_back({"ftl_consul_log_size" + host, static_cast<double>(log_.size())});
     out.push_back({"ftl_consul_pending" + host, static_cast<double>(pending_.size())});
     out.push_back(
@@ -123,6 +125,81 @@ std::uint64_t ConsulNode::broadcast(Bytes payload, std::uint64_t trace_id) {
       traced || (stage_sample.fetch_add(1, std::memory_order_relaxed) & 15u) == 0;
   std::lock_guard<std::mutex> lock(mutex_);
   FTL_REQUIRE(is_member_, "broadcast() requires group membership");
+  // Self-delivery shortcut: when this host is the sequencer of a
+  // SINGLE-MEMBER group, the request path (frame encode -> endpoint send ->
+  // service-thread receive -> handleRequest) collapses to the sequencer
+  // bookkeeping it would have performed anyway — assign the gseq here and
+  // deliver to the local state machine inline on THIS thread (two handoffs
+  // skipped). Two gates are correctness conditions, not tuning knobs:
+  //  - members_.size() == 1: with peers, the issuer would observe
+  //    completion before the Ordered fan-out is anywhere but this host's
+  //    send queue, so a fail-silent crash right after could erase a command
+  //    the application already acted on — a durability window the request
+  //    path does not have in practice. No peers, no window.
+  //  - pending_.empty(): an in-flight Request frame overtaken by a
+  //    locally-assigned seq would violate the sequencer's gap-free
+  //    per-origin acceptance and strand the frame forever.
+  if (cfg_.self_delivery && isSequencer() && members_.size() == 1 && pending_.empty()) {
+    const std::uint64_t origin_seq = next_origin_seq_++;
+    ++stats_.broadcasts;
+    ++stats_.self_deliveries;
+    assigned_[self_] = origin_seq;
+    LogEntry e;
+    e.gseq = next_gseq_++;
+    e.kind = EntryKind::Data;
+    e.origin = self_;
+    e.origin_seq = origin_seq;
+    e.payload = std::move(payload);
+    known_last_ = std::max(known_last_, e.gseq);
+    // Steady state (log drained, nothing staged, no coalescing window):
+    // the entry is contiguous AND immediately stable — the sole member has
+    // it — so skip the log map, the delivery arena, and the flush plumbing
+    // and hand the state machine a single-entry batch directly. The entry
+    // never needs retransmission or truncation, so not logging it changes
+    // no replicated state (digest-identical with the shortcut off).
+    if (log_.empty() && apply_buffer_.empty() && next_deliver_ == e.gseq &&
+        cfg_.apply_batch_window.count() == 0) {
+      dedup_[self_] = e.origin_seq;
+      next_deliver_ = e.gseq + 1;
+      member_acks_[self_] = e.gseq;
+      stable_ = e.gseq;
+      ++stats_.flushes;
+      ++stats_.deliveries;
+      static obs::Histogram& batch_size = obs::histogram("ftl_consul_apply_batch_size");
+      batch_size.observe(1);
+      obs::flight::record(obs::flight::Kind::ApplyBatch, self_, 1,
+                          static_cast<std::int64_t>(e.gseq));
+      Delivery d;
+      d.enq_ns = timed ? nowNanos() : 0;
+      d.gseq = e.gseq;
+      d.origin = e.origin;
+      d.origin_seq = e.origin_seq;
+      // The payload Bytes is a local: it outlives the callback, which is
+      // all the Delivery contract promises (no arena copy needed).
+      d.payload = BytesView{e.payload.data(), e.payload.size()};
+      apply_buffer_.push_back(std::move(d));  // empty: reuses its capacity
+      if (cb_.on_deliver_batch) {
+        cb_.on_deliver_batch(apply_buffer_);
+      } else if (cb_.on_deliver) {
+        cb_.on_deliver(apply_buffer_.front());
+      }
+      apply_buffer_.clear();
+      return origin_seq;
+    }
+    const std::uint64_t g = e.gseq;
+    log_.emplace(g, std::move(e));
+    if (timed) fastpath_enq_ns_ = nowNanos();
+    deliverReady();
+    truncateLog();
+    // Deliver synchronously unless the operator asked for a coalescing
+    // window — a blocked get()er must not wait a tick for its own command.
+    if (cfg_.apply_batch_window.count() > 0) {
+      maybeFlushDeliveries(Clock::now());
+    } else {
+      flushDeliveries();
+    }
+    return origin_seq;
+  }
   Pending p;
   p.origin_seq = next_origin_seq_++;
   p.payload = std::move(payload);
@@ -447,10 +524,13 @@ void ConsulNode::handleRequest(HostId src, RequestMsg m) {
   }
   // The whole unpacked frame fans out as ONE ordered message per member:
   // each packed command still gets its own gseq (frame boundaries never
-  // reach replicated state), but the ordering fabric pays one send.
-  const Bytes wire = om.encode();
-  for (HostId h : members_) {
-    if (h != self_) ep_.send(h, static_cast<std::uint16_t>(MsgType::Ordered), wire);
+  // reach replicated state), but the ordering fabric pays one send. A
+  // single-member group skips the encode — there is no one to send to.
+  if (members_.size() > 1) {
+    const Bytes wire = om.encode();
+    for (HostId h : members_) {
+      if (h != self_) ep_.send(h, static_cast<std::uint16_t>(MsgType::Ordered), wire);
+    }
   }
   // Append to our own log directly instead of looping the message back
   // through the inbox: the sequencer's log must reflect every assignment it
@@ -536,7 +616,13 @@ void ConsulNode::deliverReady() {
       bufferDelivery(e);
     }
     ++next_deliver_;
-    if (isSequencer()) member_acks_[self_] = next_deliver_ - 1;
+    if (isSequencer()) {
+      member_acks_[self_] = next_deliver_ - 1;
+      // A single-member group has no Ack senders; its own delivery IS
+      // stability (otherwise stable_ never advances and the log grows
+      // without bound at hosts=1).
+      if (members_.size() == 1) stable_ = next_deliver_ - 1;
+    }
   }
   // Staged data entries are flushed by onTick at the end of the SAME service
   // step (not here): a burst of ordered messages drained in one step then
@@ -560,6 +646,12 @@ void ConsulNode::bufferDelivery(const LogEntry& e) {
     }
     // Everything in flight has delivered: ship the staged commands now.
     if (first_unsent_ == 0 && !pending_.empty()) flushUnsentLocked(Clock::now());
+    // A self-delivered command has no Pending to carry its stamp; the
+    // shortcut parked it in fastpath_enq_ns_ just before deliverReady().
+    if (enq_ns == 0) {
+      enq_ns = fastpath_enq_ns_;
+      fastpath_enq_ns_ = 0;
+    }
   }
   if (apply_buffer_.empty()) apply_buffer_since_ = Clock::now();
   Delivery d;

@@ -171,6 +171,9 @@ class ConsulNode {
     std::uint64_t views_installed = 0;
     std::uint64_t deliveries = 0;          // data payloads handed to the app
     std::uint64_t flushes = 0;             // apply batches handed to the app
+    std::uint64_t self_deliveries = 0;     // broadcasts taken by the
+                                           // sequencer's self-delivery
+                                           // shortcut (no Request frame)
   };
   Stats stats() const;
 
@@ -276,6 +279,11 @@ class ConsulNode {
   std::uint64_t next_origin_seq_ = 1;
   std::deque<Pending> pending_;
   std::size_t first_unsent_ = 0;  // index of the first staged (unsent) entry
+  /// Enqueue stamp of a broadcast taken by the self-delivery shortcut,
+  /// consumed by bufferDelivery() within the same locked section (the
+  /// shortcut never stages a Pending, so the stamp cannot ride there).
+  /// Feeds the ordering-stage histogram exactly like a Pending's enq_ns.
+  std::int64_t fastpath_enq_ns_ = 0;
 
   // Failure detection.
   std::map<HostId, TimePoint> last_heard_;

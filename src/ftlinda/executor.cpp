@@ -1,7 +1,5 @@
 #include "ftlinda/executor.hpp"
 
-#include <sstream>
-
 #include "common/assert.hpp"
 #include "ftlinda/verify.hpp"
 
@@ -19,14 +17,14 @@ bool externalLocalDst(TsHandle h, const TsRegistry& reg, ExecMode mode) {
 
 std::string checkHandleReadable(TsHandle h, const TsRegistry& reg, ExecMode mode,
                                 const char* what) {
-  std::ostringstream os;
+  // Plain concatenation, built only on the failure paths: this runs per
+  // body op per apply, and a stream constructed on the success path would
+  // cost more than the whole handle check.
   if (mode == ExecMode::Replicated && isLocalHandle(h)) {
-    os << what << ": a volatile local TS cannot be read inside a replicated AGS";
-    return os.str();
+    return std::string(what) + ": a volatile local TS cannot be read inside a replicated AGS";
   }
   if (!reg.exists(h)) {
-    os << what << ": unknown tuple space handle";
-    return os.str();
+    return std::string(what) + ": unknown tuple space handle";
   }
   return {};
 }

@@ -72,6 +72,11 @@ const Value& Reply::boundValue(std::size_t i) const {
 
 Bytes Reply::encode() const {
   Writer w;
+  encodeInto(w);
+  return w.take();
+}
+
+void Reply::encodeInto(Writer& w) const {
   w.boolean(succeeded);
   w.u32(static_cast<std::uint32_t>(branch));
   w.u16(static_cast<std::uint16_t>(bindings.size()));
@@ -88,11 +93,19 @@ Bytes Reply::encode() const {
   w.u16(static_cast<std::uint16_t>(created.size()));
   for (TsHandle h : created) w.u64(h);
   w.str(error);
-  return w.take();
 }
 
 Reply Reply::decode(const Bytes& b) {
   Reader r(b);
+  return decode(r);
+}
+
+Reply Reply::decode(BytesView b) {
+  Reader r(b);
+  return decode(r);
+}
+
+Reply Reply::decode(Reader& r) {
   Reply rep;
   rep.succeeded = r.boolean();
   rep.branch = static_cast<std::int32_t>(r.u32());

@@ -38,6 +38,14 @@ struct Command {
   static Command decode(BytesView b);
 };
 
+/// Encoded size of the fixed command prefix (kind byte + request_id +
+/// trace_id): the payload of an ExecuteAgs command is its Ags encoding
+/// starting at this offset, and request_id occupies bytes [1, 9) — both
+/// facts the fast paths exploit (issuer-side view verify, the tuple
+/// server's in-place rid rewrite).
+inline constexpr std::size_t kCommandHeaderBytes = 17;
+inline constexpr std::size_t kCommandRidOffset = 1;
+
 /// The fixed-size command prefix, decodable without materializing the AGS —
 /// for routing/filtering before (or instead of) a full decode.
 struct CommandHeader {
@@ -107,7 +115,17 @@ struct Reply {
 
   /// Wire form, used by the tuple-server (RPC) configuration of §6/Fig. 17.
   Bytes encode() const;
+  /// Append the wire form to an open Writer — the building block of the
+  /// ReplyBatch frame (several replies tiled into one buffer, no
+  /// intermediate Bytes per reply).
+  void encodeInto(Writer& w) const;
   static Reply decode(const Bytes& b);
+  /// Decode from a borrowed buffer (datagram payload) without copying it
+  /// into an owning Bytes first. The returned Reply owns everything.
+  static Reply decode(BytesView b);
+  /// Decode one reply from an open Reader, consuming exactly its encoding —
+  /// lets a ReplyBatch frame be walked reply-by-reply to its end.
+  static Reply decode(Reader& r);
 };
 
 }  // namespace ftl::ftlinda

@@ -157,22 +157,26 @@ AgsFuture Runtime::executeAsync(const Ags& ags) {
   static std::atomic<std::uint32_t> stage_sample{0};
   const bool timed = obs::trace::enabled() ||
                      (stage_sample.fetch_add(1, std::memory_order_relaxed) & 15u) == 0;
-  // FT-lcc rejects malformed statements at compile time; we reject them here,
-  // before the statement is encoded or multicast, so a bad AGS costs its
-  // issuer a local error instead of work at every replica.
-  const std::int64_t v0 = timed ? nowNanos() : 0;
-  VerifyResult vr = verify(ags);
-  if (timed) {
-    const std::int64_t vdt = nowNanos() - v0;
-    am.verify_ns.observe(vdt > 0 ? static_cast<std::uint64_t>(vdt) : 0);
-    obs::trace::complete("ags.verify", tid, v0, vdt);
-  }
-  if (!vr.ok()) {
-    am.rejected.inc();
-    obs::trace::asyncEnd("ags", tid);
-    return AgsFuture::makeReady(verifyApiError(vr));
-  }
+  // Locality is classified BEFORE verification (the scan tolerates corrupt
+  // enum bytes) so each path verifies in its own representation: the local
+  // path over the in-memory Ags it is about to execute, the replicated path
+  // over the encoded bytes it is about to multicast — the owning verify's
+  // decode round never happens on the hot path.
   if (entirelyLocalAgs(ags)) {
+    // FT-lcc rejects malformed statements at compile time; we reject them
+    // here, before execution, so a bad AGS costs its issuer a local error.
+    const std::int64_t v0 = timed ? nowNanos() : 0;
+    VerifyResult vr = verify(ags);
+    if (timed) {
+      const std::int64_t vdt = nowNanos() - v0;
+      am.verify_ns.observe(vdt > 0 ? static_cast<std::uint64_t>(vdt) : 0);
+      obs::trace::complete("ags.verify", tid, v0, vdt);
+    }
+    if (!vr.ok()) {
+      am.rejected.inc();
+      obs::trace::asyncEnd("ags", tid);
+      return AgsFuture::makeReady(verifyApiError(vr));
+    }
     // Local scratch statements keep their blocking semantics (an in() on an
     // empty scratch space must wait for a local deposit), so this branch
     // executes inline — executeAsync() only pipelines the replicated path.
@@ -193,48 +197,75 @@ AgsFuture Runtime::executeAsync(const Ags& ags) {
     }
     return AgsFuture::makeReady(std::move(r));
   }
-  am.replicated.inc();
-  // "ags.issue" covers command encode + registration up to the multicast
-  // handoff — submitCommand closes it right where "ags.order" begins, so
-  // the two stages tile instead of overlapping.
+  // "ags.issue" covers command encode + view verify + registration up to the
+  // multicast handoff — submitEncoded closes it right where "ags.order"
+  // begins, so the two stages tile instead of overlapping ("ags.verify" is a
+  // sub-span nested inside it, not a stage of its own).
   const std::int64_t i0 = timed ? nowNanos() : 0;
-  return submitCommand(makeExecute(rid, ags, tid), /*ags_stats=*/true, i0);
+  // Encode ONCE, straight from the caller's Ags — no Command materialization
+  // (which would copy the whole statement), no decode for verification.
+  Writer w;
+  w.reserve(192);  // covers typical statements in one allocation
+  w.u8(static_cast<std::uint8_t>(CommandKind::ExecuteAgs));
+  w.u64(rid);
+  w.u64(tid);
+  ags.encode(w);
+  Bytes payload = w.take();
+  const std::int64_t v0 = timed ? nowNanos() : 0;
+  VerifyResult vr = verifyEncoded(
+      BytesView(payload.data() + kCommandHeaderBytes, payload.size() - kCommandHeaderBytes));
+  if (timed) {
+    const std::int64_t vdt = nowNanos() - v0;
+    am.verify_ns.observe(vdt > 0 ? static_cast<std::uint64_t>(vdt) : 0);
+    obs::trace::complete("ags.verify", tid, v0, vdt);
+  }
+  if (!vr.ok()) {
+    am.rejected.inc();
+    obs::trace::asyncEnd("ags", tid);
+    return AgsFuture::makeReady(verifyApiError(vr));
+  }
+  am.replicated.inc();
+  return submitEncoded(rid, tid, std::move(payload), /*ags_stats=*/true, i0);
 }
 
 AgsFuture Runtime::submitCommand(Command cmd, bool ags_stats, std::int64_t issue_start_ns) {
+  return submitEncoded(cmd.request_id, cmd.trace_id, cmd.encode(), ags_stats, issue_start_ns);
+}
+
+AgsFuture Runtime::submitEncoded(std::uint64_t rid, std::uint64_t trace_id, Bytes payload,
+                                 bool ags_stats, std::int64_t issue_start_ns) {
   FTL_REQUIRE(replica_ != nullptr, "runtime not attached");
   auto st = std::make_shared<AgsFutureState>();
   st->host = host_;
   st->wait_hist = &agsMetrics().wait_ns;
-  st->trace_id = cmd.trace_id;
+  st->trace_id = trace_id;
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     PendingReq ent;
     ent.st = st;
     ent.submit_ns = nowNanos();
     ent.ags_stats = ags_stats;
-    pending_.emplace(cmd.request_id, std::move(ent));
+    pending_.emplace(rid, std::move(ent));
   }
   // Re-check after registering: a crash between the entry check and the
   // insert would otherwise leave this slot unfailed forever.
   if (crashed_.load()) {
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
-      pending_.erase(cmd.request_id);
+      pending_.erase(rid);
     }
     throw ProcessorFailure(host_);
   }
-  Bytes payload = cmd.encode();
   if (issue_start_ns != 0) {
     const std::int64_t idt = nowNanos() - issue_start_ns;
     static obs::Histogram& issue_ns = obs::histogram("ftl_stage_issue_ns");
     issue_ns.observe(idt > 0 ? static_cast<std::uint64_t>(idt) : 0);
-    obs::trace::complete("ags.issue", cmd.trace_id, issue_start_ns, idt);
+    obs::trace::complete("ags.issue", trace_id, issue_start_ns, idt);
   }
   // "ags.order" spans multicast submission to total-order arrival at THIS
   // replica's state machine (ended there when origin == self).
-  obs::trace::asyncBegin("ags.order", cmd.trace_id);
-  replica_->submit(std::move(payload), cmd.trace_id);
+  obs::trace::asyncBegin("ags.order", trace_id);
+  replica_->submit(std::move(payload), trace_id);
   return AgsFuture::makePending(std::move(st));
 }
 

@@ -72,6 +72,11 @@ class Runtime : public LindaApi {
   /// span) at the ordering handoff, so issue and order tile rather than
   /// overlap — the critical-path analyzer sums them (obs/assemble.hpp).
   AgsFuture submitCommand(Command cmd, bool ags_stats, std::int64_t issue_start_ns = 0);
+  /// Same, for a command already in wire form — the AGS hot path encodes
+  /// once in executeAsync (where the view verifier runs over the bytes) and
+  /// hands the buffer straight to the multicast, no Command in between.
+  AgsFuture submitEncoded(std::uint64_t rid, std::uint64_t trace_id, Bytes payload,
+                          bool ags_stats, std::int64_t issue_start_ns = 0);
   void completeRequest(std::uint64_t rid, const Reply& r);
 
   const net::HostId host_;

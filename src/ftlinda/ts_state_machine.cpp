@@ -87,6 +87,11 @@ void TsStateMachine::addReplySink(ReplySink sink) {
   extra_sinks_.push_back(std::move(sink));
 }
 
+void TsStateMachine::addApplyFlushSink(std::function<void()> hook) {
+  std::lock_guard<std::shared_mutex> lock(mutex_);
+  flush_sinks_.push_back(std::move(hook));
+}
+
 void TsStateMachine::emitLocked(net::HostId origin, std::uint64_t request_id,
                                 const Reply& reply) {
   if (sink_) sink_(origin, request_id, reply);
@@ -95,9 +100,12 @@ void TsStateMachine::emitLocked(net::HostId origin, std::uint64_t request_id,
 
 void TsStateMachine::apply(const rsm::ApplyContext& ctx, BytesView command) {
   Command cmd = Command::decode(command);  // owns its data past the view
-  std::lock_guard<std::shared_mutex> lock(mutex_);
-  WriteEpoch epoch(state_version_);
-  applyCommandLocked(ctx, std::move(cmd));
+  {
+    std::lock_guard<std::shared_mutex> lock(mutex_);
+    WriteEpoch epoch(state_version_);
+    applyCommandLocked(ctx, std::move(cmd));
+  }
+  for (const auto& hook : flush_sinks_) hook();
 }
 
 void TsStateMachine::applyBatch(const std::vector<rsm::BatchItem>& items) {
@@ -111,24 +119,30 @@ void TsStateMachine::applyBatch(const std::vector<rsm::BatchItem>& items) {
   static obs::Histogram& batch_size_hist = obs::histogram("ftl_sm_apply_batch_size");
   batch_size_hist.observe(items.size());
   obs::trace::Span span("sm.apply_batch", items.empty() ? 0 : items.front().ctx.gseq);
-  std::lock_guard<std::shared_mutex> lock(mutex_);
-  // ONE write epoch for the whole run: readers see the batch as a single
-  // mutation (intermediate states were never observable under the old
-  // exclusive lock either — batch boundaries are local scheduling).
-  WriteEpoch epoch(state_version_);
-  batch_stats_.batches += 1;
-  batch_stats_.commands += items.size();
-  batch_stats_.max_batch = std::max<std::uint64_t>(batch_stats_.max_batch, items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    applyCommandLocked(items[i].ctx, std::move(cmds[i]));
+  {
+    std::lock_guard<std::shared_mutex> lock(mutex_);
+    // ONE write epoch for the whole run: readers see the batch as a single
+    // mutation (intermediate states were never observable under the old
+    // exclusive lock either — batch boundaries are local scheduling).
+    WriteEpoch epoch(state_version_);
+    batch_stats_.batches += 1;
+    batch_stats_.commands += items.size();
+    batch_stats_.max_batch = std::max<std::uint64_t>(batch_stats_.max_batch, items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      applyCommandLocked(items[i].ctx, std::move(cmds[i]));
+    }
   }
+  for (const auto& hook : flush_sinks_) hook();
 }
 
 void TsStateMachine::applyCommandLocked(const rsm::ApplyContext& ctx, Command&& cmd) {
   // The origin replica alone closes the ordering span and times the apply:
   // every replica executes this command, but the trace should show each AGS
   // stage once.
-  const bool traced = ctx.origin == self_ && cmd.trace_id != 0;
+  // Every command carries a correlation id, so gate on the tracer actually
+  // being on — otherwise `traced` would force the per-apply clock reads
+  // below for every statement instead of the intended 1-in-16 sample.
+  const bool traced = ctx.origin == self_ && cmd.trace_id != 0 && obs::trace::enabled();
   if (traced) obs::trace::asyncEnd("ags.order", cmd.trace_id);
   if (ctx.origin == self_ && ctx.enq_ns != 0) {
     // Ordering stage closes here, where the command reaches the state
@@ -354,31 +368,35 @@ void TsStateMachine::onMembership(std::uint64_t gseq, const std::vector<net::Hos
   (void)members;
   (void)joined;
   if (failed.empty()) return;
-  std::lock_guard<std::shared_mutex> lock(mutex_);
-  WriteEpoch epoch(state_version_);
-  std::vector<WaitKey> dirty;
-  for (net::HostId h : failed) {
-    // Fail-silent -> fail-stop: one failure tuple per registered TS, at the
-    // same point of the total order at every replica.
-    for (TsHandle ts : monitored_) {
-      if (auto* space = reg_.find(ts)) {
-        Tuple t = tuple::makeTuple("failure", static_cast<std::int64_t>(h));
-        dirty.emplace_back(ts, tuple::signatureOf(t));
-        space->put(std::move(t));
-        ++metrics_.failure_tuples;
+  {
+    std::lock_guard<std::shared_mutex> lock(mutex_);
+    WriteEpoch epoch(state_version_);
+    std::vector<WaitKey> dirty;
+    for (net::HostId h : failed) {
+      // Fail-silent -> fail-stop: one failure tuple per registered TS, at
+      // the same point of the total order at every replica.
+      for (TsHandle ts : monitored_) {
+        if (auto* space = reg_.find(ts)) {
+          Tuple t = tuple::makeTuple("failure", static_cast<std::int64_t>(h));
+          dirty.emplace_back(ts, tuple::signatureOf(t));
+          space->put(std::move(t));
+          ++metrics_.failure_tuples;
+        }
+      }
+      // Blocked statements from the dead processor will never be claimed.
+      for (auto it = blocked_.begin(); it != blocked_.end();) {
+        if (it->second.origin == h) {
+          it = eraseBlockedLocked(it);
+          ++metrics_.cancelled_blocked;
+        } else {
+          ++it;
+        }
       }
     }
-    // Blocked statements from the dead processor will never be claimed.
-    for (auto it = blocked_.begin(); it != blocked_.end();) {
-      if (it->second.origin == h) {
-        it = eraseBlockedLocked(it);
-        ++metrics_.cancelled_blocked;
-      } else {
-        ++it;
-      }
-    }
+    retryBlockedLocked(dirty, /*wake_all=*/false);
   }
-  retryBlockedLocked(dirty, /*wake_all=*/false);
+  // Cancellations and failure-tuple wakes emit replies too; flush them.
+  for (const auto& hook : flush_sinks_) hook();
 }
 
 Bytes TsStateMachine::snapshot() const {

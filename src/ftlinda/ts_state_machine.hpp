@@ -68,6 +68,14 @@ class TsStateMachine : public rsm::StateMachine {
   /// every reply and filter by (origin, request id) themselves.
   void addReplySink(ReplySink sink);
 
+  /// Register a hook invoked AFTER apply()/applyBatch()/onMembership()
+  /// release the machine's lock — once every reply sink of the batch has
+  /// fired. Unlike ReplySink (called under the lock), a flush hook runs
+  /// unlocked and may perform I/O; the tuple server drains its staged
+  /// ReplyBatch frames here, keeping reply sends off the apply critical
+  /// path. Register before the replica starts (not thread-safe afterwards).
+  void addApplyFlushSink(std::function<void()> hook);
+
   // rsm::StateMachine
   void apply(const rsm::ApplyContext& ctx, BytesView command) override;
   /// Batched apply: decodes every command up front, then executes the run
@@ -224,6 +232,7 @@ class TsStateMachine : public rsm::StateMachine {
   mutable std::shared_mutex mutex_;
   ReplySink sink_;
   std::vector<ReplySink> extra_sinks_;
+  std::vector<std::function<void()>> flush_sinks_;  // see addApplyFlushSink
   ts::TsRegistry reg_{/*with_main=*/true};
   std::map<std::uint64_t, BlockedAgs> blocked_;          // order -> statement
   std::map<WaitKey, std::vector<std::uint64_t>> wait_index_;  // key -> orders

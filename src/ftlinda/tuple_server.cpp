@@ -21,6 +21,8 @@ struct RpcMetrics {
   obs::Counter& requests = obs::counter("ftl_rpc_requests");
   obs::Counter& rejected = obs::counter("ftl_rpc_rejected");
   obs::Counter& replies = obs::counter("ftl_rpc_replies");
+  obs::Counter& reply_batches = obs::counter("ftl_rpc_reply_batches");
+  obs::Histogram& reply_batch_size = obs::histogram("ftl_rpc_reply_batch_size");
   obs::Counter& stats_requests = obs::counter("ftl_rpc_stats_requests");
   obs::Counter& client_calls = obs::counter("ftl_rpc_client_calls");
   obs::Counter& replies_received = obs::counter("ftl_rpc_replies_received");
@@ -46,6 +48,9 @@ TupleServer::TupleServer(net::Transport& net, rsm::Replica& replica, TsStateMach
   sm.addReplySink([this](net::HostId origin, std::uint64_t rid, const Reply& reply) {
     onReply(origin, rid, reply);
   });
+  // Replies stage into per-client ReplyBatch frames under the sm lock and
+  // go out here, once per apply batch, after the lock is released.
+  sm.addApplyFlushSink([this] { flushReplyBatches(); });
   // Origin-side observability (the "ags.order" close, apply span, stage
   // histograms) keys on the state machine knowing which host it serves.
   // With an embedded Runtime, attach() sets this to the same id; a pure
@@ -108,14 +113,18 @@ void TupleServer::onTraceRequest(const net::Message& m) {
 
 void TupleServer::onRpcRequest(const net::Message& m) {
   rpcMetrics().requests.inc();
-  Command cmd = Command::decode(m.payload);
-  const std::uint64_t client_rid = cmd.request_id;
+  const CommandHeader hdr = CommandHeader::peek(m.payload);
+  const std::uint64_t client_rid = hdr.request_id;
   // Defensive re-verification at the trust boundary: the client library ran
   // the same pass, but RPC clients are not part of the replica group, so a
   // malformed statement is refused HERE with a direct error reply rather
-  // than multicast to every replica.
-  if (cmd.kind == CommandKind::ExecuteAgs) {
-    if (VerifyResult vr = verify(cmd.ags); !vr.ok()) {
+  // than multicast to every replica. The view verifier runs straight over
+  // the client's encoded bytes — the command is never decoded on this path
+  // (a malformed encoding fails verification instead of throwing).
+  if (hdr.kind == CommandKind::ExecuteAgs) {
+    VerifyResult vr = verifyEncoded(BytesView(m.payload.data() + kCommandHeaderBytes,
+                                              m.payload.size() - kCommandHeaderBytes));
+    if (!vr.ok()) {
       rpcMetrics().rejected.inc();
       Reply reject;
       reject.error = "AGS rejected by verifier: " + vr.toString();
@@ -124,8 +133,7 @@ void TupleServer::onRpcRequest(const net::Message& m) {
     }
   }
   const std::uint64_t server_rid = next_rid_.fetch_add(1);
-  cmd.request_id = server_rid;
-  const std::uint64_t trace_id = cmd.trace_id;
+  const std::uint64_t trace_id = hdr.trace_id;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     forwards_[server_rid] = {m.src, client_rid, trace_id};
@@ -135,8 +143,8 @@ void TupleServer::onRpcRequest(const net::Message& m) {
   // The client's trace id rides along so the ordering stages correlate.
   // This server is the ORIGIN of the ordering path for its RPC clients, so
   // when tracing it emits the same critical-path stages the embedded
-  // Runtime does: "ags" bounds the server-side e2e, "ags.issue" the
-  // re-encode up to the ordering handoff, and "ags.order" begins here (the
+  // Runtime does: "ags" bounds the server-side e2e, "ags.issue" the rid
+  // rewrite up to the ordering handoff, and "ags.order" begins here (the
   // state machine closes it at apply, origin-side).
   const bool traced = obs::trace::enabled() && trace_id != 0;
   std::int64_t i0 = 0;
@@ -144,7 +152,14 @@ void TupleServer::onRpcRequest(const net::Message& m) {
     obs::trace::asyncBegin("ags", trace_id);
     i0 = nowNanos();
   }
-  Bytes payload = cmd.encode();
+  // The client's buffer is already the wire form; the only difference on
+  // the ordered path is the request id, which lives at a fixed offset —
+  // patch it in place instead of decode + re-encode.
+  Bytes payload = m.payload;
+  for (int i = 0; i < 8; ++i) {
+    payload[kCommandRidOffset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(server_rid >> (8 * i));
+  }
   if (traced) {
     obs::trace::complete("ags.issue", trace_id, i0, nowNanos() - i0);
     obs::trace::asyncBegin("ags.order", trace_id);
@@ -163,15 +178,47 @@ void TupleServer::onReply(net::HostId origin, std::uint64_t rid, const Reply& re
     forwards_.erase(it);
   }
   rpcMetrics().replies.inc();
-  // "ags.reply" here is the reply-encode/forward leg; together with the
+  // "ags.reply" here is the reply-encode/stage leg; together with the
   // "ags" end it lets the critical-path analyzer tile the server-side e2e
-  // of a proxied statement just like an embedded one.
+  // of a proxied statement just like an embedded one. The encoded record
+  // leaves the host when flushReplyBatches() sends the client's frame.
   const bool traced = obs::trace::enabled() && dest.trace_id != 0;
   const std::int64_t r0 = traced ? nowNanos() : 0;
-  ep_.send(dest.client, kRpcReplyType, encodeRpcReply(dest.client_rid, reply));
+  std::optional<Bytes> overflow;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Writer& w = staged_[dest.client];
+    w.u64(dest.client_rid);
+    reply.encodeInto(w);
+    // Keep frames under the datagram ceiling: an oversize frame departs
+    // immediately, mid-batch, and staging restarts empty for this client.
+    if (w.size() >= kReplyBatchFlushBytes) {
+      overflow = w.take();
+      staged_.erase(dest.client);
+    }
+  }
+  if (overflow) {
+    rpcMetrics().reply_batches.inc();
+    ep_.send(dest.client, kRpcReplyBatchType, std::move(*overflow));
+  }
   if (traced) {
     obs::trace::complete("ags.reply", dest.trace_id, r0, nowNanos() - r0);
     obs::trace::asyncEnd("ags", dest.trace_id);
+  }
+}
+
+void TupleServer::flushReplyBatches() {
+  std::map<net::HostId, Writer> staged;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (staged_.empty()) return;
+    staged.swap(staged_);
+  }
+  RpcMetrics& rm = rpcMetrics();
+  for (auto& [client, w] : staged) {
+    rm.reply_batches.inc();
+    rm.reply_batch_size.observe(w.size());
+    ep_.send(client, kRpcReplyBatchType, w.take());
   }
 }
 
@@ -307,31 +354,54 @@ void RemoteRuntime::recvLoop() {
       slot->cv.notify_all();
       continue;
     }
+    if (m->type == kRpcReplyBatchType) {
+      // One frame, many completions: walk the tiled {rid, Reply} records to
+      // the end of the payload, decoding each straight off the datagram.
+      Reader r(m->payload);
+      try {
+        while (!r.atEnd()) {
+          const std::uint64_t rid = r.u64();
+          completeRpc(rid, Reply::decode(r));
+        }
+      } catch (const Error&) {
+        // Truncated or corrupt frame: records decoded before the bad byte
+        // already settled their futures; the rest are indistinguishable
+        // from a lost datagram (their futures fail on server death, like
+        // any other drop). Never let a malformed frame kill the receive
+        // thread.
+      }
+      continue;
+    }
     if (m->type != kRpcReplyType) continue;
     Reader r(m->payload);
     const std::uint64_t rid = r.u64();
-    Reply reply = Reply::decode(r.bytes());
-    PendingRpc ent;
-    {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
-      auto it = pending_.find(rid);
-      if (it == pending_.end()) continue;
-      ent = std::move(it->second);
-      pending_.erase(it);
-    }
-    window_cv_.notify_all();  // a pipeline slot just freed up
-    RpcMetrics& rm = rpcMetrics();
-    rm.replies_received.inc();
-    const std::int64_t dt = nowNanos() - ent.t0_ns;
-    rm.client_rtt_ns.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
-    obs::trace::asyncEnd("ags.rpc", ent.trace_id);
-    // Deposits land before the future settles (same contract as Runtime).
-    scratch_.applyDeposits(reply.local_deposits);
-    if (!reply.error.empty()) {
-      detail::settleFuture(ent.st, Result<Reply>::failure("registry", reply.error));
-    } else {
-      detail::settleFuture(ent.st, Result<Reply>(std::move(reply)));
-    }
+    // View decode: the blob slice borrows the datagram, the Reply owns its
+    // fields — no intermediate owning copy of the encoded bytes.
+    completeRpc(rid, Reply::decode(r.readBlobView()));
+  }
+}
+
+void RemoteRuntime::completeRpc(std::uint64_t rid, Reply&& reply) {
+  PendingRpc ent;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    auto it = pending_.find(rid);
+    if (it == pending_.end()) return;
+    ent = std::move(it->second);
+    pending_.erase(it);
+  }
+  window_cv_.notify_all();  // a pipeline slot just freed up
+  RpcMetrics& rm = rpcMetrics();
+  rm.replies_received.inc();
+  const std::int64_t dt = nowNanos() - ent.t0_ns;
+  rm.client_rtt_ns.observe(dt > 0 ? static_cast<std::uint64_t>(dt) : 0);
+  obs::trace::asyncEnd("ags.rpc", ent.trace_id);
+  // Deposits land before the future settles (same contract as Runtime).
+  scratch_.applyDeposits(reply.local_deposits);
+  if (!reply.error.empty()) {
+    detail::settleFuture(ent.st, Result<Reply>::failure("registry", reply.error));
+  } else {
+    detail::settleFuture(ent.st, Result<Reply>(std::move(reply)));
   }
 }
 

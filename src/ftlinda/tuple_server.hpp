@@ -53,6 +53,20 @@ constexpr std::uint16_t kRpcStatsReplyType = 43;
 /// series the client reassembles (and re-requests wholesale on loss).
 constexpr std::uint16_t kRpcTraceType = 44;
 constexpr std::uint16_t kRpcTraceReplyType = 45;
+/// Batched reply frame (PROTOCOL.md "ReplyBatch"): concatenated records of
+/// {u64 client_rid, Reply wire form}, walked record-by-record to the end of
+/// the payload — no count prefix, the frame length delimits it. The server
+/// stages every reply produced by one apply batch per destination client
+/// and flushes one frame per client when the batch ends (or inline at the
+/// datagram-safe cap), so N completions cost one send instead of N. The
+/// unbatched kRpcReplyType remains the vehicle for verifier rejects (which
+/// never enter the ordered path) and as the compatibility single-reply form.
+constexpr std::uint16_t kRpcReplyBatchType = 46;
+
+/// Flush threshold for a staged ReplyBatch frame: stay under the UDP
+/// datagram ceiling (~65000 bytes) with the same margin the trace-dump
+/// chunking uses.
+constexpr std::size_t kReplyBatchFlushBytes = 48 * 1024;
 
 /// Request ids the server allocates carry this bit so they can never
 /// collide with the co-located embedded Runtime's ids.
@@ -78,6 +92,10 @@ class TupleServer {
   void onStatsRequest(const net::Message& m);
   void onTraceRequest(const net::Message& m);
   void onReply(net::HostId origin, std::uint64_t rid, const Reply& reply);
+  /// Send every staged ReplyBatch frame (one per destination client).
+  /// Invoked by the state machine's apply-flush hook once the batch's lock
+  /// is released — reply sends happen off the apply critical path.
+  void flushReplyBatches();
 
   /// Where a proxied command's ordered reply goes back to, plus the client's
   /// trace id so the server — the ORIGIN of the ordering path for RPC
@@ -94,6 +112,10 @@ class TupleServer {
   std::atomic<std::uint64_t> next_rid_{kServerRidBit | 1};
   mutable std::mutex mutex_;
   std::map<std::uint64_t, Forward> forwards_;
+  /// Per-client ReplyBatch frames under construction for the current apply
+  /// batch (guarded by mutex_; filled by onReply, drained by
+  /// flushReplyBatches).
+  std::map<net::HostId, Writer> staged_;
 };
 
 /// The client-side FT-Linda library for hosts that run no replica. Same
@@ -182,6 +204,10 @@ class RemoteRuntime : public LindaApi {
 
   /// Admit into the pipeline window (may block), send, return the future.
   AgsFuture submitRpc(Command cmd);
+  /// Settle one RPC future off an incoming reply (single frame or one
+  /// record of a ReplyBatch frame). Unknown rids are ignored (stale reply
+  /// after a crash).
+  void completeRpc(std::uint64_t rid, Reply&& reply);
   /// Send a trace-dump request and wait for its slot; returns the filled
   /// slot plus the send stamp t0.
   std::shared_ptr<TraceSlot> traceRequest(std::uint8_t mode, std::int64_t& t0_ns);

@@ -1,6 +1,7 @@
 #include "ftlinda/verify.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 namespace ftl::ftlinda {
@@ -283,6 +284,356 @@ class Checker {
   std::int32_t field_ = -1;
 };
 
+/// View-based twin of Checker: evaluates the same rules in one
+/// left-to-right scan of the Ags wire encoding. The scan is an exact
+/// structural inverse of the encoders in ops.cpp/pattern.cpp — INCLUDING
+/// their behaviour on corrupt enum bytes (each writes a deterministic, if
+/// degenerate, byte shape) — which is what makes the diagnostics match the
+/// owning verifier on every encodable statement, corrupt fixtures included.
+class EncodedChecker {
+ public:
+  EncodedChecker(const VerifyLimits& limits, VerifyResult& out) : limits_(limits), out_(out) {}
+
+  void statement(BytesView bytes) {
+    base_ = bytes.data;
+    Reader r(bytes);
+    const std::uint16_t nb = r.u16();
+    if (nb == 0) {
+      add(Severity::Error, RuleId::NoBranches, "AGS has no branches");
+      return;
+    }
+    if (nb > limits_.max_branches) {
+      std::ostringstream os;
+      os << nb << " branches exceed the limit of " << limits_.max_branches;
+      add(Severity::Error, RuleId::TooManyBranches, os.str());
+    }
+    struct PrevGuard {
+      bool is_true;
+      std::uint64_t ts;
+      const std::uint8_t* pat;
+      std::size_t pat_len;
+    };
+    std::vector<PrevGuard> prev_guards;
+    prev_guards.reserve(nb);
+    bool saw_true_guard = false;
+    for (std::size_t i = 0; i < nb; ++i) {
+      branch_ = static_cast<std::int32_t>(i);
+      op_ = -1;
+      field_ = -1;
+      if (saw_true_guard) {
+        add(Severity::Warning, RuleId::UnreachableBranch,
+            "unreachable: an earlier branch has guard `true`, which always fires first");
+        saw_true_guard = false;  // one warning marks the rest
+      }
+      // Silent structural pass first: the duplicate-guard warning must
+      // precede the guard's own diagnostics (Checker emits it before
+      // guard()), and it needs the full pattern byte range. Canonical
+      // encoding makes a raw byte comparison equivalent to the owning
+      // Pattern equality (modulo the Real -0.0/NaN caveat in the header).
+      const std::size_t guard_start = r.position();
+      GuardInfo g = scanGuard(r, /*emit=*/false);
+      if (g.kind != 0) {
+        for (std::size_t e = 0; e < prev_guards.size(); ++e) {
+          const PrevGuard& prev = prev_guards[e];
+          if (prev.is_true || prev.ts != g.ts || prev.pat_len != g.pat_len ||
+              std::memcmp(prev.pat, g.pat, g.pat_len) != 0)
+            continue;
+          std::ostringstream os;
+          os << "dead branch: guard matches exactly when branch " << e
+             << "'s guard does, and earlier branches fire first";
+          add(Severity::Warning, RuleId::DuplicateGuard, os.str());
+          break;
+        }
+        // Diagnostic pass over the same range.
+        Reader gr(base_ + guard_start, r.position() - guard_start);
+        scanGuard(gr, /*emit=*/true);
+      }
+      prev_guards.push_back({g.kind == 0, g.ts, g.pat, g.pat_len});
+      body(r, g);
+      if (g.kind == 0) saw_true_guard = true;
+    }
+  }
+
+ private:
+  /// Everything the body checks need from the guard, captured off the wire.
+  struct GuardInfo {
+    std::uint8_t kind = 0;
+    std::uint64_t ts = 0;
+    const std::uint8_t* pat = nullptr;  // encoded pattern range (dup compare)
+    std::size_t pat_len = 0;
+    std::size_t formals = 0;  // count of VALID formal fields
+    // Type bytes of every Formal-kind field in order, valid or not —
+    // mirrors Checker::formalType, which indexes Formal fields lazily.
+    std::vector<std::uint8_t> formal_types;
+  };
+
+  void add(Severity sev, RuleId id, std::string msg) {
+    Diagnostic d;
+    d.severity = sev;
+    d.branch = branch_;
+    d.op_index = op_;
+    d.field_index = field_;
+    d.rule_id = id;
+    d.message = std::move(msg);
+    out_.diagnostics.push_back(std::move(d));
+  }
+
+  /// Advance past one encoded Value; returns its type tag. Tags outside the
+  /// Value set never come from Value::encode (the variant cannot hold one),
+  /// so they mark non-encoder bytes: reported as MalformedEncoding upstream.
+  std::uint8_t skipValue(Reader& r) {
+    const std::uint8_t tag = r.u8();
+    switch (tag) {
+      case 0:  // Int
+      case 1:  // Real
+        r.skip(8);
+        break;
+      case 2:  // Bool
+        r.skip(1);
+        break;
+      case 3:  // Str
+      case 4:  // Blob
+        r.skip(r.u32());
+        break;
+      default:
+        throw Error("value tag byte " + std::to_string(tag) + " is outside the value set");
+    }
+    return tag;
+  }
+
+  /// Structural inverse of Guard::encode. With emit=false only the shape is
+  /// captured; with emit=true the same diagnostics as Checker::guard() go
+  /// out (a corrupt guard kind suppresses the pattern-field diagnostics,
+  /// exactly like the owning early return).
+  GuardInfo scanGuard(Reader& r, bool emit) {
+    GuardInfo g;
+    g.kind = r.u8();
+    if (g.kind == 0) return g;  // True: nothing follows, binds nothing
+    const bool bad_kind = g.kind > kMaxGuardKind;
+    if (emit && bad_kind) {
+      std::ostringstream os;
+      os << "guard kind byte " << static_cast<unsigned>(g.kind) << " is outside the guard set";
+      add(Severity::Error, RuleId::BadGuardKind, os.str());
+    }
+    const bool diag = emit && !bad_kind;
+    g.ts = r.u64();
+    const std::size_t pat_start = r.position();
+    const std::uint16_t n = r.u16();
+    if (diag && n > limits_.max_fields) {
+      std::ostringstream os;
+      os << "guard pattern has " << n << " fields, limit " << limits_.max_fields;
+      add(Severity::Error, RuleId::TooManyFields, os.str());
+    }
+    for (std::uint16_t k = 0; k < n; ++k) {
+      if (diag) field_ = static_cast<std::int32_t>(k);
+      const std::uint8_t fk = r.u8();
+      if (fk == 0) {  // Actual: a Value follows
+        skipValue(r);
+        continue;
+      }
+      // PatternField::encode writes the formal-type byte for EVERY non-
+      // Actual kind, corrupt ones included.
+      const std::uint8_t t = r.u8();
+      if (fk > 1) {
+        if (diag) add(Severity::Error, RuleId::BadFieldKind, "guard pattern field kind is corrupt");
+        continue;
+      }
+      g.formal_types.push_back(t);
+      if (t > kMaxValueType) {
+        if (diag) add(Severity::Error, RuleId::BadValueType, "guard formal has a corrupt type byte");
+      } else {
+        ++g.formals;
+      }
+    }
+    if (diag) field_ = -1;
+    g.pat = base_ + pat_start;
+    g.pat_len = r.position() - pat_start;
+    if (bad_kind) {  // a corrupt guard binds nothing (Checker returns 0)
+      g.formals = 0;
+      g.formal_types.clear();
+    }
+    return g;
+  }
+
+  std::uint8_t formalType(const GuardInfo& g, std::size_t i) const {
+    return i < g.formal_types.size() ? g.formal_types[i] : 0;  // unreachable when bound-checked
+  }
+
+  void checkDead(const std::vector<std::uint64_t>& destroyed, std::uint64_t h,
+                 const char* what) {
+    if (std::find(destroyed.begin(), destroyed.end(), h) == destroyed.end()) return;
+    std::ostringstream os;
+    os << what << " references a tuple space destroyed earlier in this body";
+    add(Severity::Error, RuleId::UseAfterDestroy, os.str());
+  }
+
+  void body(Reader& r, const GuardInfo& g) {
+    const std::uint16_t nops = r.u16();
+    if (nops > limits_.max_body_ops) {
+      std::ostringstream os;
+      os << nops << " body operations exceed the limit of " << limits_.max_body_ops;
+      add(Severity::Error, RuleId::BodyTooLong, os.str());
+    }
+    std::vector<std::uint64_t> destroyed;
+    for (std::uint16_t j = 0; j < nops; ++j) {
+      op_ = static_cast<std::int32_t>(j);
+      field_ = -1;
+      const std::uint8_t op = r.u8();
+      const std::uint64_t ts = r.u64();
+      const std::uint64_t dst = r.u64();
+      if (op > kMaxOpCode) {
+        // BodyOp::encode writes nothing past ts/dst for a corrupt opcode.
+        std::ostringstream os;
+        os << "opcode byte " << static_cast<unsigned>(op) << " is outside the body-operation set";
+        add(Severity::Error, RuleId::BadOpCode, os.str());
+        continue;  // nothing else is interpretable
+      }
+      switch (static_cast<OpCode>(op)) {
+        case OpCode::Out:
+          checkDead(destroyed, ts, "out");
+          tupleTemplate(r, g);
+          break;
+        case OpCode::Inp:
+        case OpCode::Rdp:
+          checkDead(destroyed, ts, opCodeName(static_cast<OpCode>(op)));
+          patternTemplate(r, g);
+          break;
+        case OpCode::Move:
+        case OpCode::Copy: {
+          const bool is_move = static_cast<OpCode>(op) == OpCode::Move;
+          checkDead(destroyed, ts, "move/copy source");
+          checkDead(destroyed, dst, "move/copy destination");
+          if (ts == dst) {
+            if (is_move) {
+              add(Severity::Error, RuleId::MoveAliasedHandles,
+                  "move with identical source and destination is a no-op that "
+                  "reorders the space");
+            } else {
+              add(Severity::Warning, RuleId::CopyAliasedHandles,
+                  "copy with identical source and destination duplicates every match");
+            }
+          }
+          patternTemplate(r, g);
+          break;
+        }
+        case OpCode::CreateTs:
+          r.skip(2);  // TsAttributes: stable + shared boolean bytes
+          break;
+        case OpCode::DestroyTs:
+          if (ts == ts::kTsMain) {
+            add(Severity::Error, RuleId::DestroyTsMain, "destroy_TS targets TSmain");
+          }
+          checkDead(destroyed, ts, "destroy_TS");
+          destroyed.push_back(ts);
+          break;
+      }
+    }
+    op_ = -1;
+  }
+
+  void tupleTemplate(Reader& r, const GuardInfo& g) {
+    const std::uint16_t n = r.u16();
+    if (n > limits_.max_fields) {
+      std::ostringstream os;
+      os << "out template has " << n << " fields, limit " << limits_.max_fields;
+      add(Severity::Error, RuleId::TooManyFields, os.str());
+    }
+    for (std::uint16_t k = 0; k < n; ++k) {
+      field_ = static_cast<std::int32_t>(k);
+      const std::uint8_t fk = r.u8();
+      if (fk > 2) {
+        // TemplateField::encode writes nothing past a corrupt kind byte.
+        add(Severity::Error, RuleId::BadFieldKind, "template field kind is corrupt");
+        continue;
+      }
+      if (fk == 0) {  // Literal
+        skipValue(r);
+        continue;
+      }
+      const std::uint16_t idx = r.u16();
+      std::uint8_t arith = 0;
+      std::uint8_t lit_type = 0;
+      if (fk == 2) {  // Expr: arith byte + literal operand follow
+        arith = r.u8();
+        lit_type = skipValue(r);
+      }
+      if (idx >= g.formals) {
+        std::ostringstream os;
+        os << "field references formal ?" << idx << " but the guard binds " << g.formals
+           << " formal(s)";
+        add(Severity::Error, RuleId::FormalOutOfRange, os.str());
+        continue;
+      }
+      if (fk == 2) {
+        if (arith > kMaxArithOp) {
+          add(Severity::Error, RuleId::BadArithOp, "arithmetic opcode byte is corrupt");
+          continue;
+        }
+        const std::uint8_t bt = formalType(g, idx);
+        if (bt != static_cast<std::uint8_t>(ValueType::Int) &&
+            bt != static_cast<std::uint8_t>(ValueType::Real)) {
+          std::ostringstream os;
+          os << "arithmetic `?" << idx << " " << arithOpName(static_cast<ArithOp>(arith))
+             << " ...` requires an int or real formal, got "
+             << tuple::valueTypeName(static_cast<ValueType>(bt));
+          add(Severity::Error, RuleId::ArithNonNumericFormal, os.str());
+        } else if (lit_type != bt) {
+          std::ostringstream os;
+          os << "arithmetic operand is " << tuple::valueTypeName(static_cast<ValueType>(lit_type))
+             << " but formal ?" << idx << " is "
+             << tuple::valueTypeName(static_cast<ValueType>(bt));
+          add(Severity::Error, RuleId::ArithOperandMismatch, os.str());
+        }
+      }
+    }
+    field_ = -1;
+  }
+
+  void patternTemplate(Reader& r, const GuardInfo& g) {
+    const std::uint16_t n = r.u16();
+    if (n > limits_.max_fields) {
+      std::ostringstream os;
+      os << "pattern has " << n << " fields, limit " << limits_.max_fields;
+      add(Severity::Error, RuleId::TooManyFields, os.str());
+    }
+    for (std::uint16_t k = 0; k < n; ++k) {
+      field_ = static_cast<std::int32_t>(k);
+      const std::uint8_t fk = r.u8();
+      if (fk > 2) {
+        // PatternTemplateField::encode writes nothing past a corrupt kind.
+        add(Severity::Error, RuleId::BadFieldKind, "pattern field kind is corrupt");
+        continue;
+      }
+      if (fk == 0) {  // Actual
+        skipValue(r);
+        continue;
+      }
+      if (fk == 1) {  // Formal
+        const std::uint8_t t = r.u8();
+        if (t > kMaxValueType) {
+          add(Severity::Error, RuleId::BadValueType, "pattern formal has a corrupt type byte");
+        }
+        continue;
+      }
+      const std::uint16_t ref = r.u16();  // BoundRef
+      if (ref >= g.formals) {
+        std::ostringstream os;
+        os << "pattern references formal ?" << ref << " but the guard binds " << g.formals
+           << " formal(s)";
+        add(Severity::Error, RuleId::BoundRefOutOfRange, os.str());
+      }
+    }
+    field_ = -1;
+  }
+
+  const VerifyLimits& limits_;
+  VerifyResult& out_;
+  const std::uint8_t* base_ = nullptr;
+  std::int32_t branch_ = -1;
+  std::int32_t op_ = -1;
+  std::int32_t field_ = -1;
+};
+
 }  // namespace
 
 const char* ruleIdName(RuleId id) {
@@ -311,6 +662,7 @@ const char* ruleIdName(RuleId id) {
     case RuleId::DeadBodyMatch: return "dead-body-match";
     case RuleId::TupleLeak: return "tuple-leak";
     case RuleId::ClassTypeConflict: return "class-type-conflict";
+    case RuleId::MalformedEncoding: return "malformed-encoding";
   }
   return "unknown-rule";
 }
@@ -355,6 +707,25 @@ VerifyResult verify(const Ags& ags, const VerifyLimits& limits) {
   VerifyResult result;
   Checker c(limits, result);
   c.statement(ags);
+  return result;
+}
+
+VerifyResult verifyEncoded(BytesView ags_bytes, const VerifyLimits& limits) {
+  VerifyResult result;
+  try {
+    EncodedChecker c(limits, result);
+    c.statement(ags_bytes);
+  } catch (const std::exception& e) {
+    // Bytes no encoder produces: truncation (Reader ran out) or a value tag
+    // outside the Value set. Diagnostics gathered before the malformed point
+    // are kept — they are exactly what the owning verifier would have said
+    // about the well-formed prefix.
+    Diagnostic d;
+    d.severity = Severity::Error;
+    d.rule_id = RuleId::MalformedEncoding;
+    d.message = std::string("statement bytes are not an AGS encoding: ") + e.what();
+    result.diagnostics.push_back(std::move(d));
+  }
   return result;
 }
 

@@ -72,6 +72,11 @@ enum class RuleId : std::uint8_t {
                          // never match
   TupleLeak,             // warning: deposits no operation ever consumes
   ClassTypeConflict,     // out/in type mismatch within one (ts, name, arity)
+  // structural (V0xx, appended) — produced only by verifyEncoded(): the
+  // input bytes are not an Ags encoding at all (truncated buffer, value tag
+  // outside the Value set). The owning verifier cannot see this state (an
+  // in-memory Ags always has a shape); a decode of the same bytes throws.
+  MalformedEncoding,
 };
 
 /// Kebab-case rule name, e.g. "formal-out-of-range" (stable; used by
@@ -115,5 +120,24 @@ struct VerifyResult {
 
 /// Run every static check over `ags`. Never throws, never mutates.
 VerifyResult verify(const Ags& ags, const VerifyLimits& limits = {});
+
+/// Run the same checks over an ENCODED statement (the `Ags::encode` bytes —
+/// i.e. a Command payload past its 17-byte header) in a single left-to-right
+/// scan, with no owning decode and no per-field allocation. This is the
+/// submission-path verifier: the runtime encodes the command once and
+/// verifies the bytes it is about to multicast, eliminating the
+/// encode→decode→verify→re-encode round (ISSUE 9 / ROADMAP "Hot-path
+/// speed").
+///
+/// Equivalence contract (exercised by verify_test's differential suite):
+/// for any in-memory Ags — including ones holding corrupt enum bytes —
+/// verifyEncoded(encode(ags)) yields the same diagnostics as verify(ags),
+/// because the scanner inverts the encoders' byte shapes exactly, corrupt
+/// enums included. Sole exception: DuplicateGuard compares canonical
+/// pattern ENCODINGS rather than Value equality, so Real actuals that
+/// differ only as -0.0 vs 0.0 (or compare unequal as NaN) can flip that
+/// one warning. Bytes no encoder produces (truncation, a value tag outside
+/// the Value set) yield a MalformedEncoding error instead of an exception.
+VerifyResult verifyEncoded(BytesView ags_bytes, const VerifyLimits& limits = {});
 
 }  // namespace ftl::ftlinda

@@ -18,14 +18,14 @@ constexpr std::uint8_t kVersion = 1;
 
 /// Stage names in pipeline order; the index doubles as the monotonicity
 /// rank for offset-corrected start times.
-constexpr const char* kStageOrder[] = {"ags.verify",  "ags.issue", "ags.order", "ags.coalesce",
+constexpr const char* kStageOrder[] = {"ags.issue",  "ags.verify", "ags.order", "ags.coalesce",
                                        "ags.apply", "ags.reply", "ags.future_wake"};
 
-/// Stages whose durations tile the e2e span (coalesce is a sub-interval of
-/// order, future_wake runs after the e2e span closes — both are reported
-/// but excluded from the critical-path sum).
-constexpr const char* kCriticalPath[] = {"ags.verify", "ags.issue", "ags.order", "ags.apply",
-                                         "ags.reply"};
+/// Stages whose durations tile the e2e span (verify is a sub-interval of
+/// issue — the issuer verifies the already-encoded command bytes mid-issue —
+/// coalesce is a sub-interval of order, future_wake runs after the e2e span
+/// closes; all three are reported but excluded from the critical-path sum).
+constexpr const char* kCriticalPath[] = {"ags.issue", "ags.order", "ags.apply", "ags.reply"};
 
 int stageRank(const std::string& name) {
   for (std::size_t i = 0; i < std::size(kStageOrder); ++i) {

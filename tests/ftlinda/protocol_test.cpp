@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "tuple/tuple.hpp"
 
 namespace ftl::ftlinda {
@@ -90,6 +93,123 @@ TEST(Protocol, ReplyRoundTripEmpty) {
   EXPECT_FALSE(d.succeeded);
   EXPECT_TRUE(d.bindings.empty());
   EXPECT_TRUE(d.local_deposits.empty());
+}
+
+TEST(Protocol, ReplyDecodeViewMatchesOwningDecode) {
+  Reply r;
+  r.succeeded = true;
+  r.branch = 1;
+  r.bindings = {Value(11), Value("view")};
+  r.guard_tuple = makeTuple("g", 4);
+  r.op_status = {true};
+  const Bytes wire = r.encode();
+  const Reply owning = Reply::decode(wire);
+  const Reply viewed = Reply::decode(BytesView{wire.data(), wire.size()});
+  EXPECT_EQ(viewed.succeeded, owning.succeeded);
+  EXPECT_EQ(viewed.branch, owning.branch);
+  EXPECT_EQ(viewed.bindings, owning.bindings);
+  EXPECT_EQ(viewed.guard_tuple, owning.guard_tuple);
+  EXPECT_EQ(viewed.op_status, owning.op_status);
+  EXPECT_EQ(viewed.error, owning.error);
+}
+
+/// Three representative replies for the batch-frame tests: a full success,
+/// a strong-failure verdict, and an error reply.
+std::vector<Reply> batchFixture() {
+  std::vector<Reply> replies(3);
+  replies[0].succeeded = true;
+  replies[0].branch = 0;
+  replies[0].bindings = {Value(1), Value("alpha")};
+  replies[0].guard_tuple = makeTuple("matched", 1);
+  replies[0].op_status = {true, true};
+  replies[0].local_deposits = {{ts::kLocalHandleBit | 9, makeTuple("d", 3)}};
+  replies[1].succeeded = false;
+  replies[1].branch = -1;
+  replies[2].succeeded = false;
+  replies[2].error = "guard: unknown tuple space handle";
+  return replies;
+}
+
+/// Tile {rid, Reply} records exactly as TupleServer::onReply stages them.
+Bytes encodeBatchFrame(const std::vector<Reply>& replies) {
+  Writer w;
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    w.u64(1000 + i);
+    replies[i].encodeInto(w);
+  }
+  return w.take();
+}
+
+TEST(Protocol, ReplyBatchFrameRoundTrip) {
+  const std::vector<Reply> replies = batchFixture();
+  const Bytes frame = encodeBatchFrame(replies);
+  // Walk the frame the way RemoteRuntime::recvLoop does: records tile the
+  // payload with no count prefix; Reader::atEnd() is the terminator.
+  Reader r(frame);
+  std::size_t i = 0;
+  while (!r.atEnd()) {
+    ASSERT_LT(i, replies.size());
+    EXPECT_EQ(r.u64(), 1000 + i);
+    const Reply d = Reply::decode(r);
+    EXPECT_EQ(d.succeeded, replies[i].succeeded);
+    EXPECT_EQ(d.branch, replies[i].branch);
+    EXPECT_EQ(d.bindings, replies[i].bindings);
+    EXPECT_EQ(d.guard_tuple, replies[i].guard_tuple);
+    EXPECT_EQ(d.op_status, replies[i].op_status);
+    EXPECT_EQ(d.local_deposits, replies[i].local_deposits);
+    EXPECT_EQ(d.error, replies[i].error);
+    ++i;
+  }
+  EXPECT_EQ(i, replies.size());
+}
+
+TEST(Protocol, ReplyBatchFrameTruncationFuzz) {
+  const std::vector<Reply> replies = batchFixture();
+  const Bytes frame = encodeBatchFrame(replies);
+  // Record the cursor position after each complete record so the fuzz can
+  // tell "clean boundary" from "mid-record cut".
+  std::vector<std::size_t> boundaries{0};
+  {
+    Reader r(frame);
+    while (!r.atEnd()) {
+      (void)r.u64();
+      (void)Reply::decode(r);
+      boundaries.push_back(r.position());
+    }
+  }
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    Reader r(BytesView{frame.data(), cut});
+    std::size_t decoded = 0;
+    bool threw = false;
+    try {
+      while (!r.atEnd()) {
+        const std::uint64_t rid = r.u64();
+        const Reply d = Reply::decode(r);
+        // Every record that decodes from a truncated frame must be one of
+        // the originals, byte-faithful — truncation may only cost records
+        // off the tail, never corrupt an earlier one.
+        ASSERT_LT(decoded, replies.size()) << "cut=" << cut;
+        EXPECT_EQ(rid, 1000 + decoded) << "cut=" << cut;
+        EXPECT_EQ(d.error, replies[decoded].error) << "cut=" << cut;
+        EXPECT_EQ(d.bindings, replies[decoded].bindings) << "cut=" << cut;
+        ++decoded;
+      }
+    } catch (const Error&) {
+      threw = true;  // the receive loop catches exactly this and stops
+    }
+    const bool clean = std::find(boundaries.begin(), boundaries.end(), cut) != boundaries.end();
+    if (clean) {
+      EXPECT_FALSE(threw) << "cut=" << cut << " is a record boundary";
+    } else {
+      EXPECT_TRUE(threw) << "cut=" << cut << " lands mid-record";
+    }
+    // Records wholly inside the prefix always survive.
+    std::size_t expect_complete = 0;
+    while (expect_complete + 1 < boundaries.size() && boundaries[expect_complete + 1] <= cut) {
+      ++expect_complete;
+    }
+    EXPECT_EQ(decoded, expect_complete) << "cut=" << cut;
+  }
 }
 
 }  // namespace

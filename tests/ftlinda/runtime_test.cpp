@@ -114,6 +114,13 @@ TEST(RuntimeApi, CreatePrivateStableSpace) {
   FtLindaSystem sys({.hosts = 3});
   const TsHandle h = sys.runtime(0).createTs({true, false});
   sys.runtime(0).out(h, makeTuple("mine", 1));
+  // Wait until the deposit has replicated to a survivor before crashing the
+  // creator: host 0 is the sequencer, and its out() reply only proves its
+  // own apply — a fail-silent crash right now can purge the in-flight
+  // fan-out, and a dead origin never retransmits. Stability covers
+  // replicated state, not datagrams in flight from a host that dies. The
+  // rd is ordered after the out, so its reply proves host 1 applied both.
+  sys.runtime(1).rd(h, makePattern("mine", fInt()));
   sys.crash(0);
   // The space survives its creator's crash (it is stable).
   EXPECT_TRUE(sys.runtime(1).rdp(h, makePattern("mine", fInt())).has_value());

@@ -302,5 +302,167 @@ TEST(Verify, DiagnosticToStringIsStable) {
   EXPECT_NE(s.find("branch 0"), std::string::npos) << s;
 }
 
+// ---------------------------------------------------------------------------
+// View-verifier equivalence: verifyEncoded() over the statement's wire form
+// must reproduce verify()'s diagnostics exactly — same rules, severities,
+// locations, and messages — for every encoder-producible statement. This
+// differential runs the full bad-AGS fixture set from the suite above
+// through both verifiers (docs/VERIFIER.md "Issuer-side view verify").
+// ---------------------------------------------------------------------------
+
+Bytes encodeAgs(const Ags& ags) {
+  Writer w;
+  ags.encode(w);
+  return w.take();
+}
+
+void expectSameVerdict(const Ags& ags, const VerifyLimits& limits = {}) {
+  const VerifyResult owning = verify(ags, limits);
+  const Bytes wire = encodeAgs(ags);
+  const VerifyResult viewed = verifyEncoded(BytesView{wire.data(), wire.size()}, limits);
+  ASSERT_EQ(viewed.diagnostics.size(), owning.diagnostics.size())
+      << "owning: " << owning.toString() << "\nviewed: " << viewed.toString();
+  for (std::size_t i = 0; i < owning.diagnostics.size(); ++i) {
+    const Diagnostic& a = owning.diagnostics[i];
+    const Diagnostic& b = viewed.diagnostics[i];
+    EXPECT_EQ(a.rule_id, b.rule_id) << "diagnostic " << i;
+    EXPECT_EQ(a.severity, b.severity) << "diagnostic " << i;
+    EXPECT_EQ(a.branch, b.branch) << "diagnostic " << i;
+    EXPECT_EQ(a.op_index, b.op_index) << "diagnostic " << i;
+    EXPECT_EQ(a.message, b.message) << "diagnostic " << i;
+  }
+}
+
+TEST(Verify, ViewVerifierMatchesOwningOnFixtures) {
+  std::vector<Ags> fixtures;
+  // The clean statement and the warning-only shapes.
+  fixtures.push_back(AgsBuilder()
+                         .when(guardIn(kTsMain, makePattern("x", fInt())))
+                         .then(opOut(kTsMain, makeTemplate("x", boundExpr(0, ArithOp::Add, 1))))
+                         .orWhen(guardTrue())
+                         .then(opOut(kTsMain, makeTemplate("x", 0)))
+                         .build());
+  fixtures.push_back(AgsBuilder()
+                         .when(guardTrue())
+                         .then(opOut(kTsMain, makeTemplate("x", 1)))
+                         .orWhen(guardInp(kTsMain, makePattern("x", fInt())))
+                         .build());
+  fixtures.push_back(oneBranch(guardTrue(),
+                               {opCopy(kTsAux, kTsAux, makePatternTemplate("x", fInt()))}));
+  // One fixture per error rule the suite above exercises.
+  fixtures.push_back(Ags{});  // NoBranches
+  {
+    Ags a = oneBranch(guardTrue(), {opOut(kTsMain, makeTemplate("x", 1))});
+    a.branches[0].guard.kind = static_cast<Guard::Kind>(200);
+    fixtures.push_back(std::move(a));
+  }
+  {
+    Ags a = oneBranch(guardTrue(), {opOut(kTsMain, makeTemplate("x", 1))});
+    a.branches[0].body[0].op = static_cast<OpCode>(99);
+    fixtures.push_back(std::move(a));
+  }
+  {
+    Ags a = oneBranch(guardIn(kTsMain, makePattern("x", fInt())),
+                      {opOut(kTsMain, makeTemplate("x", boundExpr(0, ArithOp::Add, 1)))});
+    a.branches[0].body[0].tmpl.fields[1].arith = static_cast<ArithOp>(77);
+    fixtures.push_back(std::move(a));
+  }
+  {
+    Ags a = oneBranch(guardTrue(), {opOut(kTsMain, makeTemplate("x", 1))});
+    a.branches[0].body[0].tmpl.fields[0].kind = static_cast<TemplateField::Kind>(9);
+    fixtures.push_back(std::move(a));
+  }
+  {
+    Ags a = oneBranch(guardTrue(), {opInp(kTsMain, makePatternTemplate("x", fInt()))});
+    a.branches[0].body[0].pattern.fields[1].formal_type = static_cast<ValueType>(42);
+    fixtures.push_back(std::move(a));
+  }
+  fixtures.push_back(oneBranch(guardIn(kTsMain, makePattern("x", fInt())),
+                               {opOut(kTsMain, makeTemplate("x", bound(2)))}));
+  fixtures.push_back(oneBranch(guardTrue(), {opOut(kTsMain, makeTemplate("x", bound(0)))}));
+  fixtures.push_back(oneBranch(guardIn(kTsMain, makePattern("x", fInt())),
+                               {opInp(kTsMain, makePatternTemplate("x", bound(5)))}));
+  fixtures.push_back(oneBranch(guardIn(kTsMain, makePattern("name", fStr())),
+                               {opOut(kTsMain, makeTemplate("name", boundExpr(0, ArithOp::Add, 1)))}));
+  fixtures.push_back(oneBranch(guardIn(kTsMain, makePattern("x", fInt())),
+                               {opOut(kTsMain, makeTemplate("x", boundExpr(0, ArithOp::Add, 2.5)))}));
+  fixtures.push_back(oneBranch(guardTrue(),
+                               {opMove(kTsAux, kTsAux, makePatternTemplate("x", fInt()))}));
+  fixtures.push_back(oneBranch(guardTrue(), {opDestroyTs(kTsMain)}));
+  fixtures.push_back(oneBranch(guardTrue(), {opDestroyTs(kTsAux),
+                                             opOut(kTsAux, makeTemplate("x", 1))}));
+  fixtures.push_back(oneBranch(guardTrue(),
+                               {opDestroyTs(kTsAux),
+                                opMove(kTsAux, kScratch, makePatternTemplate("x", fInt()))}));
+  // Dead-branch analysis (duplicate guards) in all its variants.
+  fixtures.push_back(AgsBuilder()
+                         .when(guardIn(kTsMain, makePattern("x", fInt())))
+                         .then(opOut(kTsMain, makeTemplate("a", bound(0))))
+                         .orWhen(guardIn(kTsMain, makePattern("x", fInt())))
+                         .then(opOut(kTsMain, makeTemplate("b", bound(0))))
+                         .build());
+  fixtures.push_back(AgsBuilder()
+                         .when(guardInp(kTsMain, makePattern("x", fInt())))
+                         .then(opOut(kTsMain, makeTemplate("a", bound(0))))
+                         .orWhen(guardRd(kTsMain, makePattern("x", fInt())))
+                         .then(opOut(kTsMain, makeTemplate("b", bound(0))))
+                         .build());
+  fixtures.push_back(AgsBuilder()
+                         .when(guardInp(kTsMain, makePattern("x", fInt())))
+                         .then(opOut(kTsMain, makeTemplate("a", bound(0))))
+                         .orWhen(guardInp(kTsMain, makePattern("y", fInt())))
+                         .then(opOut(kTsMain, makeTemplate("b", bound(0))))
+                         .build());
+  fixtures.push_back(AgsBuilder()
+                         .when(guardInp(kTsMain, makePattern("x", fInt())))
+                         .then(opOut(kTsMain, makeTemplate("a", bound(0))))
+                         .orWhen(guardInp(kTsAux, makePattern("x", fInt())))
+                         .then(opOut(kTsMain, makeTemplate("b", bound(0))))
+                         .build());
+  {
+    Ags wide;
+    for (int i = 0; i < 129; ++i) {
+      wide.branches.push_back(Branch{guardInp(kTsMain, makePattern("x", fInt())), {}});
+    }
+    fixtures.push_back(std::move(wide));
+  }
+  for (std::size_t i = 0; i < fixtures.size(); ++i) {
+    SCOPED_TRACE("fixture " + std::to_string(i));
+    expectSameVerdict(fixtures[i]);
+  }
+}
+
+TEST(Verify, ViewVerifierHonorsCustomLimits) {
+  Ags long_body = oneBranch(guardTrue(), {});
+  for (int i = 0; i < 5; ++i) {
+    long_body.branches[0].body.push_back(opOut(kTsMain, makeTemplate("x", i)));
+  }
+  VerifyLimits ops;
+  ops.max_body_ops = 4;
+  expectSameVerdict(long_body, ops);
+
+  const Ags wide_tuple = oneBranch(guardTrue(), {opOut(kTsMain, makeTemplate("x", 1, 2, 3))});
+  VerifyLimits fields;
+  fields.max_fields = 2;
+  expectSameVerdict(wide_tuple, fields);
+}
+
+TEST(Verify, ViewVerifierRejectsNonAgsBytes) {
+  // Bytes no encoder produced: the view verifier must fail closed with
+  // MalformedEncoding, never crash or accept.
+  const Bytes garbage = {0xff, 0x13, 0x00, 0x37};
+  const VerifyResult vr = verifyEncoded(BytesView{garbage.data(), garbage.size()});
+  EXPECT_FALSE(vr.ok());
+  EXPECT_NE(vr.find(RuleId::MalformedEncoding), nullptr) << vr.toString();
+
+  // Truncations of a valid statement fail closed too (every proper prefix).
+  const Bytes wire = encodeAgs(oneBranch(guardIn(kTsMain, makePattern("x", fInt())),
+                                         {opOut(kTsMain, makeTemplate("x", bound(0)))}));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const VerifyResult t = verifyEncoded(BytesView{wire.data(), cut});
+    EXPECT_FALSE(t.ok()) << "cut=" << cut;
+  }
+}
+
 }  // namespace
 }  // namespace ftl::ftlinda
